@@ -1,0 +1,105 @@
+// Command surfctl is a diagnostic client for SurfOS surface controller
+// agents: it speaks the southbound control protocol directly to one
+// device, the way an operator debugs a single surface.
+//
+// Usage:
+//
+//	surfctl -addr HOST:PORT hello
+//	surfctl -addr HOST:PORT spec
+//	surfctl -addr HOST:PORT active
+//	surfctl -addr HOST:PORT select N
+//	surfctl -addr HOST:PORT zero         (program the all-zero mirror config)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+
+	"surfos/internal/ctrlproto"
+	"surfos/internal/surface"
+)
+
+// run executes one surfctl command against the agent at addr, writing
+// human-readable output to out.
+func run(addr string, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero")
+	}
+	c, err := ctrlproto.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "hello":
+		h, err := c.Hello()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "device=%s model=%s mount=%s\n", h.DeviceID, h.Model, h.Mount)
+		return nil
+
+	case "spec":
+		s, err := c.GetSpec()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "model=%s band=%.2f-%.2f GHz control=%v mode=%v granularity=%v\n",
+			s.Model, s.FreqLowHz/1e9, s.FreqHighHz/1e9, s.Control, s.OpMode, s.Granularity)
+		fmt.Fprintf(out, "reconfigurable=%v phase-bits=%d control-delay=%dns elements=%dx%d cost=$%.2f\n",
+			s.Reconfigurable, s.PhaseBits, s.ControlDelayNanos, s.Rows, s.Cols, s.CostUSD)
+		return nil
+
+	case "active":
+		a, err := c.Active()
+		if err != nil {
+			return err
+		}
+		if !a.HasActive {
+			fmt.Fprintln(out, "no active configuration")
+			return nil
+		}
+		fmt.Fprintf(out, "label=%s property=%v elements=%d\n", a.Label, a.Property, len(a.Values))
+		return nil
+
+	case "select":
+		if len(args) < 2 {
+			return fmt.Errorf("surfctl: select needs an index")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		if err := c.Select(n); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
+
+	case "zero":
+		spec, err := c.GetSpec()
+		if err != nil {
+			return err
+		}
+		n := int(spec.Rows * spec.Cols)
+		if err := c.ShiftPhase(surface.Config{Property: surface.Phase, Values: make([]float64, n)}); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
+	}
+	return fmt.Errorf("surfctl: unknown command %q", args[0])
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "surface agent address")
+	flag.Parse()
+	if err := run(*addr, flag.Args(), os.Stdout); err != nil {
+		log.Fatalf("surfctl: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"surfos/internal/ctrlproto"
+	"surfos/internal/driver"
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/surface"
+)
+
+// startAgent serves a real agent for the CLI to talk to.
+func startAgent(t *testing.T) string {
+	t.Helper()
+	spec, err := driver.Lookup(driver.ModelNRSurface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pitch := em.Wavelength(24e9) / 2
+	panel := geom.RectXY(geom.V(0, 0, 1), geom.V(-1, 0, 0), geom.V(0, 0, 1), 0.2, 0.2)
+	s, err := surface.New("p", panel, surface.Layout{Rows: 2, Cols: 2, PitchU: pitch, PitchV: pitch}, surface.Reflective, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := driver.New(spec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctrlproto.NewAgent("cli-dev", "east_wall", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return addr.String()
+}
+
+func TestCLICommands(t *testing.T) {
+	addr := startAgent(t)
+
+	var out strings.Builder
+	if err := run(addr, []string{"hello"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "device=cli-dev") {
+		t.Errorf("hello: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(addr, []string{"spec"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "model=NR-Surface") || !strings.Contains(out.String(), "granularity=column-wise") {
+		t.Errorf("spec: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(addr, []string{"active"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no active configuration") {
+		t.Errorf("active before zero: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(addr, []string{"zero"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(addr, []string{"active"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "label=active") {
+		t.Errorf("active after zero: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(addr, []string{"select", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(addr, []string{"select", "9"}, &out); err == nil {
+		t.Error("out-of-range select accepted")
+	}
+	if err := run(addr, []string{"select"}, &out); err == nil {
+		t.Error("select without index accepted")
+	}
+	if err := run(addr, []string{"select", "x"}, &out); err == nil {
+		t.Error("non-numeric select accepted")
+	}
+	if err := run(addr, []string{"warp"}, &out); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(addr, nil, &out); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := run("127.0.0.1:1", []string{"hello"}, &out); err == nil {
+		t.Error("dead agent address accepted")
+	}
+}

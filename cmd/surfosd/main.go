@@ -1,0 +1,376 @@
+// Command surfosd runs a SurfOS control-plane daemon over the reference
+// two-room apartment: it deploys surfaces from the hardware catalog,
+// exposes each device through a southbound control-protocol agent (as a
+// remote surface controller would), and serves a northbound line protocol
+// for operators and applications.
+//
+// Usage:
+//
+//	surfosd [-listen 127.0.0.1:7090] [-surfaces NR-Surface@east_wall,NR-Surface@north_wall]
+//
+// Northbound protocol (one command per line):
+//
+//	demand <utterance>   translate a user demand and schedule its services
+//	tasks                list tasks
+//	plans                list active scheduling plans
+//	devices              list devices (read back over the southbound protocol)
+//	catalog              print the hardware design catalog
+//	end <id>             terminate a task
+//	idle <id> | resume <id>
+//	tick <duration>      advance the virtual clock (e.g. tick 500ms)
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"surfos"
+	"surfos/internal/ctrlproto"
+)
+
+type daemon struct {
+	apt    *surfos.Apartment
+	hw     *surfos.Hardware
+	orch   *surfos.Orchestrator
+	broker *surfos.Broker
+	agents []*ctrlproto.Agent
+	// southbound clients, keyed by device id
+	clients map[string]*ctrlproto.Client
+	// monitoring/diagnosis service fed by endpoint telemetry
+	mon     *surfos.Monitor
+	bus     *surfos.TelemetryBus
+	monStop func()
+}
+
+func newDaemon(surfaceList string) (*daemon, error) {
+	d := &daemon{
+		apt:     surfos.NewApartment(),
+		hw:      surfos.NewHardware(),
+		clients: map[string]*ctrlproto.Client{},
+		mon:     surfos.NewMonitor(),
+		bus:     surfos.NewTelemetryBus(),
+	}
+	d.monStop = d.mon.Run(d.bus)
+	for i, item := range strings.Split(surfaceList, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		model, mountName, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("surface %q: want MODEL@MOUNT", item)
+		}
+		mount, exists := d.apt.Mounts[mountName]
+		if !exists {
+			return nil, fmt.Errorf("unknown mount %q", mountName)
+		}
+		id := fmt.Sprintf("s%d-%s", i, model)
+		drv, err := surfos.Deploy(d.hw, id, model, mount, 24, 24)
+		if err != nil {
+			return nil, err
+		}
+		// Expose the device through the southbound protocol, the way a
+		// physically remote surface controller would be managed.
+		agent, err := ctrlproto.NewAgent(id, mountName, drv)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := agent.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		client, err := ctrlproto.Dial(addr.String())
+		if err != nil {
+			return nil, err
+		}
+		d.agents = append(d.agents, agent)
+		d.clients[id] = client
+		log.Printf("deployed %s at %s (southbound agent %s)", id, mountName, addr)
+	}
+
+	if err := d.hw.AddAP(&surfos.AccessPoint{
+		ID: "ap0", Pos: d.apt.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 16,
+	}); err != nil {
+		return nil, err
+	}
+
+	orch, err := surfos.NewOrchestrator(d.apt.Scene, d.hw, surfos.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d.orch = orch
+
+	tr := surfos.NewTranslator()
+	tr.Rooms["bedroom"] = "room_id"
+	br, err := surfos.NewBroker(tr, orch, surfos.Inventory{
+		Devices: map[string]surfos.Vec3{
+			"VR_headset": surfos.V(2.5, 5.5, 1.2),
+			"laptop":     surfos.V(3.0, 5.0, 1.0),
+			"phone":      surfos.V(5.0, 6.0, 1.0),
+			"tv":         surfos.V(1.5, 6.5, 1.5),
+			"sensor":     surfos.V(6.2, 6.2, 0.8),
+			"console":    surfos.V(2.0, 6.0, 0.6),
+		},
+		RoomRegions: map[string]string{
+			"room_id":      surfos.RegionTargetRoom,
+			"meeting_room": surfos.RegionTargetRoom,
+		},
+		EvePos: surfos.V(6.0, 4.5, 1.2),
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.broker = br
+	return d, nil
+}
+
+func (d *daemon) close() {
+	if d.monStop != nil {
+		d.monStop()
+	}
+	for _, c := range d.clients {
+		c.Close()
+	}
+	for _, a := range d.agents {
+		a.Close()
+	}
+}
+
+// handle executes one northbound command and returns the reply text.
+func (d *daemon) handle(line string) (string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", true
+	}
+	cmd, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	switch cmd {
+	case "quit", "exit":
+		return "bye", false
+
+	case "help":
+		return "commands: demand <text> | tasks | plans | devices | catalog | hazards <GHz> | report <dev> <endpoint> <snr> | diagnose | end <id> | idle <id> | resume <id> | tick <dur> | quit", true
+
+	case "hazards":
+		// Cross-band interference check (§2.1: a 2.4 GHz panel can block
+		// 5 GHz Wi-Fi). Lists deployed panels that significantly attenuate
+		// the given out-of-band frequency.
+		ghz, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return "error: want a frequency in GHz", true
+		}
+		blockers := d.hw.CrossBandBlockers(ghz*1e9, 3)
+		if len(blockers) == 0 {
+			return fmt.Sprintf("no deployed panel significantly blocks %.1f GHz", ghz), true
+		}
+		var b strings.Builder
+		for _, dev := range blockers {
+			spec := dev.Drv.Spec()
+			fmt.Fprintf(&b, "%s (%s, %.1f-%.1f GHz panel) attenuates %.1f GHz by %.1f dB\n",
+				dev.ID, spec.Model, spec.FreqLowHz/1e9, spec.FreqHighHz/1e9, ghz,
+				spec.Response.PenetrationLossDB(ghz*1e9))
+		}
+		return strings.TrimRight(b.String(), "\n"), true
+
+	case "report":
+		f := strings.Fields(rest)
+		if len(f) != 3 {
+			return "error: want report <device> <endpoint> <snr-db>", true
+		}
+		snr, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return "error: " + err.Error(), true
+		}
+		d.bus.Publish(surfos.Report{DeviceID: f[0], EndpointID: f[1], ConfigIdx: 0, SNRdB: snr, Time: time.Now()})
+		return "ok", true
+
+	case "diagnose":
+		var b strings.Builder
+		for _, f := range d.mon.Diagnose(time.Now()) {
+			fmt.Fprintf(&b, "%s/%s: %v (expected %.1f dB, observed %.1f dB, %d reports)\n",
+				f.DeviceID, f.EndpointID, f.Verdict, f.ExpectedSNRdB, f.ObservedSNRdB, f.Samples)
+		}
+		if b.Len() == 0 {
+			return "no expectations installed (schedule a link task first)", true
+		}
+		return strings.TrimRight(b.String(), "\n"), true
+
+	case "demand":
+		calls, tasks, err := d.broker.HandleDemand(rest)
+		if err != nil {
+			return "error: " + err.Error(), true
+		}
+		var b strings.Builder
+		for _, c := range calls {
+			fmt.Fprintf(&b, "call: %s\n", c)
+		}
+		if err := d.orch.Reconcile(); err != nil {
+			fmt.Fprintf(&b, "reconcile warning: %v\n", err)
+		}
+		for _, t := range tasks {
+			got, _ := d.orch.Task(t.ID)
+			if got.Result != nil {
+				fmt.Fprintf(&b, "task %d %s: %s, %s=%.2f (share %.2f)\n",
+					got.ID, got.Kind, got.State, got.Result.MetricName, got.Result.Metric, got.Result.Share)
+				// Feed the monitor: link predictions become expectations the
+				// telemetry stream is checked against.
+				if lg, ok := got.Goal.(surfos.LinkGoal); ok && len(got.Result.Surfaces) > 0 {
+					d.mon.Expect(surfos.Expectation{
+						DeviceID:   got.Result.Surfaces[0],
+						EndpointID: lg.Endpoint,
+						SNRdB:      got.Result.Metric,
+					})
+				}
+			} else {
+				fmt.Fprintf(&b, "task %d %s: %s\n", got.ID, got.Kind, got.State)
+			}
+		}
+		return strings.TrimRight(b.String(), "\n"), true
+
+	case "tasks":
+		var b strings.Builder
+		for _, t := range d.orch.Tasks() {
+			fmt.Fprintf(&b, "task %d kind=%s prio=%d state=%s", t.ID, t.Kind, t.Priority, t.State)
+			if t.Result != nil {
+				fmt.Fprintf(&b, " %s=%.2f strategy=%s", t.Result.MetricName, t.Result.Metric, t.Result.Strategy)
+			}
+			if t.Err != nil {
+				fmt.Fprintf(&b, " err=%v", t.Err)
+			}
+			b.WriteByte('\n')
+		}
+		if b.Len() == 0 {
+			return "no tasks", true
+		}
+		return strings.TrimRight(b.String(), "\n"), true
+
+	case "plans":
+		var b strings.Builder
+		for _, p := range d.orch.Plans() {
+			fmt.Fprintf(&b, "plan %s @ %.1f GHz strategy=%s surfaces=%v entries=%d\n",
+				p.APID, p.FreqHz/1e9, p.Strategy, p.Surfaces, len(p.Entries))
+		}
+		if b.Len() == 0 {
+			return "no plans", true
+		}
+		return strings.TrimRight(b.String(), "\n"), true
+
+	case "devices":
+		var b strings.Builder
+		for _, dev := range d.hw.Surfaces() {
+			client, ok := d.clients[dev.ID]
+			if !ok {
+				fmt.Fprintf(&b, "%s (no southbound agent)\n", dev.ID)
+				continue
+			}
+			spec, err := client.GetSpec()
+			if err != nil {
+				fmt.Fprintf(&b, "%s southbound error: %v\n", dev.ID, err)
+				continue
+			}
+			act, _ := client.Active()
+			state := "unconfigured"
+			if act.HasActive {
+				state = "active=" + act.Label
+			}
+			fmt.Fprintf(&b, "%s model=%s %dx%d band=%.1f-%.1fGHz gran=%v cost=$%.0f %s\n",
+				dev.ID, spec.Model, spec.Rows, spec.Cols,
+				spec.FreqLowHz/1e9, spec.FreqHighHz/1e9, spec.Granularity, spec.CostUSD, state)
+		}
+		if b.Len() == 0 {
+			return "no devices", true
+		}
+		return strings.TrimRight(b.String(), "\n"), true
+
+	case "catalog":
+		var b strings.Builder
+		for _, s := range surfos.Catalog() {
+			fmt.Fprintf(&b, "%-12s %6.1f-%-6.1fGHz %-13s %-3s reconfigurable=%v\n",
+				s.Model, s.FreqLowHz/1e9, s.FreqHighHz/1e9, s.Control, s.OpMode, s.Reconfigurable)
+		}
+		return strings.TrimRight(b.String(), "\n"), true
+
+	case "end", "idle", "resume":
+		id, err := strconv.Atoi(rest)
+		if err != nil {
+			return "error: want a task id", true
+		}
+		switch cmd {
+		case "end":
+			err = d.orch.EndTask(id)
+		case "idle":
+			err = d.orch.SetIdle(id, true)
+		case "resume":
+			err = d.orch.SetIdle(id, false)
+		}
+		if err != nil {
+			return "error: " + err.Error(), true
+		}
+		if err := d.orch.Reconcile(); err != nil {
+			return "reconcile warning: " + err.Error(), true
+		}
+		return "ok", true
+
+	case "tick":
+		dur, err := time.ParseDuration(rest)
+		if err != nil {
+			return "error: " + err.Error(), true
+		}
+		if err := d.orch.Tick(dur); err != nil {
+			return "tick warning: " + err.Error(), true
+		}
+		return fmt.Sprintf("now %s", d.orch.Now().Format(time.TimeOnly)), true
+	}
+	return fmt.Sprintf("unknown command %q (try help)", cmd), true
+}
+
+func (d *daemon) serveConn(conn net.Conn) {
+	defer conn.Close()
+	fmt.Fprintf(conn, "surfos daemon ready; type help\n")
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for sc.Scan() {
+		reply, cont := d.handle(sc.Text())
+		if reply != "" {
+			fmt.Fprintln(conn, reply)
+		}
+		if !cont {
+			return
+		}
+	}
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7090", "northbound listen address")
+	surfaceList := flag.String("surfaces",
+		"NR-Surface@east_wall,NR-Surface@north_wall",
+		"comma-separated MODEL@MOUNT deployments")
+	flag.Parse()
+
+	d, err := newDaemon(*surfaceList)
+	if err != nil {
+		log.Fatalf("surfosd: %v", err)
+	}
+	defer d.close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("surfosd: %v", err)
+	}
+	log.Printf("northbound listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			return
+		}
+		go d.serveConn(conn)
+	}
+}

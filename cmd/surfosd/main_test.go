@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testDaemon(t *testing.T) *daemon {
+	t.Helper()
+	d, err := newDaemon("NR-Surface@east_wall,NR-Surface@north_wall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the optimizer for test speed.
+	d.orch.Opts.OptIters = 30
+	d.orch.Opts.GridStep = 1.5
+	d.orch.Opts.SensingGridStep = 2.5
+	d.orch.Opts.SensingBins = 11
+	d.orch.Opts.SensingSubcarriers = 3
+	t.Cleanup(d.close)
+	return d
+}
+
+func TestDaemonRejectsBadSurfaceSpec(t *testing.T) {
+	if _, err := newDaemon("garbage"); err == nil {
+		t.Error("malformed surface list accepted")
+	}
+	if _, err := newDaemon("NR-Surface@nowhere"); err == nil {
+		t.Error("unknown mount accepted")
+	}
+}
+
+func TestDaemonCommands(t *testing.T) {
+	d := testDaemon(t)
+
+	reply, cont := d.handle("help")
+	if !cont || !strings.Contains(reply, "demand") {
+		t.Errorf("help: %q", reply)
+	}
+
+	reply, _ = d.handle("catalog")
+	if !strings.Contains(reply, "mmWall") || !strings.Contains(reply, "AutoMS") {
+		t.Errorf("catalog missing models: %q", reply)
+	}
+
+	reply, _ = d.handle("devices")
+	if !strings.Contains(reply, "NR-Surface") || !strings.Contains(reply, "column-wise") {
+		t.Errorf("devices (southbound readback): %q", reply)
+	}
+	if !strings.Contains(reply, "unconfigured") {
+		t.Errorf("fresh devices should be unconfigured: %q", reply)
+	}
+
+	reply, _ = d.handle("tasks")
+	if reply != "no tasks" {
+		t.Errorf("tasks: %q", reply)
+	}
+
+	reply, _ = d.handle("demand please stream a movie on the tv tonight")
+	if !strings.Contains(reply, "enhance_link") || !strings.Contains(reply, "running") {
+		t.Errorf("demand: %q", reply)
+	}
+
+	reply, _ = d.handle("plans")
+	if !strings.Contains(reply, "strategy=") {
+		t.Errorf("plans: %q", reply)
+	}
+
+	// The surface now holds a configuration, visible over the southbound
+	// protocol.
+	reply, _ = d.handle("devices")
+	if !strings.Contains(reply, "active=") {
+		t.Errorf("devices after scheduling: %q", reply)
+	}
+
+	reply, _ = d.handle("end 1")
+	if reply != "ok" {
+		t.Errorf("end: %q", reply)
+	}
+	reply, _ = d.handle("plans")
+	if reply != "no plans" {
+		t.Errorf("plans after end: %q", reply)
+	}
+
+	reply, _ = d.handle("tick 250ms")
+	if !strings.Contains(reply, "now ") {
+		t.Errorf("tick: %q", reply)
+	}
+
+	reply, _ = d.handle("demand gibberish nobody understands")
+	if !strings.Contains(reply, "error") {
+		t.Errorf("bad demand: %q", reply)
+	}
+	reply, _ = d.handle("end notanumber")
+	if !strings.Contains(reply, "error") {
+		t.Errorf("bad end: %q", reply)
+	}
+	reply, _ = d.handle("frobnicate")
+	if !strings.Contains(reply, "unknown command") {
+		t.Errorf("unknown: %q", reply)
+	}
+	if _, cont := d.handle("quit"); cont {
+		t.Error("quit should end the session")
+	}
+}
+
+func TestDaemonIdleResume(t *testing.T) {
+	d := testDaemon(t)
+	if reply, _ := d.handle("demand charge my phone please"); !strings.Contains(reply, "init_powering") {
+		t.Fatalf("demand: %q", reply)
+	}
+	if reply, _ := d.handle("idle 1"); reply != "ok" {
+		t.Fatalf("idle: %q", reply)
+	}
+	if reply, _ := d.handle("plans"); reply != "no plans" {
+		t.Errorf("plans while idle: %q", reply)
+	}
+	if reply, _ := d.handle("resume 1"); reply != "ok" {
+		t.Fatalf("resume: %q", reply)
+	}
+	if reply, _ := d.handle("plans"); reply == "no plans" {
+		t.Error("no plans after resume")
+	}
+}
+
+func TestDaemonNorthboundOverTCP(t *testing.T) {
+	d := testDaemon(t)
+	client, server := net.Pipe()
+	go d.serveConn(server)
+	defer client.Close()
+
+	rd := bufio.NewReader(client)
+	banner, err := rd.ReadString('\n')
+	if err != nil || !strings.Contains(banner, "surfos daemon ready") {
+		t.Fatalf("banner: %q %v", banner, err)
+	}
+	if _, err := client.Write([]byte("catalog\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := rd.ReadString('\n')
+	if err != nil || !strings.Contains(line, "GHz") {
+		t.Fatalf("catalog line: %q %v", line, err)
+	}
+	if _, err := client.Write([]byte("quit\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonHazardsAndDiagnosis(t *testing.T) {
+	d := testDaemon(t)
+
+	// The deployed 24 GHz panels do not block their own band...
+	reply, _ := d.handle("hazards 24")
+	if !strings.Contains(reply, "no deployed panel") {
+		t.Errorf("in-band hazards: %q", reply)
+	}
+	// ...but they attenuate an out-of-band 28 GHz link (panel response).
+	reply, _ = d.handle("hazards 28")
+	if !strings.Contains(reply, "attenuates 28.0 GHz") {
+		t.Errorf("out-of-band hazards: %q", reply)
+	}
+	reply, _ = d.handle("hazards lots")
+	if !strings.Contains(reply, "error") {
+		t.Errorf("bad hazards arg: %q", reply)
+	}
+
+	// No expectations yet.
+	reply, _ = d.handle("diagnose")
+	if !strings.Contains(reply, "no expectations") {
+		t.Errorf("diagnose empty: %q", reply)
+	}
+
+	// Schedule a link demand: its prediction becomes an expectation.
+	reply, _ = d.handle("demand please stream a movie on the tv tonight")
+	if !strings.Contains(reply, "running") {
+		t.Fatalf("demand: %q", reply)
+	}
+	// Feed matching reports and diagnose healthy.
+	for i := 0; i < 5; i++ {
+		if reply, _ := d.handle("report s0-NR-Surface tv 99"); reply != "ok" {
+			t.Fatalf("report: %q", reply)
+		}
+	}
+	waitFor(t, func() bool {
+		reply, _ := d.handle("diagnose")
+		return strings.Contains(reply, "healthy")
+	})
+
+	// Crater the reports: blockage shows up.
+	for i := 0; i < 10; i++ {
+		d.handle("report s0-NR-Surface tv -40")
+	}
+	waitFor(t, func() bool {
+		reply, _ := d.handle("diagnose")
+		return strings.Contains(reply, "endpoint-blocked")
+	})
+
+	if reply, _ := d.handle("report onlytwo args"); !strings.Contains(reply, "error") {
+		t.Errorf("bad report: %q", reply)
+	}
+}
+
+// waitFor polls a condition (telemetry flows through an async bus).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never satisfied")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,80 @@
+package surfos_test
+
+import (
+	"fmt"
+	"time"
+
+	"surfos"
+)
+
+// Example shows the minimal SurfOS flow: deploy a surface, register an AP,
+// request the connectivity service, reconcile.
+func Example() {
+	apt := surfos.NewApartment()
+	hw := surfos.NewHardware()
+	surfos.Deploy(hw, "east0", surfos.ModelNRSurface,
+		apt.Mounts[surfos.MountEastWall], 24, 24)
+	hw.AddAP(&surfos.AccessPoint{ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 16})
+
+	orch, _ := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{})
+	task, _ := orch.EnhanceLink(surfos.LinkGoal{
+		Endpoint: "laptop", Pos: surfos.V(2.5, 5.5, 1.2), MinSNRdB: 10}, 1)
+	orch.Reconcile()
+	fmt.Println(task.Result.MetricName, task.Result.Strategy)
+	// Output: snr_db solo
+}
+
+// ExampleBroker_HandleDemand translates a natural-language demand into
+// service calls (the paper's Figure 6 path) and schedules them.
+func ExampleBroker_HandleDemand() {
+	apt := surfos.NewApartment()
+	hw := surfos.NewHardware()
+	surfos.Deploy(hw, "east0", surfos.ModelNRSurface,
+		apt.Mounts[surfos.MountEastWall], 16, 16)
+	hw.AddAP(&surfos.AccessPoint{ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 8})
+	orch, _ := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{OptIters: 30, GridStep: 1.5})
+
+	tr := surfos.NewTranslator()
+	br, _ := surfos.NewBroker(tr, orch, surfos.Inventory{
+		Devices:     map[string]surfos.Vec3{"tv": surfos.V(1.5, 6.5, 1.5)},
+		RoomRegions: map[string]string{"room_id": surfos.RegionTargetRoom},
+	})
+	calls, _, _ := br.HandleDemand("please stream a movie on the tv")
+	for _, c := range calls {
+		fmt.Println(c)
+	}
+	// Output: enhance_link("tv", snr=25.0, latency=100.0)
+}
+
+// ExampleGenerateSpec turns a vendor datasheet extract into a registered
+// hardware specification (the §3.4 driver-generation path).
+func ExampleGenerateSpec() {
+	spec, _ := surfos.GenerateSpec(`
+model: Acme X1
+band: 23-25 GHz
+control: phase
+mode: reflective
+granularity: column
+bits: 2
+cost_per_element: 2.5
+`)
+	fmt.Println(spec.Model, spec.Granularity, spec.PhaseBits)
+	// Output: Acme X1 column-wise 2
+}
+
+// ExampleMonitor diagnoses an endpoint whose reports fall far below the
+// simulator's prediction.
+func ExampleMonitor() {
+	mon := surfos.NewMonitor()
+	mon.Expect(surfos.Expectation{DeviceID: "panel0", EndpointID: "phone", SNRdB: 20})
+	now := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		mon.Observe(surfos.Report{DeviceID: "panel0", EndpointID: "phone", ConfigIdx: 0, SNRdB: 3, Time: now})
+	}
+	for _, f := range mon.Problems(now) {
+		fmt.Println(f.DeviceID, f.EndpointID, f.Verdict)
+	}
+	// Output: panel0 phone endpoint-blocked
+}

@@ -1,0 +1,97 @@
+// Intent broker (the paper's Figure 6 scenario): natural-language user
+// demands flow through the service broker, which renders them to SurfOS
+// service calls and dispatches them to the orchestrator. Pass utterances
+// as arguments, or run without arguments for the paper's two examples.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"surfos"
+)
+
+func main() {
+	apt := surfos.NewApartment()
+	hw := surfos.NewHardware()
+	if _, err := surfos.Deploy(hw, "east0", surfos.ModelNRSurface,
+		apt.Mounts[surfos.MountEastWall], 24, 24); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := surfos.Deploy(hw, "north0", surfos.ModelNRSurface,
+		apt.Mounts[surfos.MountNorthWall], 16, 16); err != nil {
+		log.Fatal(err)
+	}
+	if err := hw.AddAP(&surfos.AccessPoint{
+		ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 12,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	orch, err := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{
+		OptIters: 60, GridStep: 1.0, SensingGridStep: 1.8,
+		SensingBins: 31, SensingSubcarriers: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr := surfos.NewTranslator()
+	tr.Rooms["bedroom"] = "room_id"
+	br, err := surfos.NewBroker(tr, orch, surfos.Inventory{
+		Devices: map[string]surfos.Vec3{
+			"VR_headset": surfos.V(2.5, 5.5, 1.2),
+			"laptop":     surfos.V(3.0, 5.0, 1.0),
+			"phone":      surfos.V(5.0, 6.0, 1.0),
+			"tv":         surfos.V(1.5, 6.5, 1.5),
+			"sensor":     surfos.V(6.2, 6.2, 0.8),
+			"console":    surfos.V(2.0, 6.0, 0.6),
+		},
+		RoomRegions: map[string]string{
+			"room_id":      surfos.RegionTargetRoom,
+			"meeting_room": surfos.RegionTargetRoom,
+		},
+		EvePos: surfos.V(6.0, 4.5, 1.2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	utterances := os.Args[1:]
+	if len(utterances) == 0 {
+		utterances = []string{
+			"I want to start VR gaming in this room.",
+			"I want to have an online meeting while charging my phone.",
+		}
+	}
+
+	for _, u := range utterances {
+		fmt.Printf("User Input: %s\n", u)
+		calls, tasks, err := br.HandleDemand(u)
+		if err != nil {
+			fmt.Printf("  error: %v\n\n", err)
+			continue
+		}
+		for _, c := range calls {
+			fmt.Printf("  %s\n", c)
+		}
+		if err := orch.Reconcile(); err != nil {
+			fmt.Printf("  reconcile warning: %v\n", err)
+		}
+		for _, t := range tasks {
+			got, _ := orch.Task(t.ID)
+			if got.Result != nil {
+				fmt.Printf("  -> task %d %s: %s, %s=%.2f via %v\n",
+					got.ID, got.Kind, got.State, got.Result.MetricName, got.Result.Metric, got.Result.Strategy)
+			} else {
+				fmt.Printf("  -> task %d %s: %s (%v)\n", got.ID, got.Kind, got.State, got.Err)
+			}
+			// Keep the demo independent per utterance.
+			if err := orch.EndTask(got.ID); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+}

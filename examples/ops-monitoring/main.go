@@ -1,0 +1,127 @@
+// Operations example: the lifecycle a building operator sees.
+//
+//  1. Deployment automation (paper §5): SurfOS evaluates candidate mounts
+//     for a new panel and ranks them through the channel simulator.
+//  2. Service scheduling: the best placement serves a link task.
+//  3. Monitoring and diagnosis (paper Figure 1): endpoint telemetry is
+//     checked against the simulator's predictions; a blockage event shows
+//     up as a diagnosis finding.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"surfos"
+)
+
+func main() {
+	apt := surfos.NewApartment()
+	spec, err := surfos.LookupModel(surfos.ModelNRSurface)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. plan the deployment ---
+	candidates, err := surfos.PlanDeployment(surfos.PlacementRequest{
+		Scene: apt.Scene,
+		AP:    apt.AP,
+		// BeamAP carries the AP array gain; the budget holds only the
+		// client-side antenna gain.
+		Budget: surfos.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6},
+		Region: surfos.RegionTargetRoom,
+		Spec:   spec,
+		Rows:   16, Cols: 16,
+		Mounts: []surfos.MountSpot{
+			apt.Mounts[surfos.MountEastWall],
+			apt.Mounts[surfos.MountNorthWall],
+		},
+		GridStep: 1.0,
+		OptIters: 60,
+		BeamAP:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployment plan (best first):")
+	for _, c := range candidates {
+		fmt.Printf("  %-11s median SNR %.1f dB, AP visibility %.2f, cost $%.0f\n",
+			c.Mount.Name, c.MedianSNRdB, c.APVisibility, c.CostUSD)
+	}
+	best := candidates[0].Mount
+
+	// --- 2. deploy and schedule ---
+	hw := surfos.NewHardware()
+	if _, err := surfos.Deploy(hw, "panel0", surfos.ModelNRSurface, best, 16, 16); err != nil {
+		log.Fatal(err)
+	}
+	if err := hw.AddAP(&surfos.AccessPoint{
+		ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 8,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	orch, err := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{OptIters: 60, GridStep: 1.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	phonePos := surfos.V(2.5, 5.5, 1.2)
+	task, err := orch.EnhanceLink(surfos.LinkGoal{Endpoint: "phone", Pos: phonePos}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := orch.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+	got, _ := orch.Task(task.ID)
+	predicted := got.Result.Metric
+	fmt.Printf("\nscheduled %v on %s: predicted SNR %.1f dB\n", got.Kind, best.Name, predicted)
+
+	// --- 3. monitor the deployment ---
+	mon := surfos.NewMonitor()
+	mon.Expect(surfos.Expectation{DeviceID: "panel0", EndpointID: "phone", SNRdB: predicted})
+
+	bus := surfos.NewTelemetryBus()
+	stop := mon.Run(bus)
+	defer stop()
+
+	now := time.Now()
+	// Phase 1: the phone reports what the simulator predicted.
+	for i := 0; i < 5; i++ {
+		bus.Publish(surfos.Report{DeviceID: "panel0", EndpointID: "phone",
+			ConfigIdx: 0, SNRdB: predicted - 1, Time: now})
+	}
+	waitForSamples(mon, now, 5)
+	fmt.Println("\nwhile the room is clear:")
+	printFindings(mon, now)
+
+	// Phase 2: someone parks a cabinet in the beam — reports crater.
+	for i := 0; i < 8; i++ {
+		bus.Publish(surfos.Report{DeviceID: "panel0", EndpointID: "phone",
+			ConfigIdx: 0, SNRdB: predicted - 20, Time: now.Add(time.Second)})
+	}
+	waitForSamples(mon, now.Add(time.Second), 13)
+	fmt.Println("\nafter a blockage event:")
+	printFindings(mon, now.Add(2*time.Second))
+	fmt.Println("\n→ the orchestrator would now re-reconcile or the device would switch codebook entries")
+}
+
+// waitForSamples spins until the bus consumer has folded in n reports.
+func waitForSamples(mon *surfos.Monitor, at time.Time, n int) {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		fs := mon.Diagnose(at)
+		if len(fs) > 0 && fs[len(fs)-1].Samples >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func printFindings(mon *surfos.Monitor, at time.Time) {
+	for _, f := range mon.Diagnose(at) {
+		fmt.Printf("  %s/%s: %v (expected %.1f dB, observed %.1f dB over %d reports)\n",
+			f.DeviceID, f.EndpointID, f.Verdict, f.ExpectedSNRdB, f.ObservedSNRdB, f.Samples)
+	}
+}

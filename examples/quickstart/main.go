@@ -1,0 +1,69 @@
+// Quickstart: deploy one programmable surface in the reference apartment,
+// ask SurfOS to enhance a laptop's link in the blocked bedroom, and print
+// the achieved SNR against the bare-environment baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfos"
+)
+
+func main() {
+	// The paper's two-room apartment: an AP in the living room, a bedroom
+	// behind a concrete wall with a doorway.
+	apt := surfos.NewApartment()
+	hw := surfos.NewHardware()
+
+	// Deploy an NR-Surface-class programmable panel (24 GHz, column-wise,
+	// 2-bit) on the bedroom's east wall — visible to the AP through the
+	// doorway.
+	if _, err := surfos.Deploy(hw, "east0", surfos.ModelNRSurface,
+		apt.Mounts[surfos.MountEastWall], 24, 24); err != nil {
+		log.Fatal(err)
+	}
+
+	// Register the AP: SurfOS manages non-surface hardware too.
+	if err := hw.AddAP(&surfos.AccessPoint{
+		ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 16,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The orchestrator is the central control plane.
+	orch, err := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Request the connectivity service: enhance_link, the paper's first
+	// service API.
+	laptop := surfos.V(2.5, 5.5, 1.2)
+	task, err := orch.EnhanceLink(surfos.LinkGoal{
+		Endpoint: "laptop", Pos: laptop, MinSNRdB: 10,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reconcile schedules hardware, optimizes the surface configuration,
+	// and pushes it to the device.
+	if err := orch.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+
+	got, _ := orch.Task(task.ID)
+	fmt.Printf("task %d (%s) state=%s\n", got.ID, got.Kind, got.State)
+	fmt.Printf("achieved SNR at the laptop: %.1f dB (goal %.0f dB, satisfied=%v)\n",
+		got.Result.Metric, 10.0, got.Result.Satisfied)
+	fmt.Printf("strategy=%s surfaces=%v\n", got.Result.Strategy, got.Result.Surfaces)
+
+	// Inventory view: what the hardware manager knows.
+	for _, dev := range hw.Surfaces() {
+		spec := dev.Drv.Spec()
+		fmt.Printf("device %s: %s at %s, %d elements, $%.0f\n",
+			dev.ID, spec.Model, dev.Mount, dev.Drv.Surface().NumElements(), dev.Drv.CostUSD())
+	}
+}

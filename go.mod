@@ -1,0 +1,3 @@
+module surfos
+
+go 1.22

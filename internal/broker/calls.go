@@ -1,0 +1,94 @@
+// Package broker implements the SurfOS service broker (paper §3.3): the
+// base daemon that translates application-level end-user demands into
+// surface service invocations, serving existing applications that are not
+// surface-aware.
+//
+// The paper proposes LLMs for the translation step (§3.4, Figure 6). This
+// environment is offline, so the broker ships a deterministic intent
+// translator: a tokenizer plus a slot-filling grammar over demand
+// profiles, producing exactly the service calls of the paper's Figure 6
+// for its example utterances. The translator exercises the same
+// integration seam an LLM would — SurfOS's typed service API as the
+// compilation target — which is the property the paper demonstrates.
+package broker
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Arg is one named argument of a service call.
+type Arg struct {
+	Name  string // empty for positional arguments
+	Value any
+}
+
+// Call is a rendered service invocation, e.g.
+// enhance_link("VR_headset", snr=30.0, latency=10.0).
+type Call struct {
+	Function string
+	Args     []Arg
+}
+
+// String renders the call in the paper's Figure 6 syntax.
+func (c Call) String() string {
+	var b strings.Builder
+	b.WriteString(c.Function)
+	b.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if a.Name != "" {
+			b.WriteString(a.Name)
+			b.WriteByte('=')
+		}
+		switch v := a.Value.(type) {
+		case string:
+			fmt.Fprintf(&b, "%q", v)
+		case float64:
+			fmt.Fprintf(&b, "%.1f", v)
+		case int:
+			fmt.Fprintf(&b, "%d", v)
+		default:
+			fmt.Fprintf(&b, "%v", v)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Arg lookup helpers used by the dispatcher.
+
+// Positional returns the i-th unnamed argument.
+func (c Call) Positional(i int) (any, bool) {
+	n := 0
+	for _, a := range c.Args {
+		if a.Name == "" {
+			if n == i {
+				return a.Value, true
+			}
+			n++
+		}
+	}
+	return nil, false
+}
+
+// Named returns the named argument's value.
+func (c Call) Named(name string) (any, bool) {
+	for _, a := range c.Args {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Service call function names (the paper's service interface).
+const (
+	FuncEnhanceLink      = "enhance_link"
+	FuncEnableSensing    = "enable_sensing"
+	FuncOptimizeCoverage = "optimize_coverage"
+	FuncInitPowering     = "init_powering"
+	FuncSecureLink       = "secure_link"
+)

@@ -1,0 +1,169 @@
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"surfos/internal/geom"
+	"surfos/internal/orchestrator"
+)
+
+// Inventory resolves endpoint names mentioned in demands ("VR_headset",
+// "phone") to positions in the environment, and room identifiers to scene
+// regions. A real deployment would feed this from device registration and
+// localization; here it is the broker's static knowledge base.
+type Inventory struct {
+	// Devices maps endpoint names to positions.
+	Devices map[string]geom.Vec3
+	// RoomRegions maps the translator's room identifiers to scene region
+	// names.
+	RoomRegions map[string]string
+	// EvePos is the assumed eavesdropper location for secure_link calls.
+	EvePos geom.Vec3
+}
+
+// Broker connects the translator to the orchestrator: it accepts user
+// demands, renders them to service calls, and dispatches each call through
+// the orchestrator's service API.
+type Broker struct {
+	T   *Translator
+	O   *orchestrator.Orchestrator
+	Inv Inventory
+}
+
+// New builds a broker.
+func New(t *Translator, o *orchestrator.Orchestrator, inv Inventory) (*Broker, error) {
+	if t == nil || o == nil {
+		return nil, fmt.Errorf("broker: needs a translator and an orchestrator")
+	}
+	if inv.Devices == nil {
+		inv.Devices = map[string]geom.Vec3{}
+	}
+	if inv.RoomRegions == nil {
+		inv.RoomRegions = map[string]string{}
+	}
+	return &Broker{T: t, O: o, Inv: inv}, nil
+}
+
+// HandleDemand translates an utterance and dispatches the resulting calls,
+// returning both the calls (for display, as in the paper's Figure 6) and
+// the created tasks.
+func (b *Broker) HandleDemand(utterance string) ([]Call, []*orchestrator.Task, error) {
+	calls, err := b.T.Translate(utterance)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tasks []*orchestrator.Task
+	for _, c := range calls {
+		t, err := b.Dispatch(c)
+		if err != nil {
+			return calls, tasks, fmt.Errorf("broker: dispatching %s: %w", c, err)
+		}
+		tasks = append(tasks, t)
+	}
+	return calls, tasks, nil
+}
+
+// Dispatch invokes one service call on the orchestrator.
+func (b *Broker) Dispatch(c Call) (*orchestrator.Task, error) {
+	switch c.Function {
+	case FuncEnhanceLink:
+		dev, _ := c.Positional(0)
+		name, _ := dev.(string)
+		pos, err := b.devicePos(name)
+		if err != nil {
+			return nil, err
+		}
+		goal := orchestrator.LinkGoal{Endpoint: name, Pos: pos}
+		if v, ok := c.Named("snr"); ok {
+			goal.MinSNRdB = toF(v)
+		}
+		if v, ok := c.Named("latency"); ok {
+			goal.MaxLatency = time.Duration(toF(v) * float64(time.Millisecond))
+		}
+		return b.O.EnhanceLink(goal, 1)
+
+	case FuncEnableSensing:
+		room, _ := c.Positional(0)
+		region, err := b.region(room)
+		if err != nil {
+			return nil, err
+		}
+		goal := orchestrator.SensingGoal{Region: region, Type: "tracking"}
+		if v, ok := c.Named("type"); ok {
+			goal.Type, _ = v.(string)
+		}
+		if v, ok := c.Named("duration"); ok {
+			goal.Duration = time.Duration(toF(v) * float64(time.Second))
+		}
+		return b.O.EnableSensing(goal, 1)
+
+	case FuncOptimizeCoverage:
+		room, _ := c.Positional(0)
+		region, err := b.region(room)
+		if err != nil {
+			return nil, err
+		}
+		goal := orchestrator.CoverageGoal{Region: region}
+		if v, ok := c.Named("median_snr"); ok {
+			goal.MedianSNRdB = toF(v)
+		}
+		return b.O.OptimizeCoverage(goal, 1)
+
+	case FuncInitPowering:
+		dev, _ := c.Positional(0)
+		name, _ := dev.(string)
+		pos, err := b.devicePos(name)
+		if err != nil {
+			return nil, err
+		}
+		goal := orchestrator.PowerGoal{Device: name, Pos: pos}
+		if v, ok := c.Named("duration"); ok {
+			goal.Duration = time.Duration(toF(v) * float64(time.Second))
+		}
+		return b.O.InitPowering(goal, 1)
+
+	case FuncSecureLink:
+		dev, _ := c.Positional(0)
+		name, _ := dev.(string)
+		pos, err := b.devicePos(name)
+		if err != nil {
+			return nil, err
+		}
+		goal := orchestrator.SecurityGoal{Endpoint: name, UserPos: pos, EvePos: b.Inv.EvePos}
+		return b.O.SecureLink(goal, 1)
+	}
+	return nil, fmt.Errorf("broker: unknown service function %q", c.Function)
+}
+
+func (b *Broker) devicePos(name string) (geom.Vec3, error) {
+	if name == "" {
+		return geom.Vec3{}, fmt.Errorf("broker: call missing a device name")
+	}
+	pos, ok := b.Inv.Devices[name]
+	if !ok {
+		return geom.Vec3{}, fmt.Errorf("broker: unknown device %q", name)
+	}
+	return pos, nil
+}
+
+func (b *Broker) region(room any) (string, error) {
+	name, _ := room.(string)
+	if name == "" {
+		return "", fmt.Errorf("broker: call missing a room")
+	}
+	if r, ok := b.Inv.RoomRegions[name]; ok {
+		return r, nil
+	}
+	return name, nil
+}
+
+func toF(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	}
+	return 0
+}

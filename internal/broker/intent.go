@@ -1,0 +1,274 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile is one demand template: when an utterance matches its keywords,
+// the profile emits service calls. Profiles encode the application
+// knowledge the paper assigns to the demand-translation layer (VR needs
+// high throughput and low latency, smart home needs sensing, sensitive
+// transfers need security — §2.1 "User applications").
+type Profile struct {
+	Name string
+	// Keywords that trigger this profile; an utterance matches when any
+	// keyword appears (after folding). Multi-word keywords match as
+	// substrings of the folded utterance.
+	Keywords []string
+	// Build emits the profile's calls for a resolved context.
+	Build func(ctx *Context) []Call
+}
+
+// Context carries resolved slots for call construction.
+type Context struct {
+	// Room is the location the demand applies to.
+	Room string
+	// Matched collects the profile names that fired (for explanations).
+	Matched []string
+}
+
+// Translator converts natural-language demands into service calls.
+type Translator struct {
+	// DefaultRoom is used when the utterance doesn't name a room
+	// ("this room" and friends resolve here).
+	DefaultRoom string
+	// Rooms maps room aliases ("meeting room") to region identifiers.
+	Rooms map[string]string
+
+	profiles []Profile
+}
+
+// NewTranslator builds a translator with the default profile library.
+func NewTranslator() *Translator {
+	t := &Translator{
+		DefaultRoom: "room_id",
+		Rooms:       map[string]string{},
+	}
+	t.profiles = defaultProfiles()
+	return t
+}
+
+// AddProfile registers an additional demand profile.
+func (t *Translator) AddProfile(p Profile) { t.profiles = append(t.profiles, p) }
+
+// Profiles returns the registered profile names, sorted.
+func (t *Translator) Profiles() []string {
+	out := make([]string, len(t.profiles))
+	for i, p := range t.profiles {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fold normalizes an utterance for matching.
+func fold(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == ' ':
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return " " + strings.Join(strings.Fields(b.String()), " ") + " "
+}
+
+// Translate maps an utterance to service calls. Multiple profiles can fire
+// for compound demands ("online meeting while charging my phone");
+// duplicate calls are removed, first occurrence wins.
+func (t *Translator) Translate(utterance string) ([]Call, error) {
+	folded := fold(utterance)
+	ctx := &Context{Room: t.resolveRoom(folded)}
+
+	var calls []Call
+	for _, p := range t.profiles {
+		if !matches(folded, p.Keywords) {
+			continue
+		}
+		ctx.Matched = append(ctx.Matched, p.Name)
+		calls = append(calls, p.Build(ctx)...)
+	}
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("broker: no demand profile matches %q", utterance)
+	}
+	return dedupe(calls), nil
+}
+
+func matches(folded string, keywords []string) bool {
+	for _, k := range keywords {
+		if strings.Contains(folded, " "+k+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveRoom finds a named room alias in the utterance, falling back to
+// the default.
+func (t *Translator) resolveRoom(folded string) string {
+	// Longest alias first so "meeting room" beats "room".
+	aliases := make([]string, 0, len(t.Rooms))
+	for a := range t.Rooms {
+		aliases = append(aliases, a)
+	}
+	sort.Slice(aliases, func(i, j int) bool { return len(aliases[i]) > len(aliases[j]) })
+	for _, a := range aliases {
+		if strings.Contains(folded, " "+fold(a)[1:len(fold(a))-1]+" ") {
+			return t.Rooms[a]
+		}
+	}
+	// "meeting" implies the meeting room when one is registered, matching
+	// the paper's second example.
+	if strings.Contains(folded, " meeting ") {
+		if r, ok := t.Rooms["meeting room"]; ok {
+			return r
+		}
+		return "meeting_room"
+	}
+	return t.DefaultRoom
+}
+
+func dedupe(calls []Call) []Call {
+	seen := make(map[string]bool, len(calls))
+	out := calls[:0]
+	for _, c := range calls {
+		key := c.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// defaultProfiles is the demand library; the first two reproduce the
+// paper's Figure 6 examples verbatim.
+func defaultProfiles() []Profile {
+	return []Profile{
+		{
+			Name:     "vr-gaming",
+			Keywords: []string{"vr", "virtual reality", "vr gaming"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncEnhanceLink, Args: []Arg{
+						{Value: "VR_headset"}, {Name: "snr", Value: 30.0}, {Name: "latency", Value: 10.0},
+					}},
+					{Function: FuncEnableSensing, Args: []Arg{
+						{Value: ctx.Room}, {Name: "type", Value: "tracking"}, {Name: "duration", Value: 3600},
+					}},
+					{Function: FuncOptimizeCoverage, Args: []Arg{
+						{Value: ctx.Room}, {Name: "median_snr", Value: 25},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "online-meeting",
+			Keywords: []string{"meeting", "video call", "conference"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncEnhanceLink, Args: []Arg{
+						{Value: "laptop"}, {Name: "snr", Value: 20.0}, {Name: "latency", Value: 50.0},
+					}},
+					{Function: FuncEnableSensing, Args: []Arg{
+						{Value: ctx.Room}, {Name: "type", Value: "tracking"}, {Name: "duration", Value: 3600},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "charging",
+			Keywords: []string{"charge", "charging", "battery", "power my"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncInitPowering, Args: []Arg{
+						{Value: "phone"}, {Name: "duration", Value: 3600},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "video-streaming",
+			Keywords: []string{"stream", "streaming", "movie", "watch a film"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncEnhanceLink, Args: []Arg{
+						{Value: "tv"}, {Name: "snr", Value: 25.0}, {Name: "latency", Value: 100.0},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "coverage-complaint",
+			Keywords: []string{"slow wifi", "bad signal", "dead zone", "no coverage", "poor connection"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncOptimizeCoverage, Args: []Arg{
+						{Value: ctx.Room}, {Name: "median_snr", Value: 25},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "motion-sensing",
+			Keywords: []string{"motion", "intruder", "fall detection", "track people", "occupancy"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncEnableSensing, Args: []Arg{
+						{Value: ctx.Room}, {Name: "type", Value: "motion"}, {Name: "duration", Value: 3600},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "console-gaming",
+			Keywords: []string{"gaming session", "game night", "play games", "console"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncEnhanceLink, Args: []Arg{
+						{Value: "console"}, {Name: "snr", Value: 25.0}, {Name: "latency", Value: 20.0},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "bulk-transfer",
+			Keywords: []string{"backup", "file transfer", "sync my", "upload everything"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncEnhanceLink, Args: []Arg{
+						{Value: "laptop"}, {Name: "snr", Value: 28.0}, {Name: "latency", Value: 500.0},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "iot-powering",
+			Keywords: []string{"sensor battery", "power the sensors", "keep the tags alive", "energy harvesting"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncInitPowering, Args: []Arg{
+						{Value: "sensor"}, {Name: "duration", Value: 86400},
+					}},
+				}
+			},
+		},
+		{
+			Name:     "secure-transfer",
+			Keywords: []string{"secure", "sensitive", "private", "confidential"},
+			Build: func(ctx *Context) []Call {
+				return []Call{
+					{Function: FuncSecureLink, Args: []Arg{
+						{Value: "laptop"}, {Name: "room", Value: ctx.Room},
+					}},
+				}
+			},
+		},
+	}
+}

@@ -1,0 +1,259 @@
+package ctrlproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"surfos/internal/driver"
+	"surfos/internal/surface"
+)
+
+// Agent is the device-side endpoint of the control protocol: it exposes
+// one surface driver to the control plane over TCP, the metasurface
+// analogue of a switch agent. An Agent can serve multiple controller
+// connections (e.g. a live controller plus a diagnostic CLI).
+type Agent struct {
+	DeviceID string
+	Mount    string
+	Drv      *driver.Driver
+	// Logf receives diagnostic messages; nil silences them.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]*sync.Mutex // per-connection write locks
+	closed   bool
+}
+
+// NewAgent wraps a driver for serving.
+func NewAgent(deviceID, mount string, drv *driver.Driver) (*Agent, error) {
+	if deviceID == "" || drv == nil {
+		return nil, fmt.Errorf("ctrlproto: agent needs a device id and driver")
+	}
+	return &Agent{DeviceID: deviceID, Mount: mount, Drv: drv, conns: make(map[net.Conn]*sync.Mutex)}, nil
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address. Serving continues until Close.
+func (a *Agent) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("ctrlproto: agent closed")
+	}
+	a.listener = ln
+	a.mu.Unlock()
+	go a.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (a *Agent) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			return
+		}
+		a.conns[conn] = &sync.Mutex{}
+		a.mu.Unlock()
+		go a.serveConn(conn)
+	}
+}
+
+// Close stops the agent and drops all connections.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	if a.listener != nil {
+		a.listener.Close()
+	}
+	for c := range a.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// ServeConn handles one already-established connection synchronously until
+// it fails or the peer disconnects; useful for tests over net.Pipe.
+func (a *Agent) ServeConn(conn net.Conn) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		conn.Close()
+		return
+	}
+	a.conns[conn] = &sync.Mutex{}
+	a.mu.Unlock()
+	a.serveConn(conn)
+}
+
+func (a *Agent) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+	}()
+	a.mu.Lock()
+	wmu := a.conns[conn]
+	a.mu.Unlock()
+	if wmu == nil {
+		return
+	}
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				a.logf("agent %s: read: %v", a.DeviceID, err)
+			}
+			return
+		}
+		reply := a.handle(f)
+		wmu.Lock()
+		err = WriteFrame(conn, reply)
+		wmu.Unlock()
+		if err != nil {
+			a.logf("agent %s: write: %v", a.DeviceID, err)
+			return
+		}
+	}
+}
+
+// PushFeedback broadcasts an unsolicited endpoint report (correlation 0)
+// to every connected controller — the agent-side feedback path of the
+// paper's control/data decoupling.
+func (a *Agent) PushFeedback(m FeedbackMsg) error {
+	f := Frame{Type: MsgFeedback, Corr: 0, Payload: m.Encode()}
+	a.mu.Lock()
+	conns := make(map[net.Conn]*sync.Mutex, len(a.conns))
+	for c, l := range a.conns {
+		conns[c] = l
+	}
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return errors.New("ctrlproto: agent closed")
+	}
+	if len(conns) == 0 {
+		return errors.New("ctrlproto: no controller connected")
+	}
+	var firstErr error
+	for c, l := range conns {
+		l.Lock()
+		err := WriteFrame(c, f)
+		l.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// handle dispatches one request frame and builds the reply.
+func (a *Agent) handle(f Frame) Frame {
+	fail := func(err error) Frame {
+		return Frame{Type: MsgError, Corr: f.Corr, Payload: ErrorMsg{Text: err.Error()}.Encode()}
+	}
+	ack := Frame{Type: MsgAck, Corr: f.Corr}
+
+	switch f.Type {
+	case MsgHello:
+		return Frame{Type: MsgHelloReply, Corr: f.Corr, Payload: Hello{
+			DeviceID: a.DeviceID, Model: a.Drv.Spec().Model, Mount: a.Mount,
+		}.Encode()}
+
+	case MsgGetSpec:
+		spec := a.Drv.Spec()
+		layout := a.Drv.Surface().Layout
+		return Frame{Type: MsgSpecReply, Corr: f.Corr, Payload: SpecReply{
+			Model:             spec.Model,
+			FreqLowHz:         spec.FreqLowHz,
+			FreqHighHz:        spec.FreqHighHz,
+			Control:           spec.Control,
+			OpMode:            spec.OpMode,
+			Granularity:       spec.Granularity,
+			Reconfigurable:    spec.Reconfigurable,
+			PhaseBits:         uint8(spec.PhaseBits),
+			ControlDelayNanos: uint64(spec.ControlDelay.Nanoseconds()),
+			Rows:              uint32(layout.Rows),
+			Cols:              uint32(layout.Cols),
+			CostUSD:           a.Drv.CostUSD(),
+		}.Encode()}
+
+	case MsgShiftPhase:
+		m, err := DecodeConfigMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.Drv.ShiftPhase(m.Config()); err != nil {
+			return fail(err)
+		}
+		return ack
+
+	case MsgSetAmplitude:
+		m, err := DecodeConfigMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.Drv.SetAmplitude(m.Config()); err != nil {
+			return fail(err)
+		}
+		return ack
+
+	case MsgStoreCodebook:
+		m, err := DecodeCodebookMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		cfgs := make([]surface.Config, len(m.Entries))
+		for i, vals := range m.Entries {
+			cfgs[i] = surface.Config{Property: m.Property, Values: vals}
+		}
+		if err := a.Drv.StoreCodebook(m.Labels, cfgs); err != nil {
+			return fail(err)
+		}
+		return ack
+
+	case MsgSelect:
+		m, err := DecodeSelectMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.Drv.Select(int(m.Index)); err != nil {
+			return fail(err)
+		}
+		return ack
+
+	case MsgActiveQuery:
+		cfg, label, ok := a.Drv.Active()
+		return Frame{Type: MsgActiveReply, Corr: f.Corr, Payload: ActiveReply{
+			HasActive: ok, Label: label, Property: cfg.Property, Values: cfg.Values,
+		}.Encode()}
+
+	default:
+		return fail(fmt.Errorf("ctrlproto: agent cannot handle %v", f.Type))
+	}
+}

@@ -1,0 +1,220 @@
+package ctrlproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"surfos/internal/surface"
+)
+
+// Client is the controller-side endpoint: one connection to a surface
+// agent with pipelined request/reply correlation and an optional feedback
+// stream. Safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan Frame
+	closed  bool
+	readErr error
+
+	// Feedback receives unsolicited agent pushes (correlation 0). Buffered;
+	// overflow drops.
+	Feedback chan FeedbackMsg
+	// Timeout bounds each request round trip (default 5s).
+	Timeout time.Duration
+}
+
+// Dial connects to an agent at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		nextID:   1,
+		pending:  make(map[uint32]chan Frame),
+		Feedback: make(chan FeedbackMsg, 64),
+		Timeout:  5 * time.Second,
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears down the connection; in-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.closed = true
+			c.mu.Unlock()
+			c.conn.Close()
+			return
+		}
+		if f.Corr == 0 && f.Type == MsgFeedback {
+			if m, err := DecodeFeedbackMsg(f.Payload); err == nil {
+				select {
+				case c.Feedback <- m:
+				default: // drop stale feedback
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.Corr]
+		if ok {
+			delete(c.pending, f.Corr)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+			close(ch)
+		}
+	}
+}
+
+// roundTrip sends a request and waits for the correlated reply.
+func (c *Client) roundTrip(t MsgType, payload []byte) (Frame, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("ctrlproto: client closed")
+		}
+		return Frame{}, err
+	}
+	id := c.nextID
+	c.nextID++
+	if c.nextID == 0 { // correlation 0 is reserved for pushes
+		c.nextID = 1
+	}
+	ch := make(chan Frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := WriteFrame(c.conn, Frame{Type: t, Corr: id, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Frame{}, err
+	}
+
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return Frame{}, fmt.Errorf("ctrlproto: connection lost awaiting %v", t)
+		}
+		if f.Type == MsgError {
+			m, err := DecodeErrorMsg(f.Payload)
+			if err != nil {
+				return Frame{}, err
+			}
+			return Frame{}, fmt.Errorf("ctrlproto: agent error: %s", m.Text)
+		}
+		return f, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Frame{}, fmt.Errorf("ctrlproto: timeout awaiting reply to %v", t)
+	}
+}
+
+// Hello identifies the remote device.
+func (c *Client) Hello() (Hello, error) {
+	f, err := c.roundTrip(MsgHello, nil)
+	if err != nil {
+		return Hello{}, err
+	}
+	if f.Type != MsgHelloReply {
+		return Hello{}, fmt.Errorf("ctrlproto: unexpected %v to hello", f.Type)
+	}
+	return DecodeHello(f.Payload)
+}
+
+// GetSpec fetches the remote device's hardware specification.
+func (c *Client) GetSpec() (SpecReply, error) {
+	f, err := c.roundTrip(MsgGetSpec, nil)
+	if err != nil {
+		return SpecReply{}, err
+	}
+	if f.Type != MsgSpecReply {
+		return SpecReply{}, fmt.Errorf("ctrlproto: unexpected %v to get-spec", f.Type)
+	}
+	return DecodeSpecReply(f.Payload)
+}
+
+// ShiftPhase programs a phase configuration on the remote device.
+func (c *Client) ShiftPhase(cfg surface.Config) error {
+	_, err := c.roundTrip(MsgShiftPhase, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
+	return err
+}
+
+// SetAmplitude programs an amplitude configuration on the remote device.
+func (c *Client) SetAmplitude(cfg surface.Config) error {
+	_, err := c.roundTrip(MsgSetAmplitude, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
+	return err
+}
+
+// StoreCodebook pushes a configuration codebook.
+func (c *Client) StoreCodebook(labels []string, cfgs []surface.Config) error {
+	if len(cfgs) == 0 {
+		return errors.New("ctrlproto: empty codebook")
+	}
+	m := CodebookMsg{Property: cfgs[0].Property, Labels: labels}
+	for _, cfg := range cfgs {
+		m.Entries = append(m.Entries, cfg.Values)
+	}
+	_, err := c.roundTrip(MsgStoreCodebook, m.Encode())
+	return err
+}
+
+// Select activates a stored codebook entry.
+func (c *Client) Select(i int) error {
+	_, err := c.roundTrip(MsgSelect, SelectMsg{Index: uint32(i)}.Encode())
+	return err
+}
+
+// Active fetches the remote device's live configuration.
+func (c *Client) Active() (ActiveReply, error) {
+	f, err := c.roundTrip(MsgActiveQuery, nil)
+	if err != nil {
+		return ActiveReply{}, err
+	}
+	if f.Type != MsgActiveReply {
+		return ActiveReply{}, fmt.Errorf("ctrlproto: unexpected %v to active-query", f.Type)
+	}
+	return DecodeActiveReply(f.Payload)
+}

@@ -1,0 +1,395 @@
+package ctrlproto
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"surfos/internal/driver"
+	"surfos/internal/geom"
+	"surfos/internal/surface"
+)
+
+func testDriver(t *testing.T, model string, mode surface.OpMode) *driver.Driver {
+	t.Helper()
+	panel := geom.RectXY(geom.V(0, 0, 1), geom.V(-1, 0, 0), geom.V(0, 0, 1), 0.3, 0.3)
+	s, err := surface.New("p", panel, surface.Layout{Rows: 2, Cols: 3, PitchU: 0.00625, PitchV: 0.00625}, mode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := driver.Lookup(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := driver.New(spec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// startAgent serves a real TCP agent and returns a connected client.
+func startAgent(t *testing.T, model string, mode surface.OpMode) (*Agent, *Client) {
+	t.Helper()
+	drv := testDriver(t, model, mode)
+	a, err := NewAgent("dev0", "east_wall", drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return a, c
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	f := Frame{Type: MsgShiftPhase, Corr: 42, Payload: []byte{1, 2, 3}}
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Corr != f.Corr || !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	raw := make([]byte, headerLen)
+	raw[0] = 0xde
+	raw[1] = 0xad
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgAck}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 99
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("got %v, want ErrBadVersion", err)
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgAck}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8], raw[9], raw[10], raw[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("got %v, want ErrTooLarge", err)
+	}
+	big := Frame{Type: MsgAck, Payload: make([]byte, MaxPayload+1)}
+	if err := WriteFrame(&buf, big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("write oversized: got %v", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgAck, Payload: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-2] // drop last two bytes
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	hello := Hello{DeviceID: "d1", Model: "mmWall", Mount: "north"}
+	h2, err := DecodeHello(hello.Encode())
+	if err != nil || h2 != hello {
+		t.Errorf("hello: %+v %v", h2, err)
+	}
+
+	cfg := ConfigMsg{Property: surface.Phase, Values: []float64{0, 1.5, math.Pi}}
+	c2, err := DecodeConfigMsg(cfg.Encode())
+	if err != nil || c2.Property != cfg.Property || len(c2.Values) != 3 || c2.Values[2] != math.Pi {
+		t.Errorf("config: %+v %v", c2, err)
+	}
+
+	cb := CodebookMsg{
+		Property: surface.Phase,
+		Labels:   []string{"a", "b"},
+		Entries:  [][]float64{{1, 2}, {3, 4}},
+	}
+	cb2, err := DecodeCodebookMsg(cb.Encode())
+	if err != nil || len(cb2.Entries) != 2 || cb2.Labels[1] != "b" || cb2.Entries[1][0] != 3 {
+		t.Errorf("codebook: %+v %v", cb2, err)
+	}
+
+	sel := SelectMsg{Index: 7}
+	s2, err := DecodeSelectMsg(sel.Encode())
+	if err != nil || s2 != sel {
+		t.Errorf("select: %+v %v", s2, err)
+	}
+
+	spec := SpecReply{
+		Model: "NR-Surface", FreqLowHz: 23e9, FreqHighHz: 25e9,
+		Control: surface.Phase, OpMode: surface.Reflective,
+		Granularity: surface.ColumnWise, Reconfigurable: true,
+		PhaseBits: 2, ControlDelayNanos: 100000, Rows: 8, Cols: 16, CostUSD: 441.6,
+	}
+	sp2, err := DecodeSpecReply(spec.Encode())
+	if err != nil || sp2 != spec {
+		t.Errorf("spec: %+v %v", sp2, err)
+	}
+
+	ar := ActiveReply{HasActive: true, Label: "beam3", Property: surface.Phase, Values: []float64{0.5}}
+	ar2, err := DecodeActiveReply(ar.Encode())
+	if err != nil || ar2.Label != "beam3" || !ar2.HasActive || ar2.Values[0] != 0.5 {
+		t.Errorf("active: %+v %v", ar2, err)
+	}
+
+	em := ErrorMsg{Text: "boom"}
+	em2, err := DecodeErrorMsg(em.Encode())
+	if err != nil || em2 != em {
+		t.Errorf("error: %+v %v", em2, err)
+	}
+
+	fb := FeedbackMsg{EndpointID: "phone", ConfigIdx: 3, SNRdB: 22.5, UnixNanos: 12345}
+	fb2, err := DecodeFeedbackMsg(fb.Encode())
+	if err != nil || fb2 != fb {
+		t.Errorf("feedback: %+v %v", fb2, err)
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	b := append(Hello{DeviceID: "d"}.Encode(), 0xff)
+	if _, err := DecodeHello(b); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDecodeTruncatedPayloads(t *testing.T) {
+	msgs := [][]byte{
+		Hello{DeviceID: "device", Model: "m", Mount: "w"}.Encode(),
+		ConfigMsg{Property: surface.Phase, Values: []float64{1, 2, 3}}.Encode(),
+		CodebookMsg{Property: surface.Phase, Labels: []string{"x"}, Entries: [][]float64{{1}}}.Encode(),
+		SpecReply{Model: "m"}.Encode(),
+		FeedbackMsg{EndpointID: "e"}.Encode(),
+	}
+	decoders := []func([]byte) error{
+		func(b []byte) error { _, err := DecodeHello(b); return err },
+		func(b []byte) error { _, err := DecodeConfigMsg(b); return err },
+		func(b []byte) error { _, err := DecodeCodebookMsg(b); return err },
+		func(b []byte) error { _, err := DecodeSpecReply(b); return err },
+		func(b []byte) error { _, err := DecodeFeedbackMsg(b); return err },
+	}
+	for i, full := range msgs {
+		for cut := 1; cut < len(full); cut++ {
+			if err := decoders[i](full[:cut]); err == nil {
+				t.Errorf("decoder %d accepted %d/%d bytes", i, cut, len(full))
+			}
+		}
+	}
+}
+
+func TestConfigMsgQuickRoundTrip(t *testing.T) {
+	f := func(vals []float64, prop uint8) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				vals[i] = 0
+			}
+		}
+		m := ConfigMsg{Property: surface.ControlProperty(prop), Values: vals}
+		got, err := DecodeConfigMsg(m.Encode())
+		if err != nil || got.Property != m.Property || len(got.Values) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got.Values[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	_, c := startAgent(t, driver.ModelNRSurface, surface.Reflective)
+
+	h, err := c.Hello()
+	if err != nil || h.DeviceID != "dev0" || h.Model != driver.ModelNRSurface || h.Mount != "east_wall" {
+		t.Fatalf("hello: %+v %v", h, err)
+	}
+
+	spec, err := c.GetSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Model != driver.ModelNRSurface || spec.Granularity != surface.ColumnWise || spec.Rows != 2 || spec.Cols != 3 {
+		t.Errorf("spec: %+v", spec)
+	}
+
+	cfg := surface.Config{Property: surface.Phase, Values: []float64{0, 1, 2, 0, 1, 2}}
+	if err := c.ShiftPhase(cfg); err != nil {
+		t.Fatal(err)
+	}
+	act, err := c.Active()
+	if err != nil || !act.HasActive {
+		t.Fatalf("active: %+v %v", act, err)
+	}
+	if len(act.Values) != 6 {
+		t.Errorf("active values: %v", act.Values)
+	}
+
+	// Codebook + select.
+	mk := func(v float64) surface.Config {
+		vals := make([]float64, 6)
+		for i := range vals {
+			vals[i] = v
+		}
+		return surface.Config{Property: surface.Phase, Values: vals}
+	}
+	if err := c.StoreCodebook([]string{"b0", "b1"}, []surface.Config{mk(0), mk(math.Pi)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select(1); err != nil {
+		t.Fatal(err)
+	}
+	act, _ = c.Active()
+	if act.Label != "b1" {
+		t.Errorf("active label after select: %q", act.Label)
+	}
+	if err := c.Select(9); err == nil || !strings.Contains(err.Error(), "agent error") {
+		t.Errorf("bad select: %v", err)
+	}
+}
+
+func TestAgentRejectsWrongProperty(t *testing.T) {
+	_, c := startAgent(t, driver.ModelNRSurface, surface.Reflective)
+	err := c.SetAmplitude(surface.Config{Property: surface.Amplitude, Values: make([]float64, 6)})
+	if err == nil || !strings.Contains(err.Error(), "agent error") {
+		t.Errorf("amplitude on phase hardware: %v", err)
+	}
+}
+
+func TestClientPipelinedRequests(t *testing.T) {
+	_, c := startAgent(t, driver.ModelNRSurface, surface.Reflective)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := c.GetSpec()
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientSurvivesAgentError(t *testing.T) {
+	_, c := startAgent(t, driver.ModelAutoMS, surface.Reflective)
+	cfg := surface.Config{Property: surface.Phase, Values: make([]float64, 6)}
+	if err := c.ShiftPhase(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Passive: second write fails but the connection stays usable.
+	if err := c.ShiftPhase(cfg); err == nil {
+		t.Fatal("second passive write accepted")
+	}
+	if _, err := c.GetSpec(); err != nil {
+		t.Errorf("connection unusable after agent error: %v", err)
+	}
+}
+
+func TestClientDisconnectFailsPending(t *testing.T) {
+	a, c := startAgent(t, driver.ModelNRSurface, surface.Reflective)
+	a.Close()
+	c.Timeout = 500 * time.Millisecond
+	if _, err := c.GetSpec(); err == nil {
+		t.Error("request succeeded after agent close")
+	}
+	// Subsequent requests fail fast.
+	if _, err := c.GetSpec(); err == nil {
+		t.Error("request succeeded on closed client")
+	}
+}
+
+func TestClientFeedbackPush(t *testing.T) {
+	// Hand-rolled agent push: connect a raw listener that sends feedback.
+	drv := testDriver(t, driver.ModelNRSurface, surface.Reflective)
+	a, err := NewAgent("dev0", "w", drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Feedback flows agent→client over the same TCP stream. The agent's
+	// accept loop registers the connection asynchronously after Dial
+	// returns, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := a.PushFeedback(FeedbackMsg{EndpointID: "e1", ConfigIdx: 2, SNRdB: 17})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case fb := <-c.Feedback:
+		if fb.EndpointID != "e1" || fb.ConfigIdx != 2 || fb.SNRdB != 17 {
+			t.Errorf("feedback: %+v", fb)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no feedback received")
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	if _, err := NewAgent("", "w", testDriver(t, driver.ModelNRSurface, surface.Reflective)); err == nil {
+		t.Error("empty device id accepted")
+	}
+	if _, err := NewAgent("x", "w", nil); err == nil {
+		t.Error("nil driver accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgHello.String() != "hello" || MsgFeedback.String() != "feedback" {
+		t.Error("known names wrong")
+	}
+	if MsgType(200).String() == "" {
+		t.Error("unknown type should still stringify")
+	}
+}

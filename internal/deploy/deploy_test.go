@@ -1,0 +1,151 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+
+	"surfos/internal/driver"
+	"surfos/internal/geom"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+)
+
+func request(t *testing.T) Request {
+	t.Helper()
+	apt := scene.NewApartment()
+	spec, err := driver.Lookup(driver.ModelNRSurface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Request{
+		Scene:    apt.Scene,
+		AP:       apt.AP,
+		Budget:   rfsim.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6},
+		Region:   scene.RegionTargetRoom,
+		Spec:     spec,
+		Rows:     16,
+		Cols:     16,
+		GridStep: 1.2,
+		OptIters: 40,
+		Mounts: []scene.MountSpot{
+			apt.Mounts[scene.MountEastWall],
+			apt.Mounts[scene.MountNorthWall],
+			// A hopeless candidate: a living-room wall spot whose panel
+			// faces away from the target room (normal +y into the living
+			// room is impossible here; use a south-wall mount whose
+			// reflections cannot reach the bedroom).
+			{
+				Name:   "south_wall",
+				Center: geom.V(3.5, 0, 1.8),
+				U:      geom.V(1, 0, 0),
+				V:      geom.V(0, 0, 1),
+				Normal: geom.V(0, 1, 0),
+			},
+		},
+	}
+}
+
+func TestPlanRanksVisibleMountsFirst(t *testing.T) {
+	req := request(t)
+	req.BeamAP = true
+	cands, err := Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	// Ranked best-first.
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Err == nil && cands[i].Err == nil &&
+			cands[i-1].MedianSNRdB < cands[i].MedianSNRdB {
+			t.Errorf("not ranked: %v before %v", cands[i-1].MedianSNRdB, cands[i].MedianSNRdB)
+		}
+	}
+	// The south-wall candidate serves the bedroom far worse than the
+	// in-room mounts: it can only relay energy through the doorway, while
+	// the east mount has direct room visibility.
+	bySpot := map[string]Candidate{}
+	for _, c := range cands {
+		bySpot[c.Mount.Name] = c
+	}
+	south := bySpot["south_wall"]
+	east := bySpot[scene.MountEastWall]
+	if east.MedianSNRdB < south.MedianSNRdB+5 {
+		t.Errorf("east mount %.1f dB should dominate south wall %.1f dB",
+			east.MedianSNRdB, south.MedianSNRdB)
+	}
+	// The winner is one of the bedroom mounts.
+	if cands[0].Mount.Name == "south_wall" {
+		t.Error("blocked mount ranked first")
+	}
+	// AP visibility recorded: the east mount has clear line of sight.
+	if east.APVisibility < 0.9 {
+		t.Errorf("east mount AP visibility %v, want ≈1", east.APVisibility)
+	}
+	// Cost model populated.
+	if east.CostUSD <= 0 {
+		t.Error("candidate cost missing")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	req := request(t)
+
+	bad := req
+	bad.Scene = nil
+	if _, err := Plan(bad); err == nil {
+		t.Error("nil scene accepted")
+	}
+
+	bad = req
+	bad.Mounts = nil
+	if _, err := Plan(bad); err == nil {
+		t.Error("no mounts accepted")
+	}
+
+	bad = req
+	bad.Region = "nope"
+	if _, err := Plan(bad); err == nil {
+		t.Error("unknown region accepted")
+	}
+
+	bad = req
+	bad.Rows = 0
+	if _, err := Plan(bad); err == nil {
+		t.Error("zero rows accepted")
+	}
+
+	bad = req
+	bad.FreqHz = 60e9 // outside NR-Surface band
+	if _, err := Plan(bad); err == nil {
+		t.Error("out-of-band frequency accepted")
+	}
+
+	bad = req
+	bad.Spec = driver.Spec{}
+	if _, err := Plan(bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestPlanBeamAPImprovesServedMount(t *testing.T) {
+	req := request(t)
+	req.Mounts = req.Mounts[:1] // east wall only
+	plain, err := Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.BeamAP = true
+	beamed, err := Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beamed[0].MedianSNRdB < plain[0].MedianSNRdB+10 {
+		t.Errorf("AP beamforming gain missing: %.1f vs %.1f dB",
+			beamed[0].MedianSNRdB, plain[0].MedianSNRdB)
+	}
+	if math.IsInf(beamed[0].MedianSNRdB, 0) {
+		t.Error("non-finite SNR")
+	}
+}

@@ -1,0 +1,228 @@
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"surfos/internal/em"
+	"surfos/internal/surface"
+)
+
+// registry holds registered hardware designs by model name, following the
+// integer/name-keyed registry pattern of layered packet libraries: register
+// once at init, read-only afterwards.
+var registry = struct {
+	sync.RWMutex
+	specs map[string]Spec
+}{specs: make(map[string]Spec)}
+
+// Register adds a design spec to the global catalog. It panics on invalid
+// or duplicate registrations, which only happen at init time.
+func Register(s Spec) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.specs[s.Model]; dup {
+		panic(fmt.Sprintf("driver: duplicate registration of %q", s.Model))
+	}
+	registry.specs[s.Model] = s
+}
+
+// Lookup returns the spec registered under a model name.
+func Lookup(model string) (Spec, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.specs[model]
+	if !ok {
+		return Spec{}, fmt.Errorf("driver: unknown model %q", model)
+	}
+	return s, nil
+}
+
+// Catalog returns all registered specs sorted by operating band, then
+// re-configurability, then model name — the ordering of the paper's
+// Table 1.
+func Catalog() []Spec {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Spec, 0, len(registry.specs))
+	for _, s := range registry.specs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FreqLowHz != out[j].FreqLowHz {
+			return out[i].FreqLowHz < out[j].FreqLowHz
+		}
+		if out[i].Reconfigurable != out[j].Reconfigurable {
+			return out[i].Reconfigurable
+		}
+		return out[i].Model < out[j].Model
+	})
+	return out
+}
+
+// surfaceResponse is the generic in-band response of a metasurface panel:
+// strongly interactive in its design band, increasingly transparent far
+// below it (sub-wavelength structures vanish electrically), partially
+// blocking above. Encodes the paper's warning that "surfaces designed for
+// 2.4 GHz may block 3 GHz cellular and 5 GHz Wi-Fi signals".
+func surfaceResponse(designLow, designHigh float64, inBandRefl float64) *em.Material {
+	return em.MustMaterial(fmt.Sprintf("panel-%.1fGHz", designLow/1e9),
+		em.MaterialPoint{FreqHz: designLow / 4, Reflection: 0.05, Transmission: 0.95},
+		em.MaterialPoint{FreqHz: designLow, Reflection: inBandRefl, Transmission: 0.3},
+		em.MaterialPoint{FreqHz: designHigh, Reflection: inBandRefl, Transmission: 0.3},
+		em.MaterialPoint{FreqHz: designHigh * 2, Reflection: 0.5, Transmission: 0.5},
+	)
+}
+
+// Model names for the paper's Table 1 designs.
+const (
+	ModelLAIA        = "LAIA"
+	ModelRFocus      = "RFocus"
+	ModelLLAMA       = "LLAMA"
+	ModelLAVA        = "LAVA"
+	ModelScatterMIMO = "ScatterMIMO"
+	ModelRFlens      = "RFlens"
+	ModelDiffract    = "Diffract"
+	ModelScrolls     = "Scrolls"
+	ModelMMWall      = "mmWall"
+	ModelNRSurface   = "NR-Surface"
+	ModelPMSat       = "PMSat"
+	ModelMilliMirror = "MilliMirror"
+	ModelAutoMS      = "AutoMS"
+)
+
+// init registers the paper's Table 1: thirteen published surface designs
+// spanning 0.9–60 GHz, phase/amplitude/polarization/frequency/diffraction
+// control, transmissive and reflective operation, element-, column-,
+// row-wise and fixed granularity, and four orders of magnitude in cost.
+// Cost models approximate the published prototype costs (Table 1's Cost
+// column) split into a fixed controller part and a per-element part; "/"
+// entries in the paper carry representative estimates.
+func init() {
+	for _, s := range []Spec{
+		{
+			Model: ModelLAIA, Reference: "NSDI'19",
+			FreqLowHz: 2.3e9, FreqHighHz: 2.5e9,
+			Control: surface.Phase, OpMode: surface.Transmissive,
+			Granularity: surface.ElementWise, Reconfigurable: true,
+			PhaseBits: 2, ControlDelay: 2 * time.Millisecond,
+			CostPerElementUSD: 8, FixedCostUSD: 120,
+			ElementEfficiency: 0.8, Response: surfaceResponse(2.3e9, 2.5e9, 0.5),
+		},
+		{
+			Model: ModelRFocus, Reference: "NSDI'20",
+			FreqLowHz: 2.3e9, FreqHighHz: 2.5e9,
+			Control: surface.Amplitude, OpMode: surface.Transflective,
+			Granularity: surface.ElementWise, Reconfigurable: true,
+			PhaseBits: 1, ControlDelay: 5 * time.Millisecond,
+			CostPerElementUSD: 0.8, FixedCostUSD: 150,
+			ElementEfficiency: 0.6, Response: surfaceResponse(2.3e9, 2.5e9, 0.5),
+		},
+		{
+			Model: ModelLLAMA, Reference: "NSDI'21",
+			FreqLowHz: 2.3e9, FreqHighHz: 2.5e9,
+			Control: surface.Polarization, OpMode: surface.Transflective,
+			Granularity: surface.ElementWise, Reconfigurable: true,
+			PhaseBits: 0, ControlDelay: 3 * time.Millisecond,
+			CostPerElementUSD: 12, FixedCostUSD: 180,
+			ElementEfficiency: 0.75, Response: surfaceResponse(2.3e9, 2.5e9, 0.55),
+		},
+		{
+			Model: ModelLAVA, Reference: "SIGCOMM'21",
+			FreqLowHz: 2.3e9, FreqHighHz: 2.5e9,
+			Control: surface.Amplitude, OpMode: surface.Transmissive,
+			Granularity: surface.ElementWise, Reconfigurable: true,
+			PhaseBits: 1, ControlDelay: 4 * time.Millisecond,
+			CostPerElementUSD: 3, FixedCostUSD: 140,
+			ElementEfficiency: 0.7, Response: surfaceResponse(2.3e9, 2.5e9, 0.5),
+		},
+		{
+			Model: ModelScatterMIMO, Reference: "MobiCom'20",
+			FreqLowHz: 5.0e9, FreqHighHz: 5.9e9,
+			Control: surface.Phase, OpMode: surface.Reflective,
+			Granularity: surface.ElementWise, Reconfigurable: true,
+			PhaseBits: 2, ControlDelay: 1 * time.Millisecond,
+			CostPerElementUSD: 9, FixedCostUSD: 90,
+			ElementEfficiency: 0.8, Response: surfaceResponse(5.0e9, 5.9e9, 0.6),
+		},
+		{
+			Model: ModelRFlens, Reference: "MobiCom'21",
+			FreqLowHz: 5.0e9, FreqHighHz: 5.9e9,
+			Control: surface.Phase, OpMode: surface.Transmissive,
+			Granularity: surface.ElementWise, Reconfigurable: true,
+			PhaseBits: 1, ControlDelay: 2 * time.Millisecond,
+			CostPerElementUSD: 4, FixedCostUSD: 60,
+			ElementEfficiency: 0.75, Response: surfaceResponse(5.0e9, 5.9e9, 0.55),
+		},
+		{
+			Model: ModelDiffract, Reference: "MobiCom'23",
+			FreqLowHz: 5.0e9, FreqHighHz: 5.9e9,
+			Control: surface.Diffraction, OpMode: surface.Transmissive,
+			Granularity: surface.FixedPattern, Reconfigurable: false,
+			PhaseBits:         0,
+			CostPerElementUSD: 0.2, FixedCostUSD: 25,
+			ElementEfficiency: 0.6, Response: surfaceResponse(5.0e9, 5.9e9, 0.4),
+		},
+		{
+			Model: ModelScrolls, Reference: "MobiCom'23",
+			FreqLowHz: 0.9e9, FreqHighHz: 6.0e9,
+			Control: surface.Frequency, OpMode: surface.Reflective,
+			Granularity: surface.RowWise, Reconfigurable: true,
+			PhaseBits: 1, ControlDelay: 10 * time.Millisecond,
+			CostPerElementUSD: 1.2, FixedCostUSD: 80,
+			ElementEfficiency: 0.7, Response: surfaceResponse(0.9e9, 6.0e9, 0.6),
+		},
+		{
+			Model: ModelMMWall, Reference: "NSDI'23",
+			FreqLowHz: 23e9, FreqHighHz: 25e9,
+			Control: surface.Phase, OpMode: surface.Transflective,
+			Granularity: surface.ColumnWise, Reconfigurable: true,
+			PhaseBits: 3, ControlDelay: 50 * time.Microsecond,
+			CostPerElementUSD: 6.5, FixedCostUSD: 400,
+			ElementEfficiency: 0.85, Response: surfaceResponse(23e9, 25e9, 0.7),
+		},
+		{
+			Model: ModelNRSurface, Reference: "NSDI'24",
+			FreqLowHz: 23e9, FreqHighHz: 25e9,
+			Control: surface.Phase, OpMode: surface.Reflective,
+			Granularity: surface.ColumnWise, Reconfigurable: true,
+			PhaseBits: 2, ControlDelay: 100 * time.Microsecond,
+			CostPerElementUSD: 2.2, FixedCostUSD: 160,
+			ElementEfficiency: 0.8, Response: surfaceResponse(23e9, 25e9, 0.7),
+		},
+		{
+			Model: ModelPMSat, Reference: "MobiCom'23",
+			FreqLowHz: 20e9, FreqHighHz: 30e9,
+			Control: surface.Phase, OpMode: surface.Transmissive,
+			Granularity: surface.FixedPattern, Reconfigurable: false,
+			PhaseBits:         2,
+			CostPerElementUSD: 0.008, FixedCostUSD: 18,
+			ElementEfficiency: 0.7, Response: surfaceResponse(20e9, 30e9, 0.5),
+		},
+		{
+			Model: ModelMilliMirror, Reference: "MobiCom'22",
+			FreqLowHz: 57e9, FreqHighHz: 64e9,
+			Control: surface.Phase, OpMode: surface.Reflective,
+			Granularity: surface.FixedPattern, Reconfigurable: false,
+			PhaseBits:         2,
+			CostPerElementUSD: 0.002, FixedCostUSD: 12,
+			ElementEfficiency: 0.75, Response: surfaceResponse(57e9, 64e9, 0.7),
+		},
+		{
+			Model: ModelAutoMS, Reference: "MobiCom'24",
+			FreqLowHz: 57e9, FreqHighHz: 64e9,
+			Control: surface.Phase, OpMode: surface.Reflective,
+			Granularity: surface.FixedPattern, Reconfigurable: false,
+			PhaseBits:         2,
+			CostPerElementUSD: 0.00002, FixedCostUSD: 1,
+			ElementEfficiency: 0.7, Response: surfaceResponse(57e9, 64e9, 0.7),
+		},
+	} {
+		Register(s)
+	}
+}

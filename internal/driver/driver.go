@@ -1,0 +1,343 @@
+// Package driver implements the SurfOS hardware manager's device layer:
+// a unified driver interface that masks the heterogeneity of metasurface
+// hardware designs (paper §3.1) behind signal-property primitives —
+// ShiftPhase, SetAmplitude, … — plus machine-readable hardware
+// specifications and a registry covering every design in the paper's
+// Table 1.
+//
+// A Driver wraps a placed surface with its design's constraints: control
+// granularity (element-, column-, row-wise or fixed), phase quantization,
+// reconfiguration latency, and cost model. Upper layers always program at
+// the finest granularity (element-wise arrays); the driver projects the
+// request onto what the hardware can realize, mirroring how the paper's
+// unified configuration interface treats passive and programmable surfaces
+// alike.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"surfos/internal/em"
+	"surfos/internal/optimize"
+	"surfos/internal/surface"
+)
+
+// Spec is a surface hardware design's machine-readable specification — the
+// paper's "hardware specifications" a driver must "explicitly capture and
+// expose ... to the upper layer" (§3.1).
+type Spec struct {
+	Model     string // design name, e.g. "mmWall"
+	Reference string // publication venue/year, for the catalog
+
+	// Operating band.
+	FreqLowHz, FreqHighHz float64
+	// Primary signal control property (Table 1 "Signal Control Mode").
+	Control surface.ControlProperty
+	// OpMode: transmissive, reflective, or both (Table 1 "T/R").
+	OpMode surface.OpMode
+	// Granularity of independent element control.
+	Granularity surface.Granularity
+	// Reconfigurable distinguishes programmable designs from passive
+	// (fabrication-time, one-shot) ones.
+	Reconfigurable bool
+	// PhaseBits quantizes phase states (0 = continuous).
+	PhaseBits int
+	// ControlDelay is the latency to update a configuration on the device.
+	// Meaningless for passive designs (Reconfigurable=false): the paper
+	// likens those to ROM — "infinite control delay".
+	ControlDelay time.Duration
+	// CodebookSlots bounds how many configurations the device can store
+	// locally (0 = unlimited). Passive designs hold exactly 1.
+	CodebookSlots int
+	// Cost model: CostUSD(n) = FixedCostUSD + n·CostPerElementUSD.
+	CostPerElementUSD float64
+	FixedCostUSD      float64
+	// ElementEfficiency scales the per-element interaction amplitude.
+	ElementEfficiency float64
+	// Response is the wideband frequency response ("to avoid unintended
+	// blocking", §3.1): how the panel treats out-of-band signals.
+	Response *em.Material
+}
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	if s.Model == "" {
+		return errors.New("driver: spec needs a model name")
+	}
+	if s.FreqLowHz <= 0 || s.FreqHighHz < s.FreqLowHz {
+		return fmt.Errorf("driver: %s has invalid band [%g, %g]", s.Model, s.FreqLowHz, s.FreqHighHz)
+	}
+	if s.PhaseBits < 0 || s.PhaseBits > 16 {
+		return fmt.Errorf("driver: %s has invalid phase bits %d", s.Model, s.PhaseBits)
+	}
+	if s.ElementEfficiency < 0 || s.ElementEfficiency > 1 {
+		return fmt.Errorf("driver: %s has invalid efficiency %g", s.Model, s.ElementEfficiency)
+	}
+	if !s.Reconfigurable && s.Granularity != surface.FixedPattern {
+		return fmt.Errorf("driver: %s is passive but granularity is %v", s.Model, s.Granularity)
+	}
+	if s.CostPerElementUSD < 0 || s.FixedCostUSD < 0 {
+		return fmt.Errorf("driver: %s has negative cost", s.Model)
+	}
+	return nil
+}
+
+// SupportsFreq reports whether f lies in the design's operating band.
+func (s Spec) SupportsFreq(f float64) bool {
+	return f >= s.FreqLowHz && f <= s.FreqHighHz
+}
+
+// CostUSD returns the hardware cost of an n-element panel.
+func (s Spec) CostUSD(n int) float64 {
+	return s.FixedCostUSD + float64(n)*s.CostPerElementUSD
+}
+
+// Errors returned by driver operations.
+var (
+	// ErrFixed is returned when reconfiguring a passive surface after
+	// fabrication.
+	ErrFixed = errors.New("driver: passive surface already fabricated")
+	// ErrUnsupportedProperty is returned for a control property the design
+	// does not implement.
+	ErrUnsupportedProperty = errors.New("driver: control property not supported by this design")
+	// ErrCodebookFull is returned when the device's local slots are
+	// exhausted.
+	ErrCodebookFull = errors.New("driver: codebook slots exhausted")
+)
+
+// Driver is one managed surface device. It is safe for concurrent use.
+type Driver struct {
+	spec Spec
+	surf *surface.Surface
+
+	mu         sync.Mutex
+	codebook   surface.Codebook
+	active     int  // index into codebook; -1 = off
+	fabricated bool // passive: configuration burned in
+	updates    int  // total accepted configuration writes
+	// bias is a fixed element-wise phase profile built into the panel at
+	// installation (mechanical tilt / element design), immutable once set.
+	// Column- and row-wise designs realize elevation/azimuth focusing this
+	// way: the shared per-column state rides on top of the fabricated
+	// profile (mmWall's fixed vertical beam is the canonical example).
+	bias []float64
+}
+
+// New wraps a placed surface with a design spec. The surface's operating
+// mode must match the spec.
+func New(spec Spec, surf *surface.Surface) (*Driver, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if surf == nil {
+		return nil, fmt.Errorf("driver: %s needs a surface", spec.Model)
+	}
+	if surf.Mode&spec.OpMode == 0 {
+		return nil, fmt.Errorf("driver: %s is %v but surface %q is %v",
+			spec.Model, spec.OpMode, surf.Name, surf.Mode)
+	}
+	return &Driver{spec: spec, surf: surf, active: -1}, nil
+}
+
+// Spec returns the hardware specification.
+func (d *Driver) Spec() Spec { return d.spec }
+
+// Surface returns the underlying placed surface model.
+func (d *Driver) Surface() *surface.Surface { return d.surf }
+
+// SetBias installs the panel's fixed element-wise phase profile (see the
+// bias field). It may be set once, before the first configuration write,
+// and only for phase-control designs.
+func (d *Driver) SetBias(vals []float64) error {
+	if d.spec.Control != surface.Phase {
+		return fmt.Errorf("driver: %s controls %v; bias applies to phase designs", d.spec.Model, d.spec.Control)
+	}
+	if len(vals) != d.surf.NumElements() {
+		return fmt.Errorf("driver: bias has %d values, surface has %d elements", len(vals), d.surf.NumElements())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.bias != nil {
+		return fmt.Errorf("driver: %s bias already fabricated", d.spec.Model)
+	}
+	if d.fabricated {
+		return fmt.Errorf("driver: %s already configured; bias must be set at installation", d.spec.Model)
+	}
+	d.bias = make([]float64, len(vals))
+	copy(d.bias, vals)
+	return nil
+}
+
+// Project returns the nearest configuration the hardware can realize:
+// granularity sharing followed by phase quantization, computed relative to
+// the fabricated bias profile when one is installed. It is idempotent and
+// is exposed so optimizers can run projected gradient descent against the
+// true hardware constraint set.
+func (d *Driver) Project(cfg surface.Config) surface.Config {
+	if cfg.Property != surface.Phase {
+		return cfg.ProjectGranularity(d.spec.Granularity, d.surf.Layout)
+	}
+	d.mu.Lock()
+	bias := d.bias
+	d.mu.Unlock()
+	work := cfg.Clone()
+	if bias != nil {
+		for i := range work.Values {
+			work.Values[i] -= bias[i]
+		}
+	}
+	out := work.ProjectGranularity(d.spec.Granularity, d.surf.Layout).Quantize(d.spec.PhaseBits)
+	if bias != nil {
+		for i := range out.Values {
+			out.Values[i] += bias[i]
+		}
+		out = out.Normalize()
+	}
+	return out
+}
+
+// Projector adapts Project to the optimizer's constraint-hook signature for
+// a single-surface phase search.
+func (d *Driver) Projector() optimize.Projector {
+	return func(phases [][]float64) [][]float64 {
+		out := make([][]float64, len(phases))
+		for i, p := range phases {
+			cfg := surface.Config{Property: surface.Phase, Values: p}
+			out[i] = d.Project(cfg).Values
+		}
+		return out
+	}
+}
+
+// ShiftPhase programs a phase configuration — the unified primitive the
+// paper names shift_phase(). The config is validated, projected onto the
+// hardware's granularity and quantization, stored as the device's single
+// live entry, and activated. For passive designs this is the one-time
+// fabrication write; later calls return ErrFixed.
+func (d *Driver) ShiftPhase(cfg surface.Config) error {
+	if cfg.Property != surface.Phase {
+		return fmt.Errorf("driver: ShiftPhase got %v config", cfg.Property)
+	}
+	return d.apply(cfg)
+}
+
+// SetAmplitude programs an amplitude configuration (set_amplitude()), for
+// amplitude-control designs such as RFocus and LAVA.
+func (d *Driver) SetAmplitude(cfg surface.Config) error {
+	if cfg.Property != surface.Amplitude {
+		return fmt.Errorf("driver: SetAmplitude got %v config", cfg.Property)
+	}
+	return d.apply(cfg)
+}
+
+// apply validates and installs a configuration as the single active entry.
+func (d *Driver) apply(cfg surface.Config) error {
+	if cfg.Property != d.spec.Control {
+		return fmt.Errorf("%w: %s controls %v, got %v",
+			ErrUnsupportedProperty, d.spec.Model, d.spec.Control, cfg.Property)
+	}
+	if err := cfg.Validate(d.surf.Layout); err != nil {
+		return err
+	}
+	proj := d.Project(cfg)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.spec.Reconfigurable && d.fabricated {
+		return ErrFixed
+	}
+	d.codebook = surface.Codebook{}
+	d.codebook.Add("active", proj)
+	d.active = 0
+	d.fabricated = true
+	d.updates++
+	return nil
+}
+
+// StoreCodebook asynchronously replaces the device's locally stored
+// configurations (the paper's control/data decoupling: the control plane
+// pushes codebooks; the device picks entries in real time from endpoint
+// feedback). Entry 0 becomes active. Passive surfaces accept exactly one
+// entry, once.
+func (d *Driver) StoreCodebook(labels []string, cfgs []surface.Config) error {
+	if len(cfgs) == 0 || len(labels) != len(cfgs) {
+		return fmt.Errorf("driver: codebook needs matching labels and configs")
+	}
+	if d.spec.CodebookSlots > 0 && len(cfgs) > d.spec.CodebookSlots {
+		return fmt.Errorf("%w: %d entries for %d slots", ErrCodebookFull, len(cfgs), d.spec.CodebookSlots)
+	}
+	projected := make([]surface.Config, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg.Property != d.spec.Control {
+			return fmt.Errorf("%w: %s controls %v, got %v",
+				ErrUnsupportedProperty, d.spec.Model, d.spec.Control, cfg.Property)
+		}
+		if err := cfg.Validate(d.surf.Layout); err != nil {
+			return fmt.Errorf("driver: codebook entry %d: %w", i, err)
+		}
+		projected[i] = d.Project(cfg)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.spec.Reconfigurable {
+		if d.fabricated {
+			return ErrFixed
+		}
+		if len(cfgs) > 1 {
+			return fmt.Errorf("%w: passive design stores a single pattern", ErrCodebookFull)
+		}
+	}
+	d.codebook = surface.Codebook{}
+	for i := range projected {
+		d.codebook.Add(labels[i], projected[i])
+	}
+	d.active = 0
+	d.fabricated = true
+	d.updates++
+	return nil
+}
+
+// Select activates stored codebook entry i — the device-local real-time
+// reaction to endpoint feedback. Selection does not count as a control
+// plane update and is rejected for passive hardware only when changing
+// entries (a passive device has one entry).
+func (d *Driver) Select(i int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.codebook.At(i); err != nil {
+		return err
+	}
+	d.active = i
+	return nil
+}
+
+// Active returns the live configuration and its codebook label. ok is
+// false when nothing is programmed yet.
+func (d *Driver) Active() (cfg surface.Config, label string, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.active < 0 || d.active >= d.codebook.Len() {
+		return surface.Config{}, "", false
+	}
+	c, _ := d.codebook.At(d.active)
+	return c, d.codebook.Labels[d.active], true
+}
+
+// CodebookLen returns the number of stored configurations.
+func (d *Driver) CodebookLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.codebook.Len()
+}
+
+// Updates returns how many control-plane writes the device has accepted.
+func (d *Driver) Updates() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.updates
+}
+
+// CostUSD returns this panel's hardware cost under the design's cost model.
+func (d *Driver) CostUSD() float64 { return d.spec.CostUSD(d.surf.NumElements()) }

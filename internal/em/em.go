@@ -1,0 +1,143 @@
+// Package em provides the electromagnetic primitives the SurfOS channel
+// simulator is built from: wavelength and wavenumber math, free-space path
+// loss, dB conversions, complex phasor propagation factors, antenna element
+// patterns, and frequency-dependent building materials.
+//
+// All channel quantities in SurfOS are complex baseband gains ("phasors"):
+// a channel h multiplies a transmitted unit-power tone so the received
+// power is |h|². Powers are tracked in dBm, gains in dB.
+package em
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// C is the speed of light in vacuum, m/s.
+const C = 299_792_458.0
+
+// Common carrier frequencies (Hz) used across the paper's experiments.
+const (
+	Band900MHz = 900e6  // Scrolls lower bound
+	Band2G4    = 2.4e9  // Wi-Fi / LAIA / RFocus / LLAMA / LAVA
+	Band5G     = 5.0e9  // ScatterMIMO / RFlens / Diffract
+	Band24G    = 24.0e9 // mmWall / NR-Surface
+	Band28G    = 28.0e9 // 5G mmWave n257
+	Band60G    = 60.0e9 // MilliMirror / AutoMS / 802.11ad
+)
+
+// Wavelength returns λ = c/f in meters for carrier frequency f in Hz.
+func Wavelength(freqHz float64) float64 { return C / freqHz }
+
+// Wavenumber returns k = 2π/λ in rad/m.
+func Wavenumber(freqHz float64) float64 { return 2 * math.Pi / Wavelength(freqHz) }
+
+// DB converts a linear power ratio to decibels. Zero or negative ratios map
+// to -Inf, matching the physics (no power).
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// DBm converts power in watts to dBm.
+func DBm(watts float64) float64 { return DB(watts) + 30 }
+
+// FromDBm converts dBm to watts.
+func FromDBm(dbm float64) float64 { return FromDB(dbm - 30) }
+
+// FSPLGain returns the free-space *amplitude* gain at distance d meters and
+// wavelength λ: λ/(4πd). The corresponding power gain is its square, which
+// matches the Friis equation with unit antenna gains. d must be > 0.
+func FSPLGain(d, lambda float64) float64 {
+	return lambda / (4 * math.Pi * d)
+}
+
+// FSPLdB returns the free-space path loss in positive dB at distance d and
+// frequency f (the familiar 20log10(4πd/λ) form).
+func FSPLdB(d, freqHz float64) float64 {
+	return -DB(math.Pow(FSPLGain(d, Wavelength(freqHz)), 2))
+}
+
+// PropagationPhasor returns the complex amplitude factor for a free-space
+// leg of length d at wavelength λ: (λ/(4πd))·e^{-jkd}. This is the atomic
+// building block of every simulated path.
+func PropagationPhasor(d, lambda float64) complex128 {
+	k := 2 * math.Pi / lambda
+	return cmplx.Rect(FSPLGain(d, lambda), -k*d)
+}
+
+// PhaseShift returns the unit phasor e^{jφ}.
+func PhaseShift(phi float64) complex128 { return cmplx.Rect(1, phi) }
+
+// ThermalNoiseDBm returns thermal noise power kTB in dBm for bandwidth B Hz
+// at T=290 K: -174 dBm/Hz + 10log10(B).
+func ThermalNoiseDBm(bandwidthHz float64) float64 {
+	return -174 + DB(bandwidthHz)
+}
+
+// SNRdB computes the signal-to-noise ratio in dB from a complex channel
+// gain, transmit power, noise figure, and bandwidth.
+func SNRdB(h complex128, txPowerDBm, noiseFigureDB, bandwidthHz float64) float64 {
+	p := cmplx.Abs(h)
+	rx := txPowerDBm + DB(p*p)
+	return rx - ThermalNoiseDBm(bandwidthHz) - noiseFigureDB
+}
+
+// ShannonCapacity returns the Shannon capacity in bits/s for an SNR in dB
+// over bandwidth B Hz: B·log2(1+snr).
+func ShannonCapacity(snrDB, bandwidthHz float64) float64 {
+	return bandwidthHz * math.Log2(1+FromDB(snrDB))
+}
+
+// Pattern models a far-field amplitude pattern as a function of the angle θ
+// from boresight, in [0, π]. Patterns are amplitude (not power) factors.
+type Pattern interface {
+	// AmplitudeAt returns the pattern amplitude at angle theta radians
+	// from boresight. Must be in [0, 1] for passive apertures.
+	AmplitudeAt(theta float64) float64
+}
+
+// Isotropic radiates equally in all directions.
+type Isotropic struct{}
+
+// AmplitudeAt implements Pattern.
+func (Isotropic) AmplitudeAt(float64) float64 { return 1 }
+
+// CosinePattern is the standard cos^q(θ) element pattern used for
+// metasurface meta-atoms and patch antennas; q controls directivity
+// (q=1 ≈ ideal aperture element). Behind the element (θ ≥ π/2) the
+// amplitude is zero.
+type CosinePattern struct {
+	Q float64 // exponent; typical 0.5–2 for surface elements
+}
+
+// AmplitudeAt implements Pattern.
+func (p CosinePattern) AmplitudeAt(theta float64) float64 {
+	if theta >= math.Pi/2 {
+		return 0
+	}
+	c := math.Cos(theta)
+	if p.Q == 1 {
+		return c
+	}
+	return math.Pow(c, p.Q)
+}
+
+// Validate checks that a pattern stays within the passive-aperture bound
+// on a sample grid; used by driver self-checks.
+func Validate(p Pattern) error {
+	for i := 0; i <= 180; i++ {
+		th := float64(i) * math.Pi / 180
+		a := p.AmplitudeAt(th)
+		if math.IsNaN(a) || a < 0 || a > 1+1e-9 {
+			return fmt.Errorf("em: pattern amplitude %v at θ=%d° outside [0,1]", a, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package em
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestWavelength(t *testing.T) {
+	// 60 GHz → 5 mm (approximately).
+	if got := Wavelength(Band60G); math.Abs(got-0.005) > 1e-4 {
+		t.Errorf("λ(60 GHz) = %v, want ≈0.005", got)
+	}
+	// 2.4 GHz → 12.5 cm.
+	if got := Wavelength(Band2G4); math.Abs(got-0.125) > 1e-3 {
+		t.Errorf("λ(2.4 GHz) = %v, want ≈0.125", got)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 100)
+		back := DB(FromDB(db))
+		return math.Abs(back-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(DB(0), -1) {
+		t.Error("DB(0) should be -Inf")
+	}
+	if !math.IsInf(DB(-1), -1) {
+		t.Error("DB(-1) should be -Inf")
+	}
+}
+
+func TestDBmWatts(t *testing.T) {
+	if got := DBm(1); math.Abs(got-30) > 1e-12 {
+		t.Errorf("1 W = %v dBm, want 30", got)
+	}
+	if got := DBm(0.001); math.Abs(got-0) > 1e-12 {
+		t.Errorf("1 mW = %v dBm, want 0", got)
+	}
+	if got := FromDBm(20); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("20 dBm = %v W, want 0.1", got)
+	}
+}
+
+func TestFSPLKnownValues(t *testing.T) {
+	// Classic check: FSPL at 1 m, 2.4 GHz ≈ 40.05 dB.
+	if got := FSPLdB(1, Band2G4); math.Abs(got-40.05) > 0.1 {
+		t.Errorf("FSPL(1m, 2.4GHz) = %v dB, want ≈40.05", got)
+	}
+	// FSPL at 10 m, 60 GHz ≈ 88.0 dB.
+	if got := FSPLdB(10, Band60G); math.Abs(got-88.0) > 0.1 {
+		t.Errorf("FSPL(10m, 60GHz) = %v dB, want ≈88.0", got)
+	}
+	// Doubling distance adds 6.02 dB regardless of frequency.
+	d1 := FSPLdB(3, Band24G)
+	d2 := FSPLdB(6, Band24G)
+	if math.Abs(d2-d1-6.0206) > 1e-3 {
+		t.Errorf("doubling distance added %v dB, want 6.02", d2-d1)
+	}
+}
+
+func TestPropagationPhasor(t *testing.T) {
+	lambda := Wavelength(Band2G4)
+	h := PropagationPhasor(5, lambda)
+	if got := cmplx.Abs(h); math.Abs(got-FSPLGain(5, lambda)) > 1e-15 {
+		t.Errorf("|phasor| = %v", got)
+	}
+	// A whole number of wavelengths gives phase ≈ 0 (mod 2π).
+	h2 := PropagationPhasor(100*lambda, lambda)
+	ph := cmplx.Phase(h2)
+	if math.Abs(math.Mod(ph+3*math.Pi, 2*math.Pi)-math.Pi) > 1e-6 {
+		t.Errorf("phase at integer wavelengths = %v, want ≈0", ph)
+	}
+	// Half wavelength flips the sign (phase π).
+	h3 := PropagationPhasor(100.5*lambda, lambda)
+	if math.Cos(cmplx.Phase(h3)) > -0.999 {
+		t.Errorf("phase at half-integer wavelengths = %v, want ≈π", cmplx.Phase(h3))
+	}
+}
+
+func TestPhaseShiftUnit(t *testing.T) {
+	f := func(phi float64) bool {
+		phi = math.Mod(phi, 10)
+		return math.Abs(cmplx.Abs(PhaseShift(phi))-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThermalNoise(t *testing.T) {
+	// 100 MHz bandwidth: -174 + 80 = -94 dBm.
+	if got := ThermalNoiseDBm(100e6); math.Abs(got+94) > 1e-9 {
+		t.Errorf("noise(100MHz) = %v, want -94", got)
+	}
+}
+
+func TestSNRAndCapacity(t *testing.T) {
+	// Direct construction: gain of -80 dB, 10 dBm tx, 0 dB NF, 100 MHz BW →
+	// rx = -70 dBm, noise = -94 dBm → SNR = 24 dB.
+	h := complex(1e-4, 0) // |h|² = 1e-8 → -80 dB
+	snr := SNRdB(h, 10, 0, 100e6)
+	if math.Abs(snr-24) > 1e-9 {
+		t.Errorf("SNR = %v, want 24", snr)
+	}
+	// Capacity at 0 dB SNR over 1 Hz = 1 bit/s.
+	if got := ShannonCapacity(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("capacity = %v, want 1", got)
+	}
+	// Capacity is monotone in SNR.
+	if ShannonCapacity(10, 1e6) <= ShannonCapacity(5, 1e6) {
+		t.Error("capacity not monotone in SNR")
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	iso := Isotropic{}
+	if iso.AmplitudeAt(1.0) != 1 {
+		t.Error("isotropic should be 1 everywhere")
+	}
+	cp := CosinePattern{Q: 1}
+	if got := cp.AmplitudeAt(0); got != 1 {
+		t.Errorf("cos pattern at boresight = %v, want 1", got)
+	}
+	if got := cp.AmplitudeAt(math.Pi / 3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("cos(60°) = %v, want 0.5", got)
+	}
+	if got := cp.AmplitudeAt(math.Pi / 2); got != 0 {
+		t.Errorf("behind element = %v, want 0", got)
+	}
+	if got := cp.AmplitudeAt(3); got != 0 {
+		t.Errorf("backside = %v, want 0", got)
+	}
+	if err := Validate(cp); err != nil {
+		t.Errorf("cosine pattern failed validation: %v", err)
+	}
+	if err := Validate(CosinePattern{Q: 0.5}); err != nil {
+		t.Errorf("q=0.5 pattern failed validation: %v", err)
+	}
+	if err := Validate(Isotropic{}); err != nil {
+		t.Errorf("isotropic failed validation: %v", err)
+	}
+}
+
+func TestMaterialInterpolation(t *testing.T) {
+	// Drywall transmission decreases with frequency.
+	t24 := Drywall.Transmission(2.4e9)
+	t60 := Drywall.Transmission(60e9)
+	if t24 <= t60 {
+		t.Errorf("drywall transmission should fall with frequency: %v vs %v", t24, t60)
+	}
+	// Interpolation between anchors stays between anchor values.
+	mid := Drywall.Transmission(12e9)
+	if mid > Drywall.Transmission(5e9) || mid < Drywall.Transmission(24e9) {
+		t.Errorf("interpolated value %v out of anchor range", mid)
+	}
+	// Clamping outside range.
+	if got := Drywall.Transmission(1e9); got != Drywall.Transmission(2.4e9) {
+		t.Errorf("below-range should clamp: %v", got)
+	}
+	if got := Drywall.Transmission(100e9); got != Drywall.Transmission(60e9) {
+		t.Errorf("above-range should clamp: %v", got)
+	}
+}
+
+func TestMaterialEnergyConservation(t *testing.T) {
+	mats := []*Material{Drywall, Concrete, Glass, Metal, Wood, Absorber}
+	freqs := []float64{0.9e9, 2.4e9, 5e9, 12e9, 24e9, 39e9, 60e9, 80e9}
+	for _, m := range mats {
+		for _, f := range freqs {
+			r, tr := m.Reflection(f), m.Transmission(f)
+			if e := r*r + tr*tr; e > 1+1e-9 {
+				t.Errorf("%s at %g Hz: R²+T² = %v > 1", m.Name, f, e)
+			}
+		}
+	}
+}
+
+func TestNewMaterialValidation(t *testing.T) {
+	if _, err := NewMaterial("empty"); err == nil {
+		t.Error("empty material accepted")
+	}
+	if _, err := NewMaterial("neg", MaterialPoint{FreqHz: 1e9, Reflection: -0.1}); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+	if _, err := NewMaterial("hot", MaterialPoint{FreqHz: 1e9, Reflection: 0.9, Transmission: 0.9}); err == nil {
+		t.Error("energy-violating material accepted")
+	}
+	// Unsorted anchors get sorted.
+	m, err := NewMaterial("ok",
+		MaterialPoint{FreqHz: 5e9, Transmission: 0.5},
+		MaterialPoint{FreqHz: 1e9, Transmission: 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Transmission(1e9) != 0.9 || m.Transmission(5e9) != 0.5 {
+		t.Error("anchors not sorted correctly")
+	}
+}
+
+func TestPenetrationLoss(t *testing.T) {
+	// Metal is infinite.
+	if !math.IsInf(Metal.PenetrationLossDB(5e9), 1) {
+		t.Error("metal penetration loss should be +Inf")
+	}
+	// Concrete at 60 GHz is enormous (>50 dB).
+	if got := Concrete.PenetrationLossDB(60e9); got < 50 {
+		t.Errorf("concrete mmWave loss = %v dB, want > 50", got)
+	}
+	// Drywall at 2.4 GHz is modest (<3 dB).
+	if got := Drywall.PenetrationLossDB(2.4e9); got > 3 {
+		t.Errorf("drywall 2.4 GHz loss = %v dB, want < 3", got)
+	}
+}
+
+func TestWavelengthFrequencyInverse(t *testing.T) {
+	// Property: λ·f = c for any positive frequency.
+	f := func(ghz float64) bool {
+		freq := (math.Mod(math.Abs(ghz), 100) + 0.1) * 1e9
+		return math.Abs(Wavelength(freq)*freq-C) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package em
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Material describes how a building surface interacts with an incident wave
+// at a given frequency. Coefficients are amplitude factors in [0, 1];
+// energy conservation requires R² + T² ≤ 1 (the remainder is absorbed).
+//
+// Real materials are strongly frequency dependent — drywall that is nearly
+// transparent at 2.4 GHz blocks most of a 60 GHz wave. SurfOS models this
+// with piecewise-linear interpolation over tabulated anchor frequencies,
+// which is what the hardware manager's "wideband frequency response" spec
+// (§3.1 of the paper) exposes for surfaces too.
+type Material struct {
+	Name string
+	// anchors sorted by frequency.
+	anchors []MaterialPoint
+}
+
+// MaterialPoint is one tabulated (frequency, reflection, transmission)
+// sample of a material response.
+type MaterialPoint struct {
+	FreqHz       float64
+	Reflection   float64 // amplitude reflection coefficient
+	Transmission float64 // amplitude transmission coefficient
+}
+
+// NewMaterial builds a material from anchor points. At least one anchor is
+// required; anchors are sorted by frequency and validated for energy
+// conservation.
+func NewMaterial(name string, pts ...MaterialPoint) (*Material, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("em: material %q needs at least one anchor", name)
+	}
+	anchors := make([]MaterialPoint, len(pts))
+	copy(anchors, pts)
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i].FreqHz < anchors[j].FreqHz })
+	for _, p := range anchors {
+		if p.Reflection < 0 || p.Transmission < 0 {
+			return nil, fmt.Errorf("em: material %q has negative coefficient at %g Hz", name, p.FreqHz)
+		}
+		if e := p.Reflection*p.Reflection + p.Transmission*p.Transmission; e > 1+1e-9 {
+			return nil, fmt.Errorf("em: material %q violates energy conservation at %g Hz (R²+T²=%.3f)", name, p.FreqHz, e)
+		}
+	}
+	return &Material{Name: name, anchors: anchors}, nil
+}
+
+// MustMaterial is NewMaterial that panics on error, for static tables.
+func MustMaterial(name string, pts ...MaterialPoint) *Material {
+	m, err := NewMaterial(name, pts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// interp returns the anchor interpolation weights at f.
+func (m *Material) interp(freqHz float64) (lo, hi int, t float64) {
+	a := m.anchors
+	if freqHz <= a[0].FreqHz {
+		return 0, 0, 0
+	}
+	if freqHz >= a[len(a)-1].FreqHz {
+		n := len(a) - 1
+		return n, n, 0
+	}
+	hi = sort.Search(len(a), func(i int) bool { return a[i].FreqHz >= freqHz })
+	lo = hi - 1
+	t = (freqHz - a[lo].FreqHz) / (a[hi].FreqHz - a[lo].FreqHz)
+	return lo, hi, t
+}
+
+// Reflection returns the amplitude reflection coefficient at freqHz.
+func (m *Material) Reflection(freqHz float64) float64 {
+	lo, hi, t := m.interp(freqHz)
+	return m.anchors[lo].Reflection*(1-t) + m.anchors[hi].Reflection*t
+}
+
+// Transmission returns the amplitude transmission coefficient at freqHz.
+func (m *Material) Transmission(freqHz float64) float64 {
+	lo, hi, t := m.interp(freqHz)
+	return m.anchors[lo].Transmission*(1-t) + m.anchors[hi].Transmission*t
+}
+
+// PenetrationLossDB returns the one-pass transmission loss in positive dB.
+func (m *Material) PenetrationLossDB(freqHz float64) float64 {
+	tr := m.Transmission(freqHz)
+	if tr <= 0 {
+		return math.Inf(1)
+	}
+	return -DB(tr * tr)
+}
+
+// Standard building materials with responses shaped after published indoor
+// propagation measurements (ITU-R P.2040 class behaviour): loss grows with
+// frequency, concrete blocks mmWave almost entirely, drywall stays
+// moderately transparent, metal reflects at all bands.
+var (
+	// Drywall: light interior partition.
+	Drywall = MustMaterial("drywall",
+		MaterialPoint{FreqHz: 2.4e9, Reflection: 0.30, Transmission: 0.85},
+		MaterialPoint{FreqHz: 5e9, Reflection: 0.35, Transmission: 0.75},
+		MaterialPoint{FreqHz: 24e9, Reflection: 0.45, Transmission: 0.35},
+		MaterialPoint{FreqHz: 60e9, Reflection: 0.50, Transmission: 0.15},
+	)
+	// Concrete: structural wall; effectively opaque at mmWave
+	// (ITU-R P.2040-class walls exceed 45 dB penetration loss above
+	// 20 GHz).
+	Concrete = MustMaterial("concrete",
+		MaterialPoint{FreqHz: 2.4e9, Reflection: 0.60, Transmission: 0.30},
+		MaterialPoint{FreqHz: 5e9, Reflection: 0.62, Transmission: 0.18},
+		MaterialPoint{FreqHz: 24e9, Reflection: 0.70, Transmission: 0.005},
+		MaterialPoint{FreqHz: 60e9, Reflection: 0.72, Transmission: 0.0004},
+	)
+	// Glass: window pane.
+	Glass = MustMaterial("glass",
+		MaterialPoint{FreqHz: 2.4e9, Reflection: 0.25, Transmission: 0.90},
+		MaterialPoint{FreqHz: 5e9, Reflection: 0.30, Transmission: 0.85},
+		MaterialPoint{FreqHz: 24e9, Reflection: 0.40, Transmission: 0.60},
+		MaterialPoint{FreqHz: 60e9, Reflection: 0.45, Transmission: 0.40},
+	)
+	// Metal: near-perfect reflector, no transmission.
+	Metal = MustMaterial("metal",
+		MaterialPoint{FreqHz: 2.4e9, Reflection: 0.98, Transmission: 0},
+		MaterialPoint{FreqHz: 60e9, Reflection: 0.98, Transmission: 0},
+	)
+	// Wood: doors and furniture.
+	Wood = MustMaterial("wood",
+		MaterialPoint{FreqHz: 2.4e9, Reflection: 0.35, Transmission: 0.80},
+		MaterialPoint{FreqHz: 5e9, Reflection: 0.38, Transmission: 0.70},
+		MaterialPoint{FreqHz: 24e9, Reflection: 0.45, Transmission: 0.30},
+		MaterialPoint{FreqHz: 60e9, Reflection: 0.48, Transmission: 0.10},
+	)
+	// Absorber: anechoic boundary used to terminate open scene edges.
+	Absorber = MustMaterial("absorber",
+		MaterialPoint{FreqHz: 1e9, Reflection: 0, Transmission: 0},
+	)
+)

@@ -1,0 +1,204 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): Table 1 (the hardware catalog), Figure 2 (the
+// coverage/localization conflict heatmaps), Figure 4 (heterogeneous
+// surface collaboration and its cost/size trade-offs), Figure 5 (joint
+// multitask optimization CDFs), and Figure 6 (user demand translation).
+//
+// Each experiment has a constructor taking a Profile (Quick for CI-speed
+// runs, Full for paper-scale fidelity) and returns a result struct with a
+// Render method producing the rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Profile scales an experiment's workload.
+type Profile int
+
+// Profiles.
+const (
+	// Quick shrinks grids and surfaces so the whole suite runs in seconds;
+	// shapes (who wins, crossovers) are preserved.
+	Quick Profile = iota
+	// Full runs at paper-like fidelity (minutes).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	if p == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Table is a simple aligned-text table builder for experiment renderings.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) sequence for figure reproduction.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// CDFOf builds a CDF series from raw samples.
+func CDFOf(name string, samples []float64) Series {
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = float64(i+1) / float64(len(xs))
+	}
+	return Series{Name: name, X: xs, Y: ys}
+}
+
+// At returns the interpolated y at x (series must be sorted by X).
+func (s Series) At(x float64) float64 {
+	if len(s.X) == 0 {
+		return math.NaN()
+	}
+	if x <= s.X[0] {
+		return s.Y[0]
+	}
+	if x >= s.X[len(s.X)-1] {
+		return s.Y[len(s.Y)-1]
+	}
+	i := sort.SearchFloat64s(s.X, x)
+	t := (x - s.X[i-1]) / (s.X[i] - s.X[i-1])
+	return s.Y[i-1] + t*(s.Y[i]-s.Y[i-1])
+}
+
+// Quantile returns the x at cumulative fraction q of a CDF series.
+func (s Series) Quantile(q float64) float64 {
+	if len(s.X) == 0 {
+		return math.NaN()
+	}
+	for i, y := range s.Y {
+		if y >= q {
+			return s.X[i]
+		}
+	}
+	return s.X[len(s.X)-1]
+}
+
+// renderSeries prints series side by side at representative quantiles.
+func renderSeries(title string, series []Series, quantiles []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	t := &Table{Header: []string{"quantile"}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for _, q := range quantiles {
+		row := []string{fmt.Sprintf("p%02.0f", q*100)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.2f %s", s.Quantile(q), unit))
+		}
+		t.Add(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Heatmap is a 2D scalar field over a horizontal grid.
+type Heatmap struct {
+	X0, Y0, Step float64
+	Cols, Rows   int
+	// Values in row-major order (y-major: v[r*Cols+c]).
+	Values []float64
+	Unit   string
+}
+
+// At returns the value at cell (r, c).
+func (h *Heatmap) At(r, c int) float64 { return h.Values[r*h.Cols+c] }
+
+// Stats returns min, median, max over finite values.
+func (h *Heatmap) Stats() (min, med, max float64) {
+	clean := make([]float64, 0, len(h.Values))
+	for _, v := range h.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	sort.Float64s(clean)
+	return clean[0], clean[len(clean)/2], clean[len(clean)-1]
+}
+
+// Render draws the heatmap as ASCII art with a 10-glyph ramp, low to high.
+func (h *Heatmap) Render() string {
+	const ramp = " .:-=+*#%@"
+	min, _, max := h.Stats()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "heatmap %dx%d (%s): min=%.1f max=%.1f\n", h.Cols, h.Rows, h.Unit, min, max)
+	for r := h.Rows - 1; r >= 0; r-- { // north up
+		for c := 0; c < h.Cols; c++ {
+			v := h.At(r, c)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				b.WriteByte('?')
+				continue
+			}
+			idx := int((v - min) / span * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

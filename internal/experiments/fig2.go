@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"surfos/internal/optimize"
+	"surfos/internal/scene"
+)
+
+// Fig2Result reproduces Figure 2: with a single surface configured to
+// maximize coverage, (a) the RSS heatmap over the target room is strong,
+// but (b) the localization error heatmap shows the same configuration
+// disrupting localization across much of the room — the multi-service
+// conflict motivating a central orchestrator.
+type Fig2Result struct {
+	Profile Profile
+	// Coverage is the RSS (dBm) heatmap under the coverage-optimal config.
+	Coverage *Heatmap
+	// LocErr is the localization error (m) heatmap under the same config.
+	LocErr *Heatmap
+	// LocErrSensingOpt is the reference error heatmap under a
+	// localization-optimal config (what the room loses to the conflict).
+	LocErrSensingOpt *Heatmap
+}
+
+// RunFig2 executes the experiment on the shared multitasking rig.
+func RunFig2(p Profile) (*Fig2Result, error) {
+	rig, err := newSensingRig(p)
+	if err != nil {
+		return nil, err
+	}
+	covCfg := rig.quantize(rig.optimizeRaw(rig.covObj, nil))
+	locCfg := rig.quantize(rig.optimizeRaw(rig.locObj, nil))
+
+	// Heatmaps are computed on the rig's grid (row-major over the target
+	// room footprint).
+	step := rigFor(p).gridStep
+	reg := rig.apt.Regions[scene.RegionTargetRoom]
+	cols := 0
+	firstX := rig.grid[0].X
+	// GridPoints iterates x-major: count rows per x by detecting x change.
+	rows := 0
+	for _, pt := range rig.grid {
+		if pt.X == firstX {
+			rows++
+		}
+	}
+	cols = len(rig.grid) / rows
+
+	mk := func(vals []float64, unit string) *Heatmap {
+		// rig.grid is x-major (x outer, y inner); Heatmap is row-major in y.
+		h := &Heatmap{
+			X0: reg.Box.Min.X, Y0: reg.Box.Min.Y, Step: step,
+			Cols: cols, Rows: rows, Unit: unit,
+			Values: make([]float64, len(vals)),
+		}
+		for i, v := range vals {
+			c := i / rows // x index
+			r := i % rows // y index
+			h.Values[r*cols+c] = v
+		}
+		return h
+	}
+
+	covCfgs := optimize.PhasesToConfigs(covCfg)
+	rss := make([]float64, len(rig.grid))
+	for i, ch := range rig.chans {
+		h, _ := ch.Eval(covCfgs)
+		rss[i] = rig.budget.RxPowerDBm(h)
+	}
+
+	out := &Fig2Result{
+		Profile:          p,
+		Coverage:         mk(rss, "dBm"),
+		LocErr:           mk(rig.locErrPerLocation(covCfg), "m"),
+		LocErrSensingOpt: mk(rig.locErrPerLocation(locCfg), "m"),
+	}
+	return out, nil
+}
+
+// ShapeCheck verifies the conflict: the coverage-optimal configuration
+// must localize clearly worse (median over the room) than the
+// localization-optimal one.
+func (r *Fig2Result) ShapeCheck() string {
+	_, covMed, _ := r.LocErr.Stats()
+	_, locMed, _ := r.LocErrSensingOpt.Stats()
+	if covMed <= locMed*1.3 {
+		return fmt.Sprintf("no conflict: coverage-config median loc err %.2f m vs sensing-config %.2f m", covMed, locMed)
+	}
+	return ""
+}
+
+// Render prints both heatmaps with summary statistics.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: one coverage-optimized configuration, two services (%s profile)\n\n", r.Profile)
+	cmin, cmed, cmax := r.Coverage.Stats()
+	fmt.Fprintf(&b, "(a) Coverage heatmap, RSS dBm (min %.1f / med %.1f / max %.1f)\n%s\n",
+		cmin, cmed, cmax, r.Coverage.Render())
+	lmin, lmed, lmax := r.LocErr.Stats()
+	fmt.Fprintf(&b, "(b) Localization error heatmap under the SAME config, m (min %.2f / med %.2f / max %.2f)\n%s\n",
+		lmin, lmed, lmax, r.LocErr.Render())
+	smin, smed, smax := r.LocErrSensingOpt.Stats()
+	fmt.Fprintf(&b, "(reference) Localization error under a sensing-optimized config, m (min %.2f / med %.2f / max %.2f)\n%s\n",
+		smin, smed, smax, r.LocErrSensingOpt.Render())
+	if s := r.ShapeCheck(); s != "" {
+		fmt.Fprintf(&b, "SHAPE CHECK FAILED: %s\n", s)
+	} else {
+		fmt.Fprintf(&b, "shape check: coverage-optimal config disrupts localization (median %.2f m vs %.2f m)\n", lmed, smed)
+	}
+	return b.String()
+}

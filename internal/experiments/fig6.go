@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"surfos/internal/broker"
+)
+
+// Fig6Case is one user utterance and its translated service calls.
+type Fig6Case struct {
+	Utterance string
+	Calls     []broker.Call
+	Err       error
+}
+
+// Fig6Result reproduces Figure 6: translating user demands into SurfOS
+// service API calls. The paper uses GPT-4o; this repository substitutes a
+// deterministic intent translator hitting the identical typed service API
+// (see DESIGN.md), and the two utterances from the figure must reproduce
+// its calls exactly.
+type Fig6Result struct {
+	Cases []Fig6Case
+}
+
+// fig6Corpus holds the paper's two examples first, then additional demands
+// exercising the rest of the service surface.
+var fig6Corpus = []string{
+	"I want to start VR gaming in this room.",
+	"I want to have an online meeting while charging my phone.",
+	"the wifi is a dead zone in the bedroom",
+	"please stream a movie on the tv tonight",
+	"watch for motion while we are away",
+	"I need to send sensitive documents to the office",
+}
+
+// RunFig6 translates the corpus.
+func RunFig6() *Fig6Result {
+	tr := broker.NewTranslator()
+	tr.Rooms["bedroom"] = "target_room"
+	out := &Fig6Result{}
+	for _, u := range fig6Corpus {
+		calls, err := tr.Translate(u)
+		out.Cases = append(out.Cases, Fig6Case{Utterance: u, Calls: calls, Err: err})
+	}
+	return out
+}
+
+// PaperParity verifies the two Figure 6 examples translate to the calls
+// printed in the paper, returning a diff description ("" when exact).
+func (r *Fig6Result) PaperParity() string {
+	want := [][]string{
+		{
+			`enhance_link("VR_headset", snr=30.0, latency=10.0)`,
+			`enable_sensing("room_id", type="tracking", duration=3600)`,
+			`optimize_coverage("room_id", median_snr=25)`,
+		},
+		{
+			`enhance_link("laptop", snr=20.0, latency=50.0)`,
+			`enable_sensing("meeting_room", type="tracking", duration=3600)`,
+			`init_powering("phone", duration=3600)`,
+		},
+	}
+	var diffs []string
+	for i, w := range want {
+		if i >= len(r.Cases) {
+			diffs = append(diffs, fmt.Sprintf("case %d missing", i))
+			continue
+		}
+		got := map[string]bool{}
+		for _, c := range r.Cases[i].Calls {
+			got[c.String()] = true
+		}
+		for _, call := range w {
+			if !got[call] {
+				diffs = append(diffs, fmt.Sprintf("case %d missing call %s", i, call))
+			}
+		}
+		if len(r.Cases[i].Calls) != len(w) {
+			diffs = append(diffs, fmt.Sprintf("case %d has %d calls, paper shows %d",
+				i, len(r.Cases[i].Calls), len(w)))
+		}
+	}
+	return strings.Join(diffs, "; ")
+}
+
+// Render prints each utterance and its calls, Figure 6 style.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: translating user demands to SurfOS service calls\n")
+	b.WriteString("(deterministic intent translator standing in for the paper's GPT-4o)\n\n")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "User Input: %s\n", c.Utterance)
+		if c.Err != nil {
+			fmt.Fprintf(&b, "  error: %v\n\n", c.Err)
+			continue
+		}
+		for _, call := range c.Calls {
+			fmt.Fprintf(&b, "  %s\n", call)
+		}
+		b.WriteByte('\n')
+	}
+	if d := r.PaperParity(); d != "" {
+		fmt.Fprintf(&b, "PAPER PARITY FAILED: %s\n", d)
+	} else {
+		b.WriteString("paper parity: both Figure 6 examples reproduce exactly\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,9 @@
+package experiments
+
+import "math/rand"
+
+// seededRng returns a deterministic RNG so experiment outputs are
+// reproducible run to run.
+func seededRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Quad is a planar convex quadrilateral, the shape of every wall panel and
+// metasurface in a SurfOS scene. Corners are listed counter-clockwise when
+// viewed from the side the normal points toward.
+type Quad struct {
+	corners [4]Vec3
+	plane   Plane
+	// Cached edge data for point-in-quad tests.
+	edges [4]Vec3
+}
+
+// ErrDegenerateQuad is returned when the four corners are not a usable
+// planar convex quadrilateral.
+var ErrDegenerateQuad = errors.New("geom: degenerate or non-planar quad")
+
+// NewQuad validates the four corners and returns the quad. The corners must
+// be coplanar (within Eps scaled by size) and form a convex polygon.
+func NewQuad(a, b, c, d Vec3) (*Quad, error) {
+	n := b.Sub(a).Cross(c.Sub(a))
+	if n.Len() < Eps {
+		return nil, ErrDegenerateQuad
+	}
+	n = n.Normalize()
+	pl := PlaneFromPoint(n, a)
+	scale := a.Dist(c) + b.Dist(d)
+	if math.Abs(pl.SignedDist(d)) > 1e-6*(1+scale) {
+		return nil, ErrDegenerateQuad
+	}
+	q := &Quad{corners: [4]Vec3{a, b, c, d}, plane: pl}
+	for i := range q.corners {
+		q.edges[i] = q.corners[(i+1)%4].Sub(q.corners[i])
+	}
+	// Convexity: all edge-cross-normal consistency checks must agree.
+	for i := range q.corners {
+		next := q.edges[(i+1)%4]
+		if q.edges[i].Cross(next).Dot(n) < -Eps {
+			return nil, ErrDegenerateQuad
+		}
+	}
+	return q, nil
+}
+
+// MustQuad is NewQuad for statically-known-good geometry; it panics on error.
+func MustQuad(a, b, c, d Vec3) *Quad {
+	q, err := NewQuad(a, b, c, d)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// RectXY builds an axis-aligned vertical rectangle convenience constructor:
+// a rectangle spanning from corner 'origin' along direction u by width w and
+// along direction v by height h. u and v must be orthogonal unit vectors.
+func RectXY(origin, u, v Vec3, w, h float64) *Quad {
+	a := origin
+	b := origin.Add(u.Scale(w))
+	c := b.Add(v.Scale(h))
+	d := origin.Add(v.Scale(h))
+	return MustQuad(a, b, c, d)
+}
+
+// Corners returns the four corners in order.
+func (q *Quad) Corners() [4]Vec3 { return q.corners }
+
+// Plane returns the supporting plane.
+func (q *Quad) Plane() Plane { return q.plane }
+
+// Normal returns the unit normal.
+func (q *Quad) Normal() Vec3 { return q.plane.Normal }
+
+// Center returns the centroid.
+func (q *Quad) Center() Vec3 {
+	s := q.corners[0].Add(q.corners[1]).Add(q.corners[2]).Add(q.corners[3])
+	return s.Scale(0.25)
+}
+
+// Area returns the quad's area.
+func (q *Quad) Area() float64 {
+	// Split into two triangles (0,1,2) and (0,2,3).
+	t1 := q.corners[1].Sub(q.corners[0]).Cross(q.corners[2].Sub(q.corners[0])).Len() / 2
+	t2 := q.corners[2].Sub(q.corners[0]).Cross(q.corners[3].Sub(q.corners[0])).Len() / 2
+	return t1 + t2
+}
+
+// ContainsPoint reports whether a point already on the quad's plane lies
+// within the quad boundary.
+func (q *Quad) ContainsPoint(p Vec3) bool {
+	n := q.plane.Normal
+	for i := range q.corners {
+		toP := p.Sub(q.corners[i])
+		if q.edges[i].Cross(toP).Dot(n) < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectRay returns the ray parameter t and hit point where r strikes the
+// quad, or ok=false if it misses or the hit is farther than maxT.
+func (q *Quad) IntersectRay(r Ray, maxT float64) (t float64, p Vec3, ok bool) {
+	t, ok = q.plane.IntersectRay(r)
+	if !ok || t > maxT {
+		return 0, Vec3{}, false
+	}
+	p = r.At(t)
+	if !q.ContainsPoint(p) {
+		return 0, Vec3{}, false
+	}
+	return t, p, true
+}
+
+// Bounds returns the quad's axis-aligned bounding box.
+func (q *Quad) Bounds() AABB {
+	min, max := q.corners[0], q.corners[0]
+	for _, c := range q.corners[1:] {
+		min = V(math.Min(min.X, c.X), math.Min(min.Y, c.Y), math.Min(min.Z, c.Z))
+		max = V(math.Max(max.X, c.X), math.Max(max.Y, c.Y), math.Max(max.Z, c.Z))
+	}
+	return AABB{Min: min, Max: max}
+}
+
+// SampleGrid returns nu×nv points uniformly tiling the quad (cell centers).
+// Only valid for parallelogram quads (all our panels are rectangles);
+// the grid interpolates corners[0]→corners[1] and corners[0]→corners[3].
+func (q *Quad) SampleGrid(nu, nv int) []Vec3 {
+	if nu <= 0 || nv <= 0 {
+		return nil
+	}
+	pts := make([]Vec3, 0, nu*nv)
+	e1 := q.corners[1].Sub(q.corners[0])
+	e2 := q.corners[3].Sub(q.corners[0])
+	for j := 0; j < nv; j++ {
+		fv := (float64(j) + 0.5) / float64(nv)
+		for i := 0; i < nu; i++ {
+			fu := (float64(i) + 0.5) / float64(nu)
+			pts = append(pts, q.corners[0].Add(e1.Scale(fu)).Add(e2.Scale(fv)))
+		}
+	}
+	return pts
+}

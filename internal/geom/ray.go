@@ -1,0 +1,114 @@
+package geom
+
+import "math"
+
+// Eps is the tolerance used for intersection tests. Scene dimensions are a
+// few meters, so 1e-9 m is far below any physical feature size while staying
+// well above float64 rounding error at that scale.
+const Eps = 1e-9
+
+// Ray is a half-line from Origin in unit direction Dir.
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3 // unit length
+}
+
+// NewRay builds a ray from origin toward target. The direction is normalized.
+func NewRay(origin, target Vec3) Ray {
+	return Ray{Origin: origin, Dir: target.Sub(origin).Normalize()}
+}
+
+// At returns the point at parameter t along the ray.
+func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
+
+// Plane is an infinite plane with unit Normal and signed offset D such that
+// points p on the plane satisfy Normal·p = D.
+type Plane struct {
+	Normal Vec3
+	D      float64
+}
+
+// PlaneFromPoint builds the plane through point p with unit normal n.
+func PlaneFromPoint(n, p Vec3) Plane {
+	n = n.Normalize()
+	return Plane{Normal: n, D: n.Dot(p)}
+}
+
+// SignedDist returns the signed distance from p to the plane (positive on
+// the normal side).
+func (pl Plane) SignedDist(p Vec3) float64 { return pl.Normal.Dot(p) - pl.D }
+
+// IntersectRay returns the ray parameter t at which r crosses the plane and
+// ok=true, or ok=false if the ray is parallel to the plane or the crossing
+// is behind the origin (t < Eps).
+func (pl Plane) IntersectRay(r Ray) (t float64, ok bool) {
+	denom := pl.Normal.Dot(r.Dir)
+	if math.Abs(denom) < Eps {
+		return 0, false
+	}
+	t = (pl.D - pl.Normal.Dot(r.Origin)) / denom
+	if t < Eps {
+		return 0, false
+	}
+	return t, true
+}
+
+// Mirror returns the mirror image of point p across the plane. Used by the
+// image method for specular reflection paths.
+func (pl Plane) Mirror(p Vec3) Vec3 {
+	return p.Sub(pl.Normal.Scale(2 * pl.SignedDist(p)))
+}
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Expand grows the box by m in every direction.
+func (b AABB) Expand(m float64) AABB {
+	d := V(m, m, m)
+	return AABB{Min: b.Min.Sub(d), Max: b.Max.Add(d)}
+}
+
+// Center returns the box center.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// IntersectRay reports whether r hits the box within (Eps, maxT) using the
+// slab method, returning the entry parameter.
+func (b AABB) IntersectRay(r Ray, maxT float64) (float64, bool) {
+	tmin, tmax := Eps, maxT
+	for _, ax := range [3]struct{ o, d, lo, hi float64 }{
+		{r.Origin.X, r.Dir.X, b.Min.X, b.Max.X},
+		{r.Origin.Y, r.Dir.Y, b.Min.Y, b.Max.Y},
+		{r.Origin.Z, r.Dir.Z, b.Min.Z, b.Max.Z},
+	} {
+		if math.Abs(ax.d) < Eps {
+			if ax.o < ax.lo || ax.o > ax.hi {
+				return 0, false
+			}
+			continue
+		}
+		t1 := (ax.lo - ax.o) / ax.d
+		t2 := (ax.hi - ax.o) / ax.d
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tmin {
+			tmin = t1
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return 0, false
+		}
+	}
+	return tmin, true
+}

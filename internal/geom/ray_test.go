@@ -1,0 +1,188 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPlaneSignedDist(t *testing.T) {
+	pl := PlaneFromPoint(V(0, 0, 1), V(0, 0, 2)) // z = 2
+	if got := pl.SignedDist(V(5, 5, 3)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("dist above = %v, want 1", got)
+	}
+	if got := pl.SignedDist(V(0, 0, 0)); math.Abs(got+2) > 1e-12 {
+		t.Errorf("dist below = %v, want -2", got)
+	}
+}
+
+func TestPlaneIntersectRay(t *testing.T) {
+	pl := PlaneFromPoint(V(0, 0, 1), V(0, 0, 5))
+	r := Ray{Origin: V(0, 0, 0), Dir: V(0, 0, 1)}
+	tt, ok := pl.IntersectRay(r)
+	if !ok || math.Abs(tt-5) > 1e-12 {
+		t.Errorf("intersect = %v,%v want 5,true", tt, ok)
+	}
+	// Ray pointing away misses.
+	if _, ok := pl.IntersectRay(Ray{Origin: V(0, 0, 0), Dir: V(0, 0, -1)}); ok {
+		t.Error("ray pointing away should miss")
+	}
+	// Parallel ray misses.
+	if _, ok := pl.IntersectRay(Ray{Origin: V(0, 0, 0), Dir: V(1, 0, 0)}); ok {
+		t.Error("parallel ray should miss")
+	}
+}
+
+func TestPlaneMirror(t *testing.T) {
+	pl := PlaneFromPoint(V(0, 0, 1), V(0, 0, 1)) // z = 1
+	got := pl.Mirror(V(2, 3, 4))
+	want := V(2, 3, -2)
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("mirror = %v, want %v", got, want)
+	}
+}
+
+func TestPlaneMirrorInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n := boundedVec(r).Normalize()
+		if n.IsZero() {
+			continue
+		}
+		pl := PlaneFromPoint(n, boundedVec(r))
+		p := boundedVec(r)
+		if got := pl.Mirror(pl.Mirror(p)); !got.ApproxEqual(p, 1e-9) {
+			t.Fatalf("mirror twice: got %v want %v", got, p)
+		}
+		// Mirrored point is equidistant on the other side.
+		d1, d2 := pl.SignedDist(p), pl.SignedDist(pl.Mirror(p))
+		if math.Abs(d1+d2) > 1e-9*(1+math.Abs(d1)) {
+			t.Fatalf("mirror distances not opposite: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestAABBContains(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(1, 2, 3)}
+	if !b.Contains(V(0.5, 1, 1.5)) {
+		t.Error("interior point not contained")
+	}
+	if !b.Contains(V(0, 0, 0)) || !b.Contains(V(1, 2, 3)) {
+		t.Error("boundary points should be contained")
+	}
+	if b.Contains(V(1.1, 1, 1)) {
+		t.Error("exterior point contained")
+	}
+}
+
+func TestAABBIntersectRay(t *testing.T) {
+	b := AABB{Min: V(1, -1, -1), Max: V(2, 1, 1)}
+	r := Ray{Origin: V(0, 0, 0), Dir: V(1, 0, 0)}
+	tt, ok := b.IntersectRay(r, 10)
+	if !ok || math.Abs(tt-1) > 1e-12 {
+		t.Errorf("aabb hit = %v,%v want 1,true", tt, ok)
+	}
+	// maxT closer than the box.
+	if _, ok := b.IntersectRay(r, 0.5); ok {
+		t.Error("hit beyond maxT should miss")
+	}
+	// Ray offset misses.
+	if _, ok := b.IntersectRay(Ray{Origin: V(0, 5, 0), Dir: V(1, 0, 0)}, 10); ok {
+		t.Error("offset ray should miss")
+	}
+	// Axis-parallel ray inside slab bounds.
+	r2 := Ray{Origin: V(0, 0.5, 0.5), Dir: V(1, 0, 0)}
+	if _, ok := b.IntersectRay(r2, 10); !ok {
+		t.Error("inside-slab ray should hit")
+	}
+}
+
+func TestQuadIntersect(t *testing.T) {
+	// Unit square in the y=0 plane facing +y.
+	q := MustQuad(V(0, 0, 0), V(0, 0, 1), V(1, 0, 1), V(1, 0, 0))
+	r := Ray{Origin: V(0.5, -1, 0.5), Dir: V(0, 1, 0)}
+	tt, p, ok := q.IntersectRay(r, 10)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if math.Abs(tt-1) > 1e-12 || !p.ApproxEqual(V(0.5, 0, 0.5), 1e-12) {
+		t.Errorf("hit t=%v p=%v", tt, p)
+	}
+	// Miss outside boundary.
+	r2 := Ray{Origin: V(1.5, -1, 0.5), Dir: V(0, 1, 0)}
+	if _, _, ok := q.IntersectRay(r2, 10); ok {
+		t.Error("should miss outside the quad")
+	}
+}
+
+func TestQuadAreaCenterNormal(t *testing.T) {
+	q := MustQuad(V(0, 0, 0), V(2, 0, 0), V(2, 3, 0), V(0, 3, 0))
+	if got := q.Area(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("area = %v, want 6", got)
+	}
+	if got := q.Center(); !got.ApproxEqual(V(1, 1.5, 0), 1e-12) {
+		t.Errorf("center = %v", got)
+	}
+	if got := q.Normal(); !got.ApproxEqual(V(0, 0, 1), 1e-12) {
+		t.Errorf("normal = %v", got)
+	}
+}
+
+func TestNewQuadRejectsDegenerate(t *testing.T) {
+	// Collinear points.
+	if _, err := NewQuad(V(0, 0, 0), V(1, 0, 0), V(2, 0, 0), V(3, 0, 0)); err == nil {
+		t.Error("collinear corners accepted")
+	}
+	// Non-planar.
+	if _, err := NewQuad(V(0, 0, 0), V(1, 0, 0), V(1, 1, 0), V(0, 1, 5)); err == nil {
+		t.Error("non-planar corners accepted")
+	}
+	// Non-convex (bowtie).
+	if _, err := NewQuad(V(0, 0, 0), V(1, 1, 0), V(1, 0, 0), V(0, 1, 0)); err == nil {
+		t.Error("bowtie accepted")
+	}
+}
+
+func TestQuadSampleGrid(t *testing.T) {
+	q := MustQuad(V(0, 0, 0), V(4, 0, 0), V(4, 2, 0), V(0, 2, 0))
+	pts := q.SampleGrid(4, 2)
+	if len(pts) != 8 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	// First cell center.
+	if !pts[0].ApproxEqual(V(0.5, 0.5, 0), 1e-12) {
+		t.Errorf("first point = %v", pts[0])
+	}
+	// Last cell center.
+	if !pts[7].ApproxEqual(V(3.5, 1.5, 0), 1e-12) {
+		t.Errorf("last point = %v", pts[7])
+	}
+	// All on the quad.
+	for _, p := range pts {
+		if !q.ContainsPoint(p) {
+			t.Errorf("sample %v outside quad", p)
+		}
+	}
+	if q.SampleGrid(0, 5) != nil {
+		t.Error("zero-dim grid should be nil")
+	}
+}
+
+func TestQuadBounds(t *testing.T) {
+	q := MustQuad(V(0, 0, 0), V(2, 0, 0), V(2, 3, 1), V(0, 3, 1))
+	b := q.Bounds()
+	if !b.Min.ApproxEqual(V(0, 0, 0), 1e-12) || !b.Max.ApproxEqual(V(2, 3, 1), 1e-12) {
+		t.Errorf("bounds = %v..%v", b.Min, b.Max)
+	}
+}
+
+func TestRectXY(t *testing.T) {
+	q := RectXY(V(1, 1, 0), V(1, 0, 0), V(0, 0, 1), 2, 3)
+	c := q.Corners()
+	want := [4]Vec3{V(1, 1, 0), V(3, 1, 0), V(3, 1, 3), V(1, 1, 3)}
+	for i := range c {
+		if !c[i].ApproxEqual(want[i], 1e-12) {
+			t.Errorf("corner %d = %v, want %v", i, c[i], want[i])
+		}
+	}
+}

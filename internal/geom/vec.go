@@ -1,0 +1,127 @@
+// Package geom provides the 3D geometric primitives used by the SurfOS
+// channel simulator: vectors, rays, planes, axis-aligned boxes, and convex
+// planar polygons (wall and surface panels).
+//
+// Conventions: right-handed coordinates, +Z up, distances in meters, angles
+// in radians unless a function name says otherwise.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-component vector (point or direction) in meters.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a scaled by s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Neg returns -a.
+func (a Vec3) Neg() Vec3 { return Vec3{-a.X, -a.Y, -a.Z} }
+
+// Dot returns the dot product a·b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a×b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Len returns the Euclidean norm |a|.
+func (a Vec3) Len() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Len2 returns the squared norm |a|², avoiding a sqrt where possible.
+func (a Vec3) Len2() float64 { return a.Dot(a) }
+
+// Dist returns the distance between points a and b.
+func (a Vec3) Dist(b Vec3) float64 { return a.Sub(b).Len() }
+
+// Normalize returns a unit vector in the direction of a. The zero vector is
+// returned unchanged (callers that care must check IsZero first).
+func (a Vec3) Normalize() Vec3 {
+	l := a.Len()
+	if l == 0 {
+		return a
+	}
+	return a.Scale(1 / l)
+}
+
+// IsZero reports whether all components are exactly zero.
+func (a Vec3) IsZero() bool { return a.X == 0 && a.Y == 0 && a.Z == 0 }
+
+// IsFinite reports whether all components are finite (no NaN/Inf).
+func (a Vec3) IsFinite() bool {
+	return !math.IsNaN(a.X) && !math.IsInf(a.X, 0) &&
+		!math.IsNaN(a.Y) && !math.IsInf(a.Y, 0) &&
+		!math.IsNaN(a.Z) && !math.IsInf(a.Z, 0)
+}
+
+// Lerp linearly interpolates between a (t=0) and b (t=1).
+func (a Vec3) Lerp(b Vec3, t float64) Vec3 {
+	return a.Add(b.Sub(a).Scale(t))
+}
+
+// Reflect returns the reflection of direction a about the unit normal n,
+// i.e. a - 2(a·n)n. n must be unit length.
+func (a Vec3) Reflect(n Vec3) Vec3 {
+	return a.Sub(n.Scale(2 * a.Dot(n)))
+}
+
+// AngleTo returns the angle in radians between a and b, in [0, π].
+// Returns 0 if either vector is zero.
+func (a Vec3) AngleTo(b Vec3) float64 {
+	la, lb := a.Len(), b.Len()
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	c := a.Dot(b) / (la * lb)
+	// Clamp against floating-point drift before acos.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// String implements fmt.Stringer.
+func (a Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", a.X, a.Y, a.Z)
+}
+
+// ApproxEqual reports whether a and b differ by at most eps per component.
+func (a Vec3) ApproxEqual(b Vec3, eps float64) bool {
+	return math.Abs(a.X-b.X) <= eps &&
+		math.Abs(a.Y-b.Y) <= eps &&
+		math.Abs(a.Z-b.Z) <= eps
+}
+
+// Basis returns two unit vectors u, v such that (u, v, n) forms a
+// right-handed orthonormal basis with the unit vector n. Useful for laying
+// out grids of surface elements on a plane.
+func Basis(n Vec3) (u, v Vec3) {
+	// Pick the axis least aligned with n to avoid degeneracy.
+	ref := V(1, 0, 0)
+	if math.Abs(n.X) > 0.9 {
+		ref = V(0, 1, 0)
+	}
+	u = ref.Cross(n).Normalize()
+	v = n.Cross(u)
+	return u, v
+}

@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// boundedVec produces a random vector with components in [-10, 10), matching
+// room-scale geometry and avoiding overflow in products.
+func boundedVec(r *rand.Rand) Vec3 {
+	return V(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a, b := V(1, 2, 3), V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*(-5)+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossRightHanded(t *testing.T) {
+	x, y, z := V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)
+	if got := x.Cross(y); !got.ApproxEqual(z, 1e-12) {
+		t.Errorf("x×y = %v, want z", got)
+	}
+	if got := y.Cross(z); !got.ApproxEqual(x, 1e-12) {
+		t.Errorf("y×z = %v, want x", got)
+	}
+	if got := z.Cross(x); !got.ApproxEqual(y, 1e-12) {
+		t.Errorf("z×x = %v, want y", got)
+	}
+}
+
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V(math.Mod(ax, 10), math.Mod(ay, 10), math.Mod(az, 10))
+		b := V(math.Mod(bx, 10), math.Mod(by, 10), math.Mod(bz, 10))
+		c := a.Cross(b)
+		scale := a.Len() * b.Len()
+		return math.Abs(c.Dot(a)) <= 1e-9*(1+scale) && math.Abs(c.Dot(b)) <= 1e-9*(1+scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLagrangeIdentity(t *testing.T) {
+	// |a×b|² + (a·b)² == |a|²|b|²
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V(math.Mod(ax, 10), math.Mod(ay, 10), math.Mod(az, 10))
+		b := V(math.Mod(bx, 10), math.Mod(by, 10), math.Mod(bz, 10))
+		lhs := a.Cross(b).Len2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Len2() * b.Len2()
+		return math.Abs(lhs-rhs) <= 1e-6*(1+rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := V(3, 4, 0).Normalize()
+	if math.Abs(v.Len()-1) > 1e-12 {
+		t.Errorf("|normalize| = %v, want 1", v.Len())
+	}
+	if !V(0, 0, 0).Normalize().IsZero() {
+		t.Error("normalize of zero should stay zero")
+	}
+}
+
+func TestReflectInvolution(t *testing.T) {
+	// Reflecting twice about the same unit normal restores the vector.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := boundedVec(r).Normalize()
+		if n.IsZero() {
+			continue
+		}
+		v := boundedVec(r)
+		got := v.Reflect(n).Reflect(n)
+		if !got.ApproxEqual(v, 1e-9) {
+			t.Fatalf("reflect twice: got %v want %v (n=%v)", got, v, n)
+		}
+	}
+}
+
+func TestReflectPreservesLength(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := boundedVec(r).Normalize()
+		if n.IsZero() {
+			continue
+		}
+		v := boundedVec(r)
+		if math.Abs(v.Reflect(n).Len()-v.Len()) > 1e-9*(1+v.Len()) {
+			t.Fatalf("reflection changed length for v=%v n=%v", v, n)
+		}
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	if got := V(1, 0, 0).AngleTo(V(0, 1, 0)); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("angle = %v, want π/2", got)
+	}
+	if got := V(1, 0, 0).AngleTo(V(-1, 0, 0)); math.Abs(got-math.Pi) > 1e-12 {
+		t.Errorf("angle = %v, want π", got)
+	}
+	if got := V(1, 1, 0).AngleTo(V(2, 2, 0)); got > 1e-7 {
+		t.Errorf("angle of parallel = %v, want 0", got)
+	}
+	if got := V(0, 0, 0).AngleTo(V(1, 0, 0)); got != 0 {
+		t.Errorf("angle with zero vector = %v, want 0", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, -10, 2)
+	if got := a.Lerp(b, 0); !got.ApproxEqual(a, 0) {
+		t.Errorf("lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); !got.ApproxEqual(b, 1e-12) {
+		t.Errorf("lerp 1 = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); !got.ApproxEqual(V(5, -5, 1), 1e-12) {
+		t.Errorf("lerp 0.5 = %v", got)
+	}
+}
+
+func TestBasisOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		n := boundedVec(r).Normalize()
+		if n.IsZero() {
+			continue
+		}
+		u, v := Basis(n)
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"|u|", u.Len(), 1},
+			{"|v|", v.Len(), 1},
+			{"u·n", u.Dot(n), 0},
+			{"v·n", v.Dot(n), 0},
+			{"u·v", u.Dot(v), 0},
+			{"(u×v)·n", u.Cross(v).Dot(n), 1}, // right-handed
+		}
+		for _, c := range checks {
+			if math.Abs(c.got-c.want) > 1e-9 {
+				t.Fatalf("basis %s = %v want %v (n=%v)", c.name, c.got, c.want, n)
+			}
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}

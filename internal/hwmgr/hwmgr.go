@@ -1,0 +1,323 @@
+// Package hwmgr implements the SurfOS hardware manager (paper §3.1): the
+// inventory of managed surface devices and non-surface hardware (APs,
+// sensors), addressed by stable IDs, with the unified configuration
+// primitives routed to the right driver and the device-local
+// feedback-driven codebook adaptation that decouples real-time actuation
+// from control-plane management.
+package hwmgr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"surfos/internal/driver"
+	"surfos/internal/geom"
+	"surfos/internal/rfsim"
+	"surfos/internal/surface"
+	"surfos/internal/telemetry"
+)
+
+// Device is one managed surface: a driver plus deployment identity.
+type Device struct {
+	ID    string
+	Mount string // deployment location name, e.g. "east_wall"
+	Drv   *driver.Driver
+}
+
+// AccessPoint is managed non-surface radio infrastructure. SurfOS interacts
+// with APs for channel feedback and link budgets (§3.1 "non-surface
+// hardware").
+type AccessPoint struct {
+	ID       string
+	Pos      geom.Vec3
+	FreqHz   float64
+	Budget   rfsim.LinkBudget
+	Antennas int // array size for sensing-capable APs
+}
+
+// Sensor is an external measurement device reporting to SurfOS (power
+// detectors, Lidar, cameras, radars — §3.1).
+type Sensor struct {
+	ID   string
+	Kind string // e.g. "power-detector", "lidar"
+	Pos  geom.Vec3
+}
+
+// Manager is the hardware manager. It is safe for concurrent use.
+type Manager struct {
+	mu      sync.RWMutex
+	devices map[string]*Device
+	aps     map[string]*AccessPoint
+	sensors map[string]*Sensor
+}
+
+// New creates an empty manager.
+func New() *Manager {
+	return &Manager{
+		devices: make(map[string]*Device),
+		aps:     make(map[string]*AccessPoint),
+		sensors: make(map[string]*Sensor),
+	}
+}
+
+// AddSurface registers a surface device under a unique ID.
+func (m *Manager) AddSurface(id, mount string, d *driver.Driver) error {
+	if id == "" || d == nil {
+		return fmt.Errorf("hwmgr: surface needs an id and a driver")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.devices[id]; dup {
+		return fmt.Errorf("hwmgr: duplicate surface id %q", id)
+	}
+	m.devices[id] = &Device{ID: id, Mount: mount, Drv: d}
+	return nil
+}
+
+// RemoveSurface unregisters a device (e.g. hardware decommissioned).
+func (m *Manager) RemoveSurface(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.devices[id]; !ok {
+		return fmt.Errorf("hwmgr: unknown surface %q", id)
+	}
+	delete(m.devices, id)
+	return nil
+}
+
+// Surface looks up a device.
+func (m *Manager) Surface(id string) (*Device, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.devices[id]
+	if !ok {
+		return nil, fmt.Errorf("hwmgr: unknown surface %q", id)
+	}
+	return d, nil
+}
+
+// Surfaces returns all devices sorted by ID.
+func (m *Manager) Surfaces() []*Device {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Device, 0, len(m.devices))
+	for _, d := range m.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SurfacesForBand returns the devices whose designs operate at freqHz,
+// sorted by ID — the orchestrator's capability query.
+func (m *Manager) SurfacesForBand(freqHz float64) []*Device {
+	all := m.Surfaces()
+	out := all[:0:0]
+	for _, d := range all {
+		if d.Drv.Spec().SupportsFreq(freqHz) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AddAP registers an access point.
+func (m *Manager) AddAP(ap *AccessPoint) error {
+	if ap == nil || ap.ID == "" {
+		return fmt.Errorf("hwmgr: AP needs an id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.aps[ap.ID]; dup {
+		return fmt.Errorf("hwmgr: duplicate AP id %q", ap.ID)
+	}
+	m.aps[ap.ID] = ap
+	return nil
+}
+
+// AP looks up an access point.
+func (m *Manager) AP(id string) (*AccessPoint, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ap, ok := m.aps[id]
+	if !ok {
+		return nil, fmt.Errorf("hwmgr: unknown AP %q", id)
+	}
+	return ap, nil
+}
+
+// APs returns all registered access points sorted by ID.
+func (m *Manager) APs() []*AccessPoint {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*AccessPoint, 0, len(m.aps))
+	for _, ap := range m.aps {
+		out = append(out, ap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddSensor registers an external sensor.
+func (m *Manager) AddSensor(s *Sensor) error {
+	if s == nil || s.ID == "" {
+		return fmt.Errorf("hwmgr: sensor needs an id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.sensors[s.ID]; dup {
+		return fmt.Errorf("hwmgr: duplicate sensor id %q", s.ID)
+	}
+	m.sensors[s.ID] = s
+	return nil
+}
+
+// Sensors returns all sensors sorted by ID.
+func (m *Manager) Sensors() []*Sensor {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Sensor, 0, len(m.sensors))
+	for _, s := range m.sensors {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ShiftPhase routes the unified phase primitive to a device.
+func (m *Manager) ShiftPhase(id string, cfg surface.Config) error {
+	d, err := m.Surface(id)
+	if err != nil {
+		return err
+	}
+	return d.Drv.ShiftPhase(cfg)
+}
+
+// SetAmplitude routes the unified amplitude primitive to a device.
+func (m *Manager) SetAmplitude(id string, cfg surface.Config) error {
+	d, err := m.Surface(id)
+	if err != nil {
+		return err
+	}
+	return d.Drv.SetAmplitude(cfg)
+}
+
+// StoreCodebook pushes a codebook to a device (the asynchronous
+// control-plane path; real-time selection happens locally via feedback).
+func (m *Manager) StoreCodebook(id string, labels []string, cfgs []surface.Config) error {
+	d, err := m.Surface(id)
+	if err != nil {
+		return err
+	}
+	return d.Drv.StoreCodebook(labels, cfgs)
+}
+
+// ApplyLatency returns how long a configuration update takes to reach the
+// device — the driver-exposed control delay the scheduler must plan around.
+// Passive devices report ok=false ("infinite control delay", like ROM).
+func (m *Manager) ApplyLatency(id string) (time.Duration, bool, error) {
+	d, err := m.Surface(id)
+	if err != nil {
+		return 0, false, err
+	}
+	spec := d.Drv.Spec()
+	return spec.ControlDelay, spec.Reconfigurable, nil
+}
+
+// AdaptFromFeedback performs the device-local real-time reaction: given one
+// link metric per stored codebook entry (e.g. SNR reported by the endpoint
+// under each entry during a beacon sweep), it activates the best entry and
+// returns its index.
+func (m *Manager) AdaptFromFeedback(id string, metricPerEntry []float64) (int, error) {
+	d, err := m.Surface(id)
+	if err != nil {
+		return 0, err
+	}
+	n := d.Drv.CodebookLen()
+	if n == 0 {
+		return 0, fmt.Errorf("hwmgr: surface %q has no codebook", id)
+	}
+	if len(metricPerEntry) != n {
+		return 0, fmt.Errorf("hwmgr: %d metrics for %d codebook entries", len(metricPerEntry), n)
+	}
+	best := 0
+	for i, v := range metricPerEntry {
+		if v > metricPerEntry[best] {
+			best = i
+		}
+	}
+	if err := d.Drv.Select(best); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// TotalCostUSD sums the hardware cost of all managed surfaces — the
+// quantity the paper's Figure 4(b) trades against performance.
+func (m *Manager) TotalCostUSD() float64 {
+	var sum float64
+	for _, d := range m.Surfaces() {
+		sum += d.Drv.CostUSD()
+	}
+	return sum
+}
+
+// TotalAreaM2 sums the physical surface area — Figure 4(c)'s axis.
+func (m *Manager) TotalAreaM2() float64 {
+	var sum float64
+	for _, d := range m.Surfaces() {
+		sum += d.Drv.Surface().AreaM2()
+	}
+	return sum
+}
+
+// CrossBandBlockers returns devices whose panels significantly attenuate a
+// frequency outside their design band — the §2.1 hazard ("surfaces
+// designed for 2.4 GHz may block 3 GHz cellular and 5 GHz Wi-Fi").
+// threshold is the one-pass penetration loss in dB above which a panel
+// counts as a blocker.
+func (m *Manager) CrossBandBlockers(freqHz, thresholdDB float64) []*Device {
+	var out []*Device
+	for _, d := range m.Surfaces() {
+		spec := d.Drv.Spec()
+		if spec.SupportsFreq(freqHz) {
+			continue // in-band interaction is intended, not a hazard
+		}
+		if spec.Response == nil {
+			continue // no wideband response on file: cannot assess
+		}
+		if spec.Response.PenetrationLossDB(freqHz) >= thresholdDB {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AdaptAll runs the device-local codebook selection for every surface that
+// has stored entries, using the smoothed per-entry link metrics from the
+// telemetry aggregator. Devices without any feedback keep their current
+// selection. Returns the devices that switched entries.
+func (m *Manager) AdaptAll(agg *telemetry.Aggregator) []string {
+	var switched []string
+	for _, d := range m.Surfaces() {
+		n := d.Drv.CodebookLen()
+		if n < 2 || agg.Samples(d.ID) == 0 {
+			continue
+		}
+		_, before, hadActive := d.Drv.Active()
+		metrics := agg.Metrics(d.ID, n, math.Inf(-1))
+		idx, err := m.AdaptFromFeedback(d.ID, metrics)
+		if err != nil {
+			continue
+		}
+		_, after, _ := d.Drv.Active()
+		if hadActive && after != before {
+			switched = append(switched, d.ID)
+		}
+		_ = idx
+	}
+	return switched
+}

@@ -1,0 +1,266 @@
+package hwmgr
+
+import (
+	"math"
+	"testing"
+
+	"surfos/internal/driver"
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/surface"
+	"surfos/internal/telemetry"
+)
+
+func newDevice(t *testing.T, model string, mode surface.OpMode) *driver.Driver {
+	t.Helper()
+	panel := geom.RectXY(geom.V(0, 0, 1), geom.V(-1, 0, 0), geom.V(0, 0, 1), 0.3, 0.3)
+	s, err := surface.New("p", panel, surface.Layout{Rows: 3, Cols: 3, PitchU: 0.00625, PitchV: 0.00625}, mode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := driver.Lookup(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := driver.New(spec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAddLookupRemove(t *testing.T) {
+	m := New()
+	d := newDevice(t, driver.ModelNRSurface, surface.Reflective)
+	if err := m.AddSurface("s1", "east_wall", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSurface("s1", "east_wall", d); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := m.AddSurface("", "x", d); err == nil {
+		t.Error("empty id accepted")
+	}
+	dev, err := m.Surface("s1")
+	if err != nil || dev.Mount != "east_wall" {
+		t.Fatalf("lookup: %v %v", dev, err)
+	}
+	if _, err := m.Surface("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := m.RemoveSurface("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveSurface("s1"); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func TestSurfacesSortedAndBandQuery(t *testing.T) {
+	m := New()
+	if err := m.AddSurface("b", "m1", newDevice(t, driver.ModelNRSurface, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSurface("a", "m2", newDevice(t, driver.ModelScatterMIMO, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	all := m.Surfaces()
+	if len(all) != 2 || all[0].ID != "a" || all[1].ID != "b" {
+		t.Fatalf("unsorted surfaces: %v", all)
+	}
+	at24 := m.SurfacesForBand(24e9)
+	if len(at24) != 1 || at24[0].ID != "b" {
+		t.Errorf("band query returned %v", at24)
+	}
+	if got := m.SurfacesForBand(100e9); len(got) != 0 {
+		t.Errorf("no device should support 100 GHz: %v", got)
+	}
+}
+
+func TestAPsAndSensors(t *testing.T) {
+	m := New()
+	if err := m.AddAP(&AccessPoint{ID: "ap1", FreqHz: em.Band24G}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddAP(&AccessPoint{ID: "ap1"}); err == nil {
+		t.Error("duplicate AP accepted")
+	}
+	if err := m.AddAP(nil); err == nil {
+		t.Error("nil AP accepted")
+	}
+	if _, err := m.AP("ap1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.AP("zz"); err == nil {
+		t.Error("unknown AP accepted")
+	}
+	if err := m.AddSensor(&Sensor{ID: "lidar0", Kind: "lidar"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSensor(&Sensor{ID: "lidar0"}); err == nil {
+		t.Error("duplicate sensor accepted")
+	}
+	if got := len(m.Sensors()); got != 1 {
+		t.Errorf("sensors = %d", got)
+	}
+	if got := len(m.APs()); got != 1 {
+		t.Errorf("aps = %d", got)
+	}
+}
+
+func TestUnifiedPrimitivesRoute(t *testing.T) {
+	m := New()
+	if err := m.AddSurface("s1", "w", newDevice(t, driver.ModelNRSurface, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := surface.Config{Property: surface.Phase, Values: make([]float64, 9)}
+	if err := m.ShiftPhase("s1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ShiftPhase("zz", cfg); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := m.SetAmplitude("s1", surface.Config{Property: surface.Amplitude, Values: make([]float64, 9)}); err == nil {
+		t.Error("amplitude on a phase design should fail")
+	}
+}
+
+func TestCodebookAndFeedbackAdaptation(t *testing.T) {
+	m := New()
+	if err := m.AddSurface("s1", "w", newDevice(t, driver.ModelNRSurface, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(v float64) surface.Config {
+		vals := make([]float64, 9)
+		for i := range vals {
+			vals[i] = v
+		}
+		return surface.Config{Property: surface.Phase, Values: vals}
+	}
+	if err := m.StoreCodebook("s1", []string{"b0", "b1", "b2"},
+		[]surface.Config{mk(0), mk(1), mk(2)}); err != nil {
+		t.Fatal(err)
+	}
+	best, err := m.AdaptFromFeedback("s1", []float64{3.0, 9.5, 7.1})
+	if err != nil || best != 1 {
+		t.Fatalf("adapt: best=%d err=%v, want 1", best, err)
+	}
+	dev, _ := m.Surface("s1")
+	_, label, _ := dev.Drv.Active()
+	if label != "b1" {
+		t.Errorf("active after adapt = %q", label)
+	}
+	if _, err := m.AdaptFromFeedback("s1", []float64{1}); err == nil {
+		t.Error("metric count mismatch accepted")
+	}
+	if _, err := m.AdaptFromFeedback("zz", nil); err == nil {
+		t.Error("unknown device accepted")
+	}
+	// Device without a codebook.
+	if err := m.AddSurface("s2", "w", newDevice(t, driver.ModelNRSurface, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AdaptFromFeedback("s2", []float64{}); err == nil {
+		t.Error("empty codebook accepted")
+	}
+}
+
+func TestApplyLatency(t *testing.T) {
+	m := New()
+	if err := m.AddSurface("prog", "w", newDevice(t, driver.ModelNRSurface, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSurface("pass", "w", newDevice(t, driver.ModelAutoMS, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	d, reconf, err := m.ApplyLatency("prog")
+	if err != nil || !reconf || d <= 0 {
+		t.Errorf("programmable latency: %v %v %v", d, reconf, err)
+	}
+	_, reconf, err = m.ApplyLatency("pass")
+	if err != nil || reconf {
+		t.Errorf("passive should report non-reconfigurable: %v %v", reconf, err)
+	}
+	if _, _, err := m.ApplyLatency("zz"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestCostAndArea(t *testing.T) {
+	m := New()
+	d1 := newDevice(t, driver.ModelNRSurface, surface.Reflective)
+	d2 := newDevice(t, driver.ModelAutoMS, surface.Reflective)
+	if err := m.AddSurface("a", "w", d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSurface("b", "w", d2); err != nil {
+		t.Fatal(err)
+	}
+	want := d1.CostUSD() + d2.CostUSD()
+	if got := m.TotalCostUSD(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	wantA := d1.Surface().AreaM2() + d2.Surface().AreaM2()
+	if got := m.TotalAreaM2(); math.Abs(got-wantA) > 1e-12 {
+		t.Errorf("area = %v, want %v", got, wantA)
+	}
+}
+
+func TestCrossBandBlockers(t *testing.T) {
+	m := New()
+	// A 2.4 GHz transmissive surface (LAIA) blocks 5 GHz Wi-Fi noticeably.
+	if err := m.AddSurface("wifi24", "wall", newDevice(t, driver.ModelLAIA, surface.Transmissive)); err != nil {
+		t.Fatal(err)
+	}
+	blockers := m.CrossBandBlockers(5.5e9, 3)
+	if len(blockers) != 1 || blockers[0].ID != "wifi24" {
+		t.Errorf("expected LAIA panel to block 5.5 GHz: %v", blockers)
+	}
+	// In its own band it is not counted as a hazard.
+	if got := m.CrossBandBlockers(2.4e9, 3); len(got) != 0 {
+		t.Errorf("in-band device flagged as blocker: %v", got)
+	}
+	// Far below band it is transparent.
+	if got := m.CrossBandBlockers(0.4e9, 3); len(got) != 0 {
+		t.Errorf("sub-band transparent panel flagged: %v", got)
+	}
+}
+
+func TestAdaptAllFromAggregator(t *testing.T) {
+	m := New()
+	if err := m.AddSurface("s1", "w", newDevice(t, driver.ModelNRSurface, surface.Reflective)); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(v float64) surface.Config {
+		vals := make([]float64, 9)
+		for i := range vals {
+			vals[i] = v
+		}
+		return surface.Config{Property: surface.Phase, Values: vals}
+	}
+	if err := m.StoreCodebook("s1", []string{"b0", "b1"}, []surface.Config{mk(0), mk(1)}); err != nil {
+		t.Fatal(err)
+	}
+	agg := telemetry.NewAggregator()
+
+	// No feedback yet: nothing switches.
+	if got := m.AdaptAll(agg); len(got) != 0 {
+		t.Errorf("switched without feedback: %v", got)
+	}
+
+	// Entry 1 reports better SNR: the device switches to it.
+	agg.Observe(telemetry.Report{DeviceID: "s1", ConfigIdx: 0, SNRdB: 5})
+	agg.Observe(telemetry.Report{DeviceID: "s1", ConfigIdx: 1, SNRdB: 19})
+	switched := m.AdaptAll(agg)
+	if len(switched) != 1 || switched[0] != "s1" {
+		t.Fatalf("switched = %v", switched)
+	}
+	dev, _ := m.Surface("s1")
+	if _, label, _ := dev.Drv.Active(); label != "b1" {
+		t.Errorf("active = %q, want b1", label)
+	}
+	// Re-adapting with the same feedback is a no-op.
+	if got := m.AdaptAll(agg); len(got) != 0 {
+		t.Errorf("re-adapt switched: %v", got)
+	}
+}

@@ -1,0 +1,253 @@
+// Package monitor implements SurfOS's network monitoring and diagnosis
+// service (paper Figure 1 and §5: the centralized control plane "can
+// enable new features, such as network monitoring, diagnosis"). It
+// compares what the channel simulator predicts endpoints should measure
+// against what telemetry actually reports, and classifies persistent
+// divergence: a device whose endpoints all underperform suggests a surface
+// fault or misconfiguration; a single endpoint underperforming suggests
+// local blockage (the paper's furniture-moved / person-walking dynamics).
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"surfos/internal/telemetry"
+)
+
+// Verdict classifies a diagnosis finding.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// Healthy: reports track predictions.
+	Healthy Verdict = iota
+	// EndpointBlocked: one endpoint persistently underperforms its
+	// prediction while its device's other endpoints are fine — local
+	// blockage or mobility; the orchestrator should re-optimize or the
+	// device should switch codebook entries.
+	EndpointBlocked
+	// DeviceDegraded: all of a device's endpoints underperform — surface
+	// fault, stale configuration, or environmental change at the panel.
+	DeviceDegraded
+	// Stale: no recent reports for an expectation.
+	Stale
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Healthy:
+		return "healthy"
+	case EndpointBlocked:
+		return "endpoint-blocked"
+	case DeviceDegraded:
+		return "device-degraded"
+	case Stale:
+		return "stale"
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Expectation is the simulator-predicted SNR for one endpoint through one
+// device under the currently deployed configuration.
+type Expectation struct {
+	DeviceID   string
+	EndpointID string
+	SNRdB      float64
+}
+
+// Finding is one diagnosis result.
+type Finding struct {
+	DeviceID   string
+	EndpointID string // empty for device-level findings
+	Verdict    Verdict
+	// ExpectedSNRdB and ObservedSNRdB document the divergence.
+	ExpectedSNRdB float64
+	ObservedSNRdB float64
+	// Samples is how many reports backed the observation.
+	Samples int
+}
+
+// Monitor accumulates telemetry against expectations. Safe for concurrent
+// use.
+type Monitor struct {
+	// ToleranceDB is how far below prediction a smoothed observation may
+	// sit before it is flagged (default 6 dB).
+	ToleranceDB float64
+	// MinSamples is how many reports an endpoint needs before diagnosis
+	// (default 3).
+	MinSamples int
+	// StaleAfter marks expectations without reports as stale (default 1
+	// minute, against report timestamps).
+	StaleAfter time.Duration
+
+	mu  sync.Mutex
+	exp map[string]map[string]float64 // device → endpoint → expected SNR
+	obs map[string]map[string]*ewma   // device → endpoint → smoothed observation
+}
+
+type ewma struct {
+	value   float64
+	samples int
+	last    time.Time
+}
+
+// New creates a monitor with defaults applied.
+func New() *Monitor {
+	return &Monitor{
+		ToleranceDB: 6,
+		MinSamples:  3,
+		StaleAfter:  time.Minute,
+		exp:         make(map[string]map[string]float64),
+		obs:         make(map[string]map[string]*ewma),
+	}
+}
+
+// Expect installs (or replaces) the predicted SNR for an endpoint through
+// a device. The orchestrator calls this after each Reconcile with the
+// simulator's predictions for the deployed configurations.
+func (m *Monitor) Expect(e Expectation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	per, ok := m.exp[e.DeviceID]
+	if !ok {
+		per = make(map[string]float64)
+		m.exp[e.DeviceID] = per
+	}
+	per[e.EndpointID] = e.SNRdB
+}
+
+// ClearDevice drops expectations and observations for a device (e.g. after
+// re-planning).
+func (m *Monitor) ClearDevice(deviceID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.exp, deviceID)
+	delete(m.obs, deviceID)
+}
+
+// Observe folds one telemetry report into the smoothed per-endpoint
+// observation.
+func (m *Monitor) Observe(r telemetry.Report) {
+	if r.DeviceID == "" || r.EndpointID == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	per, ok := m.obs[r.DeviceID]
+	if !ok {
+		per = make(map[string]*ewma)
+		m.obs[r.DeviceID] = per
+	}
+	e, ok := per[r.EndpointID]
+	if !ok {
+		e = &ewma{value: r.SNRdB}
+		per[r.EndpointID] = e
+	} else {
+		e.value += 0.3 * (r.SNRdB - e.value)
+	}
+	e.samples++
+	if r.Time.After(e.last) {
+		e.last = r.Time
+	}
+}
+
+// Run subscribes the monitor to a telemetry bus until the cancel function
+// is called.
+func (m *Monitor) Run(bus *telemetry.Bus) (cancel func()) {
+	ch, unsub := bus.Subscribe(256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range ch {
+			m.Observe(r)
+		}
+	}()
+	return func() {
+		unsub()
+		<-done
+	}
+}
+
+// Diagnose compares observations against expectations as of time now and
+// returns findings sorted by device then endpoint. Healthy endpoints are
+// included so operators can see coverage of the monitoring itself.
+func (m *Monitor) Diagnose(now time.Time) []Finding {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var out []Finding
+	for dev, endpoints := range m.exp {
+		perObs := m.obs[dev]
+		var under, measured int
+		var findings []Finding
+		for ep, want := range endpoints {
+			f := Finding{DeviceID: dev, EndpointID: ep, ExpectedSNRdB: want}
+			o := perObs[ep]
+			switch {
+			case o == nil || o.samples < m.MinSamples:
+				f.Verdict = Stale
+				if o != nil {
+					f.Samples = o.samples
+					f.ObservedSNRdB = o.value
+				}
+			case m.StaleAfter > 0 && now.Sub(o.last) > m.StaleAfter:
+				f.Verdict = Stale
+				f.Samples = o.samples
+				f.ObservedSNRdB = o.value
+			default:
+				measured++
+				f.Samples = o.samples
+				f.ObservedSNRdB = o.value
+				if o.value < want-m.ToleranceDB {
+					f.Verdict = EndpointBlocked
+					under++
+				} else {
+					f.Verdict = Healthy
+				}
+			}
+			findings = append(findings, f)
+		}
+		// Escalate: every measured endpoint of the device underperforms.
+		if measured >= 2 && under == measured {
+			var sumExp, sumObs float64
+			for _, f := range findings {
+				if f.Verdict == EndpointBlocked {
+					sumExp += f.ExpectedSNRdB
+					sumObs += f.ObservedSNRdB
+				}
+			}
+			out = append(out, Finding{
+				DeviceID:      dev,
+				Verdict:       DeviceDegraded,
+				ExpectedSNRdB: sumExp / float64(under),
+				ObservedSNRdB: sumObs / float64(under),
+				Samples:       under,
+			})
+		}
+		out = append(out, findings...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DeviceID != out[j].DeviceID {
+			return out[i].DeviceID < out[j].DeviceID
+		}
+		return out[i].EndpointID < out[j].EndpointID
+	})
+	return out
+}
+
+// Problems filters Diagnose down to actionable findings (everything except
+// Healthy).
+func (m *Monitor) Problems(now time.Time) []Finding {
+	all := m.Diagnose(now)
+	out := all[:0:0]
+	for _, f := range all {
+		if f.Verdict != Healthy {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"surfos/internal/telemetry"
+)
+
+var t0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+
+func feed(m *Monitor, dev, ep string, snr float64, n int, at time.Time) {
+	for i := 0; i < n; i++ {
+		m.Observe(telemetry.Report{DeviceID: dev, EndpointID: ep, ConfigIdx: 0, SNRdB: snr, Time: at})
+	}
+}
+
+func findingFor(fs []Finding, dev, ep string) (Finding, bool) {
+	for _, f := range fs {
+		if f.DeviceID == dev && f.EndpointID == ep {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}
+
+func TestHealthyWhenReportsTrackPredictions(t *testing.T) {
+	m := New()
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "phone", SNRdB: 20})
+	feed(m, "s0", "phone", 19, 5, t0)
+
+	fs := m.Diagnose(t0.Add(time.Second))
+	f, ok := findingFor(fs, "s0", "phone")
+	if !ok || f.Verdict != Healthy {
+		t.Fatalf("finding: %+v ok=%v", f, ok)
+	}
+	if len(m.Problems(t0.Add(time.Second))) != 0 {
+		t.Error("healthy system reported problems")
+	}
+}
+
+func TestEndpointBlockage(t *testing.T) {
+	m := New()
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "phone", SNRdB: 20})
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "laptop", SNRdB: 18})
+	feed(m, "s0", "phone", 5, 5, t0) // 15 dB under prediction
+	feed(m, "s0", "laptop", 17, 5, t0)
+
+	fs := m.Problems(t0.Add(time.Second))
+	if len(fs) != 1 {
+		t.Fatalf("problems: %+v", fs)
+	}
+	if fs[0].Verdict != EndpointBlocked || fs[0].EndpointID != "phone" {
+		t.Errorf("finding: %+v", fs[0])
+	}
+	if fs[0].ObservedSNRdB > fs[0].ExpectedSNRdB-6 {
+		t.Errorf("divergence not recorded: %+v", fs[0])
+	}
+}
+
+func TestDeviceDegradedWhenAllEndpointsUnder(t *testing.T) {
+	m := New()
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "a", SNRdB: 20})
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "b", SNRdB: 22})
+	feed(m, "s0", "a", 4, 4, t0)
+	feed(m, "s0", "b", 6, 4, t0)
+
+	fs := m.Problems(t0.Add(time.Second))
+	var dev *Finding
+	for i := range fs {
+		if fs[i].Verdict == DeviceDegraded {
+			dev = &fs[i]
+		}
+	}
+	if dev == nil {
+		t.Fatalf("no device-degraded finding in %+v", fs)
+	}
+	if dev.DeviceID != "s0" || dev.EndpointID != "" || dev.Samples != 2 {
+		t.Errorf("device finding: %+v", dev)
+	}
+}
+
+func TestStaleWithoutReports(t *testing.T) {
+	m := New()
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "ghost", SNRdB: 20})
+	fs := m.Problems(t0)
+	if len(fs) != 1 || fs[0].Verdict != Stale {
+		t.Fatalf("findings: %+v", fs)
+	}
+
+	// Too few samples is also stale.
+	feed(m, "s0", "ghost", 19, 1, t0)
+	fs = m.Problems(t0.Add(time.Second))
+	if len(fs) != 1 || fs[0].Verdict != Stale || fs[0].Samples != 1 {
+		t.Fatalf("findings after 1 sample: %+v", fs)
+	}
+
+	// Old reports age out.
+	feed(m, "s0", "ghost", 19, 5, t0)
+	fs = m.Problems(t0.Add(10 * time.Minute))
+	if len(fs) != 1 || fs[0].Verdict != Stale {
+		t.Fatalf("findings after aging: %+v", fs)
+	}
+}
+
+func TestClearDevice(t *testing.T) {
+	m := New()
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "a", SNRdB: 20})
+	feed(m, "s0", "a", 3, 5, t0)
+	if len(m.Problems(t0.Add(time.Second))) == 0 {
+		t.Fatal("expected a problem before clear")
+	}
+	m.ClearDevice("s0")
+	if got := m.Diagnose(t0.Add(time.Second)); len(got) != 0 {
+		t.Errorf("findings after clear: %+v", got)
+	}
+}
+
+func TestObserveIgnoresUnattributed(t *testing.T) {
+	m := New()
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "a", SNRdB: 20})
+	m.Observe(telemetry.Report{DeviceID: "", EndpointID: "a", SNRdB: 1, Time: t0})
+	m.Observe(telemetry.Report{DeviceID: "s0", EndpointID: "", SNRdB: 1, Time: t0})
+	fs := m.Diagnose(t0)
+	if fs[0].Samples != 0 {
+		t.Errorf("unattributed reports counted: %+v", fs[0])
+	}
+}
+
+func TestRunOverTelemetryBus(t *testing.T) {
+	m := New()
+	m.MinSamples = 2
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "a", SNRdB: 20})
+
+	bus := telemetry.NewBus()
+	cancel := m.Run(bus)
+	for i := 0; i < 4; i++ {
+		bus.Publish(telemetry.Report{DeviceID: "s0", EndpointID: "a", SNRdB: 19.5, Time: t0})
+	}
+	// Drain: cancel waits for the consumer goroutine to finish processing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fs := m.Diagnose(t0.Add(time.Second))
+		if len(fs) == 1 && fs[0].Verdict == Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("bus reports never arrived: %+v", fs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	// After cancel, publishing is a no-op for this monitor.
+	bus.Publish(telemetry.Report{DeviceID: "s0", EndpointID: "a", SNRdB: -50, Time: t0})
+	fs := m.Diagnose(t0.Add(time.Second))
+	if fs[0].Verdict != Healthy {
+		t.Errorf("report after cancel changed state: %+v", fs[0])
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Healthy.String() != "healthy" || DeviceDegraded.String() != "device-degraded" ||
+		EndpointBlocked.String() != "endpoint-blocked" || Stale.String() != "stale" {
+		t.Error("verdict names wrong")
+	}
+	if Verdict(99).String() == "" {
+		t.Error("unknown verdict should stringify")
+	}
+}

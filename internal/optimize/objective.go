@@ -1,0 +1,157 @@
+// Package optimize searches surface configurations for service objectives.
+// It is the "optimizer" of the paper's surface orchestrator (§3.2): given
+// channel decompositions from the simulator, it minimizes task losses —
+// coverage, sensing, powering, security — individually or jointly
+// ("multitasking with joint optimization").
+//
+// Objectives expose analytic gradients with respect to per-element phase
+// shifts, which the gradient optimizers exploit; derivative-free optimizers
+// (random search, simulated annealing) only use Eval and work for any
+// hardware constraint set.
+package optimize
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"surfos/internal/surface"
+)
+
+// Objective is a differentiable scalar loss over per-surface phase vectors.
+// Implementations must be safe for repeated calls with different inputs.
+type Objective interface {
+	// Shape returns the element count per surface; phases passed to Eval
+	// must match.
+	Shape() []int
+	// Eval returns the loss and, when wantGrad is true, ∂loss/∂φ for every
+	// element (same shape as phases). Implementations may return a nil
+	// gradient when wantGrad is false.
+	Eval(phases [][]float64, wantGrad bool) (float64, [][]float64)
+}
+
+// Phasors converts phase values to unit phasors e^{jφ}, shaped like the
+// input.
+func Phasors(phases [][]float64) [][]complex128 {
+	x := make([][]complex128, len(phases))
+	for s, ps := range phases {
+		xs := make([]complex128, len(ps))
+		for k, phi := range ps {
+			xs[k] = cmplx.Rect(1, phi)
+		}
+		x[s] = xs
+	}
+	return x
+}
+
+// ZeroPhases allocates an all-zero phase set for a shape.
+func ZeroPhases(shape []int) [][]float64 {
+	p := make([][]float64, len(shape))
+	for i, n := range shape {
+		p[i] = make([]float64, n)
+	}
+	return p
+}
+
+// ClonePhases deep-copies a phase set.
+func ClonePhases(p [][]float64) [][]float64 {
+	out := make([][]float64, len(p))
+	for i, v := range p {
+		c := make([]float64, len(v))
+		copy(c, v)
+		out[i] = c
+	}
+	return out
+}
+
+// PhasesToConfigs wraps phase vectors as surface configurations.
+func PhasesToConfigs(phases [][]float64) []surface.Config {
+	cfgs := make([]surface.Config, len(phases))
+	for i, p := range phases {
+		v := make([]float64, len(p))
+		copy(v, p)
+		cfgs[i] = surface.Config{Property: surface.Phase, Values: v}
+	}
+	return cfgs
+}
+
+// ConfigsToPhases extracts phase vectors from configurations.
+func ConfigsToPhases(cfgs []surface.Config) ([][]float64, error) {
+	out := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		if c.Property != surface.Phase {
+			return nil, fmt.Errorf("optimize: config %d has property %v, want phase", i, c.Property)
+		}
+		v := make([]float64, len(c.Values))
+		copy(v, c.Values)
+		out[i] = v
+	}
+	return out, nil
+}
+
+// shapeMatches verifies phases fit a shape.
+func shapeMatches(shape []int, phases [][]float64) error {
+	if len(phases) != len(shape) {
+		return fmt.Errorf("optimize: %d phase vectors for %d surfaces", len(phases), len(shape))
+	}
+	for i, n := range shape {
+		if len(phases[i]) != n {
+			return fmt.Errorf("optimize: surface %d has %d phases, want %d", i, len(phases[i]), n)
+		}
+	}
+	return nil
+}
+
+// WeightedSum combines objectives with weights; this realizes the paper's
+// joint multitask loss ("we minimize the sum of localization loss and
+// coverage loss", §4). All terms must share one shape.
+type WeightedSum struct {
+	Terms   []Objective
+	Weights []float64
+}
+
+// NewWeightedSum validates shapes and builds the combination.
+func NewWeightedSum(terms []Objective, weights []float64) (*WeightedSum, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("optimize: weighted sum needs at least one term")
+	}
+	if len(weights) != len(terms) {
+		return nil, fmt.Errorf("optimize: %d weights for %d terms", len(weights), len(terms))
+	}
+	shape := terms[0].Shape()
+	for i, t := range terms[1:] {
+		s := t.Shape()
+		if len(s) != len(shape) {
+			return nil, fmt.Errorf("optimize: term %d shape mismatch", i+1)
+		}
+		for j := range s {
+			if s[j] != shape[j] {
+				return nil, fmt.Errorf("optimize: term %d surface %d has %d elements, want %d", i+1, j, s[j], shape[j])
+			}
+		}
+	}
+	return &WeightedSum{Terms: terms, Weights: weights}, nil
+}
+
+// Shape implements Objective.
+func (w *WeightedSum) Shape() []int { return w.Terms[0].Shape() }
+
+// Eval implements Objective.
+func (w *WeightedSum) Eval(phases [][]float64, wantGrad bool) (float64, [][]float64) {
+	var loss float64
+	var grad [][]float64
+	if wantGrad {
+		grad = ZeroPhases(w.Shape())
+	}
+	for i, t := range w.Terms {
+		l, g := t.Eval(phases, wantGrad)
+		loss += w.Weights[i] * l
+		if wantGrad {
+			for s := range g {
+				for k := range g[s] {
+					grad[s][k] += w.Weights[i] * g[s][k]
+				}
+			}
+		}
+	}
+	return loss, grad
+}

@@ -1,0 +1,224 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Projector maps a phase set onto the feasible set of the hardware
+// (quantized states, column-wise sharing, …). It must be idempotent.
+// Drivers provide projectors from their specs.
+type Projector func([][]float64) [][]float64
+
+// Options tunes an optimization run. Zero values select sane defaults.
+type Options struct {
+	MaxIters  int     // default 200
+	LR        float64 // Adam learning rate, default 0.3 (radians)
+	Tolerance float64 // stop when |Δloss| < Tolerance for 10 iters, default 1e-9
+	Seed      int64   // RNG seed for stochastic methods
+	Project   Projector
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 200
+	}
+	if o.LR == 0 {
+		o.LR = 0.3
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	Phases     [][]float64
+	Loss       float64
+	Iterations int
+	// History records the loss after each iteration (gradient methods) or
+	// each improvement (stochastic methods).
+	History []float64
+}
+
+func project(p Projector, phases [][]float64) [][]float64 {
+	if p == nil {
+		return phases
+	}
+	return p(phases)
+}
+
+// Adam minimizes the objective with the Adam gradient method starting at
+// init. The paper's prototype uses gradient descent for the orchestrator's
+// optimizer; Adam is the standard robust variant. The projector, when set,
+// is applied after every step (projected gradient descent) and to the
+// returned phases.
+func Adam(obj Objective, init [][]float64, opt Options) Result {
+	opt = opt.withDefaults()
+	phases := project(opt.Project, ClonePhases(init))
+
+	m := ZeroPhases(obj.Shape())
+	v := ZeroPhases(obj.Shape())
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	best := ClonePhases(phases)
+	bestLoss := math.Inf(1)
+	var history []float64
+	flat := 0
+	prev := math.Inf(1)
+
+	var it int
+	for it = 1; it <= opt.MaxIters; it++ {
+		loss, grad := obj.Eval(phases, true)
+		if loss < bestLoss {
+			bestLoss = loss
+			best = ClonePhases(phases)
+		}
+		history = append(history, loss)
+
+		if math.Abs(prev-loss) < opt.Tolerance {
+			flat++
+			if flat >= 10 {
+				break
+			}
+		} else {
+			flat = 0
+		}
+		prev = loss
+
+		b1t := 1 - math.Pow(beta1, float64(it))
+		b2t := 1 - math.Pow(beta2, float64(it))
+		for s := range phases {
+			for k := range phases[s] {
+				g := grad[s][k]
+				m[s][k] = beta1*m[s][k] + (1-beta1)*g
+				v[s][k] = beta2*v[s][k] + (1-beta2)*g*g
+				mh := m[s][k] / b1t
+				vh := v[s][k] / b2t
+				phases[s][k] -= opt.LR * mh / (math.Sqrt(vh) + eps)
+			}
+		}
+		phases = project(opt.Project, phases)
+	}
+
+	// Re-evaluate the best candidate after projection so the reported loss
+	// matches the returned feasible phases.
+	best = project(opt.Project, best)
+	finalLoss, _ := obj.Eval(best, false)
+	return Result{Phases: best, Loss: finalLoss, Iterations: it, History: history}
+}
+
+// RandomSearch samples uniformly random feasible phase sets and keeps the
+// best — the baseline every gradient method must beat, and the only method
+// available for non-differentiable constraint sets.
+func RandomSearch(obj Objective, opt Options) Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	shape := obj.Shape()
+
+	best := project(opt.Project, ZeroPhases(shape))
+	bestLoss, _ := obj.Eval(best, false)
+	history := []float64{bestLoss}
+
+	for it := 0; it < opt.MaxIters; it++ {
+		cand := ZeroPhases(shape)
+		for s := range cand {
+			for k := range cand[s] {
+				cand[s][k] = rng.Float64() * 2 * math.Pi
+			}
+		}
+		cand = project(opt.Project, cand)
+		l, _ := obj.Eval(cand, false)
+		if l < bestLoss {
+			bestLoss = l
+			best = cand
+			history = append(history, l)
+		}
+	}
+	return Result{Phases: best, Loss: bestLoss, Iterations: opt.MaxIters, History: history}
+}
+
+// Anneal runs simulated annealing with single-element perturbations —
+// effective for coarse quantized hardware (1-bit surfaces) where gradients
+// mislead.
+func Anneal(obj Objective, init [][]float64, opt Options) Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	cur := project(opt.Project, ClonePhases(init))
+	curLoss, _ := obj.Eval(cur, false)
+	best := ClonePhases(cur)
+	bestLoss := curLoss
+	history := []float64{curLoss}
+
+	t0 := math.Abs(curLoss)*0.1 + 1e-3
+	for it := 0; it < opt.MaxIters; it++ {
+		temp := t0 * math.Exp(-4*float64(it)/float64(opt.MaxIters))
+		cand := ClonePhases(cur)
+		// Perturb a random element by a random phase offset.
+		s := rng.Intn(len(cand))
+		if len(cand[s]) == 0 {
+			continue
+		}
+		k := rng.Intn(len(cand[s]))
+		cand[s][k] += (rng.Float64() - 0.5) * math.Pi
+		cand = project(opt.Project, cand)
+		l, _ := obj.Eval(cand, false)
+		if l < curLoss || rng.Float64() < math.Exp((curLoss-l)/temp) {
+			cur, curLoss = cand, l
+			if l < bestLoss {
+				best, bestLoss = ClonePhases(cand), l
+				history = append(history, l)
+			}
+		}
+	}
+	return Result{Phases: best, Loss: bestLoss, Iterations: opt.MaxIters, History: history}
+}
+
+// CoordinateDescent cycles through elements, line-searching each phase over
+// a fixed grid of candidate values while holding the rest. With a 2-state
+// grid this is the classic greedy 1-bit RIS tuning algorithm.
+func CoordinateDescent(obj Objective, init [][]float64, candidates []float64, opt Options) Result {
+	opt = opt.withDefaults()
+	if len(candidates) == 0 {
+		candidates = []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+	}
+	cur := project(opt.Project, ClonePhases(init))
+	curLoss, _ := obj.Eval(cur, false)
+	history := []float64{curLoss}
+
+	evals := 0
+	for sweep := 0; sweep < opt.MaxIters; sweep++ {
+		improved := false
+		for s := range cur {
+			for k := range cur[s] {
+				bestV, bestL := cur[s][k], curLoss
+				orig := cur[s][k]
+				for _, c := range candidates {
+					if c == orig {
+						continue
+					}
+					cur[s][k] = c
+					l, _ := obj.Eval(cur, false)
+					evals++
+					if l < bestL {
+						bestV, bestL = c, l
+					}
+				}
+				cur[s][k] = bestV
+				if bestL < curLoss {
+					curLoss = bestL
+					improved = true
+				}
+			}
+		}
+		history = append(history, curLoss)
+		if !improved {
+			break
+		}
+	}
+	cur = project(opt.Project, cur)
+	finalLoss, _ := obj.Eval(cur, false)
+	return Result{Phases: cur, Loss: finalLoss, Iterations: evals, History: history}
+}

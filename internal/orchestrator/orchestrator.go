@@ -1,0 +1,927 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"surfos/internal/driver"
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/hwmgr"
+	"surfos/internal/optimize"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+	"surfos/internal/sensing"
+	"surfos/internal/surface"
+)
+
+// Options tunes the orchestrator. Zero values select defaults.
+type Options struct {
+	// Policy selects the multiplexing strategy (default PolicyAuto).
+	Policy MultiplexPolicy
+	// OptIters bounds the configuration optimizer (default 150).
+	OptIters int
+	// GridStep is the default coverage evaluation spacing in meters (0.5).
+	GridStep float64
+	// SensingGridStep is the sensing training grid spacing (1.0).
+	SensingGridStep float64
+	// SensingBins is the AoA grid size (default 61).
+	SensingBins int
+	// SensingSubcarriers is the wideband sounding tone count (default 8).
+	SensingSubcarriers int
+	// SensingBandwidth is the sounding bandwidth in Hz (default 1.8 GHz).
+	SensingBandwidth float64
+	// SensingWeight scales the localization term in joint optimization
+	// (default 1.0, the paper's plain sum).
+	SensingWeight float64
+	// Cascade enables surface-to-surface interaction modeling when a group
+	// has multiple surfaces.
+	Cascade bool
+	// ReflOrder is the environment reflection order (default 1).
+	ReflOrder int
+}
+
+func (o Options) withDefaults() Options {
+	if o.OptIters == 0 {
+		o.OptIters = 150
+	}
+	if o.GridStep == 0 {
+		o.GridStep = 0.5
+	}
+	if o.SensingGridStep == 0 {
+		o.SensingGridStep = 1.0
+	}
+	if o.SensingBins == 0 {
+		o.SensingBins = 61
+	}
+	if o.SensingSubcarriers == 0 {
+		o.SensingSubcarriers = 8
+	}
+	if o.SensingBandwidth == 0 {
+		o.SensingBandwidth = 1.8e9
+	}
+	if o.SensingWeight == 0 {
+		o.SensingWeight = 1.0
+	}
+	if o.ReflOrder == 0 {
+		o.ReflOrder = 1
+	}
+	return o
+}
+
+// Orchestrator is the central control plane instance for one environment.
+type Orchestrator struct {
+	Scene *scene.Scene
+	HW    *hwmgr.Manager
+	Opts  Options
+
+	mu     sync.Mutex
+	tasks  map[int]*Task
+	nextID int
+	plans  []*Plan
+	now    time.Time
+}
+
+// New builds an orchestrator over a scene and hardware inventory.
+func New(sc *scene.Scene, hw *hwmgr.Manager, opts Options) (*Orchestrator, error) {
+	if sc == nil || hw == nil {
+		return nil, errors.New("orchestrator: needs a scene and a hardware manager")
+	}
+	return &Orchestrator{
+		Scene:  sc,
+		HW:     hw,
+		Opts:   opts.withDefaults(),
+		tasks:  make(map[int]*Task),
+		nextID: 1,
+		now:    time.Unix(0, 0),
+	}, nil
+}
+
+// --- service request APIs (paper §3.2, Figure 6) ---
+
+// EnhanceLink requests connectivity enhancement for one endpoint.
+func (o *Orchestrator) EnhanceLink(g LinkGoal, priority int) (*Task, error) {
+	if g.Endpoint == "" {
+		return nil, errors.New("orchestrator: link goal needs an endpoint")
+	}
+	return o.submit(ServiceLink, g, priority, 0)
+}
+
+// OptimizeCoverage requests region-wide coverage.
+func (o *Orchestrator) OptimizeCoverage(g CoverageGoal, priority int) (*Task, error) {
+	if _, err := o.Scene.Region(g.Region); err != nil {
+		return nil, err
+	}
+	return o.submit(ServiceCoverage, g, priority, 0)
+}
+
+// EnableSensing requests localization service over a region.
+func (o *Orchestrator) EnableSensing(g SensingGoal, priority int) (*Task, error) {
+	if _, err := o.Scene.Region(g.Region); err != nil {
+		return nil, err
+	}
+	return o.submit(ServiceSensing, g, priority, g.Duration)
+}
+
+// InitPowering requests wireless power delivery.
+func (o *Orchestrator) InitPowering(g PowerGoal, priority int) (*Task, error) {
+	if g.Device == "" {
+		return nil, errors.New("orchestrator: power goal needs a device")
+	}
+	return o.submit(ServicePowering, g, priority, g.Duration)
+}
+
+// SecureLink requests eavesdropper suppression for an endpoint.
+func (o *Orchestrator) SecureLink(g SecurityGoal, priority int) (*Task, error) {
+	if g.Endpoint == "" {
+		return nil, errors.New("orchestrator: security goal needs an endpoint")
+	}
+	return o.submit(ServiceSecurity, g, priority, 0)
+}
+
+func (o *Orchestrator) submit(kind ServiceKind, goal any, priority int, duration time.Duration) (*Task, error) {
+	if priority <= 0 {
+		priority = 1
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t := &Task{
+		ID:       o.nextID,
+		Kind:     kind,
+		Priority: priority,
+		State:    TaskPending,
+		Created:  o.now,
+		Goal:     goal,
+	}
+	if duration > 0 {
+		t.Deadline = o.now.Add(duration)
+	}
+	o.nextID++
+	o.tasks[t.ID] = t
+	return t, nil
+}
+
+// Task returns a task by ID.
+func (o *Orchestrator) Task(id int) (*Task, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: unknown task %d", id)
+	}
+	return t, nil
+}
+
+// Tasks returns all tasks sorted by ID.
+func (o *Orchestrator) Tasks() []*Task {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Task, 0, len(o.tasks))
+	for _, t := range o.tasks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EndTask terminates a task and releases its resources on the next
+// Reconcile.
+func (o *Orchestrator) EndTask(id int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.tasks[id]
+	if !ok {
+		return fmt.Errorf("orchestrator: unknown task %d", id)
+	}
+	if t.State != TaskDone && t.State != TaskFailed {
+		t.State = TaskDone
+	}
+	return nil
+}
+
+// SetIdle parks a running task without destroying it; idle tasks release
+// hardware until resumed.
+func (o *Orchestrator) SetIdle(id int, idle bool) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.tasks[id]
+	if !ok {
+		return fmt.Errorf("orchestrator: unknown task %d", id)
+	}
+	switch {
+	case idle && (t.State == TaskRunning || t.State == TaskPending):
+		t.State = TaskIdle
+	case !idle && t.State == TaskIdle:
+		t.State = TaskPending
+	}
+	return nil
+}
+
+// Plans returns the current scheduling plans.
+func (o *Orchestrator) Plans() []*Plan {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Plan(nil), o.plans...)
+}
+
+// Now returns the orchestrator's virtual clock.
+func (o *Orchestrator) Now() time.Time {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.now
+}
+
+// Tick advances the virtual clock: deadline-expired tasks complete, TDM
+// frames rotate device codebook selections, and the hardware plan is
+// re-reconciled when the active task set changed.
+func (o *Orchestrator) Tick(dt time.Duration) error {
+	o.mu.Lock()
+	o.now = o.now.Add(dt)
+	changed := false
+	for _, t := range o.tasks {
+		if t.active() && !t.Deadline.IsZero() && !o.now.Before(t.Deadline) {
+			t.State = TaskDone
+			changed = true
+		}
+	}
+	// Rotate TDM selections while still holding the lock: plan rotation
+	// state is shared, and Tick may be called from concurrent northbound
+	// sessions. Device selection uses the drivers' own locks.
+	type sel struct {
+		id  string
+		idx int
+	}
+	var sels []sel
+	if !changed {
+		for _, p := range o.plans {
+			if len(p.Entries) < 2 {
+				continue
+			}
+			if idx := p.nextSlot(); idx >= 0 {
+				for _, id := range p.Surfaces {
+					sels = append(sels, sel{id: id, idx: idx})
+				}
+			}
+		}
+	}
+	o.mu.Unlock()
+
+	if changed {
+		return o.Reconcile()
+	}
+	for _, sl := range sels {
+		dev, err := o.HW.Surface(sl.id)
+		if err != nil {
+			continue
+		}
+		if dev.Drv.CodebookLen() > sl.idx {
+			_ = dev.Drv.Select(sl.idx)
+		}
+	}
+	return nil
+}
+
+// --- scheduling and optimization ---
+
+// group is one frequency-band scheduling domain.
+type group struct {
+	ap    *hwmgr.AccessPoint
+	freq  float64
+	tasks []*Task
+	devs  []*hwmgr.Device
+}
+
+// Reconcile runs the scheduler: it groups active tasks by frequency,
+// chooses a multiplexing strategy per group, optimizes configurations,
+// pushes them to devices, and fills in task results. It is the
+// orchestrator's "schedule all surface hardware globally" step.
+func (o *Orchestrator) Reconcile() error {
+	o.mu.Lock()
+	var act []*Task
+	for _, t := range o.tasks {
+		if t.State == TaskPending || t.State == TaskRunning {
+			act = append(act, t)
+		}
+	}
+	sort.Slice(act, func(i, j int) bool { return act[i].ID < act[j].ID })
+	o.mu.Unlock()
+
+	groups, err := o.groupTasks(act)
+	if err != nil {
+		return err
+	}
+
+	var plans []*Plan
+	var firstErr error
+	for _, g := range groups {
+		p, err := o.scheduleGroup(g)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		plans = append(plans, p...)
+	}
+
+	o.mu.Lock()
+	o.plans = plans
+	o.mu.Unlock()
+	return firstErr
+}
+
+// groupTasks resolves each task's AP and frequency and buckets tasks.
+func (o *Orchestrator) groupTasks(act []*Task) ([]*group, error) {
+	aps := o.HW.APs()
+	if len(aps) == 0 && len(act) > 0 {
+		return nil, errors.New("orchestrator: no access points registered")
+	}
+	byFreq := make(map[float64]*group)
+	var order []float64
+	for _, t := range act {
+		f := goalFreq(t.Goal)
+		var ap *hwmgr.AccessPoint
+		if f == 0 {
+			ap = aps[0]
+			f = ap.FreqHz
+		} else {
+			for _, a := range aps {
+				if a.FreqHz == f {
+					ap = a
+					break
+				}
+			}
+			if ap == nil {
+				o.failTask(t, fmt.Errorf("orchestrator: no AP serves %g Hz", f))
+				continue
+			}
+		}
+		g, ok := byFreq[f]
+		if !ok {
+			devs := o.HW.SurfacesForBand(f)
+			g = &group{ap: ap, freq: f, devs: devs}
+			byFreq[f] = g
+			order = append(order, f)
+		}
+		if len(g.devs) == 0 {
+			o.failTask(t, fmt.Errorf("orchestrator: no surface hardware supports %g Hz", f))
+			continue
+		}
+		t.FreqHz = f
+		g.tasks = append(g.tasks, t)
+	}
+	sort.Float64s(order)
+	out := make([]*group, 0, len(order))
+	for _, f := range order {
+		if len(byFreq[f].tasks) > 0 {
+			out = append(out, byFreq[f])
+		}
+	}
+	return out, nil
+}
+
+func (o *Orchestrator) failTask(t *Task, err error) {
+	o.mu.Lock()
+	t.State = TaskFailed
+	t.Err = err
+	o.mu.Unlock()
+}
+
+// pickStrategy implements the policy decision.
+func (o *Orchestrator) pickStrategy(g *group) string {
+	switch o.Opts.Policy {
+	case PolicyTDM:
+		if len(g.tasks) == 1 {
+			return StrategySolo
+		}
+		return StrategyTDM
+	case PolicyJoint:
+		if len(g.tasks) == 1 {
+			return StrategySolo
+		}
+		return StrategyJoint
+	case PolicySDM:
+		if len(g.tasks) == 1 {
+			return StrategySolo
+		}
+		return StrategySDM
+	}
+	// Auto.
+	if len(g.tasks) == 1 {
+		return StrategySolo
+	}
+	anyPassive := false
+	for _, d := range g.devs {
+		if !d.Drv.Spec().Reconfigurable {
+			anyPassive = true
+		}
+	}
+	if anyPassive {
+		// A passive surface holds exactly one configuration: joint
+		// configuration multiplexing is its only sharing mechanism.
+		return StrategyJoint
+	}
+	if len(g.devs) >= len(g.tasks) {
+		return StrategySDM
+	}
+	if len(g.tasks) <= 3 {
+		return StrategyJoint
+	}
+	return StrategyTDM
+}
+
+// scheduleGroup plans one frequency group.
+func (o *Orchestrator) scheduleGroup(g *group) ([]*Plan, error) {
+	strategy := o.pickStrategy(g)
+	switch strategy {
+	case StrategySDM:
+		return o.scheduleSDM(g)
+	case StrategyTDM:
+		return o.scheduleTDM(g)
+	default: // solo, joint
+		return o.scheduleJoint(g, strategy)
+	}
+}
+
+// deviceIDs lists a device set's IDs.
+func deviceIDs(devs []*hwmgr.Device) []string {
+	out := make([]string, len(devs))
+	for i, d := range devs {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// simFor builds a simulator over a device subset.
+func (o *Orchestrator) simFor(freq float64, devs []*hwmgr.Device) (*rfsim.Simulator, error) {
+	surfs := make([]*surface.Surface, len(devs))
+	eff := 1.0
+	for i, d := range devs {
+		surfs[i] = d.Drv.Surface()
+		if e := d.Drv.Spec().ElementEfficiency; e > 0 && e < eff {
+			eff = e
+		}
+	}
+	sim, err := rfsim.New(o.Scene, freq, surfs...)
+	if err != nil {
+		return nil, err
+	}
+	sim.ReflOrder = o.Opts.ReflOrder
+	sim.Cascade = o.Opts.Cascade && len(devs) > 1
+	sim.ElementEfficiency = eff
+	return sim, nil
+}
+
+// projectorFor combines device constraint projections.
+func projectorFor(devs []*hwmgr.Device) optimize.Projector {
+	return func(phases [][]float64) [][]float64 {
+		out := make([][]float64, len(phases))
+		for i, p := range phases {
+			if i < len(devs) {
+				cfg := surface.Config{Property: surface.Phase, Values: p}
+				out[i] = devs[i].Drv.Project(cfg).Values
+			} else {
+				cp := make([]float64, len(p))
+				copy(cp, p)
+				out[i] = cp
+			}
+		}
+		return out
+	}
+}
+
+// taskObjective builds the optimization objective for one task over a
+// simulator, returning the objective and an evaluator that computes the
+// task's headline metric for a final phase set.
+func (o *Orchestrator) taskObjective(t *Task, g *group, sim *rfsim.Simulator) (optimize.Objective, func([][]float64) *Result, error) {
+	lb := g.ap.Budget
+	switch goal := t.Goal.(type) {
+	case LinkGoal:
+		tc := sim.NewTx(g.ap.Pos)
+		ch := tc.Channel(goal.Pos)
+		obj, err := optimize.NewCoverageObjective([]*rfsim.Channel{ch}, lb)
+		if err != nil {
+			return nil, nil, err
+		}
+		eval := func(ph [][]float64) *Result {
+			h, _ := ch.Eval(optimize.PhasesToConfigs(ph))
+			snr := lb.SNRdB(h)
+			return &Result{Metric: snr, MetricName: "snr_db", Satisfied: snr >= goal.MinSNRdB}
+		}
+		return obj, eval, nil
+
+	case CoverageGoal:
+		step := goal.GridStep
+		if step == 0 {
+			step = o.Opts.GridStep
+		}
+		reg, err := o.Scene.Region(goal.Region)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts := reg.GridPoints(step, scene.EvalHeight)
+		if len(pts) == 0 {
+			return nil, nil, fmt.Errorf("orchestrator: region %q has no grid points", goal.Region)
+		}
+		tc := sim.NewTx(g.ap.Pos)
+		chans := make([]*rfsim.Channel, len(pts))
+		for i, p := range pts {
+			chans[i] = tc.Channel(p)
+		}
+		obj, err := optimize.NewCoverageObjective(chans, lb)
+		if err != nil {
+			return nil, nil, err
+		}
+		eval := func(ph [][]float64) *Result {
+			cfgs := optimize.PhasesToConfigs(ph)
+			snrs := make([]float64, len(chans))
+			for i, ch := range chans {
+				h, _ := ch.Eval(cfgs)
+				snrs[i] = lb.SNRdB(h)
+			}
+			med := rfsim.Median(snrs)
+			return &Result{Metric: med, MetricName: "median_snr_db", Satisfied: med >= goal.MedianSNRdB}
+		}
+		return obj, eval, nil
+
+	case SensingGoal:
+		step := goal.GridStep
+		if step == 0 {
+			step = o.Opts.SensingGridStep
+		}
+		reg, err := o.Scene.Region(goal.Region)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts := reg.GridPoints(step, scene.EvalHeight)
+		if len(pts) == 0 {
+			return nil, nil, fmt.Errorf("orchestrator: region %q has no grid points", goal.Region)
+		}
+		est, err := o.estimatorFor(g, sim)
+		if err != nil {
+			return nil, nil, err
+		}
+		meas := make([]*sensing.Measurement, len(pts))
+		for i, p := range pts {
+			meas[i] = est.Measure(p)
+		}
+		obj, err := sensing.NewLocalizationObjective(est, meas, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		noiseAmp := sensing.NoiseAmplitude(lb)
+		eval := func(ph [][]float64) *Result {
+			errM := obj.MeanLocalizationError(ph, noiseAmp, 1)
+			return &Result{Metric: errM, MetricName: "mean_loc_err_m", Satisfied: true}
+		}
+		return obj, eval, nil
+
+	case PowerGoal:
+		tc := sim.NewTx(g.ap.Pos)
+		ch := tc.Channel(goal.Pos)
+		obj, err := optimize.NewPowerObjective([]*rfsim.Channel{ch})
+		if err != nil {
+			return nil, nil, err
+		}
+		eval := func(ph [][]float64) *Result {
+			h, _ := ch.Eval(optimize.PhasesToConfigs(ph))
+			return &Result{Metric: lb.RxPowerDBm(h), MetricName: "rx_power_dbm", Satisfied: true}
+		}
+		return obj, eval, nil
+
+	case SecurityGoal:
+		tc := sim.NewTx(g.ap.Pos)
+		user := tc.Channel(goal.UserPos)
+		eve := tc.Channel(goal.EvePos)
+		obj, err := optimize.NewSecurityObjective(user, eve, 1.0, lb)
+		if err != nil {
+			return nil, nil, err
+		}
+		eval := func(ph [][]float64) *Result {
+			cfgs := optimize.PhasesToConfigs(ph)
+			hu, _ := user.Eval(cfgs)
+			he, _ := eve.Eval(cfgs)
+			gap := lb.SNRdB(hu) - lb.SNRdB(he)
+			return &Result{Metric: gap, MetricName: "user_eve_snr_gap_db", Satisfied: gap > 0}
+		}
+		return obj, eval, nil
+	}
+	return nil, nil, fmt.Errorf("orchestrator: task %d has unknown goal type %T", t.ID, t.Goal)
+}
+
+// estimatorFor builds the sensing estimator for a group: the AP's antenna
+// array observes the group's first sensing-capable surface.
+func (o *Orchestrator) estimatorFor(g *group, sim *rfsim.Simulator) (*sensing.Estimator, error) {
+	n := g.ap.Antennas
+	if n <= 0 {
+		n = 16
+	}
+	lambda := em.Wavelength(g.freq)
+	ants := sensing.ULA(g.ap.Pos, geom.V(1, 0, 0), n, lambda/2)
+	bins := sensing.DefaultBins(o.Opts.SensingBins, 60*math.Pi/180)
+	subs := sensing.DefaultSubcarriers(g.freq, o.Opts.SensingBandwidth, o.Opts.SensingSubcarriers)
+	est, err := sensing.NewEstimator(sim, 0, ants, bins, subs)
+	if err != nil {
+		return nil, err
+	}
+	amp := sensing.NoiseAmplitude(g.ap.Budget)
+	est.NoisePower = amp * amp
+	return est, nil
+}
+
+// optimizeConfigs runs the configuration optimizer for an objective over a
+// device set. Optimization runs in the continuous element-wise space and
+// projects onto the hardware constraint set (granularity sharing, phase
+// quantization) once at the end: projecting every gradient step would snap
+// small steps back to the quantization grid and stall (the constraint set
+// is discrete), while a single final projection costs only the usual
+// quantization loss.
+func (o *Orchestrator) optimizeConfigs(obj optimize.Objective, devs []*hwmgr.Device) optimize.Result {
+	init := optimize.ZeroPhases(obj.Shape())
+	res := optimize.Adam(obj, init, optimize.Options{MaxIters: o.Opts.OptIters})
+	res.Phases = projectorFor(devs)(res.Phases)
+	res.Loss, _ = obj.Eval(res.Phases, false)
+	return res
+}
+
+// applyEntry pushes one entry's configs to the devices as a codebook write.
+// Passive devices that are already fabricated are left untouched.
+func (o *Orchestrator) applyEntries(devs []*hwmgr.Device, entries []PlanEntry) error {
+	var firstErr error
+	for _, d := range devs {
+		labels := make([]string, 0, len(entries))
+		cfgs := make([]surface.Config, 0, len(entries))
+		for _, e := range entries {
+			cfg, ok := e.Configs[d.ID]
+			if !ok {
+				continue
+			}
+			labels = append(labels, e.Label)
+			cfgs = append(cfgs, cfg)
+		}
+		if len(cfgs) == 0 {
+			continue
+		}
+		err := d.Drv.StoreCodebook(labels, cfgs)
+		if errors.Is(err, driver.ErrFixed) {
+			continue // passive device keeps its burned-in pattern
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("orchestrator: device %s: %w", d.ID, err)
+		}
+	}
+	return firstErr
+}
+
+// markRunning finalizes task state and results.
+func (o *Orchestrator) markRunning(t *Task, res *Result) {
+	o.mu.Lock()
+	t.State = TaskRunning
+	t.Result = res
+	o.mu.Unlock()
+}
+
+// scheduleJoint handles solo and joint configuration multiplexing: one
+// shared configuration optimized for the (weighted) sum of task losses —
+// the paper's §4 "surface multitasking".
+func (o *Orchestrator) scheduleJoint(g *group, strategy string) ([]*Plan, error) {
+	sim, err := o.simFor(g.freq, g.devs)
+	if err != nil {
+		return nil, err
+	}
+	var terms []optimize.Objective
+	var weights []float64
+	evals := make([]func([][]float64) *Result, 0, len(g.tasks))
+	var scheduled []*Task
+	for _, t := range g.tasks {
+		obj, eval, err := o.taskObjective(t, g, sim)
+		if err != nil {
+			o.failTask(t, err)
+			continue
+		}
+		terms = append(terms, obj)
+		weights = append(weights, o.objectiveWeight(t, obj))
+		evals = append(evals, eval)
+		scheduled = append(scheduled, t)
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("orchestrator: no schedulable tasks at %g Hz", g.freq)
+	}
+	var obj optimize.Objective
+	if len(terms) == 1 {
+		obj = terms[0]
+	} else {
+		ws, err := optimize.NewWeightedSum(terms, weights)
+		if err != nil {
+			return nil, err
+		}
+		obj = ws
+	}
+	res := o.optimizeConfigs(obj, g.devs)
+	cfgs := optimize.PhasesToConfigs(res.Phases)
+
+	entry := PlanEntry{Label: strategy, Share: 1, Configs: map[string]surface.Config{}}
+	for i, d := range g.devs {
+		entry.Configs[d.ID] = cfgs[i]
+	}
+	for _, t := range scheduled {
+		entry.TaskIDs = append(entry.TaskIDs, t.ID)
+	}
+	p := &Plan{
+		FreqHz:   g.freq,
+		APID:     g.ap.ID,
+		Surfaces: deviceIDs(g.devs),
+		Strategy: strategy,
+		Entries:  []PlanEntry{entry},
+	}
+	p.buildFrame()
+	if err := o.applyEntries(g.devs, p.Entries); err != nil {
+		return nil, err
+	}
+	for i, t := range scheduled {
+		r := evals[i](res.Phases)
+		r.Share = 1
+		r.Surfaces = p.Surfaces
+		r.Strategy = strategy
+		o.markRunning(t, r)
+	}
+	return []*Plan{p}, nil
+}
+
+// scheduleTDM gives each task its own optimized configuration and rotates
+// them as time slices weighted by priority.
+func (o *Orchestrator) scheduleTDM(g *group) ([]*Plan, error) {
+	sim, err := o.simFor(g.freq, g.devs)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		FreqHz:   g.freq,
+		APID:     g.ap.ID,
+		Surfaces: deviceIDs(g.devs),
+		Strategy: StrategyTDM,
+	}
+	var scheduled []*Task
+	var evals []func([][]float64) *Result
+	var phases [][][]float64
+	var totalPrio float64
+	for _, t := range g.tasks {
+		obj, eval, err := o.taskObjective(t, g, sim)
+		if err != nil {
+			o.failTask(t, err)
+			continue
+		}
+		res := o.optimizeConfigs(obj, g.devs)
+		cfgs := optimize.PhasesToConfigs(res.Phases)
+		entry := PlanEntry{
+			Label:   fmt.Sprintf("task-%d", t.ID),
+			TaskIDs: []int{t.ID},
+			Share:   float64(t.Priority),
+			Configs: map[string]surface.Config{},
+		}
+		for i, d := range g.devs {
+			entry.Configs[d.ID] = cfgs[i]
+		}
+		p.Entries = append(p.Entries, entry)
+		scheduled = append(scheduled, t)
+		evals = append(evals, eval)
+		phases = append(phases, res.Phases)
+		totalPrio += float64(t.Priority)
+	}
+	if len(p.Entries) == 0 {
+		return nil, fmt.Errorf("orchestrator: no schedulable tasks at %g Hz", g.freq)
+	}
+	p.buildFrame()
+	if err := o.applyEntries(g.devs, p.Entries); err != nil {
+		return nil, err
+	}
+	for i, t := range scheduled {
+		r := evals[i](phases[i])
+		r.Share = p.shareOf(i)
+		r.Surfaces = p.Surfaces
+		r.Strategy = StrategyTDM
+		o.markRunning(t, r)
+	}
+	return []*Plan{p}, nil
+}
+
+// scheduleSDM partitions surfaces among tasks by proximity to the task's
+// spatial target and optimizes each partition independently.
+func (o *Orchestrator) scheduleSDM(g *group) ([]*Plan, error) {
+	assign := o.assignSurfaces(g)
+	var plans []*Plan
+	var firstErr error
+	for ti, t := range g.tasks {
+		devs := assign[ti]
+		if len(devs) == 0 {
+			o.failTask(t, fmt.Errorf("orchestrator: no surface available for task %d under SDM", t.ID))
+			continue
+		}
+		sub := &group{ap: g.ap, freq: g.freq, tasks: []*Task{t}, devs: devs}
+		ps, err := o.scheduleJoint(sub, StrategySDM)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			o.failTask(t, err)
+			continue
+		}
+		plans = append(plans, ps...)
+	}
+	if len(plans) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return plans, nil
+}
+
+// assignSurfaces greedily gives each task its nearest unassigned surface
+// (by target centroid), then distributes leftovers to the nearest task.
+func (o *Orchestrator) assignSurfaces(g *group) [][]*hwmgr.Device {
+	target := make([]geom.Vec3, len(g.tasks))
+	for i, t := range g.tasks {
+		target[i] = o.taskTarget(t)
+	}
+	assign := make([][]*hwmgr.Device, len(g.tasks))
+	used := make([]bool, len(g.devs))
+	// Tasks in priority order pick their nearest free surface.
+	order := make([]int, len(g.tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := g.tasks[order[a]], g.tasks[order[b]]
+		if ta.Priority != tb.Priority {
+			return ta.Priority > tb.Priority
+		}
+		return ta.ID < tb.ID
+	})
+	for _, ti := range order {
+		best, bestD := -1, math.Inf(1)
+		for di, d := range g.devs {
+			if used[di] {
+				continue
+			}
+			if dist := d.Drv.Surface().Panel.Center().Dist(target[ti]); dist < bestD {
+				best, bestD = di, dist
+			}
+		}
+		if best >= 0 {
+			assign[ti] = append(assign[ti], g.devs[best])
+			used[best] = true
+		}
+	}
+	// Leftover surfaces reinforce their nearest task.
+	for di, d := range g.devs {
+		if used[di] {
+			continue
+		}
+		best, bestD := 0, math.Inf(1)
+		for ti := range g.tasks {
+			if dist := d.Drv.Surface().Panel.Center().Dist(target[ti]); dist < bestD {
+				best, bestD = ti, dist
+			}
+		}
+		assign[best] = append(assign[best], d)
+	}
+	return assign
+}
+
+// taskTarget returns a task's spatial focus for SDM assignment.
+func (o *Orchestrator) taskTarget(t *Task) geom.Vec3 {
+	switch g := t.Goal.(type) {
+	case LinkGoal:
+		return g.Pos
+	case CoverageGoal:
+		if r, err := o.Scene.Region(g.Region); err == nil {
+			return r.Box.Center()
+		}
+	case SensingGoal:
+		if r, err := o.Scene.Region(g.Region); err == nil {
+			return r.Box.Center()
+		}
+	case PowerGoal:
+		return g.Pos
+	case SecurityGoal:
+		return g.UserPos
+	}
+	return geom.Vec3{}
+}
+
+// objectiveWeight normalizes task losses so a plain sum is balanced: the
+// coverage/link losses scale with location count, so they are divided by
+// it; sensing gets the configured weight.
+func (o *Orchestrator) objectiveWeight(t *Task, obj optimize.Objective) float64 {
+	switch t.Kind {
+	case ServiceCoverage, ServiceLink:
+		if c, ok := obj.(*optimize.CoverageObjective); ok && len(c.Channels) > 0 {
+			return 1 / float64(len(c.Channels))
+		}
+	case ServiceSensing:
+		return o.Opts.SensingWeight
+	}
+	return 1
+}

@@ -1,0 +1,145 @@
+package orchestrator
+
+import (
+	"surfos/internal/surface"
+)
+
+// Multiplexing strategies (paper §3.2 "task multiplexing"): the minimal
+// resource unit is a slice of time, frequency and space; joint
+// configuration multiplexing is the fourth axis the paper highlights.
+const (
+	StrategySolo  = "solo"  // one task owns the band's surfaces
+	StrategySDM   = "sdm"   // space division: surfaces partitioned by task
+	StrategyTDM   = "tdm"   // time division: codebook slots rotate by share
+	StrategyJoint = "joint" // configuration multiplexing: one shared config
+)
+
+// MultiplexPolicy selects how same-band tasks share hardware.
+type MultiplexPolicy uint8
+
+// Policies. PolicyAuto picks SDM when surfaces outnumber tasks, joint
+// multiplexing for small differentiable task sets or whenever a passive
+// surface is involved (a passive surface has exactly one configuration, so
+// configuration multiplexing is its only sharing mechanism), and TDM
+// otherwise.
+const (
+	PolicyAuto MultiplexPolicy = iota
+	PolicyTDM
+	PolicyJoint
+	PolicySDM
+)
+
+// String implements fmt.Stringer.
+func (p MultiplexPolicy) String() string {
+	switch p {
+	case PolicyAuto:
+		return "auto"
+	case PolicyTDM:
+		return "tdm"
+	case PolicyJoint:
+		return "joint"
+	case PolicySDM:
+		return "sdm"
+	}
+	return "policy(?)"
+}
+
+// PlanEntry is one time slot's worth of configurations: which tasks it
+// serves, its time share, and the per-device configs.
+type PlanEntry struct {
+	Label   string
+	TaskIDs []int
+	Share   float64
+	Configs map[string]surface.Config
+}
+
+// Plan is the scheduler's output for one frequency group.
+type Plan struct {
+	FreqHz   float64
+	APID     string
+	Surfaces []string
+	Strategy string
+	Entries  []PlanEntry
+
+	frame []int // expanded TDM frame of entry indices
+	pos   int
+}
+
+// frameSlots is the TDM frame length; shares are realized by
+// largest-remainder apportionment over this many slots.
+const frameSlots = 10
+
+// buildFrame expands entry shares into a deterministic rotation frame.
+func (p *Plan) buildFrame() {
+	p.frame = p.frame[:0]
+	if len(p.Entries) == 0 {
+		return
+	}
+	if len(p.Entries) == 1 {
+		p.frame = append(p.frame, 0)
+		return
+	}
+	var total float64
+	for _, e := range p.Entries {
+		total += e.Share
+	}
+	if total <= 0 {
+		total = float64(len(p.Entries))
+	}
+	// Largest-remainder apportionment.
+	counts := make([]int, len(p.Entries))
+	remainders := make([]float64, len(p.Entries))
+	used := 0
+	for i, e := range p.Entries {
+		exact := e.Share / total * frameSlots
+		counts[i] = int(exact)
+		remainders[i] = exact - float64(counts[i])
+		used += counts[i]
+	}
+	for used < frameSlots {
+		best := 0
+		for i := 1; i < len(remainders); i++ {
+			if remainders[i] > remainders[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		remainders[best] = -1
+		used++
+	}
+	// Interleave entries round-robin by remaining counts so no task starves
+	// within a frame.
+	for len(p.frame) < frameSlots {
+		for i := range counts {
+			if counts[i] > 0 {
+				p.frame = append(p.frame, i)
+				counts[i]--
+			}
+		}
+	}
+}
+
+// nextSlot advances the TDM rotation and returns the entry index to
+// activate.
+func (p *Plan) nextSlot() int {
+	if len(p.frame) == 0 {
+		return -1
+	}
+	idx := p.frame[p.pos%len(p.frame)]
+	p.pos++
+	return idx
+}
+
+// shareOf returns the realized frame share of entry i.
+func (p *Plan) shareOf(i int) float64 {
+	if len(p.frame) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range p.frame {
+		if e == i {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.frame))
+}

@@ -1,0 +1,185 @@
+// Package orchestrator is the SurfOS surface orchestrator (paper §3.2):
+// the universal central control plane. It exposes environment-wide service
+// request APIs — EnhanceLink, OptimizeCoverage, EnableSensing,
+// InitPowering, SecureLink — each creating a task (akin to an OS process),
+// and schedules all surface hardware globally: multiplexing tasks across
+// time, frequency and space slices, optimizing configurations (including
+// joint multitask optimization over a single shared configuration), and
+// pushing the results to devices through the hardware manager.
+package orchestrator
+
+import (
+	"fmt"
+	"time"
+
+	"surfos/internal/geom"
+)
+
+// ServiceKind identifies a surface service (paper Figure 3's service
+// interface row).
+type ServiceKind uint8
+
+// Services.
+const (
+	ServiceLink ServiceKind = iota + 1
+	ServiceCoverage
+	ServiceSensing
+	ServicePowering
+	ServiceSecurity
+)
+
+// String implements fmt.Stringer.
+func (k ServiceKind) String() string {
+	switch k {
+	case ServiceLink:
+		return "link"
+	case ServiceCoverage:
+		return "coverage"
+	case ServiceSensing:
+		return "sensing"
+	case ServicePowering:
+		return "powering"
+	case ServiceSecurity:
+		return "security"
+	}
+	return fmt.Sprintf("service(%d)", uint8(k))
+}
+
+// TaskState is the lifecycle state of a service task.
+type TaskState uint8
+
+// Task states. Pending tasks await scheduling; Running tasks hold resource
+// slices; Idle tasks keep their identity but release hardware (paper §3.2:
+// "setting a task idle when not used and releasing resources"); Done and
+// Failed are terminal.
+const (
+	TaskPending TaskState = iota
+	TaskRunning
+	TaskIdle
+	TaskDone
+	TaskFailed
+)
+
+// String implements fmt.Stringer.
+func (s TaskState) String() string {
+	switch s {
+	case TaskPending:
+		return "pending"
+	case TaskRunning:
+		return "running"
+	case TaskIdle:
+		return "idle"
+	case TaskDone:
+		return "done"
+	case TaskFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// LinkGoal asks for connectivity enhancement to one endpoint
+// (enhance_link() in the paper's Figure 6).
+type LinkGoal struct {
+	Endpoint   string
+	Pos        geom.Vec3
+	MinSNRdB   float64
+	MaxLatency time.Duration // application latency budget (informational)
+	FreqHz     float64       // 0 = the serving AP's band
+}
+
+// CoverageGoal asks for a median SNR across a named region
+// (optimize_coverage()).
+type CoverageGoal struct {
+	Region      string
+	MedianSNRdB float64
+	FreqHz      float64
+	// GridStep is the evaluation grid spacing in meters (default 0.5).
+	GridStep float64
+}
+
+// SensingGoal asks for localization service over a region
+// (enable_sensing()).
+type SensingGoal struct {
+	Region   string
+	Type     string // e.g. "tracking"
+	Duration time.Duration
+	FreqHz   float64
+	GridStep float64
+}
+
+// PowerGoal asks for wireless power delivery to a device (init_powering()).
+type PowerGoal struct {
+	Device   string
+	Pos      geom.Vec3
+	Duration time.Duration
+	FreqHz   float64
+}
+
+// SecurityGoal asks for eavesdropper suppression while serving a user.
+type SecurityGoal struct {
+	Endpoint string
+	UserPos  geom.Vec3
+	EvePos   geom.Vec3
+	FreqHz   float64
+}
+
+// Result captures a task's achieved service metrics after scheduling.
+type Result struct {
+	// Metric is the task's headline number: achieved SNR (link), median
+	// SNR (coverage), mean localization error in meters (sensing),
+	// received power dBm (powering), or user-eve SNR gap dB (security).
+	Metric float64
+	// MetricName documents the unit for logs and the CLI.
+	MetricName string
+	// Satisfied reports whether the goal's threshold was met (always true
+	// for goals without thresholds).
+	Satisfied bool
+	// Share is the task's time share on its surfaces (1.0 when it owns
+	// them or shares via joint configuration multiplexing).
+	Share float64
+	// Surfaces lists the device IDs serving the task.
+	Surfaces []string
+	// Strategy names the multiplexing decision that placed this task.
+	Strategy string
+}
+
+// Task is one scheduled service request — the orchestrator's process
+// abstraction.
+type Task struct {
+	ID       int
+	Kind     ServiceKind
+	Priority int // higher = more important; default 1
+	State    TaskState
+	Created  time.Time
+	Deadline time.Time // zero = no deadline
+	// Goal holds the service-specific parameters (one of the *Goal types).
+	Goal any
+	// FreqHz is the resolved operating frequency.
+	FreqHz float64
+	// Result is populated by Reconcile while the task runs.
+	Result *Result
+	// Err records the failure reason for TaskFailed.
+	Err error
+}
+
+// goalFreq extracts the frequency request from a goal (0 = unspecified).
+func goalFreq(goal any) float64 {
+	switch g := goal.(type) {
+	case LinkGoal:
+		return g.FreqHz
+	case CoverageGoal:
+		return g.FreqHz
+	case SensingGoal:
+		return g.FreqHz
+	case PowerGoal:
+		return g.FreqHz
+	case SecurityGoal:
+		return g.FreqHz
+	}
+	return 0
+}
+
+// active reports whether the task competes for resources.
+func (t *Task) active() bool {
+	return t.State == TaskPending || t.State == TaskRunning
+}

@@ -1,0 +1,208 @@
+package rfsim
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"surfos/internal/surface"
+)
+
+// Channel is the analytic decomposition of one tx→rx link at one frequency
+// as a function of the surface configurations:
+//
+//	h(x) = Direct + Σ_s Σ_k Single[s][k]·x_sk + Σ_blocks Σ_km M_km·x_Ak·x_Bm
+//
+// where x_sk = e^{jφ_sk} is element k of surface s's phasor.
+type Channel struct {
+	Freq   float64
+	Direct complex128
+	// Single[s][k] is the one-bounce coefficient of element k of surface s.
+	Single [][]complex128
+	// Cross holds two-surface cascade blocks (ordered: tx→A→B→rx).
+	Cross []CrossBlock
+}
+
+// CrossBlock is the cascade coefficient matrix for an ordered surface pair.
+type CrossBlock struct {
+	A, B int
+	M    [][]complex128 // M[k][m]: via element k of A then element m of B
+}
+
+// Phasors converts per-surface phase configurations into element phasor
+// vectors x_sk = e^{jφ_sk}. Configurations must be phase-property and match
+// the coefficient shapes.
+func (ch *Channel) Phasors(cfgs []surface.Config) ([][]complex128, error) {
+	if len(cfgs) != len(ch.Single) {
+		return nil, fmt.Errorf("rfsim: %d configs for %d surfaces", len(cfgs), len(ch.Single))
+	}
+	x := make([][]complex128, len(cfgs))
+	for s, cfg := range cfgs {
+		if cfg.Property != surface.Phase {
+			return nil, fmt.Errorf("rfsim: surface %d config has property %v, want phase", s, cfg.Property)
+		}
+		if len(cfg.Values) != len(ch.Single[s]) {
+			return nil, fmt.Errorf("rfsim: surface %d config has %d values, want %d",
+				s, len(cfg.Values), len(ch.Single[s]))
+		}
+		xs := make([]complex128, len(cfg.Values))
+		for k, phi := range cfg.Values {
+			xs[k] = cmplx.Rect(1, phi)
+		}
+		x[s] = xs
+	}
+	return x, nil
+}
+
+// Eval computes h for the given per-surface phase configurations.
+func (ch *Channel) Eval(cfgs []surface.Config) (complex128, error) {
+	x, err := ch.Phasors(cfgs)
+	if err != nil {
+		return 0, err
+	}
+	return ch.EvalPhasors(x), nil
+}
+
+// EvalPhasors computes h from precomputed element phasors (hot path for
+// optimizers, which update x incrementally).
+func (ch *Channel) EvalPhasors(x [][]complex128) complex128 {
+	h := ch.Direct
+	for s, coeffs := range ch.Single {
+		xs := x[s]
+		for k, c := range coeffs {
+			if c != 0 {
+				h += c * xs[k]
+			}
+		}
+	}
+	for _, blk := range ch.Cross {
+		xa, xb := x[blk.A], x[blk.B]
+		for k, row := range blk.M {
+			if xa[k] == 0 {
+				continue
+			}
+			var acc complex128
+			for m, c := range row {
+				if c != 0 {
+					acc += c * xb[m]
+				}
+			}
+			h += xa[k] * acc
+		}
+	}
+	return h
+}
+
+// Partials returns dh/dφ_sk for every element, given the phasors x:
+//
+//	dh/dφ_sk = j·x_sk·( Single[s][k]
+//	                  + Σ_{blocks A=s} Σ_m M[k][m]·x_Bm
+//	                  + Σ_{blocks B=s} Σ_k' M[k'][k]·x_Ak' )
+//
+// The result is shaped like Single. Cost is O(total elements + cross size).
+func (ch *Channel) Partials(x [][]complex128) [][]complex128 {
+	out := make([][]complex128, len(ch.Single))
+	for s, coeffs := range ch.Single {
+		d := make([]complex128, len(coeffs))
+		copy(d, coeffs)
+		out[s] = d
+	}
+	for _, blk := range ch.Cross {
+		xa, xb := x[blk.A], x[blk.B]
+		da, db := out[blk.A], out[blk.B]
+		for k, row := range blk.M {
+			var acc complex128
+			for m, c := range row {
+				if c == 0 {
+					continue
+				}
+				acc += c * xb[m]
+				db[m] += c * xa[k]
+			}
+			da[k] += acc
+		}
+	}
+	for s := range out {
+		xs := x[s]
+		for k := range out[s] {
+			out[s][k] *= complex(0, 1) * xs[k]
+		}
+	}
+	return out
+}
+
+// Freeze folds surface s's configuration into the channel, returning a new
+// channel over the remaining degrees of freedom: s's single terms join
+// Direct, and cross blocks touching s fold into the other surface's single
+// coefficients. The frozen surface's Single entry becomes empty (it no
+// longer has free parameters) so config slices keep their indexing.
+func (ch *Channel) Freeze(s int, cfg surface.Config) (*Channel, error) {
+	if s < 0 || s >= len(ch.Single) {
+		return nil, fmt.Errorf("rfsim: freeze index %d out of range", s)
+	}
+	if len(cfg.Values) != len(ch.Single[s]) {
+		return nil, fmt.Errorf("rfsim: freeze config has %d values, want %d",
+			len(cfg.Values), len(ch.Single[s]))
+	}
+	xs := make([]complex128, len(cfg.Values))
+	for k, phi := range cfg.Values {
+		xs[k] = cmplx.Rect(1, phi)
+	}
+
+	out := &Channel{Freq: ch.Freq, Direct: ch.Direct, Single: make([][]complex128, len(ch.Single))}
+	for i, coeffs := range ch.Single {
+		if i == s {
+			out.Single[i] = nil
+			for k, c := range coeffs {
+				out.Direct += c * xs[k]
+			}
+			continue
+		}
+		d := make([]complex128, len(coeffs))
+		copy(d, coeffs)
+		out.Single[i] = d
+	}
+	for _, blk := range ch.Cross {
+		switch {
+		case blk.A == s && blk.B == s:
+			// Impossible by construction (A != B); skip defensively.
+		case blk.A == s:
+			dst := out.Single[blk.B]
+			for k, row := range blk.M {
+				for m, c := range row {
+					if c != 0 {
+						dst[m] += c * xs[k]
+					}
+				}
+			}
+		case blk.B == s:
+			dst := out.Single[blk.A]
+			for k, row := range blk.M {
+				var acc complex128
+				for m, c := range row {
+					if c != 0 {
+						acc += c * xs[m]
+					}
+				}
+				dst[k] += acc
+			}
+		default:
+			cp := CrossBlock{A: blk.A, B: blk.B, M: make([][]complex128, len(blk.M))}
+			for k, row := range blk.M {
+				r := make([]complex128, len(row))
+				copy(r, row)
+				cp.M[k] = r
+			}
+			out.Cross = append(out.Cross, cp)
+		}
+	}
+	return out, nil
+}
+
+// NumElements returns the per-surface element counts of the decomposition.
+func (ch *Channel) NumElements() []int {
+	n := make([]int, len(ch.Single))
+	for i, s := range ch.Single {
+		n[i] = len(s)
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package rfsim
+
+import (
+	"math"
+	"math/cmplx"
+
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/surface"
+)
+
+// LinkBudget carries the radio parameters that turn a complex channel gain
+// into SNR and capacity. The zero value is not useful; use DefaultBudget as
+// a starting point.
+type LinkBudget struct {
+	TxPowerDBm    float64
+	AntennaGainDB float64 // combined tx+rx antenna gains
+	NoiseFigureDB float64
+	BandwidthHz   float64
+}
+
+// DefaultBudget matches a typical indoor mmWave small cell: 10 dBm transmit
+// power, 20 dB combined beamforming gain, 7 dB noise figure, 400 MHz
+// channel.
+func DefaultBudget() LinkBudget {
+	return LinkBudget{TxPowerDBm: 10, AntennaGainDB: 20, NoiseFigureDB: 7, BandwidthHz: 400e6}
+}
+
+// RxPowerDBm returns the received power for channel gain h.
+func (lb LinkBudget) RxPowerDBm(h complex128) float64 {
+	p := cmplx.Abs(h)
+	return lb.TxPowerDBm + lb.AntennaGainDB + em.DB(p*p)
+}
+
+// NoiseFloorDBm returns the effective noise power.
+func (lb LinkBudget) NoiseFloorDBm() float64 {
+	return em.ThermalNoiseDBm(lb.BandwidthHz) + lb.NoiseFigureDB
+}
+
+// SNRdB returns the link SNR for channel gain h.
+func (lb LinkBudget) SNRdB(h complex128) float64 {
+	return lb.RxPowerDBm(h) - lb.NoiseFloorDBm()
+}
+
+// CapacityBps returns the Shannon capacity for channel gain h.
+func (lb LinkBudget) CapacityBps(h complex128) float64 {
+	return em.ShannonCapacity(lb.SNRdB(h), lb.BandwidthHz)
+}
+
+// SNRGrid evaluates the SNR at every point for fixed configurations; this
+// is the paper's coverage heatmap primitive (Figures 2 and 4).
+func SNRGrid(tc *TxContext, pts []geom.Vec3, cfgs []surface.Config, lb LinkBudget) ([]float64, error) {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		ch := tc.Channel(p)
+		h, err := ch.Eval(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = lb.SNRdB(h)
+	}
+	return out, nil
+}
+
+// Median returns the median of vals (NaNs excluded); the paper's Figure 4
+// reports median SNR over the target room.
+func Median(vals []float64) float64 {
+	clean := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sortFloats(clean)
+	n := len(clean)
+	if n%2 == 1 {
+		return clean[n/2]
+	}
+	return (clean[n/2-1] + clean[n/2]) / 2
+}
+
+// CDF returns (sorted values, cumulative fractions) for plotting the
+// paper's Figure 5 CDFs over locations.
+func CDF(vals []float64) (xs, fracs []float64) {
+	xs = make([]float64, len(vals))
+	copy(xs, vals)
+	sortFloats(xs)
+	fracs = make([]float64, len(xs))
+	for i := range xs {
+		fracs[i] = float64(i+1) / float64(len(xs))
+	}
+	return xs, fracs
+}
+
+// Percentile returns the p-th percentile (0..100) of vals.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sortFloats(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	idx := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	t := idx - float64(lo)
+	return s[lo]*(1-t) + s[hi]*t
+}
+
+// sortFloats is an insertion-free quicksort over float64 (avoids pulling in
+// sort for the hot grid paths; grids are a few hundred points).
+func sortFloats(v []float64) {
+	if len(v) < 2 {
+		return
+	}
+	// Simple bottom-up heapsort: O(n log n), no allocation, deterministic.
+	n := len(v)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(v, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		v[0], v[i] = v[i], v[0]
+		siftDown(v, 0, i)
+	}
+}
+
+func siftDown(v []float64, lo, hi int) {
+	root := lo
+	for {
+		child := 2*root + 1
+		if child >= hi {
+			return
+		}
+		if child+1 < hi && v[child] < v[child+1] {
+			child++
+		}
+		if v[root] >= v[child] {
+			return
+		}
+		v[root], v[child] = v[child], v[root]
+		root = child
+	}
+}

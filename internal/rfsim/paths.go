@@ -1,0 +1,201 @@
+// Package rfsim is the SurfOS wireless channel simulator — the stand-in
+// for the AutoMS simulator the paper uses (§4). It computes complex
+// baseband channel gains between endpoints in a scene, decomposed so that
+// surface configurations enter analytically:
+//
+//	h(φ) = h_env + Σ_s Σ_k single[s][k]·e^{jφ_sk}
+//	             + Σ_{s,t} Σ_{k,m} cross[s,t][k][m]·e^{j(φ_sk+φ_tm)}
+//
+// h_env collects the environment paths (line of sight plus specular wall
+// reflections via the image method, with material reflection and
+// penetration losses). The single terms are one-bounce surface paths
+// (tx→element→rx) under the physical-optics element model, and the cross
+// terms are two-surface cascades (tx→surface A→surface B→rx). Because the
+// decomposition is linear (bilinear for cascades) in the element phasors,
+// ray tracing runs once per geometry and every optimizer evaluation or
+// gradient is closed-form.
+package rfsim
+
+import (
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/scene"
+)
+
+// EnvPath is one traced environment (non-surface) path.
+type EnvPath struct {
+	Gain   complex128
+	Length float64
+	Walls  []int // indices of reflecting walls, in bounce order
+	// FirstHit is the first geometric waypoint after the transmitter (the
+	// receiver itself for line of sight); it defines the departure
+	// direction for transmit antenna patterns.
+	FirstHit geom.Vec3
+}
+
+// envPaths traces line-of-sight and specular reflection paths between a and
+// b at freqHz, up to the given reflection order. txPattern, when non-nil,
+// scales each path by the transmitter's amplitude pattern at its departure
+// direction.
+func envPaths(sc *scene.Scene, a, b geom.Vec3, freqHz float64, order int, txPattern func(geom.Vec3) float64) []EnvPath {
+	lambda := em.Wavelength(freqHz)
+	var paths []EnvPath
+	depart := func(toward geom.Vec3) float64 {
+		if txPattern == nil {
+			return 1
+		}
+		return txPattern(toward.Sub(a))
+	}
+
+	// Line of sight (with penetration through any intervening walls).
+	if d := a.Dist(b); d > geom.Eps {
+		g := sc.SegmentGain(a, b, freqHz) * depart(b)
+		if g > 0 {
+			paths = append(paths, EnvPath{
+				Gain:     em.PropagationPhasor(d, lambda) * complex(g, 0),
+				Length:   d,
+				FirstHit: b,
+			})
+		}
+	}
+
+	if order >= 1 {
+		for wi := range sc.Walls {
+			if p, ok := reflectOnce(sc, a, b, wi, freqHz); ok {
+				p.Gain *= complex(depart(p.FirstHit), 0)
+				paths = append(paths, p)
+			}
+		}
+	}
+	if order >= 2 {
+		for wi := range sc.Walls {
+			for wj := range sc.Walls {
+				if wi == wj {
+					continue
+				}
+				if p, ok := reflectTwice(sc, a, b, wi, wj, freqHz); ok {
+					p.Gain *= complex(depart(p.FirstHit), 0)
+					paths = append(paths, p)
+				}
+			}
+		}
+	}
+	return paths
+}
+
+// reflectOnce builds the single-bounce path a→wall wi→b using the image
+// method: mirror a across the wall plane, intersect the straight image→b
+// segment with the wall panel, then validate both real segments.
+func reflectOnce(sc *scene.Scene, a, b geom.Vec3, wi int, freqHz float64) (EnvPath, bool) {
+	w := sc.Walls[wi]
+	pl := w.Panel.Plane()
+	// Both endpoints must be on the same side for a specular bounce.
+	da, db := pl.SignedDist(a), pl.SignedDist(b)
+	if da*db <= 0 {
+		return EnvPath{}, false
+	}
+	img := pl.Mirror(a)
+	r := geom.NewRay(img, b)
+	maxT := img.Dist(b)
+	_, hit, ok := w.Panel.IntersectRay(r, maxT+geom.Eps)
+	if !ok {
+		return EnvPath{}, false
+	}
+	lambda := em.Wavelength(freqHz)
+	total := a.Dist(hit) + hit.Dist(b)
+	g := w.Material.Reflection(freqHz)
+	if g <= 0 {
+		return EnvPath{}, false
+	}
+	g *= occlusionExcluding(sc, a, hit, freqHz, wi)
+	g *= occlusionExcluding(sc, hit, b, freqHz, wi)
+	if g <= 0 {
+		return EnvPath{}, false
+	}
+	return EnvPath{
+		Gain:     em.PropagationPhasor(total, lambda) * complex(g, 0),
+		Length:   total,
+		Walls:    []int{wi},
+		FirstHit: hit,
+	}, true
+}
+
+// reflectTwice builds the two-bounce path a→wi→wj→b by double mirroring.
+func reflectTwice(sc *scene.Scene, a, b geom.Vec3, wi, wj int, freqHz float64) (EnvPath, bool) {
+	w1, w2 := sc.Walls[wi], sc.Walls[wj]
+	pl1, pl2 := w1.Panel.Plane(), w2.Panel.Plane()
+
+	img1 := pl1.Mirror(a)    // a mirrored across first wall
+	img2 := pl2.Mirror(img1) // then across second wall
+
+	// Unfold back-to-front: find the hit on wall 2 from b, then on wall 1.
+	r2 := geom.NewRay(img2, b)
+	_, hit2, ok := w2.Panel.IntersectRay(r2, img2.Dist(b)+geom.Eps)
+	if !ok {
+		return EnvPath{}, false
+	}
+	r1 := geom.NewRay(img1, hit2)
+	_, hit1, ok := w1.Panel.IntersectRay(r1, img1.Dist(hit2)+geom.Eps)
+	if !ok {
+		return EnvPath{}, false
+	}
+	// Validate bounce sides: a and hit2 on the same side of wall 1,
+	// hit1 and b on the same side of wall 2.
+	if pl1.SignedDist(a)*pl1.SignedDist(hit2) <= 0 {
+		return EnvPath{}, false
+	}
+	if pl2.SignedDist(hit1)*pl2.SignedDist(b) <= 0 {
+		return EnvPath{}, false
+	}
+	lambda := em.Wavelength(freqHz)
+	total := a.Dist(hit1) + hit1.Dist(hit2) + hit2.Dist(b)
+	g := w1.Material.Reflection(freqHz) * w2.Material.Reflection(freqHz)
+	if g <= 0 {
+		return EnvPath{}, false
+	}
+	g *= occlusionExcluding(sc, a, hit1, freqHz, wi)
+	g *= occlusionExcluding(sc, hit1, hit2, freqHz, wi, wj)
+	g *= occlusionExcluding(sc, hit2, b, freqHz, wj)
+	if g <= 0 {
+		return EnvPath{}, false
+	}
+	return EnvPath{
+		Gain:     em.PropagationPhasor(total, lambda) * complex(g, 0),
+		Length:   total,
+		Walls:    []int{wi, wj},
+		FirstHit: hit1,
+	}, true
+}
+
+// occlusionExcluding is scene.SegmentGain but ignoring the listed walls
+// (the ones the path legitimately bounces off).
+func occlusionExcluding(sc *scene.Scene, a, b geom.Vec3, freqHz float64, exclude ...int) float64 {
+	g := 1.0
+	for _, wi := range sc.Occlusions(a, b) {
+		skip := false
+		for _, e := range exclude {
+			if wi == e {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		g *= sc.Walls[wi].Material.Transmission(freqHz)
+		if g == 0 {
+			return 0
+		}
+	}
+	return g
+}
+
+// EnvGain sums the environment paths into a single complex gain.
+// txPattern (nil = isotropic) applies the transmitter's antenna pattern.
+func EnvGain(sc *scene.Scene, a, b geom.Vec3, freqHz float64, order int, txPattern func(geom.Vec3) float64) complex128 {
+	var h complex128
+	for _, p := range envPaths(sc, a, b, freqHz, order, txPattern) {
+		h += p.Gain
+	}
+	return h
+}

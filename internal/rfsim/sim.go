@@ -1,0 +1,328 @@
+package rfsim
+
+import (
+	"fmt"
+	"math"
+
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+)
+
+// Simulator computes channels in a scene populated with metasurfaces.
+// It is safe for concurrent use once constructed (all methods are reads).
+type Simulator struct {
+	Scene    *scene.Scene
+	Surfaces []*surface.Surface
+	// FreqHz is the default carrier frequency.
+	FreqHz float64
+	// ReflOrder is the image-method order for environment paths (0 = LoS
+	// only, 1 = one bounce, 2 = two bounces). Default 1.
+	ReflOrder int
+	// PerElementOcclusion enables exact blockage tests for every element
+	// leg. When false (default) blockage is tested once per surface panel
+	// center and shared by all elements — a large speedup for dense
+	// surfaces with identical visibility.
+	PerElementOcclusion bool
+	// Cascade enables two-surface interaction paths (tx→A→B→rx). Required
+	// for multi-surface collaboration studies; off by default.
+	Cascade bool
+	// ElementEfficiency scales each surface interaction amplitude
+	// (hardware losses). Zero means 1.0.
+	ElementEfficiency float64
+	// TxPattern is the transmitter's antenna amplitude pattern by
+	// departure direction (nil = isotropic). mmWave APs beamform toward
+	// their serving surface; modeling the pattern is what makes "no
+	// coverage without surfaces" physical.
+	TxPattern func(dir geom.Vec3) float64
+}
+
+// ConeBeam returns an idealized beamforming pattern: mainGainDB amplitude
+// gain within halfWidth radians of the boresight direction, sideGainDB
+// elsewhere. Gains are in dB (power); the returned factor is amplitude.
+func ConeBeam(boresight geom.Vec3, halfWidth, mainGainDB, sideGainDB float64) func(geom.Vec3) float64 {
+	bs := boresight.Normalize()
+	main := math.Sqrt(em.FromDB(mainGainDB))
+	side := math.Sqrt(em.FromDB(sideGainDB))
+	return func(dir geom.Vec3) float64 {
+		if bs.AngleTo(dir) <= halfWidth {
+			return main
+		}
+		return side
+	}
+}
+
+// New constructs a simulator with validated inputs and defaults applied.
+func New(sc *scene.Scene, freqHz float64, surfaces ...*surface.Surface) (*Simulator, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("rfsim: nil scene")
+	}
+	if freqHz <= 0 {
+		return nil, fmt.Errorf("rfsim: frequency %g must be positive", freqHz)
+	}
+	for i, s := range surfaces {
+		if s == nil {
+			return nil, fmt.Errorf("rfsim: surface %d is nil", i)
+		}
+	}
+	return &Simulator{
+		Scene:     sc,
+		Surfaces:  surfaces,
+		FreqHz:    freqHz,
+		ReflOrder: 1,
+	}, nil
+}
+
+func (sim *Simulator) efficiency() float64 {
+	if sim.ElementEfficiency == 0 {
+		return 1
+	}
+	return sim.ElementEfficiency
+}
+
+// sideOK reports whether a point at direction d (from element, unit not
+// required) participates given the surface mode, and returns the pattern
+// angle cos sign handling. For reflective surfaces the point must be on the
+// +normal side; for transmissive on either side (energy passes through);
+// transflective accepts both.
+func sideOK(mode surface.OpMode, n, toPoint geom.Vec3) bool {
+	front := n.Dot(toPoint) > 0
+	switch {
+	case mode == surface.Reflective:
+		return front
+	case mode == surface.Transmissive:
+		return true // both sides interact; pattern handles the angle
+	default: // transflective
+		return true
+	}
+}
+
+// patternAngle returns the angle from the surface boresight axis for a
+// direction to a point, folding the back side onto the front for
+// transmissive interaction.
+func patternAngle(n, toPoint geom.Vec3) float64 {
+	th := n.AngleTo(toPoint)
+	if th > math.Pi/2 {
+		th = math.Pi - th
+	}
+	return th
+}
+
+// legAmp returns the complex propagation factor of a free-space leg a→b
+// including wall penetration, or 0 if fully blocked.
+func (sim *Simulator) legAmp(a, b geom.Vec3, freqHz float64, occl float64) complex128 {
+	d := a.Dist(b)
+	if d < geom.Eps || occl <= 0 {
+		return 0
+	}
+	return em.PropagationPhasor(d, em.Wavelength(freqHz)) * complex(occl, 0)
+}
+
+// surfOcclusion returns per-element occlusion gains for legs from point p
+// to every element of surface s. With PerElementOcclusion off, the panel
+// center's occlusion is shared.
+func (sim *Simulator) surfOcclusion(p geom.Vec3, s *surface.Surface, freqHz float64) []float64 {
+	n := s.NumElements()
+	out := make([]float64, n)
+	if !sim.PerElementOcclusion {
+		g := sim.Scene.SegmentGain(p, s.Panel.Center(), freqHz)
+		for i := range out {
+			out[i] = g
+		}
+		return out
+	}
+	for i, e := range s.ElementPositions() {
+		out[i] = sim.Scene.SegmentGain(p, e, freqHz)
+	}
+	return out
+}
+
+// TxContext caches everything about a transmitter position that does not
+// depend on the receiver: incident legs onto every surface element and
+// (when Cascade is on) the surface-to-surface coupling matrices. Building a
+// TxContext performs the expensive ray tracing once; Channel() calls are
+// then cheap per receiver.
+type TxContext struct {
+	sim  *Simulator
+	Tx   geom.Vec3
+	Freq float64
+
+	// incident[s][k]: complex amplitude arriving at element k of surface s
+	// directly from tx, with the incoming pattern already applied.
+	incident [][]complex128
+	// crossIn[a][b][k][m]: amplitude arriving at element m of surface b via
+	// element k of surface a (tx→a_k→b_m), with a_k's full scatter and
+	// b_m's incoming pattern applied, but NOT a_k's or b_m's phase config.
+	// Indexed by ordered surface pairs a != b. nil when Cascade is off.
+	crossIn map[[2]int][][]complex128
+}
+
+// scatterK returns the dimensionless element scatter constant 4π·dA/λ².
+func scatterK(s *surface.Surface, freqHz float64) float64 {
+	lambda := em.Wavelength(freqHz)
+	dA := s.Layout.PitchU * s.Layout.PitchV
+	return 4 * math.Pi * dA / (lambda * lambda)
+}
+
+// NewTx builds the transmitter-side cache at the simulator's default
+// frequency.
+func (sim *Simulator) NewTx(tx geom.Vec3) *TxContext { return sim.NewTxAt(tx, sim.FreqHz) }
+
+// NewTxAt builds the transmitter-side cache at an explicit frequency
+// (wideband sensing uses several subcarriers).
+func (sim *Simulator) NewTxAt(tx geom.Vec3, freqHz float64) *TxContext {
+	tc := &TxContext{sim: sim, Tx: tx, Freq: freqHz}
+	eff := complex(sim.efficiency(), 0)
+
+	tc.incident = make([][]complex128, len(sim.Surfaces))
+	for si, s := range sim.Surfaces {
+		inc := make([]complex128, s.NumElements())
+		occ := sim.surfOcclusion(tx, s, freqHz)
+		n := s.Normal()
+		for k, e := range s.ElementPositions() {
+			toTx := tx.Sub(e)
+			if !sideOK(s.Mode, n, toTx) {
+				continue
+			}
+			patt := s.Pattern.AmplitudeAt(patternAngle(n, toTx))
+			if patt == 0 {
+				continue
+			}
+			txp := 1.0
+			if sim.TxPattern != nil {
+				txp = sim.TxPattern(e.Sub(tx))
+			}
+			inc[k] = sim.legAmp(tx, e, freqHz, occ[k]) * complex(patt*txp, 0) * eff
+		}
+		tc.incident[si] = inc
+	}
+
+	if sim.Cascade && len(sim.Surfaces) > 1 {
+		tc.crossIn = make(map[[2]int][][]complex128)
+		for a := range sim.Surfaces {
+			for b := range sim.Surfaces {
+				if a == b {
+					continue
+				}
+				if m := tc.buildCross(a, b, freqHz); m != nil {
+					tc.crossIn[[2]int{a, b}] = m
+				}
+			}
+		}
+	}
+	return tc
+}
+
+// buildCross computes the tx→a→b incident matrix, or nil if the surfaces
+// cannot interact (wrong sides / fully blocked).
+func (tc *TxContext) buildCross(a, b int, freqHz float64) [][]complex128 {
+	sim := tc.sim
+	sa, sb := sim.Surfaces[a], sim.Surfaces[b]
+	na, nb := sa.Normal(), sb.Normal()
+	ka := scatterK(sa, freqHz)
+
+	// Cheap visibility rejection: panel centers must see each other.
+	centerGain := sim.Scene.SegmentGain(sa.Panel.Center(), sb.Panel.Center(), freqHz)
+	if centerGain == 0 {
+		return nil
+	}
+
+	posA, posB := sa.ElementPositions(), sb.ElementPositions()
+	out := make([][]complex128, len(posA))
+	any := false
+	for k, ea := range posA {
+		incA := tc.incident[a][k]
+		row := make([]complex128, len(posB))
+		out[k] = row
+		if incA == 0 {
+			continue
+		}
+		for m, eb := range posB {
+			toB := eb.Sub(ea)
+			if !sideOK(sa.Mode, na, toB) || !sideOK(sb.Mode, nb, toB.Neg()) {
+				continue
+			}
+			pOut := sa.Pattern.AmplitudeAt(patternAngle(na, toB))
+			pIn := sb.Pattern.AmplitudeAt(patternAngle(nb, toB.Neg()))
+			if pOut == 0 || pIn == 0 {
+				continue
+			}
+			leg := sim.legAmp(ea, eb, freqHz, centerGain)
+			if leg == 0 {
+				continue
+			}
+			row[m] = incA * complex(ka*pOut*pIn, 0) * leg
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// IncidentCoeffs returns a copy of the incident complex amplitudes at each
+// element of surface s (leg from the cached transmitter plus the incoming
+// pattern). By reciprocity these are also the element→transmitter radiation
+// legs, which the sensing layer uses to build AoA steering dictionaries.
+func (tc *TxContext) IncidentCoeffs(s int) []complex128 {
+	out := make([]complex128, len(tc.incident[s]))
+	copy(out, tc.incident[s])
+	return out
+}
+
+// Channel computes the full channel decomposition from the cached
+// transmitter to receiver rx.
+func (tc *TxContext) Channel(rx geom.Vec3) *Channel {
+	sim := tc.sim
+	ch := &Channel{
+		Freq:   tc.Freq,
+		Direct: EnvGain(sim.Scene, tc.Tx, rx, tc.Freq, sim.ReflOrder, sim.TxPattern),
+		Single: make([][]complex128, len(sim.Surfaces)),
+	}
+
+	// Outgoing factors per surface element toward rx.
+	radiate := make([][]complex128, len(sim.Surfaces))
+	for si, s := range sim.Surfaces {
+		rad := make([]complex128, s.NumElements())
+		occ := sim.surfOcclusion(rx, s, tc.Freq)
+		n := s.Normal()
+		k := scatterK(s, tc.Freq)
+		for i, e := range s.ElementPositions() {
+			toRx := rx.Sub(e)
+			if !sideOK(s.Mode, n, toRx) {
+				continue
+			}
+			patt := s.Pattern.AmplitudeAt(patternAngle(n, toRx))
+			if patt == 0 {
+				continue
+			}
+			rad[i] = complex(k*patt, 0) * sim.legAmp(e, rx, tc.Freq, occ[i])
+		}
+		radiate[si] = rad
+
+		single := make([]complex128, s.NumElements())
+		for i := range single {
+			single[i] = tc.incident[si][i] * rad[i]
+		}
+		ch.Single[si] = single
+	}
+
+	for pair, w := range tc.crossIn {
+		b := pair[1]
+		radB := radiate[b]
+		blk := CrossBlock{A: pair[0], B: b, M: make([][]complex128, len(w))}
+		for k, row := range w {
+			out := make([]complex128, len(row))
+			for m, v := range row {
+				if v != 0 && radB[m] != 0 {
+					out[m] = v * radB[m]
+				}
+			}
+			blk.M[k] = out
+		}
+		ch.Cross = append(ch.Cross, blk)
+	}
+	return ch
+}

@@ -1,0 +1,132 @@
+package scene
+
+import (
+	"surfos/internal/em"
+	"surfos/internal/geom"
+)
+
+// MountSpot is a pre-determined surface deployment location on a wall
+// (§4 of the paper: "suitable pre-determined deployment locations").
+// U runs along the wall, V runs up, Normal points into the room the surface
+// serves. Center is the mount midpoint at typical install height.
+type MountSpot struct {
+	Name   string
+	Center geom.Vec3
+	U, V   geom.Vec3 // unit tangents along the wall (width, height)
+	Normal geom.Vec3 // unit, into the room
+}
+
+// Panel returns a wall-flush rectangular panel of the given width and
+// height (meters) centered on the mount spot, offset 1 cm off the wall so
+// rays do not self-intersect the supporting wall.
+func (m MountSpot) Panel(w, h float64) *geom.Quad {
+	o := m.Center.
+		Add(m.Normal.Scale(0.01)).
+		Sub(m.U.Scale(w / 2)).
+		Sub(m.V.Scale(h / 2))
+	return geom.RectXY(o, m.U, m.V, w, h)
+}
+
+// Apartment is the two-room furnished apartment from the paper's §4
+// exploratory studies: a living room holding the AP and an adjacent target
+// bedroom, separated by a concrete wall with a doorway. mmWave signals
+// cannot penetrate the divider, so bedroom coverage must flow through the
+// door — exactly the regime where metasurfaces matter.
+type Apartment struct {
+	*Scene
+	// AP is the access point position (living room, near the south wall).
+	AP geom.Vec3
+	// Mounts are the pre-determined surface deployment locations.
+	Mounts map[string]MountSpot
+}
+
+// Apartment layout constants (meters).
+const (
+	AptW       = 7.0 // x extent
+	AptD       = 7.0 // y extent
+	AptH       = 3.0 // ceiling height
+	DividerY   = 3.5 // the wall splitting living room (south) from bedroom
+	DoorX0     = 4.0
+	DoorX1     = 5.0
+	DoorH      = 2.1
+	EvalHeight = 1.2 // receiver evaluation height for heatmaps/CDFs
+)
+
+// Room region names.
+const (
+	RegionLivingRoom = "living_room"
+	RegionTargetRoom = "target_room"
+)
+
+// Mount names.
+const (
+	MountEastWall  = "east_wall"  // bedroom east wall, sees the AP through the door
+	MountNorthWall = "north_wall" // bedroom north wall, relay/steering spot
+)
+
+// NewApartment builds the apartment scene.
+func NewApartment() *Apartment {
+	s := New("two-room apartment")
+
+	up := geom.V(0, 0, 1)
+	// Outer shell (concrete). Corners at (0,0) and (AptW, AptD).
+	s.AddWall("south", geom.RectXY(geom.V(0, 0, 0), geom.V(1, 0, 0), up, AptW, AptH), em.Concrete)
+	s.AddWall("north", geom.RectXY(geom.V(0, AptD, 0), geom.V(1, 0, 0), up, AptW, AptH), em.Concrete)
+	s.AddWall("west", geom.RectXY(geom.V(0, 0, 0), geom.V(0, 1, 0), up, AptD, AptH), em.Concrete)
+	s.AddWall("east", geom.RectXY(geom.V(AptW, 0, 0), geom.V(0, 1, 0), up, AptD, AptH), em.Concrete)
+	// Floor and ceiling (concrete) — mostly relevant as absorbers of stray
+	// vertical paths.
+	s.AddWall("floor", geom.MustQuad(
+		geom.V(0, 0, 0), geom.V(AptW, 0, 0), geom.V(AptW, AptD, 0), geom.V(0, AptD, 0)), em.Concrete)
+	s.AddWall("ceiling", geom.MustQuad(
+		geom.V(0, 0, AptH), geom.V(AptW, 0, AptH), geom.V(AptW, AptD, AptH), geom.V(0, AptD, AptH)), em.Concrete)
+
+	// Divider with a doorway: three concrete panels (left of door, right of
+	// door, lintel above the door).
+	s.AddWall("divider_left", geom.RectXY(geom.V(0, DividerY, 0), geom.V(1, 0, 0), up, DoorX0, AptH), em.Concrete)
+	s.AddWall("divider_right", geom.RectXY(geom.V(DoorX1, DividerY, 0), geom.V(1, 0, 0), up, AptW-DoorX1, AptH), em.Concrete)
+	s.AddWall("divider_lintel", geom.RectXY(geom.V(DoorX0, DividerY, DoorH), geom.V(1, 0, 0), up, DoorX1-DoorX0, AptH-DoorH), em.Concrete)
+
+	// Furnishing: a wooden wardrobe along the bedroom west wall and a metal
+	// cabinet in the living room; both add scattering/blockage.
+	s.AddWall("wardrobe", geom.RectXY(geom.V(0.6, 4.2, 0), geom.V(0, 1, 0), up, 1.4, 1.9), em.Wood)
+	s.AddWall("cabinet", geom.RectXY(geom.V(5.6, 1.0, 0), geom.V(0, 1, 0), up, 1.0, 1.5), em.Metal)
+
+	s.AddRegion(RegionLivingRoom, geom.AABB{Min: geom.V(0.3, 0.3, 0), Max: geom.V(AptW-0.3, DividerY-0.3, AptH)})
+	s.AddRegion(RegionTargetRoom, geom.AABB{Min: geom.V(0.3, DividerY+0.3, 0), Max: geom.V(AptW-0.3, AptD-0.3, AptH)})
+
+	apt := &Apartment{
+		Scene: s,
+		// AP sits in the living room's south-west area at 2 m height,
+		// with line of sight through the doorway into the bedroom.
+		AP: geom.V(0.6, 0.4, 2.0),
+		Mounts: map[string]MountSpot{
+			// East-wall mount: visible from the AP through the doorway
+			// (the primary coverage-extension spot).
+			MountEastWall: {
+				Name:   MountEastWall,
+				Center: geom.V(AptW, 5.5, 1.8),
+				U:      geom.V(0, -1, 0),
+				V:      geom.V(0, 0, 1),
+				Normal: geom.V(-1, 0, 0),
+			},
+			// North-wall mount: deeper in the bedroom, used by the
+			// programmable steering surface in the hybrid deployment.
+			MountNorthWall: {
+				Name:   MountNorthWall,
+				Center: geom.V(5.0, AptD, 1.8),
+				U:      geom.V(1, 0, 0),
+				V:      geom.V(0, 0, 1),
+				Normal: geom.V(0, -1, 0),
+			},
+		},
+	}
+	return apt
+}
+
+// TargetGrid returns the evaluation locations inside the target room at the
+// standard receiver height, spaced step meters.
+func (a *Apartment) TargetGrid(step float64) []geom.Vec3 {
+	r := a.Regions[RegionTargetRoom]
+	return r.GridPoints(step, EvalHeight)
+}

@@ -1,0 +1,97 @@
+package scene
+
+import (
+	"surfos/internal/em"
+	"surfos/internal/geom"
+)
+
+// Office is a second reference environment: an open-plan office with a
+// glass-walled meeting room — the "across sites" generality the paper
+// asks of SurfOS (one control plane over many environments). Unlike the
+// apartment, blockage here is dominated by glass (partially transparent at
+// mmWave) and drywall partitions rather than concrete.
+type Office struct {
+	*Scene
+	// AP hangs near the middle of the open area.
+	AP geom.Vec3
+	// Mounts are the pre-surveyed deployment spots.
+	Mounts map[string]MountSpot
+}
+
+// Office layout constants (meters).
+const (
+	OfficeW = 12.0
+	OfficeD = 8.0
+	OfficeH = 3.0
+	// Meeting room occupies the north-east corner.
+	MeetX0 = 8.0
+	MeetY0 = 5.0
+)
+
+// Office region names.
+const (
+	RegionOpenArea    = "open_area"
+	RegionMeetingRoom = "meeting_room"
+)
+
+// Office mount names.
+const (
+	MountMeetingGlass = "meeting_glass" // on the meeting room's glass wall, inside
+	MountWestPillar   = "west_pillar"   // metal pillar in the open area
+)
+
+// NewOffice builds the office scene.
+func NewOffice() *Office {
+	s := New("open-plan office")
+	up := geom.V(0, 0, 1)
+
+	// Outer shell: concrete.
+	s.AddWall("south", geom.RectXY(geom.V(0, 0, 0), geom.V(1, 0, 0), up, OfficeW, OfficeH), em.Concrete)
+	s.AddWall("north", geom.RectXY(geom.V(0, OfficeD, 0), geom.V(1, 0, 0), up, OfficeW, OfficeH), em.Concrete)
+	s.AddWall("west", geom.RectXY(geom.V(0, 0, 0), geom.V(0, 1, 0), up, OfficeD, OfficeH), em.Concrete)
+	s.AddWall("east", geom.RectXY(geom.V(OfficeW, 0, 0), geom.V(0, 1, 0), up, OfficeD, OfficeH), em.Concrete)
+	s.AddWall("floor", geom.MustQuad(
+		geom.V(0, 0, 0), geom.V(OfficeW, 0, 0), geom.V(OfficeW, OfficeD, 0), geom.V(0, OfficeD, 0)), em.Concrete)
+	s.AddWall("ceiling", geom.MustQuad(
+		geom.V(0, 0, OfficeH), geom.V(OfficeW, 0, OfficeH), geom.V(OfficeW, OfficeD, OfficeH), geom.V(0, OfficeD, OfficeH)), em.Concrete)
+
+	// Meeting room: glass wall facing the open area (west side) and a
+	// drywall wall on its south side with a door gap.
+	s.AddWall("meet_glass_west", geom.RectXY(geom.V(MeetX0, MeetY0, 0), geom.V(0, 1, 0), up, OfficeD-MeetY0, OfficeH), em.Glass)
+	s.AddWall("meet_drywall_south_a", geom.RectXY(geom.V(MeetX0, MeetY0, 0), geom.V(1, 0, 0), up, 1.5, OfficeH), em.Drywall)
+	s.AddWall("meet_drywall_south_b", geom.RectXY(geom.V(MeetX0+2.5, MeetY0, 0), geom.V(1, 0, 0), up, OfficeW-MeetX0-2.5, OfficeH), em.Drywall)
+	s.AddWall("meet_lintel", geom.RectXY(geom.V(MeetX0+1.5, MeetY0, 2.1), geom.V(1, 0, 0), up, 1.0, OfficeH-2.1), em.Drywall)
+
+	// Open-area furnishings: a metal pillar and two drywall partitions.
+	s.AddWall("pillar", geom.RectXY(geom.V(4.0, 3.0, 0), geom.V(0, 1, 0), up, 0.6, OfficeH), em.Metal)
+	s.AddWall("partition_a", geom.RectXY(geom.V(1.5, 2.0, 0), geom.V(1, 0, 0), up, 2.2, 1.6), em.Drywall)
+	s.AddWall("partition_b", geom.RectXY(geom.V(5.5, 5.5, 0), geom.V(1, 0, 0), up, 2.2, 1.6), em.Drywall)
+
+	s.AddRegion(RegionOpenArea, geom.AABB{Min: geom.V(0.4, 0.4, 0), Max: geom.V(MeetX0-0.4, OfficeD-0.4, OfficeH)})
+	s.AddRegion(RegionMeetingRoom, geom.AABB{Min: geom.V(MeetX0+0.4, MeetY0+0.4, 0), Max: geom.V(OfficeW-0.4, OfficeD-0.4, OfficeH)})
+
+	return &Office{
+		Scene: s,
+		AP:    geom.V(3.0, 1.0, 2.6),
+		Mounts: map[string]MountSpot{
+			// Inside the meeting room on its glass wall, facing into the
+			// room: relays the (attenuated) signal that penetrates the
+			// glass.
+			MountMeetingGlass: {
+				Name:   MountMeetingGlass,
+				Center: geom.V(MeetX0+0.05, 6.5, 1.8),
+				U:      geom.V(0, 1, 0),
+				V:      geom.V(0, 0, 1),
+				Normal: geom.V(1, 0, 0),
+			},
+			// On the metal pillar's west face, serving the open area.
+			MountWestPillar: {
+				Name:   MountWestPillar,
+				Center: geom.V(4.0, 3.3, 1.8),
+				U:      geom.V(0, -1, 0),
+				V:      geom.V(0, 0, 1),
+				Normal: geom.V(-1, 0, 0),
+			},
+		},
+	}
+}

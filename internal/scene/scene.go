@@ -1,0 +1,120 @@
+// Package scene models the 3D deployment environment the paper's
+// experiments run in: polygonal walls with frequency-dependent materials,
+// rooms of interest, and the furnished two-room apartment used for the
+// Figure 2/4/5 studies.
+//
+// A Scene is purely geometric and material; radios and surfaces are placed
+// into it by the simulator and orchestrator layers.
+package scene
+
+import (
+	"fmt"
+
+	"surfos/internal/em"
+	"surfos/internal/geom"
+)
+
+// Wall is one planar panel of the environment with a material response.
+type Wall struct {
+	Name     string
+	Panel    *geom.Quad
+	Material *em.Material
+}
+
+// Region is a named axis-aligned volume of interest, e.g. "the target room"
+// the coverage service must illuminate. Service goals reference regions.
+type Region struct {
+	Name string
+	Box  geom.AABB
+}
+
+// GridPoints returns evaluation points tiling the region horizontally at
+// height z, spaced step meters apart. These are the "locations" CDFs and
+// heatmaps in the paper's figures are computed over.
+func (r Region) GridPoints(step, z float64) []geom.Vec3 {
+	var pts []geom.Vec3
+	for x := r.Box.Min.X + step/2; x < r.Box.Max.X; x += step {
+		for y := r.Box.Min.Y + step/2; y < r.Box.Max.Y; y += step {
+			pts = append(pts, geom.V(x, y, z))
+		}
+	}
+	return pts
+}
+
+// Scene is a static environment: a set of material walls and named regions.
+type Scene struct {
+	Name    string
+	Walls   []Wall
+	Regions map[string]Region
+}
+
+// New creates an empty scene.
+func New(name string) *Scene {
+	return &Scene{Name: name, Regions: make(map[string]Region)}
+}
+
+// AddWall appends a wall panel.
+func (s *Scene) AddWall(name string, panel *geom.Quad, mat *em.Material) {
+	s.Walls = append(s.Walls, Wall{Name: name, Panel: panel, Material: mat})
+}
+
+// AddRegion registers a named region.
+func (s *Scene) AddRegion(name string, box geom.AABB) {
+	s.Regions[name] = Region{Name: name, Box: box}
+}
+
+// Region looks up a region by name.
+func (s *Scene) Region(name string) (Region, error) {
+	r, ok := s.Regions[name]
+	if !ok {
+		return Region{}, fmt.Errorf("scene: unknown region %q", name)
+	}
+	return r, nil
+}
+
+// Bounds returns the AABB enclosing all walls.
+func (s *Scene) Bounds() geom.AABB {
+	if len(s.Walls) == 0 {
+		return geom.AABB{}
+	}
+	b := s.Walls[0].Panel.Bounds()
+	for _, w := range s.Walls[1:] {
+		wb := w.Panel.Bounds()
+		b.Min = geom.V(min(b.Min.X, wb.Min.X), min(b.Min.Y, wb.Min.Y), min(b.Min.Z, wb.Min.Z))
+		b.Max = geom.V(max(b.Max.X, wb.Max.X), max(b.Max.Y, wb.Max.Y), max(b.Max.Z, wb.Max.Z))
+	}
+	return b
+}
+
+// Occlusions returns, for every wall the open segment from a to b crosses
+// (excluding endpoints sitting on a wall), the wall index. The simulator
+// multiplies the corresponding transmission coefficients into the path gain.
+func (s *Scene) Occlusions(a, b geom.Vec3) []int {
+	d := b.Sub(a)
+	dist := d.Len()
+	if dist < geom.Eps {
+		return nil
+	}
+	r := geom.Ray{Origin: a, Dir: d.Scale(1 / dist)}
+	var hits []int
+	for i := range s.Walls {
+		t, _, ok := s.Walls[i].Panel.IntersectRay(r, dist-1e-6)
+		if ok && t > 1e-6 {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}
+
+// SegmentGain returns the cumulative amplitude factor from penetrating all
+// walls between a and b at freqHz (1.0 when the segment is clear).
+func (s *Scene) SegmentGain(a, b geom.Vec3, freqHz float64) float64 {
+	g := 1.0
+	for _, wi := range s.Occlusions(a, b) {
+		g *= s.Walls[wi].Material.Transmission(freqHz)
+		if g == 0 {
+			return 0
+		}
+	}
+	return g
+}

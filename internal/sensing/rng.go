@@ -1,0 +1,12 @@
+package sensing
+
+import "math/rand"
+
+// newRng returns a deterministic RNG for reproducible noisy evaluations, or
+// nil when seed < 0 (noiseless).
+func newRng(seed int64) *rand.Rand {
+	if seed < 0 {
+		return nil
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,331 @@
+package sensing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/optimize"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+)
+
+// testRig builds a free-space rig: a reflective surface at the origin
+// facing +y, the AP off to one side in front, clients in front.
+type testRig struct {
+	sim *rfsim.Simulator
+	s   *surface.Surface
+	est *Estimator
+	ap  geom.Vec3
+}
+
+func newRig(t *testing.T, rows, cols, nBins, nSub int) *testRig {
+	t.Helper()
+	pitch := em.Wavelength(em.Band24G) / 2
+	panel := geom.RectXY(geom.V(float64(cols)*pitch/2+0.05, 0, 1), geom.V(-1, 0, 0), geom.V(0, 0, 1), float64(cols)*pitch+0.1, float64(rows)*pitch+0.1)
+	s, err := surface.New("ap", panel, surface.Layout{Rows: rows, Cols: cols, PitchU: pitch, PitchV: pitch}, surface.Reflective, em.CosinePattern{Q: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := rfsim.New(scene.New("free"), em.Band24G, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := geom.V(2.0, 2.5, 1.3)
+	ants := ULA(ap, geom.V(1, 0, 0), 4, em.Wavelength(em.Band24G)/2)
+	est, err := NewEstimator(sim, 0, ants,
+		DefaultBins(nBins, 60*math.Pi/180),
+		DefaultSubcarriers(em.Band24G, 400e6, nSub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{sim: sim, s: s, est: est, ap: ap}
+}
+
+// newRig60 is a 60 GHz rig with a sparse (4λ-pitch) wide aperture and
+// 802.11ad-class sounding bandwidth. Wideband AoA through a single static
+// configuration needs the aperture delay spread to exceed the delay
+// resolution c/BW, which holds at 60 GHz but not at 24 GHz/400 MHz.
+func newRig60(t *testing.T, rows, cols, nBins, nSub int) *testRig {
+	t.Helper()
+	pitch := 2 * em.Wavelength(em.Band60G) // 1 cm
+	w := float64(cols)*pitch + 0.02
+	h := float64(rows)*pitch + 0.02
+	panel := geom.RectXY(geom.V(w/2, 0, 1), geom.V(-1, 0, 0), geom.V(0, 0, 1), w, h)
+	s, err := surface.New("ap60", panel, surface.Layout{Rows: rows, Cols: cols, PitchU: pitch, PitchV: pitch}, surface.Reflective, em.CosinePattern{Q: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := rfsim.New(scene.New("free"), em.Band60G, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := geom.V(2.0, 2.5, 1.3)
+	ants := ULA(ap, geom.V(1, 0, 0), 16, em.Wavelength(em.Band60G)/2)
+	est, err := NewEstimator(sim, 0, ants,
+		DefaultBins(nBins, 60*math.Pi/180),
+		DefaultSubcarriers(em.Band60G, 1.8e9, nSub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{sim: sim, s: s, est: est, ap: ap}
+}
+
+func randomPhases(r *rand.Rand, shape []int) [][]float64 {
+	p := make([][]float64, len(shape))
+	for s, n := range shape {
+		p[s] = make([]float64, n)
+		for k := range p[s] {
+			p[s][k] = r.Float64() * 2 * math.Pi
+		}
+	}
+	return p
+}
+
+func TestTrueAoAGeometry(t *testing.T) {
+	rig := newRig(t, 4, 4, 21, 3)
+	center := rig.s.Panel.Center()
+
+	// Straight ahead (along +y normal): zero angle.
+	th, d := rig.est.TrueAoA(center.Add(geom.V(0, 2, 0)))
+	if math.Abs(th) > 1e-9 {
+		t.Errorf("boresight AoA = %v, want 0", th)
+	}
+	if math.Abs(d-2) > 1e-9 {
+		t.Errorf("dist = %v, want 2", d)
+	}
+	// Toward the U axis (-x): positive angle.
+	th2, _ := rig.est.TrueAoA(center.Add(geom.V(-1, 1, 0)))
+	if math.Abs(th2-math.Pi/4) > 1e-9 {
+		t.Errorf("45° AoA = %v", th2)
+	}
+	// Opposite: negative.
+	th3, _ := rig.est.TrueAoA(center.Add(geom.V(1, 1, 0)))
+	if math.Abs(th3+math.Pi/4) > 1e-9 {
+		t.Errorf("-45° AoA = %v", th3)
+	}
+}
+
+func TestTrueBin(t *testing.T) {
+	rig := newRig(t, 4, 4, 21, 3)
+	center := rig.s.Panel.Center()
+	c := center.Add(geom.V(0, 3, 0))
+	b := rig.est.TrueBin(c)
+	if rig.est.Bins[b] != 0 && math.Abs(rig.est.Bins[b]) > 6.1*math.Pi/180 {
+		t.Errorf("boresight bin angle = %v", rig.est.Bins[b])
+	}
+}
+
+func TestSpectrumPeaksAtTrueBinDiverseConfig(t *testing.T) {
+	rig := newRig60(t, 8, 32, 161, 16)
+	r := rand.New(rand.NewSource(5))
+	phases := randomPhases(r, []int{rig.s.NumElements()})
+
+	// A random (diverse) configuration preserves angular information, but
+	// individual clients can land in speckle nulls, so assert the
+	// distribution (as the paper's CDFs do), not each point.
+	var under50cm int
+	var errs []float64
+	clients := []geom.Vec3{
+		{X: 0, Y: 2.5}, {X: -1.2, Y: 2.0}, {X: 1.0, Y: 2.2}, {X: -0.5, Y: 2.8},
+		{X: 0.5, Y: 1.8}, {X: -0.9, Y: 2.4}, {X: 0.9, Y: 2.7}, {X: 0.2, Y: 2.1},
+		{X: -0.3, Y: 1.6}, {X: 0.7, Y: 3.0},
+	}
+	for _, d := range clients {
+		client := rig.s.Panel.Center().Add(d)
+		m := rig.est.Measure(client)
+		_, locErr := rig.est.Estimate(m, phases, 0, nil)
+		if locErr < 0.5 {
+			under50cm++
+		}
+		errs = append(errs, locErr)
+	}
+	if under50cm < 8 {
+		t.Errorf("only %d/10 clients under 0.5 m error (errs %v)", under50cm, errs)
+	}
+	if med := rfsim.Median(errs); med > 0.2 {
+		t.Errorf("median localization error %v m, want < 0.2 (errs %v)", med, errs)
+	}
+}
+
+func TestNoiseFlattensSpectrum(t *testing.T) {
+	rig := newRig60(t, 6, 12, 15, 8)
+	r := rand.New(rand.NewSource(6))
+	phases := randomPhases(r, []int{rig.s.NumElements()})
+	client := rig.s.Panel.Center().Add(geom.V(0.5, 2.2, 0))
+	m := rig.est.Measure(client)
+	x := optimize.Phasors(phases)
+	y := m.Observe(x, 0, nil)
+
+	clean := rig.est.Spectrum(m, y, x)
+	// Crank noise power far above signal: spectrum must flatten toward 1/F.
+	rig.est.NoisePower = 1e6
+	noisy := rig.est.Spectrum(m, y, x)
+	rig.est.NoisePower = 0
+
+	spreadClean := maxf(clean) - minf(clean)
+	spreadNoisy := maxf(noisy) - minf(noisy)
+	if spreadNoisy > spreadClean/10 {
+		t.Errorf("noise did not flatten spectrum: clean spread %v, noisy %v", spreadClean, spreadNoisy)
+	}
+	want := 1.0 / float64(rig.est.NumSlots())
+	for b, p := range noisy {
+		if math.Abs(p-want) > 0.02 {
+			t.Errorf("noisy spectrum bin %d = %v, want ≈%v", b, p, want)
+		}
+	}
+}
+
+func maxf(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minf(v []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestLocalizationObjectiveGradient(t *testing.T) {
+	rig := newRig(t, 3, 3, 7, 3)
+	rig.est.NoisePower = 1e-12
+	locs := []*Measurement{
+		rig.est.Measure(rig.s.Panel.Center().Add(geom.V(0.4, 2.0, 0))),
+		rig.est.Measure(rig.s.Panel.Center().Add(geom.V(-0.8, 1.6, 0))),
+	}
+	obj, err := NewLocalizationObjective(rig.est, locs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	phases := randomPhases(r, obj.Shape())
+
+	_, grad := obj.Eval(phases, true)
+	const eps = 1e-6
+	for s := range phases {
+		for k := range phases[s] {
+			p := optimize.ClonePhases(phases)
+			p[s][k] += eps
+			lp, _ := obj.Eval(p, false)
+			p[s][k] -= 2 * eps
+			lm, _ := obj.Eval(p, false)
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-grad[s][k]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("grad s=%d k=%d: analytic %v numeric %v", s, k, grad[s][k], num)
+			}
+		}
+	}
+}
+
+func TestLocalizationObjectiveValidation(t *testing.T) {
+	rig := newRig(t, 3, 3, 7, 3)
+	if _, err := NewLocalizationObjective(nil, nil, 0); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	if _, err := NewLocalizationObjective(rig.est, nil, 0); err == nil {
+		t.Error("empty locations accepted")
+	}
+	m := rig.est.Measure(rig.s.Panel.Center().Add(geom.V(0, 2, 0)))
+	m.SteerGeo = nil
+	if _, err := NewLocalizationObjective(rig.est, []*Measurement{m}, 0); err == nil {
+		t.Error("measurement without dictionary accepted")
+	}
+}
+
+func TestOptimizingLocalizationReducesLoss(t *testing.T) {
+	rig := newRig60(t, 4, 12, 15, 8)
+	rig.est.NoisePower = NoiseAmplitude(rfsim.DefaultBudget())
+	rig.est.NoisePower *= rig.est.NoisePower
+
+	var locs []*Measurement
+	for _, d := range []geom.Vec3{{X: 0, Y: 2, Z: 0}, {X: -0.9, Y: 1.8, Z: 0}, {X: 0.8, Y: 2.3, Z: 0}} {
+		locs = append(locs, rig.est.Measure(rig.s.Panel.Center().Add(d)))
+	}
+	obj, err := NewLocalizationObjective(rig.est, locs, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := optimize.ZeroPhases(obj.Shape())
+	start, _ := obj.Eval(init, false)
+	res := optimize.Adam(obj, init, optimize.Options{MaxIters: 120, LR: 0.2})
+	if res.Loss >= start {
+		t.Errorf("optimization did not reduce localization loss: %v -> %v", start, res.Loss)
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	rig := newRig(t, 3, 3, 7, 3)
+	ants := rig.est.Ants
+	if _, err := NewEstimator(nil, 0, ants, rig.est.Bins, rig.est.Subcarriers); err == nil {
+		t.Error("nil sim accepted")
+	}
+	if _, err := NewEstimator(rig.sim, 5, ants, rig.est.Bins, rig.est.Subcarriers); err == nil {
+		t.Error("bad surface index accepted")
+	}
+	if _, err := NewEstimator(rig.sim, 0, nil, rig.est.Bins, rig.est.Subcarriers); err == nil {
+		t.Error("empty antenna array accepted")
+	}
+	if _, err := NewEstimator(rig.sim, 0, ants, []float64{0}, rig.est.Subcarriers); err == nil {
+		t.Error("single bin accepted")
+	}
+	if _, err := NewEstimator(rig.sim, 0, ants, rig.est.Bins, []float64{1e9}); err == nil {
+		t.Error("single subcarrier accepted")
+	}
+}
+
+func TestDefaultGrids(t *testing.T) {
+	b := DefaultBins(5, 1.0)
+	if len(b) != 5 || b[0] != -1 || b[4] != 1 || b[2] != 0 {
+		t.Errorf("bins = %v", b)
+	}
+	s := DefaultSubcarriers(24e9, 400e6, 3)
+	if s[0] != 24e9-200e6 || s[2] != 24e9+200e6 || s[1] != 24e9 {
+		t.Errorf("subcarriers = %v", s)
+	}
+}
+
+func TestNoiseAmplitude(t *testing.T) {
+	lb := rfsim.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 20, NoiseFigureDB: 7, BandwidthHz: 400e6}
+	amp := NoiseAmplitude(lb)
+	// A channel with |h| = amp should sit at exactly 0 dB SNR.
+	snr := lb.SNRdB(complex(amp, 0))
+	if math.Abs(snr) > 1e-9 {
+		t.Errorf("noise amplitude inconsistent: SNR at |h|=amp is %v dB, want 0", snr)
+	}
+}
+
+func TestLocalizationError(t *testing.T) {
+	if got := LocalizationError(0.1, 0.0, 2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("loc err = %v, want 0.2", got)
+	}
+	if got := LocalizationError(-0.1, 0.1, 3); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("loc err = %v, want 0.6", got)
+	}
+}
+
+func TestMeanLocalizationErrorDeterministic(t *testing.T) {
+	rig := newRig(t, 6, 6, 11, 3)
+	var locs []*Measurement
+	locs = append(locs, rig.est.Measure(rig.s.Panel.Center().Add(geom.V(0.4, 2, 0))))
+	obj, _ := NewLocalizationObjective(rig.est, locs, 0)
+	r := rand.New(rand.NewSource(8))
+	phases := randomPhases(r, obj.Shape())
+	a := obj.MeanLocalizationError(phases, 1e-7, 42)
+	b := obj.MeanLocalizationError(phases, 1e-7, 42)
+	if a != b {
+		t.Errorf("same seed gave different errors: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,165 @@
+package surface
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config is one surface configuration: a per-element array of signal
+// property alteration values (row-major). For Phase the values are radians
+// in [0, 2π); for Amplitude they are gains in [0, 1].
+type Config struct {
+	Property ControlProperty
+	Values   []float64
+}
+
+// ErrConfigSize is returned when a config's element count does not match
+// the target surface.
+var ErrConfigSize = errors.New("surface: config element count mismatch")
+
+// Clone returns a deep copy.
+func (c Config) Clone() Config {
+	v := make([]float64, len(c.Values))
+	copy(v, c.Values)
+	return Config{Property: c.Property, Values: v}
+}
+
+// Validate checks the config against a layout and property-specific ranges.
+func (c Config) Validate(l Layout) error {
+	if len(c.Values) != l.NumElements() {
+		return fmt.Errorf("%w: have %d values, surface has %d elements",
+			ErrConfigSize, len(c.Values), l.NumElements())
+	}
+	for i, v := range c.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("surface: config value %d is not finite", i)
+		}
+		if c.Property == Amplitude && (v < 0 || v > 1) {
+			return fmt.Errorf("surface: amplitude value %d = %g outside [0,1]", i, v)
+		}
+	}
+	return nil
+}
+
+// wrapPhase maps an angle to [0, 2π).
+func wrapPhase(v float64) float64 {
+	v = math.Mod(v, 2*math.Pi)
+	if v < 0 {
+		v += 2 * math.Pi
+	}
+	return v
+}
+
+// Normalize wraps phase values into [0, 2π) (no-op for other properties).
+func (c Config) Normalize() Config {
+	if c.Property != Phase {
+		return c.Clone()
+	}
+	out := c.Clone()
+	for i, v := range out.Values {
+		out.Values[i] = wrapPhase(v)
+	}
+	return out
+}
+
+// Quantize snaps phase values to the 2^bits discrete states a design
+// supports (e.g. 1-bit surfaces have states {0, π}). bits <= 0 means
+// continuous control and returns a normalized copy.
+func (c Config) Quantize(bits int) Config {
+	out := c.Normalize()
+	if bits <= 0 || c.Property != Phase {
+		return out
+	}
+	n := float64(int(1) << bits)
+	step := 2 * math.Pi / n
+	for i, v := range out.Values {
+		out.Values[i] = wrapPhase(math.Round(v/step) * step)
+	}
+	return out
+}
+
+// circularMean returns the mean angle of phases (the argument of the phasor
+// sum), in [0, 2π). Returns 0 for an empty or perfectly-cancelling set.
+func circularMean(phases []float64) float64 {
+	var sr, si float64
+	for _, p := range phases {
+		sr += math.Cos(p)
+		si += math.Sin(p)
+	}
+	if sr == 0 && si == 0 {
+		return 0
+	}
+	return wrapPhase(math.Atan2(si, sr))
+}
+
+// ProjectGranularity returns the closest configuration realizable under the
+// given control granularity: column-wise shares one value per column (the
+// circular mean for phases, arithmetic mean otherwise), row-wise per row,
+// and FixedPattern is the identity here (fixedness is a *reconfiguration*
+// constraint enforced by drivers, not a shape constraint).
+//
+// The projection is idempotent: P(P(c)) == P(c).
+func (c Config) ProjectGranularity(g Granularity, l Layout) Config {
+	out := c.Clone()
+	mean := func(vals []float64) float64 {
+		if c.Property == Phase {
+			return circularMean(vals)
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	}
+	switch g {
+	case ColumnWise:
+		col := make([]float64, l.Rows)
+		for cI := 0; cI < l.Cols; cI++ {
+			for r := 0; r < l.Rows; r++ {
+				col[r] = c.Values[r*l.Cols+cI]
+			}
+			m := mean(col)
+			for r := 0; r < l.Rows; r++ {
+				out.Values[r*l.Cols+cI] = m
+			}
+		}
+	case RowWise:
+		for r := 0; r < l.Rows; r++ {
+			row := c.Values[r*l.Cols : (r+1)*l.Cols]
+			m := mean(row)
+			for cI := 0; cI < l.Cols; cI++ {
+				out.Values[r*l.Cols+cI] = m
+			}
+		}
+	}
+	return out
+}
+
+// Codebook is a named set of locally-stored configurations — the surface's
+// analogue of a switch's forwarding table or an 802.11ad beam codebook
+// (paper §3.1). Programmable surfaces select among stored entries in real
+// time from endpoint feedback; the control plane replaces entries
+// asynchronously.
+type Codebook struct {
+	Entries []Config
+	Labels  []string
+}
+
+// Add appends a labelled configuration and returns its index.
+func (cb *Codebook) Add(label string, cfg Config) int {
+	cb.Entries = append(cb.Entries, cfg.Clone())
+	cb.Labels = append(cb.Labels, label)
+	return len(cb.Entries) - 1
+}
+
+// Len returns the number of stored entries.
+func (cb *Codebook) Len() int { return len(cb.Entries) }
+
+// At returns entry i.
+func (cb *Codebook) At(i int) (Config, error) {
+	if i < 0 || i >= len(cb.Entries) {
+		return Config{}, fmt.Errorf("surface: codebook index %d out of range [0,%d)", i, len(cb.Entries))
+	}
+	return cb.Entries[i], nil
+}

@@ -1,0 +1,157 @@
+// Package telemetry carries endpoint feedback through SurfOS: link-quality
+// reports flowing from clients/APs to the hardware manager and
+// orchestrator. The paper's architecture depends on this loop — surfaces
+// "react locally to choose the best configuration" from endpoint feedback,
+// and the orchestrator captures environmental dynamics "through wireless
+// channel simulations or endpoint feedback" (§3.1–3.2).
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Report is one endpoint feedback sample.
+type Report struct {
+	DeviceID   string // surface the endpoint was served through ("" = none)
+	EndpointID string
+	ConfigIdx  int // codebook entry active during the sample (-1 unknown)
+	SNRdB      float64
+	Time       time.Time
+}
+
+// Bus is a fan-out publish/subscribe channel for reports. Slow subscribers
+// drop (never block the publisher): feedback is advisory, freshest-wins.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[int]chan Report
+	next int
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[int]chan Report)}
+}
+
+// Subscribe registers a subscriber with the given channel buffer. The
+// returned cancel function unsubscribes and closes the channel.
+func (b *Bus) Subscribe(buffer int) (<-chan Report, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.next
+	b.next++
+	ch := make(chan Report, buffer)
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// Publish delivers a report to every subscriber, dropping for any whose
+// buffer is full.
+func (b *Bus) Publish(r Report) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- r:
+		default: // drop: stale feedback is worthless
+		}
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Aggregator maintains exponentially-weighted link metrics per (device,
+// codebook entry) so devices can adapt to the best stored configuration.
+type Aggregator struct {
+	// Alpha is the EWMA weight of a new sample (default 0.3).
+	Alpha float64
+
+	mu    sync.Mutex
+	ewma  map[string]map[int]float64
+	count map[string]int
+}
+
+// NewAggregator creates an aggregator with the default smoothing.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		Alpha: 0.3,
+		ewma:  make(map[string]map[int]float64),
+		count: make(map[string]int),
+	}
+}
+
+// Observe folds a report into the per-entry statistics.
+func (a *Aggregator) Observe(r Report) {
+	if r.DeviceID == "" || r.ConfigIdx < 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	per, ok := a.ewma[r.DeviceID]
+	if !ok {
+		per = make(map[int]float64)
+		a.ewma[r.DeviceID] = per
+	}
+	if old, seen := per[r.ConfigIdx]; seen {
+		per[r.ConfigIdx] = old + a.Alpha*(r.SNRdB-old)
+	} else {
+		per[r.ConfigIdx] = r.SNRdB
+	}
+	a.count[r.DeviceID]++
+}
+
+// Best returns the codebook entry with the highest smoothed metric for a
+// device, or ok=false if no feedback has been seen.
+func (a *Aggregator) Best(deviceID string) (idx int, snr float64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	per, seen := a.ewma[deviceID]
+	if !seen || len(per) == 0 {
+		return 0, 0, false
+	}
+	first := true
+	for i, v := range per {
+		if first || v > snr || (v == snr && i < idx) {
+			idx, snr = i, v
+			first = false
+		}
+	}
+	return idx, snr, true
+}
+
+// Metrics returns a dense metric-per-entry slice of length n for a device,
+// filling entries without feedback with the given floor value.
+func (a *Aggregator) Metrics(deviceID string, n int, floor float64) []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = floor
+	}
+	for i, v := range a.ewma[deviceID] {
+		if i >= 0 && i < n {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Samples returns how many reports a device has accumulated.
+func (a *Aggregator) Samples(deviceID string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.count[deviceID]
+}

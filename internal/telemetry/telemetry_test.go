@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus()
+	ch1, cancel1 := b.Subscribe(4)
+	ch2, cancel2 := b.Subscribe(4)
+	defer cancel2()
+
+	r := Report{DeviceID: "s1", EndpointID: "e1", ConfigIdx: 0, SNRdB: 20}
+	b.Publish(r)
+
+	got1 := <-ch1
+	got2 := <-ch2
+	if got1 != r || got2 != r {
+		t.Errorf("fan-out mismatch: %v %v", got1, got2)
+	}
+	if b.Subscribers() != 2 {
+		t.Errorf("subscribers = %d", b.Subscribers())
+	}
+	cancel1()
+	if b.Subscribers() != 1 {
+		t.Errorf("after cancel = %d", b.Subscribers())
+	}
+	// Cancelled channel is closed.
+	if _, open := <-ch1; open {
+		t.Error("cancelled channel not closed")
+	}
+	// Double cancel is safe.
+	cancel1()
+}
+
+func TestBusDropsWhenFull(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Publish(Report{SNRdB: 1})
+	b.Publish(Report{SNRdB: 2}) // dropped, buffer full
+	first := <-ch
+	if first.SNRdB != 1 {
+		t.Errorf("got %v", first)
+	}
+	select {
+	case r := <-ch:
+		t.Errorf("unexpected second report %v", r)
+	default:
+	}
+}
+
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(1000)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(Report{DeviceID: "d", ConfigIdx: 0, SNRdB: float64(j)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(ch); got != 1000 {
+		t.Errorf("received %d reports, want 1000", got)
+	}
+}
+
+func TestAggregatorBest(t *testing.T) {
+	a := NewAggregator()
+	now := time.Now()
+	a.Observe(Report{DeviceID: "s1", ConfigIdx: 0, SNRdB: 10, Time: now})
+	a.Observe(Report{DeviceID: "s1", ConfigIdx: 1, SNRdB: 25, Time: now})
+	a.Observe(Report{DeviceID: "s1", ConfigIdx: 2, SNRdB: 18, Time: now})
+
+	idx, snr, ok := a.Best("s1")
+	if !ok || idx != 1 || snr != 25 {
+		t.Errorf("best = %d %v %v", idx, snr, ok)
+	}
+	if _, _, ok := a.Best("unknown"); ok {
+		t.Error("unknown device reported feedback")
+	}
+	if a.Samples("s1") != 3 {
+		t.Errorf("samples = %d", a.Samples("s1"))
+	}
+}
+
+func TestAggregatorEWMA(t *testing.T) {
+	a := NewAggregator()
+	a.Alpha = 0.5
+	a.Observe(Report{DeviceID: "d", ConfigIdx: 0, SNRdB: 10})
+	a.Observe(Report{DeviceID: "d", ConfigIdx: 0, SNRdB: 20})
+	// EWMA: 10 + 0.5·(20-10) = 15.
+	_, snr, ok := a.Best("d")
+	if !ok || snr != 15 {
+		t.Errorf("ewma = %v %v, want 15", snr, ok)
+	}
+}
+
+func TestAggregatorIgnoresUnattributed(t *testing.T) {
+	a := NewAggregator()
+	a.Observe(Report{DeviceID: "", ConfigIdx: 0, SNRdB: 10})
+	a.Observe(Report{DeviceID: "d", ConfigIdx: -1, SNRdB: 10})
+	if _, _, ok := a.Best("d"); ok {
+		t.Error("unattributed reports counted")
+	}
+}
+
+func TestAggregatorMetricsDense(t *testing.T) {
+	a := NewAggregator()
+	a.Observe(Report{DeviceID: "d", ConfigIdx: 1, SNRdB: 12})
+	m := a.Metrics("d", 3, -100)
+	if m[0] != -100 || m[1] != 12 || m[2] != -100 {
+		t.Errorf("metrics = %v", m)
+	}
+	// Out-of-range entries are ignored.
+	a.Observe(Report{DeviceID: "d", ConfigIdx: 9, SNRdB: 50})
+	m = a.Metrics("d", 3, -100)
+	if m[0] != -100 || m[2] != -100 {
+		t.Errorf("metrics after stray entry = %v", m)
+	}
+}

@@ -1,0 +1,232 @@
+package surfos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"surfos"
+)
+
+// buildSystem assembles the reference environment through the public API
+// only.
+func buildSystem(t *testing.T) (*surfos.Apartment, *surfos.Hardware, *surfos.Orchestrator) {
+	t.Helper()
+	apt := surfos.NewApartment()
+	hw := surfos.NewHardware()
+	if _, err := surfos.Deploy(hw, "east0", surfos.ModelNRSurface,
+		apt.Mounts[surfos.MountEastWall], 16, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.AddAP(&surfos.AccessPoint{
+		ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	orch, err := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{
+		OptIters: 30, GridStep: 1.5, SensingGridStep: 2.5,
+		SensingBins: 11, SensingSubcarriers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apt, hw, orch
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	_, hw, orch := buildSystem(t)
+
+	task, err := orch.EnhanceLink(surfos.LinkGoal{
+		Endpoint: "laptop", Pos: surfos.V(2.5, 5.5, 1.2), MinSNRdB: 0,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orch.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := orch.Task(task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result == nil || got.Result.MetricName != "snr_db" {
+		t.Fatalf("result: %+v", got.Result)
+	}
+	// The device received a configuration.
+	dev, err := hw.Surface("east0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := dev.Drv.Active(); !ok {
+		t.Error("no active configuration on the deployed surface")
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	cat := surfos.Catalog()
+	if len(cat) != 13 {
+		t.Fatalf("catalog: %d designs", len(cat))
+	}
+	spec, err := surfos.LookupModel(surfos.ModelMMWall)
+	if err != nil || spec.Model != surfos.ModelMMWall {
+		t.Fatalf("lookup: %+v %v", spec, err)
+	}
+	if _, err := surfos.LookupModel("no-such-surface"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestPublicAPIBrokerFlow(t *testing.T) {
+	_, _, orch := buildSystem(t)
+	tr := surfos.NewTranslator()
+	br, err := surfos.NewBroker(tr, orch, surfos.Inventory{
+		Devices:     map[string]surfos.Vec3{"tv": surfos.V(1.5, 6.5, 1.5)},
+		RoomRegions: map[string]string{"room_id": surfos.RegionTargetRoom},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls, tasks, err := br.HandleDemand("please stream a movie on the tv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || len(tasks) != 1 {
+		t.Fatalf("calls=%v tasks=%v", calls, tasks)
+	}
+	if !strings.Contains(calls[0].String(), `enhance_link("tv"`) {
+		t.Errorf("call: %s", calls[0])
+	}
+}
+
+func TestPublicAPISpecGeneration(t *testing.T) {
+	spec, err := surfos.GenerateSpec("model: X9\nband: 5-5.9 GHz\ncontrol: phase\nmode: reflective\ncost_per_element: 1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := surfos.GenerateDriverSource(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "RegisterX9") {
+		t.Errorf("generated source:\n%s", src)
+	}
+	// Generated specs deploy like catalog specs.
+	apt := surfos.NewApartment()
+	hw := surfos.NewHardware()
+	if _, err := surfos.DeploySpec(hw, "gen0", spec, apt.Mounts[surfos.MountEastWall], 8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(hw.Surfaces()); got != 1 {
+		t.Fatalf("surfaces: %d", got)
+	}
+}
+
+func TestPublicAPIDeploymentPlanning(t *testing.T) {
+	apt := surfos.NewApartment()
+	spec, err := surfos.LookupModel(surfos.ModelNRSurface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := surfos.PlanDeployment(surfos.PlacementRequest{
+		Scene:  apt.Scene,
+		AP:     apt.AP,
+		Budget: surfos.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6},
+		Region: surfos.RegionTargetRoom,
+		Spec:   spec,
+		Rows:   12, Cols: 12,
+		Mounts: []surfos.MountSpot{
+			apt.Mounts[surfos.MountEastWall],
+			apt.Mounts[surfos.MountNorthWall],
+		},
+		GridStep: 1.5, OptIters: 25, BeamAP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("candidates: %d", len(cands))
+	}
+	if cands[0].Mount.Name != surfos.MountEastWall {
+		t.Errorf("expected the AP-visible east mount to win: %+v", cands[0])
+	}
+}
+
+func TestPublicAPIMonitoring(t *testing.T) {
+	mon := surfos.NewMonitor()
+	mon.Expect(surfos.Expectation{DeviceID: "d", EndpointID: "e", SNRdB: 20})
+	bus := surfos.NewTelemetryBus()
+	stop := mon.Run(bus)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		bus.Publish(surfos.Report{DeviceID: "d", EndpointID: "e", SNRdB: 2, Time: now})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fs := mon.Problems(now)
+		if len(fs) == 1 && fs[0].Verdict == surfos.VerdictEndpointBlocked {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatalf("diagnosis never fired: %+v", fs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+}
+
+func TestPublicAPIOfficeEnvironment(t *testing.T) {
+	off := surfos.NewOffice()
+	spec, err := surfos.LookupModel(surfos.ModelNRSurface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Planning for the glass-walled meeting room must pick the in-room
+	// glass mount over the open-area pillar (which cannot see the room).
+	cands, err := surfos.PlanDeployment(surfos.PlacementRequest{
+		Scene:  off.Scene,
+		AP:     off.AP,
+		Budget: surfos.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6},
+		Region: surfos.RegionMeetingRoom,
+		Spec:   spec,
+		Rows:   12, Cols: 12,
+		Mounts: []surfos.MountSpot{
+			off.Mounts[surfos.MountMeetingGlass],
+			off.Mounts[surfos.MountWestPillar],
+		},
+		GridStep: 1.0, OptIters: 30, BeamAP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Mount.Name != surfos.MountMeetingGlass {
+		t.Errorf("expected the glass mount to win for the meeting room: %+v", cands)
+	}
+
+	// The full control plane runs in the office too.
+	hw := surfos.NewHardware()
+	if _, err := surfos.Deploy(hw, "glass0", surfos.ModelNRSurface,
+		off.Mounts[surfos.MountMeetingGlass], 16, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.AddAP(&surfos.AccessPoint{ID: "ap0", Pos: off.AP, FreqHz: 24e9,
+		Budget: surfos.DefaultBudget(), Antennas: 6}); err != nil {
+		t.Fatal(err)
+	}
+	orch, err := surfos.NewOrchestrator(off.Scene, hw, surfos.Options{OptIters: 30, GridStep: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := orch.OptimizeCoverage(surfos.CoverageGoal{Region: surfos.RegionMeetingRoom}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orch.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := orch.Task(task.ID)
+	if got.Result == nil || got.Result.MetricName != "median_snr_db" {
+		t.Fatalf("office coverage task: %+v (err %v)", got.Result, got.Err)
+	}
+}
