@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet bench fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race target is CI's concurrency gate: the engine worker pool, the
+# orchestrator, and the telemetry/monitor path all run under the detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkEngine -benchmem .
+
+fmt:
+	gofmt -l -w .

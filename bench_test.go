@@ -9,6 +9,7 @@ package surfos_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"surfos"
 	"surfos/internal/ctrlproto"
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/experiments"
 	"surfos/internal/geom"
 	"surfos/internal/optimize"
@@ -41,7 +43,7 @@ func BenchmarkTable1DriverCatalog(b *testing.B) {
 
 func BenchmarkFig2Heatmaps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig2(experiments.Quick)
+		r, err := experiments.RunFig2(context.Background(), experiments.Quick)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +61,7 @@ func BenchmarkFig2Heatmaps(b *testing.B) {
 
 func BenchmarkFig4Hybrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig4(experiments.Quick)
+		r, err := experiments.RunFig4(context.Background(), experiments.Quick)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +83,7 @@ func BenchmarkFig4Hybrid(b *testing.B) {
 
 func BenchmarkFig5Multitask(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig5(experiments.Quick)
+		r, err := experiments.RunFig5(context.Background(), experiments.Quick)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +139,7 @@ func BenchmarkAblationGradientAdam(b *testing.B) {
 	b.ResetTimer()
 	var loss float64
 	for i := 0; i < b.N; i++ {
-		res := optimize.Adam(obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: 100})
+		res := optimize.Adam(context.Background(), obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: 100})
 		loss = res.Loss
 	}
 	b.ReportMetric(-loss, "sum-spectral-eff")
@@ -148,7 +150,7 @@ func BenchmarkAblationGradientRandomSearch(b *testing.B) {
 	b.ResetTimer()
 	var loss float64
 	for i := 0; i < b.N; i++ {
-		res := optimize.RandomSearch(obj, optimize.Options{MaxIters: 100, Seed: int64(i)})
+		res := optimize.RandomSearch(context.Background(), obj, optimize.Options{MaxIters: 100, Seed: int64(i)})
 		loss = res.Loss
 	}
 	b.ReportMetric(-loss, "sum-spectral-eff")
@@ -159,7 +161,7 @@ func BenchmarkAblationGradientAnneal(b *testing.B) {
 	b.ResetTimer()
 	var loss float64
 	for i := 0; i < b.N; i++ {
-		res := optimize.Anneal(obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: 100, Seed: int64(i)})
+		res := optimize.Anneal(context.Background(), obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: 100, Seed: int64(i)})
 		loss = res.Loss
 	}
 	b.ReportMetric(-loss, "sum-spectral-eff")
@@ -377,7 +379,7 @@ func BenchmarkAdamIteration(b *testing.B) {
 	init := optimize.ZeroPhases(obj.Shape())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		optimize.Adam(obj, init, optimize.Options{MaxIters: 1})
+		optimize.Adam(context.Background(), obj, init, optimize.Options{MaxIters: 1})
 	}
 }
 
@@ -447,12 +449,12 @@ func BenchmarkOrchestratorReconcile(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := orch.EnhanceLink(surfos.LinkGoal{Endpoint: "l", Pos: surfos.V(2.5, 5.5, 1.2)}, 1); err != nil {
+	if _, err := orch.EnhanceLink(context.Background(), surfos.LinkGoal{Endpoint: "l", Pos: surfos.V(2.5, 5.5, 1.2)}, 1); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := orch.Reconcile(); err != nil {
+		if err := orch.Reconcile(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -519,9 +521,9 @@ func multiplexRig(b *testing.B, policy surfos.MultiplexPolicy) (task1, task2 flo
 	if err != nil {
 		b.Fatal(err)
 	}
-	t1, _ := orch.EnhanceLink(surfos.LinkGoal{Endpoint: "a", Pos: surfos.V(1.5, 5.0, 1.2)}, 1)
-	t2, _ := orch.EnhanceLink(surfos.LinkGoal{Endpoint: "b", Pos: surfos.V(5.5, 6.0, 1.2)}, 1)
-	if err := orch.Reconcile(); err != nil {
+	t1, _ := orch.EnhanceLink(context.Background(), surfos.LinkGoal{Endpoint: "a", Pos: surfos.V(1.5, 5.0, 1.2)}, 1)
+	t2, _ := orch.EnhanceLink(context.Background(), surfos.LinkGoal{Endpoint: "b", Pos: surfos.V(5.5, 6.0, 1.2)}, 1)
+	if err := orch.Reconcile(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	rate := func(id int) float64 {
@@ -552,4 +554,116 @@ func BenchmarkAblationMultiplexing(b *testing.B) {
 			b.ReportMetric(math.Min(r1, r2), "min-task-eff-bits-hz")
 		})
 	}
+}
+
+// --- engine: cached ray-trace contexts + parallel evaluation ---
+
+// engineHeatmapFixture builds the shared workload: a 24x24 panel on the
+// east wall and a dense evaluation grid in the target room.
+type engineBenchFixture struct {
+	serial, parallel *surfos.Engine
+	spec             engine.Spec
+	tx               geom.Vec3
+	pts              []geom.Vec3
+	budget           rfsim.LinkBudget
+	cfg              surface.Config
+}
+
+func engineHeatmapFixture(b *testing.B) engineBenchFixture {
+	b.Helper()
+	apt := scene.NewApartment()
+	pitch := em.Wavelength(em.Band24G) / 2
+	s, err := surface.New("bench-eng", apt.Mounts[scene.MountEastWall].Panel(24*pitch+0.02, 24*pitch+0.02),
+		surface.Layout{Rows: 24, Cols: 24, PitchU: pitch, PitchV: pitch}, surface.Reflective, em.CosinePattern{Q: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := engine.Spec{Scene: apt.Scene, FreqHz: em.Band24G, Surfaces: []*surface.Surface{s}}
+	pts := apt.Regions[scene.RegionTargetRoom].GridPoints(0.25, scene.EvalHeight)
+	budget := rfsim.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6}
+	n := s.Layout.Rows * s.Layout.Cols
+	cfg := surface.Config{Property: surface.Phase, Values: make([]float64, n)}
+	for i := range cfg.Values {
+		cfg.Values[i] = float64(i%5) * math.Pi / 4
+	}
+	return engineBenchFixture{
+		serial:   surfos.NewEngine(surfos.EngineOptions{Workers: 1}),
+		parallel: surfos.NewEngine(surfos.EngineOptions{}),
+		spec:     spec,
+		tx:       apt.AP,
+		pts:      pts,
+		budget:   budget,
+		cfg:      cfg,
+	}
+}
+
+// engineHeatmap traces once (cache-warm, matching steady-state use) and
+// evaluates the full grid per iteration.
+func engineHeatmap(b *testing.B, eng *surfos.Engine, fx engineBenchFixture) float64 {
+	b.Helper()
+	ctx := context.Background()
+	chans, err := eng.Channels(ctx, fx.spec, fx.tx, fx.pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snrs := make([]float64, len(chans))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.ForEach(ctx, len(chans), func(j int) {
+			h, err := chans[j].Eval([]surface.Config{fx.cfg})
+			if err == nil {
+				snrs[j] = fx.budget.SNRdB(h)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	return rfsim.Median(snrs)
+}
+
+func BenchmarkEngineHeatmapSerial(b *testing.B) {
+	fx := engineHeatmapFixture(b)
+	med := engineHeatmap(b, fx.serial, fx)
+	b.ReportMetric(med, "medianSNRdB")
+	b.ReportMetric(float64(len(fx.pts)), "gridpts")
+}
+
+func BenchmarkEngineHeatmapParallel(b *testing.B) {
+	fx := engineHeatmapFixture(b)
+	med := engineHeatmap(b, fx.parallel, fx)
+	b.ReportMetric(med, "medianSNRdB")
+	b.ReportMetric(float64(len(fx.pts)), "gridpts")
+	b.ReportMetric(float64(fx.parallel.Workers()), "workers")
+}
+
+// BenchmarkEngineTxTrace prices the uncached image-method trace the cache
+// elides; BenchmarkEngineTxCacheHit is the steady-state lookup.
+func BenchmarkEngineTxTrace(b *testing.B) {
+	fx := engineHeatmapFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx.parallel.Invalidate()
+		if _, err := fx.parallel.Tx(ctx, fx.spec, fx.tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineTxCacheHit(b *testing.B) {
+	fx := engineHeatmapFixture(b)
+	ctx := context.Background()
+	if _, err := fx.parallel.Tx(ctx, fx.spec, fx.tx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.parallel.Tx(ctx, fx.spec, fx.tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := fx.parallel.CacheStats()
+	b.ReportMetric(float64(st.TxHits), "hits")
 }

@@ -12,11 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"surfos/internal/ctrlproto"
@@ -24,8 +26,9 @@ import (
 )
 
 // run executes one surfctl command against the agent at addr, writing
-// human-readable output to out.
-func run(addr string, args []string, out io.Writer) error {
+// human-readable output to out. ctx bounds every protocol round trip
+// (^C during a hung agent aborts cleanly).
+func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero")
 	}
@@ -37,7 +40,7 @@ func run(addr string, args []string, out io.Writer) error {
 
 	switch args[0] {
 	case "hello":
-		h, err := c.Hello()
+		h, err := c.Hello(ctx)
 		if err != nil {
 			return err
 		}
@@ -45,7 +48,7 @@ func run(addr string, args []string, out io.Writer) error {
 		return nil
 
 	case "spec":
-		s, err := c.GetSpec()
+		s, err := c.GetSpec(ctx)
 		if err != nil {
 			return err
 		}
@@ -56,7 +59,7 @@ func run(addr string, args []string, out io.Writer) error {
 		return nil
 
 	case "active":
-		a, err := c.Active()
+		a, err := c.Active(ctx)
 		if err != nil {
 			return err
 		}
@@ -75,19 +78,19 @@ func run(addr string, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := c.Select(n); err != nil {
+		if err := c.Select(ctx, n); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "ok")
 		return nil
 
 	case "zero":
-		spec, err := c.GetSpec()
+		spec, err := c.GetSpec(ctx)
 		if err != nil {
 			return err
 		}
 		n := int(spec.Rows * spec.Cols)
-		if err := c.ShiftPhase(surface.Config{Property: surface.Phase, Values: make([]float64, n)}); err != nil {
+		if err := c.ShiftPhase(ctx, surface.Config{Property: surface.Phase, Values: make([]float64, n)}); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "ok")
@@ -99,7 +102,9 @@ func run(addr string, args []string, out io.Writer) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7100", "surface agent address")
 	flag.Parse()
-	if err := run(*addr, flag.Args(), os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *addr, flag.Args(), os.Stdout); err != nil {
 		log.Fatalf("surfctl: %v", err)
 	}
 }

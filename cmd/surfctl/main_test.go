@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestCLICommands(t *testing.T) {
 	addr := startAgent(t)
 
 	var out strings.Builder
-	if err := run(addr, []string{"hello"}, &out); err != nil {
+	if err := run(context.Background(), addr, []string{"hello"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "device=cli-dev") {
@@ -52,7 +53,7 @@ func TestCLICommands(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(addr, []string{"spec"}, &out); err != nil {
+	if err := run(context.Background(), addr, []string{"spec"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "model=NR-Surface") || !strings.Contains(out.String(), "granularity=column-wise") {
@@ -60,7 +61,7 @@ func TestCLICommands(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(addr, []string{"active"}, &out); err != nil {
+	if err := run(context.Background(), addr, []string{"active"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "no active configuration") {
@@ -68,11 +69,11 @@ func TestCLICommands(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(addr, []string{"zero"}, &out); err != nil {
+	if err := run(context.Background(), addr, []string{"zero"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(addr, []string{"active"}, &out); err != nil {
+	if err := run(context.Background(), addr, []string{"active"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "label=active") {
@@ -80,25 +81,25 @@ func TestCLICommands(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(addr, []string{"select", "0"}, &out); err != nil {
+	if err := run(context.Background(), addr, []string{"select", "0"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(addr, []string{"select", "9"}, &out); err == nil {
+	if err := run(context.Background(), addr, []string{"select", "9"}, &out); err == nil {
 		t.Error("out-of-range select accepted")
 	}
-	if err := run(addr, []string{"select"}, &out); err == nil {
+	if err := run(context.Background(), addr, []string{"select"}, &out); err == nil {
 		t.Error("select without index accepted")
 	}
-	if err := run(addr, []string{"select", "x"}, &out); err == nil {
+	if err := run(context.Background(), addr, []string{"select", "x"}, &out); err == nil {
 		t.Error("non-numeric select accepted")
 	}
-	if err := run(addr, []string{"warp"}, &out); err == nil {
+	if err := run(context.Background(), addr, []string{"warp"}, &out); err == nil {
 		t.Error("unknown command accepted")
 	}
-	if err := run(addr, nil, &out); err == nil {
+	if err := run(context.Background(), addr, nil, &out); err == nil {
 		t.Error("missing command accepted")
 	}
-	if err := run("127.0.0.1:1", []string{"hello"}, &out); err == nil {
+	if err := run(context.Background(), "127.0.0.1:1", []string{"hello"}, &out); err == nil {
 		t.Error("dead agent address accepted")
 	}
 }

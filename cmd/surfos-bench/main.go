@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -36,25 +38,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C cancels the running experiment; optimizers stop at their best
+	// configuration so far and the suite reports the ctx error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	runners := map[string]func() (string, error){
 		"table1": func() (string, error) { return experiments.RunTable1().Render(), nil },
 		"fig6":   func() (string, error) { return experiments.RunFig6().Render(), nil },
 		"fig2": func() (string, error) {
-			r, err := experiments.RunFig2(profile)
+			r, err := experiments.RunFig2(ctx, profile)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		},
 		"fig4": func() (string, error) {
-			r, err := experiments.RunFig4(profile)
+			r, err := experiments.RunFig4(ctx, profile)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		},
 		"fig5": func() (string, error) {
-			r, err := experiments.RunFig5(profile)
+			r, err := experiments.RunFig5(ctx, profile)
 			if err != nil {
 				return "", err
 			}

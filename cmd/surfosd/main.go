@@ -23,12 +23,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"surfos"
@@ -36,6 +40,10 @@ import (
 )
 
 type daemon struct {
+	// ctx is the daemon's lifetime context: canceled on SIGINT/SIGTERM,
+	// it aborts in-flight reconciliation (returning the best-so-far
+	// configurations) and southbound round trips.
+	ctx    context.Context
 	apt    *surfos.Apartment
 	hw     *surfos.Hardware
 	orch   *surfos.Orchestrator
@@ -49,15 +57,16 @@ type daemon struct {
 	monStop func()
 }
 
-func newDaemon(surfaceList string) (*daemon, error) {
+func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 	d := &daemon{
+		ctx:     ctx,
 		apt:     surfos.NewApartment(),
 		hw:      surfos.NewHardware(),
 		clients: map[string]*ctrlproto.Client{},
 		mon:     surfos.NewMonitor(),
 		bus:     surfos.NewTelemetryBus(),
 	}
-	d.monStop = d.mon.Run(d.bus)
+	d.monStop = d.mon.Run(ctx, d.bus)
 	for i, item := range strings.Split(surfaceList, ",") {
 		item = strings.TrimSpace(item)
 		if item == "" {
@@ -203,7 +212,7 @@ func (d *daemon) handle(line string) (string, bool) {
 		return strings.TrimRight(b.String(), "\n"), true
 
 	case "demand":
-		calls, tasks, err := d.broker.HandleDemand(rest)
+		calls, tasks, err := d.broker.HandleDemand(d.ctx, rest)
 		if err != nil {
 			return "error: " + err.Error(), true
 		}
@@ -211,7 +220,7 @@ func (d *daemon) handle(line string) (string, bool) {
 		for _, c := range calls {
 			fmt.Fprintf(&b, "call: %s\n", c)
 		}
-		if err := d.orch.Reconcile(); err != nil {
+		if err := d.orch.Reconcile(d.ctx); err != nil {
 			fmt.Fprintf(&b, "reconcile warning: %v\n", err)
 		}
 		for _, t := range tasks {
@@ -270,12 +279,12 @@ func (d *daemon) handle(line string) (string, bool) {
 				fmt.Fprintf(&b, "%s (no southbound agent)\n", dev.ID)
 				continue
 			}
-			spec, err := client.GetSpec()
+			spec, err := client.GetSpec(d.ctx)
 			if err != nil {
 				fmt.Fprintf(&b, "%s southbound error: %v\n", dev.ID, err)
 				continue
 			}
-			act, _ := client.Active()
+			act, _ := client.Active(d.ctx)
 			state := "unconfigured"
 			if act.HasActive {
 				state = "active=" + act.Label
@@ -313,7 +322,7 @@ func (d *daemon) handle(line string) (string, bool) {
 		if err != nil {
 			return "error: " + err.Error(), true
 		}
-		if err := d.orch.Reconcile(); err != nil {
+		if err := d.orch.Reconcile(d.ctx); err != nil {
 			return "reconcile warning: " + err.Error(), true
 		}
 		return "ok", true
@@ -323,7 +332,7 @@ func (d *daemon) handle(line string) (string, bool) {
 		if err != nil {
 			return "error: " + err.Error(), true
 		}
-		if err := d.orch.Tick(dur); err != nil {
+		if err := d.orch.Tick(d.ctx, dur); err != nil {
 			return "tick warning: " + err.Error(), true
 		}
 		return fmt.Sprintf("now %s", d.orch.Now().Format(time.TimeOnly)), true
@@ -354,7 +363,10 @@ func main() {
 		"comma-separated MODEL@MOUNT deployments")
 	flag.Parse()
 
-	d, err := newDaemon(*surfaceList)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := newDaemon(ctx, *surfaceList)
 	if err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}
@@ -364,11 +376,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}
+	go func() {
+		<-ctx.Done()
+		ln.Close() // unblocks Accept for a clean shutdown
+	}()
 	log.Printf("northbound listening on %s", ln.Addr())
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("accept: %v", err)
+			if ctx.Err() != nil {
+				log.Printf("shutting down: %v", ctx.Err())
+			} else {
+				log.Printf("accept: %v", err)
+			}
 			return
 		}
 		go d.serveConn(conn)

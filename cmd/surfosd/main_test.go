@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func testDaemon(t *testing.T) *daemon {
 	t.Helper()
-	d, err := newDaemon("NR-Surface@east_wall,NR-Surface@north_wall")
+	d, err := newDaemon(context.Background(), "NR-Surface@east_wall,NR-Surface@north_wall")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,10 +26,10 @@ func testDaemon(t *testing.T) *daemon {
 }
 
 func TestDaemonRejectsBadSurfaceSpec(t *testing.T) {
-	if _, err := newDaemon("garbage"); err == nil {
+	if _, err := newDaemon(context.Background(), "garbage"); err == nil {
 		t.Error("malformed surface list accepted")
 	}
-	if _, err := newDaemon("NR-Surface@nowhere"); err == nil {
+	if _, err := newDaemon(context.Background(), "NR-Surface@nowhere"); err == nil {
 		t.Error("unknown mount accepted")
 	}
 }

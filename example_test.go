@@ -1,6 +1,7 @@
 package surfos_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,9 +19,9 @@ func Example() {
 		Budget: surfos.DefaultBudget(), Antennas: 16})
 
 	orch, _ := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{})
-	task, _ := orch.EnhanceLink(surfos.LinkGoal{
+	task, _ := orch.EnhanceLink(context.Background(), surfos.LinkGoal{
 		Endpoint: "laptop", Pos: surfos.V(2.5, 5.5, 1.2), MinSNRdB: 10}, 1)
-	orch.Reconcile()
+	orch.Reconcile(context.Background())
 	fmt.Println(task.Result.MetricName, task.Result.Strategy)
 	// Output: snr_db solo
 }
@@ -41,7 +42,7 @@ func ExampleBroker_HandleDemand() {
 		Devices:     map[string]surfos.Vec3{"tv": surfos.V(1.5, 6.5, 1.5)},
 		RoomRegions: map[string]string{"room_id": surfos.RegionTargetRoom},
 	})
-	calls, _, _ := br.HandleDemand("please stream a movie on the tv")
+	calls, _, _ := br.HandleDemand(context.Background(), "please stream a movie on the tv")
 	for _, c := range calls {
 		fmt.Println(c)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,6 +29,7 @@ efficiency: 0.7
 `
 
 func main() {
+	ctx := context.Background()
 	apt := surfos.NewApartment()
 	hw := surfos.NewHardware()
 
@@ -70,11 +72,11 @@ func main() {
 		"headset": surfos.V(6.0, 6.4, 1.2),
 	}
 	for name, pos := range users {
-		task, err := orch.EnhanceLink(surfos.LinkGoal{Endpoint: name, Pos: pos, MinSNRdB: 10}, 1)
+		task, err := orch.EnhanceLink(ctx, surfos.LinkGoal{Endpoint: name, Pos: pos, MinSNRdB: 10}, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := orch.Reconcile(); err != nil {
+		if err := orch.Reconcile(ctx); err != nil {
 			log.Fatal(err)
 		}
 		got, _ := orch.Task(task.ID)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	apt := surfos.NewApartment()
 	hw := surfos.NewHardware()
 	if _, err := surfos.Deploy(hw, "east0", surfos.ModelNRSurface,
@@ -68,7 +70,7 @@ func main() {
 
 	for _, u := range utterances {
 		fmt.Printf("User Input: %s\n", u)
-		calls, tasks, err := br.HandleDemand(u)
+		calls, tasks, err := br.HandleDemand(ctx, u)
 		if err != nil {
 			fmt.Printf("  error: %v\n\n", err)
 			continue
@@ -76,7 +78,7 @@ func main() {
 		for _, c := range calls {
 			fmt.Printf("  %s\n", c)
 		}
-		if err := orch.Reconcile(); err != nil {
+		if err := orch.Reconcile(ctx); err != nil {
 			fmt.Printf("  reconcile warning: %v\n", err)
 		}
 		for _, t := range tasks {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,24 +30,24 @@ func buildSystem(policy surfos.Options) (*surfos.Orchestrator, error) {
 	return surfos.NewOrchestrator(apt.Scene, hw, policy)
 }
 
-func runPolicy(name string, opts surfos.Options) {
+func runPolicy(ctx context.Context, name string, opts surfos.Options) {
 	orch, err := buildSystem(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cov, err := orch.OptimizeCoverage(surfos.CoverageGoal{
+	cov, err := orch.OptimizeCoverage(ctx, surfos.CoverageGoal{
 		Region: surfos.RegionTargetRoom, MedianSNRdB: 10,
 	}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sen, err := orch.EnableSensing(surfos.SensingGoal{
+	sen, err := orch.EnableSensing(ctx, surfos.SensingGoal{
 		Region: surfos.RegionTargetRoom, Type: "tracking", Duration: time.Hour,
 	}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := orch.Reconcile(); err != nil {
+	if err := orch.Reconcile(ctx); err != nil {
 		log.Fatal(err)
 	}
 	c, _ := orch.Task(cov.ID)
@@ -59,6 +60,7 @@ func runPolicy(name string, opts surfos.Options) {
 }
 
 func main() {
+	ctx := context.Background()
 	fast := surfos.Options{
 		OptIters: 80, GridStep: 1.0, SensingGridStep: 1.5,
 		SensingBins: 31, SensingSubcarriers: 6,
@@ -68,13 +70,13 @@ func main() {
 	// full time share — the paper's §4 multitasking.
 	joint := fast
 	joint.Policy = surfos.PolicyJoint
-	runPolicy("joint", joint)
+	runPolicy(ctx, "joint", joint)
 
 	// Time-division multiplexing: each task gets its own config during its
 	// slice (half the airtime each).
 	tdm := fast
 	tdm.Policy = surfos.PolicyTDM
-	runPolicy("tdm", tdm)
+	runPolicy(ctx, "tdm", tdm)
 
 	fmt.Println("\njoint multiplexing serves both tasks at share 1.0 with one configuration;")
 	fmt.Println("TDM gives each task its ideal config but only a fraction of the time.")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	apt := surfos.NewApartment()
 	spec, err := surfos.LookupModel(surfos.ModelNRSurface)
 	if err != nil {
@@ -24,7 +26,7 @@ func main() {
 	}
 
 	// --- 1. plan the deployment ---
-	candidates, err := surfos.PlanDeployment(surfos.PlacementRequest{
+	candidates, err := surfos.PlanDeployment(ctx, surfos.PlacementRequest{
 		Scene: apt.Scene,
 		AP:    apt.AP,
 		// BeamAP carries the AP array gain; the budget holds only the
@@ -67,11 +69,11 @@ func main() {
 		log.Fatal(err)
 	}
 	phonePos := surfos.V(2.5, 5.5, 1.2)
-	task, err := orch.EnhanceLink(surfos.LinkGoal{Endpoint: "phone", Pos: phonePos}, 1)
+	task, err := orch.EnhanceLink(ctx, surfos.LinkGoal{Endpoint: "phone", Pos: phonePos}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := orch.Reconcile(); err != nil {
+	if err := orch.Reconcile(ctx); err != nil {
 		log.Fatal(err)
 	}
 	got, _ := orch.Task(task.ID)
@@ -83,7 +85,7 @@ func main() {
 	mon.Expect(surfos.Expectation{DeviceID: "panel0", EndpointID: "phone", SNRdB: predicted})
 
 	bus := surfos.NewTelemetryBus()
-	stop := mon.Run(bus)
+	stop := mon.Run(ctx, bus)
 	defer stop()
 
 	now := time.Now()

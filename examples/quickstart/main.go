@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The paper's two-room apartment: an AP in the living room, a bedroom
 	// behind a concrete wall with a doorway.
 	apt := surfos.NewApartment()
@@ -41,7 +43,7 @@ func main() {
 	// Request the connectivity service: enhance_link, the paper's first
 	// service API.
 	laptop := surfos.V(2.5, 5.5, 1.2)
-	task, err := orch.EnhanceLink(surfos.LinkGoal{
+	task, err := orch.EnhanceLink(ctx, surfos.LinkGoal{
 		Endpoint: "laptop", Pos: laptop, MinSNRdB: 10,
 	}, 1)
 	if err != nil {
@@ -50,7 +52,7 @@ func main() {
 
 	// Reconcile schedules hardware, optimizes the surface configuration,
 	// and pushes it to the device.
-	if err := orch.Reconcile(); err != nil {
+	if err := orch.Reconcile(ctx); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"go/parser"
 	"go/token"
 	"strings"
@@ -207,7 +208,7 @@ func dispatchRig(t *testing.T) *Broker {
 
 func TestHandleDemandCreatesTasks(t *testing.T) {
 	b := dispatchRig(t)
-	calls, tasks, err := b.HandleDemand("time for some VR gaming here")
+	calls, tasks, err := b.HandleDemand(context.Background(), "time for some VR gaming here")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestHandleDemandCreatesTasks(t *testing.T) {
 		}
 	}
 	// The created tasks schedule successfully end to end.
-	if err := b.O.Reconcile(); err != nil {
+	if err := b.O.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, task := range tasks {
@@ -248,15 +249,15 @@ func TestHandleDemandCreatesTasks(t *testing.T) {
 
 func TestDispatchUnknownDevice(t *testing.T) {
 	b := dispatchRig(t)
-	_, err := b.Dispatch(Call{Function: FuncEnhanceLink, Args: []Arg{{Value: "toaster"}}})
+	_, err := b.Dispatch(context.Background(), Call{Function: FuncEnhanceLink, Args: []Arg{{Value: "toaster"}}})
 	if err == nil {
 		t.Error("unknown device accepted")
 	}
-	_, err = b.Dispatch(Call{Function: "fly_to_moon"})
+	_, err = b.Dispatch(context.Background(), Call{Function: "fly_to_moon"})
 	if err == nil {
 		t.Error("unknown function accepted")
 	}
-	_, err = b.Dispatch(Call{Function: FuncEnableSensing})
+	_, err = b.Dispatch(context.Background(), Call{Function: FuncEnableSensing})
 	if err == nil {
 		t.Error("sensing without a room accepted")
 	}
@@ -264,7 +265,7 @@ func TestDispatchUnknownDevice(t *testing.T) {
 
 func TestSecureLinkDispatch(t *testing.T) {
 	b := dispatchRig(t)
-	task, err := b.Dispatch(Call{Function: FuncSecureLink, Args: []Arg{{Value: "laptop"}}})
+	task, err := b.Dispatch(context.Background(), Call{Function: FuncSecureLink, Args: []Arg{{Value: "laptop"}}})
 	if err != nil {
 		t.Fatal(err)
 	}

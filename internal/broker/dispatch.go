@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -48,14 +49,14 @@ func New(t *Translator, o *orchestrator.Orchestrator, inv Inventory) (*Broker, e
 // HandleDemand translates an utterance and dispatches the resulting calls,
 // returning both the calls (for display, as in the paper's Figure 6) and
 // the created tasks.
-func (b *Broker) HandleDemand(utterance string) ([]Call, []*orchestrator.Task, error) {
+func (b *Broker) HandleDemand(ctx context.Context, utterance string) ([]Call, []*orchestrator.Task, error) {
 	calls, err := b.T.Translate(utterance)
 	if err != nil {
 		return nil, nil, err
 	}
 	var tasks []*orchestrator.Task
 	for _, c := range calls {
-		t, err := b.Dispatch(c)
+		t, err := b.Dispatch(ctx, c)
 		if err != nil {
 			return calls, tasks, fmt.Errorf("broker: dispatching %s: %w", c, err)
 		}
@@ -65,7 +66,7 @@ func (b *Broker) HandleDemand(utterance string) ([]Call, []*orchestrator.Task, e
 }
 
 // Dispatch invokes one service call on the orchestrator.
-func (b *Broker) Dispatch(c Call) (*orchestrator.Task, error) {
+func (b *Broker) Dispatch(ctx context.Context, c Call) (*orchestrator.Task, error) {
 	switch c.Function {
 	case FuncEnhanceLink:
 		dev, _ := c.Positional(0)
@@ -81,7 +82,7 @@ func (b *Broker) Dispatch(c Call) (*orchestrator.Task, error) {
 		if v, ok := c.Named("latency"); ok {
 			goal.MaxLatency = time.Duration(toF(v) * float64(time.Millisecond))
 		}
-		return b.O.EnhanceLink(goal, 1)
+		return b.O.EnhanceLink(ctx, goal, 1)
 
 	case FuncEnableSensing:
 		room, _ := c.Positional(0)
@@ -96,7 +97,7 @@ func (b *Broker) Dispatch(c Call) (*orchestrator.Task, error) {
 		if v, ok := c.Named("duration"); ok {
 			goal.Duration = time.Duration(toF(v) * float64(time.Second))
 		}
-		return b.O.EnableSensing(goal, 1)
+		return b.O.EnableSensing(ctx, goal, 1)
 
 	case FuncOptimizeCoverage:
 		room, _ := c.Positional(0)
@@ -108,7 +109,7 @@ func (b *Broker) Dispatch(c Call) (*orchestrator.Task, error) {
 		if v, ok := c.Named("median_snr"); ok {
 			goal.MedianSNRdB = toF(v)
 		}
-		return b.O.OptimizeCoverage(goal, 1)
+		return b.O.OptimizeCoverage(ctx, goal, 1)
 
 	case FuncInitPowering:
 		dev, _ := c.Positional(0)
@@ -121,7 +122,7 @@ func (b *Broker) Dispatch(c Call) (*orchestrator.Task, error) {
 		if v, ok := c.Named("duration"); ok {
 			goal.Duration = time.Duration(toF(v) * float64(time.Second))
 		}
-		return b.O.InitPowering(goal, 1)
+		return b.O.InitPowering(ctx, goal, 1)
 
 	case FuncSecureLink:
 		dev, _ := c.Positional(0)
@@ -131,7 +132,7 @@ func (b *Broker) Dispatch(c Call) (*orchestrator.Task, error) {
 			return nil, err
 		}
 		goal := orchestrator.SecurityGoal{Endpoint: name, UserPos: pos, EvePos: b.Inv.EvePos}
-		return b.O.SecureLink(goal, 1)
+		return b.O.SecureLink(ctx, goal, 1)
 	}
 	return nil, fmt.Errorf("broker: unknown service function %q", c.Function)
 }

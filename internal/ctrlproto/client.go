@@ -1,6 +1,7 @@
 package ctrlproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -100,8 +101,19 @@ func (c *Client) readLoop() {
 	}
 }
 
-// roundTrip sends a request and waits for the correlated reply.
-func (c *Client) roundTrip(t MsgType, payload []byte) (Frame, error) {
+// roundTrip sends a request and waits for the correlated reply, the
+// client's Timeout, ctx cancellation, or the ctx deadline — whichever is
+// earliest. The wait timer is a stopped time.NewTimer rather than
+// time.After, so a reply arriving first reclaims the timer immediately
+// instead of leaking it until expiry (one leaked timer per request adds
+// up fast on a pipelined connection).
+func (c *Client) roundTrip(ctx context.Context, t MsgType, payload []byte) (Frame, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Frame{}, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -131,6 +143,20 @@ func (c *Client) roundTrip(t MsgType, payload []byte) (Frame, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	// Honor the ctx deadline when it lands before the client timeout.
+	if dl, ok := ctx.Deadline(); ok {
+		if until := time.Until(dl); until < timeout {
+			timeout = until
+		}
+	}
+	if timeout <= 0 {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Frame{}, fmt.Errorf("ctrlproto: deadline expired awaiting reply to %v: %w", t, context.DeadlineExceeded)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case f, ok := <-ch:
 		if !ok {
@@ -144,7 +170,12 @@ func (c *Client) roundTrip(t MsgType, payload []byte) (Frame, error) {
 			return Frame{}, fmt.Errorf("ctrlproto: agent error: %s", m.Text)
 		}
 		return f, nil
-	case <-time.After(timeout):
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Frame{}, ctx.Err()
+	case <-timer.C:
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -153,8 +184,8 @@ func (c *Client) roundTrip(t MsgType, payload []byte) (Frame, error) {
 }
 
 // Hello identifies the remote device.
-func (c *Client) Hello() (Hello, error) {
-	f, err := c.roundTrip(MsgHello, nil)
+func (c *Client) Hello(ctx context.Context) (Hello, error) {
+	f, err := c.roundTrip(ctx, MsgHello, nil)
 	if err != nil {
 		return Hello{}, err
 	}
@@ -165,8 +196,8 @@ func (c *Client) Hello() (Hello, error) {
 }
 
 // GetSpec fetches the remote device's hardware specification.
-func (c *Client) GetSpec() (SpecReply, error) {
-	f, err := c.roundTrip(MsgGetSpec, nil)
+func (c *Client) GetSpec(ctx context.Context) (SpecReply, error) {
+	f, err := c.roundTrip(ctx, MsgGetSpec, nil)
 	if err != nil {
 		return SpecReply{}, err
 	}
@@ -177,19 +208,19 @@ func (c *Client) GetSpec() (SpecReply, error) {
 }
 
 // ShiftPhase programs a phase configuration on the remote device.
-func (c *Client) ShiftPhase(cfg surface.Config) error {
-	_, err := c.roundTrip(MsgShiftPhase, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
+func (c *Client) ShiftPhase(ctx context.Context, cfg surface.Config) error {
+	_, err := c.roundTrip(ctx, MsgShiftPhase, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
 	return err
 }
 
 // SetAmplitude programs an amplitude configuration on the remote device.
-func (c *Client) SetAmplitude(cfg surface.Config) error {
-	_, err := c.roundTrip(MsgSetAmplitude, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
+func (c *Client) SetAmplitude(ctx context.Context, cfg surface.Config) error {
+	_, err := c.roundTrip(ctx, MsgSetAmplitude, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
 	return err
 }
 
 // StoreCodebook pushes a configuration codebook.
-func (c *Client) StoreCodebook(labels []string, cfgs []surface.Config) error {
+func (c *Client) StoreCodebook(ctx context.Context, labels []string, cfgs []surface.Config) error {
 	if len(cfgs) == 0 {
 		return errors.New("ctrlproto: empty codebook")
 	}
@@ -197,19 +228,19 @@ func (c *Client) StoreCodebook(labels []string, cfgs []surface.Config) error {
 	for _, cfg := range cfgs {
 		m.Entries = append(m.Entries, cfg.Values)
 	}
-	_, err := c.roundTrip(MsgStoreCodebook, m.Encode())
+	_, err := c.roundTrip(ctx, MsgStoreCodebook, m.Encode())
 	return err
 }
 
 // Select activates a stored codebook entry.
-func (c *Client) Select(i int) error {
-	_, err := c.roundTrip(MsgSelect, SelectMsg{Index: uint32(i)}.Encode())
+func (c *Client) Select(ctx context.Context, i int) error {
+	_, err := c.roundTrip(ctx, MsgSelect, SelectMsg{Index: uint32(i)}.Encode())
 	return err
 }
 
 // Active fetches the remote device's live configuration.
-func (c *Client) Active() (ActiveReply, error) {
-	f, err := c.roundTrip(MsgActiveQuery, nil)
+func (c *Client) Active(ctx context.Context) (ActiveReply, error) {
+	f, err := c.roundTrip(ctx, MsgActiveQuery, nil)
 	if err != nil {
 		return ActiveReply{}, err
 	}

@@ -2,8 +2,10 @@ package ctrlproto
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
+	"net"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -233,12 +235,12 @@ func TestConfigMsgQuickRoundTrip(t *testing.T) {
 func TestEndToEndOverTCP(t *testing.T) {
 	_, c := startAgent(t, driver.ModelNRSurface, surface.Reflective)
 
-	h, err := c.Hello()
+	h, err := c.Hello(context.Background())
 	if err != nil || h.DeviceID != "dev0" || h.Model != driver.ModelNRSurface || h.Mount != "east_wall" {
 		t.Fatalf("hello: %+v %v", h, err)
 	}
 
-	spec, err := c.GetSpec()
+	spec, err := c.GetSpec(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,10 +249,10 @@ func TestEndToEndOverTCP(t *testing.T) {
 	}
 
 	cfg := surface.Config{Property: surface.Phase, Values: []float64{0, 1, 2, 0, 1, 2}}
-	if err := c.ShiftPhase(cfg); err != nil {
+	if err := c.ShiftPhase(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
-	act, err := c.Active()
+	act, err := c.Active(context.Background())
 	if err != nil || !act.HasActive {
 		t.Fatalf("active: %+v %v", act, err)
 	}
@@ -266,24 +268,24 @@ func TestEndToEndOverTCP(t *testing.T) {
 		}
 		return surface.Config{Property: surface.Phase, Values: vals}
 	}
-	if err := c.StoreCodebook([]string{"b0", "b1"}, []surface.Config{mk(0), mk(math.Pi)}); err != nil {
+	if err := c.StoreCodebook(context.Background(), []string{"b0", "b1"}, []surface.Config{mk(0), mk(math.Pi)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Select(1); err != nil {
+	if err := c.Select(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	act, _ = c.Active()
+	act, _ = c.Active(context.Background())
 	if act.Label != "b1" {
 		t.Errorf("active label after select: %q", act.Label)
 	}
-	if err := c.Select(9); err == nil || !strings.Contains(err.Error(), "agent error") {
+	if err := c.Select(context.Background(), 9); err == nil || !strings.Contains(err.Error(), "agent error") {
 		t.Errorf("bad select: %v", err)
 	}
 }
 
 func TestAgentRejectsWrongProperty(t *testing.T) {
 	_, c := startAgent(t, driver.ModelNRSurface, surface.Reflective)
-	err := c.SetAmplitude(surface.Config{Property: surface.Amplitude, Values: make([]float64, 6)})
+	err := c.SetAmplitude(context.Background(), surface.Config{Property: surface.Amplitude, Values: make([]float64, 6)})
 	if err == nil || !strings.Contains(err.Error(), "agent error") {
 		t.Errorf("amplitude on phase hardware: %v", err)
 	}
@@ -294,7 +296,7 @@ func TestClientPipelinedRequests(t *testing.T) {
 	done := make(chan error, 16)
 	for i := 0; i < 16; i++ {
 		go func() {
-			_, err := c.GetSpec()
+			_, err := c.GetSpec(context.Background())
 			done <- err
 		}()
 	}
@@ -308,14 +310,14 @@ func TestClientPipelinedRequests(t *testing.T) {
 func TestClientSurvivesAgentError(t *testing.T) {
 	_, c := startAgent(t, driver.ModelAutoMS, surface.Reflective)
 	cfg := surface.Config{Property: surface.Phase, Values: make([]float64, 6)}
-	if err := c.ShiftPhase(cfg); err != nil {
+	if err := c.ShiftPhase(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	// Passive: second write fails but the connection stays usable.
-	if err := c.ShiftPhase(cfg); err == nil {
+	if err := c.ShiftPhase(context.Background(), cfg); err == nil {
 		t.Fatal("second passive write accepted")
 	}
-	if _, err := c.GetSpec(); err != nil {
+	if _, err := c.GetSpec(context.Background()); err != nil {
 		t.Errorf("connection unusable after agent error: %v", err)
 	}
 }
@@ -324,11 +326,11 @@ func TestClientDisconnectFailsPending(t *testing.T) {
 	a, c := startAgent(t, driver.ModelNRSurface, surface.Reflective)
 	a.Close()
 	c.Timeout = 500 * time.Millisecond
-	if _, err := c.GetSpec(); err == nil {
+	if _, err := c.GetSpec(context.Background()); err == nil {
 		t.Error("request succeeded after agent close")
 	}
 	// Subsequent requests fail fast.
-	if _, err := c.GetSpec(); err == nil {
+	if _, err := c.GetSpec(context.Background()); err == nil {
 		t.Error("request succeeded on closed client")
 	}
 }
@@ -391,5 +393,84 @@ func TestMsgTypeString(t *testing.T) {
 	}
 	if MsgType(200).String() == "" {
 		t.Error("unknown type should still stringify")
+	}
+}
+
+// silentClient returns a client whose peer reads requests but never
+// replies — the shape of a hung agent.
+func silentClient(t *testing.T) *Client {
+	t.Helper()
+	cc, sc := net.Pipe()
+	go func() {
+		for {
+			if _, err := ReadFrame(sc); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewClient(cc)
+	t.Cleanup(func() { c.Close(); sc.Close() })
+	return c
+}
+
+func TestClientHonorsContextCancel(t *testing.T) {
+	c := silentClient(t)
+	c.Timeout = time.Minute // the ctx, not the client timeout, must win
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.GetSpec(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v; client timeout won instead", elapsed)
+	}
+	// The pending slot must be reclaimed, not leaked.
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d pending requests leaked after cancel", n)
+	}
+}
+
+func TestClientHonorsEarlierContextDeadline(t *testing.T) {
+	c := silentClient(t)
+	c.Timeout = time.Minute
+
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.GetSpec(ctx)
+	if err == nil {
+		t.Fatal("request against a hung agent succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline honored after %v; want ~40ms", elapsed)
+	}
+
+	// An already-expired deadline fails before any I/O.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := c.GetSpec(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestClientNilContextUsesTimeout(t *testing.T) {
+	c := silentClient(t)
+	c.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	//lint:ignore SA1012 nil ctx tolerance is part of the API contract
+	if _, err := c.GetSpec(nil); err == nil {
+		t.Fatal("hung agent round trip succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
 	}
 }

@@ -7,12 +7,14 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"surfos/internal/driver"
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/geom"
 	"surfos/internal/optimize"
 	"surfos/internal/rfsim"
@@ -48,6 +50,10 @@ type Request struct {
 	// carry only the client-side gain — the AP array gain is in the
 	// pattern, and counting it twice inflates every candidate.
 	BeamAP bool
+	// Engine overrides the channel-evaluation engine (nil selects the
+	// process-wide engine.Default()). Candidates are evaluated in parallel
+	// across the engine's worker pool.
+	Engine *engine.Engine
 }
 
 // Candidate is one evaluated placement.
@@ -64,10 +70,19 @@ type Candidate struct {
 	Err error
 }
 
-// Plan evaluates every candidate mount and returns them ranked by achieved
-// median SNR (best first). Candidates that fail to evaluate rank last with
-// Err set.
-func Plan(req Request) ([]Candidate, error) {
+// Plan evaluates every candidate mount in parallel and returns them ranked
+// by achieved median SNR (best first). Candidates that fail to evaluate
+// rank last with Err set. The ranking is deterministic: candidates are
+// scored by index and sorted stably, so parallel evaluation returns
+// exactly the serial ordering. Canceling ctx aborts unstarted candidates
+// and returns the ctx error.
+func Plan(ctx context.Context, req Request) ([]Candidate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if req.Scene == nil {
 		return nil, fmt.Errorf("deploy: nil scene")
 	}
@@ -104,9 +119,15 @@ func Plan(req Request) ([]Candidate, error) {
 		return nil, fmt.Errorf("deploy: region %q has no grid points", req.Region)
 	}
 
-	out := make([]Candidate, 0, len(req.Mounts))
-	for _, mount := range req.Mounts {
-		out = append(out, evaluate(req, mount, freq, pts, iters))
+	eng := req.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
+	out := make([]Candidate, len(req.Mounts))
+	if err := eng.ForEach(ctx, len(req.Mounts), func(i int) {
+		out[i] = evaluate(ctx, req, req.Mounts[i], freq, pts, iters)
+	}); err != nil {
+		return nil, err
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if (out[i].Err == nil) != (out[j].Err == nil) {
@@ -117,8 +138,9 @@ func Plan(req Request) ([]Candidate, error) {
 	return out, nil
 }
 
-// evaluate scores one mount.
-func evaluate(req Request, mount scene.MountSpot, freq float64, pts []geom.Vec3, iters int) Candidate {
+// evaluate scores one mount. It runs inside the engine's worker pool, so
+// everything it touches is either local or read-only.
+func evaluate(ctx context.Context, req Request, mount scene.MountSpot, freq float64, pts []geom.Vec3, iters int) Candidate {
 	cand := Candidate{Mount: mount, MedianSNRdB: math.Inf(-1)}
 	pitch := em.Wavelength(freq) / 2
 	panel := mount.Panel(float64(req.Cols)*pitch+0.02, float64(req.Rows)*pitch+0.02)
@@ -163,7 +185,7 @@ func evaluate(req Request, mount scene.MountSpot, freq float64, pts []geom.Vec3,
 		cand.Err = err
 		return cand
 	}
-	res := optimize.Adam(obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: iters})
+	res := optimize.Adam(ctx, obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: iters})
 	cfg := d.Project(surface.Config{Property: surface.Phase, Values: res.Phases[0]})
 
 	snrs := make([]float64, len(chans))

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -48,7 +49,7 @@ func request(t *testing.T) Request {
 func TestPlanRanksVisibleMountsFirst(t *testing.T) {
 	req := request(t)
 	req.BeamAP = true
-	cands, err := Plan(req)
+	cands, err := Plan(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,37 +95,37 @@ func TestPlanValidation(t *testing.T) {
 
 	bad := req
 	bad.Scene = nil
-	if _, err := Plan(bad); err == nil {
+	if _, err := Plan(context.Background(), bad); err == nil {
 		t.Error("nil scene accepted")
 	}
 
 	bad = req
 	bad.Mounts = nil
-	if _, err := Plan(bad); err == nil {
+	if _, err := Plan(context.Background(), bad); err == nil {
 		t.Error("no mounts accepted")
 	}
 
 	bad = req
 	bad.Region = "nope"
-	if _, err := Plan(bad); err == nil {
+	if _, err := Plan(context.Background(), bad); err == nil {
 		t.Error("unknown region accepted")
 	}
 
 	bad = req
 	bad.Rows = 0
-	if _, err := Plan(bad); err == nil {
+	if _, err := Plan(context.Background(), bad); err == nil {
 		t.Error("zero rows accepted")
 	}
 
 	bad = req
 	bad.FreqHz = 60e9 // outside NR-Surface band
-	if _, err := Plan(bad); err == nil {
+	if _, err := Plan(context.Background(), bad); err == nil {
 		t.Error("out-of-band frequency accepted")
 	}
 
 	bad = req
 	bad.Spec = driver.Spec{}
-	if _, err := Plan(bad); err == nil {
+	if _, err := Plan(context.Background(), bad); err == nil {
 		t.Error("invalid spec accepted")
 	}
 }
@@ -132,12 +133,12 @@ func TestPlanValidation(t *testing.T) {
 func TestPlanBeamAPImprovesServedMount(t *testing.T) {
 	req := request(t)
 	req.Mounts = req.Mounts[:1] // east wall only
-	plain, err := Plan(req)
+	plain, err := Plan(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	req.BeamAP = true
-	beamed, err := Plan(req)
+	beamed, err := Plan(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,416 @@
+// Package engine is the shared channel-evaluation engine every SurfOS
+// layer computes radio state through: a memoized ray-trace cache plus a
+// worker-pool parallel evaluator for grid-shaped work.
+//
+// The expensive operation in the stack is the image-method ray trace that
+// builds an rfsim.TxContext (transmitter-side incident legs and, with
+// cascading, the cross-surface coupling matrices). The orchestrator,
+// experiment rigs, deployment planner, and monitor all used to rebuild
+// identical contexts independently; the engine memoizes them, keyed by
+// (scene revision, frequency, tx position, surface set, sim flags), with
+// explicit invalidation when the scene's geometry revision changes.
+// Mutating a surface *configuration* (phases live in drivers, not in the
+// traced geometry) does not — and must not — invalidate trace results;
+// moving a wall does, because scene.Scene bumps its Revision.
+//
+// All parallel evaluation is deterministic: workers write results by
+// index into pre-allocated slices, so parallel output is bit-identical to
+// the serial path regardless of scheduling.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"surfos/internal/geom"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+)
+
+// Options tunes an Engine. Zero values select sane defaults.
+type Options struct {
+	// Workers bounds the fan-out of parallel evaluation. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces serial execution.
+	Workers int
+	// MaxTxContexts bounds the memoized trace cache (each TxContext holds
+	// per-element incident legs for every surface). Default 128; the
+	// least-recently-used entry is evicted on overflow.
+	MaxTxContexts int
+}
+
+// Spec identifies one simulator configuration the engine can build and
+// cache. It mirrors the tunable fields of rfsim.Simulator; identical Specs
+// share a cached Simulator and its TxContexts.
+type Spec struct {
+	Scene  *scene.Scene
+	FreqHz float64
+	// Surfaces participate in the trace. Surface geometry is immutable
+	// after surface.New, so pointer identity is a sound cache key.
+	Surfaces []*surface.Surface
+
+	ReflOrder           int // image-method order; 0 here means rfsim's default (1)
+	Cascade             bool
+	PerElementOcclusion bool
+	ElementEfficiency   float64 // 0 means 1.0
+
+	// TxPattern is the transmitter antenna pattern. Functions are not
+	// comparable, so a non-nil pattern MUST be identified by a unique
+	// TxPatternID for its results to be cached; with a non-nil pattern and
+	// an empty ID the engine still works but bypasses the cache for this
+	// spec.
+	TxPattern   func(dir geom.Vec3) float64
+	TxPatternID string
+}
+
+// cacheable reports whether the spec can be keyed.
+func (sp Spec) cacheable() bool { return sp.TxPattern == nil || sp.TxPatternID != "" }
+
+// simKey identifies a Simulator build. The scene pointer plus its geometry
+// revision make stale traces unreachable the moment a wall moves.
+type simKey struct {
+	scene   *scene.Scene
+	rev     uint64
+	freq    float64
+	surfs   string // "\x00"-joined surface pointer identities
+	order   int
+	cascade bool
+	perElem bool
+	eff     float64
+	pattern string
+	hasPatt bool
+}
+
+// txKey identifies a TxContext build under a given simulator.
+type txKey struct {
+	sim  simKey
+	tx   geom.Vec3
+	freq float64
+}
+
+// txEntry is a singleflight cache slot: the first goroutine to claim it
+// runs the trace inside once; latecomers block on the same build instead
+// of duplicating it.
+type txEntry struct {
+	once sync.Once
+	tc   *rfsim.TxContext
+	err  error
+}
+
+// Stats reports cache effectiveness, for tests and telemetry.
+type Stats struct {
+	TxHits     uint64
+	TxMisses   uint64
+	SimHits    uint64
+	SimMisses  uint64
+	TxContexts int // currently cached contexts
+}
+
+// Engine memoizes ray traces and fans grid work out over a worker pool.
+// It is safe for concurrent use.
+type Engine struct {
+	workers int
+	maxTx   int
+
+	mu    sync.Mutex
+	sims  map[simKey]*rfsim.Simulator
+	txs   map[txKey]*txEntry
+	txLRU []txKey // oldest first; small (≤ maxTx), linear scans are fine
+
+	txHits    atomic.Uint64
+	txMisses  atomic.Uint64
+	simHits   atomic.Uint64
+	simMisses atomic.Uint64
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	m := opts.MaxTxContexts
+	if m <= 0 {
+		m = 128
+	}
+	return &Engine{
+		workers: w,
+		maxTx:   m,
+		sims:    make(map[simKey]*rfsim.Simulator),
+		txs:     make(map[txKey]*txEntry),
+	}
+}
+
+// Default is the process-wide shared engine, used by layers that are not
+// handed an explicit one. Sharing maximizes cache reuse across the
+// orchestrator, experiments, and deployment planner.
+var defaultEngine = New(Options{})
+
+// Default returns the process-wide shared engine.
+func Default() *Engine { return defaultEngine }
+
+// Workers returns the configured fan-out width.
+func (e *Engine) Workers() int { return e.workers }
+
+func surfacesID(surfs []*surface.Surface) string {
+	ids := make([]string, len(surfs))
+	for i, s := range surfs {
+		ids[i] = fmt.Sprintf("%p", s)
+	}
+	// Order-insensitive: the same surface set traced in a different order
+	// yields different Single/Cross indexing, so do NOT sort for the sim
+	// itself — but identical ordered sets must collide. Keep insertion
+	// order; callers that want sharing should pass surfaces sorted by ID.
+	return strings.Join(ids, "\x00")
+}
+
+func (sp Spec) key() simKey {
+	return simKey{
+		scene:   sp.Scene,
+		rev:     sp.Scene.Revision(),
+		freq:    sp.FreqHz,
+		surfs:   surfacesID(sp.Surfaces),
+		order:   sp.ReflOrder,
+		cascade: sp.Cascade,
+		perElem: sp.PerElementOcclusion,
+		eff:     sp.ElementEfficiency,
+		pattern: sp.TxPatternID,
+		hasPatt: sp.TxPattern != nil,
+	}
+}
+
+func (sp Spec) build() (*rfsim.Simulator, error) {
+	sim, err := rfsim.New(sp.Scene, sp.FreqHz, sp.Surfaces...)
+	if err != nil {
+		return nil, err
+	}
+	if sp.ReflOrder != 0 {
+		sim.ReflOrder = sp.ReflOrder
+	}
+	sim.Cascade = sp.Cascade
+	sim.PerElementOcclusion = sp.PerElementOcclusion
+	sim.ElementEfficiency = sp.ElementEfficiency
+	sim.TxPattern = sp.TxPattern
+	return sim, nil
+}
+
+// Simulator returns the memoized simulator for spec, building it on first
+// use. Simulators are cheap (validation + field copies); they are cached
+// so that TxContexts and estimator construction observe a stable identity.
+func (e *Engine) Simulator(spec Spec) (*rfsim.Simulator, error) {
+	if spec.Scene == nil {
+		return nil, fmt.Errorf("engine: spec has nil scene")
+	}
+	if !spec.cacheable() {
+		e.simMisses.Add(1)
+		return spec.build()
+	}
+	k := spec.key()
+	e.mu.Lock()
+	if sim, ok := e.sims[k]; ok {
+		e.mu.Unlock()
+		e.simHits.Add(1)
+		return sim, nil
+	}
+	e.mu.Unlock()
+	e.simMisses.Add(1)
+	sim, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	// Another goroutine may have raced the build; keep the first so all
+	// callers share one identity.
+	if prior, ok := e.sims[k]; ok {
+		sim = prior
+	} else {
+		e.sims[k] = sim
+	}
+	e.mu.Unlock()
+	return sim, nil
+}
+
+// Tx returns the memoized transmitter context for spec at the spec's
+// carrier frequency. The first call per (scene revision, frequency, tx,
+// surface set, flags) runs the image-method trace; subsequent calls are
+// cache hits. Concurrent misses on the same key trace once.
+func (e *Engine) Tx(ctx context.Context, spec Spec, tx geom.Vec3) (*rfsim.TxContext, error) {
+	return e.TxAt(ctx, spec, tx, spec.FreqHz)
+}
+
+// TxAt is Tx at an explicit frequency (wideband sensing sweeps subcarriers).
+func (e *Engine) TxAt(ctx context.Context, spec Spec, tx geom.Vec3, freqHz float64) (*rfsim.TxContext, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if !spec.cacheable() {
+		e.txMisses.Add(1)
+		sim, err := spec.build()
+		if err != nil {
+			return nil, err
+		}
+		return sim.NewTxAt(tx, freqHz), nil
+	}
+	sim, err := e.Simulator(spec)
+	if err != nil {
+		return nil, err
+	}
+	k := txKey{sim: spec.key(), tx: tx, freq: freqHz}
+
+	e.mu.Lock()
+	ent, ok := e.txs[k]
+	if ok {
+		e.touchLocked(k)
+	} else {
+		ent = &txEntry{}
+		e.txs[k] = ent
+		e.txLRU = append(e.txLRU, k)
+		e.evictLocked()
+	}
+	e.mu.Unlock()
+
+	if ok {
+		e.txHits.Add(1)
+	} else {
+		e.txMisses.Add(1)
+	}
+	ent.once.Do(func() { ent.tc = sim.NewTxAt(tx, freqHz) })
+	return ent.tc, ent.err
+}
+
+// touchLocked moves k to the most-recently-used end. Caller holds e.mu.
+func (e *Engine) touchLocked(k txKey) {
+	for i := range e.txLRU {
+		if e.txLRU[i] == k {
+			copy(e.txLRU[i:], e.txLRU[i+1:])
+			e.txLRU[len(e.txLRU)-1] = k
+			return
+		}
+	}
+}
+
+// evictLocked drops the least-recently-used entries beyond maxTx. Caller
+// holds e.mu.
+func (e *Engine) evictLocked() {
+	for len(e.txLRU) > e.maxTx {
+		old := e.txLRU[0]
+		e.txLRU = e.txLRU[1:]
+		delete(e.txs, old)
+	}
+}
+
+// Invalidate drops every cached simulator and trace. Scene geometry
+// changes are keyed automatically via scene.Revision; Invalidate is the
+// explicit hammer for out-of-band mutations (e.g. editing a surface's
+// panel in place, which the engine cannot observe).
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sims = make(map[simKey]*rfsim.Simulator)
+	e.txs = make(map[txKey]*txEntry)
+	e.txLRU = nil
+}
+
+// CacheStats returns hit/miss counters and the live context count.
+func (e *Engine) CacheStats() Stats {
+	e.mu.Lock()
+	n := len(e.txs)
+	e.mu.Unlock()
+	return Stats{
+		TxHits:     e.txHits.Load(),
+		TxMisses:   e.txMisses.Load(),
+		SimHits:    e.simHits.Load(),
+		SimMisses:  e.simMisses.Load(),
+		TxContexts: n,
+	}
+}
+
+// ctxErr tolerates nil contexts (internal callers pass Background anyway).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool and
+// blocks until all complete or ctx is canceled. Iterations already started
+// when cancellation lands run to completion; unstarted ones are skipped,
+// and the ctx error is returned so callers know the result is partial.
+// fn must be safe for concurrent invocation with distinct indices; writing
+// out[i] from fn(i) yields deterministic, serial-identical results.
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctxErr(ctx)
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctxErr(ctx) != nil {
+					return
+				}
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return ctxErr(ctx)
+}
+
+// Channels evaluates the channel at every point in pts in parallel,
+// returning them in input order (out[i] corresponds to pts[i]). The
+// transmitter trace is served from the cache.
+func (e *Engine) Channels(ctx context.Context, spec Spec, tx geom.Vec3, pts []geom.Vec3) ([]*rfsim.Channel, error) {
+	return e.ChannelsAt(ctx, spec, tx, spec.FreqHz, pts)
+}
+
+// ChannelsAt is Channels at an explicit frequency.
+func (e *Engine) ChannelsAt(ctx context.Context, spec Spec, tx geom.Vec3, freqHz float64, pts []geom.Vec3) ([]*rfsim.Channel, error) {
+	tc, err := e.TxAt(ctx, spec, tx, freqHz)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*rfsim.Channel, len(pts))
+	if err := e.ForEach(ctx, len(pts), func(i int) {
+		out[i] = tc.Channel(pts[i])
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SortedSurfaces returns surfs ordered by name — the canonical ordering
+// callers should use when assembling Specs so that independently built
+// specs over the same device set share cache entries.
+func SortedSurfaces(surfs []*surface.Surface) []*surface.Surface {
+	out := append([]*surface.Surface(nil), surfs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -106,7 +107,7 @@ func TestFig6ReproducesPaper(t *testing.T) {
 }
 
 func TestFig2ConflictShape(t *testing.T) {
-	r, err := RunFig2(Quick)
+	r, err := RunFig2(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFig2ConflictShape(t *testing.T) {
 }
 
 func TestFig4HybridShape(t *testing.T) {
-	r, err := RunFig4(Quick)
+	r, err := RunFig4(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestFig4HybridShape(t *testing.T) {
 }
 
 func TestFig5MultitaskShape(t *testing.T) {
-	r, err := RunFig5(Quick)
+	r, err := RunFig5(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"surfos/internal/engine"
 	"surfos/internal/optimize"
 	"surfos/internal/scene"
 )
@@ -24,14 +26,16 @@ type Fig2Result struct {
 	LocErrSensingOpt *Heatmap
 }
 
-// RunFig2 executes the experiment on the shared multitasking rig.
-func RunFig2(p Profile) (*Fig2Result, error) {
-	rig, err := newSensingRig(p)
+// RunFig2 executes the experiment on the shared multitasking rig. The rig
+// and its single-task optima are cached per profile, so running Fig2 after
+// Fig5 (or vice versa) re-traces nothing.
+func RunFig2(ctx context.Context, p Profile) (*Fig2Result, error) {
+	rig, err := sharedRig(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	covCfg := rig.quantize(rig.optimizeRaw(rig.covObj, nil))
-	locCfg := rig.quantize(rig.optimizeRaw(rig.locObj, nil))
+	covCfg := rig.quantize(rig.cachedRaw(ctx, &rig.covRaw, rig.covObj))
+	locCfg := rig.quantize(rig.cachedRaw(ctx, &rig.locRaw, rig.locObj))
 
 	// Heatmaps are computed on the rig's grid (row-major over the target
 	// room footprint).
@@ -65,16 +69,26 @@ func RunFig2(p Profile) (*Fig2Result, error) {
 
 	covCfgs := optimize.PhasesToConfigs(covCfg)
 	rss := make([]float64, len(rig.grid))
-	for i, ch := range rig.chans {
-		h, _ := ch.Eval(covCfgs)
+	if err := engine.Default().ForEach(ctx, len(rig.chans), func(i int) {
+		h, _ := rig.chans[i].Eval(covCfgs)
 		rss[i] = rig.budget.RxPowerDBm(h)
+	}); err != nil {
+		return nil, err
 	}
 
+	covErrs, err := rig.locErrPerLocation(ctx, covCfg)
+	if err != nil {
+		return nil, err
+	}
+	locErrs, err := rig.locErrPerLocation(ctx, locCfg)
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig2Result{
 		Profile:          p,
 		Coverage:         mk(rss, "dBm"),
-		LocErr:           mk(rig.locErrPerLocation(covCfg), "m"),
-		LocErrSensingOpt: mk(rig.locErrPerLocation(locCfg), "m"),
+		LocErr:           mk(covErrs, "m"),
+		LocErrSensingOpt: mk(locErrs, "m"),
 	}
 	return out, nil
 }

@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"strings"
+	"sync"
 
 	"surfos/internal/broker"
 	"surfos/internal/driver"
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/geom"
 	"surfos/internal/optimize"
 	"surfos/internal/rfsim"
@@ -168,8 +171,13 @@ func buildSurfaceRC(spec driver.Spec, mount scene.MountSpot, name string, rows, 
 	return s, d, nil
 }
 
-// RunFig4 executes the sweep.
-func RunFig4(p Profile) (*Fig4Result, error) {
+// RunFig4 executes the sweep. Channel batches route through the shared
+// engine: each sweep entry's training and evaluation grids reuse one
+// memoized ray trace (keyed by a per-entry TxPatternID, since the AP beam
+// aims differently at every panel), and per-point evaluation fans out
+// over the engine's worker pool.
+func RunFig4(ctx context.Context, p Profile) (*Fig4Result, error) {
+	eng := engine.Default()
 	par := fig4For(p)
 	apt := scene.NewApartment()
 	budget := fig4Budget()
@@ -198,17 +206,20 @@ func RunFig4(p Profile) (*Fig4Result, error) {
 	// Baseline: the bare environment; the AP does its best alone by
 	// beaming at the doorway.
 	{
-		sim, err := rfsim.New(apt.Scene, em.Band24G)
+		door := geom.V((scene.DoorX0+scene.DoorX1)/2, scene.DividerY, 1.5)
+		spec := engine.Spec{
+			Scene:       apt.Scene,
+			FreqHz:      em.Band24G,
+			TxPattern:   apBeam(apt.AP, door),
+			TxPatternID: "fig4-baseline",
+		}
+		chans, err := eng.Channels(ctx, spec, apt.AP, evalGrid)
 		if err != nil {
 			return nil, err
 		}
-		door := geom.V((scene.DoorX0+scene.DoorX1)/2, scene.DividerY, 1.5)
-		sim.TxPattern = apBeam(apt.AP, door)
-		tc := sim.NewTx(apt.AP)
 		snrs := make([]float64, len(evalGrid))
-		for i, pt := range evalGrid {
-			h := tc.Channel(pt).Direct
-			snrs[i] = budget.SNRdB(h)
+		for i, ch := range chans {
+			snrs[i] = budget.SNRdB(ch.Direct)
 		}
 		out.BaselineSNR = rfsim.Median(snrs)
 	}
@@ -222,27 +233,35 @@ func RunFig4(p Profile) (*Fig4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sim, err := rfsim.New(apt.Scene, em.Band24G, s)
+		spec := engine.Spec{
+			Scene:             apt.Scene,
+			FreqHz:            em.Band24G,
+			Surfaces:          []*surface.Surface{s},
+			ElementEfficiency: passiveSpec.ElementEfficiency,
+			TxPattern:         apBeam(apt.AP, s.Panel.Center()),
+			TxPatternID:       fmt.Sprintf("fig4-passive-%d", side),
+		}
+		// Both grids share the single memoized trace for this panel.
+		chans, err := eng.Channels(ctx, spec, apt.AP, grid)
 		if err != nil {
 			return nil, err
 		}
-		sim.ElementEfficiency = passiveSpec.ElementEfficiency
-		sim.TxPattern = apBeam(apt.AP, s.Panel.Center())
-		tc := sim.NewTx(apt.AP)
-		chans := make([]*rfsim.Channel, len(grid))
-		for i, pt := range grid {
-			chans[i] = tc.Channel(pt)
+		evalChans, err := eng.Channels(ctx, spec, apt.AP, evalGrid)
+		if err != nil {
+			return nil, err
 		}
 		obj, err := optimize.NewCoverageObjective(chans, budget)
 		if err != nil {
 			return nil, err
 		}
-		res := optimize.Adam(obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: par.iters})
+		res := optimize.Adam(ctx, obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: par.iters})
 		cfg := d.Project(surface.Config{Property: surface.Phase, Values: res.Phases[0]})
 		snrs := make([]float64, len(evalGrid))
-		for i, pt := range evalGrid {
-			h, _ := tc.Channel(pt).Eval([]surface.Config{cfg})
+		if err := eng.ForEach(ctx, len(evalChans), func(i int) {
+			h, _ := evalChans[i].Eval([]surface.Config{cfg})
 			snrs[i] = budget.SNRdB(h)
+		}); err != nil {
+			return nil, err
 		}
 		out.Passive = append(out.Passive, Fig4Point{
 			Label:       fmt.Sprintf("%dx%d", side, side),
@@ -261,22 +280,28 @@ func RunFig4(p Profile) (*Fig4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sim, err := rfsim.New(apt.Scene, em.Band24G, s)
-		if err != nil {
-			return nil, err
-		}
-		sim.ElementEfficiency = progSpec.ElementEfficiency
-		sim.TxPattern = apBeam(apt.AP, s.Panel.Center())
 		if err := d.SetBias(elevationBias(s, apt.AP, geom.V(3.5, 5.2, scene.EvalHeight))); err != nil {
 			return nil, err
 		}
-		tc := sim.NewTx(apt.AP)
+		spec := engine.Spec{
+			Scene:             apt.Scene,
+			FreqHz:            em.Band24G,
+			Surfaces:          []*surface.Surface{s},
+			ElementEfficiency: progSpec.ElementEfficiency,
+			TxPattern:         apBeam(apt.AP, s.Panel.Center()),
+			TxPatternID:       fmt.Sprintf("fig4-prog-%d", side),
+		}
+		chans, err := eng.Channels(ctx, spec, apt.AP, evalGrid)
+		if err != nil {
+			return nil, err
+		}
 		snrs := make([]float64, len(evalGrid))
-		for i, pt := range evalGrid {
-			ch := tc.Channel(pt)
-			cfg := d.Project(matchedConfig(ch, 0))
-			h, _ := ch.Eval([]surface.Config{cfg})
+		if err := eng.ForEach(ctx, len(chans), func(i int) {
+			cfg := d.Project(matchedConfig(chans[i], 0))
+			h, _ := chans[i].Eval([]surface.Config{cfg})
 			snrs[i] = budget.SNRdB(h)
+		}); err != nil {
+			return nil, err
 		}
 		out.Programmable = append(out.Programmable, Fig4Point{
 			Label:       fmt.Sprintf("%dx%d", side, side),
@@ -298,34 +323,50 @@ func RunFig4(p Profile) (*Fig4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sim, err := rfsim.New(apt.Scene, em.Band24G, ps, qs)
-		if err != nil {
-			return nil, err
-		}
-		sim.Cascade = true
-		sim.ElementEfficiency = math.Min(passiveSpec.ElementEfficiency, progSpec.ElementEfficiency)
-		sim.TxPattern = apBeam(apt.AP, ps.Panel.Center())
 		// The programmable panel is fed by the passive backhaul; its
 		// fabricated elevation profile focuses that feed at room height.
 		if err := qd.SetBias(elevationBias(qs, ps.Panel.Center(), geom.V(3.5, 5.2, scene.EvalHeight))); err != nil {
 			return nil, err
 		}
-		tc := sim.NewTx(apt.AP)
+		spec := engine.Spec{
+			Scene:             apt.Scene,
+			FreqHz:            em.Band24G,
+			Surfaces:          []*surface.Surface{ps, qs},
+			Cascade:           true,
+			ElementEfficiency: math.Min(passiveSpec.ElementEfficiency, progSpec.ElementEfficiency),
+			TxPattern:         apBeam(apt.AP, ps.Panel.Center()),
+			TxPatternID:       fmt.Sprintf("fig4-hybrid-%d", side),
+		}
 
 		// Backhaul: the passive panel focuses the AP beam on the
 		// programmable panel's center (fixed at fabrication).
 		backhaul := pd.Project(ps.SteeringConfig(apt.AP, qs.Panel.Center(), em.Band24G))
 
+		chans, err := eng.Channels(ctx, spec, apt.AP, evalGrid)
+		if err != nil {
+			return nil, err
+		}
 		snrs := make([]float64, len(evalGrid))
-		for i, pt := range evalGrid {
-			ch := tc.Channel(pt)
-			frozen, err := ch.Freeze(0, backhaul)
+		var evalErr error
+		var evalErrMu sync.Mutex
+		if err := eng.ForEach(ctx, len(chans), func(i int) {
+			frozen, err := chans[i].Freeze(0, backhaul)
 			if err != nil {
-				return nil, err
+				evalErrMu.Lock()
+				if evalErr == nil {
+					evalErr = err
+				}
+				evalErrMu.Unlock()
+				return
 			}
 			cfg := qd.Project(matchedConfig(frozen, 1))
 			h, _ := frozen.Eval([]surface.Config{{Property: surface.Phase}, cfg})
 			snrs[i] = budget.SNRdB(h)
+		}); err != nil {
+			return nil, err
+		}
+		if evalErr != nil {
+			return nil, evalErr
 		}
 		out.Hybrid = append(out.Hybrid, Fig4Point{
 			Label:       fmt.Sprintf("%dx%d + %dx%d", side, side, par.hybridProgRows, par.hybridProgCols),
@@ -337,7 +378,7 @@ func RunFig4(p Profile) (*Fig4Result, error) {
 
 		// Figure 4(a.ii): RSS heatmap of the largest hybrid on a fine grid.
 		if side == par.hybridPas[len(par.hybridPas)-1] {
-			hm, err := hybridHeatmap(apt, tc, qd, backhaul, budget, par.evalStep/2)
+			hm, err := hybridHeatmap(ctx, eng, apt, spec, qd, backhaul, budget, par.evalStep/2)
 			if err != nil {
 				return nil, err
 			}
@@ -348,8 +389,10 @@ func RunFig4(p Profile) (*Fig4Result, error) {
 }
 
 // hybridHeatmap evaluates the deployed hybrid's RSS over a fine grid with
-// per-point dynamic steering of the programmable panel.
-func hybridHeatmap(apt *scene.Apartment, tc *rfsim.TxContext, qd *driver.Driver, backhaul surface.Config, budget rfsim.LinkBudget, step float64) (*Heatmap, error) {
+// per-point dynamic steering of the programmable panel. Points are
+// evaluated in parallel on the engine's worker pool; the memoized trace
+// for spec is shared with the sweep that deployed the hybrid.
+func hybridHeatmap(ctx context.Context, eng *engine.Engine, apt *scene.Apartment, spec engine.Spec, qd *driver.Driver, backhaul surface.Config, budget rfsim.LinkBudget, step float64) (*Heatmap, error) {
 	reg := apt.Regions[scene.RegionTargetRoom]
 	pts := reg.GridPoints(step, scene.EvalHeight)
 	if len(pts) == 0 {
@@ -368,17 +411,32 @@ func hybridHeatmap(apt *scene.Apartment, tc *rfsim.TxContext, qd *driver.Driver,
 		Cols: cols, Rows: rows, Unit: "dBm",
 		Values: make([]float64, rows*cols),
 	}
-	for i, pt := range pts {
-		ch := tc.Channel(pt)
-		frozen, err := ch.Freeze(0, backhaul)
+	chans, err := eng.Channels(ctx, spec, apt.AP, pts)
+	if err != nil {
+		return nil, err
+	}
+	var evalErr error
+	var evalErrMu sync.Mutex
+	if err := eng.ForEach(ctx, len(chans), func(i int) {
+		frozen, err := chans[i].Freeze(0, backhaul)
 		if err != nil {
-			return nil, err
+			evalErrMu.Lock()
+			if evalErr == nil {
+				evalErr = err
+			}
+			evalErrMu.Unlock()
+			return
 		}
 		cfg := qd.Project(matchedConfig(frozen, 1))
 		h, _ := frozen.Eval([]surface.Config{{Property: surface.Phase}, cfg})
 		c := i / rows
 		r := i % rows
 		hm.Values[r*cols+c] = budget.RxPowerDBm(h)
+	}); err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
 	}
 	return hm, nil
 }

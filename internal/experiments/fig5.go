@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/geom"
 	"surfos/internal/optimize"
 	"surfos/internal/rfsim"
@@ -44,6 +47,38 @@ type sensingRig struct {
 	phaseBits  int
 	noiseAmp   float64
 	noiseDraws int
+
+	// cfgMu guards the memoized single-task optimizations shared by
+	// Figures 2 and 5 (both need the same coverage- and
+	// localization-optimal configurations of the same rig).
+	cfgMu  sync.Mutex
+	covRaw [][]float64
+	locRaw [][]float64
+}
+
+// rigCache shares one fully traced rig per profile across experiment runs:
+// Figures 2 and 5 use the identical scene/surface/grid, so the ray trace
+// and sensing measurement sweep happen once per process. The rig is
+// read-only after construction (the memoized configs have their own lock).
+var (
+	rigMu    sync.Mutex
+	rigCache = map[Profile]*sensingRig{}
+)
+
+// sharedRig returns the cached rig for a profile, building it on first
+// use. A build aborted by ctx cancellation is not cached.
+func sharedRig(ctx context.Context, p Profile) (*sensingRig, error) {
+	rigMu.Lock()
+	defer rigMu.Unlock()
+	if r, ok := rigCache[p]; ok {
+		return r, nil
+	}
+	r, err := newSensingRig(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	rigCache[p] = r
+	return r, nil
 }
 
 type rigParams struct {
@@ -75,8 +110,10 @@ func rigFor(p Profile) rigParams {
 	}
 }
 
-// newSensingRig builds the rig and both single-task objectives.
-func newSensingRig(p Profile) (*sensingRig, error) {
+// newSensingRig builds the rig and both single-task objectives. Channel
+// and measurement grids are evaluated through the shared engine: the ray
+// trace is memoized and grid points fan out over the worker pool.
+func newSensingRig(ctx context.Context, p Profile) (*sensingRig, error) {
 	par := rigFor(p)
 	apt := scene.NewApartment()
 	freq := em.Band60G
@@ -90,11 +127,16 @@ func newSensingRig(p Profile) (*sensingRig, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := rfsim.New(apt.Scene, freq, s)
+	eng := engine.Default()
+	spec := engine.Spec{
+		Scene: apt.Scene, FreqHz: freq, Surfaces: []*surface.Surface{s},
+		// Passive 60 GHz element efficiency (AutoMS-class).
+		ElementEfficiency: 0.7,
+	}
+	sim, err := eng.Simulator(spec)
 	if err != nil {
 		return nil, err
 	}
-	sim.ElementEfficiency = 0.7 // passive 60 GHz element efficiency (AutoMS-class)
 
 	budget := rfsim.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 25, NoiseFigureDB: 7, BandwidthHz: 2.16e9}
 
@@ -110,10 +152,9 @@ func newSensingRig(p Profile) (*sensingRig, error) {
 	}
 
 	// Coverage objective: capacity across the grid.
-	tc := sim.NewTx(apt.AP)
-	rig.chans = make([]*rfsim.Channel, len(rig.grid))
-	for i, pt := range rig.grid {
-		rig.chans[i] = tc.Channel(pt)
+	rig.chans, err = eng.Channels(ctx, spec, apt.AP, rig.grid)
+	if err != nil {
+		return nil, err
 	}
 	rig.covObj, err = optimize.NewCoverageObjective(rig.chans, budget)
 	if err != nil {
@@ -131,8 +172,10 @@ func newSensingRig(p Profile) (*sensingRig, error) {
 	rig.noiseAmp = sensing.NoiseAmplitude(budget)
 	rig.est.NoisePower = rig.noiseAmp * rig.noiseAmp
 	rig.meas = make([]*sensing.Measurement, len(rig.grid))
-	for i, pt := range rig.grid {
-		rig.meas[i] = rig.est.Measure(pt)
+	if err := eng.ForEach(ctx, len(rig.grid), func(i int) {
+		rig.meas[i] = rig.est.Measure(rig.grid[i])
+	}); err != nil {
+		return nil, err
 	}
 	rig.locObj, err = sensing.NewLocalizationObjective(rig.est, rig.meas, 0)
 	if err != nil {
@@ -152,11 +195,27 @@ func (r *sensingRig) quantize(phases [][]float64) [][]float64 {
 }
 
 // optimizeRaw runs Adam from an initial point, returning continuous phases.
-func (r *sensingRig) optimizeRaw(obj optimize.Objective, init [][]float64) [][]float64 {
+func (r *sensingRig) optimizeRaw(ctx context.Context, obj optimize.Objective, init [][]float64) [][]float64 {
 	if init == nil {
 		init = optimize.ZeroPhases(obj.Shape())
 	}
-	res := optimize.Adam(obj, init, optimize.Options{MaxIters: r.iters})
+	res := optimize.Adam(ctx, obj, init, optimize.Options{MaxIters: r.iters})
+	return res.Phases
+}
+
+// cachedRaw memoizes a single-task optimization on the shared rig so
+// Figures 2 and 5 don't redo identical Adam runs. Results from canceled
+// runs are returned (best-so-far) but not cached.
+func (r *sensingRig) cachedRaw(ctx context.Context, slot *[][]float64, obj optimize.Objective) [][]float64 {
+	r.cfgMu.Lock()
+	defer r.cfgMu.Unlock()
+	if *slot != nil {
+		return *slot
+	}
+	res := optimize.Adam(ctx, obj, optimize.ZeroPhases(obj.Shape()), optimize.Options{MaxIters: r.iters})
+	if !res.Stopped {
+		*slot = res.Phases
+	}
 	return res.Phases
 }
 
@@ -178,31 +237,40 @@ func (r *sensingRig) jointObjective(w float64) (optimize.Objective, error) {
 // rather than trusting a single scalarization.
 var jointWeights = []float64{1.0, 1.5, 2.25}
 
-// snrPerLocation evaluates link SNR at every grid point.
-func (r *sensingRig) snrPerLocation(phases [][]float64) []float64 {
+// snrPerLocation evaluates link SNR at every grid point, fanning out over
+// the engine's worker pool (per-index writes: identical to serial).
+func (r *sensingRig) snrPerLocation(ctx context.Context, phases [][]float64) ([]float64, error) {
 	cfgs := optimize.PhasesToConfigs(phases)
 	out := make([]float64, len(r.chans))
-	for i, ch := range r.chans {
-		h, _ := ch.Eval(cfgs)
+	err := engine.Default().ForEach(ctx, len(r.chans), func(i int) {
+		h, _ := r.chans[i].Eval(cfgs)
 		out[i] = r.budget.SNRdB(h)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // locErrPerLocation evaluates noisy localization error at every grid
-// point, averaging noiseDraws independent soundings.
-func (r *sensingRig) locErrPerLocation(phases [][]float64) []float64 {
+// point, averaging noiseDraws independent soundings. Each point draws from
+// its own deterministically seeded RNG, so the parallel fan-out produces
+// exactly the serial result.
+func (r *sensingRig) locErrPerLocation(ctx context.Context, phases [][]float64) ([]float64, error) {
 	out := make([]float64, len(r.meas))
-	for i, m := range r.meas {
+	err := engine.Default().ForEach(ctx, len(r.meas), func(i int) {
 		var sum float64
 		for d := 0; d < r.noiseDraws; d++ {
 			rng := seededRng(int64(1000*i + d))
-			_, e := r.est.Estimate(m, phases, r.noiseAmp, rng)
+			_, e := r.est.Estimate(r.meas[i], phases, r.noiseAmp, rng)
 			sum += e
 		}
 		out[i] = sum / float64(r.noiseDraws)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // Fig5Result reproduces Figure 5: CDFs over target-room locations of
@@ -218,22 +286,39 @@ type Fig5Result struct {
 	Locations int
 }
 
-// RunFig5 executes the experiment.
-func RunFig5(p Profile) (*Fig5Result, error) {
-	rig, err := newSensingRig(p)
+// RunFig5 executes the experiment. The shared rig (ray trace, sensing
+// sweep, single-task optima) is cached per profile and reused by RunFig2.
+func RunFig5(ctx context.Context, p Profile) (*Fig5Result, error) {
+	rig, err := sharedRig(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	covRaw := rig.optimizeRaw(rig.covObj, nil)
-	locRaw := rig.optimizeRaw(rig.locObj, nil)
+	covRaw := rig.cachedRaw(ctx, &rig.covRaw, rig.covObj)
+	locRaw := rig.cachedRaw(ctx, &rig.locRaw, rig.locObj)
 	covCfg := rig.quantize(covRaw)
 	locCfg := rig.quantize(locRaw)
 
 	// Single-task medians anchor the balance score of the sweep.
-	covLocMed := medianOf(rig.locErrPerLocation(covCfg))
-	locLocMed := medianOf(rig.locErrPerLocation(locCfg))
-	covSNRMed := medianOf(rig.snrPerLocation(covCfg))
-	locSNRMed := medianOf(rig.snrPerLocation(locCfg))
+	covLocs, err := rig.locErrPerLocation(ctx, covCfg)
+	if err != nil {
+		return nil, err
+	}
+	locLocs, err := rig.locErrPerLocation(ctx, locCfg)
+	if err != nil {
+		return nil, err
+	}
+	covSNRs, err := rig.snrPerLocation(ctx, covCfg)
+	if err != nil {
+		return nil, err
+	}
+	locSNRs, err := rig.snrPerLocation(ctx, locCfg)
+	if err != nil {
+		return nil, err
+	}
+	covLocMed := medianOf(covLocs)
+	locLocMed := medianOf(locLocs)
+	covSNRMed := medianOf(covSNRs)
+	locSNRMed := medianOf(locSNRs)
 
 	// The joint search warm-starts from the coverage solution so the
 	// multitask configuration keeps coverage quality while the sensing
@@ -247,9 +332,17 @@ func RunFig5(p Profile) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cand := rig.quantize(rig.optimizeRaw(joint, covRaw))
-		locMed := medianOf(rig.locErrPerLocation(cand))
-		snrMed := medianOf(rig.snrPerLocation(cand))
+		cand := rig.quantize(rig.optimizeRaw(ctx, joint, covRaw))
+		candLocs, err := rig.locErrPerLocation(ctx, cand)
+		if err != nil {
+			return nil, err
+		}
+		candSNRs, err := rig.snrPerLocation(ctx, cand)
+		if err != nil {
+			return nil, err
+		}
+		locMed := medianOf(candLocs)
+		snrMed := medianOf(candSNRs)
 		locRet, snrRet := 1.0, 1.0
 		if d := covLocMed - locLocMed; d > 0 {
 			locRet = (covLocMed - locMed) / d
@@ -273,8 +366,16 @@ func RunFig5(p Profile) (*Fig5Result, error) {
 		LocErr: map[string]Series{}, SNR: map[string]Series{},
 	}
 	for name, phases := range configs {
-		out.SNR[name] = CDFOf(name, rig.snrPerLocation(phases))
-		out.LocErr[name] = CDFOf(name, rig.locErrPerLocation(phases))
+		snrs, err := rig.snrPerLocation(ctx, phases)
+		if err != nil {
+			return nil, err
+		}
+		locs, err := rig.locErrPerLocation(ctx, phases)
+		if err != nil {
+			return nil, err
+		}
+		out.SNR[name] = CDFOf(name, snrs)
+		out.LocErr[name] = CDFOf(name, locs)
 	}
 	return out, nil
 }

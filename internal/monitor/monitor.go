@@ -9,6 +9,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -155,9 +156,11 @@ func (m *Monitor) Observe(r telemetry.Report) {
 	}
 }
 
-// Run subscribes the monitor to a telemetry bus until the cancel function
-// is called.
-func (m *Monitor) Run(bus *telemetry.Bus) (cancel func()) {
+// Run subscribes the monitor to a telemetry bus until ctx is canceled or
+// the returned cancel function is called, whichever comes first. The
+// cancel function is idempotent, safe to call after ctx cancellation, and
+// blocks until the observer goroutine has drained out (no leaks).
+func (m *Monitor) Run(ctx context.Context, bus *telemetry.Bus) (cancel func()) {
 	ch, unsub := bus.Subscribe(256)
 	done := make(chan struct{})
 	go func() {
@@ -166,6 +169,15 @@ func (m *Monitor) Run(bus *telemetry.Bus) (cancel func()) {
 			m.Observe(r)
 		}
 	}()
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				unsub() // closes ch, draining the observer goroutine
+			case <-done:
+			}
+		}()
+	}
 	return func() {
 		unsub()
 		<-done

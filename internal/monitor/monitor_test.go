@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -133,7 +134,7 @@ func TestRunOverTelemetryBus(t *testing.T) {
 	m.Expect(Expectation{DeviceID: "s0", EndpointID: "a", SNRdB: 20})
 
 	bus := telemetry.NewBus()
-	cancel := m.Run(bus)
+	cancel := m.Run(context.Background(), bus)
 	for i := 0; i < 4; i++ {
 		bus.Publish(telemetry.Report{DeviceID: "s0", EndpointID: "a", SNRdB: 19.5, Time: t0})
 	}

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -168,7 +169,7 @@ func TestAdamReachesCoherentOptimum(t *testing.T) {
 	ch := randChannel(r, []int{12}, false)
 	obj, _ := NewPowerObjective([]*rfsim.Channel{ch})
 
-	res := Adam(obj, ZeroPhases(obj.Shape()), Options{MaxIters: 500, LR: 0.2})
+	res := Adam(context.Background(), obj, ZeroPhases(obj.Shape()), Options{MaxIters: 500, LR: 0.2})
 
 	// Optimal: every term aligned with Direct.
 	bound := cabs(ch.Direct)
@@ -191,8 +192,8 @@ func TestAdamBeatsRandomSearch(t *testing.T) {
 	chans := []*rfsim.Channel{randChannel(r, shape, false), randChannel(r, shape, false)}
 	obj, _ := NewCoverageObjective(chans, testBudget())
 
-	adam := Adam(obj, ZeroPhases(shape), Options{MaxIters: 300})
-	rs := RandomSearch(obj, Options{MaxIters: 300, Seed: 1})
+	adam := Adam(context.Background(), obj, ZeroPhases(shape), Options{MaxIters: 300})
+	rs := RandomSearch(context.Background(), obj, Options{MaxIters: 300, Seed: 1})
 	if adam.Loss >= rs.Loss {
 		t.Errorf("Adam loss %v not better than random search %v", adam.Loss, rs.Loss)
 	}
@@ -202,7 +203,7 @@ func TestRandomSearchImproves(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	obj, _ := NewPowerObjective([]*rfsim.Channel{randChannel(r, []int{8}, false)})
 	zero, _ := obj.Eval(ZeroPhases(obj.Shape()), false)
-	res := RandomSearch(obj, Options{MaxIters: 200, Seed: 2})
+	res := RandomSearch(context.Background(), obj, Options{MaxIters: 200, Seed: 2})
 	if res.Loss > zero {
 		t.Errorf("random search %v worse than zero init %v", res.Loss, zero)
 	}
@@ -213,7 +214,7 @@ func TestAnnealImproves(t *testing.T) {
 	obj, _ := NewPowerObjective([]*rfsim.Channel{randChannel(r, []int{8}, false)})
 	init := ZeroPhases(obj.Shape())
 	start, _ := obj.Eval(init, false)
-	res := Anneal(obj, init, Options{MaxIters: 2000, Seed: 3})
+	res := Anneal(context.Background(), obj, init, Options{MaxIters: 2000, Seed: 3})
 	if res.Loss >= start {
 		t.Errorf("anneal %v did not improve on %v", res.Loss, start)
 	}
@@ -224,7 +225,7 @@ func TestCoordinateDescent1Bit(t *testing.T) {
 	obj, _ := NewPowerObjective([]*rfsim.Channel{randChannel(r, []int{10}, false)})
 	init := ZeroPhases(obj.Shape())
 	start, _ := obj.Eval(init, false)
-	res := CoordinateDescent(obj, init, []float64{0, math.Pi}, Options{MaxIters: 20})
+	res := CoordinateDescent(context.Background(), obj, init, []float64{0, math.Pi}, Options{MaxIters: 20})
 	if res.Loss >= start {
 		t.Errorf("coordinate descent %v did not improve on %v", res.Loss, start)
 	}
@@ -247,7 +248,7 @@ func TestProjectorApplied(t *testing.T) {
 		}
 		return out
 	}
-	res := Adam(obj, ZeroPhases(obj.Shape()), Options{MaxIters: 100, Project: quant})
+	res := Adam(context.Background(), obj, ZeroPhases(obj.Shape()), Options{MaxIters: 100, Project: quant})
 	step := math.Pi / 2
 	for _, v := range res.Phases[0] {
 		snapped := math.Round(v/step) * step
@@ -298,7 +299,7 @@ func TestCoordinateDescentDefaultCandidates(t *testing.T) {
 	obj, _ := NewPowerObjective([]*rfsim.Channel{randChannel(r, []int{6}, false)})
 	init := ZeroPhases(obj.Shape())
 	start, _ := obj.Eval(init, false)
-	res := CoordinateDescent(obj, init, nil, Options{MaxIters: 10})
+	res := CoordinateDescent(context.Background(), obj, init, nil, Options{MaxIters: 10})
 	if res.Loss >= start {
 		t.Errorf("default-candidate CD %v did not improve on %v", res.Loss, start)
 	}

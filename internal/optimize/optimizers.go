@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -10,23 +11,29 @@ import (
 // Drivers provide projectors from their specs.
 type Projector func([][]float64) [][]float64
 
-// Options tunes an optimization run. Zero values select sane defaults.
+// Options tunes an optimization run. Zero or negative values select sane
+// defaults, so a partially filled Options can never produce an infinite
+// (MaxIters ≤ 0 with no other stop) or diverging (LR ≤ 0) loop.
+//
+// Seed seeds the stochastic methods' RNG. Seed 0 is a fixed deterministic
+// seed like any other value — runs are never time-seeded, so repeated
+// invocations with identical inputs produce identical results.
 type Options struct {
-	MaxIters  int     // default 200
-	LR        float64 // Adam learning rate, default 0.3 (radians)
-	Tolerance float64 // stop when |Δloss| < Tolerance for 10 iters, default 1e-9
-	Seed      int64   // RNG seed for stochastic methods
+	MaxIters  int     // default 200; values ≤ 0 use the default
+	LR        float64 // Adam learning rate (radians), default 0.3; ≤ 0 uses the default
+	Tolerance float64 // stop when |Δloss| < Tolerance for 10 iters, default 1e-9; ≤ 0 uses the default
+	Seed      int64   // RNG seed for stochastic methods; 0 is deterministic, not time-seeded
 	Project   Projector
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxIters == 0 {
+	if o.MaxIters <= 0 {
 		o.MaxIters = 200
 	}
-	if o.LR == 0 {
+	if o.LR <= 0 {
 		o.LR = 0.3
 	}
-	if o.Tolerance == 0 {
+	if o.Tolerance <= 0 {
 		o.Tolerance = 1e-9
 	}
 	return o
@@ -37,6 +44,10 @@ type Result struct {
 	Phases     [][]float64
 	Loss       float64
 	Iterations int
+	// Stopped is true when the run ended early because its context was
+	// canceled or its deadline expired. Phases/Loss still hold the best
+	// feasible candidate found up to that point.
+	Stopped bool
 	// History records the loss after each iteration (gradient methods) or
 	// each improvement (stochastic methods).
 	History []float64
@@ -49,12 +60,22 @@ func project(p Projector, phases [][]float64) [][]float64 {
 	return p(phases)
 }
 
+// canceled tolerates nil contexts so internal callers can pass the zero
+// value without crashing.
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
 // Adam minimizes the objective with the Adam gradient method starting at
 // init. The paper's prototype uses gradient descent for the orchestrator's
 // optimizer; Adam is the standard robust variant. The projector, when set,
 // is applied after every step (projected gradient descent) and to the
 // returned phases.
-func Adam(obj Objective, init [][]float64, opt Options) Result {
+//
+// The context is checked once per iteration: cancellation or deadline
+// expiry stops the loop and returns the best-so-far feasible result with
+// Stopped set and Iterations < MaxIters.
+func Adam(ctx context.Context, obj Objective, init [][]float64, opt Options) Result {
 	opt = opt.withDefaults()
 	phases := project(opt.Project, ClonePhases(init))
 
@@ -67,9 +88,15 @@ func Adam(obj Objective, init [][]float64, opt Options) Result {
 	var history []float64
 	flat := 0
 	prev := math.Inf(1)
+	stopped := false
 
 	var it int
 	for it = 1; it <= opt.MaxIters; it++ {
+		if canceled(ctx) {
+			stopped = true
+			it-- // this iteration did not run
+			break
+		}
 		loss, grad := obj.Eval(phases, true)
 		if loss < bestLoss {
 			bestLoss = loss
@@ -101,18 +128,22 @@ func Adam(obj Objective, init [][]float64, opt Options) Result {
 		}
 		phases = project(opt.Project, phases)
 	}
+	if it > opt.MaxIters {
+		it = opt.MaxIters
+	}
 
 	// Re-evaluate the best candidate after projection so the reported loss
 	// matches the returned feasible phases.
 	best = project(opt.Project, best)
 	finalLoss, _ := obj.Eval(best, false)
-	return Result{Phases: best, Loss: finalLoss, Iterations: it, History: history}
+	return Result{Phases: best, Loss: finalLoss, Iterations: it, Stopped: stopped, History: history}
 }
 
 // RandomSearch samples uniformly random feasible phase sets and keeps the
 // best — the baseline every gradient method must beat, and the only method
-// available for non-differentiable constraint sets.
-func RandomSearch(obj Objective, opt Options) Result {
+// available for non-differentiable constraint sets. Cancellation via ctx
+// returns the best sample drawn so far.
+func RandomSearch(ctx context.Context, obj Objective, opt Options) Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	shape := obj.Shape()
@@ -120,8 +151,14 @@ func RandomSearch(obj Objective, opt Options) Result {
 	best := project(opt.Project, ZeroPhases(shape))
 	bestLoss, _ := obj.Eval(best, false)
 	history := []float64{bestLoss}
+	stopped := false
 
-	for it := 0; it < opt.MaxIters; it++ {
+	it := 0
+	for ; it < opt.MaxIters; it++ {
+		if canceled(ctx) {
+			stopped = true
+			break
+		}
 		cand := ZeroPhases(shape)
 		for s := range cand {
 			for k := range cand[s] {
@@ -136,13 +173,13 @@ func RandomSearch(obj Objective, opt Options) Result {
 			history = append(history, l)
 		}
 	}
-	return Result{Phases: best, Loss: bestLoss, Iterations: opt.MaxIters, History: history}
+	return Result{Phases: best, Loss: bestLoss, Iterations: it, Stopped: stopped, History: history}
 }
 
 // Anneal runs simulated annealing with single-element perturbations —
 // effective for coarse quantized hardware (1-bit surfaces) where gradients
-// mislead.
-func Anneal(obj Objective, init [][]float64, opt Options) Result {
+// mislead. Cancellation via ctx returns the best state reached so far.
+func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
@@ -151,9 +188,15 @@ func Anneal(obj Objective, init [][]float64, opt Options) Result {
 	best := ClonePhases(cur)
 	bestLoss := curLoss
 	history := []float64{curLoss}
+	stopped := false
 
 	t0 := math.Abs(curLoss)*0.1 + 1e-3
-	for it := 0; it < opt.MaxIters; it++ {
+	it := 0
+	for ; it < opt.MaxIters; it++ {
+		if canceled(ctx) {
+			stopped = true
+			break
+		}
 		temp := t0 * math.Exp(-4*float64(it)/float64(opt.MaxIters))
 		cand := ClonePhases(cur)
 		// Perturb a random element by a random phase offset.
@@ -173,13 +216,14 @@ func Anneal(obj Objective, init [][]float64, opt Options) Result {
 			}
 		}
 	}
-	return Result{Phases: best, Loss: bestLoss, Iterations: opt.MaxIters, History: history}
+	return Result{Phases: best, Loss: bestLoss, Iterations: it, Stopped: stopped, History: history}
 }
 
 // CoordinateDescent cycles through elements, line-searching each phase over
 // a fixed grid of candidate values while holding the rest. With a 2-state
-// grid this is the classic greedy 1-bit RIS tuning algorithm.
-func CoordinateDescent(obj Objective, init [][]float64, candidates []float64, opt Options) Result {
+// grid this is the classic greedy 1-bit RIS tuning algorithm. Cancellation
+// via ctx stops between element updates and returns the current state.
+func CoordinateDescent(ctx context.Context, obj Objective, init [][]float64, candidates []float64, opt Options) Result {
 	opt = opt.withDefaults()
 	if len(candidates) == 0 {
 		candidates = []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
@@ -187,12 +231,18 @@ func CoordinateDescent(obj Objective, init [][]float64, candidates []float64, op
 	cur := project(opt.Project, ClonePhases(init))
 	curLoss, _ := obj.Eval(cur, false)
 	history := []float64{curLoss}
+	stopped := false
 
 	evals := 0
+sweeps:
 	for sweep := 0; sweep < opt.MaxIters; sweep++ {
 		improved := false
 		for s := range cur {
 			for k := range cur[s] {
+				if canceled(ctx) {
+					stopped = true
+					break sweeps
+				}
 				bestV, bestL := cur[s][k], curLoss
 				orig := cur[s][k]
 				for _, c := range candidates {
@@ -220,5 +270,5 @@ func CoordinateDescent(obj Objective, init [][]float64, candidates []float64, op
 	}
 	cur = project(opt.Project, cur)
 	finalLoss, _ := obj.Eval(cur, false)
-	return Result{Phases: cur, Loss: finalLoss, Iterations: evals, History: history}
+	return Result{Phases: cur, Loss: finalLoss, Iterations: evals, Stopped: stopped, History: history}
 }

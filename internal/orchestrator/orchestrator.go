@@ -1,6 +1,7 @@
 package orchestrator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 
 	"surfos/internal/driver"
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/geom"
 	"surfos/internal/hwmgr"
 	"surfos/internal/optimize"
@@ -43,6 +45,10 @@ type Options struct {
 	Cascade bool
 	// ReflOrder is the environment reflection order (default 1).
 	ReflOrder int
+	// Engine is the shared channel-evaluation engine. Nil selects the
+	// process-wide engine.Default(), maximizing ray-trace cache reuse with
+	// the deployment planner and experiment rigs.
+	Engine *engine.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +85,8 @@ type Orchestrator struct {
 	HW    *hwmgr.Manager
 	Opts  Options
 
+	eng *engine.Engine
+
 	mu     sync.Mutex
 	tasks  map[int]*Task
 	nextID int
@@ -91,20 +99,46 @@ func New(sc *scene.Scene, hw *hwmgr.Manager, opts Options) (*Orchestrator, error
 	if sc == nil || hw == nil {
 		return nil, errors.New("orchestrator: needs a scene and a hardware manager")
 	}
+	opts = opts.withDefaults()
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
 	return &Orchestrator{
 		Scene:  sc,
 		HW:     hw,
-		Opts:   opts.withDefaults(),
+		Opts:   opts,
+		eng:    eng,
 		tasks:  make(map[int]*Task),
 		nextID: 1,
 		now:    time.Unix(0, 0),
 	}, nil
 }
 
+// Engine returns the channel-evaluation engine this orchestrator computes
+// through.
+func (o *Orchestrator) Engine() *engine.Engine { return o.eng }
+
 // --- service request APIs (paper §3.2, Figure 6) ---
+//
+// Every service call takes a context: submission itself is cheap, but the
+// ctx is checked up front so callers with expired deadlines fail fast, and
+// the same ctx convention carries through Reconcile into the optimizer
+// loops.
+
+// ctxErr tolerates nil contexts from legacy callers.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // EnhanceLink requests connectivity enhancement for one endpoint.
-func (o *Orchestrator) EnhanceLink(g LinkGoal, priority int) (*Task, error) {
+func (o *Orchestrator) EnhanceLink(ctx context.Context, g LinkGoal, priority int) (*Task, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if g.Endpoint == "" {
 		return nil, errors.New("orchestrator: link goal needs an endpoint")
 	}
@@ -112,7 +146,10 @@ func (o *Orchestrator) EnhanceLink(g LinkGoal, priority int) (*Task, error) {
 }
 
 // OptimizeCoverage requests region-wide coverage.
-func (o *Orchestrator) OptimizeCoverage(g CoverageGoal, priority int) (*Task, error) {
+func (o *Orchestrator) OptimizeCoverage(ctx context.Context, g CoverageGoal, priority int) (*Task, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if _, err := o.Scene.Region(g.Region); err != nil {
 		return nil, err
 	}
@@ -120,7 +157,10 @@ func (o *Orchestrator) OptimizeCoverage(g CoverageGoal, priority int) (*Task, er
 }
 
 // EnableSensing requests localization service over a region.
-func (o *Orchestrator) EnableSensing(g SensingGoal, priority int) (*Task, error) {
+func (o *Orchestrator) EnableSensing(ctx context.Context, g SensingGoal, priority int) (*Task, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if _, err := o.Scene.Region(g.Region); err != nil {
 		return nil, err
 	}
@@ -128,7 +168,10 @@ func (o *Orchestrator) EnableSensing(g SensingGoal, priority int) (*Task, error)
 }
 
 // InitPowering requests wireless power delivery.
-func (o *Orchestrator) InitPowering(g PowerGoal, priority int) (*Task, error) {
+func (o *Orchestrator) InitPowering(ctx context.Context, g PowerGoal, priority int) (*Task, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if g.Device == "" {
 		return nil, errors.New("orchestrator: power goal needs a device")
 	}
@@ -136,7 +179,10 @@ func (o *Orchestrator) InitPowering(g PowerGoal, priority int) (*Task, error) {
 }
 
 // SecureLink requests eavesdropper suppression for an endpoint.
-func (o *Orchestrator) SecureLink(g SecurityGoal, priority int) (*Task, error) {
+func (o *Orchestrator) SecureLink(ctx context.Context, g SecurityGoal, priority int) (*Task, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if g.Endpoint == "" {
 		return nil, errors.New("orchestrator: security goal needs an endpoint")
 	}
@@ -237,8 +283,11 @@ func (o *Orchestrator) Now() time.Time {
 
 // Tick advances the virtual clock: deadline-expired tasks complete, TDM
 // frames rotate device codebook selections, and the hardware plan is
-// re-reconciled when the active task set changed.
-func (o *Orchestrator) Tick(dt time.Duration) error {
+// re-reconciled (under ctx) when the active task set changed.
+func (o *Orchestrator) Tick(ctx context.Context, dt time.Duration) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	o.mu.Lock()
 	o.now = o.now.Add(dt)
 	changed := false
@@ -271,7 +320,7 @@ func (o *Orchestrator) Tick(dt time.Duration) error {
 	o.mu.Unlock()
 
 	if changed {
-		return o.Reconcile()
+		return o.Reconcile(ctx)
 	}
 	for _, sl := range sels {
 		dev, err := o.HW.Surface(sl.id)
@@ -299,7 +348,15 @@ type group struct {
 // chooses a multiplexing strategy per group, optimizes configurations,
 // pushes them to devices, and fills in task results. It is the
 // orchestrator's "schedule all surface hardware globally" step.
-func (o *Orchestrator) Reconcile() error {
+//
+// Cancellation semantics: the ctx is checked between groups and inside the
+// optimizer loops. A cancel mid-optimization applies the best-so-far
+// configuration for the group being scheduled (bounded degradation, not
+// half-written state), skips remaining groups, and returns the ctx error.
+func (o *Orchestrator) Reconcile(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	o.mu.Lock()
 	var act []*Task
 	for _, t := range o.tasks {
@@ -318,7 +375,13 @@ func (o *Orchestrator) Reconcile() error {
 	var plans []*Plan
 	var firstErr error
 	for _, g := range groups {
-		p, err := o.scheduleGroup(g)
+		if err := ctxErr(ctx); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		p, err := o.scheduleGroup(ctx, g)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -435,15 +498,15 @@ func (o *Orchestrator) pickStrategy(g *group) string {
 }
 
 // scheduleGroup plans one frequency group.
-func (o *Orchestrator) scheduleGroup(g *group) ([]*Plan, error) {
+func (o *Orchestrator) scheduleGroup(ctx context.Context, g *group) ([]*Plan, error) {
 	strategy := o.pickStrategy(g)
 	switch strategy {
 	case StrategySDM:
-		return o.scheduleSDM(g)
+		return o.scheduleSDM(ctx, g)
 	case StrategyTDM:
-		return o.scheduleTDM(g)
+		return o.scheduleTDM(ctx, g)
 	default: // solo, joint
-		return o.scheduleJoint(g, strategy)
+		return o.scheduleJoint(ctx, g, strategy)
 	}
 }
 
@@ -456,8 +519,10 @@ func deviceIDs(devs []*hwmgr.Device) []string {
 	return out
 }
 
-// simFor builds a simulator over a device subset.
-func (o *Orchestrator) simFor(freq float64, devs []*hwmgr.Device) (*rfsim.Simulator, error) {
+// specFor describes the engine simulator configuration for a device
+// subset. Identical device subsets (the common case across successive
+// Reconciles) share the engine's cached simulator and ray traces.
+func (o *Orchestrator) specFor(freq float64, devs []*hwmgr.Device) engine.Spec {
 	surfs := make([]*surface.Surface, len(devs))
 	eff := 1.0
 	for i, d := range devs {
@@ -466,14 +531,14 @@ func (o *Orchestrator) simFor(freq float64, devs []*hwmgr.Device) (*rfsim.Simula
 			eff = e
 		}
 	}
-	sim, err := rfsim.New(o.Scene, freq, surfs...)
-	if err != nil {
-		return nil, err
+	return engine.Spec{
+		Scene:             o.Scene,
+		FreqHz:            freq,
+		Surfaces:          surfs,
+		ReflOrder:         o.Opts.ReflOrder,
+		Cascade:           o.Opts.Cascade && len(devs) > 1,
+		ElementEfficiency: eff,
 	}
-	sim.ReflOrder = o.Opts.ReflOrder
-	sim.Cascade = o.Opts.Cascade && len(devs) > 1
-	sim.ElementEfficiency = eff
-	return sim, nil
 }
 
 // projectorFor combines device constraint projections.
@@ -494,14 +559,20 @@ func projectorFor(devs []*hwmgr.Device) optimize.Projector {
 	}
 }
 
-// taskObjective builds the optimization objective for one task over a
-// simulator, returning the objective and an evaluator that computes the
-// task's headline metric for a final phase set.
-func (o *Orchestrator) taskObjective(t *Task, g *group, sim *rfsim.Simulator) (optimize.Objective, func([][]float64) *Result, error) {
+// taskObjective builds the optimization objective for one task over an
+// engine spec, returning the objective and an evaluator that computes the
+// task's headline metric for a final phase set. Channel state comes from
+// the engine: the transmitter trace for a group is computed once and
+// shared by every task in it (and by later Reconciles, until the scene
+// geometry changes).
+func (o *Orchestrator) taskObjective(ctx context.Context, t *Task, g *group, spec engine.Spec) (optimize.Objective, func([][]float64) *Result, error) {
 	lb := g.ap.Budget
 	switch goal := t.Goal.(type) {
 	case LinkGoal:
-		tc := sim.NewTx(g.ap.Pos)
+		tc, err := o.eng.Tx(ctx, spec, g.ap.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
 		ch := tc.Channel(goal.Pos)
 		obj, err := optimize.NewCoverageObjective([]*rfsim.Channel{ch}, lb)
 		if err != nil {
@@ -527,10 +598,9 @@ func (o *Orchestrator) taskObjective(t *Task, g *group, sim *rfsim.Simulator) (o
 		if len(pts) == 0 {
 			return nil, nil, fmt.Errorf("orchestrator: region %q has no grid points", goal.Region)
 		}
-		tc := sim.NewTx(g.ap.Pos)
-		chans := make([]*rfsim.Channel, len(pts))
-		for i, p := range pts {
-			chans[i] = tc.Channel(p)
+		chans, err := o.eng.Channels(ctx, spec, g.ap.Pos, pts)
+		if err != nil {
+			return nil, nil, err
 		}
 		obj, err := optimize.NewCoverageObjective(chans, lb)
 		if err != nil {
@@ -561,13 +631,19 @@ func (o *Orchestrator) taskObjective(t *Task, g *group, sim *rfsim.Simulator) (o
 		if len(pts) == 0 {
 			return nil, nil, fmt.Errorf("orchestrator: region %q has no grid points", goal.Region)
 		}
+		sim, err := o.eng.Simulator(spec)
+		if err != nil {
+			return nil, nil, err
+		}
 		est, err := o.estimatorFor(g, sim)
 		if err != nil {
 			return nil, nil, err
 		}
 		meas := make([]*sensing.Measurement, len(pts))
-		for i, p := range pts {
-			meas[i] = est.Measure(p)
+		if err := o.eng.ForEach(ctx, len(pts), func(i int) {
+			meas[i] = est.Measure(pts[i])
+		}); err != nil {
+			return nil, nil, err
 		}
 		obj, err := sensing.NewLocalizationObjective(est, meas, 0)
 		if err != nil {
@@ -581,7 +657,10 @@ func (o *Orchestrator) taskObjective(t *Task, g *group, sim *rfsim.Simulator) (o
 		return obj, eval, nil
 
 	case PowerGoal:
-		tc := sim.NewTx(g.ap.Pos)
+		tc, err := o.eng.Tx(ctx, spec, g.ap.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
 		ch := tc.Channel(goal.Pos)
 		obj, err := optimize.NewPowerObjective([]*rfsim.Channel{ch})
 		if err != nil {
@@ -594,7 +673,10 @@ func (o *Orchestrator) taskObjective(t *Task, g *group, sim *rfsim.Simulator) (o
 		return obj, eval, nil
 
 	case SecurityGoal:
-		tc := sim.NewTx(g.ap.Pos)
+		tc, err := o.eng.Tx(ctx, spec, g.ap.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
 		user := tc.Channel(goal.UserPos)
 		eve := tc.Channel(goal.EvePos)
 		obj, err := optimize.NewSecurityObjective(user, eve, 1.0, lb)
@@ -640,9 +722,9 @@ func (o *Orchestrator) estimatorFor(g *group, sim *rfsim.Simulator) (*sensing.Es
 // small steps back to the quantization grid and stall (the constraint set
 // is discrete), while a single final projection costs only the usual
 // quantization loss.
-func (o *Orchestrator) optimizeConfigs(obj optimize.Objective, devs []*hwmgr.Device) optimize.Result {
+func (o *Orchestrator) optimizeConfigs(ctx context.Context, obj optimize.Objective, devs []*hwmgr.Device) optimize.Result {
 	init := optimize.ZeroPhases(obj.Shape())
-	res := optimize.Adam(obj, init, optimize.Options{MaxIters: o.Opts.OptIters})
+	res := optimize.Adam(ctx, obj, init, optimize.Options{MaxIters: o.Opts.OptIters})
 	res.Phases = projectorFor(devs)(res.Phases)
 	res.Loss, _ = obj.Eval(res.Phases, false)
 	return res
@@ -688,17 +770,14 @@ func (o *Orchestrator) markRunning(t *Task, res *Result) {
 // scheduleJoint handles solo and joint configuration multiplexing: one
 // shared configuration optimized for the (weighted) sum of task losses —
 // the paper's §4 "surface multitasking".
-func (o *Orchestrator) scheduleJoint(g *group, strategy string) ([]*Plan, error) {
-	sim, err := o.simFor(g.freq, g.devs)
-	if err != nil {
-		return nil, err
-	}
+func (o *Orchestrator) scheduleJoint(ctx context.Context, g *group, strategy string) ([]*Plan, error) {
+	spec := o.specFor(g.freq, g.devs)
 	var terms []optimize.Objective
 	var weights []float64
 	evals := make([]func([][]float64) *Result, 0, len(g.tasks))
 	var scheduled []*Task
 	for _, t := range g.tasks {
-		obj, eval, err := o.taskObjective(t, g, sim)
+		obj, eval, err := o.taskObjective(ctx, t, g, spec)
 		if err != nil {
 			o.failTask(t, err)
 			continue
@@ -721,7 +800,7 @@ func (o *Orchestrator) scheduleJoint(g *group, strategy string) ([]*Plan, error)
 		}
 		obj = ws
 	}
-	res := o.optimizeConfigs(obj, g.devs)
+	res := o.optimizeConfigs(ctx, obj, g.devs)
 	cfgs := optimize.PhasesToConfigs(res.Phases)
 
 	entry := PlanEntry{Label: strategy, Share: 1, Configs: map[string]surface.Config{}}
@@ -754,11 +833,8 @@ func (o *Orchestrator) scheduleJoint(g *group, strategy string) ([]*Plan, error)
 
 // scheduleTDM gives each task its own optimized configuration and rotates
 // them as time slices weighted by priority.
-func (o *Orchestrator) scheduleTDM(g *group) ([]*Plan, error) {
-	sim, err := o.simFor(g.freq, g.devs)
-	if err != nil {
-		return nil, err
-	}
+func (o *Orchestrator) scheduleTDM(ctx context.Context, g *group) ([]*Plan, error) {
+	spec := o.specFor(g.freq, g.devs)
 	p := &Plan{
 		FreqHz:   g.freq,
 		APID:     g.ap.ID,
@@ -770,12 +846,12 @@ func (o *Orchestrator) scheduleTDM(g *group) ([]*Plan, error) {
 	var phases [][][]float64
 	var totalPrio float64
 	for _, t := range g.tasks {
-		obj, eval, err := o.taskObjective(t, g, sim)
+		obj, eval, err := o.taskObjective(ctx, t, g, spec)
 		if err != nil {
 			o.failTask(t, err)
 			continue
 		}
-		res := o.optimizeConfigs(obj, g.devs)
+		res := o.optimizeConfigs(ctx, obj, g.devs)
 		cfgs := optimize.PhasesToConfigs(res.Phases)
 		entry := PlanEntry{
 			Label:   fmt.Sprintf("task-%d", t.ID),
@@ -811,7 +887,7 @@ func (o *Orchestrator) scheduleTDM(g *group) ([]*Plan, error) {
 
 // scheduleSDM partitions surfaces among tasks by proximity to the task's
 // spatial target and optimizes each partition independently.
-func (o *Orchestrator) scheduleSDM(g *group) ([]*Plan, error) {
+func (o *Orchestrator) scheduleSDM(ctx context.Context, g *group) ([]*Plan, error) {
 	assign := o.assignSurfaces(g)
 	var plans []*Plan
 	var firstErr error
@@ -822,7 +898,7 @@ func (o *Orchestrator) scheduleSDM(g *group) ([]*Plan, error) {
 			continue
 		}
 		sub := &group{ap: g.ap, freq: g.freq, tasks: []*Task{t}, devs: devs}
-		ps, err := o.scheduleJoint(sub, StrategySDM)
+		ps, err := o.scheduleJoint(ctx, sub, StrategySDM)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

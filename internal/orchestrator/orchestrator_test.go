@@ -1,6 +1,7 @@
 package orchestrator
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -85,19 +86,19 @@ func bedroomPoint() geom.Vec3 { return geom.V(2.5, 5.5, scene.EvalHeight) }
 
 func TestSubmitValidation(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
-	if _, err := r.o.EnhanceLink(LinkGoal{}, 1); err == nil {
+	if _, err := r.o.EnhanceLink(context.Background(), LinkGoal{}, 1); err == nil {
 		t.Error("empty endpoint accepted")
 	}
-	if _, err := r.o.OptimizeCoverage(CoverageGoal{Region: "nope"}, 1); err == nil {
+	if _, err := r.o.OptimizeCoverage(context.Background(), CoverageGoal{Region: "nope"}, 1); err == nil {
 		t.Error("unknown region accepted")
 	}
-	if _, err := r.o.EnableSensing(SensingGoal{Region: "nope"}, 1); err == nil {
+	if _, err := r.o.EnableSensing(context.Background(), SensingGoal{Region: "nope"}, 1); err == nil {
 		t.Error("unknown sensing region accepted")
 	}
-	if _, err := r.o.InitPowering(PowerGoal{}, 1); err == nil {
+	if _, err := r.o.InitPowering(context.Background(), PowerGoal{}, 1); err == nil {
 		t.Error("empty power device accepted")
 	}
-	if _, err := r.o.SecureLink(SecurityGoal{}, 1); err == nil {
+	if _, err := r.o.SecureLink(context.Background(), SecurityGoal{}, 1); err == nil {
 		t.Error("empty security endpoint accepted")
 	}
 	if _, err := New(nil, nil, Options{}); err == nil {
@@ -107,11 +108,11 @@ func TestSubmitValidation(t *testing.T) {
 
 func TestSoloLinkTask(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
-	task, err := r.o.EnhanceLink(LinkGoal{Endpoint: "laptop", Pos: bedroomPoint(), MinSNRdB: 0}, 1)
+	task, err := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "laptop", Pos: bedroomPoint(), MinSNRdB: 0}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.o.Reconcile(); err != nil {
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := r.o.Task(task.ID)
@@ -139,8 +140,8 @@ func TestSoloLinkTask(t *testing.T) {
 func TestLinkBeatsOffConfig(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
 	pos := bedroomPoint()
-	task, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "e", Pos: pos}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	task, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "e", Pos: pos}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := r.o.Task(task.ID)
@@ -178,9 +179,9 @@ func TestTDMSharesFollowPriority(t *testing.T) {
 	opts := fastOpts()
 	opts.Policy = PolicyTDM
 	r := newRig(t, opts, driver.ModelNRSurface)
-	t1, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: geom.V(1.5, 5.0, 1.2)}, 2)
-	t2, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "b", Pos: geom.V(5.5, 6.0, 1.2)}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	t1, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: geom.V(1.5, 5.0, 1.2)}, 2)
+	t2, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "b", Pos: geom.V(5.5, 6.0, 1.2)}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	g1, _ := r.o.Task(t1.ID)
@@ -209,15 +210,15 @@ func TestTickRotatesTDM(t *testing.T) {
 	opts := fastOpts()
 	opts.Policy = PolicyTDM
 	r := newRig(t, opts, driver.ModelNRSurface)
-	r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: geom.V(1.5, 5.0, 1.2)}, 1)
-	r.o.EnhanceLink(LinkGoal{Endpoint: "b", Pos: geom.V(5.5, 6.0, 1.2)}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: geom.V(1.5, 5.0, 1.2)}, 1)
+	r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "b", Pos: geom.V(5.5, 6.0, 1.2)}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	dev, _ := r.o.HW.Surface(driver.ModelNRSurface + "-" + scene.MountEastWall)
 	seen := map[string]bool{}
 	for i := 0; i < 6; i++ {
-		if err := r.o.Tick(10 * time.Millisecond); err != nil {
+		if err := r.o.Tick(context.Background(), 10*time.Millisecond); err != nil {
 			t.Fatal(err)
 		}
 		_, label, ok := dev.Drv.Active()
@@ -235,9 +236,9 @@ func TestJointMultitasking(t *testing.T) {
 	opts := fastOpts()
 	opts.Policy = PolicyJoint
 	r := newRig(t, opts, driver.ModelNRSurface)
-	tc, _ := r.o.OptimizeCoverage(CoverageGoal{Region: scene.RegionTargetRoom}, 1)
-	tp, _ := r.o.InitPowering(PowerGoal{Device: "tag0", Pos: geom.V(5.0, 5.0, 1.2)}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	tc, _ := r.o.OptimizeCoverage(context.Background(), CoverageGoal{Region: scene.RegionTargetRoom}, 1)
+	tp, _ := r.o.InitPowering(context.Background(), PowerGoal{Device: "tag0", Pos: geom.V(5.0, 5.0, 1.2)}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	gc, _ := r.o.Task(tc.ID)
@@ -262,9 +263,9 @@ func TestSDMAssignsNearestSurface(t *testing.T) {
 	opts.Policy = PolicySDM
 	r := newRig(t, opts, driver.ModelNRSurface, driver.ModelNRSurface)
 	// Task A near the east wall, task B near the north wall.
-	ta, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: geom.V(6.5, 5.5, 1.2)}, 1)
-	tb, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "b", Pos: geom.V(2.2, 6.5, 1.2)}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	ta, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: geom.V(6.5, 5.5, 1.2)}, 1)
+	tb, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "b", Pos: geom.V(2.2, 6.5, 1.2)}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ga, _ := r.o.Task(ta.ID)
@@ -294,10 +295,10 @@ func TestAutoPolicyPassiveForcesJoint(t *testing.T) {
 	// Add a passive 24 GHz surface (PMSat, transmissive band 20-30 GHz) on
 	// the north mount.
 	addSurface(t, r.apt, r.hw, "passive0", driver.ModelPMSat, scene.MountNorthWall, 24, 24)
-	r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: geom.V(1.5, 5.0, 1.2)}, 1)
-	r.o.EnhanceLink(LinkGoal{Endpoint: "b", Pos: geom.V(5.5, 6.0, 1.2)}, 1)
-	r.o.InitPowering(PowerGoal{Device: "tag", Pos: geom.V(4.0, 5.0, 1.2)}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: geom.V(1.5, 5.0, 1.2)}, 1)
+	r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "b", Pos: geom.V(5.5, 6.0, 1.2)}, 1)
+	r.o.InitPowering(context.Background(), PowerGoal{Device: "tag", Pos: geom.V(4.0, 5.0, 1.2)}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	plans := r.o.Plans()
@@ -308,13 +309,13 @@ func TestAutoPolicyPassiveForcesJoint(t *testing.T) {
 
 func TestSensingTaskLifecycle(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
-	task, err := r.o.EnableSensing(SensingGoal{
+	task, err := r.o.EnableSensing(context.Background(), SensingGoal{
 		Region: scene.RegionTargetRoom, Type: "tracking", Duration: time.Hour,
 	}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.o.Reconcile(); err != nil {
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := r.o.Task(task.ID)
@@ -325,7 +326,7 @@ func TestSensingTaskLifecycle(t *testing.T) {
 		t.Errorf("sensing result: %+v", got.Result)
 	}
 	// Advance past the deadline: the task completes and resources free.
-	if err := r.o.Tick(2 * time.Hour); err != nil {
+	if err := r.o.Tick(context.Background(), 2*time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = r.o.Task(task.ID)
@@ -339,8 +340,8 @@ func TestSensingTaskLifecycle(t *testing.T) {
 
 func TestIdleReleasesResources(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
-	task, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	task, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.o.Plans()) != 1 {
@@ -349,7 +350,7 @@ func TestIdleReleasesResources(t *testing.T) {
 	if err := r.o.SetIdle(task.ID, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.o.Reconcile(); err != nil {
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if plans := r.o.Plans(); len(plans) != 0 {
@@ -359,7 +360,7 @@ func TestIdleReleasesResources(t *testing.T) {
 	if err := r.o.SetIdle(task.ID, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.o.Reconcile(); err != nil {
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.o.Plans()) != 1 {
@@ -369,14 +370,14 @@ func TestIdleReleasesResources(t *testing.T) {
 
 func TestEndTaskReleasesPlan(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
-	task, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	task, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.o.EndTask(task.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.o.Reconcile(); err != nil {
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if plans := r.o.Plans(); len(plans) != 0 {
@@ -391,8 +392,8 @@ func TestNoAPFails(t *testing.T) {
 	apt := scene.NewApartment()
 	hw := hwmgr.New()
 	o, _ := New(apt.Scene, hw, fastOpts())
-	o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
-	if err := o.Reconcile(); err == nil {
+	o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
+	if err := o.Reconcile(context.Background()); err == nil {
 		t.Error("reconcile without APs should fail")
 	}
 }
@@ -400,8 +401,8 @@ func TestNoAPFails(t *testing.T) {
 func TestNoSurfaceForBandFailsTask(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
 	// Ask for 60 GHz: the NR-Surface cannot serve it and no AP carries it.
-	task, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: bedroomPoint(), FreqHz: 60e9}, 1)
-	_ = r.o.Reconcile()
+	task, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: bedroomPoint(), FreqHz: 60e9}, 1)
+	_ = r.o.Reconcile(context.Background())
 	got, _ := r.o.Task(task.ID)
 	if got.State != TaskFailed {
 		t.Errorf("state = %v, want failed", got.State)
@@ -410,7 +411,7 @@ func TestNoSurfaceForBandFailsTask(t *testing.T) {
 
 func TestSecurityTask(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
-	task, err := r.o.SecureLink(SecurityGoal{
+	task, err := r.o.SecureLink(context.Background(), SecurityGoal{
 		Endpoint: "laptop",
 		UserPos:  geom.V(2.5, 5.5, 1.2),
 		EvePos:   geom.V(5.5, 4.5, 1.2),
@@ -418,7 +419,7 @@ func TestSecurityTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.o.Reconcile(); err != nil {
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := r.o.Task(task.ID)
@@ -562,8 +563,8 @@ func TestReconcileSurvivesPrefabricatedPassive(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	task, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	task, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: bedroomPoint()}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatalf("reconcile with prefabricated passive: %v", err)
 	}
 	got, _ := r.o.Task(task.ID)
@@ -587,7 +588,7 @@ func TestReconcileSurvivesPrefabricatedPassive(t *testing.T) {
 
 func TestTickWithoutPlansIsSafe(t *testing.T) {
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
-	if err := r.o.Tick(time.Second); err != nil {
+	if err := r.o.Tick(context.Background(), time.Second); err != nil {
 		t.Fatalf("tick on empty orchestrator: %v", err)
 	}
 	if r.o.Now().IsZero() {
@@ -618,9 +619,9 @@ func TestFrequencyDivisionAcrossBands(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	t24, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "mm", Pos: bedroomPoint(), FreqHz: 24e9}, 1)
-	t5, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "wifi", Pos: geom.V(4.5, 6.0, 1.2), FreqHz: 5.5e9}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	t24, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "mm", Pos: bedroomPoint(), FreqHz: 24e9}, 1)
+	t5, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "wifi", Pos: geom.V(4.5, 6.0, 1.2), FreqHz: 5.5e9}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -653,8 +654,8 @@ func TestRuntimeAdaptationToEnvironmentChange(t *testing.T) {
 	// configuration against the changed environment.
 	r := newRig(t, fastOpts(), driver.ModelNRSurface)
 	pos := bedroomPoint()
-	task, _ := r.o.EnhanceLink(LinkGoal{Endpoint: "a", Pos: pos}, 1)
-	if err := r.o.Reconcile(); err != nil {
+	task, _ := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "a", Pos: pos}, 1)
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	before, _ := r.o.Task(task.ID)
@@ -670,7 +671,7 @@ func TestRuntimeAdaptationToEnvironmentChange(t *testing.T) {
 	r.apt.AddWall("new-cabinet", geom.RectXY(
 		geom.V(mid.X, mid.Y-0.6, 0), geom.V(0, 1, 0), geom.V(0, 0, 1), 1.2, 2.2), em.Metal)
 
-	if err := r.o.Reconcile(); err != nil {
+	if err := r.o.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := r.o.Task(task.ID)

@@ -42,10 +42,17 @@ func (r Region) GridPoints(step, z float64) []geom.Vec3 {
 }
 
 // Scene is a static environment: a set of material walls and named regions.
+//
+// Scenes carry a monotonically increasing geometry revision so downstream
+// caches (the channel engine's memoized ray traces) can key on it. Every
+// mutation that changes what a ray can hit — adding, moving, or removing a
+// wall — bumps the revision; region bookkeeping does not.
 type Scene struct {
 	Name    string
 	Walls   []Wall
 	Regions map[string]Region
+
+	rev uint64 // geometry revision, bumped by wall mutations
 }
 
 // New creates an empty scene.
@@ -53,9 +60,50 @@ func New(name string) *Scene {
 	return &Scene{Name: name, Regions: make(map[string]Region)}
 }
 
+// Revision returns the scene's geometry revision. Two calls returning the
+// same value guarantee the wall set (and hence every ray-trace result) is
+// unchanged between them. Scene mutation is not goroutine-safe; callers
+// that mutate concurrently with readers must synchronize externally.
+func (s *Scene) Revision() uint64 { return s.rev }
+
+// Invalidate bumps the geometry revision without structural change — the
+// escape hatch for callers that mutate wall fields in place (e.g. swapping
+// a Material pointer) and need caches keyed on Revision to miss.
+func (s *Scene) Invalidate() { s.rev++ }
+
 // AddWall appends a wall panel.
 func (s *Scene) AddWall(name string, panel *geom.Quad, mat *em.Material) {
 	s.Walls = append(s.Walls, Wall{Name: name, Panel: panel, Material: mat})
+	s.rev++
+}
+
+// MoveWall replaces the panel of the named wall — a door opening, furniture
+// shifting, a partition rolled aside. Returns an error for unknown walls.
+// The geometry revision is bumped so engine caches re-trace.
+func (s *Scene) MoveWall(name string, panel *geom.Quad) error {
+	if panel == nil {
+		return fmt.Errorf("scene: MoveWall %q: nil panel", name)
+	}
+	for i := range s.Walls {
+		if s.Walls[i].Name == name {
+			s.Walls[i].Panel = panel
+			s.rev++
+			return nil
+		}
+	}
+	return fmt.Errorf("scene: unknown wall %q", name)
+}
+
+// RemoveWall deletes the named wall and bumps the geometry revision.
+func (s *Scene) RemoveWall(name string) error {
+	for i := range s.Walls {
+		if s.Walls[i].Name == name {
+			s.Walls = append(s.Walls[:i], s.Walls[i+1:]...)
+			s.rev++
+			return nil
+		}
+	}
+	return fmt.Errorf("scene: unknown wall %q", name)
 }
 
 // AddRegion registers a named region.

@@ -1,6 +1,7 @@
 package sensing
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -260,7 +261,7 @@ func TestOptimizingLocalizationReducesLoss(t *testing.T) {
 	}
 	init := optimize.ZeroPhases(obj.Shape())
 	start, _ := obj.Eval(init, false)
-	res := optimize.Adam(obj, init, optimize.Options{MaxIters: 120, LR: 0.2})
+	res := optimize.Adam(context.Background(), obj, init, optimize.Options{MaxIters: 120, LR: 0.2})
 	if res.Loss >= start {
 		t.Errorf("optimization did not reduce localization loss: %v -> %v", start, res.Loss)
 	}

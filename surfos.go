@@ -30,20 +30,28 @@
 //	    apt.Mounts[surfos.MountEastWall], 32, 32)
 //	hw.AddAP(&surfos.AccessPoint{ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
 //	    Budget: surfos.DefaultBudget(), Antennas: 16})
+//	ctx := context.Background()
 //	orch, _ := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{})
-//	task, _ := orch.EnhanceLink(surfos.LinkGoal{
+//	task, _ := orch.EnhanceLink(ctx, surfos.LinkGoal{
 //	    Endpoint: "laptop", Pos: surfos.V(2.5, 5.5, 1.2)}, 1)
-//	orch.Reconcile()
+//	orch.Reconcile(ctx)
 //	fmt.Println(task.Result.Metric, "dB") // achieved SNR
+//
+// All service and planning entry points take a context.Context; canceling
+// it stops in-flight optimization early and returns the best configuration
+// found so far (see internal/optimize). Channel evaluation is memoized and
+// parallelized by the shared engine (internal/engine).
 package surfos
 
 import (
+	"context"
 	"fmt"
 
 	"surfos/internal/broker"
 	"surfos/internal/deploy"
 	"surfos/internal/driver"
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/geom"
 	"surfos/internal/hwmgr"
 	"surfos/internal/monitor"
@@ -136,6 +144,11 @@ type (
 	TelemetryBus = telemetry.Bus
 	// Report is one endpoint feedback sample.
 	Report = telemetry.Report
+	// Engine is the shared channel-evaluation engine: a memoized ray-trace
+	// cache plus a worker pool for grid-shaped evaluation.
+	Engine = engine.Engine
+	// EngineOptions tunes an Engine.
+	EngineOptions = engine.Options
 )
 
 // Diagnosis verdicts.
@@ -269,12 +282,22 @@ func DeploySpecPitch(hw *Hardware, id string, spec Spec, mount MountSpot, rows, 
 	return d, nil
 }
 
-// PlanDeployment evaluates candidate mounts for a new surface and returns
-// them ranked by achieved coverage — the paper's §5 deployment automation.
-func PlanDeployment(req PlacementRequest) ([]Placement, error) { return deploy.Plan(req) }
+// PlanDeployment evaluates candidate mounts for a new surface in parallel
+// and returns them ranked by achieved coverage — the paper's §5 deployment
+// automation. Canceling ctx aborts unstarted candidates.
+func PlanDeployment(ctx context.Context, req PlacementRequest) ([]Placement, error) {
+	return deploy.Plan(ctx, req)
+}
 
 // NewMonitor creates the monitoring/diagnosis service.
 func NewMonitor() *Monitor { return monitor.New() }
+
+// NewEngine creates a private channel-evaluation engine (most callers
+// should share DefaultEngine instead, maximizing trace-cache reuse).
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// DefaultEngine returns the process-wide shared engine.
+func DefaultEngine() *Engine { return engine.Default() }
 
 // NewTelemetryBus creates an endpoint feedback bus.
 func NewTelemetryBus() *TelemetryBus { return telemetry.NewBus() }

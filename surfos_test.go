@@ -1,6 +1,7 @@
 package surfos_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -37,13 +38,13 @@ func buildSystem(t *testing.T) (*surfos.Apartment, *surfos.Hardware, *surfos.Orc
 func TestPublicAPIQuickstartFlow(t *testing.T) {
 	_, hw, orch := buildSystem(t)
 
-	task, err := orch.EnhanceLink(surfos.LinkGoal{
+	task, err := orch.EnhanceLink(context.Background(), surfos.LinkGoal{
 		Endpoint: "laptop", Pos: surfos.V(2.5, 5.5, 1.2), MinSNRdB: 0,
 	}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := orch.Reconcile(); err != nil {
+	if err := orch.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := orch.Task(task.ID)
@@ -87,7 +88,7 @@ func TestPublicAPIBrokerFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	calls, tasks, err := br.HandleDemand("please stream a movie on the tv")
+	calls, tasks, err := br.HandleDemand(context.Background(), "please stream a movie on the tv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestPublicAPIDeploymentPlanning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands, err := surfos.PlanDeployment(surfos.PlacementRequest{
+	cands, err := surfos.PlanDeployment(context.Background(), surfos.PlacementRequest{
 		Scene:  apt.Scene,
 		AP:     apt.AP,
 		Budget: surfos.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6},
@@ -156,7 +157,7 @@ func TestPublicAPIMonitoring(t *testing.T) {
 	mon := surfos.NewMonitor()
 	mon.Expect(surfos.Expectation{DeviceID: "d", EndpointID: "e", SNRdB: 20})
 	bus := surfos.NewTelemetryBus()
-	stop := mon.Run(bus)
+	stop := mon.Run(context.Background(), bus)
 	now := time.Now()
 	for i := 0; i < 5; i++ {
 		bus.Publish(surfos.Report{DeviceID: "d", EndpointID: "e", SNRdB: 2, Time: now})
@@ -184,7 +185,7 @@ func TestPublicAPIOfficeEnvironment(t *testing.T) {
 	}
 	// Planning for the glass-walled meeting room must pick the in-room
 	// glass mount over the open-area pillar (which cannot see the room).
-	cands, err := surfos.PlanDeployment(surfos.PlacementRequest{
+	cands, err := surfos.PlanDeployment(context.Background(), surfos.PlacementRequest{
 		Scene:  off.Scene,
 		AP:     off.AP,
 		Budget: surfos.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6},
@@ -218,11 +219,11 @@ func TestPublicAPIOfficeEnvironment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	task, err := orch.OptimizeCoverage(surfos.CoverageGoal{Region: surfos.RegionMeetingRoom}, 1)
+	task, err := orch.OptimizeCoverage(context.Background(), surfos.CoverageGoal{Region: surfos.RegionMeetingRoom}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := orch.Reconcile(); err != nil {
+	if err := orch.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := orch.Task(task.ID)
