@@ -1,8 +1,16 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt
+.PHONY: all build test race vet bench fmt ci golden
 
 all: build vet test
+
+# ci is the full merge gate: compile, static checks, the race-detector
+# test run, and the experiment-output golden check (byte-identical paper
+# figures modulo timing strings).
+ci: build vet race golden
+
+golden:
+	./scripts/golden-check.sh
 
 build:
 	$(GO) build ./...

@@ -667,3 +667,58 @@ func BenchmarkEngineTxCacheHit(b *testing.B) {
 	st := fx.parallel.CacheStats()
 	b.ReportMetric(float64(st.TxHits), "hits")
 }
+
+// --- orchestrator scheduler ---
+
+// benchmarkReconcile prices one full scheduler pass (group, pick strategy,
+// optimize, commit) over n link tasks sharing one band. A private engine
+// isolates the trace cache; the warm-up pass fills it, so steady-state
+// iterations measure scheduling + optimization, not ray tracing.
+func benchmarkReconcile(b *testing.B, n int) {
+	apt := surfos.NewApartment()
+	hw := surfos.NewHardware()
+	for i, mount := range []string{surfos.MountEastWall, surfos.MountNorthWall} {
+		if _, err := surfos.Deploy(hw, fmt.Sprintf("s%d", i), surfos.ModelNRSurface, apt.Mounts[mount], 24, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := hw.AddAP(&surfos.AccessPoint{ID: "ap0", Pos: apt.AP, FreqHz: 24e9, Budget: surfos.DefaultBudget(), Antennas: 4}); err != nil {
+		b.Fatal(err)
+	}
+	orch, err := surfos.NewOrchestrator(apt.Scene, hw, surfos.Options{
+		OptIters: 40,
+		Engine:   surfos.NewEngine(surfos.EngineOptions{}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		pos := surfos.V(1.2+float64(i%4)*1.3, 4.6+float64(i/4%4)*0.6, 1.2)
+		if _, err := orch.EnhanceLink(ctx, surfos.LinkGoal{Endpoint: fmt.Sprintf("ep%d", i), Pos: pos}, 1+i%3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := orch.Reconcile(ctx); err != nil {
+		b.Fatal(err)
+	}
+	running := 0
+	for _, t := range orch.Tasks() {
+		if t.State == surfos.TaskStateRunning {
+			running++
+		}
+	}
+	b.ReportMetric(float64(running), "running-tasks")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := orch.Reconcile(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconcile(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) { benchmarkReconcile(b, n) })
+	}
+}

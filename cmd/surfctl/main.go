@@ -1,18 +1,31 @@
-// Command surfctl is a diagnostic client for SurfOS surface controller
-// agents: it speaks the southbound control protocol directly to one
-// device, the way an operator debugs a single surface.
+// Command surfctl is a diagnostic client for SurfOS control-protocol
+// agents. Pointed at a device agent, it speaks the southbound protocol
+// the way an operator debugs a single surface; pointed at a daemon's task
+// control port, it drives the orchestrator's northbound task API.
 //
-// Usage:
+// Device commands:
 //
 //	surfctl -addr HOST:PORT hello
 //	surfctl -addr HOST:PORT spec
 //	surfctl -addr HOST:PORT active
 //	surfctl -addr HOST:PORT select N
 //	surfctl -addr HOST:PORT zero         (program the all-zero mirror config)
+//
+// Task commands (against surfosd's -ctrl port):
+//
+//	surfctl -addr HOST:PORT tasks [--watch]
+//	surfctl -addr HOST:PORT submit -kind link -endpoint laptop -pos 2.5,5.5,1.2
+//	surfctl -addr HOST:PORT end ID | idle ID | resume ID
+//	surfctl -addr HOST:PORT demand "text"
+//
+// Exit codes map the orchestrator's error taxonomy so scripts can branch
+// without parsing text: 0 ok, 1 generic failure, 2 usage, 3 invalid goal,
+// 4 unknown task, 5 cancelled/timed out.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,17 +33,118 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
+	"time"
 
 	"surfos/internal/ctrlproto"
+	"surfos/internal/orchestrator"
 	"surfos/internal/surface"
 )
+
+// Exit codes. Typed errors survive the wire hop (ctrlproto status codes
+// unwrap back to orchestrator sentinels), so these hold whether the
+// failure happened locally or on the daemon.
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitUsage       = 2
+	exitGoalInvalid = 3
+	exitUnknownTask = 4
+	exitCancelled   = 5
+)
+
+// exitCode maps an error to the documented process exit code.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, errUsage):
+		return exitUsage
+	case errors.Is(err, orchestrator.ErrGoalInvalid):
+		return exitGoalInvalid
+	case errors.Is(err, orchestrator.ErrUnknownTask):
+		return exitUnknownTask
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return exitCancelled
+	}
+	return exitFailure
+}
+
+var errUsage = errors.New("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero|tasks [--watch]|submit ...|end ID|idle ID|resume ID|demand TEXT")
+
+// printTask renders one wire task row.
+func printTask(out io.Writer, t ctrlproto.TaskInfo) {
+	fmt.Fprintf(out, "task %d kind=%s prio=%d state=%s", t.ID, t.Kind, t.Priority, t.State)
+	if t.HasResult {
+		fmt.Fprintf(out, " %s=%.2f share=%.2f strategy=%s surfaces=%v",
+			t.MetricName, t.Metric, t.Share, t.Strategy, t.Surfaces)
+	}
+	if t.Err != "" {
+		fmt.Fprintf(out, " err=%q", t.Err)
+	}
+	fmt.Fprintln(out)
+}
+
+// parseVec parses "x,y,z" into a wire position.
+func parseVec(s string) ([3]float64, error) {
+	var v [3]float64
+	if s == "" {
+		return v, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return v, fmt.Errorf("surfctl: position %q: want x,y,z", s)
+	}
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return v, fmt.Errorf("surfctl: position %q: %w", s, err)
+		}
+		v[i] = f
+	}
+	return v, nil
+}
+
+// submitMsg parses the submit subcommand's flags into a wire goal.
+func submitMsg(args []string) (ctrlproto.SubmitMsg, error) {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	kind := fs.String("kind", "link", "service kind (registry name)")
+	endpoint := fs.String("endpoint", "", "endpoint/device name")
+	region := fs.String("region", "", "target region")
+	typ := fs.String("type", "", "sensing type")
+	pos := fs.String("pos", "", "position x,y,z")
+	pos2 := fs.String("pos2", "", "second position x,y,z (security eavesdropper)")
+	minSNR := fs.Float64("min-snr", 0, "minimum SNR dB (link)")
+	median := fs.Float64("median-snr", 0, "median SNR dB (coverage)")
+	freq := fs.Float64("freq", 0, "carrier frequency Hz (0 = AP default)")
+	grid := fs.Float64("grid", 0, "grid step m (0 = orchestrator default)")
+	dur := fs.Duration("dur", 0, "duration (sensing/powering)")
+	prio := fs.Int("prio", 1, "priority")
+	if err := fs.Parse(args); err != nil {
+		return ctrlproto.SubmitMsg{}, fmt.Errorf("%w: %v", errUsage, err)
+	}
+	m := ctrlproto.SubmitMsg{
+		Kind: *kind, Endpoint: *endpoint, Region: *region, Type: *typ,
+		MinSNRdB: *minSNR, MediandB: *median, FreqHz: *freq, GridStep: *grid,
+		DurNanos: uint64(*dur), Priority: uint32(*prio),
+	}
+	var err error
+	if m.Pos, err = parseVec(*pos); err != nil {
+		return m, err
+	}
+	if m.Pos2, err = parseVec(*pos2); err != nil {
+		return m, err
+	}
+	return m, nil
+}
 
 // run executes one surfctl command against the agent at addr, writing
 // human-readable output to out. ctx bounds every protocol round trip
 // (^C during a hung agent aborts cleanly).
 func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero")
+		return errUsage
 	}
 	c, err := ctrlproto.Dial(addr)
 	if err != nil {
@@ -72,7 +186,7 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 
 	case "select":
 		if len(args) < 2 {
-			return fmt.Errorf("surfctl: select needs an index")
+			return fmt.Errorf("%w (select needs an index)", errUsage)
 		}
 		n, err := strconv.Atoi(args[1])
 		if err != nil {
@@ -95,16 +209,117 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "ok")
 		return nil
+
+	case "tasks":
+		watch := len(args) > 1 && (args[1] == "--watch" || args[1] == "-watch")
+		tasks, err := c.ListTasks(ctx)
+		if err != nil {
+			return err
+		}
+		if len(tasks) == 0 {
+			fmt.Fprintln(out, "no tasks")
+		}
+		for _, t := range tasks {
+			printTask(out, t)
+		}
+		if !watch {
+			return nil
+		}
+		return watchTasks(ctx, c, out)
+
+	case "submit":
+		m, err := submitMsg(args[1:])
+		if err != nil {
+			return err
+		}
+		t, err := c.SubmitTask(ctx, m)
+		if err != nil {
+			return err
+		}
+		printTask(out, t)
+		return nil
+
+	case "end", "idle", "resume":
+		if len(args) < 2 {
+			return fmt.Errorf("%w (%s needs a task id)", errUsage, args[0])
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("%w (%s needs a numeric task id)", errUsage, args[0])
+		}
+		switch args[0] {
+		case "end":
+			err = c.EndTask(ctx, id)
+		case "idle":
+			err = c.SetTaskIdle(ctx, id, true)
+		case "resume":
+			err = c.SetTaskIdle(ctx, id, false)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
+
+	case "demand":
+		if len(args) < 2 {
+			return fmt.Errorf("%w (demand needs an utterance)", errUsage)
+		}
+		r, err := c.Demand(ctx, strings.Join(args[1:], " "))
+		if err != nil {
+			return err
+		}
+		for _, call := range r.Calls {
+			fmt.Fprintf(out, "call: %s\n", call)
+		}
+		for _, t := range r.Tasks {
+			printTask(out, t)
+		}
+		return nil
 	}
-	return fmt.Errorf("surfctl: unknown command %q", args[0])
+	return fmt.Errorf("%w (unknown command %q)", errUsage, args[0])
+}
+
+// watchTasks streams lifecycle events until ctx is cancelled (^C is the
+// operator's clean stop, so it exits 0).
+func watchTasks(ctx context.Context, c *ctrlproto.Client, out io.Writer) error {
+	if err := c.WatchTasks(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "watching task events (^C to stop)")
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case ev, ok := <-c.TaskEvents:
+			if !ok {
+				return nil
+			}
+			fmt.Fprintf(out, "%s task %d %s %s", time.Unix(0, ev.UnixNanos).Format(time.TimeOnly), ev.TaskID, ev.Kind, ev.State)
+			if ev.Endpoint != "" {
+				fmt.Fprintf(out, " endpoint=%s", ev.Endpoint)
+			}
+			if ev.Strategy != "" {
+				fmt.Fprintf(out, " strategy=%s surfaces=%v share=%.2f", ev.Strategy, ev.Surfaces, ev.Share)
+			}
+			if ev.MetricName != "" {
+				fmt.Fprintf(out, " %s=%.2f", ev.MetricName, ev.Metric)
+			}
+			if ev.Err != "" {
+				fmt.Fprintf(out, " err=%q", ev.Err)
+			}
+			fmt.Fprintln(out)
+		}
+	}
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7100", "surface agent address")
+	addr := flag.String("addr", "127.0.0.1:7100", "agent address (device or surfosd -ctrl port)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := run(ctx, *addr, flag.Args(), os.Stdout); err != nil {
-		log.Fatalf("surfctl: %v", err)
+		log.Printf("surfctl: %v", err)
+		os.Exit(exitCode(err))
 	}
 }

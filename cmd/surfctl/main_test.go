@@ -2,14 +2,22 @@ package main
 
 import (
 	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"surfos/internal/ctrlproto"
 	"surfos/internal/driver"
 	"surfos/internal/em"
 	"surfos/internal/geom"
+	"surfos/internal/hwmgr"
+	"surfos/internal/orchestrator"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
 	"surfos/internal/surface"
+	"surfos/internal/telemetry"
 )
 
 // startAgent serves a real agent for the CLI to talk to.
@@ -102,4 +110,187 @@ func TestCLICommands(t *testing.T) {
 	if err := run(context.Background(), "127.0.0.1:1", []string{"hello"}, &out); err == nil {
 		t.Error("dead agent address accepted")
 	}
+}
+
+// startCtrlAgent serves an orchestrator-backed control agent for the task
+// commands.
+func startCtrlAgent(t *testing.T) string {
+	t.Helper()
+	apt := scene.NewApartment()
+	hw := hwmgr.New()
+	spec, err := driver.Lookup(driver.ModelNRSurface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pitch := em.Wavelength(spec.FreqLowHz+(spec.FreqHighHz-spec.FreqLowHz)/2) / 2
+	m := apt.Mounts[scene.MountEastWall]
+	panel := m.Panel(24*pitch+0.02, 24*pitch+0.02)
+	s, err := surface.New("s0", panel, surface.Layout{Rows: 24, Cols: 24, PitchU: pitch, PitchV: pitch}, spec.OpMode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := driver.New(spec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.AddSurface("s0", scene.MountEastWall, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.AddAP(&hwmgr.AccessPoint{ID: "ap0", Pos: apt.AP, FreqHz: 24e9, Budget: rfsim.DefaultBudget(), Antennas: 4}); err != nil {
+		t.Fatal(err)
+	}
+	orch, err := orchestrator.New(apt.Scene, hw, orchestrator.Options{
+		OptIters: 30, GridStep: 1.2, SensingGridStep: 2.0, SensingBins: 15, SensingSubcarriers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := telemetry.NewEventBus()
+	orch.SetEventBus(events)
+	a, err := ctrlproto.NewCtrlAgent(orch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Events = events
+	a.Reconcile = orch.Reconcile
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return addr.String()
+}
+
+func TestCLITaskCommandsAndExitCodes(t *testing.T) {
+	addr := startCtrlAgent(t)
+	ctx := context.Background()
+
+	var out strings.Builder
+	if err := run(ctx, addr, []string{"tasks"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no tasks") {
+		t.Errorf("tasks on empty table: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(ctx, addr, []string{"submit", "-kind", "link", "-endpoint", "laptop", "-pos", "2.5,5.5,1.2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "state=running") || !strings.Contains(out.String(), "snr_db=") {
+		t.Errorf("submit output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(ctx, addr, []string{"idle", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, addr, []string{"resume", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, addr, []string{"end", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance criterion: a sentinel raised inside the orchestrator
+	// survives the wire hop into the CLI as the same errors.Is identity,
+	// and each failure class maps to its own exit code.
+	err := run(ctx, addr, []string{"end", "999"}, &out)
+	if !errors.Is(err, orchestrator.ErrUnknownTask) {
+		t.Errorf("end 999 err = %v, want errors.Is ErrUnknownTask", err)
+	}
+	if code := exitCode(err); code != exitUnknownTask {
+		t.Errorf("end 999 exit code = %d, want %d", code, exitUnknownTask)
+	}
+
+	err = run(ctx, addr, []string{"submit", "-kind", "link"}, &out) // no endpoint
+	if !errors.Is(err, orchestrator.ErrGoalInvalid) {
+		t.Errorf("bad submit err = %v, want errors.Is ErrGoalInvalid", err)
+	}
+	if code := exitCode(err); code != exitGoalInvalid {
+		t.Errorf("bad submit exit code = %d, want %d", code, exitGoalInvalid)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	err = run(cancelled, addr, []string{"tasks"}, &out)
+	if code := exitCode(err); code != exitCancelled {
+		t.Errorf("cancelled exit code = %d (err %v), want %d", code, err, exitCancelled)
+	}
+
+	// Usage errors: their own code, distinct from all of the above.
+	if code := exitCode(run(ctx, addr, []string{"end", "x"}, &out)); code != exitUsage {
+		t.Errorf("non-numeric id exit code = %d, want %d", code, exitUsage)
+	}
+	if code := exitCode(run(ctx, addr, nil, &out)); code != exitUsage {
+		t.Errorf("no-command exit code = %d, want %d", code, exitUsage)
+	}
+	if code := exitCode(nil); code != exitOK {
+		t.Errorf("nil error exit code = %d", code)
+	}
+	if code := exitCode(run(ctx, "127.0.0.1:1", []string{"tasks"}, &out)); code != exitFailure {
+		t.Error("dead address should map to the generic failure code")
+	}
+}
+
+func TestCLIWatchStreamsAndStops(t *testing.T) {
+	addr := startCtrlAgent(t)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var mu sync.Mutex
+	var out strings.Builder
+	sync1 := make(chan error, 1)
+	go func() {
+		sync1 <- run(ctx, addr, []string{"tasks", "--watch"}, syncWriter{mu: &mu, w: &out})
+	}()
+
+	// Wait for the watch subscription to be live before driving events.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		s := out.String()
+		mu.Unlock()
+		if strings.Contains(s, "watching task events") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch never started: %q", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Drive a lifecycle through a second connection while watching.
+	var other strings.Builder
+	if err := run(context.Background(), addr, []string{"submit", "-kind", "link", "-endpoint", "laptop", "-pos", "2.5,5.5,1.2"}, &other); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		mu.Lock()
+		s := out.String()
+		mu.Unlock()
+		if strings.Contains(s, "submitted") && strings.Contains(s, "running") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch output missing lifecycle: %q", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-sync1; err != nil {
+		t.Errorf("watch exit err = %v, want nil on cancel", err)
+	}
+}
+
+// syncWriter serializes concurrent writes from the watch goroutine against
+// the test's readers.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }

@@ -55,6 +55,11 @@ type daemon struct {
 	mon     *surfos.Monitor
 	bus     *surfos.TelemetryBus
 	monStop func()
+	// task lifecycle events: the orchestrator publishes, the monitor and
+	// northbound watchers consume
+	events    *surfos.TaskEventBus
+	eventStop func()
+	ctrl      *ctrlproto.CtrlAgent
 }
 
 func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
@@ -65,8 +70,12 @@ func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 		clients: map[string]*ctrlproto.Client{},
 		mon:     surfos.NewMonitor(),
 		bus:     surfos.NewTelemetryBus(),
+		events:  surfos.NewTaskEventBus(),
 	}
 	d.monStop = d.mon.Run(ctx, d.bus)
+	// Link-task predictions become monitoring expectations the moment the
+	// scheduler marks the task running — no per-command wiring needed.
+	d.eventStop = d.mon.RunTaskEvents(ctx, d.events)
 	for i, item := range strings.Split(surfaceList, ",") {
 		item = strings.TrimSpace(item)
 		if item == "" {
@@ -115,6 +124,7 @@ func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	orch.SetEventBus(d.events)
 	d.orch = orch
 
 	tr := surfos.NewTranslator()
@@ -138,10 +148,28 @@ func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 		return nil, err
 	}
 	d.broker = br
+
+	// Northbound binary control plane: the task API surfctl speaks.
+	ctrl, err := ctrlproto.NewCtrlAgent(orch)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.Broker = br
+	ctrl.Events = d.events
+	ctrl.Reconcile = orch.Reconcile
+	ctrl.Ctx = ctx
+	ctrl.Logf = log.Printf
+	d.ctrl = ctrl
 	return d, nil
 }
 
 func (d *daemon) close() {
+	if d.ctrl != nil {
+		d.ctrl.Close()
+	}
+	if d.eventStop != nil {
+		d.eventStop()
+	}
 	if d.monStop != nil {
 		d.monStop()
 	}
@@ -223,20 +251,14 @@ func (d *daemon) handle(line string) (string, bool) {
 		if err := d.orch.Reconcile(d.ctx); err != nil {
 			fmt.Fprintf(&b, "reconcile warning: %v\n", err)
 		}
+		// Link predictions become monitoring expectations via the task
+		// lifecycle bus (see RunTaskEvents in newDaemon) — no manual
+		// Expect calls here.
 		for _, t := range tasks {
 			got, _ := d.orch.Task(t.ID)
 			if got.Result != nil {
 				fmt.Fprintf(&b, "task %d %s: %s, %s=%.2f (share %.2f)\n",
 					got.ID, got.Kind, got.State, got.Result.MetricName, got.Result.Metric, got.Result.Share)
-				// Feed the monitor: link predictions become expectations the
-				// telemetry stream is checked against.
-				if lg, ok := got.Goal.(surfos.LinkGoal); ok && len(got.Result.Surfaces) > 0 {
-					d.mon.Expect(surfos.Expectation{
-						DeviceID:   got.Result.Surfaces[0],
-						EndpointID: lg.Endpoint,
-						SNRdB:      got.Result.Metric,
-					})
-				}
 			} else {
 				fmt.Fprintf(&b, "task %d %s: %s\n", got.ID, got.Kind, got.State)
 			}
@@ -358,6 +380,7 @@ func (d *daemon) serveConn(conn net.Conn) {
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7090", "northbound listen address")
+	ctrlAddr := flag.String("ctrl", "127.0.0.1:7091", "binary task-control listen address (surfctl; empty disables)")
 	surfaceList := flag.String("surfaces",
 		"NR-Surface@east_wall,NR-Surface@north_wall",
 		"comma-separated MODEL@MOUNT deployments")
@@ -371,6 +394,14 @@ func main() {
 		log.Fatalf("surfosd: %v", err)
 	}
 	defer d.close()
+
+	if *ctrlAddr != "" {
+		addr, err := d.ctrl.Listen(*ctrlAddr)
+		if err != nil {
+			log.Fatalf("surfosd: ctrl: %v", err)
+		}
+		log.Printf("task control listening on %s", addr)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -22,6 +22,8 @@ func Example() {
 	task, _ := orch.EnhanceLink(context.Background(), surfos.LinkGoal{
 		Endpoint: "laptop", Pos: surfos.V(2.5, 5.5, 1.2), MinSNRdB: 10}, 1)
 	orch.Reconcile(context.Background())
+	// Accessors return snapshots; re-fetch to observe post-Reconcile state.
+	task, _ = orch.Task(task.ID)
 	fmt.Println(task.Result.MetricName, task.Result.Strategy)
 	// Output: snr_db solo
 }

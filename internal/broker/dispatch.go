@@ -134,16 +134,16 @@ func (b *Broker) Dispatch(ctx context.Context, c Call) (*orchestrator.Task, erro
 		goal := orchestrator.SecurityGoal{Endpoint: name, UserPos: pos, EvePos: b.Inv.EvePos}
 		return b.O.SecureLink(ctx, goal, 1)
 	}
-	return nil, fmt.Errorf("broker: unknown service function %q", c.Function)
+	return nil, fmt.Errorf("%w %q", ErrUnknownFunction, c.Function)
 }
 
 func (b *Broker) devicePos(name string) (geom.Vec3, error) {
 	if name == "" {
-		return geom.Vec3{}, fmt.Errorf("broker: call missing a device name")
+		return geom.Vec3{}, fmt.Errorf("%w: missing a device name", ErrBadCall)
 	}
 	pos, ok := b.Inv.Devices[name]
 	if !ok {
-		return geom.Vec3{}, fmt.Errorf("broker: unknown device %q", name)
+		return geom.Vec3{}, fmt.Errorf("%w %q", ErrUnknownDevice, name)
 	}
 	return pos, nil
 }
@@ -151,7 +151,7 @@ func (b *Broker) devicePos(name string) (geom.Vec3, error) {
 func (b *Broker) region(room any) (string, error) {
 	name, _ := room.(string)
 	if name == "" {
-		return "", fmt.Errorf("broker: call missing a room")
+		return "", fmt.Errorf("%w: missing a room", ErrBadCall)
 	}
 	if r, ok := b.Inv.RoomRegions[name]; ok {
 		return r, nil

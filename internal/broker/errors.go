@@ -1,0 +1,17 @@
+package broker
+
+import "errors"
+
+// Sentinel errors for the service broker, wrapped with detail at call
+// sites so callers categorize failures with errors.Is.
+var (
+	// ErrNoProfileMatch reports a demand utterance no profile understood.
+	ErrNoProfileMatch = errors.New("broker: no demand profile matches")
+	// ErrUnknownFunction reports a call naming no registered service
+	// function.
+	ErrUnknownFunction = errors.New("broker: unknown service function")
+	// ErrUnknownDevice reports a call referencing an unregistered device.
+	ErrUnknownDevice = errors.New("broker: unknown device")
+	// ErrBadCall reports a call missing a required argument.
+	ErrBadCall = errors.New("broker: malformed call")
+)

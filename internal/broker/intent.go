@@ -94,7 +94,7 @@ func (t *Translator) Translate(utterance string) ([]Call, error) {
 		calls = append(calls, p.Build(ctx)...)
 	}
 	if len(calls) == 0 {
-		return nil, fmt.Errorf("broker: no demand profile matches %q", utterance)
+		return nil, fmt.Errorf("%w: %q", ErrNoProfileMatch, utterance)
 	}
 	return dedupe(calls), nil
 }

@@ -174,9 +174,7 @@ func (a *Agent) PushFeedback(m FeedbackMsg) error {
 
 // handle dispatches one request frame and builds the reply.
 func (a *Agent) handle(f Frame) Frame {
-	fail := func(err error) Frame {
-		return Frame{Type: MsgError, Corr: f.Corr, Payload: ErrorMsg{Text: err.Error()}.Encode()}
-	}
+	fail := func(err error) Frame { return errorFrame(f.Corr, err) }
 	ack := Frame{Type: MsgAck, Corr: f.Corr}
 
 	switch f.Type {

@@ -26,6 +26,9 @@ type Client struct {
 	// Feedback receives unsolicited agent pushes (correlation 0). Buffered;
 	// overflow drops.
 	Feedback chan FeedbackMsg
+	// TaskEvents receives task lifecycle pushes after WatchTasks.
+	// Buffered; overflow drops.
+	TaskEvents chan TaskEventMsg
 	// Timeout bounds each request round trip (default 5s).
 	Timeout time.Duration
 }
@@ -42,11 +45,12 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection (e.g. one side of net.Pipe).
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
-		conn:     conn,
-		nextID:   1,
-		pending:  make(map[uint32]chan Frame),
-		Feedback: make(chan FeedbackMsg, 64),
-		Timeout:  5 * time.Second,
+		conn:       conn,
+		nextID:     1,
+		pending:    make(map[uint32]chan Frame),
+		Feedback:   make(chan FeedbackMsg, 64),
+		TaskEvents: make(chan TaskEventMsg, 64),
+		Timeout:    5 * time.Second,
 	}
 	go c.readLoop()
 	return c
@@ -84,6 +88,15 @@ func (c *Client) readLoop() {
 				select {
 				case c.Feedback <- m:
 				default: // drop stale feedback
+				}
+			}
+			continue
+		}
+		if f.Corr == 0 && f.Type == MsgTaskEvent {
+			if m, err := DecodeTaskEventMsg(f.Payload); err == nil {
+				select {
+				case c.TaskEvents <- m:
+				default: // drop: the task table remains authoritative
 				}
 			}
 			continue
@@ -167,7 +180,10 @@ func (c *Client) roundTrip(ctx context.Context, t MsgType, payload []byte) (Fram
 			if err != nil {
 				return Frame{}, err
 			}
-			return Frame{}, fmt.Errorf("ctrlproto: agent error: %s", m.Text)
+			// Reconstruct the typed error: WireError unwraps to the
+			// sentinel for the status code, so errors.Is works as if the
+			// call had been local.
+			return Frame{}, &WireError{Status: m.Code, Text: m.Text}
 		}
 		return f, nil
 	case <-ctx.Done():
@@ -248,4 +264,64 @@ func (c *Client) Active(ctx context.Context) (ActiveReply, error) {
 		return ActiveReply{}, fmt.Errorf("ctrlproto: unexpected %v to active-query", f.Type)
 	}
 	return DecodeActiveReply(f.Payload)
+}
+
+// --- task-control requests (served by CtrlAgent) ---
+
+// ListTasks fetches the orchestrator's task table.
+func (c *Client) ListTasks(ctx context.Context) ([]TaskInfo, error) {
+	f, err := c.roundTrip(ctx, MsgListTasks, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgTasksReply {
+		return nil, fmt.Errorf("ctrlproto: unexpected %v to list-tasks", f.Type)
+	}
+	m, err := DecodeTasksReply(f.Payload)
+	return m.Tasks, err
+}
+
+// EndTask terminates a task by ID.
+func (c *Client) EndTask(ctx context.Context, id int) error {
+	_, err := c.roundTrip(ctx, MsgEndTask, TaskIDMsg{ID: uint32(id)}.Encode())
+	return err
+}
+
+// SetTaskIdle parks (idle=true) or resumes (idle=false) a task.
+func (c *Client) SetTaskIdle(ctx context.Context, id int, idle bool) error {
+	_, err := c.roundTrip(ctx, MsgSetIdle, TaskIDMsg{ID: uint32(id), Idle: idle}.Encode())
+	return err
+}
+
+// SubmitTask files a service goal and returns the scheduled task.
+func (c *Client) SubmitTask(ctx context.Context, m SubmitMsg) (TaskInfo, error) {
+	f, err := c.roundTrip(ctx, MsgSubmitTask, m.Encode())
+	if err != nil {
+		return TaskInfo{}, err
+	}
+	if f.Type != MsgTaskReply {
+		return TaskInfo{}, fmt.Errorf("ctrlproto: unexpected %v to submit-task", f.Type)
+	}
+	r, err := DecodeTaskReply(f.Payload)
+	return r.Task, err
+}
+
+// WatchTasks subscribes this connection to the task lifecycle stream;
+// events arrive on c.TaskEvents.
+func (c *Client) WatchTasks(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, MsgWatchTasks, nil)
+	return err
+}
+
+// Demand dispatches a natural-language demand through the control plane's
+// broker.
+func (c *Client) Demand(ctx context.Context, utterance string) (DemandReply, error) {
+	f, err := c.roundTrip(ctx, MsgDemand, DemandMsg{Utterance: utterance}.Encode())
+	if err != nil {
+		return DemandReply{}, err
+	}
+	if f.Type != MsgDemandReply {
+		return DemandReply{}, fmt.Errorf("ctrlproto: unexpected %v to demand", f.Type)
+	}
+	return DecodeDemandReply(f.Payload)
 }

@@ -62,6 +62,11 @@ func (t MsgType) String() string {
 		MsgStoreCodebook: "store-codebook", MsgSelect: "select",
 		MsgActiveQuery: "active-query", MsgActiveReply: "active-reply",
 		MsgAck: "ack", MsgError: "error", MsgFeedback: "feedback",
+		MsgListTasks: "list-tasks", MsgTasksReply: "tasks-reply",
+		MsgEndTask: "end-task", MsgSetIdle: "set-idle",
+		MsgSubmitTask: "submit-task", MsgTaskReply: "task-reply",
+		MsgWatchTasks: "watch-tasks", MsgTaskEvent: "task-event",
+		MsgDemand: "demand", MsgDemandReply: "demand-reply",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -151,6 +156,24 @@ func (e *encoder) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) strs(v []string) {
+	if len(v) > math.MaxUint16 {
+		v = v[:math.MaxUint16]
+	}
+	e.u16(uint16(len(v)))
+	for _, s := range v {
+		e.str(s)
+	}
+}
+
 func (e *encoder) floats(v []float64) {
 	e.u32(uint32(len(v)))
 	for _, x := range v {
@@ -221,6 +244,17 @@ func (d *decoder) str() string {
 	s := string(d.buf[d.off : d.off+n])
 	d.off += n
 	return s
+}
+
+func (d *decoder) bool() bool { return d.u8() == 1 }
+
+func (d *decoder) strs() []string {
+	n := int(d.u16())
+	var out []string
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.str())
+	}
+	return out
 }
 
 func (d *decoder) floats() []float64 {
@@ -441,12 +475,18 @@ func DecodeActiveReply(b []byte) (ActiveReply, error) {
 	return m, d.finish()
 }
 
-// ErrorMsg reports a failed request.
-type ErrorMsg struct{ Text string }
+// ErrorMsg reports a failed request. Code carries the typed error
+// category (see status.go) so clients can reconstruct sentinel errors
+// across the wire; Text preserves the remote error detail.
+type ErrorMsg struct {
+	Code Status
+	Text string
+}
 
 // Encode serializes the message.
 func (m ErrorMsg) Encode() []byte {
 	var e encoder
+	e.u16(uint16(m.Code))
 	e.str(m.Text)
 	return e.buf
 }
@@ -454,7 +494,7 @@ func (m ErrorMsg) Encode() []byte {
 // DecodeErrorMsg parses an ErrorMsg payload.
 func DecodeErrorMsg(b []byte) (ErrorMsg, error) {
 	d := decoder{buf: b}
-	m := ErrorMsg{Text: d.str()}
+	m := ErrorMsg{Code: Status(d.u16()), Text: d.str()}
 	return m, d.finish()
 }
 

@@ -1,0 +1,353 @@
+package ctrlproto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"surfos/internal/broker"
+	"surfos/internal/geom"
+	"surfos/internal/orchestrator"
+	"surfos/internal/telemetry"
+)
+
+// CtrlAgent is the control-plane (northbound) endpoint of the protocol: it
+// exposes the orchestrator's task API — list, submit, end, idle, demand —
+// and streams task lifecycle events to watchers, over the same frame
+// format the device agents speak. Where the device Agent fronts one
+// driver, the CtrlAgent fronts the whole task table.
+type CtrlAgent struct {
+	// Orch is the served orchestrator (required).
+	Orch *orchestrator.Orchestrator
+	// Broker enables MsgDemand dispatch when set.
+	Broker *broker.Broker
+	// Events enables MsgWatchTasks streaming when set.
+	Events *telemetry.EventBus
+	// Reconcile, when set, runs after every mutating request (submit,
+	// end, idle) so replies reflect post-scheduling task state. Errors
+	// are logged, not fatal: the mutation itself already succeeded.
+	Reconcile func(ctx context.Context) error
+	// Ctx bounds request handling (nil = background).
+	Ctx context.Context
+	// Logf receives diagnostic messages; nil silences them.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]*connState
+	closed   bool
+}
+
+// connState tracks one controller connection's write lock and event
+// watch subscription.
+type connState struct {
+	w       sync.Mutex
+	unwatch func()
+}
+
+// NewCtrlAgent wraps an orchestrator for serving.
+func NewCtrlAgent(orch *orchestrator.Orchestrator) (*CtrlAgent, error) {
+	if orch == nil {
+		return nil, errors.New("ctrlproto: ctrl agent needs an orchestrator")
+	}
+	return &CtrlAgent{Orch: orch, conns: make(map[net.Conn]*connState)}, nil
+}
+
+func (a *CtrlAgent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+func (a *CtrlAgent) ctx() context.Context {
+	if a.Ctx != nil {
+		return a.Ctx
+	}
+	return context.Background()
+}
+
+// Listen starts serving on addr and returns the bound address.
+func (a *CtrlAgent) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("ctrlproto: ctrl agent closed")
+	}
+	a.listener = ln
+	a.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go a.ServeConn(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the agent and drops all connections.
+func (a *CtrlAgent) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	if a.listener != nil {
+		a.listener.Close()
+	}
+	for c, st := range a.conns {
+		if st.unwatch != nil {
+			st.unwatch()
+		}
+		c.Close()
+	}
+	return nil
+}
+
+// ServeConn handles one established connection until it fails or the peer
+// disconnects; useful for tests over net.Pipe.
+func (a *CtrlAgent) ServeConn(conn net.Conn) {
+	st := &connState{}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		conn.Close()
+		return
+	}
+	a.conns[conn] = st
+	a.mu.Unlock()
+	defer func() {
+		conn.Close()
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+		st.w.Lock() // wait for any in-flight event write
+		if st.unwatch != nil {
+			st.unwatch()
+		}
+		st.w.Unlock()
+	}()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				a.logf("ctrl agent: read: %v", err)
+			}
+			return
+		}
+		reply := a.handle(conn, st, f)
+		st.w.Lock()
+		err = WriteFrame(conn, reply)
+		st.w.Unlock()
+		if err != nil {
+			a.logf("ctrl agent: write: %v", err)
+			return
+		}
+	}
+}
+
+// reconcile runs the post-mutation hook.
+func (a *CtrlAgent) reconcile() {
+	if a.Reconcile == nil {
+		return
+	}
+	if err := a.Reconcile(a.ctx()); err != nil {
+		a.logf("ctrl agent: reconcile: %v", err)
+	}
+}
+
+// taskInfo converts an orchestrator task snapshot to its wire view.
+func taskInfo(t *orchestrator.Task) TaskInfo {
+	m := TaskInfo{
+		ID:       uint32(t.ID),
+		Kind:     t.Kind.String(),
+		State:    t.State.String(),
+		Priority: uint32(t.Priority),
+		FreqHz:   t.FreqHz,
+	}
+	if r := t.Result; r != nil {
+		m.HasResult = true
+		m.Metric = r.Metric
+		m.MetricName = r.MetricName
+		m.Share = r.Share
+		m.Satisfied = r.Satisfied
+		m.Strategy = r.Strategy
+		m.Surfaces = append([]string(nil), r.Surfaces...)
+	}
+	if t.Err != nil {
+		m.Err = t.Err.Error()
+	}
+	return m
+}
+
+// handle dispatches one request frame and builds the reply.
+func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
+	fail := func(err error) Frame { return errorFrame(f.Corr, err) }
+	ack := Frame{Type: MsgAck, Corr: f.Corr}
+
+	switch f.Type {
+	case MsgListTasks:
+		var reply TasksReply
+		for _, t := range a.Orch.Tasks() {
+			reply.Tasks = append(reply.Tasks, taskInfo(t))
+		}
+		return Frame{Type: MsgTasksReply, Corr: f.Corr, Payload: reply.Encode()}
+
+	case MsgEndTask:
+		m, err := DecodeTaskIDMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.Orch.EndTask(int(m.ID)); err != nil {
+			return fail(err)
+		}
+		a.reconcile()
+		return ack
+
+	case MsgSetIdle:
+		m, err := DecodeTaskIDMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.Orch.SetIdle(int(m.ID), m.Idle); err != nil {
+			return fail(err)
+		}
+		a.reconcile()
+		return ack
+
+	case MsgSubmitTask:
+		m, err := DecodeSubmitMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		kind, goal, err := m.goal()
+		if err != nil {
+			return fail(err)
+		}
+		t, err := a.Orch.Submit(a.ctx(), kind, goal, int(m.Priority))
+		if err != nil {
+			return fail(err)
+		}
+		a.reconcile()
+		if cur, err := a.Orch.Task(t.ID); err == nil {
+			t = cur // reflect post-scheduling state
+		}
+		return Frame{Type: MsgTaskReply, Corr: f.Corr, Payload: TaskReply{Task: taskInfo(t)}.Encode()}
+
+	case MsgWatchTasks:
+		if a.Events == nil {
+			return fail(errors.New("ctrlproto: no event bus attached"))
+		}
+		st.w.Lock()
+		already := st.unwatch != nil
+		if !already {
+			ch, cancel := a.Events.Subscribe(256)
+			st.unwatch = cancel
+			go a.streamEvents(conn, st, ch)
+		}
+		st.w.Unlock()
+		return ack
+
+	case MsgDemand:
+		if a.Broker == nil {
+			return fail(errors.New("ctrlproto: no broker attached"))
+		}
+		m, err := DecodeDemandMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		calls, tasks, err := a.Broker.HandleDemand(a.ctx(), m.Utterance)
+		if err != nil {
+			return fail(err)
+		}
+		a.reconcile()
+		var reply DemandReply
+		for _, c := range calls {
+			reply.Calls = append(reply.Calls, c.String())
+		}
+		for _, t := range tasks {
+			if cur, err := a.Orch.Task(t.ID); err == nil {
+				t = cur
+			}
+			reply.Tasks = append(reply.Tasks, taskInfo(t))
+		}
+		return Frame{Type: MsgDemandReply, Corr: f.Corr, Payload: reply.Encode()}
+
+	default:
+		return fail(fmt.Errorf("ctrlproto: ctrl agent cannot handle %v", f.Type))
+	}
+}
+
+// streamEvents forwards bus events to one watcher as correlation-0 pushes
+// until the subscription is cancelled (connection teardown).
+func (a *CtrlAgent) streamEvents(conn net.Conn, st *connState, ch <-chan telemetry.TaskEvent) {
+	for ev := range ch {
+		m := TaskEventMsg{
+			UnixNanos:  ev.Time.UnixNano(),
+			TaskID:     uint32(ev.TaskID),
+			Kind:       ev.Kind,
+			State:      ev.State,
+			FreqHz:     ev.FreqHz,
+			Endpoint:   ev.Endpoint,
+			Strategy:   ev.Strategy,
+			Surfaces:   ev.Surfaces,
+			Share:      ev.Share,
+			Metric:     ev.Metric,
+			MetricName: ev.MetricName,
+			Err:        ev.Err,
+		}
+		st.w.Lock()
+		err := WriteFrame(conn, Frame{Type: MsgTaskEvent, Corr: 0, Payload: m.Encode()})
+		st.w.Unlock()
+		if err != nil {
+			return // reader side tears the connection down
+		}
+	}
+}
+
+// goal reconstructs the service goal from the wire union.
+func (m SubmitMsg) goal() (orchestrator.ServiceKind, any, error) {
+	kind, err := orchestrator.KindByName(m.Kind)
+	if err != nil {
+		return 0, nil, err
+	}
+	pos := geom.V(m.Pos[0], m.Pos[1], m.Pos[2])
+	pos2 := geom.V(m.Pos2[0], m.Pos2[1], m.Pos2[2])
+	switch kind {
+	case orchestrator.ServiceLink:
+		return kind, orchestrator.LinkGoal{
+			Endpoint: m.Endpoint, Pos: pos, MinSNRdB: m.MinSNRdB, FreqHz: m.FreqHz,
+		}, nil
+	case orchestrator.ServiceCoverage:
+		return kind, orchestrator.CoverageGoal{
+			Region: m.Region, MedianSNRdB: m.MediandB, FreqHz: m.FreqHz, GridStep: m.GridStep,
+		}, nil
+	case orchestrator.ServiceSensing:
+		return kind, orchestrator.SensingGoal{
+			Region: m.Region, Type: m.Type, Duration: time.Duration(m.DurNanos),
+			FreqHz: m.FreqHz, GridStep: m.GridStep,
+		}, nil
+	case orchestrator.ServicePowering:
+		return kind, orchestrator.PowerGoal{
+			Device: m.Endpoint, Pos: pos, Duration: time.Duration(m.DurNanos), FreqHz: m.FreqHz,
+		}, nil
+	case orchestrator.ServiceSecurity:
+		return kind, orchestrator.SecurityGoal{
+			Endpoint: m.Endpoint, UserPos: pos, EvePos: pos2, FreqHz: m.FreqHz,
+		}, nil
+	}
+	// A registered extension service has no wire goal mapping yet.
+	return 0, nil, fmt.Errorf("%w: no wire goal for %q", orchestrator.ErrUnknownService, m.Kind)
+}

@@ -1,0 +1,119 @@
+package ctrlproto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"surfos/internal/broker"
+	"surfos/internal/driver"
+	"surfos/internal/hwmgr"
+	"surfos/internal/orchestrator"
+)
+
+// Status is a wire error category. The agent maps sentinel errors from the
+// orchestrator/hwmgr/broker/driver layers onto these codes; the client
+// decodes them back into the same sentinels, so errors.Is holds across a
+// wire hop and surfctl can emit distinct exit codes per category.
+type Status uint16
+
+// Wire error categories. Values are part of the protocol — append only.
+const (
+	StatusOK Status = iota
+	StatusInternal
+	StatusUnknownTask
+	StatusUnknownService
+	StatusGoalInvalid
+	StatusNoAccessPoint
+	StatusNoActiveSurfaces
+	StatusNoSchedulableTasks
+	StatusOptimizeStopped
+	StatusCancelled
+	StatusDeadlineExceeded
+	StatusUnknownDevice
+	StatusDuplicateDevice
+	StatusNoCodebook
+	StatusFixedSurface
+	StatusUnsupportedProperty
+	StatusCodebookFull
+	StatusNoProfileMatch
+	StatusUnknownFunction
+	StatusBadCall
+)
+
+// statusTable pairs each code with its canonical sentinel. Mapping is by
+// errors.Is in declaration order, so put more specific sentinels first if
+// chains ever overlap.
+var statusTable = []struct {
+	code Status
+	err  error
+}{
+	{StatusUnknownTask, orchestrator.ErrUnknownTask},
+	{StatusUnknownService, orchestrator.ErrUnknownService},
+	{StatusGoalInvalid, orchestrator.ErrGoalInvalid},
+	{StatusNoAccessPoint, orchestrator.ErrNoAccessPoint},
+	{StatusNoActiveSurfaces, orchestrator.ErrNoActiveSurfaces},
+	{StatusNoSchedulableTasks, orchestrator.ErrNoSchedulableTasks},
+	{StatusOptimizeStopped, orchestrator.ErrOptimizeStopped},
+	{StatusCancelled, context.Canceled},
+	{StatusDeadlineExceeded, context.DeadlineExceeded},
+	{StatusUnknownDevice, hwmgr.ErrUnknownDevice},
+	{StatusDuplicateDevice, hwmgr.ErrDuplicateDevice},
+	{StatusNoCodebook, hwmgr.ErrNoCodebook},
+	{StatusFixedSurface, driver.ErrFixed},
+	{StatusUnsupportedProperty, driver.ErrUnsupportedProperty},
+	{StatusCodebookFull, driver.ErrCodebookFull},
+	{StatusNoProfileMatch, broker.ErrNoProfileMatch},
+	{StatusUnknownFunction, broker.ErrUnknownFunction},
+	{StatusUnknownDevice, broker.ErrUnknownDevice},
+	{StatusBadCall, broker.ErrBadCall},
+}
+
+// StatusFor classifies an error into its wire code (StatusInternal when no
+// sentinel matches, StatusOK for nil).
+func StatusFor(err error) Status {
+	if err == nil {
+		return StatusOK
+	}
+	for _, row := range statusTable {
+		if errors.Is(err, row.err) {
+			return row.code
+		}
+	}
+	return StatusInternal
+}
+
+// Err returns the canonical sentinel for a status (nil for OK and for
+// codes without one, e.g. StatusInternal).
+func (s Status) Err() error {
+	for _, row := range statusTable {
+		if row.code == s {
+			return row.err
+		}
+	}
+	return nil
+}
+
+// WireError is an agent-reported failure reconstructed client-side: it
+// preserves the remote error text and unwraps to the canonical sentinel
+// for its status code, so errors.Is survives the wire hop.
+type WireError struct {
+	Status Status
+	Text   string
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	return fmt.Sprintf("ctrlproto: agent error: %s", e.Text)
+}
+
+// Unwrap exposes the canonical sentinel (nil for StatusInternal).
+func (e *WireError) Unwrap() error { return e.Status.Err() }
+
+// errorFrame builds an agent-side MsgError reply carrying the typed code.
+func errorFrame(corr uint32, err error) Frame {
+	return Frame{Type: MsgError, Corr: corr, Payload: ErrorMsg{
+		Code: StatusFor(err),
+		Text: err.Error(),
+	}.Encode()}
+}

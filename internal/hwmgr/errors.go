@@ -1,0 +1,19 @@
+package hwmgr
+
+import "errors"
+
+// Sentinel errors for the hardware inventory. Call sites wrap these with
+// the offending identifier, so callers categorize failures with errors.Is
+// — including across the ctrlproto wire, which maps them to status codes.
+var (
+	// ErrUnknownDevice reports a surface/AP/sensor ID absent from the
+	// inventory.
+	ErrUnknownDevice = errors.New("hwmgr: unknown device")
+	// ErrDuplicateDevice reports a registration under an ID already taken.
+	ErrDuplicateDevice = errors.New("hwmgr: duplicate device")
+	// ErrInvalidDevice reports a registration missing required fields.
+	ErrInvalidDevice = errors.New("hwmgr: invalid device registration")
+	// ErrNoCodebook reports an adaptation request against a surface with
+	// no stored configurations.
+	ErrNoCodebook = errors.New("hwmgr: no codebook")
+)

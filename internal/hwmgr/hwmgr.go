@@ -66,12 +66,12 @@ func New() *Manager {
 // AddSurface registers a surface device under a unique ID.
 func (m *Manager) AddSurface(id, mount string, d *driver.Driver) error {
 	if id == "" || d == nil {
-		return fmt.Errorf("hwmgr: surface needs an id and a driver")
+		return fmt.Errorf("%w: surface needs an id and a driver", ErrInvalidDevice)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.devices[id]; dup {
-		return fmt.Errorf("hwmgr: duplicate surface id %q", id)
+		return fmt.Errorf("%w: surface id %q", ErrDuplicateDevice, id)
 	}
 	m.devices[id] = &Device{ID: id, Mount: mount, Drv: d}
 	return nil
@@ -82,7 +82,7 @@ func (m *Manager) RemoveSurface(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.devices[id]; !ok {
-		return fmt.Errorf("hwmgr: unknown surface %q", id)
+		return fmt.Errorf("%w: surface %q", ErrUnknownDevice, id)
 	}
 	delete(m.devices, id)
 	return nil
@@ -94,7 +94,7 @@ func (m *Manager) Surface(id string) (*Device, error) {
 	defer m.mu.RUnlock()
 	d, ok := m.devices[id]
 	if !ok {
-		return nil, fmt.Errorf("hwmgr: unknown surface %q", id)
+		return nil, fmt.Errorf("%w: surface %q", ErrUnknownDevice, id)
 	}
 	return d, nil
 }
@@ -127,12 +127,12 @@ func (m *Manager) SurfacesForBand(freqHz float64) []*Device {
 // AddAP registers an access point.
 func (m *Manager) AddAP(ap *AccessPoint) error {
 	if ap == nil || ap.ID == "" {
-		return fmt.Errorf("hwmgr: AP needs an id")
+		return fmt.Errorf("%w: AP needs an id", ErrInvalidDevice)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.aps[ap.ID]; dup {
-		return fmt.Errorf("hwmgr: duplicate AP id %q", ap.ID)
+		return fmt.Errorf("%w: AP id %q", ErrDuplicateDevice, ap.ID)
 	}
 	m.aps[ap.ID] = ap
 	return nil
@@ -144,7 +144,7 @@ func (m *Manager) AP(id string) (*AccessPoint, error) {
 	defer m.mu.RUnlock()
 	ap, ok := m.aps[id]
 	if !ok {
-		return nil, fmt.Errorf("hwmgr: unknown AP %q", id)
+		return nil, fmt.Errorf("%w: AP %q", ErrUnknownDevice, id)
 	}
 	return ap, nil
 }
@@ -164,12 +164,12 @@ func (m *Manager) APs() []*AccessPoint {
 // AddSensor registers an external sensor.
 func (m *Manager) AddSensor(s *Sensor) error {
 	if s == nil || s.ID == "" {
-		return fmt.Errorf("hwmgr: sensor needs an id")
+		return fmt.Errorf("%w: sensor needs an id", ErrInvalidDevice)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.sensors[s.ID]; dup {
-		return fmt.Errorf("hwmgr: duplicate sensor id %q", s.ID)
+		return fmt.Errorf("%w: sensor id %q", ErrDuplicateDevice, s.ID)
 	}
 	m.sensors[s.ID] = s
 	return nil
@@ -238,7 +238,7 @@ func (m *Manager) AdaptFromFeedback(id string, metricPerEntry []float64) (int, e
 	}
 	n := d.Drv.CodebookLen()
 	if n == 0 {
-		return 0, fmt.Errorf("hwmgr: surface %q has no codebook", id)
+		return 0, fmt.Errorf("%w: surface %q", ErrNoCodebook, id)
 	}
 	if len(metricPerEntry) != n {
 		return 0, fmt.Errorf("hwmgr: %d metrics for %d codebook entries", len(metricPerEntry), n)

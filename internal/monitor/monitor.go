@@ -184,6 +184,70 @@ func (m *Monitor) Run(ctx context.Context, bus *telemetry.Bus) (cancel func()) {
 	}
 }
 
+// HandleTaskEvent folds one orchestrator lifecycle event into the
+// expectation table. A task entering the running state with an SNR metric
+// installs the predicted SNR for its endpoint through every surface
+// serving it — the event-driven replacement for hand-installing
+// expectations after each demand. Terminal states (done/failed) retire
+// the endpoint's expectations so a finished task cannot be diagnosed as
+// stale forever.
+func (m *Monitor) HandleTaskEvent(ev telemetry.TaskEvent) {
+	if ev.Endpoint == "" {
+		return
+	}
+	switch ev.State {
+	case telemetry.TaskRunning:
+		if ev.MetricName != "snr_db" {
+			return
+		}
+		for _, dev := range ev.Surfaces {
+			m.Expect(Expectation{DeviceID: dev, EndpointID: ev.Endpoint, SNRdB: ev.Metric})
+		}
+	case telemetry.TaskDone, telemetry.TaskFailed:
+		m.mu.Lock()
+		for dev, per := range m.exp {
+			delete(per, ev.Endpoint)
+			if len(per) == 0 {
+				delete(m.exp, dev)
+			}
+			if perObs := m.obs[dev]; perObs != nil {
+				delete(perObs, ev.Endpoint)
+				if len(perObs) == 0 {
+					delete(m.obs, dev)
+				}
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// RunTaskEvents subscribes the monitor to the orchestrator's task
+// lifecycle bus, mirroring Run for telemetry reports. The returned cancel
+// function is idempotent and blocks until the consumer goroutine drains.
+func (m *Monitor) RunTaskEvents(ctx context.Context, bus *telemetry.EventBus) (cancel func()) {
+	ch, unsub := bus.Subscribe(256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			m.HandleTaskEvent(ev)
+		}
+	}()
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				unsub()
+			case <-done:
+			}
+		}()
+	}
+	return func() {
+		unsub()
+		<-done
+	}
+}
+
 // Diagnose compares observations against expectations as of time now and
 // returns findings sorted by device then endpoint. Healthy endpoints are
 // included so operators can see coverage of the monitoring itself.

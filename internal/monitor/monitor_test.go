@@ -169,3 +169,66 @@ func TestVerdictStrings(t *testing.T) {
 		t.Error("unknown verdict should stringify")
 	}
 }
+
+func TestHandleTaskEventInstallsExpectations(t *testing.T) {
+	m := New()
+	m.HandleTaskEvent(telemetry.TaskEvent{
+		State: telemetry.TaskRunning, Endpoint: "laptop",
+		Surfaces: []string{"s0", "s1"}, Metric: 22, MetricName: "snr_db",
+	})
+	feed(m, "s0", "laptop", 22, 3, t0)
+	feed(m, "s1", "laptop", 21, 3, t0)
+	for _, dev := range []string{"s0", "s1"} {
+		f, ok := findingFor(m.Diagnose(t0), dev, "laptop")
+		if !ok || f.Verdict != Healthy || f.ExpectedSNRdB != 22 {
+			t.Errorf("%s/laptop finding = %+v ok=%v", dev, f, ok)
+		}
+	}
+
+	// Non-SNR metrics and endpoint-less events install nothing.
+	m2 := New()
+	m2.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.TaskRunning, Endpoint: "e", Surfaces: []string{"sX"}, Metric: 1, MetricName: "mean_loc_err_m"})
+	m2.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.TaskRunning, Surfaces: []string{"sX"}, Metric: 1, MetricName: "snr_db"})
+	if got := m2.Diagnose(t0); len(got) != 0 {
+		t.Errorf("unexpected expectations: %+v", got)
+	}
+}
+
+func TestHandleTaskEventRetiresOnTerminal(t *testing.T) {
+	m := New()
+	run := telemetry.TaskEvent{State: telemetry.TaskRunning, Endpoint: "laptop", Surfaces: []string{"s0"}, Metric: 20, MetricName: "snr_db"}
+	m.HandleTaskEvent(run)
+	feed(m, "s0", "laptop", 20, 3, t0)
+	if _, ok := findingFor(m.Diagnose(t0), "s0", "laptop"); !ok {
+		t.Fatal("expectation missing before terminal event")
+	}
+	m.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.TaskDone, Endpoint: "laptop"})
+	if got := m.Diagnose(t0); len(got) != 0 {
+		t.Errorf("expectations survive task completion: %+v", got)
+	}
+}
+
+func TestRunTaskEventsOverBus(t *testing.T) {
+	m := New()
+	bus := telemetry.NewEventBus()
+	cancel := m.RunTaskEvents(context.Background(), bus)
+	bus.Publish(telemetry.TaskEvent{
+		State: telemetry.TaskRunning, Endpoint: "laptop",
+		Surfaces: []string{"s0"}, Metric: 19, MetricName: "snr_db",
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if f, ok := findingFor(m.Diagnose(t0), "s0", "laptop"); ok && f.ExpectedSNRdB == 19 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bus event never reached the monitor")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	cancel() // idempotent
+	if n := bus.Subscribers(); n != 0 {
+		t.Errorf("subscribers after cancel = %d", n)
+	}
+}

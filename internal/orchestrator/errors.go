@@ -1,0 +1,29 @@
+package orchestrator
+
+import "errors"
+
+// Sentinel errors for the orchestrator's typed error model. Call sites
+// wrap these with context via fmt.Errorf("...: %w", Err...), so callers
+// test categories with errors.Is across layers — including after a
+// ctrlproto wire hop, where the agent maps sentinels to status codes and
+// the client decodes them back.
+var (
+	// ErrUnknownTask reports a task ID absent from the task table.
+	ErrUnknownTask = errors.New("orchestrator: unknown task")
+	// ErrUnknownService reports a service kind with no registered module.
+	ErrUnknownService = errors.New("orchestrator: unknown service")
+	// ErrGoalInvalid reports a service goal that failed validation.
+	ErrGoalInvalid = errors.New("orchestrator: invalid goal")
+	// ErrNoAccessPoint reports that no registered AP serves a requested
+	// frequency (or none is registered at all).
+	ErrNoAccessPoint = errors.New("orchestrator: no access point")
+	// ErrNoActiveSurfaces reports that no surface hardware is available
+	// for a band or task.
+	ErrNoActiveSurfaces = errors.New("orchestrator: no active surfaces")
+	// ErrNoSchedulableTasks reports a frequency group whose every task
+	// failed objective construction.
+	ErrNoSchedulableTasks = errors.New("orchestrator: no schedulable tasks")
+	// ErrOptimizeStopped reports a Reconcile cut short by context
+	// cancellation; the best-so-far configurations remain applied.
+	ErrOptimizeStopped = errors.New("orchestrator: optimization stopped")
+)

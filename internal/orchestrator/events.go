@@ -1,0 +1,45 @@
+package orchestrator
+
+import (
+	"surfos/internal/telemetry"
+)
+
+// SetEventBus attaches a task lifecycle event bus; nil detaches it. Events
+// are stamped with the orchestrator's virtual clock and carry the task's
+// placement and result metrics, so monitors can key expectations and CLIs
+// can stream progress without polling the task table.
+func (o *Orchestrator) SetEventBus(b *telemetry.EventBus) {
+	o.mu.Lock()
+	o.events = b
+	o.mu.Unlock()
+}
+
+// emitLocked publishes one lifecycle transition; the caller holds o.mu.
+// Publishing under the lock is safe — the bus never blocks (drop-on-full)
+// and never calls back into the orchestrator.
+func (o *Orchestrator) emitLocked(t *Task, state string) {
+	if o.events == nil {
+		return
+	}
+	ev := telemetry.TaskEvent{
+		Time:     o.now,
+		TaskID:   t.ID,
+		Kind:     t.Kind.String(),
+		State:    state,
+		FreqHz:   t.FreqHz,
+		Endpoint: t.endpoint(),
+	}
+	if r := t.Result; r != nil {
+		ev.Strategy = r.Strategy
+		ev.Surfaces = append([]string(nil), r.Surfaces...)
+		ev.Share = r.Share
+		if state == telemetry.TaskRunning {
+			ev.Metric = r.Metric
+			ev.MetricName = r.MetricName
+		}
+	}
+	if t.Err != nil {
+		ev.Err = t.Err.Error()
+	}
+	o.events.Publish(ev)
+}

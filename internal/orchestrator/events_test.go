@@ -1,0 +1,144 @@
+package orchestrator
+
+import (
+	"context"
+	"testing"
+
+	"surfos/internal/driver"
+	"surfos/internal/telemetry"
+)
+
+// drainEvents empties whatever the bus has delivered so far. Emission is
+// synchronous with the orchestrator call, so everything published before
+// drainEvents runs is already in the buffered channel.
+func drainEvents(ch <-chan telemetry.TaskEvent) []telemetry.TaskEvent {
+	var out []telemetry.TaskEvent
+	for {
+		select {
+		case ev := <-ch:
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func states(evs []telemetry.TaskEvent) []string {
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.State
+	}
+	return out
+}
+
+func TestTaskLifecycleEvents(t *testing.T) {
+	r := newRig(t, fastOpts(), driver.ModelNRSurface)
+	bus := telemetry.NewEventBus()
+	ch, cancel := bus.Subscribe(64)
+	defer cancel()
+	r.o.SetEventBus(bus)
+
+	task, err := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "laptop", Pos: bedroomPoint()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainEvents(ch)
+	if len(evs) != 1 || evs[0].State != telemetry.TaskSubmitted {
+		t.Fatalf("after submit: %v", states(evs))
+	}
+	if evs[0].TaskID != task.ID || evs[0].Kind != "link" || evs[0].Endpoint != "laptop" {
+		t.Errorf("submit event = %+v", evs[0])
+	}
+
+	if err := r.o.Reconcile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	evs = drainEvents(ch)
+	if got := states(evs); len(got) != 2 || got[0] != telemetry.TaskScheduled || got[1] != telemetry.TaskRunning {
+		t.Fatalf("after reconcile: %v", got)
+	}
+	run := evs[1]
+	if run.MetricName != "snr_db" || len(run.Surfaces) == 0 || run.Strategy != StrategySolo {
+		t.Errorf("running event = %+v", run)
+	}
+
+	if err := r.o.SetIdle(task.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.SetIdle(task.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := states(drainEvents(ch)); len(got) != 2 || got[0] != telemetry.TaskIdle || got[1] != telemetry.TaskResumed {
+		t.Fatalf("after idle/resume: %v", got)
+	}
+
+	if err := r.o.EndTask(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := states(drainEvents(ch)); len(got) != 1 || got[0] != telemetry.TaskDone {
+		t.Fatalf("after end: %v", got)
+	}
+	// Terminal EndTask is idempotent and silent.
+	if err := r.o.EndTask(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainEvents(ch); len(got) != 0 {
+		t.Fatalf("second end emitted %v", states(got))
+	}
+}
+
+func TestTaskFailureEmitsEvent(t *testing.T) {
+	r := newRig(t, fastOpts(), driver.ModelNRSurface)
+	bus := telemetry.NewEventBus()
+	ch, cancel := bus.Subscribe(64)
+	defer cancel()
+	r.o.SetEventBus(bus)
+
+	// 2.4 GHz: no AP serves it, so scheduling fails the task.
+	task, err := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: "laptop", Pos: bedroomPoint(), FreqHz: 2.4e9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.o.Reconcile(context.Background())
+	var failed bool
+	for _, ev := range drainEvents(ch) {
+		if ev.State == telemetry.TaskFailed && ev.TaskID == task.ID {
+			failed = true
+			if ev.Err == "" {
+				t.Error("failed event carries no error text")
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("no failed event observed")
+	}
+}
+
+func TestTickDeadlineEmitsDone(t *testing.T) {
+	r := newRig(t, fastOpts(), driver.ModelNRSurface)
+	bus := telemetry.NewEventBus()
+	ch, cancel := bus.Subscribe(64)
+	defer cancel()
+	r.o.SetEventBus(bus)
+
+	task, err := r.o.InitPowering(context.Background(), PowerGoal{Device: "sensor", Pos: bedroomPoint(), Duration: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Reconcile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	drainEvents(ch)
+	if err := r.o.Tick(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	for _, ev := range drainEvents(ch) {
+		if ev.State == telemetry.TaskDone && ev.TaskID == task.ID {
+			done = true
+		}
+	}
+	if !done {
+		t.Fatal("deadline expiry emitted no done event")
+	}
+}

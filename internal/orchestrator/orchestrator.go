@@ -4,21 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"time"
 
-	"surfos/internal/driver"
-	"surfos/internal/em"
 	"surfos/internal/engine"
-	"surfos/internal/geom"
 	"surfos/internal/hwmgr"
-	"surfos/internal/optimize"
-	"surfos/internal/rfsim"
 	"surfos/internal/scene"
-	"surfos/internal/sensing"
-	"surfos/internal/surface"
+	"surfos/internal/telemetry"
 )
 
 // Options tunes the orchestrator. Zero values select defaults.
@@ -92,6 +85,7 @@ type Orchestrator struct {
 	nextID int
 	plans  []*Plan
 	now    time.Time
+	events *telemetry.EventBus
 }
 
 // New builds an orchestrator over a scene and hardware inventory.
@@ -124,7 +118,8 @@ func (o *Orchestrator) Engine() *engine.Engine { return o.eng }
 // Every service call takes a context: submission itself is cheap, but the
 // ctx is checked up front so callers with expired deadlines fail fast, and
 // the same ctx convention carries through Reconcile into the optimizer
-// loops.
+// loops. Each convenience API delegates to the generic Submit, which
+// dispatches through the service registry.
 
 // ctxErr tolerates nil contexts from legacy callers.
 func ctxErr(ctx context.Context) error {
@@ -136,60 +131,32 @@ func ctxErr(ctx context.Context) error {
 
 // EnhanceLink requests connectivity enhancement for one endpoint.
 func (o *Orchestrator) EnhanceLink(ctx context.Context, g LinkGoal, priority int) (*Task, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	if g.Endpoint == "" {
-		return nil, errors.New("orchestrator: link goal needs an endpoint")
-	}
-	return o.submit(ServiceLink, g, priority, 0)
+	return o.Submit(ctx, ServiceLink, g, priority)
 }
 
 // OptimizeCoverage requests region-wide coverage.
 func (o *Orchestrator) OptimizeCoverage(ctx context.Context, g CoverageGoal, priority int) (*Task, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	if _, err := o.Scene.Region(g.Region); err != nil {
-		return nil, err
-	}
-	return o.submit(ServiceCoverage, g, priority, 0)
+	return o.Submit(ctx, ServiceCoverage, g, priority)
 }
 
 // EnableSensing requests localization service over a region.
 func (o *Orchestrator) EnableSensing(ctx context.Context, g SensingGoal, priority int) (*Task, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	if _, err := o.Scene.Region(g.Region); err != nil {
-		return nil, err
-	}
-	return o.submit(ServiceSensing, g, priority, g.Duration)
+	return o.Submit(ctx, ServiceSensing, g, priority)
 }
 
 // InitPowering requests wireless power delivery.
 func (o *Orchestrator) InitPowering(ctx context.Context, g PowerGoal, priority int) (*Task, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	if g.Device == "" {
-		return nil, errors.New("orchestrator: power goal needs a device")
-	}
-	return o.submit(ServicePowering, g, priority, g.Duration)
+	return o.Submit(ctx, ServicePowering, g, priority)
 }
 
 // SecureLink requests eavesdropper suppression for an endpoint.
 func (o *Orchestrator) SecureLink(ctx context.Context, g SecurityGoal, priority int) (*Task, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	if g.Endpoint == "" {
-		return nil, errors.New("orchestrator: security goal needs an endpoint")
-	}
-	return o.submit(ServiceSecurity, g, priority, 0)
+	return o.Submit(ctx, ServiceSecurity, g, priority)
 }
 
-func (o *Orchestrator) submit(kind ServiceKind, goal any, priority int, duration time.Duration) (*Task, error) {
+// submit files a validated goal into the task table and emits the
+// Submitted lifecycle event. The returned task is a snapshot.
+func (o *Orchestrator) submit(svc Service, goal any, priority int, duration time.Duration) (*Task, error) {
 	if priority <= 0 {
 		priority = 1
 	}
@@ -197,56 +164,120 @@ func (o *Orchestrator) submit(kind ServiceKind, goal any, priority int, duration
 	defer o.mu.Unlock()
 	t := &Task{
 		ID:       o.nextID,
-		Kind:     kind,
+		Kind:     svc.Kind(),
 		Priority: priority,
 		State:    TaskPending,
 		Created:  o.now,
 		Goal:     goal,
+		svc:      svc,
 	}
 	if duration > 0 {
 		t.Deadline = o.now.Add(duration)
 	}
 	o.nextID++
 	o.tasks[t.ID] = t
-	return t, nil
+	o.emitLocked(t, telemetry.TaskSubmitted)
+	return t.clone(), nil
 }
 
-// Task returns a task by ID.
+// Task returns a snapshot of a task by ID. Live task fields mutate under
+// the orchestrator lock during Tick/Reconcile, so accessors always copy.
 func (o *Orchestrator) Task(id int) (*Task, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	t, ok := o.tasks[id]
 	if !ok {
-		return nil, fmt.Errorf("orchestrator: unknown task %d", id)
+		return nil, fmt.Errorf("%w %d", ErrUnknownTask, id)
 	}
-	return t, nil
+	return t.clone(), nil
 }
 
-// Tasks returns all tasks sorted by ID.
+// Tasks returns snapshots of all tasks sorted by ID.
 func (o *Orchestrator) Tasks() []*Task {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	out := make([]*Task, 0, len(o.tasks))
 	for _, t := range o.tasks {
-		out = append(out, t)
+		out = append(out, t.clone())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// EndTask terminates a task and releases its resources on the next
-// Reconcile.
+// EndTask terminates a task, emits the lifecycle event at the transition,
+// and eagerly releases its plan entries and codebook claims; remaining
+// co-scheduled entries are re-applied to the devices immediately rather
+// than waiting for the next Reconcile.
 func (o *Orchestrator) EndTask(id int) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	t, ok := o.tasks[id]
 	if !ok {
-		return fmt.Errorf("orchestrator: unknown task %d", id)
+		o.mu.Unlock()
+		return fmt.Errorf("%w %d", ErrUnknownTask, id)
 	}
-	if t.State != TaskDone && t.State != TaskFailed {
-		t.State = TaskDone
+	if t.State == TaskDone || t.State == TaskFailed {
+		o.mu.Unlock()
+		return nil
+	}
+	t.State = TaskDone
+	o.emitLocked(t, telemetry.TaskDone)
+	changed := o.releaseTaskLocked(id)
+	o.mu.Unlock()
+
+	// Re-apply shrunken codebooks outside the lock: device drivers have
+	// their own locking and the writes may be slow (remote agents).
+	for _, p := range changed {
+		devs := make([]*hwmgr.Device, 0, len(p.Surfaces))
+		for _, sid := range p.Surfaces {
+			if d, err := o.HW.Surface(sid); err == nil {
+				devs = append(devs, d)
+			}
+		}
+		_ = o.applyEntries(devs, p.Entries)
 	}
 	return nil
+}
+
+// releaseTaskLocked prunes a task from the committed plans: entries
+// serving only this task are dropped (plans left empty dissolve, freeing
+// their surfaces), shared joint entries lose the task from their roster.
+// Returns the plans whose entry set shrank and need re-application; the
+// caller holds o.mu.
+func (o *Orchestrator) releaseTaskLocked(id int) []*Plan {
+	var keep, changed []*Plan
+	for _, p := range o.plans {
+		entries := p.Entries[:0:0]
+		shrank := false
+		for _, e := range p.Entries {
+			ids := e.TaskIDs[:0:0]
+			for _, tid := range e.TaskIDs {
+				if tid != id {
+					ids = append(ids, tid)
+				}
+			}
+			if len(ids) == len(e.TaskIDs) {
+				entries = append(entries, e)
+				continue
+			}
+			if len(ids) == 0 {
+				shrank = true
+				continue // entry served only the ended task
+			}
+			e.TaskIDs = ids
+			entries = append(entries, e)
+		}
+		if len(entries) == 0 {
+			continue // plan dissolved, surfaces freed
+		}
+		if shrank {
+			p.Entries = entries
+			p.buildFrame()
+			changed = append(changed, p)
+		}
+		keep = append(keep, p)
+	}
+	o.plans = keep
+	return changed
 }
 
 // SetIdle parks a running task without destroying it; idle tasks release
@@ -256,13 +287,15 @@ func (o *Orchestrator) SetIdle(id int, idle bool) error {
 	defer o.mu.Unlock()
 	t, ok := o.tasks[id]
 	if !ok {
-		return fmt.Errorf("orchestrator: unknown task %d", id)
+		return fmt.Errorf("%w %d", ErrUnknownTask, id)
 	}
 	switch {
 	case idle && (t.State == TaskRunning || t.State == TaskPending):
 		t.State = TaskIdle
+		o.emitLocked(t, telemetry.TaskIdle)
 	case !idle && t.State == TaskIdle:
 		t.State = TaskPending
+		o.emitLocked(t, telemetry.TaskResumed)
 	}
 	return nil
 }
@@ -294,6 +327,7 @@ func (o *Orchestrator) Tick(ctx context.Context, dt time.Duration) error {
 	for _, t := range o.tasks {
 		if t.active() && !t.Deadline.IsZero() && !o.now.Before(t.Deadline) {
 			t.State = TaskDone
+			o.emitLocked(t, telemetry.TaskDone)
 			changed = true
 		}
 	}
@@ -332,672 +366,4 @@ func (o *Orchestrator) Tick(ctx context.Context, dt time.Duration) error {
 		}
 	}
 	return nil
-}
-
-// --- scheduling and optimization ---
-
-// group is one frequency-band scheduling domain.
-type group struct {
-	ap    *hwmgr.AccessPoint
-	freq  float64
-	tasks []*Task
-	devs  []*hwmgr.Device
-}
-
-// Reconcile runs the scheduler: it groups active tasks by frequency,
-// chooses a multiplexing strategy per group, optimizes configurations,
-// pushes them to devices, and fills in task results. It is the
-// orchestrator's "schedule all surface hardware globally" step.
-//
-// Cancellation semantics: the ctx is checked between groups and inside the
-// optimizer loops. A cancel mid-optimization applies the best-so-far
-// configuration for the group being scheduled (bounded degradation, not
-// half-written state), skips remaining groups, and returns the ctx error.
-func (o *Orchestrator) Reconcile(ctx context.Context) error {
-	if err := ctxErr(ctx); err != nil {
-		return err
-	}
-	o.mu.Lock()
-	var act []*Task
-	for _, t := range o.tasks {
-		if t.State == TaskPending || t.State == TaskRunning {
-			act = append(act, t)
-		}
-	}
-	sort.Slice(act, func(i, j int) bool { return act[i].ID < act[j].ID })
-	o.mu.Unlock()
-
-	groups, err := o.groupTasks(act)
-	if err != nil {
-		return err
-	}
-
-	var plans []*Plan
-	var firstErr error
-	for _, g := range groups {
-		if err := ctxErr(ctx); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			break
-		}
-		p, err := o.scheduleGroup(ctx, g)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		plans = append(plans, p...)
-	}
-
-	o.mu.Lock()
-	o.plans = plans
-	o.mu.Unlock()
-	return firstErr
-}
-
-// groupTasks resolves each task's AP and frequency and buckets tasks.
-func (o *Orchestrator) groupTasks(act []*Task) ([]*group, error) {
-	aps := o.HW.APs()
-	if len(aps) == 0 && len(act) > 0 {
-		return nil, errors.New("orchestrator: no access points registered")
-	}
-	byFreq := make(map[float64]*group)
-	var order []float64
-	for _, t := range act {
-		f := goalFreq(t.Goal)
-		var ap *hwmgr.AccessPoint
-		if f == 0 {
-			ap = aps[0]
-			f = ap.FreqHz
-		} else {
-			for _, a := range aps {
-				if a.FreqHz == f {
-					ap = a
-					break
-				}
-			}
-			if ap == nil {
-				o.failTask(t, fmt.Errorf("orchestrator: no AP serves %g Hz", f))
-				continue
-			}
-		}
-		g, ok := byFreq[f]
-		if !ok {
-			devs := o.HW.SurfacesForBand(f)
-			g = &group{ap: ap, freq: f, devs: devs}
-			byFreq[f] = g
-			order = append(order, f)
-		}
-		if len(g.devs) == 0 {
-			o.failTask(t, fmt.Errorf("orchestrator: no surface hardware supports %g Hz", f))
-			continue
-		}
-		t.FreqHz = f
-		g.tasks = append(g.tasks, t)
-	}
-	sort.Float64s(order)
-	out := make([]*group, 0, len(order))
-	for _, f := range order {
-		if len(byFreq[f].tasks) > 0 {
-			out = append(out, byFreq[f])
-		}
-	}
-	return out, nil
-}
-
-func (o *Orchestrator) failTask(t *Task, err error) {
-	o.mu.Lock()
-	t.State = TaskFailed
-	t.Err = err
-	o.mu.Unlock()
-}
-
-// pickStrategy implements the policy decision.
-func (o *Orchestrator) pickStrategy(g *group) string {
-	switch o.Opts.Policy {
-	case PolicyTDM:
-		if len(g.tasks) == 1 {
-			return StrategySolo
-		}
-		return StrategyTDM
-	case PolicyJoint:
-		if len(g.tasks) == 1 {
-			return StrategySolo
-		}
-		return StrategyJoint
-	case PolicySDM:
-		if len(g.tasks) == 1 {
-			return StrategySolo
-		}
-		return StrategySDM
-	}
-	// Auto.
-	if len(g.tasks) == 1 {
-		return StrategySolo
-	}
-	anyPassive := false
-	for _, d := range g.devs {
-		if !d.Drv.Spec().Reconfigurable {
-			anyPassive = true
-		}
-	}
-	if anyPassive {
-		// A passive surface holds exactly one configuration: joint
-		// configuration multiplexing is its only sharing mechanism.
-		return StrategyJoint
-	}
-	if len(g.devs) >= len(g.tasks) {
-		return StrategySDM
-	}
-	if len(g.tasks) <= 3 {
-		return StrategyJoint
-	}
-	return StrategyTDM
-}
-
-// scheduleGroup plans one frequency group.
-func (o *Orchestrator) scheduleGroup(ctx context.Context, g *group) ([]*Plan, error) {
-	strategy := o.pickStrategy(g)
-	switch strategy {
-	case StrategySDM:
-		return o.scheduleSDM(ctx, g)
-	case StrategyTDM:
-		return o.scheduleTDM(ctx, g)
-	default: // solo, joint
-		return o.scheduleJoint(ctx, g, strategy)
-	}
-}
-
-// deviceIDs lists a device set's IDs.
-func deviceIDs(devs []*hwmgr.Device) []string {
-	out := make([]string, len(devs))
-	for i, d := range devs {
-		out[i] = d.ID
-	}
-	return out
-}
-
-// specFor describes the engine simulator configuration for a device
-// subset. Identical device subsets (the common case across successive
-// Reconciles) share the engine's cached simulator and ray traces.
-func (o *Orchestrator) specFor(freq float64, devs []*hwmgr.Device) engine.Spec {
-	surfs := make([]*surface.Surface, len(devs))
-	eff := 1.0
-	for i, d := range devs {
-		surfs[i] = d.Drv.Surface()
-		if e := d.Drv.Spec().ElementEfficiency; e > 0 && e < eff {
-			eff = e
-		}
-	}
-	return engine.Spec{
-		Scene:             o.Scene,
-		FreqHz:            freq,
-		Surfaces:          surfs,
-		ReflOrder:         o.Opts.ReflOrder,
-		Cascade:           o.Opts.Cascade && len(devs) > 1,
-		ElementEfficiency: eff,
-	}
-}
-
-// projectorFor combines device constraint projections.
-func projectorFor(devs []*hwmgr.Device) optimize.Projector {
-	return func(phases [][]float64) [][]float64 {
-		out := make([][]float64, len(phases))
-		for i, p := range phases {
-			if i < len(devs) {
-				cfg := surface.Config{Property: surface.Phase, Values: p}
-				out[i] = devs[i].Drv.Project(cfg).Values
-			} else {
-				cp := make([]float64, len(p))
-				copy(cp, p)
-				out[i] = cp
-			}
-		}
-		return out
-	}
-}
-
-// taskObjective builds the optimization objective for one task over an
-// engine spec, returning the objective and an evaluator that computes the
-// task's headline metric for a final phase set. Channel state comes from
-// the engine: the transmitter trace for a group is computed once and
-// shared by every task in it (and by later Reconciles, until the scene
-// geometry changes).
-func (o *Orchestrator) taskObjective(ctx context.Context, t *Task, g *group, spec engine.Spec) (optimize.Objective, func([][]float64) *Result, error) {
-	lb := g.ap.Budget
-	switch goal := t.Goal.(type) {
-	case LinkGoal:
-		tc, err := o.eng.Tx(ctx, spec, g.ap.Pos)
-		if err != nil {
-			return nil, nil, err
-		}
-		ch := tc.Channel(goal.Pos)
-		obj, err := optimize.NewCoverageObjective([]*rfsim.Channel{ch}, lb)
-		if err != nil {
-			return nil, nil, err
-		}
-		eval := func(ph [][]float64) *Result {
-			h, _ := ch.Eval(optimize.PhasesToConfigs(ph))
-			snr := lb.SNRdB(h)
-			return &Result{Metric: snr, MetricName: "snr_db", Satisfied: snr >= goal.MinSNRdB}
-		}
-		return obj, eval, nil
-
-	case CoverageGoal:
-		step := goal.GridStep
-		if step == 0 {
-			step = o.Opts.GridStep
-		}
-		reg, err := o.Scene.Region(goal.Region)
-		if err != nil {
-			return nil, nil, err
-		}
-		pts := reg.GridPoints(step, scene.EvalHeight)
-		if len(pts) == 0 {
-			return nil, nil, fmt.Errorf("orchestrator: region %q has no grid points", goal.Region)
-		}
-		chans, err := o.eng.Channels(ctx, spec, g.ap.Pos, pts)
-		if err != nil {
-			return nil, nil, err
-		}
-		obj, err := optimize.NewCoverageObjective(chans, lb)
-		if err != nil {
-			return nil, nil, err
-		}
-		eval := func(ph [][]float64) *Result {
-			cfgs := optimize.PhasesToConfigs(ph)
-			snrs := make([]float64, len(chans))
-			for i, ch := range chans {
-				h, _ := ch.Eval(cfgs)
-				snrs[i] = lb.SNRdB(h)
-			}
-			med := rfsim.Median(snrs)
-			return &Result{Metric: med, MetricName: "median_snr_db", Satisfied: med >= goal.MedianSNRdB}
-		}
-		return obj, eval, nil
-
-	case SensingGoal:
-		step := goal.GridStep
-		if step == 0 {
-			step = o.Opts.SensingGridStep
-		}
-		reg, err := o.Scene.Region(goal.Region)
-		if err != nil {
-			return nil, nil, err
-		}
-		pts := reg.GridPoints(step, scene.EvalHeight)
-		if len(pts) == 0 {
-			return nil, nil, fmt.Errorf("orchestrator: region %q has no grid points", goal.Region)
-		}
-		sim, err := o.eng.Simulator(spec)
-		if err != nil {
-			return nil, nil, err
-		}
-		est, err := o.estimatorFor(g, sim)
-		if err != nil {
-			return nil, nil, err
-		}
-		meas := make([]*sensing.Measurement, len(pts))
-		if err := o.eng.ForEach(ctx, len(pts), func(i int) {
-			meas[i] = est.Measure(pts[i])
-		}); err != nil {
-			return nil, nil, err
-		}
-		obj, err := sensing.NewLocalizationObjective(est, meas, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		noiseAmp := sensing.NoiseAmplitude(lb)
-		eval := func(ph [][]float64) *Result {
-			errM := obj.MeanLocalizationError(ph, noiseAmp, 1)
-			return &Result{Metric: errM, MetricName: "mean_loc_err_m", Satisfied: true}
-		}
-		return obj, eval, nil
-
-	case PowerGoal:
-		tc, err := o.eng.Tx(ctx, spec, g.ap.Pos)
-		if err != nil {
-			return nil, nil, err
-		}
-		ch := tc.Channel(goal.Pos)
-		obj, err := optimize.NewPowerObjective([]*rfsim.Channel{ch})
-		if err != nil {
-			return nil, nil, err
-		}
-		eval := func(ph [][]float64) *Result {
-			h, _ := ch.Eval(optimize.PhasesToConfigs(ph))
-			return &Result{Metric: lb.RxPowerDBm(h), MetricName: "rx_power_dbm", Satisfied: true}
-		}
-		return obj, eval, nil
-
-	case SecurityGoal:
-		tc, err := o.eng.Tx(ctx, spec, g.ap.Pos)
-		if err != nil {
-			return nil, nil, err
-		}
-		user := tc.Channel(goal.UserPos)
-		eve := tc.Channel(goal.EvePos)
-		obj, err := optimize.NewSecurityObjective(user, eve, 1.0, lb)
-		if err != nil {
-			return nil, nil, err
-		}
-		eval := func(ph [][]float64) *Result {
-			cfgs := optimize.PhasesToConfigs(ph)
-			hu, _ := user.Eval(cfgs)
-			he, _ := eve.Eval(cfgs)
-			gap := lb.SNRdB(hu) - lb.SNRdB(he)
-			return &Result{Metric: gap, MetricName: "user_eve_snr_gap_db", Satisfied: gap > 0}
-		}
-		return obj, eval, nil
-	}
-	return nil, nil, fmt.Errorf("orchestrator: task %d has unknown goal type %T", t.ID, t.Goal)
-}
-
-// estimatorFor builds the sensing estimator for a group: the AP's antenna
-// array observes the group's first sensing-capable surface.
-func (o *Orchestrator) estimatorFor(g *group, sim *rfsim.Simulator) (*sensing.Estimator, error) {
-	n := g.ap.Antennas
-	if n <= 0 {
-		n = 16
-	}
-	lambda := em.Wavelength(g.freq)
-	ants := sensing.ULA(g.ap.Pos, geom.V(1, 0, 0), n, lambda/2)
-	bins := sensing.DefaultBins(o.Opts.SensingBins, 60*math.Pi/180)
-	subs := sensing.DefaultSubcarriers(g.freq, o.Opts.SensingBandwidth, o.Opts.SensingSubcarriers)
-	est, err := sensing.NewEstimator(sim, 0, ants, bins, subs)
-	if err != nil {
-		return nil, err
-	}
-	amp := sensing.NoiseAmplitude(g.ap.Budget)
-	est.NoisePower = amp * amp
-	return est, nil
-}
-
-// optimizeConfigs runs the configuration optimizer for an objective over a
-// device set. Optimization runs in the continuous element-wise space and
-// projects onto the hardware constraint set (granularity sharing, phase
-// quantization) once at the end: projecting every gradient step would snap
-// small steps back to the quantization grid and stall (the constraint set
-// is discrete), while a single final projection costs only the usual
-// quantization loss.
-func (o *Orchestrator) optimizeConfigs(ctx context.Context, obj optimize.Objective, devs []*hwmgr.Device) optimize.Result {
-	init := optimize.ZeroPhases(obj.Shape())
-	res := optimize.Adam(ctx, obj, init, optimize.Options{MaxIters: o.Opts.OptIters})
-	res.Phases = projectorFor(devs)(res.Phases)
-	res.Loss, _ = obj.Eval(res.Phases, false)
-	return res
-}
-
-// applyEntry pushes one entry's configs to the devices as a codebook write.
-// Passive devices that are already fabricated are left untouched.
-func (o *Orchestrator) applyEntries(devs []*hwmgr.Device, entries []PlanEntry) error {
-	var firstErr error
-	for _, d := range devs {
-		labels := make([]string, 0, len(entries))
-		cfgs := make([]surface.Config, 0, len(entries))
-		for _, e := range entries {
-			cfg, ok := e.Configs[d.ID]
-			if !ok {
-				continue
-			}
-			labels = append(labels, e.Label)
-			cfgs = append(cfgs, cfg)
-		}
-		if len(cfgs) == 0 {
-			continue
-		}
-		err := d.Drv.StoreCodebook(labels, cfgs)
-		if errors.Is(err, driver.ErrFixed) {
-			continue // passive device keeps its burned-in pattern
-		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("orchestrator: device %s: %w", d.ID, err)
-		}
-	}
-	return firstErr
-}
-
-// markRunning finalizes task state and results.
-func (o *Orchestrator) markRunning(t *Task, res *Result) {
-	o.mu.Lock()
-	t.State = TaskRunning
-	t.Result = res
-	o.mu.Unlock()
-}
-
-// scheduleJoint handles solo and joint configuration multiplexing: one
-// shared configuration optimized for the (weighted) sum of task losses —
-// the paper's §4 "surface multitasking".
-func (o *Orchestrator) scheduleJoint(ctx context.Context, g *group, strategy string) ([]*Plan, error) {
-	spec := o.specFor(g.freq, g.devs)
-	var terms []optimize.Objective
-	var weights []float64
-	evals := make([]func([][]float64) *Result, 0, len(g.tasks))
-	var scheduled []*Task
-	for _, t := range g.tasks {
-		obj, eval, err := o.taskObjective(ctx, t, g, spec)
-		if err != nil {
-			o.failTask(t, err)
-			continue
-		}
-		terms = append(terms, obj)
-		weights = append(weights, o.objectiveWeight(t, obj))
-		evals = append(evals, eval)
-		scheduled = append(scheduled, t)
-	}
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("orchestrator: no schedulable tasks at %g Hz", g.freq)
-	}
-	var obj optimize.Objective
-	if len(terms) == 1 {
-		obj = terms[0]
-	} else {
-		ws, err := optimize.NewWeightedSum(terms, weights)
-		if err != nil {
-			return nil, err
-		}
-		obj = ws
-	}
-	res := o.optimizeConfigs(ctx, obj, g.devs)
-	cfgs := optimize.PhasesToConfigs(res.Phases)
-
-	entry := PlanEntry{Label: strategy, Share: 1, Configs: map[string]surface.Config{}}
-	for i, d := range g.devs {
-		entry.Configs[d.ID] = cfgs[i]
-	}
-	for _, t := range scheduled {
-		entry.TaskIDs = append(entry.TaskIDs, t.ID)
-	}
-	p := &Plan{
-		FreqHz:   g.freq,
-		APID:     g.ap.ID,
-		Surfaces: deviceIDs(g.devs),
-		Strategy: strategy,
-		Entries:  []PlanEntry{entry},
-	}
-	p.buildFrame()
-	if err := o.applyEntries(g.devs, p.Entries); err != nil {
-		return nil, err
-	}
-	for i, t := range scheduled {
-		r := evals[i](res.Phases)
-		r.Share = 1
-		r.Surfaces = p.Surfaces
-		r.Strategy = strategy
-		o.markRunning(t, r)
-	}
-	return []*Plan{p}, nil
-}
-
-// scheduleTDM gives each task its own optimized configuration and rotates
-// them as time slices weighted by priority.
-func (o *Orchestrator) scheduleTDM(ctx context.Context, g *group) ([]*Plan, error) {
-	spec := o.specFor(g.freq, g.devs)
-	p := &Plan{
-		FreqHz:   g.freq,
-		APID:     g.ap.ID,
-		Surfaces: deviceIDs(g.devs),
-		Strategy: StrategyTDM,
-	}
-	var scheduled []*Task
-	var evals []func([][]float64) *Result
-	var phases [][][]float64
-	var totalPrio float64
-	for _, t := range g.tasks {
-		obj, eval, err := o.taskObjective(ctx, t, g, spec)
-		if err != nil {
-			o.failTask(t, err)
-			continue
-		}
-		res := o.optimizeConfigs(ctx, obj, g.devs)
-		cfgs := optimize.PhasesToConfigs(res.Phases)
-		entry := PlanEntry{
-			Label:   fmt.Sprintf("task-%d", t.ID),
-			TaskIDs: []int{t.ID},
-			Share:   float64(t.Priority),
-			Configs: map[string]surface.Config{},
-		}
-		for i, d := range g.devs {
-			entry.Configs[d.ID] = cfgs[i]
-		}
-		p.Entries = append(p.Entries, entry)
-		scheduled = append(scheduled, t)
-		evals = append(evals, eval)
-		phases = append(phases, res.Phases)
-		totalPrio += float64(t.Priority)
-	}
-	if len(p.Entries) == 0 {
-		return nil, fmt.Errorf("orchestrator: no schedulable tasks at %g Hz", g.freq)
-	}
-	p.buildFrame()
-	if err := o.applyEntries(g.devs, p.Entries); err != nil {
-		return nil, err
-	}
-	for i, t := range scheduled {
-		r := evals[i](phases[i])
-		r.Share = p.shareOf(i)
-		r.Surfaces = p.Surfaces
-		r.Strategy = StrategyTDM
-		o.markRunning(t, r)
-	}
-	return []*Plan{p}, nil
-}
-
-// scheduleSDM partitions surfaces among tasks by proximity to the task's
-// spatial target and optimizes each partition independently.
-func (o *Orchestrator) scheduleSDM(ctx context.Context, g *group) ([]*Plan, error) {
-	assign := o.assignSurfaces(g)
-	var plans []*Plan
-	var firstErr error
-	for ti, t := range g.tasks {
-		devs := assign[ti]
-		if len(devs) == 0 {
-			o.failTask(t, fmt.Errorf("orchestrator: no surface available for task %d under SDM", t.ID))
-			continue
-		}
-		sub := &group{ap: g.ap, freq: g.freq, tasks: []*Task{t}, devs: devs}
-		ps, err := o.scheduleJoint(ctx, sub, StrategySDM)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			o.failTask(t, err)
-			continue
-		}
-		plans = append(plans, ps...)
-	}
-	if len(plans) == 0 && firstErr != nil {
-		return nil, firstErr
-	}
-	return plans, nil
-}
-
-// assignSurfaces greedily gives each task its nearest unassigned surface
-// (by target centroid), then distributes leftovers to the nearest task.
-func (o *Orchestrator) assignSurfaces(g *group) [][]*hwmgr.Device {
-	target := make([]geom.Vec3, len(g.tasks))
-	for i, t := range g.tasks {
-		target[i] = o.taskTarget(t)
-	}
-	assign := make([][]*hwmgr.Device, len(g.tasks))
-	used := make([]bool, len(g.devs))
-	// Tasks in priority order pick their nearest free surface.
-	order := make([]int, len(g.tasks))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := g.tasks[order[a]], g.tasks[order[b]]
-		if ta.Priority != tb.Priority {
-			return ta.Priority > tb.Priority
-		}
-		return ta.ID < tb.ID
-	})
-	for _, ti := range order {
-		best, bestD := -1, math.Inf(1)
-		for di, d := range g.devs {
-			if used[di] {
-				continue
-			}
-			if dist := d.Drv.Surface().Panel.Center().Dist(target[ti]); dist < bestD {
-				best, bestD = di, dist
-			}
-		}
-		if best >= 0 {
-			assign[ti] = append(assign[ti], g.devs[best])
-			used[best] = true
-		}
-	}
-	// Leftover surfaces reinforce their nearest task.
-	for di, d := range g.devs {
-		if used[di] {
-			continue
-		}
-		best, bestD := 0, math.Inf(1)
-		for ti := range g.tasks {
-			if dist := d.Drv.Surface().Panel.Center().Dist(target[ti]); dist < bestD {
-				best, bestD = ti, dist
-			}
-		}
-		assign[best] = append(assign[best], d)
-	}
-	return assign
-}
-
-// taskTarget returns a task's spatial focus for SDM assignment.
-func (o *Orchestrator) taskTarget(t *Task) geom.Vec3 {
-	switch g := t.Goal.(type) {
-	case LinkGoal:
-		return g.Pos
-	case CoverageGoal:
-		if r, err := o.Scene.Region(g.Region); err == nil {
-			return r.Box.Center()
-		}
-	case SensingGoal:
-		if r, err := o.Scene.Region(g.Region); err == nil {
-			return r.Box.Center()
-		}
-	case PowerGoal:
-		return g.Pos
-	case SecurityGoal:
-		return g.UserPos
-	}
-	return geom.Vec3{}
-}
-
-// objectiveWeight normalizes task losses so a plain sum is balanced: the
-// coverage/link losses scale with location count, so they are divided by
-// it; sensing gets the configured weight.
-func (o *Orchestrator) objectiveWeight(t *Task, obj optimize.Objective) float64 {
-	switch t.Kind {
-	case ServiceCoverage, ServiceLink:
-		if c, ok := obj.(*optimize.CoverageObjective); ok && len(c.Channels) > 0 {
-			return 1 / float64(len(c.Channels))
-		}
-	case ServiceSensing:
-		return o.Opts.SensingWeight
-	}
-	return 1
 }

@@ -1,0 +1,88 @@
+package orchestrator
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"surfos/internal/driver"
+	"surfos/internal/telemetry"
+)
+
+// TestSnapshotReadersRaceReconcile hammers the snapshot accessors while
+// Reconcile and Tick mutate live task state. Run with -race: the defensive
+// copies in Task/Tasks/Plans are the system under test — a reader must
+// never observe a live task mid-write.
+func TestSnapshotReadersRaceReconcile(t *testing.T) {
+	opts := fastOpts()
+	opts.OptIters = 10 // keep each Reconcile short so many interleave
+	r := newRig(t, opts, driver.ModelNRSurface, driver.ModelNRSurface)
+	bus := telemetry.NewEventBus()
+	_, cancel := bus.Subscribe(16) // exercise emission concurrently too
+	defer cancel()
+	r.o.SetEventBus(bus)
+
+	ids := make([]int, 0, 3)
+	for _, ep := range []string{"laptop", "phone", "tv"} {
+		task, err := r.o.EnhanceLink(context.Background(), LinkGoal{Endpoint: ep, Pos: bedroomPoint()}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, task.ID)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	reader := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	reader(func() {
+		for _, task := range r.o.Tasks() {
+			if task.Result != nil {
+				_ = task.Result.Surfaces // deep-copied slice
+			}
+		}
+	})
+	reader(func() {
+		for _, id := range ids {
+			if task, err := r.o.Task(id); err == nil && task.Result != nil {
+				_ = task.Result.Metric
+			}
+		}
+	})
+	reader(func() { _ = r.o.Plans() })
+	reader(func() { _ = r.o.Now() })
+
+	for i := 0; i < 4; i++ {
+		if err := r.o.Reconcile(context.Background()); err != nil {
+			t.Errorf("reconcile %d: %v", i, err)
+		}
+		if err := r.o.Tick(context.Background(), 50*time.Millisecond); err != nil {
+			t.Errorf("tick %d: %v", i, err)
+		}
+	}
+	// Mutate the task set while readers run, then reconcile again.
+	if err := r.o.SetIdle(ids[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.EndTask(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Reconcile(context.Background()); err != nil {
+		t.Errorf("final reconcile: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}

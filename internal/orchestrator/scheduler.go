@@ -1,0 +1,544 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"surfos/internal/driver"
+	"surfos/internal/engine"
+	"surfos/internal/geom"
+	"surfos/internal/hwmgr"
+	"surfos/internal/optimize"
+	"surfos/internal/surface"
+	"surfos/internal/telemetry"
+)
+
+// This file is the service-agnostic scheduler core: grouping, strategy
+// selection, joint/TDM/SDM planning, optimization, and commit. It consumes
+// tasks purely through the Service interface — per-service objective
+// construction and result extraction live in the service_*.go modules, so
+// registering a new service never requires edits here.
+
+// group is one frequency-band scheduling domain.
+type group struct {
+	band  Band
+	tasks []*Task
+	devs  []*hwmgr.Device
+}
+
+// Reconcile runs the scheduler: it groups active tasks by frequency,
+// chooses a multiplexing strategy per group, optimizes configurations,
+// pushes them to devices, and fills in task results. It is the
+// orchestrator's "schedule all surface hardware globally" step.
+//
+// Cancellation semantics: the ctx is checked between groups and inside the
+// optimizer loops. A cancel mid-optimization applies the best-so-far
+// configuration for the group being scheduled (bounded degradation, not
+// half-written state), skips remaining groups, and returns the ctx error
+// wrapped in ErrOptimizeStopped.
+func (o *Orchestrator) Reconcile(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	var act []*Task
+	for _, t := range o.tasks {
+		if t.State == TaskPending || t.State == TaskRunning {
+			act = append(act, t)
+		}
+	}
+	sort.Slice(act, func(i, j int) bool { return act[i].ID < act[j].ID })
+	o.mu.Unlock()
+
+	groups, err := o.groupTasks(act)
+	if err != nil {
+		return err
+	}
+
+	var plans []*Plan
+	var firstErr error
+	for _, g := range groups {
+		if err := ctxErr(ctx); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %w", ErrOptimizeStopped, err)
+			}
+			break
+		}
+		p, err := o.scheduleGroup(ctx, g)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		plans = append(plans, p...)
+	}
+
+	o.mu.Lock()
+	o.plans = plans
+	o.mu.Unlock()
+	return firstErr
+}
+
+// groupTasks resolves each task's AP and frequency and buckets tasks.
+// Task mutations (frequency resolution, failure marking) happen under the
+// orchestrator lock so concurrent snapshot readers never observe them
+// mid-write.
+func (o *Orchestrator) groupTasks(act []*Task) ([]*group, error) {
+	aps := o.HW.APs()
+	if len(aps) == 0 && len(act) > 0 {
+		return nil, fmt.Errorf("%w registered", ErrNoAccessPoint)
+	}
+	byFreq := make(map[float64]*group)
+	var order []float64
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, t := range act {
+		svc, err := t.service()
+		if err != nil {
+			o.failLocked(t, err)
+			continue
+		}
+		f := svc.Freq(t.Goal)
+		var ap *hwmgr.AccessPoint
+		if f == 0 {
+			ap = aps[0]
+			f = ap.FreqHz
+		} else {
+			for _, a := range aps {
+				if a.FreqHz == f {
+					ap = a
+					break
+				}
+			}
+			if ap == nil {
+				o.failLocked(t, fmt.Errorf("%w serves %g Hz", ErrNoAccessPoint, f))
+				continue
+			}
+		}
+		g, ok := byFreq[f]
+		if !ok {
+			devs := o.HW.SurfacesForBand(f)
+			g = &group{band: Band{AP: ap, FreqHz: f}, devs: devs}
+			byFreq[f] = g
+			order = append(order, f)
+		}
+		if len(g.devs) == 0 {
+			o.failLocked(t, fmt.Errorf("%w support %g Hz", ErrNoActiveSurfaces, f))
+			continue
+		}
+		t.FreqHz = f
+		g.tasks = append(g.tasks, t)
+	}
+	sort.Float64s(order)
+	out := make([]*group, 0, len(order))
+	for _, f := range order {
+		if len(byFreq[f].tasks) > 0 {
+			out = append(out, byFreq[f])
+		}
+	}
+	return out, nil
+}
+
+func (o *Orchestrator) failTask(t *Task, err error) {
+	o.mu.Lock()
+	o.failLocked(t, err)
+	o.mu.Unlock()
+}
+
+// failLocked marks a task failed and emits the lifecycle event; the caller
+// holds o.mu.
+func (o *Orchestrator) failLocked(t *Task, err error) {
+	t.State = TaskFailed
+	t.Err = err
+	o.emitLocked(t, telemetry.TaskFailed)
+}
+
+// pickStrategy implements the policy decision.
+func (o *Orchestrator) pickStrategy(g *group) string {
+	switch o.Opts.Policy {
+	case PolicyTDM:
+		if len(g.tasks) == 1 {
+			return StrategySolo
+		}
+		return StrategyTDM
+	case PolicyJoint:
+		if len(g.tasks) == 1 {
+			return StrategySolo
+		}
+		return StrategyJoint
+	case PolicySDM:
+		if len(g.tasks) == 1 {
+			return StrategySolo
+		}
+		return StrategySDM
+	}
+	// Auto.
+	if len(g.tasks) == 1 {
+		return StrategySolo
+	}
+	anyPassive := false
+	for _, d := range g.devs {
+		if !d.Drv.Spec().Reconfigurable {
+			anyPassive = true
+		}
+	}
+	if anyPassive {
+		// A passive surface holds exactly one configuration: joint
+		// configuration multiplexing is its only sharing mechanism.
+		return StrategyJoint
+	}
+	if len(g.devs) >= len(g.tasks) {
+		return StrategySDM
+	}
+	if len(g.tasks) <= 3 {
+		return StrategyJoint
+	}
+	return StrategyTDM
+}
+
+// scheduleGroup plans one frequency group.
+func (o *Orchestrator) scheduleGroup(ctx context.Context, g *group) ([]*Plan, error) {
+	strategy := o.pickStrategy(g)
+	switch strategy {
+	case StrategySDM:
+		return o.scheduleSDM(ctx, g)
+	case StrategyTDM:
+		return o.scheduleTDM(ctx, g)
+	default: // solo, joint
+		return o.scheduleJoint(ctx, g, strategy)
+	}
+}
+
+// deviceIDs lists a device set's IDs.
+func deviceIDs(devs []*hwmgr.Device) []string {
+	out := make([]string, len(devs))
+	for i, d := range devs {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// specFor describes the engine simulator configuration for a device
+// subset. Identical device subsets (the common case across successive
+// Reconciles) share the engine's cached simulator and ray traces.
+func (o *Orchestrator) specFor(freq float64, devs []*hwmgr.Device) engine.Spec {
+	surfs := make([]*surface.Surface, len(devs))
+	eff := 1.0
+	for i, d := range devs {
+		surfs[i] = d.Drv.Surface()
+		if e := d.Drv.Spec().ElementEfficiency; e > 0 && e < eff {
+			eff = e
+		}
+	}
+	return engine.Spec{
+		Scene:             o.Scene,
+		FreqHz:            freq,
+		Surfaces:          surfs,
+		ReflOrder:         o.Opts.ReflOrder,
+		Cascade:           o.Opts.Cascade && len(devs) > 1,
+		ElementEfficiency: eff,
+	}
+}
+
+// projectorFor combines device constraint projections.
+func projectorFor(devs []*hwmgr.Device) optimize.Projector {
+	return func(phases [][]float64) [][]float64 {
+		out := make([][]float64, len(phases))
+		for i, p := range phases {
+			if i < len(devs) {
+				cfg := surface.Config{Property: surface.Phase, Values: p}
+				out[i] = devs[i].Drv.Project(cfg).Values
+			} else {
+				cp := make([]float64, len(p))
+				copy(cp, p)
+				out[i] = cp
+			}
+		}
+		return out
+	}
+}
+
+// buildObjective dispatches objective construction to the task's service
+// module.
+func (o *Orchestrator) buildObjective(ctx context.Context, t *Task, g *group, spec engine.Spec) (optimize.Objective, Evaluator, error) {
+	svc, err := t.service()
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc.BuildObjective(ctx, o, t, g.band, spec)
+}
+
+// taskWeight dispatches joint-sum weighting to the task's service module.
+func (o *Orchestrator) taskWeight(t *Task, obj optimize.Objective) float64 {
+	svc, err := t.service()
+	if err != nil {
+		return 1
+	}
+	return svc.Weight(o, t, obj)
+}
+
+// optimizeConfigs runs the configuration optimizer for an objective over a
+// device set. Optimization runs in the continuous element-wise space and
+// projects onto the hardware constraint set (granularity sharing, phase
+// quantization) once at the end: projecting every gradient step would snap
+// small steps back to the quantization grid and stall (the constraint set
+// is discrete), while a single final projection costs only the usual
+// quantization loss.
+func (o *Orchestrator) optimizeConfigs(ctx context.Context, obj optimize.Objective, devs []*hwmgr.Device) optimize.Result {
+	init := optimize.ZeroPhases(obj.Shape())
+	res := optimize.Adam(ctx, obj, init, optimize.Options{MaxIters: o.Opts.OptIters})
+	res.Phases = projectorFor(devs)(res.Phases)
+	res.Loss, _ = obj.Eval(res.Phases, false)
+	return res
+}
+
+// applyEntries pushes each entry's configs to the devices as a codebook
+// write. Passive devices that are already fabricated are left untouched.
+func (o *Orchestrator) applyEntries(devs []*hwmgr.Device, entries []PlanEntry) error {
+	var firstErr error
+	for _, d := range devs {
+		labels := make([]string, 0, len(entries))
+		cfgs := make([]surface.Config, 0, len(entries))
+		for _, e := range entries {
+			cfg, ok := e.Configs[d.ID]
+			if !ok {
+				continue
+			}
+			labels = append(labels, e.Label)
+			cfgs = append(cfgs, cfg)
+		}
+		if len(cfgs) == 0 {
+			continue
+		}
+		err := d.Drv.StoreCodebook(labels, cfgs)
+		if errors.Is(err, driver.ErrFixed) {
+			continue // passive device keeps its burned-in pattern
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("orchestrator: device %s: %w", d.ID, err)
+		}
+	}
+	return firstErr
+}
+
+// markRunning finalizes task state and results, emitting the scheduled and
+// running lifecycle events.
+func (o *Orchestrator) markRunning(t *Task, res *Result) {
+	o.mu.Lock()
+	t.State = TaskRunning
+	t.Result = res
+	o.emitLocked(t, telemetry.TaskScheduled)
+	o.emitLocked(t, telemetry.TaskRunning)
+	o.mu.Unlock()
+}
+
+// scheduleJoint handles solo and joint configuration multiplexing: one
+// shared configuration optimized for the (weighted) sum of task losses —
+// the paper's §4 "surface multitasking".
+func (o *Orchestrator) scheduleJoint(ctx context.Context, g *group, strategy string) ([]*Plan, error) {
+	spec := o.specFor(g.band.FreqHz, g.devs)
+	var terms []optimize.Objective
+	var weights []float64
+	evals := make([]Evaluator, 0, len(g.tasks))
+	var scheduled []*Task
+	for _, t := range g.tasks {
+		obj, eval, err := o.buildObjective(ctx, t, g, spec)
+		if err != nil {
+			o.failTask(t, err)
+			continue
+		}
+		terms = append(terms, obj)
+		weights = append(weights, o.taskWeight(t, obj))
+		evals = append(evals, eval)
+		scheduled = append(scheduled, t)
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("%w at %g Hz", ErrNoSchedulableTasks, g.band.FreqHz)
+	}
+	var obj optimize.Objective
+	if len(terms) == 1 {
+		obj = terms[0]
+	} else {
+		ws, err := optimize.NewWeightedSum(terms, weights)
+		if err != nil {
+			return nil, err
+		}
+		obj = ws
+	}
+	res := o.optimizeConfigs(ctx, obj, g.devs)
+	cfgs := optimize.PhasesToConfigs(res.Phases)
+
+	entry := PlanEntry{Label: strategy, Share: 1, Configs: map[string]surface.Config{}}
+	for i, d := range g.devs {
+		entry.Configs[d.ID] = cfgs[i]
+	}
+	for _, t := range scheduled {
+		entry.TaskIDs = append(entry.TaskIDs, t.ID)
+	}
+	p := &Plan{
+		FreqHz:   g.band.FreqHz,
+		APID:     g.band.AP.ID,
+		Surfaces: deviceIDs(g.devs),
+		Strategy: strategy,
+		Entries:  []PlanEntry{entry},
+	}
+	p.buildFrame()
+	if err := o.applyEntries(g.devs, p.Entries); err != nil {
+		return nil, err
+	}
+	for i, t := range scheduled {
+		r := evals[i](res.Phases)
+		r.Share = 1
+		r.Surfaces = p.Surfaces
+		r.Strategy = strategy
+		o.markRunning(t, r)
+	}
+	return []*Plan{p}, nil
+}
+
+// scheduleTDM gives each task its own optimized configuration and rotates
+// them as time slices weighted by priority.
+func (o *Orchestrator) scheduleTDM(ctx context.Context, g *group) ([]*Plan, error) {
+	spec := o.specFor(g.band.FreqHz, g.devs)
+	p := &Plan{
+		FreqHz:   g.band.FreqHz,
+		APID:     g.band.AP.ID,
+		Surfaces: deviceIDs(g.devs),
+		Strategy: StrategyTDM,
+	}
+	var scheduled []*Task
+	var evals []Evaluator
+	var phases [][][]float64
+	for _, t := range g.tasks {
+		obj, eval, err := o.buildObjective(ctx, t, g, spec)
+		if err != nil {
+			o.failTask(t, err)
+			continue
+		}
+		res := o.optimizeConfigs(ctx, obj, g.devs)
+		cfgs := optimize.PhasesToConfigs(res.Phases)
+		entry := PlanEntry{
+			Label:   fmt.Sprintf("task-%d", t.ID),
+			TaskIDs: []int{t.ID},
+			Share:   float64(t.Priority),
+			Configs: map[string]surface.Config{},
+		}
+		for i, d := range g.devs {
+			entry.Configs[d.ID] = cfgs[i]
+		}
+		p.Entries = append(p.Entries, entry)
+		scheduled = append(scheduled, t)
+		evals = append(evals, eval)
+		phases = append(phases, res.Phases)
+	}
+	if len(p.Entries) == 0 {
+		return nil, fmt.Errorf("%w at %g Hz", ErrNoSchedulableTasks, g.band.FreqHz)
+	}
+	p.buildFrame()
+	if err := o.applyEntries(g.devs, p.Entries); err != nil {
+		return nil, err
+	}
+	for i, t := range scheduled {
+		r := evals[i](phases[i])
+		r.Share = p.shareOf(i)
+		r.Surfaces = p.Surfaces
+		r.Strategy = StrategyTDM
+		o.markRunning(t, r)
+	}
+	return []*Plan{p}, nil
+}
+
+// scheduleSDM partitions surfaces among tasks by proximity to the task's
+// spatial target and optimizes each partition independently.
+func (o *Orchestrator) scheduleSDM(ctx context.Context, g *group) ([]*Plan, error) {
+	assign := o.assignSurfaces(g)
+	var plans []*Plan
+	var firstErr error
+	for ti, t := range g.tasks {
+		devs := assign[ti]
+		if len(devs) == 0 {
+			o.failTask(t, fmt.Errorf("%w for task %d under SDM", ErrNoActiveSurfaces, t.ID))
+			continue
+		}
+		sub := &group{band: g.band, tasks: []*Task{t}, devs: devs}
+		ps, err := o.scheduleJoint(ctx, sub, StrategySDM)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			o.failTask(t, err)
+			continue
+		}
+		plans = append(plans, ps...)
+	}
+	if len(plans) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return plans, nil
+}
+
+// assignSurfaces greedily gives each task its nearest unassigned surface
+// (by target centroid), then distributes leftovers to the nearest task.
+func (o *Orchestrator) assignSurfaces(g *group) [][]*hwmgr.Device {
+	target := make([]geom.Vec3, len(g.tasks))
+	for i, t := range g.tasks {
+		target[i] = o.taskTarget(t)
+	}
+	assign := make([][]*hwmgr.Device, len(g.tasks))
+	used := make([]bool, len(g.devs))
+	// Tasks in priority order pick their nearest free surface.
+	order := make([]int, len(g.tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := g.tasks[order[a]], g.tasks[order[b]]
+		if ta.Priority != tb.Priority {
+			return ta.Priority > tb.Priority
+		}
+		return ta.ID < tb.ID
+	})
+	for _, ti := range order {
+		best, bestD := -1, math.Inf(1)
+		for di, d := range g.devs {
+			if used[di] {
+				continue
+			}
+			if dist := d.Drv.Surface().Panel.Center().Dist(target[ti]); dist < bestD {
+				best, bestD = di, dist
+			}
+		}
+		if best >= 0 {
+			assign[ti] = append(assign[ti], g.devs[best])
+			used[best] = true
+		}
+	}
+	// Leftover surfaces reinforce their nearest task.
+	for di, d := range g.devs {
+		if used[di] {
+			continue
+		}
+		best, bestD := 0, math.Inf(1)
+		for ti := range g.tasks {
+			if dist := d.Drv.Surface().Panel.Center().Dist(target[ti]); dist < bestD {
+				best, bestD = ti, dist
+			}
+		}
+		assign[best] = append(assign[best], d)
+	}
+	return assign
+}
+
+// taskTarget returns a task's spatial focus for SDM assignment via its
+// service module.
+func (o *Orchestrator) taskTarget(t *Task) geom.Vec3 {
+	svc, err := t.service()
+	if err != nil {
+		return geom.Vec3{}
+	}
+	return svc.Target(o, t.Goal)
+}

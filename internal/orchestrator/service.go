@@ -1,0 +1,164 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"surfos/internal/engine"
+	"surfos/internal/geom"
+	"surfos/internal/hwmgr"
+	"surfos/internal/optimize"
+)
+
+// Band describes the frequency-band scheduling domain a task is planned
+// in: the serving access point and the resolved operating frequency. It is
+// the slice of scheduler state a service module is allowed to see.
+type Band struct {
+	AP     *hwmgr.AccessPoint
+	FreqHz float64
+}
+
+// Evaluator computes a task's headline result for a final phase set.
+type Evaluator func(phases [][]float64) *Result
+
+// Service is one pluggable surface-service module (paper §3.2: the growing
+// service interface row of Figure 3). The scheduler core is
+// service-agnostic: it only ever talks to this interface, so adding a
+// service means registering a new implementation — never editing the core.
+//
+// Split of responsibilities: Validate/Freq/Duration/Target are cheap,
+// submission-time policy over the goal; BuildObjective/Weight construct
+// the optimization problem at schedule time from the band's shared channel
+// state.
+type Service interface {
+	// Kind is the service's unique identifier.
+	Kind() ServiceKind
+	// Name is the service's short name for logs, events and the CLI.
+	Name() string
+	// Validate checks a goal at submission time. Rejections wrap
+	// ErrGoalInvalid.
+	Validate(o *Orchestrator, goal any) error
+	// Freq returns the goal's requested frequency (0 = serving AP's band).
+	Freq(goal any) float64
+	// Duration returns the goal's requested lifetime (0 = unbounded).
+	Duration(goal any) time.Duration
+	// Target is the goal's spatial focus, used for SDM surface assignment.
+	Target(o *Orchestrator, goal any) geom.Vec3
+	// BuildObjective constructs the optimization objective for a task over
+	// an engine spec, plus the evaluator that extracts the task's result
+	// metrics from a final phase set.
+	BuildObjective(ctx context.Context, o *Orchestrator, t *Task, band Band, spec engine.Spec) (optimize.Objective, Evaluator, error)
+	// Weight normalizes the task's loss term inside joint weighted sums.
+	Weight(o *Orchestrator, t *Task, obj optimize.Objective) float64
+}
+
+// EndpointNamer is implemented by goals that serve one named endpoint or
+// device; the name keys monitor expectations and lifecycle events.
+type EndpointNamer interface {
+	EndpointName() string
+}
+
+// --- registration table ---
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[ServiceKind]Service{}
+)
+
+// RegisterService adds a service module to the dispatch table. Built-in
+// services self-register from init; extensions may register additional
+// kinds before submitting tasks for them.
+func RegisterService(s Service) error {
+	if s == nil {
+		return fmt.Errorf("orchestrator: nil service")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if prev, ok := registry[s.Kind()]; ok {
+		return fmt.Errorf("orchestrator: service kind %d already registered as %q", uint8(s.Kind()), prev.Name())
+	}
+	registry[s.Kind()] = s
+	return nil
+}
+
+// MustRegisterService is RegisterService for init-time wiring.
+func MustRegisterService(s Service) {
+	if err := RegisterService(s); err != nil {
+		panic(err)
+	}
+}
+
+// RegisteredServices lists the registered kinds in ascending order.
+func RegisteredServices() []ServiceKind {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]ServiceKind, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// serviceFor resolves a kind through the table.
+func serviceFor(kind ServiceKind) (Service, error) {
+	registryMu.RLock()
+	s, ok := registry[kind]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w kind %d", ErrUnknownService, uint8(kind))
+	}
+	return s, nil
+}
+
+// serviceName resolves a kind's display name, ok=false when unregistered.
+func serviceName(kind ServiceKind) (string, bool) {
+	registryMu.RLock()
+	s, ok := registry[kind]
+	registryMu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	return s.Name(), true
+}
+
+// KindByName resolves a service name ("link", "sensing", ...) to its kind.
+func KindByName(name string) (ServiceKind, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	for k, s := range registry {
+		if s.Name() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w name %q", ErrUnknownService, name)
+}
+
+// Submit files a task for any registered service kind: the generic entry
+// point behind the per-service convenience APIs, and the only one a new
+// service module needs.
+func (o *Orchestrator) Submit(ctx context.Context, kind ServiceKind, goal any, priority int) (*Task, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	svc, err := serviceFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Validate(o, goal); err != nil {
+		return nil, err
+	}
+	return o.submit(svc, goal, priority, svc.Duration(goal))
+}
+
+// service resolves a task's module, tolerating tasks created before the
+// registry was consulted.
+func (t *Task) service() (Service, error) {
+	if t.svc != nil {
+		return t.svc, nil
+	}
+	return serviceFor(t.Kind)
+}

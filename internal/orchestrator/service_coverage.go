@@ -1,0 +1,101 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"surfos/internal/engine"
+	"surfos/internal/geom"
+	"surfos/internal/optimize"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+)
+
+// CoverageGoal asks for a median SNR across a named region
+// (optimize_coverage()).
+type CoverageGoal struct {
+	Region      string
+	MedianSNRdB float64
+	FreqHz      float64
+	// GridStep is the evaluation grid spacing in meters (default 0.5).
+	GridStep float64
+}
+
+func init() { MustRegisterService(coverageService{}) }
+
+// coverageService is the region-coverage module: a multi-channel coverage
+// objective over the region's evaluation grid.
+type coverageService struct{}
+
+func (coverageService) Kind() ServiceKind { return ServiceCoverage }
+func (coverageService) Name() string      { return "coverage" }
+
+func (coverageService) Validate(o *Orchestrator, goal any) error {
+	g, ok := goal.(CoverageGoal)
+	if !ok {
+		return fmt.Errorf("%w: coverage wants a CoverageGoal, got %T", ErrGoalInvalid, goal)
+	}
+	if _, err := o.Scene.Region(g.Region); err != nil {
+		return fmt.Errorf("%w: %w", ErrGoalInvalid, err)
+	}
+	return nil
+}
+
+func (coverageService) Freq(goal any) float64 {
+	g, _ := goal.(CoverageGoal)
+	return g.FreqHz
+}
+
+func (coverageService) Duration(any) time.Duration { return 0 }
+
+func (coverageService) Target(o *Orchestrator, goal any) geom.Vec3 {
+	g, _ := goal.(CoverageGoal)
+	if r, err := o.Scene.Region(g.Region); err == nil {
+		return r.Box.Center()
+	}
+	return geom.Vec3{}
+}
+
+func (coverageService) BuildObjective(ctx context.Context, o *Orchestrator, t *Task, band Band, spec engine.Spec) (optimize.Objective, Evaluator, error) {
+	goal, ok := t.Goal.(CoverageGoal)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: task %d: coverage wants a CoverageGoal, got %T", ErrGoalInvalid, t.ID, t.Goal)
+	}
+	lb := band.AP.Budget
+	step := goal.GridStep
+	if step == 0 {
+		step = o.Opts.GridStep
+	}
+	reg, err := o.Scene.Region(goal.Region)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrGoalInvalid, err)
+	}
+	pts := reg.GridPoints(step, scene.EvalHeight)
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("%w: region %q has no grid points", ErrGoalInvalid, goal.Region)
+	}
+	chans, err := o.eng.Channels(ctx, spec, band.AP.Pos, pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	obj, err := optimize.NewCoverageObjective(chans, lb)
+	if err != nil {
+		return nil, nil, err
+	}
+	eval := func(ph [][]float64) *Result {
+		cfgs := optimize.PhasesToConfigs(ph)
+		snrs := make([]float64, len(chans))
+		for i, ch := range chans {
+			h, _ := ch.Eval(cfgs)
+			snrs[i] = lb.SNRdB(h)
+		}
+		med := rfsim.Median(snrs)
+		return &Result{Metric: med, MetricName: "median_snr_db", Satisfied: med >= goal.MedianSNRdB}
+	}
+	return obj, eval, nil
+}
+
+func (coverageService) Weight(_ *Orchestrator, _ *Task, obj optimize.Objective) float64 {
+	return coverageWeight(obj)
+}

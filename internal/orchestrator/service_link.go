@@ -1,0 +1,94 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"surfos/internal/engine"
+	"surfos/internal/geom"
+	"surfos/internal/optimize"
+	"surfos/internal/rfsim"
+)
+
+// LinkGoal asks for connectivity enhancement to one endpoint
+// (enhance_link() in the paper's Figure 6).
+type LinkGoal struct {
+	Endpoint   string
+	Pos        geom.Vec3
+	MinSNRdB   float64
+	MaxLatency time.Duration // application latency budget (informational)
+	FreqHz     float64       // 0 = the serving AP's band
+}
+
+// EndpointName implements EndpointNamer.
+func (g LinkGoal) EndpointName() string { return g.Endpoint }
+
+func init() { MustRegisterService(linkService{}) }
+
+// linkService is the connectivity-enhancement module: a single-channel
+// coverage objective focused on the endpoint.
+type linkService struct{}
+
+func (linkService) Kind() ServiceKind { return ServiceLink }
+func (linkService) Name() string      { return "link" }
+
+func (linkService) Validate(o *Orchestrator, goal any) error {
+	g, ok := goal.(LinkGoal)
+	if !ok {
+		return fmt.Errorf("%w: link wants a LinkGoal, got %T", ErrGoalInvalid, goal)
+	}
+	if g.Endpoint == "" {
+		return fmt.Errorf("%w: link goal needs an endpoint", ErrGoalInvalid)
+	}
+	return nil
+}
+
+func (linkService) Freq(goal any) float64 {
+	g, _ := goal.(LinkGoal)
+	return g.FreqHz
+}
+
+func (linkService) Duration(any) time.Duration { return 0 }
+
+func (linkService) Target(_ *Orchestrator, goal any) geom.Vec3 {
+	g, _ := goal.(LinkGoal)
+	return g.Pos
+}
+
+func (linkService) BuildObjective(ctx context.Context, o *Orchestrator, t *Task, band Band, spec engine.Spec) (optimize.Objective, Evaluator, error) {
+	goal, ok := t.Goal.(LinkGoal)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: task %d: link wants a LinkGoal, got %T", ErrGoalInvalid, t.ID, t.Goal)
+	}
+	lb := band.AP.Budget
+	tc, err := o.eng.Tx(ctx, spec, band.AP.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := tc.Channel(goal.Pos)
+	obj, err := optimize.NewCoverageObjective([]*rfsim.Channel{ch}, lb)
+	if err != nil {
+		return nil, nil, err
+	}
+	eval := func(ph [][]float64) *Result {
+		h, _ := ch.Eval(optimize.PhasesToConfigs(ph))
+		snr := lb.SNRdB(h)
+		return &Result{Metric: snr, MetricName: "snr_db", Satisfied: snr >= goal.MinSNRdB}
+	}
+	return obj, eval, nil
+}
+
+func (linkService) Weight(_ *Orchestrator, _ *Task, obj optimize.Objective) float64 {
+	return coverageWeight(obj)
+}
+
+// coverageWeight normalizes location-count-scaled losses: coverage and
+// link losses sum over locations, so a plain joint sum would let large
+// regions dominate; dividing by the channel count balances the terms.
+func coverageWeight(obj optimize.Objective) float64 {
+	if c, ok := obj.(*optimize.CoverageObjective); ok && len(c.Channels) > 0 {
+		return 1 / float64(len(c.Channels))
+	}
+	return 1
+}

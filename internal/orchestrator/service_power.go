@@ -1,0 +1,82 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"surfos/internal/engine"
+	"surfos/internal/geom"
+	"surfos/internal/optimize"
+	"surfos/internal/rfsim"
+)
+
+// PowerGoal asks for wireless power delivery to a device (init_powering()).
+type PowerGoal struct {
+	Device   string
+	Pos      geom.Vec3
+	Duration time.Duration
+	FreqHz   float64
+}
+
+// EndpointName implements EndpointNamer.
+func (g PowerGoal) EndpointName() string { return g.Device }
+
+func init() { MustRegisterService(powerService{}) }
+
+// powerService is the wireless-power module: a received-power objective
+// focused on the device position.
+type powerService struct{}
+
+func (powerService) Kind() ServiceKind { return ServicePowering }
+func (powerService) Name() string      { return "powering" }
+
+func (powerService) Validate(_ *Orchestrator, goal any) error {
+	g, ok := goal.(PowerGoal)
+	if !ok {
+		return fmt.Errorf("%w: powering wants a PowerGoal, got %T", ErrGoalInvalid, goal)
+	}
+	if g.Device == "" {
+		return fmt.Errorf("%w: power goal needs a device", ErrGoalInvalid)
+	}
+	return nil
+}
+
+func (powerService) Freq(goal any) float64 {
+	g, _ := goal.(PowerGoal)
+	return g.FreqHz
+}
+
+func (powerService) Duration(goal any) time.Duration {
+	g, _ := goal.(PowerGoal)
+	return g.Duration
+}
+
+func (powerService) Target(_ *Orchestrator, goal any) geom.Vec3 {
+	g, _ := goal.(PowerGoal)
+	return g.Pos
+}
+
+func (powerService) BuildObjective(ctx context.Context, o *Orchestrator, t *Task, band Band, spec engine.Spec) (optimize.Objective, Evaluator, error) {
+	goal, ok := t.Goal.(PowerGoal)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: task %d: powering wants a PowerGoal, got %T", ErrGoalInvalid, t.ID, t.Goal)
+	}
+	lb := band.AP.Budget
+	tc, err := o.eng.Tx(ctx, spec, band.AP.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := tc.Channel(goal.Pos)
+	obj, err := optimize.NewPowerObjective([]*rfsim.Channel{ch})
+	if err != nil {
+		return nil, nil, err
+	}
+	eval := func(ph [][]float64) *Result {
+		h, _ := ch.Eval(optimize.PhasesToConfigs(ph))
+		return &Result{Metric: lb.RxPowerDBm(h), MetricName: "rx_power_dbm", Satisfied: true}
+	}
+	return obj, eval, nil
+}
+
+func (powerService) Weight(*Orchestrator, *Task, optimize.Objective) float64 { return 1 }

@@ -1,0 +1,82 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"surfos/internal/engine"
+	"surfos/internal/geom"
+	"surfos/internal/optimize"
+)
+
+// SecurityGoal asks for eavesdropper suppression while serving a user.
+type SecurityGoal struct {
+	Endpoint string
+	UserPos  geom.Vec3
+	EvePos   geom.Vec3
+	FreqHz   float64
+}
+
+// EndpointName implements EndpointNamer.
+func (g SecurityGoal) EndpointName() string { return g.Endpoint }
+
+func init() { MustRegisterService(securityService{}) }
+
+// securityService is the physical-layer security module: maximize the
+// user-eavesdropper SNR gap.
+type securityService struct{}
+
+func (securityService) Kind() ServiceKind { return ServiceSecurity }
+func (securityService) Name() string      { return "security" }
+
+func (securityService) Validate(_ *Orchestrator, goal any) error {
+	g, ok := goal.(SecurityGoal)
+	if !ok {
+		return fmt.Errorf("%w: security wants a SecurityGoal, got %T", ErrGoalInvalid, goal)
+	}
+	if g.Endpoint == "" {
+		return fmt.Errorf("%w: security goal needs an endpoint", ErrGoalInvalid)
+	}
+	return nil
+}
+
+func (securityService) Freq(goal any) float64 {
+	g, _ := goal.(SecurityGoal)
+	return g.FreqHz
+}
+
+func (securityService) Duration(any) time.Duration { return 0 }
+
+func (securityService) Target(_ *Orchestrator, goal any) geom.Vec3 {
+	g, _ := goal.(SecurityGoal)
+	return g.UserPos
+}
+
+func (securityService) BuildObjective(ctx context.Context, o *Orchestrator, t *Task, band Band, spec engine.Spec) (optimize.Objective, Evaluator, error) {
+	goal, ok := t.Goal.(SecurityGoal)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: task %d: security wants a SecurityGoal, got %T", ErrGoalInvalid, t.ID, t.Goal)
+	}
+	lb := band.AP.Budget
+	tc, err := o.eng.Tx(ctx, spec, band.AP.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	user := tc.Channel(goal.UserPos)
+	eve := tc.Channel(goal.EvePos)
+	obj, err := optimize.NewSecurityObjective(user, eve, 1.0, lb)
+	if err != nil {
+		return nil, nil, err
+	}
+	eval := func(ph [][]float64) *Result {
+		cfgs := optimize.PhasesToConfigs(ph)
+		hu, _ := user.Eval(cfgs)
+		he, _ := eve.Eval(cfgs)
+		gap := lb.SNRdB(hu) - lb.SNRdB(he)
+		return &Result{Metric: gap, MetricName: "user_eve_snr_gap_db", Satisfied: gap > 0}
+	}
+	return obj, eval, nil
+}
+
+func (securityService) Weight(*Orchestrator, *Task, optimize.Objective) float64 { return 1 }

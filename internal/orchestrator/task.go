@@ -1,25 +1,30 @@
 // Package orchestrator is the SurfOS surface orchestrator (paper §3.2):
 // the universal central control plane. It exposes environment-wide service
 // request APIs — EnhanceLink, OptimizeCoverage, EnableSensing,
-// InitPowering, SecureLink — each creating a task (akin to an OS process),
-// and schedules all surface hardware globally: multiplexing tasks across
-// time, frequency and space slices, optimizing configurations (including
-// joint multitask optimization over a single shared configuration), and
-// pushing the results to devices through the hardware manager.
+// InitPowering, SecureLink, and the generic Submit — each creating a task
+// (akin to an OS process), and schedules all surface hardware globally:
+// multiplexing tasks across time, frequency and space slices, optimizing
+// configurations (including joint multitask optimization over a single
+// shared configuration), and pushing the results to devices through the
+// hardware manager.
+//
+// The package is split along the mechanism/policy line: scheduler.go is
+// the service-agnostic core (grouping, strategy pick, optimization,
+// commit), while each service_*.go file is one pluggable policy module
+// implementing the Service interface, registered in service.go's table.
 package orchestrator
 
 import (
 	"fmt"
 	"time"
-
-	"surfos/internal/geom"
 )
 
 // ServiceKind identifies a surface service (paper Figure 3's service
 // interface row).
 type ServiceKind uint8
 
-// Services.
+// Built-in services. Extensions register further kinds via
+// RegisterService.
 const (
 	ServiceLink ServiceKind = iota + 1
 	ServiceCoverage
@@ -28,19 +33,10 @@ const (
 	ServiceSecurity
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer via the service registry.
 func (k ServiceKind) String() string {
-	switch k {
-	case ServiceLink:
-		return "link"
-	case ServiceCoverage:
-		return "coverage"
-	case ServiceSensing:
-		return "sensing"
-	case ServicePowering:
-		return "powering"
-	case ServiceSecurity:
-		return "security"
+	if name, ok := serviceName(k); ok {
+		return name
 	}
 	return fmt.Sprintf("service(%d)", uint8(k))
 }
@@ -77,52 +73,6 @@ func (s TaskState) String() string {
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
-// LinkGoal asks for connectivity enhancement to one endpoint
-// (enhance_link() in the paper's Figure 6).
-type LinkGoal struct {
-	Endpoint   string
-	Pos        geom.Vec3
-	MinSNRdB   float64
-	MaxLatency time.Duration // application latency budget (informational)
-	FreqHz     float64       // 0 = the serving AP's band
-}
-
-// CoverageGoal asks for a median SNR across a named region
-// (optimize_coverage()).
-type CoverageGoal struct {
-	Region      string
-	MedianSNRdB float64
-	FreqHz      float64
-	// GridStep is the evaluation grid spacing in meters (default 0.5).
-	GridStep float64
-}
-
-// SensingGoal asks for localization service over a region
-// (enable_sensing()).
-type SensingGoal struct {
-	Region   string
-	Type     string // e.g. "tracking"
-	Duration time.Duration
-	FreqHz   float64
-	GridStep float64
-}
-
-// PowerGoal asks for wireless power delivery to a device (init_powering()).
-type PowerGoal struct {
-	Device   string
-	Pos      geom.Vec3
-	Duration time.Duration
-	FreqHz   float64
-}
-
-// SecurityGoal asks for eavesdropper suppression while serving a user.
-type SecurityGoal struct {
-	Endpoint string
-	UserPos  geom.Vec3
-	EvePos   geom.Vec3
-	FreqHz   float64
-}
-
 // Result captures a task's achieved service metrics after scheduling.
 type Result struct {
 	// Metric is the task's headline number: achieved SNR (link), median
@@ -143,6 +93,16 @@ type Result struct {
 	Strategy string
 }
 
+// clone deep-copies a result.
+func (r *Result) clone() *Result {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.Surfaces = append([]string(nil), r.Surfaces...)
+	return &cp
+}
+
 // Task is one scheduled service request — the orchestrator's process
 // abstraction.
 type Task struct {
@@ -160,23 +120,26 @@ type Task struct {
 	Result *Result
 	// Err records the failure reason for TaskFailed.
 	Err error
+
+	// svc is the task's resolved service module (immutable after submit).
+	svc Service
 }
 
-// goalFreq extracts the frequency request from a goal (0 = unspecified).
-func goalFreq(goal any) float64 {
-	switch g := goal.(type) {
-	case LinkGoal:
-		return g.FreqHz
-	case CoverageGoal:
-		return g.FreqHz
-	case SensingGoal:
-		return g.FreqHz
-	case PowerGoal:
-		return g.FreqHz
-	case SecurityGoal:
-		return g.FreqHz
+// clone returns a defensive snapshot of the task: accessors hand these
+// out so callers never observe fields mutated under the orchestrator's
+// lock during Tick/Reconcile.
+func (t *Task) clone() *Task {
+	cp := *t
+	cp.Result = t.Result.clone()
+	return &cp
+}
+
+// endpoint returns the goal's served endpoint name ("" when anonymous).
+func (t *Task) endpoint() string {
+	if n, ok := t.Goal.(EndpointNamer); ok {
+		return n.EndpointName()
 	}
-	return 0
+	return ""
 }
 
 // active reports whether the task competes for resources.

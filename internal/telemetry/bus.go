@@ -1,0 +1,55 @@
+package telemetry
+
+import "sync"
+
+// bus is the generic fan-out publish/subscribe core shared by the report
+// bus and the task-event bus. Slow subscribers drop (never block the
+// publisher): telemetry is advisory, freshest-wins.
+type bus[T any] struct {
+	mu   sync.Mutex
+	subs map[int]chan T
+	next int
+}
+
+// subscribe registers a subscriber with the given channel buffer. The
+// returned cancel function unsubscribes and closes the channel.
+func (b *bus[T]) subscribe(buffer int) (<-chan T, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.subs == nil {
+		b.subs = make(map[int]chan T)
+	}
+	id := b.next
+	b.next++
+	ch := make(chan T, buffer)
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// publish delivers a value to every subscriber, dropping for any whose
+// buffer is full.
+func (b *bus[T]) publish(v T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- v:
+		default: // drop: stale telemetry is worthless
+		}
+	}
+}
+
+// subscribers returns the current subscriber count.
+func (b *bus[T]) subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import "time"
+
+// Task lifecycle phases published on the event bus. They mirror the
+// orchestrator's task states, plus the transient "submitted"/"scheduled"
+// markers emitted while a task moves through the pipeline.
+const (
+	TaskSubmitted = "submitted" // task accepted into the table
+	TaskScheduled = "scheduled" // task placed into a committed plan
+	TaskRunning   = "running"   // configurations applied, result available
+	TaskIdle      = "idle"      // parked, hardware released
+	TaskResumed   = "resumed"   // un-parked, awaiting reschedule
+	TaskDone      = "done"      // completed or explicitly ended
+	TaskFailed    = "failed"    // unschedulable or errored
+)
+
+// TaskEvent is one task lifecycle transition. Events are advisory — the
+// orchestrator's task table remains the source of truth — so consumers
+// (monitors, CLIs, loggers) may drop or lag without affecting scheduling.
+type TaskEvent struct {
+	Time   time.Time
+	TaskID int
+	Kind   string // service kind name ("link", "coverage", ...)
+	State  string // one of the Task* phase constants above
+	FreqHz float64
+
+	// Endpoint is the served endpoint/device name when the goal names one
+	// ("" otherwise). Monitors key expectations on it.
+	Endpoint string
+
+	// Plan placement, populated for scheduled/running events.
+	Strategy string
+	Surfaces []string
+	Share    float64
+
+	// Result metrics, populated for running events.
+	Metric     float64
+	MetricName string
+
+	// Err carries the failure reason text for failed events.
+	Err string
+}
+
+// EventBus is a fan-out publish/subscribe channel for task lifecycle
+// events, with the same drop-on-full semantics as the report Bus.
+type EventBus struct {
+	core bus[TaskEvent]
+}
+
+// NewEventBus creates an empty task-event bus.
+func NewEventBus() *EventBus { return &EventBus{} }
+
+// Subscribe registers a subscriber with the given channel buffer. The
+// returned cancel function unsubscribes and closes the channel.
+func (b *EventBus) Subscribe(buffer int) (<-chan TaskEvent, func()) {
+	return b.core.subscribe(buffer)
+}
+
+// Publish delivers an event to every subscriber, dropping for any whose
+// buffer is full.
+func (b *EventBus) Publish(ev TaskEvent) { b.core.publish(ev) }
+
+// Subscribers returns the current subscriber count.
+func (b *EventBus) Subscribers() int { return b.core.subscribers() }

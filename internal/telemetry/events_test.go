@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventBusFanOut(t *testing.T) {
+	b := NewEventBus()
+	if n := b.Subscribers(); n != 0 {
+		t.Fatalf("fresh bus subscribers = %d", n)
+	}
+	ch1, cancel1 := b.Subscribe(4)
+	ch2, cancel2 := b.Subscribe(4)
+	defer cancel2()
+	if n := b.Subscribers(); n != 2 {
+		t.Fatalf("subscribers = %d, want 2", n)
+	}
+
+	ev := TaskEvent{Time: time.Unix(10, 0), TaskID: 7, Kind: "link", State: TaskRunning, Endpoint: "laptop", Metric: 21.5, MetricName: "snr_db"}
+	b.Publish(ev)
+	for i, ch := range []<-chan TaskEvent{ch1, ch2} {
+		select {
+		case got := <-ch:
+			if got.TaskID != ev.TaskID || got.State != ev.State || got.Endpoint != ev.Endpoint || got.Metric != ev.Metric {
+				t.Errorf("subscriber %d got %+v", i, got)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("subscriber %d got nothing", i)
+		}
+	}
+
+	cancel1()
+	cancel1() // idempotent
+	if n := b.Subscribers(); n != 1 {
+		t.Fatalf("subscribers after cancel = %d, want 1", n)
+	}
+	if _, ok := <-ch1; ok {
+		t.Error("cancelled channel still open")
+	}
+	b.Publish(TaskEvent{TaskID: 8, State: TaskDone})
+	if got := <-ch2; got.TaskID != 8 || got.State != TaskDone {
+		t.Errorf("surviving subscriber got %+v", got)
+	}
+}
+
+func TestEventBusDropsWhenFull(t *testing.T) {
+	b := NewEventBus()
+	ch, cancel := b.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		b.Publish(TaskEvent{TaskID: i}) // must not block past the buffer
+	}
+	if got := <-ch; got.TaskID != 0 {
+		t.Errorf("first delivered = %d, want 0", got.TaskID)
+	}
+	if got := <-ch; got.TaskID != 1 {
+		t.Errorf("second delivered = %d, want 1", got.TaskID)
+	}
+	select {
+	case ev := <-ch:
+		t.Errorf("overflow event delivered: %+v", ev)
+	default:
+	}
+}
+
+func TestEventBusConcurrentPublish(t *testing.T) {
+	b := NewEventBus()
+	ch, cancel := b.Subscribe(1024)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish(TaskEvent{TaskID: p*100 + i, State: TaskSubmitted})
+			}
+		}(p)
+	}
+	wg.Wait()
+	cancel()
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 800 {
+		t.Errorf("delivered %d events, want 800", n)
+	}
+}

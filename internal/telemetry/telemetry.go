@@ -23,55 +23,24 @@ type Report struct {
 // Bus is a fan-out publish/subscribe channel for reports. Slow subscribers
 // drop (never block the publisher): feedback is advisory, freshest-wins.
 type Bus struct {
-	mu   sync.Mutex
-	subs map[int]chan Report
-	next int
+	core bus[Report]
 }
 
 // NewBus creates an empty bus.
-func NewBus() *Bus {
-	return &Bus{subs: make(map[int]chan Report)}
-}
+func NewBus() *Bus { return &Bus{} }
 
 // Subscribe registers a subscriber with the given channel buffer. The
 // returned cancel function unsubscribes and closes the channel.
 func (b *Bus) Subscribe(buffer int) (<-chan Report, func()) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	id := b.next
-	b.next++
-	ch := make(chan Report, buffer)
-	b.subs[id] = ch
-	cancel := func() {
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		if c, ok := b.subs[id]; ok {
-			delete(b.subs, id)
-			close(c)
-		}
-	}
-	return ch, cancel
+	return b.core.subscribe(buffer)
 }
 
 // Publish delivers a report to every subscriber, dropping for any whose
 // buffer is full.
-func (b *Bus) Publish(r Report) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, ch := range b.subs {
-		select {
-		case ch <- r:
-		default: // drop: stale feedback is worthless
-		}
-	}
-}
+func (b *Bus) Publish(r Report) { b.core.publish(r) }
 
 // Subscribers returns the current subscriber count.
-func (b *Bus) Subscribers() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.subs)
-}
+func (b *Bus) Subscribers() int { return b.core.subscribers() }
 
 // Aggregator maintains exponentially-weighted link metrics per (device,
 // codebook entry) so devices can adapt to the best stored configuration.

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# golden-check.sh — regression gate for the paper experiments.
+#
+# Runs the quick experiment profile and diffs it against the committed
+# golden output, normalizing only the wall-clock timing strings
+# ("(quick profile, 9.886s)" -> "(quick profile, TIME)"). Everything else
+# — every table cell, heatmap glyph, and headline metric — must match
+# byte for byte: the experiment pipeline is deterministic by design.
+#
+# Usage: scripts/golden-check.sh [golden-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden="${1:-docs/surfos-bench-quick.txt}"
+[ -f "$golden" ] || { echo "golden-check: missing golden file $golden" >&2; exit 2; }
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go run ./cmd/surfos-bench -profile quick > "$tmp"
+
+normalize() {
+    sed -E 's/\(quick profile, [^)]*\)/(quick profile, TIME)/' "$1"
+}
+
+if ! diff -u <(normalize "$golden") <(normalize "$tmp"); then
+    echo "golden-check: experiment output diverged from $golden" >&2
+    echo "golden-check: if the change is intentional, regenerate with:" >&2
+    echo "  go run ./cmd/surfos-bench -profile quick > $golden" >&2
+    exit 1
+fi
+echo "golden-check: experiment output matches $golden"

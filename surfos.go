@@ -35,6 +35,7 @@
 //	task, _ := orch.EnhanceLink(ctx, surfos.LinkGoal{
 //	    Endpoint: "laptop", Pos: surfos.V(2.5, 5.5, 1.2)}, 1)
 //	orch.Reconcile(ctx)
+//	task, _ = orch.Task(task.ID) // accessors return snapshots; re-fetch
 //	fmt.Println(task.Result.Metric, "dB") // achieved SNR
 //
 // All service and planning entry points take a context.Context; canceling
@@ -108,6 +109,8 @@ type (
 	MultiplexPolicy = orchestrator.MultiplexPolicy
 	// Task is a scheduled service request (akin to an OS process).
 	Task = orchestrator.Task
+	// TaskState is a task's scheduling state.
+	TaskState = orchestrator.TaskState
 	// LinkGoal parameterizes EnhanceLink.
 	LinkGoal = orchestrator.LinkGoal
 	// CoverageGoal parameterizes OptimizeCoverage.
@@ -144,6 +147,18 @@ type (
 	TelemetryBus = telemetry.Bus
 	// Report is one endpoint feedback sample.
 	Report = telemetry.Report
+	// TaskEventBus fans task lifecycle events out to subscribers.
+	TaskEventBus = telemetry.EventBus
+	// TaskEvent is one task lifecycle transition.
+	TaskEvent = telemetry.TaskEvent
+	// Service is the pluggable per-service module the orchestrator's
+	// scheduler core consumes; register implementations with
+	// RegisterService to extend SurfOS with new service kinds.
+	Service = orchestrator.Service
+	// ServiceKind identifies a registered service module.
+	ServiceKind = orchestrator.ServiceKind
+	// Plan is one access point's deployed scheduling decision.
+	Plan = orchestrator.Plan
 	// Engine is the shared channel-evaluation engine: a memoized ray-trace
 	// cache plus a worker pool for grid-shaped evaluation.
 	Engine = engine.Engine
@@ -183,6 +198,61 @@ const (
 	PolicyJoint = orchestrator.PolicyJoint
 	PolicySDM   = orchestrator.PolicySDM
 )
+
+// Task scheduling states.
+const (
+	TaskStatePending = orchestrator.TaskPending
+	TaskStateRunning = orchestrator.TaskRunning
+	TaskStateIdle    = orchestrator.TaskIdle
+	TaskStateDone    = orchestrator.TaskDone
+	TaskStateFailed  = orchestrator.TaskFailed
+)
+
+// Built-in service kinds.
+const (
+	ServiceLink     = orchestrator.ServiceLink
+	ServiceCoverage = orchestrator.ServiceCoverage
+	ServiceSensing  = orchestrator.ServiceSensing
+	ServicePowering = orchestrator.ServicePowering
+	ServiceSecurity = orchestrator.ServiceSecurity
+)
+
+// Task lifecycle event states.
+const (
+	TaskSubmitted = telemetry.TaskSubmitted
+	TaskScheduled = telemetry.TaskScheduled
+	TaskRunning   = telemetry.TaskRunning
+	TaskIdle      = telemetry.TaskIdle
+	TaskResumed   = telemetry.TaskResumed
+	TaskDone      = telemetry.TaskDone
+	TaskFailed    = telemetry.TaskFailed
+)
+
+// Typed orchestrator errors: every failure path wraps one of these
+// sentinels, so callers branch with errors.Is instead of string matching.
+// They survive the control-protocol wire hop (internal/ctrlproto maps
+// them to status codes and back).
+var (
+	ErrUnknownTask        = orchestrator.ErrUnknownTask
+	ErrUnknownService     = orchestrator.ErrUnknownService
+	ErrGoalInvalid        = orchestrator.ErrGoalInvalid
+	ErrNoAccessPoint      = orchestrator.ErrNoAccessPoint
+	ErrNoActiveSurfaces   = orchestrator.ErrNoActiveSurfaces
+	ErrNoSchedulableTasks = orchestrator.ErrNoSchedulableTasks
+	ErrOptimizeStopped    = orchestrator.ErrOptimizeStopped
+)
+
+// RegisterService installs a service module under its kind; the scheduler
+// core picks it up with no further wiring ("writing a new service" in the
+// README walks through a full example).
+func RegisterService(s Service) error { return orchestrator.RegisterService(s) }
+
+// RegisteredServices lists the installed service kinds in order.
+func RegisteredServices() []ServiceKind { return orchestrator.RegisteredServices() }
+
+// NewTaskEventBus creates a task lifecycle event bus; attach it to an
+// orchestrator with SetEventBus.
+func NewTaskEventBus() *TaskEventBus { return telemetry.NewEventBus() }
 
 // Apartment location names.
 const (
