@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt ci golden
+.PHONY: all build test race vet bench bench-smoke fmt ci golden
 
 all: build vet test
 
 # ci is the full merge gate: compile, static checks, the race-detector
-# test run, and the experiment-output golden check (byte-identical paper
-# figures modulo timing strings).
-ci: build vet race golden
+# test run, the experiment-output golden check (byte-identical paper
+# figures modulo timing strings), and a one-iteration benchmark smoke
+# pass so benchmark code cannot rot.
+ci: build vet race golden bench-smoke
 
 golden:
 	./scripts/golden-check.sh
@@ -28,6 +29,11 @@ vet:
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkEngine -benchmem .
+
+# bench-smoke compiles and runs every benchmark for exactly one iteration;
+# it catches benchmarks broken by API changes without paying timing runs.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 fmt:
 	gofmt -l -w .

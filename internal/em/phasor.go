@@ -1,0 +1,78 @@
+package em
+
+import "math/cmplx"
+
+// FillPhasors writes the unit phasors e^{jφ} of phases into dst, which must
+// have the same length. It is the single phase→phasor conversion loop shared
+// by the simulator, the optimizer losses, and the sensing estimator.
+func FillPhasors(dst []complex128, phases []float64) {
+	for k, phi := range phases {
+		dst[k] = cmplx.Rect(1, phi)
+	}
+}
+
+// Phasors converts a per-surface phase set to unit phasor vectors, allocating
+// the result. Hot paths that convert repeatedly should hold a PhasorBuf and
+// use its Phasors method instead.
+func Phasors(phases [][]float64) [][]complex128 {
+	var b PhasorBuf
+	return b.Phasors(phases)
+}
+
+// PhasorBuf is reusable scratch for phase→phasor conversion. The zero value
+// is ready to use. A buffer grows to the largest shape it has seen and then
+// converts without allocating; results alias the buffer's storage and are
+// valid until the next Reset/Phasors call. A PhasorBuf is not safe for
+// concurrent use.
+type PhasorBuf struct {
+	flat []complex128
+	rows [][]complex128
+	used int
+}
+
+// Reset prepares the buffer for nRows Append calls, reusing prior storage.
+func (b *PhasorBuf) Reset(nRows int) {
+	if cap(b.rows) < nRows {
+		b.rows = make([][]complex128, 0, nRows)
+	}
+	b.rows = b.rows[:0]
+	b.used = 0
+}
+
+// Append converts one phase vector into the next row and returns it.
+func (b *PhasorBuf) Append(phases []float64) []complex128 {
+	row := b.alloc(len(phases))
+	FillPhasors(row, phases)
+	b.rows = append(b.rows, row)
+	return row
+}
+
+// alloc carves an n-cell row out of the flat backing array, growing it when
+// exhausted. Rows handed out before a growth keep pointing into the old
+// array, so they stay valid for the rest of the cycle.
+func (b *PhasorBuf) alloc(n int) []complex128 {
+	if b.used+n > len(b.flat) {
+		size := 2 * len(b.flat)
+		if size < n {
+			size = n
+		}
+		b.flat = make([]complex128, size)
+		b.used = 0
+	}
+	row := b.flat[b.used : b.used+n : b.used+n]
+	b.used += n
+	return row
+}
+
+// Rows returns the rows appended since the last Reset.
+func (b *PhasorBuf) Rows() [][]complex128 { return b.rows }
+
+// Phasors converts a per-surface phase set in one call, reusing the buffer's
+// storage. The result is valid until the next call on the same buffer.
+func (b *PhasorBuf) Phasors(phases [][]float64) [][]complex128 {
+	b.Reset(len(phases))
+	for _, ps := range phases {
+		b.Append(ps)
+	}
+	return b.rows
+}

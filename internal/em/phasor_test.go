@@ -1,0 +1,94 @@
+package em
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestFillPhasors(t *testing.T) {
+	phases := []float64{0, math.Pi / 2, math.Pi, -math.Pi / 3, 7.5}
+	dst := make([]complex128, len(phases))
+	FillPhasors(dst, phases)
+	for k, phi := range phases {
+		want := cmplx.Rect(1, phi)
+		if dst[k] != want {
+			t.Errorf("phasor[%d] = %v, want %v", k, dst[k], want)
+		}
+	}
+}
+
+func TestPhasorsShape(t *testing.T) {
+	phases := [][]float64{{0.1, 0.2, 0.3}, {}, {1.5}}
+	x := Phasors(phases)
+	if len(x) != len(phases) {
+		t.Fatalf("got %d rows, want %d", len(x), len(phases))
+	}
+	for s := range phases {
+		if len(x[s]) != len(phases[s]) {
+			t.Fatalf("row %d has %d cells, want %d", s, len(x[s]), len(phases[s]))
+		}
+		for k, phi := range phases[s] {
+			if x[s][k] != cmplx.Rect(1, phi) {
+				t.Errorf("x[%d][%d] = %v", s, k, x[s][k])
+			}
+		}
+	}
+}
+
+// TestPhasorBufGrowthKeepsOldRows exercises the mid-cycle growth path: rows
+// appended before the flat backing array grows must keep their values.
+func TestPhasorBufGrowthKeepsOldRows(t *testing.T) {
+	var b PhasorBuf
+	b.Reset(2)
+	first := b.Append([]float64{0.25, 0.5})
+	// Force a growth: much larger than the current backing array.
+	big := make([]float64, 256)
+	for i := range big {
+		big[i] = float64(i) * 0.01
+	}
+	second := b.Append(big)
+	if first[0] != cmplx.Rect(1, 0.25) || first[1] != cmplx.Rect(1, 0.5) {
+		t.Errorf("first row corrupted after growth: %v", first)
+	}
+	for i := range big {
+		if second[i] != cmplx.Rect(1, big[i]) {
+			t.Fatalf("second row cell %d = %v", i, second[i])
+		}
+	}
+	rows := b.Rows()
+	if len(rows) != 2 || &rows[0][0] != &first[0] || &rows[1][0] != &second[0] {
+		t.Error("Rows does not return the appended rows")
+	}
+}
+
+// TestPhasorBufSteadyStateAllocFree verifies that repeated conversion of a
+// fixed shape does not allocate once the buffer has warmed up.
+func TestPhasorBufSteadyStateAllocFree(t *testing.T) {
+	phases := [][]float64{make([]float64, 32), make([]float64, 48)}
+	for s := range phases {
+		for k := range phases[s] {
+			phases[s][k] = float64(s+k) * 0.1
+		}
+	}
+	var b PhasorBuf
+	b.Phasors(phases) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Phasors(phases)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Phasors allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestPhasorBufReuseAcrossShapes(t *testing.T) {
+	var b PhasorBuf
+	a := b.Phasors([][]float64{{0.1, 0.2}, {0.3}})
+	if len(a) != 2 {
+		t.Fatal("bad first conversion")
+	}
+	c := b.Phasors([][]float64{{1.1}})
+	if len(c) != 1 || c[0][0] != cmplx.Rect(1, 1.1) {
+		t.Fatalf("bad second conversion: %v", c)
+	}
+}

@@ -1,0 +1,81 @@
+package optimize
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"surfos/internal/rfsim"
+)
+
+// benchOpaque hides delta support so a benchmark can force the full-Eval
+// path on the same objective.
+type benchOpaque struct{ inner Objective }
+
+func (o benchOpaque) Shape() []int { return o.inner.Shape() }
+func (o benchOpaque) Eval(p [][]float64, g bool) (float64, [][]float64) {
+	return o.inner.Eval(p, g)
+}
+
+// benchFixture is the recorded BENCH_optimize.json workload: a 24×24
+// single-surface coverage objective over nChans receiver locations.
+func benchFixture(nChans int) (*CoverageObjective, [][]float64) {
+	r := rand.New(rand.NewSource(42))
+	shape := []int{576}
+	chans := make([]*rfsim.Channel, nChans)
+	for i := range chans {
+		chans[i] = randChannel(r, shape, false)
+	}
+	obj, err := NewCoverageObjective(chans, testBudget())
+	if err != nil {
+		panic(err)
+	}
+	return obj, randPhases(r, shape)
+}
+
+func BenchmarkObjectiveEval(b *testing.B) {
+	obj, phases := benchFixture(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.Eval(phases, true)
+	}
+}
+
+var benchCandidates = []float64{0, math.Pi}
+
+// BenchmarkCoordinateDescentFull prices one 1-bit sweep with every candidate
+// paid as a full objective evaluation.
+func BenchmarkCoordinateDescentFull(b *testing.B) {
+	obj, init := benchFixture(4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoordinateDescent(ctx, benchOpaque{obj}, init, benchCandidates, Options{MaxIters: 1})
+	}
+}
+
+// BenchmarkCoordinateDescentDelta is the same sweep through the delta
+// evaluation path.
+func BenchmarkCoordinateDescentDelta(b *testing.B) {
+	obj, init := benchFixture(4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoordinateDescent(ctx, obj, init, benchCandidates, Options{MaxIters: 1})
+	}
+}
+
+// BenchmarkAnnealDelta measures annealing proposals priced as deltas.
+func BenchmarkAnnealDelta(b *testing.B) {
+	obj, init := benchFixture(4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Anneal(ctx, obj, init, Options{MaxIters: 512, Seed: 7})
+	}
+}

@@ -1,0 +1,308 @@
+package optimize
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"surfos/internal/rfsim"
+)
+
+// opaqueObjective hides an objective's DeltaObjective extension so the
+// optimizers must take the full-Eval fallback path.
+type opaqueObjective struct{ inner Objective }
+
+func (o opaqueObjective) Shape() []int { return o.inner.Shape() }
+func (o opaqueObjective) Eval(p [][]float64, g bool) (float64, [][]float64) {
+	return o.inner.Eval(p, g)
+}
+
+// countingObjective counts full Eval calls while keeping the embedded
+// objective's delta capability (NewDeltaEvaluator is promoted).
+type countingObjective struct {
+	*CoverageObjective
+	fullEvals int
+}
+
+func (c *countingObjective) Eval(p [][]float64, g bool) (float64, [][]float64) {
+	c.fullEvals++
+	return c.CoverageObjective.Eval(p, g)
+}
+
+// TestDeltaParity mutates random single elements and checks every delta
+// trial, commit, and revert against a from-scratch Eval, for every delta
+// objective kind — including a WeightedSum of mixed terms and channels with
+// cross blocks.
+func TestDeltaParity(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	shape := []int{6, 5}
+	cover, err := NewCoverageObjective([]*rfsim.Channel{
+		randChannel(r, shape, true),
+		randChannel(r, shape, false),
+		randChannel(r, shape, true),
+	}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := NewPowerObjective([]*rfsim.Channel{
+		randChannel(r, shape, false),
+		randChannel(r, shape, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := NewSecurityObjective(randChannel(r, shape, true), randChannel(r, shape, true), 0.5, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWeightedSum([]Objective{cover, power, sec}, []float64{1, 0.7, 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		obj  DeltaObjective
+	}{
+		{"coverage", cover},
+		{"power", power},
+		{"security", sec},
+		{"weighted-sum", ws},
+	}
+	const tol = 1e-9
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			phases := randPhases(r, shape)
+			ev := tc.obj.NewDeltaEvaluator(phases)
+			if ev == nil {
+				t.Fatal("NewDeltaEvaluator returned nil for a delta-capable objective")
+			}
+			full, _ := tc.obj.Eval(phases, false)
+			if d := math.Abs(ev.Loss() - full); d > tol {
+				t.Fatalf("initial loss off by %g", d)
+			}
+			for i := 0; i < 80; i++ {
+				s := r.Intn(len(shape))
+				k := r.Intn(shape[s])
+				phi := r.Float64() * 2 * math.Pi
+				got := ev.TryDelta(s, k, phi)
+
+				old := phases[s][k]
+				phases[s][k] = phi
+				want, _ := tc.obj.Eval(phases, false)
+				if d := math.Abs(got - want); d > tol {
+					t.Fatalf("step %d: trial loss off by %g (delta %v, full %v)", i, d, got, want)
+				}
+				if r.Intn(2) == 0 {
+					ev.Commit()
+					if d := math.Abs(ev.Loss() - want); d > tol {
+						t.Fatalf("step %d: committed loss off by %g", i, d)
+					}
+				} else {
+					ev.Revert()
+					phases[s][k] = old
+					prev, _ := tc.obj.Eval(phases, false)
+					if d := math.Abs(ev.Loss() - prev); d > tol {
+						t.Fatalf("step %d: reverted loss off by %g", i, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWeightedSumDeltaNilForOpaqueTerm: a sum containing a term without
+// delta support must decline to open a session.
+func TestWeightedSumDeltaNilForOpaqueTerm(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	shape := []int{4, 3}
+	cover, err := NewCoverageObjective([]*rfsim.Channel{randChannel(r, shape, false)}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWeightedSum([]Objective{cover, opaqueObjective{cover}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := ws.NewDeltaEvaluator(randPhases(r, shape)); ev != nil {
+		t.Error("weighted sum with an opaque term opened a delta session")
+	}
+}
+
+// TestCoordinateDescentFallbackEquivalence runs the same search through the
+// delta path and through the full-Eval fallback (the delta capability
+// hidden) and requires the same trajectory and result.
+func TestCoordinateDescentFallbackEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	shape := []int{5, 4}
+	obj, err := NewCoverageObjective([]*rfsim.Channel{
+		randChannel(r, shape, true),
+		randChannel(r, shape, false),
+	}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := randPhases(r, shape)
+	cands := []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+	opt := Options{MaxIters: 6}
+
+	a := CoordinateDescent(context.Background(), obj, init, cands, opt)
+	b := CoordinateDescent(context.Background(), opaqueObjective{obj}, init, cands, opt)
+
+	if a.Iterations != b.Iterations {
+		t.Errorf("sweeps: delta %d, fallback %d", a.Iterations, b.Iterations)
+	}
+	if d := math.Abs(a.Loss - b.Loss); d > 1e-9 {
+		t.Errorf("loss differs by %g", d)
+	}
+	for s := range a.Phases {
+		for k := range a.Phases[s] {
+			if a.Phases[s][k] != b.Phases[s][k] {
+				t.Fatalf("phases diverge at s=%d k=%d: %v vs %v", s, k, a.Phases[s][k], b.Phases[s][k])
+			}
+		}
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history length: delta %d, fallback %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		if d := math.Abs(a.History[i] - b.History[i]); d > 1e-9 {
+			t.Errorf("history[%d] differs by %g", i, d)
+		}
+	}
+}
+
+// TestDeltaPathRouting proves which path each optimizer takes by counting
+// full Eval calls: the delta path needs only the final re-evaluation
+// (CoordinateDescent) or none at all (Anneal), while the fallback pays one
+// Eval per candidate or proposal.
+func TestDeltaPathRouting(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	shape := []int{4, 3}
+	mk := func() *countingObjective {
+		obj, err := NewCoverageObjective([]*rfsim.Channel{randChannel(r, shape, true)}, testBudget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &countingObjective{CoverageObjective: obj}
+	}
+	init := randPhases(r, shape)
+	ctx := context.Background()
+
+	c := mk()
+	CoordinateDescent(ctx, c, init, []float64{0, math.Pi}, Options{MaxIters: 3})
+	if c.fullEvals != 1 {
+		t.Errorf("delta CoordinateDescent made %d full Evals, want 1 (final only)", c.fullEvals)
+	}
+
+	c = mk()
+	CoordinateDescent(ctx, opaqueObjective{c}, init, []float64{0, math.Pi}, Options{MaxIters: 3})
+	if c.fullEvals <= 1 {
+		t.Errorf("fallback CoordinateDescent made %d full Evals, want many", c.fullEvals)
+	}
+
+	c = mk()
+	Anneal(ctx, c, init, Options{MaxIters: 20, Seed: 5})
+	if c.fullEvals != 0 {
+		t.Errorf("delta Anneal made %d full Evals, want 0", c.fullEvals)
+	}
+
+	// A projector may rewrite the whole vector, so it must force the full
+	// path even for a delta-capable objective.
+	c = mk()
+	Anneal(ctx, c, init, Options{MaxIters: 20, Seed: 5, Project: func(p [][]float64) [][]float64 { return p }})
+	if c.fullEvals == 0 {
+		t.Error("projected Anneal used the delta path")
+	}
+}
+
+// TestAnnealAllSurfacesEmpty: with nothing to perturb, Anneal must return
+// the evaluated initial state immediately instead of looping on no-ops.
+func TestAnnealAllSurfacesEmpty(t *testing.T) {
+	ch := &rfsim.Channel{Direct: 1e-6, Single: [][]complex128{{}, {}}}
+	obj, err := NewCoverageObjective([]*rfsim.Channel{ch}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := ZeroPhases(obj.Shape())
+	res := Anneal(context.Background(), obj, init, Options{MaxIters: 50, Seed: 1})
+	if res.Iterations != 0 {
+		t.Errorf("Iterations = %d, want 0", res.Iterations)
+	}
+	if res.Evals != 1 {
+		t.Errorf("Evals = %d, want 1", res.Evals)
+	}
+	want, _ := obj.Eval(init, false)
+	if res.Loss != want {
+		t.Errorf("Loss = %v, want %v", res.Loss, want)
+	}
+	if len(res.History) != 1 {
+		t.Errorf("history length %d, want 1", len(res.History))
+	}
+}
+
+// TestAnnealSkipsEmptySurfaces: proposals must land only on surfaces that
+// have elements.
+func TestAnnealSkipsEmptySurfaces(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	shape := []int{0, 6}
+	obj, err := NewCoverageObjective([]*rfsim.Channel{randChannel(r, shape, false)}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := ZeroPhases(shape)
+	res := Anneal(context.Background(), obj, init, Options{MaxIters: 80, Seed: 2})
+	if res.Iterations != 80 {
+		t.Errorf("Iterations = %d, want 80 (no proposals wasted on the empty surface)", res.Iterations)
+	}
+	if len(res.Phases[0]) != 0 {
+		t.Errorf("empty surface grew phases: %v", res.Phases[0])
+	}
+	start, _ := obj.Eval(init, false)
+	if res.Loss > start {
+		t.Errorf("best loss %v worse than initial %v", res.Loss, start)
+	}
+}
+
+// TestResultEvalsAccounting pins the Evals/Iterations bookkeeping of all
+// four methods.
+func TestResultEvalsAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	shape := []int{4, 3}
+	obj, err := NewCoverageObjective([]*rfsim.Channel{randChannel(r, shape, true)}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := randPhases(r, shape)
+	ctx := context.Background()
+
+	adam := Adam(ctx, obj, init, Options{MaxIters: 30})
+	if adam.Evals != adam.Iterations+1 {
+		t.Errorf("Adam: Evals=%d Iterations=%d, want Evals=Iterations+1", adam.Evals, adam.Iterations)
+	}
+	rs := RandomSearch(ctx, obj, Options{MaxIters: 25, Seed: 3})
+	if rs.Evals != rs.Iterations+1 {
+		t.Errorf("RandomSearch: Evals=%d Iterations=%d", rs.Evals, rs.Iterations)
+	}
+	an := Anneal(ctx, obj, init, Options{MaxIters: 40, Seed: 4})
+	if an.Evals != an.Iterations+1 {
+		t.Errorf("Anneal: Evals=%d Iterations=%d", an.Evals, an.Iterations)
+	}
+	cd := CoordinateDescent(ctx, obj, init, []float64{0, math.Pi}, Options{MaxIters: 5})
+	if cd.Iterations != len(cd.History)-1 {
+		t.Errorf("CoordinateDescent: Iterations=%d (sweeps), history has %d entries", cd.Iterations, len(cd.History))
+	}
+	if cd.Iterations > 5 {
+		t.Errorf("CoordinateDescent ran %d sweeps, cap was 5", cd.Iterations)
+	}
+	nElem := 0
+	for _, n := range shape {
+		nElem += n
+	}
+	// At least one trial per element per sweep, plus the initial and final
+	// full evaluations.
+	if min := 1 + cd.Iterations*nElem + 1; cd.Evals < min {
+		t.Errorf("CoordinateDescent: Evals=%d, want ≥ %d", cd.Evals, min)
+	}
+}

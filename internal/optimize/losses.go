@@ -20,6 +20,11 @@ type CoverageObjective struct {
 	shape []int
 	// snrScale converts |h|² to linear SNR: snr = snrScale·|h|².
 	snrScale float64
+
+	// Reused evaluation scratch (see Objective for the aliasing contract).
+	pbuf  em.PhasorBuf
+	grad  [][]float64
+	parts [][]complex128
 }
 
 // NewCoverageObjective validates inputs and precomputes the link-budget
@@ -48,6 +53,12 @@ func NewCoverageObjective(chans []*rfsim.Channel, lb rfsim.LinkBudget) (*Coverag
 // Shape implements Objective.
 func (o *CoverageObjective) Shape() []int { return o.shape }
 
+// se returns the spectral-efficiency term of one channel value.
+func (o *CoverageObjective) se(h complex128) float64 {
+	p := real(h)*real(h) + imag(h)*imag(h)
+	return math.Log2(1 + o.snrScale*p)
+}
+
 // Eval implements Objective. Loss = -Σ_i B·log2(1 + S0·|h_i|²). Capacity is
 // normalized by bandwidth (bits/s/Hz) to keep losses O(10) regardless of
 // channel width.
@@ -55,11 +66,12 @@ func (o *CoverageObjective) Eval(phases [][]float64, wantGrad bool) (float64, []
 	if err := shapeMatches(o.shape, phases); err != nil {
 		panic(err)
 	}
-	x := Phasors(phases)
+	x := o.pbuf.Phasors(phases)
 	var loss float64
 	var grad [][]float64
 	if wantGrad {
-		grad = ZeroPhases(o.shape)
+		o.grad = gradScratch(o.grad, o.shape)
+		grad = o.grad
 	}
 	ln2 := math.Ln2
 	for _, ch := range o.Channels {
@@ -72,7 +84,8 @@ func (o *CoverageObjective) Eval(phases [][]float64, wantGrad bool) (float64, []
 		}
 		// d(-se)/dp = -S0 / ((1+S0 p)·ln2); dp/dφ = 2·Re(conj(h)·dh/dφ).
 		dp := -o.snrScale / ((1 + o.snrScale*p) * ln2)
-		parts := ch.Partials(x)
+		o.parts = ch.PartialsInto(x, o.parts)
+		parts := o.parts
 		for s := range parts {
 			for k, d := range parts[s] {
 				re := real(h)*real(d) + imag(h)*imag(d) // Re(conj(h)·d)
@@ -81,6 +94,56 @@ func (o *CoverageObjective) Eval(phases [][]float64, wantGrad bool) (float64, []
 		}
 	}
 	return loss, grad
+}
+
+// coverageEvaluator caches one channel session per location; a trial prices
+// every location at the moved element in O(#channels).
+type coverageEvaluator struct {
+	o     *CoverageObjective
+	evals []*rfsim.Evaluator
+	loss  float64
+	trial float64
+}
+
+// NewDeltaEvaluator implements DeltaObjective.
+func (o *CoverageObjective) NewDeltaEvaluator(phases [][]float64) DeltaEvaluator {
+	if err := shapeMatches(o.shape, phases); err != nil {
+		panic(err)
+	}
+	e := &coverageEvaluator{o: o, evals: make([]*rfsim.Evaluator, len(o.Channels))}
+	for i, ch := range o.Channels {
+		ev, err := ch.NewEvaluator(phases)
+		if err != nil {
+			panic(err) // unreachable: shape checked above
+		}
+		e.evals[i] = ev
+		e.loss -= o.se(ev.H())
+	}
+	return e
+}
+
+func (e *coverageEvaluator) Loss() float64 { return e.loss }
+
+func (e *coverageEvaluator) TryDelta(s, k int, newPhase float64) float64 {
+	var loss float64
+	for _, ev := range e.evals {
+		loss -= e.o.se(ev.TryDelta(s, k, newPhase))
+	}
+	e.trial = loss
+	return loss
+}
+
+func (e *coverageEvaluator) Commit() {
+	for _, ev := range e.evals {
+		ev.Commit()
+	}
+	e.loss = e.trial
+}
+
+func (e *coverageEvaluator) Revert() {
+	for _, ev := range e.evals {
+		ev.Revert()
+	}
 }
 
 // MeanSpectralEfficiency reports the average bits/s/Hz across the
@@ -97,6 +160,10 @@ type PowerObjective struct {
 	Channels []*rfsim.Channel
 	shape    []int
 	scale    float64
+
+	pbuf  em.PhasorBuf
+	grad  [][]float64
+	parts [][]complex128
 }
 
 // NewPowerObjective builds the objective; scale is derived from the first
@@ -140,11 +207,12 @@ func (o *PowerObjective) Eval(phases [][]float64, wantGrad bool) (float64, [][]f
 	if err := shapeMatches(o.shape, phases); err != nil {
 		panic(err)
 	}
-	x := Phasors(phases)
+	x := o.pbuf.Phasors(phases)
 	var loss float64
 	var grad [][]float64
 	if wantGrad {
-		grad = ZeroPhases(o.shape)
+		o.grad = gradScratch(o.grad, o.shape)
+		grad = o.grad
 	}
 	for _, ch := range o.Channels {
 		h := ch.EvalPhasors(x)
@@ -153,7 +221,8 @@ func (o *PowerObjective) Eval(phases [][]float64, wantGrad bool) (float64, [][]f
 		if !wantGrad {
 			continue
 		}
-		parts := ch.Partials(x)
+		o.parts = ch.PartialsInto(x, o.parts)
+		parts := o.parts
 		for s := range parts {
 			for k, d := range parts[s] {
 				re := real(h)*real(d) + imag(h)*imag(d)
@@ -162,6 +231,57 @@ func (o *PowerObjective) Eval(phases [][]float64, wantGrad bool) (float64, [][]f
 		}
 	}
 	return loss, grad
+}
+
+// powerEvaluator is the delta session of PowerObjective.
+type powerEvaluator struct {
+	o     *PowerObjective
+	evals []*rfsim.Evaluator
+	loss  float64
+	trial float64
+}
+
+// NewDeltaEvaluator implements DeltaObjective.
+func (o *PowerObjective) NewDeltaEvaluator(phases [][]float64) DeltaEvaluator {
+	if err := shapeMatches(o.shape, phases); err != nil {
+		panic(err)
+	}
+	e := &powerEvaluator{o: o, evals: make([]*rfsim.Evaluator, len(o.Channels))}
+	for i, ch := range o.Channels {
+		ev, err := ch.NewEvaluator(phases)
+		if err != nil {
+			panic(err) // unreachable: shape checked above
+		}
+		e.evals[i] = ev
+		h := ev.H()
+		e.loss -= (real(h)*real(h) + imag(h)*imag(h)) * o.scale
+	}
+	return e
+}
+
+func (e *powerEvaluator) Loss() float64 { return e.loss }
+
+func (e *powerEvaluator) TryDelta(s, k int, newPhase float64) float64 {
+	var loss float64
+	for _, ev := range e.evals {
+		h := ev.TryDelta(s, k, newPhase)
+		loss -= (real(h)*real(h) + imag(h)*imag(h)) * e.o.scale
+	}
+	e.trial = loss
+	return loss
+}
+
+func (e *powerEvaluator) Commit() {
+	for _, ev := range e.evals {
+		ev.Commit()
+	}
+	e.loss = e.trial
+}
+
+func (e *powerEvaluator) Revert() {
+	for _, ev := range e.evals {
+		ev.Revert()
+	}
 }
 
 // SecurityObjective protects a link by steering energy away from an
@@ -177,6 +297,11 @@ type SecurityObjective struct {
 	shape    []int
 	snrScale float64
 	eveScale float64
+
+	pbuf   em.PhasorBuf
+	grad   [][]float64
+	partsU [][]complex128
+	partsE [][]complex128
 }
 
 // NewSecurityObjective builds the objective.
@@ -208,12 +333,19 @@ func NewSecurityObjective(user, eve *rfsim.Channel, userWeight float64, lb rfsim
 // Shape implements Objective.
 func (o *SecurityObjective) Shape() []int { return o.shape }
 
+// secLoss combines the two channel values into the security loss.
+func (o *SecurityObjective) secLoss(hu, he complex128) float64 {
+	pu := real(hu)*real(hu) + imag(hu)*imag(hu)
+	pe := real(he)*real(he) + imag(he)*imag(he)
+	return pe*o.eveScale - o.UserWeight*math.Log2(1+o.snrScale*pu)
+}
+
 // Eval implements Objective.
 func (o *SecurityObjective) Eval(phases [][]float64, wantGrad bool) (float64, [][]float64) {
 	if err := shapeMatches(o.shape, phases); err != nil {
 		panic(err)
 	}
-	x := Phasors(phases)
+	x := o.pbuf.Phasors(phases)
 	hu := o.User.EvalPhasors(x)
 	he := o.Eve.EvalPhasors(x)
 	pu := real(hu)*real(hu) + imag(hu)*imag(hu)
@@ -223,9 +355,11 @@ func (o *SecurityObjective) Eval(phases [][]float64, wantGrad bool) (float64, []
 	if !wantGrad {
 		return loss, nil
 	}
-	grad := ZeroPhases(o.shape)
-	pe2 := o.Eve.Partials(x)
-	pu2 := o.User.Partials(x)
+	o.grad = gradScratch(o.grad, o.shape)
+	grad := o.grad
+	o.partsE = o.Eve.PartialsInto(x, o.partsE)
+	o.partsU = o.User.PartialsInto(x, o.partsU)
+	pe2, pu2 := o.partsE, o.partsU
 	dSE := o.UserWeight * o.snrScale / ((1 + o.snrScale*pu) * math.Ln2)
 	for s := range grad {
 		for k := range grad[s] {
@@ -235,4 +369,46 @@ func (o *SecurityObjective) Eval(phases [][]float64, wantGrad bool) (float64, []
 		}
 	}
 	return loss, grad
+}
+
+// securityEvaluator is the delta session of SecurityObjective.
+type securityEvaluator struct {
+	o        *SecurityObjective
+	user, ev *rfsim.Evaluator
+	loss     float64
+	trial    float64
+}
+
+// NewDeltaEvaluator implements DeltaObjective.
+func (o *SecurityObjective) NewDeltaEvaluator(phases [][]float64) DeltaEvaluator {
+	if err := shapeMatches(o.shape, phases); err != nil {
+		panic(err)
+	}
+	user, err := o.User.NewEvaluator(phases)
+	if err != nil {
+		panic(err) // unreachable: shape checked above
+	}
+	eve, err := o.Eve.NewEvaluator(phases)
+	if err != nil {
+		panic(err)
+	}
+	return &securityEvaluator{o: o, user: user, ev: eve, loss: o.secLoss(user.H(), eve.H())}
+}
+
+func (e *securityEvaluator) Loss() float64 { return e.loss }
+
+func (e *securityEvaluator) TryDelta(s, k int, newPhase float64) float64 {
+	e.trial = e.o.secLoss(e.user.TryDelta(s, k, newPhase), e.ev.TryDelta(s, k, newPhase))
+	return e.trial
+}
+
+func (e *securityEvaluator) Commit() {
+	e.user.Commit()
+	e.ev.Commit()
+	e.loss = e.trial
+}
+
+func (e *securityEvaluator) Revert() {
+	e.user.Revert()
+	e.ev.Revert()
 }

@@ -12,13 +12,17 @@ package optimize
 
 import (
 	"fmt"
-	"math/cmplx"
 
+	"surfos/internal/em"
 	"surfos/internal/surface"
 )
 
 // Objective is a differentiable scalar loss over per-surface phase vectors.
-// Implementations must be safe for repeated calls with different inputs.
+// Implementations must be safe for repeated sequential calls with different
+// inputs, but may reuse internal scratch between calls: the gradient
+// returned by Eval is valid only until the next Eval call on the same
+// objective, and a single objective instance must not be evaluated from
+// multiple goroutines concurrently.
 type Objective interface {
 	// Shape returns the element count per surface; phases passed to Eval
 	// must match.
@@ -29,18 +33,40 @@ type Objective interface {
 	Eval(phases [][]float64, wantGrad bool) (float64, [][]float64)
 }
 
+// DeltaEvaluator is a stateful evaluation session positioned at a committed
+// phase set. TryDelta prices moving a single element to a new phase and
+// makes that move pending; Commit applies the pending move, Revert discards
+// it. Only one move may be pending at a time — a later TryDelta replaces the
+// pending one. Sessions are not safe for concurrent use.
+//
+// For objectives built on channel decompositions a trial is O(#channels)
+// instead of O(#channels × #elements), which is what makes coordinate
+// descent and annealing sweeps O(N) instead of O(N²).
+type DeltaEvaluator interface {
+	// Loss returns the loss at the committed state.
+	Loss() float64
+	// TryDelta returns the loss with element k of surface s at newPhase.
+	TryDelta(s, k int, newPhase float64) float64
+	// Commit applies the pending trial.
+	Commit()
+	// Revert discards the pending trial.
+	Revert()
+}
+
+// DeltaObjective is the optional extension of Objective for losses that
+// support single-element delta evaluation. NewDeltaEvaluator opens a session
+// at the given phases; it returns nil when the objective cannot provide one
+// (e.g. a WeightedSum containing a non-delta term), in which case callers
+// must fall back to full Eval.
+type DeltaObjective interface {
+	Objective
+	NewDeltaEvaluator(phases [][]float64) DeltaEvaluator
+}
+
 // Phasors converts phase values to unit phasors e^{jφ}, shaped like the
 // input.
 func Phasors(phases [][]float64) [][]complex128 {
-	x := make([][]complex128, len(phases))
-	for s, ps := range phases {
-		xs := make([]complex128, len(ps))
-		for k, phi := range ps {
-			xs[k] = cmplx.Rect(1, phi)
-		}
-		x[s] = xs
-	}
-	return x
+	return em.Phasors(phases)
 }
 
 // ZeroPhases allocates an all-zero phase set for a shape.
@@ -61,6 +87,30 @@ func ClonePhases(p [][]float64) [][]float64 {
 		out[i] = c
 	}
 	return out
+}
+
+// copyPhases copies src into dst, which must share src's shape.
+func copyPhases(dst, src [][]float64) {
+	for s := range src {
+		copy(dst[s], src[s])
+	}
+}
+
+// gradScratch returns a zeroed gradient buffer for shape, reusing buf's
+// storage when it already matches.
+func gradScratch(buf [][]float64, shape []int) [][]float64 {
+	if len(buf) != len(shape) {
+		return ZeroPhases(shape)
+	}
+	for s, n := range shape {
+		if len(buf[s]) != n {
+			return ZeroPhases(shape)
+		}
+		for k := range buf[s] {
+			buf[s][k] = 0
+		}
+	}
+	return buf
 }
 
 // PhasesToConfigs wraps phase vectors as surface configurations.
@@ -107,6 +157,8 @@ func shapeMatches(shape []int, phases [][]float64) error {
 type WeightedSum struct {
 	Terms   []Objective
 	Weights []float64
+
+	grad [][]float64 // gradient scratch, reused across Eval calls
 }
 
 // NewWeightedSum validates shapes and builds the combination.
@@ -135,12 +187,15 @@ func NewWeightedSum(terms []Objective, weights []float64) (*WeightedSum, error) 
 // Shape implements Objective.
 func (w *WeightedSum) Shape() []int { return w.Terms[0].Shape() }
 
-// Eval implements Objective.
+// Eval implements Objective. Each term's gradient is accumulated into the
+// sum's reusable scratch immediately after the term evaluates, so terms may
+// themselves return reused buffers.
 func (w *WeightedSum) Eval(phases [][]float64, wantGrad bool) (float64, [][]float64) {
 	var loss float64
 	var grad [][]float64
 	if wantGrad {
-		grad = ZeroPhases(w.Shape())
+		w.grad = gradScratch(w.grad, w.Shape())
+		grad = w.grad
 	}
 	for i, t := range w.Terms {
 		l, g := t.Eval(phases, wantGrad)
@@ -154,4 +209,57 @@ func (w *WeightedSum) Eval(phases [][]float64, wantGrad bool) (float64, [][]floa
 		}
 	}
 	return loss, grad
+}
+
+// weightedSumEvaluator composes the child sessions of a WeightedSum: every
+// trial, commit, and revert fans out to each term's own evaluator.
+type weightedSumEvaluator struct {
+	children []DeltaEvaluator
+	weights  []float64
+	loss     float64
+	trial    float64
+}
+
+// NewDeltaEvaluator implements DeltaObjective. It returns nil when any term
+// does not support delta evaluation.
+func (w *WeightedSum) NewDeltaEvaluator(phases [][]float64) DeltaEvaluator {
+	children := make([]DeltaEvaluator, len(w.Terms))
+	var loss float64
+	for i, t := range w.Terms {
+		d, ok := t.(DeltaObjective)
+		if !ok {
+			return nil
+		}
+		ev := d.NewDeltaEvaluator(phases)
+		if ev == nil {
+			return nil
+		}
+		children[i] = ev
+		loss += w.Weights[i] * ev.Loss()
+	}
+	return &weightedSumEvaluator{children: children, weights: w.Weights, loss: loss}
+}
+
+func (e *weightedSumEvaluator) Loss() float64 { return e.loss }
+
+func (e *weightedSumEvaluator) TryDelta(s, k int, newPhase float64) float64 {
+	var loss float64
+	for i, c := range e.children {
+		loss += e.weights[i] * c.TryDelta(s, k, newPhase)
+	}
+	e.trial = loss
+	return loss
+}
+
+func (e *weightedSumEvaluator) Commit() {
+	for _, c := range e.children {
+		c.Commit()
+	}
+	e.loss = e.trial
+}
+
+func (e *weightedSumEvaluator) Revert() {
+	for _, c := range e.children {
+		c.Revert()
+	}
 }

@@ -41,15 +41,22 @@ func (o Options) withDefaults() Options {
 
 // Result is the outcome of an optimization run.
 type Result struct {
-	Phases     [][]float64
-	Loss       float64
+	Phases [][]float64
+	Loss   float64
+	// Iterations counts optimizer iterations in each method's natural unit:
+	// gradient steps (Adam), samples drawn (RandomSearch), proposals
+	// (Anneal), and full element sweeps (CoordinateDescent).
 	Iterations int
+	// Evals counts objective evaluations performed during the run — full
+	// Eval calls and single-element delta evaluations alike — so the cost
+	// of methods with different per-iteration eval counts stays comparable.
+	Evals int
 	// Stopped is true when the run ended early because its context was
 	// canceled or its deadline expired. Phases/Loss still hold the best
 	// feasible candidate found up to that point.
 	Stopped bool
-	// History records the loss after each iteration (gradient methods) or
-	// each improvement (stochastic methods).
+	// History records the loss after each iteration (gradient methods and
+	// coordinate sweeps) or each improvement (stochastic methods).
 	History []float64
 }
 
@@ -64,6 +71,16 @@ func project(p Projector, phases [][]float64) [][]float64 {
 // value without crashing.
 func canceled(ctx context.Context) bool {
 	return ctx != nil && ctx.Err() != nil
+}
+
+// deltaSession opens a delta-evaluation session when the objective supports
+// one, or returns nil to select the full-recompute path.
+func deltaSession(obj Objective, phases [][]float64) DeltaEvaluator {
+	d, ok := obj.(DeltaObjective)
+	if !ok {
+		return nil
+	}
+	return d.NewDeltaEvaluator(phases)
 }
 
 // Adam minimizes the objective with the Adam gradient method starting at
@@ -89,6 +106,7 @@ func Adam(ctx context.Context, obj Objective, init [][]float64, opt Options) Res
 	flat := 0
 	prev := math.Inf(1)
 	stopped := false
+	evals := 0
 
 	var it int
 	for it = 1; it <= opt.MaxIters; it++ {
@@ -98,9 +116,10 @@ func Adam(ctx context.Context, obj Objective, init [][]float64, opt Options) Res
 			break
 		}
 		loss, grad := obj.Eval(phases, true)
+		evals++
 		if loss < bestLoss {
 			bestLoss = loss
-			best = ClonePhases(phases)
+			copyPhases(best, phases)
 		}
 		history = append(history, loss)
 
@@ -136,7 +155,8 @@ func Adam(ctx context.Context, obj Objective, init [][]float64, opt Options) Res
 	// matches the returned feasible phases.
 	best = project(opt.Project, best)
 	finalLoss, _ := obj.Eval(best, false)
-	return Result{Phases: best, Loss: finalLoss, Iterations: it, Stopped: stopped, History: history}
+	evals++
+	return Result{Phases: best, Loss: finalLoss, Iterations: it, Evals: evals, Stopped: stopped, History: history}
 }
 
 // RandomSearch samples uniformly random feasible phase sets and keeps the
@@ -152,42 +172,81 @@ func RandomSearch(ctx context.Context, obj Objective, opt Options) Result {
 	bestLoss, _ := obj.Eval(best, false)
 	history := []float64{bestLoss}
 	stopped := false
+	evals := 1
 
+	cand := ZeroPhases(shape)
 	it := 0
 	for ; it < opt.MaxIters; it++ {
 		if canceled(ctx) {
 			stopped = true
 			break
 		}
-		cand := ZeroPhases(shape)
 		for s := range cand {
 			for k := range cand[s] {
 				cand[s][k] = rng.Float64() * 2 * math.Pi
 			}
 		}
-		cand = project(opt.Project, cand)
-		l, _ := obj.Eval(cand, false)
+		c := project(opt.Project, cand)
+		l, _ := obj.Eval(c, false)
+		evals++
 		if l < bestLoss {
 			bestLoss = l
-			best = cand
+			// Keep the winner and recycle the displaced buffer as the next
+			// sample's scratch (a projector may have returned a fresh slice,
+			// in which case cand is reused as-is).
+			best, cand = c, best
 			history = append(history, l)
 		}
 	}
-	return Result{Phases: best, Loss: bestLoss, Iterations: it, Stopped: stopped, History: history}
+	return Result{Phases: best, Loss: bestLoss, Iterations: it, Evals: evals, Stopped: stopped, History: history}
+}
+
+// nonEmptySurfaces lists the surfaces that have at least one element.
+func nonEmptySurfaces(phases [][]float64) []int {
+	out := make([]int, 0, len(phases))
+	for s := range phases {
+		if len(phases[s]) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Anneal runs simulated annealing with single-element perturbations —
 // effective for coarse quantized hardware (1-bit surfaces) where gradients
 // mislead. Cancellation via ctx returns the best state reached so far.
+//
+// When the objective implements DeltaObjective and no projector is set,
+// each proposal is priced as a single-element delta (O(#channels) instead
+// of a full recompute); a projector forces the full path because it may
+// move every element. Surfaces with zero elements are never sampled; if
+// every surface is empty there is nothing to perturb and the run returns
+// immediately with the evaluated initial state and zero iterations.
 func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	cur := project(opt.Project, ClonePhases(init))
-	curLoss, _ := obj.Eval(cur, false)
+
+	var ev DeltaEvaluator
+	if opt.Project == nil {
+		ev = deltaSession(obj, cur)
+	}
+	var curLoss float64
+	if ev != nil {
+		curLoss = ev.Loss()
+	} else {
+		curLoss, _ = obj.Eval(cur, false)
+	}
+	evals := 1
 	best := ClonePhases(cur)
 	bestLoss := curLoss
 	history := []float64{curLoss}
+
+	surfs := nonEmptySurfaces(cur)
+	if len(surfs) == 0 {
+		return Result{Phases: best, Loss: bestLoss, Iterations: 0, Evals: evals, History: history}
+	}
 	stopped := false
 
 	t0 := math.Abs(curLoss)*0.1 + 1e-3
@@ -198,16 +257,35 @@ func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) R
 			break
 		}
 		temp := t0 * math.Exp(-4*float64(it)/float64(opt.MaxIters))
-		cand := ClonePhases(cur)
-		// Perturb a random element by a random phase offset.
-		s := rng.Intn(len(cand))
-		if len(cand[s]) == 0 {
+		// Perturb a random element of a random non-empty surface by a
+		// random phase offset.
+		s := surfs[rng.Intn(len(surfs))]
+		k := rng.Intn(len(cur[s]))
+		newPhase := cur[s][k] + (rng.Float64()-0.5)*math.Pi
+
+		if ev != nil {
+			l := ev.TryDelta(s, k, newPhase)
+			evals++
+			if l < curLoss || rng.Float64() < math.Exp((curLoss-l)/temp) {
+				ev.Commit()
+				cur[s][k] = newPhase
+				curLoss = l
+				if l < bestLoss {
+					copyPhases(best, cur)
+					bestLoss = l
+					history = append(history, l)
+				}
+			} else {
+				ev.Revert()
+			}
 			continue
 		}
-		k := rng.Intn(len(cand[s]))
-		cand[s][k] += (rng.Float64() - 0.5) * math.Pi
+
+		cand := ClonePhases(cur)
+		cand[s][k] = newPhase
 		cand = project(opt.Project, cand)
 		l, _ := obj.Eval(cand, false)
+		evals++
 		if l < curLoss || rng.Float64() < math.Exp((curLoss-l)/temp) {
 			cur, curLoss = cand, l
 			if l < bestLoss {
@@ -216,24 +294,43 @@ func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) R
 			}
 		}
 	}
-	return Result{Phases: best, Loss: bestLoss, Iterations: it, Stopped: stopped, History: history}
+	return Result{Phases: best, Loss: bestLoss, Iterations: it, Evals: evals, Stopped: stopped, History: history}
 }
 
 // CoordinateDescent cycles through elements, line-searching each phase over
 // a fixed grid of candidate values while holding the rest. With a 2-state
 // grid this is the classic greedy 1-bit RIS tuning algorithm. Cancellation
 // via ctx stops between element updates and returns the current state.
+//
+// When the objective implements DeltaObjective, each candidate is priced as
+// a single-element delta against the committed state, making a sweep O(N)
+// in the element count instead of O(N²); otherwise every candidate costs a
+// full Eval. The two paths search the identical candidate sequence. The
+// projector (applied to the initial point and the final result, never
+// inside a sweep — candidate grids are feasible by construction) does not
+// affect path selection.
+//
+// Result.Iterations reports completed sweeps; Result.Evals reports
+// objective evaluations.
 func CoordinateDescent(ctx context.Context, obj Objective, init [][]float64, candidates []float64, opt Options) Result {
 	opt = opt.withDefaults()
 	if len(candidates) == 0 {
 		candidates = []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
 	}
 	cur := project(opt.Project, ClonePhases(init))
-	curLoss, _ := obj.Eval(cur, false)
+
+	ev := deltaSession(obj, cur)
+	var curLoss float64
+	if ev != nil {
+		curLoss = ev.Loss()
+	} else {
+		curLoss, _ = obj.Eval(cur, false)
+	}
+	evals := 1
 	history := []float64{curLoss}
 	stopped := false
 
-	evals := 0
+	sweeps := 0
 sweeps:
 	for sweep := 0; sweep < opt.MaxIters; sweep++ {
 		improved := false
@@ -243,26 +340,43 @@ sweeps:
 					stopped = true
 					break sweeps
 				}
-				bestV, bestL := cur[s][k], curLoss
 				orig := cur[s][k]
+				bestV, bestL := orig, curLoss
 				for _, c := range candidates {
 					if c == orig {
 						continue
 					}
-					cur[s][k] = c
-					l, _ := obj.Eval(cur, false)
+					var l float64
+					if ev != nil {
+						l = ev.TryDelta(s, k, c)
+					} else {
+						cur[s][k] = c
+						l, _ = obj.Eval(cur, false)
+					}
 					evals++
 					if l < bestL {
 						bestV, bestL = c, l
 					}
 				}
 				cur[s][k] = bestV
+				if ev != nil {
+					if bestV != orig {
+						// Re-price the winning candidate so it becomes the
+						// pending trial, then commit it.
+						ev.TryDelta(s, k, bestV)
+						evals++
+						ev.Commit()
+					} else {
+						ev.Revert()
+					}
+				}
 				if bestL < curLoss {
 					curLoss = bestL
 					improved = true
 				}
 			}
 		}
+		sweeps++
 		history = append(history, curLoss)
 		if !improved {
 			break
@@ -270,5 +384,6 @@ sweeps:
 	}
 	cur = project(opt.Project, cur)
 	finalLoss, _ := obj.Eval(cur, false)
-	return Result{Phases: cur, Loss: finalLoss, Iterations: evals, Stopped: stopped, History: history}
+	evals++
+	return Result{Phases: cur, Loss: finalLoss, Iterations: sweeps, Evals: evals, Stopped: stopped, History: history}
 }

@@ -3,7 +3,9 @@ package rfsim
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
+	"surfos/internal/em"
 	"surfos/internal/surface"
 )
 
@@ -32,10 +34,16 @@ type CrossBlock struct {
 // vectors x_sk = e^{jφ_sk}. Configurations must be phase-property and match
 // the coefficient shapes.
 func (ch *Channel) Phasors(cfgs []surface.Config) ([][]complex128, error) {
+	var b em.PhasorBuf
+	return ch.phasorsInto(&b, cfgs)
+}
+
+// phasorsInto validates cfgs and converts them through a reusable buffer.
+func (ch *Channel) phasorsInto(b *em.PhasorBuf, cfgs []surface.Config) ([][]complex128, error) {
 	if len(cfgs) != len(ch.Single) {
 		return nil, fmt.Errorf("rfsim: %d configs for %d surfaces", len(cfgs), len(ch.Single))
 	}
-	x := make([][]complex128, len(cfgs))
+	b.Reset(len(cfgs))
 	for s, cfg := range cfgs {
 		if cfg.Property != surface.Phase {
 			return nil, fmt.Errorf("rfsim: surface %d config has property %v, want phase", s, cfg.Property)
@@ -44,22 +52,29 @@ func (ch *Channel) Phasors(cfgs []surface.Config) ([][]complex128, error) {
 			return nil, fmt.Errorf("rfsim: surface %d config has %d values, want %d",
 				s, len(cfg.Values), len(ch.Single[s]))
 		}
-		xs := make([]complex128, len(cfg.Values))
-		for k, phi := range cfg.Values {
-			xs[k] = cmplx.Rect(1, phi)
-		}
-		x[s] = xs
+		b.Append(cfg.Values)
 	}
-	return x, nil
+	return b.Rows(), nil
 }
+
+// phasorPool recycles conversion scratch across Eval calls. Heatmap-style
+// workloads evaluate hundreds of channels per pass (often concurrently via
+// the engine worker pool), so per-call phasor allocation dominated the
+// profile; pooling makes steady-state Eval allocation-free and keeps it safe
+// for concurrent use across goroutines.
+var phasorPool = sync.Pool{New: func() any { return new(em.PhasorBuf) }}
 
 // Eval computes h for the given per-surface phase configurations.
 func (ch *Channel) Eval(cfgs []surface.Config) (complex128, error) {
-	x, err := ch.Phasors(cfgs)
+	b := phasorPool.Get().(*em.PhasorBuf)
+	x, err := ch.phasorsInto(b, cfgs)
 	if err != nil {
+		phasorPool.Put(b)
 		return 0, err
 	}
-	return ch.EvalPhasors(x), nil
+	h := ch.EvalPhasors(x)
+	phasorPool.Put(b)
+	return h, nil
 }
 
 // EvalPhasors computes h from precomputed element phasors (hot path for
@@ -100,11 +115,22 @@ func (ch *Channel) EvalPhasors(x [][]complex128) complex128 {
 //
 // The result is shaped like Single. Cost is O(total elements + cross size).
 func (ch *Channel) Partials(x [][]complex128) [][]complex128 {
-	out := make([][]complex128, len(ch.Single))
+	return ch.PartialsInto(x, nil)
+}
+
+// PartialsInto is Partials with caller-owned scratch: when out already has
+// the channel's shape its storage is reused, otherwise a fresh buffer is
+// allocated. It returns the buffer actually used, so optimizer loops can
+// thread one gradient scratch through every call.
+func (ch *Channel) PartialsInto(x, out [][]complex128) [][]complex128 {
+	if len(out) != len(ch.Single) {
+		out = make([][]complex128, len(ch.Single))
+	}
 	for s, coeffs := range ch.Single {
-		d := make([]complex128, len(coeffs))
-		copy(d, coeffs)
-		out[s] = d
+		if len(out[s]) != len(coeffs) {
+			out[s] = make([]complex128, len(coeffs))
+		}
+		copy(out[s], coeffs)
 	}
 	for _, blk := range ch.Cross {
 		xa, xb := x[blk.A], x[blk.B]

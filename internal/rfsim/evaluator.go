@@ -1,0 +1,101 @@
+package rfsim
+
+import (
+	"fmt"
+
+	"surfos/internal/em"
+)
+
+// Evaluator is an incremental evaluation session over one channel: it caches
+// the element phasors and the current h(x), and prices single-element phase
+// moves as deltas instead of re-summing the whole decomposition.
+//
+// For a channel without cross blocks a trial is O(1):
+//
+//	h' = h + c_sk·(x'_sk − x_sk)
+//
+// With cross blocks, a move of element k on surface s additionally touches
+// row k of every block with A==s and column k of every block with B==s, so a
+// trial costs O(row+column) per affected block — still independent of the
+// total element count.
+//
+// Protocol: TryDelta prices a move and makes it pending; Commit applies the
+// pending move to the cached state; Revert discards it. Only one move may be
+// pending at a time — a second TryDelta replaces the first. An Evaluator is
+// not safe for concurrent use.
+type Evaluator struct {
+	ch *Channel
+	x  [][]complex128 // committed element phasors (owned by the session)
+	h  complex128     // committed channel value
+
+	pending bool
+	ps, pk  int        // pending element
+	px      complex128 // pending phasor
+	ph      complex128 // pending channel value
+}
+
+// NewEvaluator opens a session positioned at the given per-surface phases
+// (shaped like the channel's Single coefficients).
+func (ch *Channel) NewEvaluator(phases [][]float64) (*Evaluator, error) {
+	if len(phases) != len(ch.Single) {
+		return nil, fmt.Errorf("rfsim: %d phase vectors for %d surfaces", len(phases), len(ch.Single))
+	}
+	x := make([][]complex128, len(phases))
+	for s, ps := range phases {
+		if len(ps) != len(ch.Single[s]) {
+			return nil, fmt.Errorf("rfsim: surface %d has %d phases, want %d", s, len(ps), len(ch.Single[s]))
+		}
+		xs := make([]complex128, len(ps))
+		em.FillPhasors(xs, ps)
+		x[s] = xs
+	}
+	return &Evaluator{ch: ch, x: x, h: ch.EvalPhasors(x)}, nil
+}
+
+// H returns the committed channel value.
+func (e *Evaluator) H() complex128 { return e.h }
+
+// TryDelta returns h with element k of surface s moved to newPhase, without
+// committing. The move becomes the pending trial.
+func (e *Evaluator) TryDelta(s, k int, newPhase float64) complex128 {
+	px := em.PhaseShift(newPhase)
+	dx := px - e.x[s][k]
+	dh := e.ch.Single[s][k] * dx
+	for _, blk := range e.ch.Cross {
+		if blk.A == s {
+			xb := e.x[blk.B]
+			var acc complex128
+			for m, c := range blk.M[k] {
+				if c != 0 {
+					acc += c * xb[m]
+				}
+			}
+			dh += acc * dx
+		}
+		if blk.B == s {
+			xa := e.x[blk.A]
+			var acc complex128
+			for k2, row := range blk.M {
+				if c := row[k]; c != 0 {
+					acc += xa[k2] * c
+				}
+			}
+			dh += acc * dx
+		}
+	}
+	e.pending, e.ps, e.pk, e.px, e.ph = true, s, k, px, e.h+dh
+	return e.ph
+}
+
+// Commit applies the pending trial to the cached state.
+func (e *Evaluator) Commit() {
+	if !e.pending {
+		return
+	}
+	e.x[e.ps][e.pk] = e.px
+	e.h = e.ph
+	e.pending = false
+}
+
+// Revert discards the pending trial.
+func (e *Evaluator) Revert() { e.pending = false }

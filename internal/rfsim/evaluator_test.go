@@ -1,0 +1,155 @@
+package rfsim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"surfos/internal/em"
+)
+
+// synthChannel builds a random decomposition over the given shape; with
+// cross set, every ordered surface pair gets a cascade block so the
+// row/column delta paths are all exercised.
+func synthChannel(r *rand.Rand, shape []int, cross bool) *Channel {
+	ch := &Channel{Freq: 24e9, Direct: complex(r.NormFloat64(), r.NormFloat64()) * 1e-6}
+	ch.Single = make([][]complex128, len(shape))
+	for s, n := range shape {
+		v := make([]complex128, n)
+		for k := range v {
+			v[k] = complex(r.NormFloat64(), r.NormFloat64()) * 1e-5
+		}
+		ch.Single[s] = v
+	}
+	if cross {
+		for a := range shape {
+			for b := range shape {
+				if a == b || shape[a] == 0 || shape[b] == 0 {
+					continue
+				}
+				m := make([][]complex128, shape[a])
+				for k := range m {
+					row := make([]complex128, shape[b])
+					for j := range row {
+						row[j] = complex(r.NormFloat64(), r.NormFloat64()) * 1e-7
+					}
+					m[k] = row
+				}
+				ch.Cross = append(ch.Cross, CrossBlock{A: a, B: b, M: m})
+			}
+		}
+	}
+	return ch
+}
+
+func synthPhases(r *rand.Rand, shape []int) [][]float64 {
+	p := make([][]float64, len(shape))
+	for s, n := range shape {
+		p[s] = make([]float64, n)
+		for k := range p[s] {
+			p[s][k] = r.Float64() * 2 * math.Pi
+		}
+	}
+	return p
+}
+
+func evalFull(ch *Channel, phases [][]float64) complex128 {
+	x := make([][]complex128, len(phases))
+	for s, ps := range phases {
+		x[s] = make([]complex128, len(ps))
+		em.FillPhasors(x[s], ps)
+	}
+	return ch.EvalPhasors(x)
+}
+
+// TestEvaluatorDeltaParity drives a long random Try/Commit/Revert sequence
+// and checks every trial against a from-scratch evaluation.
+func TestEvaluatorDeltaParity(t *testing.T) {
+	for _, cross := range []bool{false, true} {
+		r := rand.New(rand.NewSource(11))
+		shape := []int{5, 4, 3}
+		ch := synthChannel(r, shape, cross)
+		phases := synthPhases(r, shape)
+		ev, err := ch.NewEvaluator(phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := cmplx.Abs(ev.H() - evalFull(ch, phases)); d > 1e-15 {
+			t.Fatalf("cross=%v: initial H off by %g", cross, d)
+		}
+		for i := 0; i < 300; i++ {
+			s := r.Intn(len(shape))
+			k := r.Intn(shape[s])
+			phi := r.Float64() * 2 * math.Pi
+			got := ev.TryDelta(s, k, phi)
+
+			old := phases[s][k]
+			phases[s][k] = phi
+			want := evalFull(ch, phases)
+			if d := cmplx.Abs(got - want); d > 1e-12 {
+				t.Fatalf("cross=%v step %d: trial off by %g", cross, i, d)
+			}
+			if r.Intn(2) == 0 {
+				ev.Commit()
+				if d := cmplx.Abs(ev.H() - want); d > 1e-12 {
+					t.Fatalf("cross=%v step %d: committed H off by %g", cross, i, d)
+				}
+			} else {
+				ev.Revert()
+				phases[s][k] = old
+				if d := cmplx.Abs(ev.H() - evalFull(ch, phases)); d > 1e-12 {
+					t.Fatalf("cross=%v step %d: reverted H off by %g", cross, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorPendingReplaced checks that a second TryDelta replaces the
+// first pending move rather than stacking on top of it.
+func TestEvaluatorPendingReplaced(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	shape := []int{4, 4}
+	ch := synthChannel(r, shape, true)
+	phases := synthPhases(r, shape)
+	ev, err := ch.NewEvaluator(phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.TryDelta(0, 1, 2.5) // abandoned
+	ev.TryDelta(1, 2, 0.7)
+	ev.Commit()
+	phases[1][2] = 0.7
+	if d := cmplx.Abs(ev.H() - evalFull(ch, phases)); d > 1e-12 {
+		t.Fatalf("pending move stacked instead of replaced: off by %g", d)
+	}
+}
+
+func TestEvaluatorCommitRevertWithoutPending(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	shape := []int{3}
+	ch := synthChannel(r, shape, false)
+	phases := synthPhases(r, shape)
+	ev, err := ch.NewEvaluator(phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ev.H()
+	ev.Commit() // no-op
+	ev.Revert() // no-op
+	if ev.H() != h {
+		t.Error("Commit/Revert without a pending trial changed the state")
+	}
+}
+
+func TestNewEvaluatorShapeValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ch := synthChannel(r, []int{3, 2}, false)
+	if _, err := ch.NewEvaluator([][]float64{{0, 0, 0}}); err == nil {
+		t.Error("wrong surface count accepted")
+	}
+	if _, err := ch.NewEvaluator([][]float64{{0, 0, 0}, {0}}); err == nil {
+		t.Error("wrong element count accepted")
+	}
+}

@@ -320,7 +320,7 @@ func (e *Estimator) Spectrum(m *Measurement, y []complex128, x [][]complex128) [
 // configurations — standard practice in RIS sensing. Noise (drawn fresh per
 // sounding) survives the differencing.
 func (e *Estimator) Estimate(m *Measurement, phases [][]float64, noiseAmp float64, rng *rand.Rand) (aoa, locErr float64) {
-	x := phasorsOf(phases)
+	x := em.Phasors(phases)
 	y := m.Observe(x, noiseAmp, rng)
 	for i := range y {
 		y[i] -= m.Direct[i]
@@ -347,16 +347,4 @@ func LocalizationError(estAoA, trueAoA, dist float64) float64 {
 // transmit power and antenna gains.
 func NoiseAmplitude(lb rfsim.LinkBudget) float64 {
 	return math.Sqrt(em.FromDB(lb.NoiseFloorDBm() - lb.TxPowerDBm - lb.AntennaGainDB))
-}
-
-func phasorsOf(phases [][]float64) [][]complex128 {
-	x := make([][]complex128, len(phases))
-	for s, ps := range phases {
-		xs := make([]complex128, len(ps))
-		for k, phi := range ps {
-			xs[k] = cmplx.Rect(1, phi)
-		}
-		x[s] = xs
-	}
-	return x
 }

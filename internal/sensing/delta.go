@@ -1,0 +1,204 @@
+package sensing
+
+import (
+	"math/cmplx"
+
+	"surfos/internal/em"
+	"surfos/internal/optimize"
+)
+
+// locState caches the configuration-dependent pieces of one location's
+// spectrum at the committed phases: the surface-borne measurement y, the
+// signature matrix mm[b][slot], and the per-bin signature powers. Moving one
+// element perturbs y by Coef[slot][s][k]·dx (every slot) and — only when the
+// moved surface is the sensing surface — mm by Steer·apLeg·dx, so a trial
+// re-prices the spectrum in O(bins·slots) independent of the element count.
+type locState struct {
+	m    *Measurement
+	y    []complex128   // committed surface-borne measurement per slot
+	mm   [][]complex128 // committed signatures, [bin][slot]
+	mPow []float64      // committed Σ_slot |mm[b]|² per bin
+
+	tMPow []float64 // trial signature powers (valid for the pending move)
+}
+
+// deltaEvaluator implements optimize.DeltaEvaluator for the localization
+// loss. It is not safe for concurrent use.
+type deltaEvaluator struct {
+	o    *LocalizationObjective
+	x    [][]complex128 // committed element phasors
+	locs []*locState
+
+	loss  float64
+	trial float64
+
+	pending bool
+	ps, pk  int
+	px, dx  complex128
+
+	// Scratch reused across trials.
+	ty   []complex128 // trial y for the location being priced
+	spec []float64
+	soft []float64
+}
+
+// NewDeltaEvaluator implements optimize.DeltaObjective. The session carries
+// O(locations·bins·slots) cached state; trials cost O(locations·bins·slots)
+// instead of the full evaluation's O(locations·bins·slots·elements).
+func (o *LocalizationObjective) NewDeltaEvaluator(phases [][]float64) optimize.DeltaEvaluator {
+	est := o.Est
+	nSlots := est.NumSlots()
+	nb := len(est.Bins)
+	x := em.Phasors(phases)
+	xs := x[est.SurfIdx]
+	nu := est.NoisePower
+
+	e := &deltaEvaluator{
+		o: o, x: x,
+		locs: make([]*locState, len(o.Locations)),
+		ty:   make([]complex128, nSlots),
+		spec: make([]float64, nb),
+		soft: make([]float64, nb),
+	}
+	inv := 1 / float64(len(o.Locations))
+	for li, m := range o.Locations {
+		ls := &locState{
+			m:     m,
+			mm:    make([][]complex128, nb),
+			mPow:  make([]float64, nb),
+			tMPow: make([]float64, nb),
+		}
+		ls.y = m.Observe(x, 0, nil)
+		for i := range ls.y {
+			ls.y[i] -= m.Direct[i]
+		}
+		var yPow float64
+		for _, v := range ls.y {
+			yPow += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for b := 0; b < nb; b++ {
+			mi := make([]complex128, nSlots)
+			est.signatureRow(m, b, xs, mi)
+			var rho complex128
+			var mPow float64
+			for i := 0; i < nSlots; i++ {
+				rho += ls.y[i] * cmplx.Conj(mi[i])
+				mPow += real(mi[i])*real(mi[i]) + imag(mi[i])*imag(mi[i])
+			}
+			ls.mm[b] = mi
+			ls.mPow[b] = mPow
+			num := real(rho)*real(rho) + imag(rho)*imag(rho) + nu*mPow
+			den := (yPow+float64(nSlots)*nu)*mPow + 1e-300
+			e.spec[b] = num / den
+		}
+		e.locs[li] = ls
+		e.loss += softmaxCE(e.spec, e.soft, o.Beta, m.TrueBin) * inv
+	}
+	return e
+}
+
+// Loss implements optimize.DeltaEvaluator.
+func (e *deltaEvaluator) Loss() float64 { return e.loss }
+
+// TryDelta implements optimize.DeltaEvaluator.
+func (e *deltaEvaluator) TryDelta(s, k int, newPhase float64) float64 {
+	px := em.PhaseShift(newPhase)
+	dx := px - e.x[s][k]
+	e.pending, e.ps, e.pk, e.px, e.dx = true, s, k, px, dx
+
+	inv := 1 / float64(len(e.locs))
+	var loss float64
+	for _, ls := range e.locs {
+		loss += e.lossAt(ls, s, k, dx) * inv
+	}
+	e.trial = loss
+	return loss
+}
+
+// lossAt prices one location's cross-entropy under the pending move,
+// stashing the trial signature powers in ls for a later Commit.
+func (e *deltaEvaluator) lossAt(ls *locState, s, k int, dx complex128) float64 {
+	est := e.o.Est
+	nSlots := len(ls.y)
+	nAnts := len(est.Ants)
+	sigma := est.SurfIdx
+	nu := est.NoisePower
+
+	// Trial measurement: y is affine in the phasors, so only the moved
+	// element's coefficient enters.
+	var yPow float64
+	for i := range ls.y {
+		v := ls.y[i]
+		if c := ls.m.Coef[i][s][k]; c != 0 {
+			v += c * dx
+		}
+		e.ty[i] = v
+		yPow += real(v)*real(v) + imag(v)*imag(v)
+	}
+
+	// Correlations are re-summed over slots each trial (no accumulation
+	// across commits), so the cached state cannot drift bin-by-bin.
+	for b := range ls.mm {
+		var rho complex128
+		var mPow float64
+		if s == sigma {
+			row := ls.mm[b]
+			leg := est.apLeg
+			for i := 0; i < nSlots; i++ {
+				mv := row[i]
+				if l := leg[i][k]; l != 0 {
+					mv += ls.m.SteerGeo[i/nAnts][b][k] * l * dx
+				}
+				rho += e.ty[i] * cmplx.Conj(mv)
+				mPow += real(mv)*real(mv) + imag(mv)*imag(mv)
+			}
+		} else {
+			row := ls.mm[b]
+			mPow = ls.mPow[b]
+			for i := 0; i < nSlots; i++ {
+				rho += e.ty[i] * cmplx.Conj(row[i])
+			}
+		}
+		ls.tMPow[b] = mPow
+		num := real(rho)*real(rho) + imag(rho)*imag(rho) + nu*mPow
+		den := (yPow+float64(nSlots)*nu)*mPow + 1e-300
+		e.spec[b] = num / den
+	}
+	return softmaxCE(e.spec, e.soft, e.o.Beta, ls.m.TrueBin)
+}
+
+// Commit implements optimize.DeltaEvaluator: it re-applies the pending
+// move's exact delta arithmetic to every location's cached state.
+func (e *deltaEvaluator) Commit() {
+	if !e.pending {
+		return
+	}
+	est := e.o.Est
+	nAnts := len(est.Ants)
+	sigma := est.SurfIdx
+	s, k, dx := e.ps, e.pk, e.dx
+	for _, ls := range e.locs {
+		for i := range ls.y {
+			if c := ls.m.Coef[i][s][k]; c != 0 {
+				ls.y[i] += c * dx
+			}
+		}
+		if s == sigma {
+			for b := range ls.mm {
+				row := ls.mm[b]
+				for i := range row {
+					if l := est.apLeg[i][k]; l != 0 {
+						row[i] += ls.m.SteerGeo[i/nAnts][b][k] * l * dx
+					}
+				}
+			}
+		}
+		copy(ls.mPow, ls.tMPow)
+	}
+	e.x[s][k] = e.px
+	e.loss = e.trial
+	e.pending = false
+}
+
+// Revert implements optimize.DeltaEvaluator.
+func (e *deltaEvaluator) Revert() { e.pending = false }

@@ -1,0 +1,110 @@
+package sensing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+)
+
+// newTwoSurfaceRig builds a rig whose simulator carries a second,
+// non-sensing surface, so delta moves hit both the sensing-surface branch
+// (measurement and signatures change) and the other-surface branch (only
+// the measurement changes).
+func newTwoSurfaceRig(t *testing.T) *testRig {
+	t.Helper()
+	pitch := em.Wavelength(em.Band24G) / 2
+	panel := geom.RectXY(geom.V(3*pitch/2+0.05, 0, 1), geom.V(-1, 0, 0), geom.V(0, 0, 1), 3*pitch+0.1, 3*pitch+0.1)
+	s, err := surface.New("ap", panel, surface.Layout{Rows: 3, Cols: 3, PitchU: pitch, PitchV: pitch}, surface.Reflective, em.CosinePattern{Q: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel2 := geom.RectXY(geom.V(-1.2, 0.2, 1), geom.V(0, 1, 0), geom.V(0, 0, 1), 2*pitch+0.1, 2*pitch+0.1)
+	s2, err := surface.New("aux", panel2, surface.Layout{Rows: 2, Cols: 2, PitchU: pitch, PitchV: pitch}, surface.Reflective, em.CosinePattern{Q: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := rfsim.New(scene.New("free"), em.Band24G, s, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := geom.V(2.0, 2.5, 1.3)
+	ants := ULA(ap, geom.V(1, 0, 0), 4, em.Wavelength(em.Band24G)/2)
+	est, err := NewEstimator(sim, 0, ants,
+		DefaultBins(7, 60*math.Pi/180),
+		DefaultSubcarriers(em.Band24G, 400e6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{sim: sim, s: s, est: est, ap: ap}
+}
+
+// TestLocalizationDeltaParity checks the sensing delta evaluator against
+// full evaluation over a random Try/Commit/Revert sequence.
+func TestLocalizationDeltaParity(t *testing.T) {
+	rig := newTwoSurfaceRig(t)
+	rig.est.NoisePower = 1e-12
+	locs := []*Measurement{
+		rig.est.Measure(rig.s.Panel.Center().Add(geom.V(0.4, 2.0, 0))),
+		rig.est.Measure(rig.s.Panel.Center().Add(geom.V(-0.8, 1.6, 0))),
+		rig.est.Measure(rig.s.Panel.Center().Add(geom.V(0.1, 2.4, 0))),
+	}
+	obj, err := NewLocalizationObjective(rig.est, locs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := obj.Shape()
+	if len(shape) != 2 {
+		t.Fatalf("expected two surfaces, got shape %v", shape)
+	}
+	r := rand.New(rand.NewSource(31))
+	phases := randomPhases(r, shape)
+
+	ev := obj.NewDeltaEvaluator(phases)
+	if ev == nil {
+		t.Fatal("NewDeltaEvaluator returned nil")
+	}
+	full, _ := obj.Eval(phases, false)
+	const tol = 1e-9
+	if d := math.Abs(ev.Loss() - full); d > tol {
+		t.Fatalf("initial loss off by %g", d)
+	}
+	sawOther := false
+	for i := 0; i < 60; i++ {
+		s := r.Intn(len(shape))
+		k := r.Intn(shape[s])
+		if s != rig.est.SurfIdx {
+			sawOther = true
+		}
+		phi := r.Float64() * 2 * math.Pi
+		got := ev.TryDelta(s, k, phi)
+
+		old := phases[s][k]
+		phases[s][k] = phi
+		want, _ := obj.Eval(phases, false)
+		if d := math.Abs(got - want); d > tol {
+			t.Fatalf("step %d (s=%d k=%d): trial off by %g (delta %v, full %v)", i, s, k, d, got, want)
+		}
+		if r.Intn(2) == 0 {
+			ev.Commit()
+			if d := math.Abs(ev.Loss() - want); d > tol {
+				t.Fatalf("step %d: committed loss off by %g", i, d)
+			}
+		} else {
+			ev.Revert()
+			phases[s][k] = old
+			prev, _ := obj.Eval(phases, false)
+			if d := math.Abs(ev.Loss() - prev); d > tol {
+				t.Fatalf("step %d: reverted loss off by %g", i, d)
+			}
+		}
+	}
+	if !sawOther {
+		t.Error("random walk never touched the non-sensing surface")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"surfos/internal/em"
 )
 
 // LocalizationObjective is the sensing task loss from the paper's §4: "the
@@ -70,7 +72,7 @@ func (o *LocalizationObjective) Shape() []int { return o.shape }
 // Eval implements optimize.Objective: mean cross-entropy across locations
 // and its gradient.
 func (o *LocalizationObjective) Eval(phases [][]float64, wantGrad bool) (float64, [][]float64) {
-	x := phasorsOf(phases)
+	x := em.Phasors(phases)
 	var loss float64
 	var grad [][]float64
 	if wantGrad {
@@ -127,23 +129,8 @@ func (o *LocalizationObjective) evalOne(m *Measurement, x [][]complex128, grad [
 		spec[b] = num / den
 	}
 
-	// Softmax cross-entropy over z = β·spec.
-	zmax := math.Inf(-1)
-	for _, p := range spec {
-		if o.Beta*p > zmax {
-			zmax = o.Beta * p
-		}
-	}
-	var sum float64
 	soft := make([]float64, nb)
-	for b, p := range spec {
-		soft[b] = math.Exp(o.Beta*p - zmax)
-		sum += soft[b]
-	}
-	for b := range soft {
-		soft[b] /= sum
-	}
-	loss := -math.Log(math.Max(soft[m.TrueBin], 1e-300))
+	loss := softmaxCE(spec, soft, o.Beta, m.TrueBin)
 
 	if !wantGrad {
 		return loss
@@ -228,6 +215,28 @@ func (o *LocalizationObjective) evalOne(m *Measurement, x [][]complex128, grad [
 		}
 	}
 	return loss
+}
+
+// softmaxCE writes softmax(β·spec) into soft and returns the cross-entropy
+// against the one-hot trueBin. It is the single softmax/CE implementation
+// shared by the full evaluation and the delta evaluator, so the two paths
+// agree bit-for-bit on identical spectra.
+func softmaxCE(spec, soft []float64, beta float64, trueBin int) float64 {
+	zmax := math.Inf(-1)
+	for _, p := range spec {
+		if beta*p > zmax {
+			zmax = beta * p
+		}
+	}
+	var sum float64
+	for b, p := range spec {
+		soft[b] = math.Exp(beta*p - zmax)
+		sum += soft[b]
+	}
+	for b := range soft {
+		soft[b] /= sum
+	}
+	return -math.Log(math.Max(soft[trueBin], 1e-300))
 }
 
 func b2delta(b, t int) float64 {
