@@ -1,14 +1,30 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke fmt ci golden
+.PHONY: all build test race vet bench bench-smoke fmt ci golden test-faults
 
 all: build vet test
 
 # ci is the full merge gate: compile, static checks, the race-detector
 # test run, the experiment-output golden check (byte-identical paper
-# figures modulo timing strings), and a one-iteration benchmark smoke
-# pass so benchmark code cannot rot.
-ci: build vet race golden bench-smoke
+# figures modulo timing strings), a one-iteration benchmark smoke pass
+# so benchmark code cannot rot, and the seeded fault-injection suite.
+ci: build vet race golden bench-smoke test-faults
+
+# test-faults replays the fault-injection and self-healing suite under
+# the race detector at three fixed seeds. SURFOS_FAULT_SEED reroutes
+# every seeded fault model/wire script in the tests; the assertions are
+# seed-robust by construction, so a failure at any seed is a real bug.
+FAULT_SEEDS ?= 1 7 1337
+FAULT_RUN := 'Fault|Wire|Retry|Timeout|Backoff|Health|Probe|SelfHeal|Stuck|Dead|Recover|Replan|Chaos|Pin'
+FAULT_PKGS := ./internal/driver ./internal/ctrlproto ./internal/hwmgr \
+	./internal/orchestrator ./internal/monitor ./internal/rfsim \
+	./internal/experiments ./cmd/...
+test-faults:
+	@for seed in $(FAULT_SEEDS); do \
+		echo "== fault suite, seed $$seed =="; \
+		SURFOS_FAULT_SEED=$$seed $(GO) test -race -count=1 \
+			-run $(FAULT_RUN) $(FAULT_PKGS) || exit 1; \
+	done
 
 golden:
 	./scripts/golden-check.sh

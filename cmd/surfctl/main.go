@@ -17,10 +17,11 @@
 //	surfctl -addr HOST:PORT submit -kind link -endpoint laptop -pos 2.5,5.5,1.2
 //	surfctl -addr HOST:PORT end ID | idle ID | resume ID
 //	surfctl -addr HOST:PORT demand "text"
+//	surfctl -addr HOST:PORT health
 //
 // Exit codes map the orchestrator's error taxonomy so scripts can branch
 // without parsing text: 0 ok, 1 generic failure, 2 usage, 3 invalid goal,
-// 4 unknown task, 5 cancelled/timed out.
+// 4 unknown task, 5 cancelled, 6 control-channel timeout.
 package main
 
 import (
@@ -51,6 +52,7 @@ const (
 	exitGoalInvalid = 3
 	exitUnknownTask = 4
 	exitCancelled   = 5
+	exitTimeout     = 6
 )
 
 // exitCode maps an error to the documented process exit code.
@@ -64,13 +66,18 @@ func exitCode(err error) int {
 		return exitGoalInvalid
 	case errors.Is(err, orchestrator.ErrUnknownTask):
 		return exitUnknownTask
+	case errors.Is(err, ctrlproto.ErrTimeout):
+		// Checked before the generic cancellation cases: a request that
+		// died awaiting its reply is a control-channel health signal, not
+		// an operator ^C.
+		return exitTimeout
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return exitCancelled
 	}
 	return exitFailure
 }
 
-var errUsage = errors.New("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero|tasks [--watch]|submit ...|end ID|idle ID|resume ID|demand TEXT")
+var errUsage = errors.New("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero|tasks [--watch]|submit ...|end ID|idle ID|resume ID|demand TEXT|health")
 
 // printTask renders one wire task row.
 func printTask(out io.Writer, t ctrlproto.TaskInfo) {
@@ -261,6 +268,29 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 		fmt.Fprintln(out, "ok")
 		return nil
 
+	case "health":
+		devs, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		if len(devs) == 0 {
+			fmt.Fprintln(out, "no devices")
+		}
+		for _, d := range devs {
+			fmt.Fprintf(out, "device %s state=%s", d.DeviceID, d.State)
+			if len(d.StuckElements) > 0 {
+				fmt.Fprintf(out, " stuck=%d%v", len(d.StuckElements), d.StuckElements)
+			}
+			if d.ConsecutiveFailures > 0 || d.TotalFailures > 0 {
+				fmt.Fprintf(out, " failures=%d/%d", d.ConsecutiveFailures, d.TotalFailures)
+			}
+			if d.LastErr != "" {
+				fmt.Fprintf(out, " err=%q", d.LastErr)
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+
 	case "demand":
 		if len(args) < 2 {
 			return fmt.Errorf("%w (demand needs an utterance)", errUsage)
@@ -295,7 +325,17 @@ func watchTasks(ctx context.Context, c *ctrlproto.Client, out io.Writer) error {
 			if !ok {
 				return nil
 			}
-			fmt.Fprintf(out, "%s task %d %s %s", time.Unix(0, ev.UnixNanos).Format(time.TimeOnly), ev.TaskID, ev.Kind, ev.State)
+			ts := time.Unix(0, ev.UnixNanos).Format(time.TimeOnly)
+			if ev.DeviceID != "" {
+				// Health transitions and healing markers are device-scoped.
+				fmt.Fprintf(out, "%s device %s %s", ts, ev.DeviceID, ev.State)
+				if ev.Err != "" {
+					fmt.Fprintf(out, " err=%q", ev.Err)
+				}
+				fmt.Fprintln(out)
+				continue
+			}
+			fmt.Fprintf(out, "%s task %d %s %s", ts, ev.TaskID, ev.Kind, ev.State)
 			if ev.Endpoint != "" {
 				fmt.Fprintf(out, " endpoint=%s", ev.Endpoint)
 			}

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -113,8 +114,9 @@ func TestCLICommands(t *testing.T) {
 }
 
 // startCtrlAgent serves an orchestrator-backed control agent for the task
-// commands.
-func startCtrlAgent(t *testing.T) string {
+// commands. The hardware manager is returned so tests can inject device
+// health transitions.
+func startCtrlAgent(t *testing.T) (string, *hwmgr.Manager) {
 	t.Helper()
 	apt := scene.NewApartment()
 	hw := hwmgr.New()
@@ -147,6 +149,7 @@ func startCtrlAgent(t *testing.T) string {
 	}
 	events := telemetry.NewEventBus()
 	orch.SetEventBus(events)
+	hw.SetEventBus(events)
 	a, err := ctrlproto.NewCtrlAgent(orch)
 	if err != nil {
 		t.Fatal(err)
@@ -158,11 +161,11 @@ func startCtrlAgent(t *testing.T) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { a.Close() })
-	return addr.String()
+	return addr.String(), hw
 }
 
 func TestCLITaskCommandsAndExitCodes(t *testing.T) {
-	addr := startCtrlAgent(t)
+	addr, _ := startCtrlAgent(t)
 	ctx := context.Background()
 
 	var out strings.Builder
@@ -234,7 +237,7 @@ func TestCLITaskCommandsAndExitCodes(t *testing.T) {
 }
 
 func TestCLIWatchStreamsAndStops(t *testing.T) {
-	addr := startCtrlAgent(t)
+	addr, hw := startCtrlAgent(t)
 	ctx, cancel := context.WithCancel(context.Background())
 
 	var mu sync.Mutex
@@ -276,9 +279,59 @@ func TestCLIWatchStreamsAndStops(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Device health transitions ride the same stream: killing the surface
+	// shows up as a device-scoped line, so operators watch healing live.
+	hw.RecordFailure("s0", driver.ErrDeviceDead)
+	for {
+		mu.Lock()
+		s := out.String()
+		mu.Unlock()
+		if strings.Contains(s, "device s0 device_dead") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch output missing device event: %q", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	cancel()
 	if err := <-sync1; err != nil {
 		t.Errorf("watch exit err = %v, want nil on cancel", err)
+	}
+}
+
+func TestCLIHealthCommand(t *testing.T) {
+	addr, hw := startCtrlAgent(t)
+	ctx := context.Background()
+
+	var out strings.Builder
+	if err := run(ctx, addr, []string{"health"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "device s0 state=healthy") {
+		t.Errorf("health on fresh device: %q", out.String())
+	}
+
+	// A dead device surfaces with its failure counters and last error.
+	hw.RecordFailure("s0", driver.ErrDeviceDead)
+	out.Reset()
+	if err := run(ctx, addr, []string{"health"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "state=dead") || !strings.Contains(s, "failures=1/1") || !strings.Contains(s, "err=") {
+		t.Errorf("health on dead device: %q", s)
+	}
+}
+
+// A southbound request that dies awaiting its reply must exit with the
+// dedicated control-channel timeout code, distinct from operator ^C.
+func TestCLITimeoutExitCode(t *testing.T) {
+	if code := exitCode(fmt.Errorf("tasks: %w", ctrlproto.ErrTimeout)); code != exitTimeout {
+		t.Errorf("wrapped ErrTimeout exit code = %d, want %d", code, exitTimeout)
+	}
+	if exitTimeout == exitCancelled {
+		t.Fatal("timeout and cancel codes must differ")
 	}
 }
 

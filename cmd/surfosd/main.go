@@ -7,6 +7,14 @@
 // Usage:
 //
 //	surfosd [-listen 127.0.0.1:7090] [-surfaces NR-Surface@east_wall,NR-Surface@north_wall]
+//	        [-health-interval 2s] [-fault-seed N] [-fault-fail P] [-fault-stuck N] [-fault-latency D]
+//
+// The -fault-* flags attach a deterministic fault injector to every deployed
+// driver (seeded fault-seed+i for device i): -fault-fail sets the transient
+// control-failure probability, -fault-stuck freezes every Nth element at π,
+// and -fault-latency delays every control write. The health heartbeat loop
+// (-health-interval; 0 disables) probes devices, feeds the health tracker,
+// and the orchestrator re-plans around devices that die.
 //
 // Northbound protocol (one command per line):
 //
@@ -14,6 +22,7 @@
 //	tasks                list tasks
 //	plans                list active scheduling plans
 //	devices              list devices (read back over the southbound protocol)
+//	health               list per-device health (state, stuck mask, failures)
 //	catalog              print the hardware design catalog
 //	end <id>             terminate a task
 //	idle <id> | resume <id>
@@ -27,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"os"
 	"os/signal"
@@ -38,6 +48,25 @@ import (
 	"surfos"
 	"surfos/internal/ctrlproto"
 )
+
+// daemonOptions is the fault-injection and health-loop configuration; the
+// zero value injects nothing and runs no heartbeat (tests probe manually).
+type daemonOptions struct {
+	// faultSeed seeds device i's injector with faultSeed+i, so runs replay.
+	faultSeed int64
+	// faultProb is the per-control-write transient failure probability.
+	faultProb float64
+	// faultStuck freezes every Nth element at π (0 disables).
+	faultStuck int
+	// faultLatency delays every control write.
+	faultLatency time.Duration
+	// healthEvery is the heartbeat probe interval (0 disables the loop).
+	healthEvery time.Duration
+}
+
+func (o daemonOptions) injecting() bool {
+	return o.faultProb > 0 || o.faultStuck > 0 || o.faultLatency > 0
+}
 
 type daemon struct {
 	// ctx is the daemon's lifetime context: canceled on SIGINT/SIGTERM,
@@ -59,10 +88,12 @@ type daemon struct {
 	// northbound watchers consume
 	events    *surfos.TaskEventBus
 	eventStop func()
-	ctrl      *ctrlproto.CtrlAgent
+	// healStop unsubscribes the self-healing consumer from the event bus
+	healStop func()
+	ctrl     *ctrlproto.CtrlAgent
 }
 
-func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
+func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*daemon, error) {
 	d := &daemon{
 		ctx:     ctx,
 		apt:     surfos.NewApartment(),
@@ -72,6 +103,10 @@ func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 		bus:     surfos.NewTelemetryBus(),
 		events:  surfos.NewTaskEventBus(),
 	}
+	// Health transitions (device_degraded/device_dead/device_recovered) are
+	// published on the task-event bus: the monitor folds them into diagnosis
+	// and northbound watchers see healing alongside scheduling.
+	d.hw.SetEventBus(d.events)
 	d.monStop = d.mon.Run(ctx, d.bus)
 	// Link-task predictions become monitoring expectations the moment the
 	// scheduler marks the task running — no per-command wiring needed.
@@ -94,6 +129,19 @@ func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.injecting() {
+			fm := surfos.NewFaultModel(opts.faultSeed + int64(i))
+			fm.SetFailProb(opts.faultProb)
+			fm.SetLatency(opts.faultLatency)
+			if opts.faultStuck > 0 {
+				for e := 0; e < drv.Surface().NumElements(); e += opts.faultStuck {
+					fm.StickElement(e, math.Pi)
+				}
+			}
+			drv.SetFaults(fm)
+			log.Printf("fault injector on %s: seed=%d fail=%g stuck-every=%d latency=%s",
+				id, opts.faultSeed+int64(i), opts.faultProb, opts.faultStuck, opts.faultLatency)
+		}
 		// Expose the device through the southbound protocol, the way a
 		// physically remote surface controller would be managed.
 		agent, err := ctrlproto.NewAgent(id, mountName, drv)
@@ -108,6 +156,10 @@ func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Injected transient failures and latency make timeouts realistic;
+		// bounded retries with idempotent request IDs absorb them without
+		// ever double-applying a configuration.
+		client.Retry = ctrlproto.RetryPolicy{Attempts: 3}
 		d.agents = append(d.agents, agent)
 		d.clients[id] = client
 		log.Printf("deployed %s at %s (southbound agent %s)", id, mountName, addr)
@@ -126,6 +178,15 @@ func newDaemon(ctx context.Context, surfaceList string) (*daemon, error) {
 	}
 	orch.SetEventBus(d.events)
 	d.orch = orch
+
+	// Self-healing: device health transitions trigger a re-plan, migrating
+	// tasks off dead surfaces and back when they recover.
+	healCh, healUnsub := d.events.Subscribe(256)
+	d.healStop = healUnsub
+	go orch.RunDeviceEvents(ctx, healCh)
+	if opts.healthEvery > 0 {
+		go d.hw.RunHealth(ctx, opts.healthEvery)
+	}
 
 	tr := surfos.NewTranslator()
 	tr.Rooms["bedroom"] = "room_id"
@@ -167,6 +228,9 @@ func (d *daemon) close() {
 	if d.ctrl != nil {
 		d.ctrl.Close()
 	}
+	if d.healStop != nil {
+		d.healStop()
+	}
 	if d.eventStop != nil {
 		d.eventStop()
 	}
@@ -193,7 +257,27 @@ func (d *daemon) handle(line string) (string, bool) {
 		return "bye", false
 
 	case "help":
-		return "commands: demand <text> | tasks | plans | devices | catalog | hazards <GHz> | report <dev> <endpoint> <snr> | diagnose | end <id> | idle <id> | resume <id> | tick <dur> | quit", true
+		return "commands: demand <text> | tasks | plans | devices | health | catalog | hazards <GHz> | report <dev> <endpoint> <snr> | diagnose | end <id> | idle <id> | resume <id> | tick <dur> | quit", true
+
+	case "health":
+		var b strings.Builder
+		for _, h := range d.hw.HealthAll() {
+			fmt.Fprintf(&b, "%s state=%s", h.ID, h.State)
+			if len(h.StuckElements) > 0 {
+				fmt.Fprintf(&b, " stuck=%d", len(h.StuckElements))
+			}
+			if h.TotalFailures > 0 {
+				fmt.Fprintf(&b, " failures=%d/%d", h.ConsecutiveFailures, h.TotalFailures)
+			}
+			if h.LastErr != "" {
+				fmt.Fprintf(&b, " err=%q", h.LastErr)
+			}
+			b.WriteByte('\n')
+		}
+		if b.Len() == 0 {
+			return "no devices", true
+		}
+		return strings.TrimRight(b.String(), "\n"), true
 
 	case "hazards":
 		// Cross-band interference check (§2.1: a 2.4 GHz panel can block
@@ -384,12 +468,23 @@ func main() {
 	surfaceList := flag.String("surfaces",
 		"NR-Surface@east_wall,NR-Surface@north_wall",
 		"comma-separated MODEL@MOUNT deployments")
+	healthEvery := flag.Duration("health-interval", 2*time.Second, "device heartbeat probe interval (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (device i uses seed+i)")
+	faultProb := flag.Float64("fault-fail", 0, "probability each control write fails transiently")
+	faultStuck := flag.Int("fault-stuck", 0, "freeze every Nth element at pi (0 disables)")
+	faultLatency := flag.Duration("fault-latency", 0, "added latency per control write")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	d, err := newDaemon(ctx, *surfaceList)
+	d, err := newDaemon(ctx, *surfaceList, daemonOptions{
+		faultSeed:    *faultSeed,
+		faultProb:    *faultProb,
+		faultStuck:   *faultStuck,
+		faultLatency: *faultLatency,
+		healthEvery:  *healthEvery,
+	})
 	if err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}

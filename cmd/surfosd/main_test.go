@@ -7,11 +7,13 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"surfos"
 )
 
 func testDaemon(t *testing.T) *daemon {
 	t.Helper()
-	d, err := newDaemon(context.Background(), "NR-Surface@east_wall,NR-Surface@north_wall")
+	d, err := newDaemon(context.Background(), "NR-Surface@east_wall,NR-Surface@north_wall", daemonOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,10 +28,10 @@ func testDaemon(t *testing.T) *daemon {
 }
 
 func TestDaemonRejectsBadSurfaceSpec(t *testing.T) {
-	if _, err := newDaemon(context.Background(), "garbage"); err == nil {
+	if _, err := newDaemon(context.Background(), "garbage", daemonOptions{}); err == nil {
 		t.Error("malformed surface list accepted")
 	}
-	if _, err := newDaemon(context.Background(), "NR-Surface@nowhere"); err == nil {
+	if _, err := newDaemon(context.Background(), "NR-Surface@nowhere", daemonOptions{}); err == nil {
 		t.Error("unknown mount accepted")
 	}
 }
@@ -204,10 +206,57 @@ func TestDaemonHazardsAndDiagnosis(t *testing.T) {
 	}
 }
 
+func TestDaemonFaultInjectionAndHealth(t *testing.T) {
+	d, err := newDaemon(context.Background(), "NR-Surface@east_wall,NR-Surface@north_wall",
+		daemonOptions{faultSeed: 7, faultStuck: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.close)
+
+	// Before any probe the tracker has no records: everything is healthy.
+	reply, _ := d.handle("health")
+	if !strings.Contains(reply, "state=healthy") {
+		t.Errorf("health before probe: %q", reply)
+	}
+	// One heartbeat pass picks up the injected stuck-element masks.
+	d.hw.ProbeAll()
+	reply, _ = d.handle("health")
+	if !strings.Contains(reply, "state=degraded") || !strings.Contains(reply, "stuck=6") {
+		t.Errorf("health after probe: %q", reply)
+	}
+}
+
+func TestDaemonSelfHealsDeadDevice(t *testing.T) {
+	d := testDaemon(t)
+	if reply, _ := d.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "running") {
+		t.Fatalf("demand: %q", reply)
+	}
+	devs := d.hw.Surfaces()
+	if len(devs) != 2 {
+		t.Fatalf("want 2 surfaces, got %d", len(devs))
+	}
+	fm := surfos.NewFaultModel(1)
+	fm.SetDead(true)
+	devs[0].Drv.SetFaults(fm)
+
+	// The heartbeat marks the device dead, the event bus carries the
+	// transition, and the self-healing consumer re-plans around it.
+	d.hw.ProbeAll()
+	waitFor(t, func() bool {
+		reply, _ := d.handle("plans")
+		return strings.Contains(reply, "strategy=") && !strings.Contains(reply, devs[0].ID)
+	})
+	reply, _ := d.handle("health")
+	if !strings.Contains(reply, devs[0].ID+" state=dead") {
+		t.Errorf("health after death: %q", reply)
+	}
+}
+
 // waitFor polls a condition (telemetry flows through an async bus).
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(10 * time.Second)
 	for !cond() {
 		if time.Now().After(deadline) {
 			t.Fatal("condition never satisfied")

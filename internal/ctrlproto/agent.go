@@ -26,6 +26,49 @@ type Agent struct {
 	listener net.Listener
 	conns    map[net.Conn]*sync.Mutex // per-connection write locks
 	closed   bool
+
+	// dedup caches replies by idempotency token so a retried or
+	// wire-duplicated mutating request applies exactly once: the duplicate
+	// gets the original reply (re-correlated), the driver is not touched
+	// again. Bounded FIFO; see dedupCap.
+	dmu        sync.Mutex
+	dedup      map[uint64]Frame
+	dedupOrder []uint64
+}
+
+// dedupCap bounds the reply cache; retries arrive close to the original,
+// so a small window suffices.
+const dedupCap = 256
+
+// dedupGet returns the cached reply for a request ID, if any.
+func (a *Agent) dedupGet(reqID uint64) (Frame, bool) {
+	if reqID == 0 {
+		return Frame{}, false
+	}
+	a.dmu.Lock()
+	defer a.dmu.Unlock()
+	f, ok := a.dedup[reqID]
+	return f, ok
+}
+
+// dedupPut records the reply for a request ID, evicting oldest-first.
+func (a *Agent) dedupPut(reqID uint64, reply Frame) {
+	if reqID == 0 {
+		return
+	}
+	a.dmu.Lock()
+	defer a.dmu.Unlock()
+	if a.dedup == nil {
+		a.dedup = make(map[uint64]Frame)
+	}
+	if _, exists := a.dedup[reqID]; !exists {
+		a.dedupOrder = append(a.dedupOrder, reqID)
+		if len(a.dedupOrder) > dedupCap {
+			delete(a.dedup, a.dedupOrder[0])
+			a.dedupOrder = a.dedupOrder[1:]
+		}
+	}
+	a.dedup[reqID] = reply
 }
 
 // NewAgent wraps a driver for serving.
@@ -206,44 +249,68 @@ func (a *Agent) handle(f Frame) Frame {
 		if err != nil {
 			return fail(err)
 		}
-		if err := a.Drv.ShiftPhase(m.Config()); err != nil {
-			return fail(err)
+		if r, ok := a.dedupGet(m.ReqID); ok {
+			r.Corr = f.Corr
+			return r
 		}
-		return ack
+		reply := ack
+		if err := a.Drv.ShiftPhase(m.Config()); err != nil {
+			reply = fail(err)
+		}
+		a.dedupPut(m.ReqID, reply)
+		return reply
 
 	case MsgSetAmplitude:
 		m, err := DecodeConfigMsg(f.Payload)
 		if err != nil {
 			return fail(err)
 		}
-		if err := a.Drv.SetAmplitude(m.Config()); err != nil {
-			return fail(err)
+		if r, ok := a.dedupGet(m.ReqID); ok {
+			r.Corr = f.Corr
+			return r
 		}
-		return ack
+		reply := ack
+		if err := a.Drv.SetAmplitude(m.Config()); err != nil {
+			reply = fail(err)
+		}
+		a.dedupPut(m.ReqID, reply)
+		return reply
 
 	case MsgStoreCodebook:
 		m, err := DecodeCodebookMsg(f.Payload)
 		if err != nil {
 			return fail(err)
 		}
+		if r, ok := a.dedupGet(m.ReqID); ok {
+			r.Corr = f.Corr
+			return r
+		}
 		cfgs := make([]surface.Config, len(m.Entries))
 		for i, vals := range m.Entries {
 			cfgs[i] = surface.Config{Property: m.Property, Values: vals}
 		}
+		reply := ack
 		if err := a.Drv.StoreCodebook(m.Labels, cfgs); err != nil {
-			return fail(err)
+			reply = fail(err)
 		}
-		return ack
+		a.dedupPut(m.ReqID, reply)
+		return reply
 
 	case MsgSelect:
 		m, err := DecodeSelectMsg(f.Payload)
 		if err != nil {
 			return fail(err)
 		}
-		if err := a.Drv.Select(int(m.Index)); err != nil {
-			return fail(err)
+		if r, ok := a.dedupGet(m.ReqID); ok {
+			r.Corr = f.Corr
+			return r
 		}
-		return ack
+		reply := ack
+		if err := a.Drv.Select(int(m.Index)); err != nil {
+			reply = fail(err)
+		}
+		a.dedupPut(m.ReqID, reply)
+		return reply
 
 	case MsgActiveQuery:
 		cfg, label, ok := a.Drv.Active()

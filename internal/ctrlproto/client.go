@@ -4,12 +4,33 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"surfos/internal/surface"
 )
+
+// ErrTimeout is returned when a request's reply does not arrive within the
+// client timeout. It is a typed sentinel (wired through StatusTimeout) so
+// callers can distinguish a lost reply — retryable, possibly applied —
+// from a semantic rejection, and surfctl can exit with a dedicated code.
+var ErrTimeout = errors.New("ctrlproto: request timed out")
+
+// RetryPolicy is the southbound retry configuration: capped exponential
+// backoff with jitter, applied only to timeouts on a live connection.
+// Mutating requests carry an idempotent request ID reused across retries,
+// so a retry whose predecessor actually reached the agent never
+// double-applies.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (min 1; 1 = no retry).
+	Attempts int
+	// BaseDelay is the backoff before the first retry (default 10ms);
+	// it doubles per retry up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
 
 // Client is the controller-side endpoint: one connection to a surface
 // agent with pipelined request/reply correlation and an optional feedback
@@ -31,6 +52,13 @@ type Client struct {
 	TaskEvents chan TaskEventMsg
 	// Timeout bounds each request round trip (default 5s).
 	Timeout time.Duration
+	// Retry configures timeout retries for mutating requests (zero value =
+	// single attempt).
+	Retry RetryPolicy
+
+	jmu     sync.Mutex
+	jitter  *rand.Rand
+	nextReq uint64
 }
 
 // Dial connects to an agent at addr.
@@ -51,9 +79,90 @@ func NewClient(conn net.Conn) *Client {
 		Feedback:   make(chan FeedbackMsg, 64),
 		TaskEvents: make(chan TaskEventMsg, 64),
 		Timeout:    5 * time.Second,
+		jitter:     rand.New(rand.NewSource(rand.Int63())),
+		// Request IDs must not collide across client sessions sharing an
+		// agent: start from a random 32-bit prefix and count up.
+		nextReq: uint64(rand.Uint32()) << 32,
 	}
 	go c.readLoop()
 	return c
+}
+
+// SeedJitter reseeds the retry backoff jitter so fault tests replay
+// identical retry timelines.
+func (c *Client) SeedJitter(seed int64) {
+	c.jmu.Lock()
+	c.jitter = rand.New(rand.NewSource(seed))
+	c.jmu.Unlock()
+}
+
+// newReqID mints an idempotency token for one logical mutating request;
+// every retry of that request reuses it.
+func (c *Client) newReqID() uint64 {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	c.nextReq++
+	if c.nextReq == 0 { // 0 means "no idempotency token" on the wire
+		c.nextReq = 1
+	}
+	return c.nextReq
+}
+
+// backoffDelay returns the capped exponential backoff before retry n
+// (n=1 is the first retry), jittered to 50–100% of nominal.
+func (c *Client) backoffDelay(n int) time.Duration {
+	base := c.Retry.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := c.Retry.MaxDelay
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << (n - 1)
+	if d > max || d <= 0 { // <= 0: shift overflow
+		d = max
+	}
+	c.jmu.Lock()
+	f := 0.5 + 0.5*c.jitter.Float64()
+	c.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// invoke runs one mutating request with retry-on-timeout semantics: the
+// payload carries reqID so the agent deduplicates deliveries, and only
+// ErrTimeout on a still-live connection is retried — semantic rejections
+// and transport failures surface immediately.
+func (c *Client) invoke(ctx context.Context, t MsgType, payload []byte) (Frame, error) {
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for n := 0; n < attempts; n++ {
+		if n > 0 {
+			delay := c.backoffDelay(n)
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return Frame{}, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		f, err := c.roundTrip(ctx, t, payload)
+		if err == nil || !errors.Is(err, ErrTimeout) {
+			return f, err
+		}
+		lastErr = err
+		c.mu.Lock()
+		dead := c.closed
+		c.mu.Unlock()
+		if dead {
+			break
+		}
+	}
+	return Frame{}, lastErr
 }
 
 // Close tears down the connection; in-flight requests fail.
@@ -195,7 +304,7 @@ func (c *Client) roundTrip(ctx context.Context, t MsgType, payload []byte) (Fram
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return Frame{}, fmt.Errorf("ctrlproto: timeout awaiting reply to %v", t)
+		return Frame{}, fmt.Errorf("%w awaiting reply to %v", ErrTimeout, t)
 	}
 }
 
@@ -223,15 +332,19 @@ func (c *Client) GetSpec(ctx context.Context) (SpecReply, error) {
 	return DecodeSpecReply(f.Payload)
 }
 
-// ShiftPhase programs a phase configuration on the remote device.
+// ShiftPhase programs a phase configuration on the remote device. Timeouts
+// are retried per c.Retry; the embedded request ID guarantees at most one
+// application.
 func (c *Client) ShiftPhase(ctx context.Context, cfg surface.Config) error {
-	_, err := c.roundTrip(ctx, MsgShiftPhase, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
+	m := ConfigMsg{Property: cfg.Property, Values: cfg.Values, ReqID: c.newReqID()}
+	_, err := c.invoke(ctx, MsgShiftPhase, m.Encode())
 	return err
 }
 
 // SetAmplitude programs an amplitude configuration on the remote device.
 func (c *Client) SetAmplitude(ctx context.Context, cfg surface.Config) error {
-	_, err := c.roundTrip(ctx, MsgSetAmplitude, ConfigMsg{Property: cfg.Property, Values: cfg.Values}.Encode())
+	m := ConfigMsg{Property: cfg.Property, Values: cfg.Values, ReqID: c.newReqID()}
+	_, err := c.invoke(ctx, MsgSetAmplitude, m.Encode())
 	return err
 }
 
@@ -240,17 +353,19 @@ func (c *Client) StoreCodebook(ctx context.Context, labels []string, cfgs []surf
 	if len(cfgs) == 0 {
 		return errors.New("ctrlproto: empty codebook")
 	}
-	m := CodebookMsg{Property: cfgs[0].Property, Labels: labels}
+	m := CodebookMsg{Property: cfgs[0].Property, Labels: labels, ReqID: c.newReqID()}
 	for _, cfg := range cfgs {
 		m.Entries = append(m.Entries, cfg.Values)
 	}
-	_, err := c.roundTrip(ctx, MsgStoreCodebook, m.Encode())
+	_, err := c.invoke(ctx, MsgStoreCodebook, m.Encode())
 	return err
 }
 
-// Select activates a stored codebook entry.
+// Select activates a stored codebook entry. Retries reuse the request ID,
+// so a duplicated select applies exactly once.
 func (c *Client) Select(ctx context.Context, i int) error {
-	_, err := c.roundTrip(ctx, MsgSelect, SelectMsg{Index: uint32(i)}.Encode())
+	m := SelectMsg{Index: uint32(i), ReqID: c.newReqID()}
+	_, err := c.invoke(ctx, MsgSelect, m.Encode())
 	return err
 }
 
@@ -311,6 +426,19 @@ func (c *Client) SubmitTask(ctx context.Context, m SubmitMsg) (TaskInfo, error) 
 func (c *Client) WatchTasks(ctx context.Context) error {
 	_, err := c.roundTrip(ctx, MsgWatchTasks, nil)
 	return err
+}
+
+// Health fetches every managed device's health snapshot.
+func (c *Client) Health(ctx context.Context) ([]HealthInfo, error) {
+	f, err := c.roundTrip(ctx, MsgHealth, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgHealthReply {
+		return nil, fmt.Errorf("ctrlproto: unexpected %v to health", f.Type)
+	}
+	m, err := DecodeHealthReply(f.Payload)
+	return m.Devices, err
 }
 
 // Demand dispatches a natural-language demand through the control plane's

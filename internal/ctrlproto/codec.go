@@ -67,6 +67,7 @@ func (t MsgType) String() string {
 		MsgSubmitTask: "submit-task", MsgTaskReply: "task-reply",
 		MsgWatchTasks: "watch-tasks", MsgTaskEvent: "task-event",
 		MsgDemand: "demand", MsgDemandReply: "demand-reply",
+		MsgHealth: "health", MsgHealthReply: "health-reply",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -274,6 +275,16 @@ func (d *decoder) floats() []float64 {
 	return out
 }
 
+// optU64 reads a trailing optional u64 field: present iff exactly 8 bytes
+// remain, 0 otherwise. Appended-on-encode optional fields use this so
+// payloads from older peers (without the field) still decode.
+func (d *decoder) optU64() uint64 {
+	if d.err != nil || d.off+8 != len(d.buf) {
+		return 0
+	}
+	return d.u64()
+}
+
 func (d *decoder) finish() error {
 	if d.err != nil {
 		return d.err
@@ -313,6 +324,10 @@ func DecodeHello(b []byte) (Hello, error) {
 type ConfigMsg struct {
 	Property surface.ControlProperty
 	Values   []float64
+	// ReqID is the optional idempotency token (trailing field, 0 = none):
+	// the agent deduplicates deliveries sharing one, so client retries
+	// never double-apply.
+	ReqID uint64
 }
 
 // Encode serializes the message.
@@ -320,6 +335,9 @@ func (m ConfigMsg) Encode() []byte {
 	var e encoder
 	e.u8(byte(m.Property))
 	e.floats(m.Values)
+	if m.ReqID != 0 {
+		e.u64(m.ReqID)
+	}
 	return e.buf
 }
 
@@ -327,6 +345,7 @@ func (m ConfigMsg) Encode() []byte {
 func DecodeConfigMsg(b []byte) (ConfigMsg, error) {
 	d := decoder{buf: b}
 	m := ConfigMsg{Property: surface.ControlProperty(d.u8()), Values: d.floats()}
+	m.ReqID = d.optU64()
 	return m, d.finish()
 }
 
@@ -340,6 +359,8 @@ type CodebookMsg struct {
 	Property surface.ControlProperty
 	Labels   []string
 	Entries  [][]float64
+	// ReqID is the optional idempotency token (trailing field, 0 = none).
+	ReqID uint64
 }
 
 // Encode serializes the message.
@@ -355,6 +376,9 @@ func (m CodebookMsg) Encode() []byte {
 		e.str(label)
 		e.floats(m.Entries[i])
 	}
+	if m.ReqID != 0 {
+		e.u64(m.ReqID)
+	}
 	return e.buf
 }
 
@@ -367,16 +391,24 @@ func DecodeCodebookMsg(b []byte) (CodebookMsg, error) {
 		m.Labels = append(m.Labels, d.str())
 		m.Entries = append(m.Entries, d.floats())
 	}
+	m.ReqID = d.optU64()
 	return m, d.finish()
 }
 
 // SelectMsg activates a stored codebook entry.
-type SelectMsg struct{ Index uint32 }
+type SelectMsg struct {
+	Index uint32
+	// ReqID is the optional idempotency token (trailing field, 0 = none).
+	ReqID uint64
+}
 
 // Encode serializes the message.
 func (m SelectMsg) Encode() []byte {
 	var e encoder
 	e.u32(m.Index)
+	if m.ReqID != 0 {
+		e.u64(m.ReqID)
+	}
 	return e.buf
 }
 
@@ -384,6 +416,7 @@ func (m SelectMsg) Encode() []byte {
 func DecodeSelectMsg(b []byte) (SelectMsg, error) {
 	d := decoder{buf: b}
 	m := SelectMsg{Index: d.u32()}
+	m.ReqID = d.optU64()
 	return m, d.finish()
 }
 

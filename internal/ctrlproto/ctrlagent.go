@@ -260,6 +260,23 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 		st.w.Unlock()
 		return ack
 
+	case MsgHealth:
+		var reply HealthReply
+		for _, h := range a.Orch.HW.HealthAll() {
+			info := HealthInfo{
+				DeviceID:            h.ID,
+				State:               h.State.String(),
+				ConsecutiveFailures: uint32(h.ConsecutiveFailures),
+				TotalFailures:       uint32(h.TotalFailures),
+				LastErr:             h.LastErr,
+			}
+			for _, idx := range h.StuckElements {
+				info.StuckElements = append(info.StuckElements, uint32(idx))
+			}
+			reply.Devices = append(reply.Devices, info)
+		}
+		return Frame{Type: MsgHealthReply, Corr: f.Corr, Payload: reply.Encode()}
+
 	case MsgDemand:
 		if a.Broker == nil {
 			return fail(errors.New("ctrlproto: no broker attached"))
@@ -307,6 +324,7 @@ func (a *CtrlAgent) streamEvents(conn net.Conn, st *connState, ch <-chan telemet
 			Metric:     ev.Metric,
 			MetricName: ev.MetricName,
 			Err:        ev.Err,
+			DeviceID:   ev.DeviceID,
 		}
 		st.w.Lock()
 		err := WriteFrame(conn, Frame{Type: MsgTaskEvent, Corr: 0, Payload: m.Encode()})

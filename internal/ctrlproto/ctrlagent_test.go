@@ -199,3 +199,66 @@ func TestWatchTasksStreamsEvents(t *testing.T) {
 		}
 	}
 }
+
+func TestHealthQueryOverWire(t *testing.T) {
+	r := newCtrlRig(t)
+	ctx := context.Background()
+
+	infos, err := r.client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].DeviceID != "s0" || infos[0].State != "healthy" {
+		t.Fatalf("initial health = %+v", infos)
+	}
+
+	// Inject faults on the served device; the wire view must follow.
+	dev, err := r.orch.HW.Surface("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := driver.NewFaultModel(1)
+	dev.Drv.SetFaults(fm)
+	fm.StickElement(5, 1.0)
+	r.orch.HW.ProbeAll()
+
+	infos, err = r.client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[0].State != "degraded" || len(infos[0].StuckElements) != 1 || infos[0].StuckElements[0] != 5 {
+		t.Fatalf("degraded health = %+v", infos[0])
+	}
+
+	fm.SetDead(true)
+	r.orch.HW.ProbeAll()
+	infos, err = r.client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[0].State != "dead" || infos[0].LastErr == "" {
+		t.Fatalf("dead health = %+v", infos[0])
+	}
+}
+
+func TestDeviceEventsReachWatchers(t *testing.T) {
+	r := newCtrlRig(t)
+	if err := r.client.WatchTasks(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.orch.HW.SetEventBus(r.events)
+	dev, _ := r.orch.HW.Surface("s0")
+	fm := driver.NewFaultModel(1)
+	dev.Drv.SetFaults(fm)
+	fm.SetDead(true)
+	r.orch.HW.ProbeAll()
+
+	select {
+	case ev := <-r.client.TaskEvents:
+		if ev.State != telemetry.DeviceDead || ev.DeviceID != "s0" {
+			t.Fatalf("event = %+v, want device_dead for s0", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no device event reached the watcher")
+	}
+}

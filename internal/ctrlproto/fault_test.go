@@ -1,0 +1,251 @@
+package ctrlproto
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"surfos/internal/driver"
+	"surfos/internal/surface"
+)
+
+// faultSeed returns the suite's wire-fault/jitter seed: SURFOS_FAULT_SEED
+// when set (`make test-faults` replays the suite at several), else def.
+// Assertions here rely on scripted faults (DropNext, SetDupProb 1), never
+// on a particular random draw, so any seed passes.
+func faultSeed(def int64) int64 {
+	if s := os.Getenv("SURFOS_FAULT_SEED"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// pipePair connects a client and a device agent over net.Pipe, with the
+// given fault script on the chosen side's writes (nil = no faults).
+func pipePair(t *testing.T, clientFaults, agentFaults *WireFaults) (*Agent, *Client) {
+	t.Helper()
+	drv := testDriver(t, driver.ModelNRSurface, surface.Reflective)
+	a, err := NewAgent("dev0", "east_wall", drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, sc := net.Pipe()
+	var agentConn net.Conn = sc
+	if agentFaults != nil {
+		agentConn = NewFaultyConn(sc, agentFaults)
+	}
+	go a.ServeConn(agentConn)
+	var clientConn net.Conn = cc
+	if clientFaults != nil {
+		clientConn = NewFaultyConn(cc, clientFaults)
+	}
+	c := NewClient(clientConn)
+	t.Cleanup(func() {
+		c.Close()
+		a.Close()
+	})
+	return a, c
+}
+
+func phases(n int, v float64) surface.Config {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return surface.Config{Property: surface.Phase, Values: vals}
+}
+
+// A wire-duplicated mutating request must apply exactly once: the agent's
+// idempotency cache answers the duplicate from the original reply.
+func TestWireDuplicateAppliesOnce(t *testing.T) {
+	wf := NewWireFaults(faultSeed(3))
+	wf.SetDupProb(1) // every request frame delivered twice
+	a, c := pipePair(t, wf, nil)
+
+	ctx := context.Background()
+	if err := c.ShiftPhase(ctx, phases(6, math.Pi)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreCodebook(ctx, []string{"a", "b"},
+		[]surface.Config{phases(6, 0), phases(6, math.Pi)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if wf.Duplicated() < 3 {
+		t.Fatalf("expected every frame duplicated, got %d", wf.Duplicated())
+	}
+	// Each logical write was applied once despite double delivery.
+	if got := a.Drv.Updates(); got != 2 {
+		t.Fatalf("driver accepted %d writes, want 2 (shift + codebook)", got)
+	}
+	if _, label, ok := a.Drv.Active(); !ok || label != "b" {
+		t.Fatalf("active = %q, ok=%v; want entry b", label, ok)
+	}
+}
+
+// When the agent's reply is lost, the client retries with the same request
+// ID; the agent must answer from its cache without re-applying.
+func TestRetryAfterLostReplyAppliesOnce(t *testing.T) {
+	wf := NewWireFaults(faultSeed(5))
+	a, c := pipePair(t, nil, wf)
+	c.Timeout = 100 * time.Millisecond
+	c.Retry = RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond}
+	c.SeedJitter(faultSeed(1))
+
+	wf.DropNext(1) // the first reply vanishes; the write already applied
+	if err := c.ShiftPhase(context.Background(), phases(6, math.Pi)); err != nil {
+		t.Fatal(err)
+	}
+	if wf.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", wf.Dropped())
+	}
+	if got := a.Drv.Updates(); got != 1 {
+		t.Fatalf("driver accepted %d writes, want exactly 1", got)
+	}
+}
+
+// When the request itself is lost, the retry applies the write (first
+// delivery never reached the agent) — and still exactly once.
+func TestRetryAfterLostRequestApplies(t *testing.T) {
+	wf := NewWireFaults(faultSeed(5))
+	a, c := pipePair(t, wf, nil)
+	c.Timeout = 100 * time.Millisecond
+	c.Retry = RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond}
+	c.SeedJitter(faultSeed(1))
+
+	wf.DropNext(1)
+	if err := c.ShiftPhase(context.Background(), phases(6, math.Pi)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Drv.Updates(); got != 1 {
+		t.Fatalf("driver accepted %d writes, want exactly 1", got)
+	}
+}
+
+// Without retries, a lost reply surfaces as the typed timeout sentinel.
+func TestTimeoutSentinel(t *testing.T) {
+	c := silentClient(t)
+	c.Timeout = 30 * time.Millisecond
+	err := c.ShiftPhase(context.Background(), phases(6, 0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	// The sentinel is wired through the status table like the PR-2 ones.
+	if StatusFor(err) != StatusTimeout {
+		t.Fatalf("StatusFor(timeout) = %v", StatusFor(err))
+	}
+	we := &WireError{Status: StatusTimeout, Text: "remote timeout"}
+	if !errors.Is(we, ErrTimeout) {
+		t.Fatal("WireError(StatusTimeout) must unwrap to ErrTimeout")
+	}
+}
+
+// Retries stop on semantic (non-timeout) errors: the agent's rejection is
+// final, not retried into the same rejection N times.
+func TestNoRetryOnSemanticError(t *testing.T) {
+	a, c := pipePair(t, nil, nil)
+	c.Timeout = time.Second
+	c.Retry = RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond}
+
+	start := time.Now()
+	err := c.Select(context.Background(), 7) // no codebook stored
+	if err == nil {
+		t.Fatal("select of missing entry should fail")
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("semantic failure misclassified as timeout: %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("semantic error appears to have been retried with backoff")
+	}
+	if a.Drv.Updates() != 0 {
+		t.Fatal("failed select must not count as a write")
+	}
+}
+
+// Retry timelines replay deterministically from a jitter seed.
+func TestBackoffDeterministicFromSeed(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		c := &Client{Retry: RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}}
+		c.SeedJitter(seed)
+		var out []time.Duration
+		for n := 1; n <= 6; n++ {
+			out = append(out, c.backoffDelay(n))
+		}
+		return out
+	}
+	a, b := delays(42), delays(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d: %v != %v with same seed", i+1, a[i], b[i])
+		}
+		// Capped exponential with 50–100% jitter.
+		nominal := 10 * time.Millisecond << i
+		if nominal > 80*time.Millisecond {
+			nominal = 80 * time.Millisecond
+		}
+		if a[i] < nominal/2 || a[i] > nominal {
+			t.Fatalf("retry %d delay %v outside [%v, %v]", i+1, a[i], nominal/2, nominal)
+		}
+	}
+	if d1, d2 := delays(1), delays(2); d1[0] == d2[0] && d1[1] == d2[1] && d1[2] == d2[2] {
+		t.Fatal("different seeds should jitter differently")
+	}
+}
+
+// The trailing optional ReqID survives the codec in both presence and
+// absence.
+func TestReqIDCodec(t *testing.T) {
+	withID := ConfigMsg{Property: surface.Phase, Values: []float64{1, 2}, ReqID: 99}
+	got, err := DecodeConfigMsg(withID.Encode())
+	if err != nil || got.ReqID != 99 || len(got.Values) != 2 {
+		t.Fatalf("config with id: %+v %v", got, err)
+	}
+	noID := ConfigMsg{Property: surface.Phase, Values: []float64{1, 2}}
+	got, err = DecodeConfigMsg(noID.Encode())
+	if err != nil || got.ReqID != 0 {
+		t.Fatalf("config without id: %+v %v", got, err)
+	}
+
+	sel := SelectMsg{Index: 3, ReqID: 7}
+	gs, err := DecodeSelectMsg(sel.Encode())
+	if err != nil || gs.Index != 3 || gs.ReqID != 7 {
+		t.Fatalf("select: %+v %v", gs, err)
+	}
+
+	cb := CodebookMsg{Property: surface.Phase, Labels: []string{"a"}, Entries: [][]float64{{1}}, ReqID: 11}
+	gc, err := DecodeCodebookMsg(cb.Encode())
+	if err != nil || gc.ReqID != 11 || len(gc.Entries) != 1 {
+		t.Fatalf("codebook: %+v %v", gc, err)
+	}
+}
+
+// Frame-level drop/dup dice replay deterministically from the seed.
+func TestWireFaultsDeterministic(t *testing.T) {
+	run := func() (int, int) {
+		wf := NewWireFaults(9)
+		wf.SetDropProb(0.3)
+		wf.SetDupProb(0.3)
+		for i := 0; i < 100; i++ {
+			wf.decide()
+		}
+		return wf.Dropped(), wf.Duplicated()
+	}
+	d1, u1 := run()
+	d2, u2 := run()
+	if d1 != d2 || u1 != u2 {
+		t.Fatalf("seeded wire faults diverged: (%d,%d) vs (%d,%d)", d1, u1, d2, u2)
+	}
+	if d1 == 0 || u1 == 0 {
+		t.Fatalf("expected both fault kinds to fire: drops=%d dups=%d", d1, u1)
+	}
+}

@@ -1,0 +1,68 @@
+package ctrlproto
+
+// Device-health payloads: the northbound health query surfctl uses. Message
+// type values continue the task-control range — append only.
+
+const (
+	MsgHealth MsgType = iota + 24
+	MsgHealthReply
+)
+
+// HealthInfo is the wire view of one device's health snapshot.
+type HealthInfo struct {
+	DeviceID string
+	State    string // "healthy" / "degraded" / "dead"
+	// StuckElements is the device's frozen-element mask, ascending.
+	StuckElements       []uint32
+	ConsecutiveFailures uint32
+	TotalFailures       uint32
+	LastErr             string
+}
+
+func (m HealthInfo) encode(e *encoder) {
+	e.str(m.DeviceID)
+	e.str(m.State)
+	e.u32(uint32(len(m.StuckElements)))
+	for _, v := range m.StuckElements {
+		e.u32(v)
+	}
+	e.u32(m.ConsecutiveFailures)
+	e.u32(m.TotalFailures)
+	e.str(m.LastErr)
+}
+
+func decodeHealthInfo(d *decoder) HealthInfo {
+	m := HealthInfo{DeviceID: d.str(), State: d.str()}
+	n := int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		m.StuckElements = append(m.StuckElements, d.u32())
+	}
+	m.ConsecutiveFailures = d.u32()
+	m.TotalFailures = d.u32()
+	m.LastErr = d.str()
+	return m
+}
+
+// HealthReply lists every managed device's health.
+type HealthReply struct{ Devices []HealthInfo }
+
+// Encode serializes the message.
+func (m HealthReply) Encode() []byte {
+	var e encoder
+	e.u32(uint32(len(m.Devices)))
+	for _, h := range m.Devices {
+		h.encode(&e)
+	}
+	return e.buf
+}
+
+// DecodeHealthReply parses a HealthReply payload.
+func DecodeHealthReply(b []byte) (HealthReply, error) {
+	d := decoder{buf: b}
+	n := int(d.u32())
+	m := HealthReply{}
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Devices = append(m.Devices, decodeHealthInfo(&d))
+	}
+	return m, d.finish()
+}

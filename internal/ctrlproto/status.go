@@ -39,6 +39,7 @@ const (
 	StatusNoProfileMatch
 	StatusUnknownFunction
 	StatusBadCall
+	StatusTimeout
 )
 
 // statusTable pairs each code with its canonical sentinel. Mapping is by
@@ -67,6 +68,7 @@ var statusTable = []struct {
 	{StatusUnknownFunction, broker.ErrUnknownFunction},
 	{StatusUnknownDevice, broker.ErrUnknownDevice},
 	{StatusBadCall, broker.ErrBadCall},
+	{StatusTimeout, ErrTimeout},
 }
 
 // StatusFor classifies an error into its wire code (StatusInternal when no

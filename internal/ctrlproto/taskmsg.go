@@ -208,6 +208,9 @@ type TaskEventMsg struct {
 	Metric     float64
 	MetricName string
 	Err        string
+	// DeviceID names the surface for device health events (appended
+	// field; "" for plain task lifecycle events).
+	DeviceID string
 }
 
 // Encode serializes the message.
@@ -225,6 +228,7 @@ func (m TaskEventMsg) Encode() []byte {
 	e.f64(m.Metric)
 	e.str(m.MetricName)
 	e.str(m.Err)
+	e.str(m.DeviceID)
 	return e.buf
 }
 
@@ -240,6 +244,7 @@ func DecodeTaskEventMsg(b []byte) (TaskEventMsg, error) {
 	m.Metric = d.f64()
 	m.MetricName = d.str()
 	m.Err = d.str()
+	m.DeviceID = d.str()
 	return m, d.finish()
 }
 

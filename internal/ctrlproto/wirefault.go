@@ -1,0 +1,165 @@
+package ctrlproto
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// WireFaults scripts frame-level control-channel faults — drop, delay,
+// duplicate — deterministically from a seed. Attach it to one direction of
+// a connection with NewFaultyConn; each complete protocol frame written
+// through the wrapped conn rolls the dice independently. Safe for
+// concurrent use.
+type WireFaults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	// dropProb is the probability a frame is silently discarded.
+	dropProb float64
+	// dupProb is the probability a frame is delivered twice.
+	dupProb float64
+	// delay is added before each delivered frame.
+	delay time.Duration
+
+	// dropNext scripts a deterministic fault: the next n frames are
+	// discarded regardless of probability.
+	dropNext int
+
+	dropped    int
+	duplicated int
+}
+
+// NewWireFaults creates a fault script whose dice replay from seed.
+func NewWireFaults(seed int64) *WireFaults {
+	return &WireFaults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDropProb makes each frame vanish with probability p.
+func (w *WireFaults) SetDropProb(p float64) {
+	w.mu.Lock()
+	w.dropProb = p
+	w.mu.Unlock()
+}
+
+// SetDupProb makes each frame deliver twice with probability p.
+func (w *WireFaults) SetDupProb(p float64) {
+	w.mu.Lock()
+	w.dupProb = p
+	w.mu.Unlock()
+}
+
+// SetDelay adds a fixed latency before each delivered frame.
+func (w *WireFaults) SetDelay(d time.Duration) {
+	w.mu.Lock()
+	w.delay = d
+	w.mu.Unlock()
+}
+
+// DropNext unconditionally discards the next n frames — a scripted
+// outage, independent of the probability dice.
+func (w *WireFaults) DropNext(n int) {
+	w.mu.Lock()
+	w.dropNext += n
+	w.mu.Unlock()
+}
+
+// Dropped returns how many frames have been discarded.
+func (w *WireFaults) Dropped() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Duplicated returns how many frames have been delivered twice.
+func (w *WireFaults) Duplicated() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.duplicated
+}
+
+// decide rolls the dice for one frame: drop wins over duplicate.
+func (w *WireFaults) decide() (drop, dup bool, delay time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delay = w.delay
+	if w.dropNext > 0 {
+		w.dropNext--
+		w.dropped++
+		return true, false, delay
+	}
+	if w.dropProb > 0 && w.rng.Float64() < w.dropProb {
+		w.dropped++
+		return true, false, delay
+	}
+	if w.dupProb > 0 && w.rng.Float64() < w.dupProb {
+		w.duplicated++
+		return false, true, delay
+	}
+	return false, false, delay
+}
+
+// FaultyConn wraps one side of a connection and applies WireFaults to the
+// frames written through it. It reassembles the outgoing byte stream into
+// protocol frames (WriteFrame issues header and payload as separate
+// writes), so faults operate on whole frames — a dropped frame disappears
+// cleanly instead of corrupting the stream. Reads pass through untouched:
+// wrap the side whose requests should suffer.
+type FaultyConn struct {
+	net.Conn
+	faults *WireFaults
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+// NewFaultyConn wraps conn so its writes pass through the fault script.
+func NewFaultyConn(conn net.Conn, faults *WireFaults) *FaultyConn {
+	return &FaultyConn{Conn: conn, faults: faults}
+}
+
+// Write buffers p, extracts complete frames, and forwards each through the
+// fault dice. It always reports len(p) consumed: a dropped frame is an
+// injected network fault, not a caller error.
+func (c *FaultyConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = append(c.wbuf, p...)
+	for {
+		frame, rest, ok := splitWireFrame(c.wbuf)
+		if !ok {
+			return len(p), nil
+		}
+		c.wbuf = rest
+		drop, dup, delay := c.faults.decide()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if drop {
+			continue
+		}
+		copies := 1
+		if dup {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			if _, err := c.Conn.Write(frame); err != nil {
+				return len(p), err
+			}
+		}
+	}
+}
+
+// splitWireFrame extracts one complete frame from the head of buf.
+func splitWireFrame(buf []byte) (frame, rest []byte, ok bool) {
+	if len(buf) < headerLen {
+		return nil, buf, false
+	}
+	n := int(binary.BigEndian.Uint32(buf[8:12]))
+	total := headerLen + n
+	if n > MaxPayload || len(buf) < total {
+		return nil, buf, false
+	}
+	return buf[:total:total], buf[total:], true
+}

@@ -124,6 +124,8 @@ type Driver struct {
 	// way: the shared per-column state rides on top of the fabricated
 	// profile (mmWall's fixed vertical beam is the canonical example).
 	bias []float64
+	// faults is the optional injected fault model (nil = perfect hardware).
+	faults *FaultModel
 }
 
 // New wraps a placed surface with a design spec. The surface's operating
@@ -147,6 +149,86 @@ func (d *Driver) Spec() Spec { return d.spec }
 
 // Surface returns the underlying placed surface model.
 func (d *Driver) Surface() *surface.Surface { return d.surf }
+
+// SetFaults attaches (or, with nil, detaches) an injected fault model.
+// All control operations and Project consult it from then on.
+func (d *Driver) SetFaults(f *FaultModel) {
+	d.mu.Lock()
+	d.faults = f
+	d.mu.Unlock()
+}
+
+// Faults returns the attached fault model (nil for perfect hardware).
+func (d *Driver) Faults() *FaultModel {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
+// gate runs the per-operation fault check (no-op without a fault model).
+func (d *Driver) gate() error {
+	if f := d.Faults(); f != nil {
+		return f.gate()
+	}
+	return nil
+}
+
+// Probe is the health heartbeat: a cheap control-plane round trip that
+// fails when the device's controller is unreachable (and, like any control
+// operation, may fail transiently over a flaky injected link). The hardware
+// manager's health loop drives this.
+func (d *Driver) Probe() error { return d.gate() }
+
+// StuckElements returns the indices of elements frozen by actuator faults,
+// ascending (nil for healthy hardware). The hardware manager exposes this
+// as the device's element mask, and Project pins these elements so
+// optimizers search around them.
+func (d *Driver) StuckElements() []int {
+	if f := d.Faults(); f != nil {
+		return f.StuckElements()
+	}
+	return nil
+}
+
+// pinStuck overwrites stuck elements with their frozen values — the
+// configuration the panel physically realizes regardless of what was
+// requested.
+func (d *Driver) pinStuck(cfg surface.Config) surface.Config {
+	f := d.Faults()
+	if f == nil {
+		return cfg
+	}
+	mask := f.stuckMask()
+	if len(mask) == 0 {
+		return cfg
+	}
+	out := cfg.Clone()
+	for i, v := range mask {
+		if i >= 0 && i < len(out.Values) {
+			out.Values[i] = v
+		}
+	}
+	return out
+}
+
+// EffectiveActive returns the configuration the panel physically presents
+// to the channel right now: the active entry with stuck elements pinned.
+// A dead device fails safe to its neutral all-zero profile (controller
+// unreachable — the panel de-biases, contributing no programmed response),
+// reported with ok=true so channel predictions can still evaluate it.
+func (d *Driver) EffectiveActive() (cfg surface.Config, ok bool) {
+	if f := d.Faults(); f != nil && f.Dead() {
+		return surface.Config{
+			Property: d.spec.Control,
+			Values:   make([]float64, d.surf.NumElements()),
+		}, true
+	}
+	active, _, ok := d.Active()
+	if !ok {
+		return surface.Config{}, false
+	}
+	return d.pinStuck(active), true
+}
 
 // SetBias installs the panel's fixed element-wise phase profile (see the
 // bias field). It may be set once, before the first configuration write,
@@ -176,9 +258,12 @@ func (d *Driver) SetBias(vals []float64) error {
 // the fabricated bias profile when one is installed. It is idempotent and
 // is exposed so optimizers can run projected gradient descent against the
 // true hardware constraint set.
+// Stuck elements (actuator faults) are pinned last: whatever the request,
+// those elements realize their frozen value, so optimizers running projected
+// descent against Project automatically search around the fault.
 func (d *Driver) Project(cfg surface.Config) surface.Config {
 	if cfg.Property != surface.Phase {
-		return cfg.ProjectGranularity(d.spec.Granularity, d.surf.Layout)
+		return d.pinStuck(cfg.ProjectGranularity(d.spec.Granularity, d.surf.Layout))
 	}
 	d.mu.Lock()
 	bias := d.bias
@@ -196,7 +281,7 @@ func (d *Driver) Project(cfg surface.Config) surface.Config {
 		}
 		out = out.Normalize()
 	}
-	return out
+	return d.pinStuck(out)
 }
 
 // Projector adapts Project to the optimizer's constraint-hook signature for
@@ -235,6 +320,9 @@ func (d *Driver) SetAmplitude(cfg surface.Config) error {
 
 // apply validates and installs a configuration as the single active entry.
 func (d *Driver) apply(cfg surface.Config) error {
+	if err := d.gate(); err != nil {
+		return err
+	}
 	if cfg.Property != d.spec.Control {
 		return fmt.Errorf("%w: %s controls %v, got %v",
 			ErrUnsupportedProperty, d.spec.Model, d.spec.Control, cfg.Property)
@@ -262,6 +350,9 @@ func (d *Driver) apply(cfg surface.Config) error {
 // feedback). Entry 0 becomes active. Passive surfaces accept exactly one
 // entry, once.
 func (d *Driver) StoreCodebook(labels []string, cfgs []surface.Config) error {
+	if err := d.gate(); err != nil {
+		return err
+	}
 	if len(cfgs) == 0 || len(labels) != len(cfgs) {
 		return fmt.Errorf("driver: codebook needs matching labels and configs")
 	}
@@ -304,6 +395,9 @@ func (d *Driver) StoreCodebook(labels []string, cfgs []surface.Config) error {
 // plane update and is rejected for passive hardware only when changing
 // entries (a passive device has one entry).
 func (d *Driver) Select(i int) error {
+	if err := d.gate(); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, err := d.codebook.At(i); err != nil {

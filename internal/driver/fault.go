@@ -1,0 +1,154 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrDeviceDead is returned by every control operation against a device
+// whose controller is unreachable (fault-injected or observed). The paper's
+// HyperSurface lineage treats tile-controller death as the normal case, not
+// the exception; upper layers catch this sentinel, mark the device dead in
+// the hardware manager, and re-plan around it.
+var ErrDeviceDead = errors.New("driver: device dead")
+
+// ErrInjectedFailure is the transient fault-injection failure: the control
+// write was rejected as a (simulated) flaky control link would reject it.
+// Unlike ErrDeviceDead it does not mean the device is gone — retrying may
+// succeed, which is exactly what the southbound retry path exercises.
+var ErrInjectedFailure = errors.New("driver: injected control failure")
+
+// FaultModel injects hardware faults into one driver, deterministically
+// from a seed: elements stuck at a fixed state (actuator failure), the
+// whole device dead (controller unreachable), and probabilistic or slow
+// Apply/Select control writes (flaky control link). The zero configuration
+// injects nothing, so attaching a FaultModel is free until faults are
+// scripted. Safe for concurrent use.
+type FaultModel struct {
+	mu sync.Mutex
+	// rng drives probabilistic failures; seeded so test runs replay
+	// identically.
+	rng *rand.Rand
+	// dead marks the controller unreachable: every operation fails with
+	// ErrDeviceDead until revived.
+	dead bool
+	// stuck maps element index → the value the element is frozen at.
+	stuck map[int]float64
+	// failProb is the probability an Apply/Select call fails with
+	// ErrInjectedFailure.
+	failProb float64
+	// latency is added to every control operation before it resolves.
+	latency time.Duration
+	// failures counts injected transient failures (for assertions).
+	failures int
+}
+
+// NewFaultModel creates a fault model whose probabilistic failures replay
+// deterministically from seed.
+func NewFaultModel(seed int64) *FaultModel {
+	return &FaultModel{rng: rand.New(rand.NewSource(seed)), stuck: make(map[int]float64)}
+}
+
+// SetDead kills or revives the device's controller.
+func (f *FaultModel) SetDead(dead bool) {
+	f.mu.Lock()
+	f.dead = dead
+	f.mu.Unlock()
+}
+
+// Dead reports whether the controller is currently unreachable.
+func (f *FaultModel) Dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// StickElement freezes element idx at value (an actuator stuck-at fault).
+func (f *FaultModel) StickElement(idx int, value float64) {
+	f.mu.Lock()
+	f.stuck[idx] = value
+	f.mu.Unlock()
+}
+
+// RepairElement clears a stuck-at fault.
+func (f *FaultModel) RepairElement(idx int) {
+	f.mu.Lock()
+	delete(f.stuck, idx)
+	f.mu.Unlock()
+}
+
+// StuckElements returns the stuck element indices in ascending order.
+func (f *FaultModel) StuckElements() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, 0, len(f.stuck))
+	for i := range f.stuck {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// stuckMask copies the stuck map (nil when no elements are stuck).
+func (f *FaultModel) stuckMask() map[int]float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.stuck) == 0 {
+		return nil
+	}
+	out := make(map[int]float64, len(f.stuck))
+	for i, v := range f.stuck {
+		out[i] = v
+	}
+	return out
+}
+
+// SetFailProb makes each Apply/Select call fail with probability p.
+func (f *FaultModel) SetFailProb(p float64) {
+	f.mu.Lock()
+	f.failProb = p
+	f.mu.Unlock()
+}
+
+// SetLatency adds a fixed delay to every control operation.
+func (f *FaultModel) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+// InjectedFailures returns how many transient failures have fired.
+func (f *FaultModel) InjectedFailures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures
+}
+
+// gate is the per-operation fault check: injected latency first, then
+// death, then the transient failure dice. Called by the driver at the top
+// of every control operation.
+func (f *FaultModel) gate() error {
+	f.mu.Lock()
+	latency := f.latency
+	if f.dead {
+		f.mu.Unlock()
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		return ErrDeviceDead
+	}
+	var err error
+	if f.failProb > 0 && f.rng.Float64() < f.failProb {
+		f.failures++
+		err = fmt.Errorf("%w (p=%g)", ErrInjectedFailure, f.failProb)
+	}
+	f.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return err
+}

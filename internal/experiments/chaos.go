@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"surfos/internal/driver"
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/hwmgr"
+	"surfos/internal/orchestrator"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+	"surfos/internal/telemetry"
+)
+
+// ChaosPhase is one row of the chaos experiment's timeline: the link
+// task's achieved SNR and placement at one point of the kill/revive cycle.
+type ChaosPhase struct {
+	Label    string
+	SNRdB    float64
+	Surfaces []string
+	Strategy string
+}
+
+// ChaosResult is the control-plane robustness experiment: a link task
+// served by two surfaces, one of which is killed mid-task and later
+// revived. The health tracker notices the death on the next heartbeat,
+// the event bus carries the transition, and the orchestrator re-plans —
+// first onto the surviving surface alone, then back onto both. The
+// timeline records the achieved SNR before the fault, during it (after
+// self-healing), and after recovery.
+type ChaosResult struct {
+	Profile Profile
+	Victim  string
+	// Before/During/After are the healthy, post-death, and post-recovery
+	// snapshots of the task.
+	Before, During, After ChaosPhase
+	// Events is the ordered device/replan event trail observed on the bus.
+	Events []string
+}
+
+// chaosParams scales the experiment.
+type chaosParams struct {
+	rows, cols int
+	iters      int
+}
+
+func chaosFor(p Profile) chaosParams {
+	if p == Full {
+		return chaosParams{rows: 24, cols: 24, iters: 150}
+	}
+	return chaosParams{rows: 16, cols: 16, iters: 60}
+}
+
+// chaosDeploy mounts one NR-Surface panel and returns its driver.
+func chaosDeploy(apt *scene.Apartment, hw *hwmgr.Manager, id, mount string, rows, cols int) (*driver.Driver, error) {
+	spec, err := driver.Lookup(driver.ModelNRSurface)
+	if err != nil {
+		return nil, err
+	}
+	pitch := em.Wavelength(spec.FreqLowHz+(spec.FreqHighHz-spec.FreqLowHz)/2) / 2
+	m := apt.Mounts[mount]
+	panel := m.Panel(float64(cols)*pitch+0.02, float64(rows)*pitch+0.02)
+	s, err := surface.New(id, panel, surface.Layout{Rows: rows, Cols: cols, PitchU: pitch, PitchV: pitch}, spec.OpMode, nil)
+	if err != nil {
+		return nil, err
+	}
+	d, err := driver.New(spec, s)
+	if err != nil {
+		return nil, err
+	}
+	if err := hw.AddSurface(id, mount, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RunChaos executes the kill/revive cycle. Everything is synchronous and
+// seeded — heartbeats are driven by explicit ProbeAll calls and bus events
+// are drained in order — so the timeline (and its rendering) is
+// deterministic and golden-checkable.
+func RunChaos(ctx context.Context, p Profile) (*ChaosResult, error) {
+	par := chaosFor(p)
+	apt := scene.NewApartment()
+	hw := hwmgr.New()
+	east, err := chaosDeploy(apt, hw, "east", scene.MountEastWall, par.rows, par.cols)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := chaosDeploy(apt, hw, "north", scene.MountNorthWall, par.rows, par.cols); err != nil {
+		return nil, err
+	}
+	if err := hw.AddAP(&hwmgr.AccessPoint{
+		ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: rfsim.DefaultBudget(), Antennas: 4,
+	}); err != nil {
+		return nil, err
+	}
+	orch, err := orchestrator.New(apt.Scene, hw, orchestrator.Options{
+		OptIters: par.iters, GridStep: 1.2,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	bus := telemetry.NewEventBus()
+	orch.SetEventBus(bus)
+	hw.SetEventBus(bus)
+	ch, unsub := bus.Subscribe(256)
+	defer unsub()
+
+	out := &ChaosResult{Profile: p, Victim: "east"}
+	// heal drains the pending bus events in order, feeding device
+	// transitions to the self-healing handler exactly as the daemon's
+	// event loop would — but synchronously.
+	heal := func() error {
+		for {
+			select {
+			case ev := <-ch:
+				switch ev.State {
+				case telemetry.DeviceDead, telemetry.DeviceDegraded,
+					telemetry.DeviceRecovered, telemetry.Replanned:
+					out.Events = append(out.Events, ev.State)
+				}
+				if err := orch.HandleDeviceEvent(ctx, ev); err != nil {
+					return err
+				}
+			default:
+				return nil
+			}
+		}
+	}
+
+	task, err := orch.EnhanceLink(ctx, orchestrator.LinkGoal{
+		Endpoint: "tv", Pos: geom.V(2.5, 5.5, scene.EvalHeight),
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := orch.Reconcile(ctx); err != nil {
+		return nil, err
+	}
+	snapshot := func(label string) (ChaosPhase, error) {
+		got, err := orch.Task(task.ID)
+		if err != nil {
+			return ChaosPhase{}, err
+		}
+		if got.State != orchestrator.TaskRunning || got.Result == nil {
+			return ChaosPhase{}, fmt.Errorf("experiments: task %s at %q (err %v)", got.State, label, got.Err)
+		}
+		return ChaosPhase{
+			Label: label, SNRdB: got.Result.Metric,
+			Surfaces: got.Result.Surfaces, Strategy: got.Result.Strategy,
+		}, nil
+	}
+	if out.Before, err = snapshot("before fault"); err != nil {
+		return nil, err
+	}
+
+	// Kill the east surface: the next heartbeat marks it dead, and the
+	// event-driven re-plan migrates the task onto the survivor.
+	fm := driver.NewFaultModel(1)
+	fm.SetDead(true)
+	east.SetFaults(fm)
+	hw.ProbeAll()
+	if err := heal(); err != nil {
+		return nil, err
+	}
+	if out.During, err = snapshot("during fault"); err != nil {
+		return nil, err
+	}
+
+	// Revive it: recovery re-includes the surface on the next re-plan.
+	fm.SetDead(false)
+	hw.ProbeAll()
+	if err := heal(); err != nil {
+		return nil, err
+	}
+	if out.After, err = snapshot("after recovery"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ShapeCheck verifies the robustness claims: the task survives the whole
+// cycle, healing costs SNR (one surface cannot beat two), and recovery
+// restores the pre-fault quality. Returns "" when all hold.
+func (r *ChaosResult) ShapeCheck() string {
+	var probs []string
+	if len(r.Before.Surfaces) < 2 {
+		probs = append(probs, fmt.Sprintf("pre-fault plan uses %d surface(s), want both", len(r.Before.Surfaces)))
+	}
+	for _, s := range r.During.Surfaces {
+		if s == r.Victim {
+			probs = append(probs, "dead surface still scheduled during the fault")
+		}
+	}
+	if r.During.SNRdB > r.Before.SNRdB+0.1 {
+		probs = append(probs, fmt.Sprintf("SNR during fault %.2f dB beats pre-fault %.2f dB", r.During.SNRdB, r.Before.SNRdB))
+	}
+	if r.After.SNRdB < r.Before.SNRdB-0.5 {
+		probs = append(probs, fmt.Sprintf("post-recovery SNR %.2f dB below pre-fault %.2f dB", r.After.SNRdB, r.Before.SNRdB))
+	}
+	var dead, replanned, recovered bool
+	for _, e := range r.Events {
+		switch e {
+		case telemetry.DeviceDead:
+			dead = true
+		case telemetry.Replanned:
+			replanned = true
+		case telemetry.DeviceRecovered:
+			recovered = true
+		}
+	}
+	if !dead || !replanned || !recovered {
+		probs = append(probs, fmt.Sprintf("event trail incomplete: %v", r.Events))
+	}
+	return strings.Join(probs, "; ")
+}
+
+// Render prints the kill/revive timeline.
+func (r *ChaosResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: link task survives the death and recovery of surface %q (%s profile)\n\n", r.Victim, r.Profile)
+	t := &Table{Header: []string{"phase", "SNR", "strategy", "surfaces"}}
+	for _, ph := range []ChaosPhase{r.Before, r.During, r.After} {
+		t.Add(ph.Label, fmt.Sprintf("%.2f dB", ph.SNRdB), ph.Strategy, strings.Join(ph.Surfaces, "+"))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nevent trail: %s\n", strings.Join(r.Events, " -> "))
+	if s := r.ShapeCheck(); s != "" {
+		fmt.Fprintf(&b, "\nSHAPE CHECK FAILED: %s\n", s)
+	} else {
+		b.WriteString("\nshape check: task ran throughout; healing costs SNR, recovery restores it\n")
+	}
+	return b.String()
+}

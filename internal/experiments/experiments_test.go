@@ -160,6 +160,26 @@ func TestFig4HybridShape(t *testing.T) {
 	}
 }
 
+func TestChaosShape(t *testing.T) {
+	r, err := RunChaos(context.Background(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.ShapeCheck(); s != "" {
+		t.Errorf("chaos shape: %s", s)
+	}
+	// The victim leaves the plan during the fault and returns afterwards.
+	if len(r.During.Surfaces) != 1 || r.During.Surfaces[0] == r.Victim {
+		t.Errorf("during-fault surfaces = %v", r.During.Surfaces)
+	}
+	if len(r.After.Surfaces) != 2 {
+		t.Errorf("post-recovery surfaces = %v", r.After.Surfaces)
+	}
+	if !strings.Contains(r.Render(), "event trail: ") {
+		t.Error("render missing event trail")
+	}
+}
+
 func TestFig5MultitaskShape(t *testing.T) {
 	r, err := RunFig5(context.Background(), Quick)
 	if err != nil {

@@ -1,0 +1,294 @@
+package hwmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"surfos/internal/driver"
+	"surfos/internal/telemetry"
+)
+
+// HealthState classifies a managed device's ability to serve tasks.
+type HealthState int
+
+const (
+	// Healthy devices are fully schedulable.
+	Healthy HealthState = iota
+	// Degraded devices still accept control writes but with reduced
+	// capability: stuck elements (reported as the element mask, folded
+	// into the optimizer projector) or recent transient control failures.
+	Degraded
+	// Dead devices have lost their control heartbeat; the scheduler plans
+	// around them until they recover.
+	Dead
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(s))
+}
+
+// DefaultDeadThreshold is how many consecutive control/probe failures
+// promote a device from degraded to dead when no explicit threshold is set.
+const DefaultDeadThreshold = 3
+
+// DeviceHealth is one device's health snapshot.
+type DeviceHealth struct {
+	ID    string
+	State HealthState
+	// StuckElements is the per-device element mask: indices frozen by
+	// actuator faults, ascending.
+	StuckElements []int
+	// ConsecutiveFailures counts control/probe failures since the last
+	// success; DeadThreshold of them mark the device dead.
+	ConsecutiveFailures int
+	// TotalFailures counts every recorded failure over the device's life.
+	TotalFailures int
+	// LastErr is the most recent failure's text ("" after a success).
+	LastErr string
+	// LastProbe is when the heartbeat loop last examined the device.
+	LastProbe time.Time
+}
+
+// healthRecord is the mutable per-device health state, guarded by
+// healthTracker.mu.
+type healthRecord struct {
+	state       HealthState
+	stuck       []int
+	consecFails int
+	totalFails  int
+	lastErr     string
+	lastProbe   time.Time
+}
+
+// healthTracker holds the manager's health bookkeeping, separate from the
+// inventory lock so health updates (driven from the scheduler's apply path)
+// never contend with device lookups.
+type healthTracker struct {
+	mu      sync.Mutex
+	records map[string]*healthRecord
+	// deadThreshold overrides DefaultDeadThreshold when > 0.
+	deadThreshold int
+	events        *telemetry.EventBus
+}
+
+// SetEventBus attaches the task-event bus health transitions are published
+// on (DeviceDegraded/DeviceDead/DeviceRecovered with DeviceID set).
+func (m *Manager) SetEventBus(b *telemetry.EventBus) {
+	m.health.mu.Lock()
+	m.health.events = b
+	m.health.mu.Unlock()
+}
+
+// SetDeadThreshold overrides how many consecutive failures mark a device
+// dead (values < 1 restore the default).
+func (m *Manager) SetDeadThreshold(n int) {
+	m.health.mu.Lock()
+	m.health.deadThreshold = n
+	m.health.mu.Unlock()
+}
+
+func (t *healthTracker) threshold() int {
+	if t.deadThreshold > 0 {
+		return t.deadThreshold
+	}
+	return DefaultDeadThreshold
+}
+
+// record returns (creating if needed) the health record for id. Caller
+// holds t.mu.
+func (t *healthTracker) record(id string) *healthRecord {
+	if t.records == nil {
+		t.records = make(map[string]*healthRecord)
+	}
+	r, ok := t.records[id]
+	if !ok {
+		r = &healthRecord{}
+		t.records[id] = r
+	}
+	return r
+}
+
+// publish emits a health transition event outside t.mu.
+func publishHealth(b *telemetry.EventBus, id, state, errText string) {
+	if b == nil {
+		return
+	}
+	b.Publish(telemetry.TaskEvent{
+		Time:     time.Now(),
+		State:    state,
+		DeviceID: id,
+		Err:      errText,
+	})
+}
+
+// RecordSuccess notes a successful control operation or probe against a
+// device. It resets the consecutive-failure count and, if the device was
+// dead or degraded only by failures, restores it (stuck elements keep it
+// degraded). Emits DeviceRecovered when a dead device comes back.
+func (m *Manager) RecordSuccess(id string) {
+	t := &m.health
+	t.mu.Lock()
+	r := t.record(id)
+	r.consecFails = 0
+	r.lastErr = ""
+	was := r.state
+	if len(r.stuck) > 0 {
+		r.state = Degraded
+	} else {
+		r.state = Healthy
+	}
+	now := r.state
+	bus := t.events
+	t.mu.Unlock()
+	if was == Dead && now != Dead {
+		publishHealth(bus, id, telemetry.DeviceRecovered, "")
+	}
+}
+
+// RecordFailure notes a failed control operation or probe. driver
+// ErrDeviceDead marks the device dead immediately; other errors count
+// toward the dead threshold, degrading the device in the meantime. Emits
+// DeviceDegraded/DeviceDead on transitions.
+func (m *Manager) RecordFailure(id string, err error) {
+	t := &m.health
+	t.mu.Lock()
+	r := t.record(id)
+	r.consecFails++
+	r.totalFails++
+	if err != nil {
+		r.lastErr = err.Error()
+	}
+	was := r.state
+	if errors.Is(err, driver.ErrDeviceDead) || r.consecFails >= t.threshold() {
+		r.state = Dead
+	} else if r.state != Dead {
+		r.state = Degraded
+	}
+	now := r.state
+	errText := r.lastErr
+	bus := t.events
+	t.mu.Unlock()
+	if now == was {
+		return
+	}
+	switch now {
+	case Degraded:
+		publishHealth(bus, id, telemetry.DeviceDegraded, errText)
+	case Dead:
+		publishHealth(bus, id, telemetry.DeviceDead, errText)
+	}
+}
+
+// setStuck refreshes the device's element mask, degrading/restoring as
+// needed. Emits DeviceDegraded when a healthy device picks up stuck
+// elements and DeviceRecovered when the last stuck element is repaired.
+func (m *Manager) setStuck(id string, stuck []int) {
+	t := &m.health
+	t.mu.Lock()
+	r := t.record(id)
+	was := r.state
+	r.stuck = append(r.stuck[:0:0], stuck...)
+	if r.state != Dead {
+		if len(r.stuck) > 0 {
+			r.state = Degraded
+		} else if r.consecFails == 0 {
+			r.state = Healthy
+		}
+	}
+	now := r.state
+	bus := t.events
+	t.mu.Unlock()
+	if now == was {
+		return
+	}
+	if now == Degraded {
+		publishHealth(bus, id, telemetry.DeviceDegraded,
+			fmt.Sprintf("%d stuck elements", len(stuck)))
+	} else if was == Degraded && now == Healthy {
+		publishHealth(bus, id, telemetry.DeviceRecovered, "")
+	}
+}
+
+// Health returns one device's health snapshot. Devices never probed or
+// recorded report Healthy.
+func (m *Manager) Health(id string) (DeviceHealth, error) {
+	if _, err := m.Surface(id); err != nil {
+		return DeviceHealth{}, err
+	}
+	t := &m.health
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := DeviceHealth{ID: id}
+	if r, ok := t.records[id]; ok {
+		h.State = r.state
+		h.StuckElements = append([]int(nil), r.stuck...)
+		h.ConsecutiveFailures = r.consecFails
+		h.TotalFailures = r.totalFails
+		h.LastErr = r.lastErr
+		h.LastProbe = r.lastProbe
+	}
+	return h, nil
+}
+
+// HealthAll returns every device's health snapshot, sorted by ID.
+func (m *Manager) HealthAll() []DeviceHealth {
+	devs := m.Surfaces()
+	out := make([]DeviceHealth, 0, len(devs))
+	for _, d := range devs {
+		if h, err := m.Health(d.ID); err == nil {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ProbeAll runs one synchronous heartbeat pass: every device is probed,
+// its stuck-element mask refreshed, and its health record updated. The
+// health loop calls this periodically; tests call it directly for
+// deterministic fault timelines. Returns the post-probe snapshots.
+func (m *Manager) ProbeAll() []DeviceHealth {
+	for _, d := range m.Surfaces() {
+		err := d.Drv.Probe()
+		m.health.mu.Lock()
+		m.health.record(d.ID).lastProbe = time.Now()
+		m.health.mu.Unlock()
+		if err != nil {
+			m.RecordFailure(d.ID, err)
+			continue
+		}
+		m.RecordSuccess(d.ID)
+		m.setStuck(d.ID, d.Drv.StuckElements())
+	}
+	return m.HealthAll()
+}
+
+// RunHealth runs the heartbeat loop until ctx is cancelled, probing all
+// devices every interval. Run it in its own goroutine.
+func (m *Manager) RunHealth(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			m.ProbeAll()
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package hwmgr
+
+import (
+	"errors"
+	"testing"
+
+	"surfos/internal/driver"
+	"surfos/internal/surface"
+	"surfos/internal/telemetry"
+)
+
+// drainStates collects the device-event states currently buffered on ch.
+func drainStates(ch <-chan telemetry.TaskEvent) []string {
+	var out []string
+	for {
+		select {
+		case ev := <-ch:
+			out = append(out, ev.State)
+		default:
+			return out
+		}
+	}
+}
+
+func healthFixture(t *testing.T) (*Manager, *driver.FaultModel, <-chan telemetry.TaskEvent) {
+	t.Helper()
+	m := New()
+	d := newDevice(t, driver.ModelNRSurface, surface.Reflective)
+	fm := driver.NewFaultModel(1)
+	d.SetFaults(fm)
+	if err := m.AddSurface("s1", "east_wall", d); err != nil {
+		t.Fatal(err)
+	}
+	bus := telemetry.NewEventBus()
+	m.SetEventBus(bus)
+	ch, cancel := bus.Subscribe(16)
+	t.Cleanup(cancel)
+	return m, fm, ch
+}
+
+func TestHealthDeadViaProbeAndRecovery(t *testing.T) {
+	m, fm, ch := healthFixture(t)
+
+	if h, err := m.Health("s1"); err != nil || h.State != Healthy {
+		t.Fatalf("initial health: %+v %v", h, err)
+	}
+
+	fm.SetDead(true)
+	snaps := m.ProbeAll()
+	if len(snaps) != 1 || snaps[0].State != Dead {
+		t.Fatalf("after dead probe: %+v", snaps)
+	}
+	if got := drainStates(ch); len(got) != 1 || got[0] != telemetry.DeviceDead {
+		t.Fatalf("events after death: %v", got)
+	}
+	// Dead devices are excluded from the scheduler's capability query.
+	freq := m.Surfaces()[0].Drv.Spec().FreqLowHz
+	if devs := m.SurfacesForBand(freq); len(devs) != 0 {
+		t.Fatalf("dead device still schedulable: %v", devs)
+	}
+
+	fm.SetDead(false)
+	m.ProbeAll()
+	if h, _ := m.Health("s1"); h.State != Healthy || h.ConsecutiveFailures != 0 {
+		t.Fatalf("after revival: %+v", h)
+	}
+	if got := drainStates(ch); len(got) != 1 || got[0] != telemetry.DeviceRecovered {
+		t.Fatalf("events after revival: %v", got)
+	}
+	if devs := m.SurfacesForBand(freq); len(devs) != 1 {
+		t.Fatalf("revived device not schedulable: %v", devs)
+	}
+}
+
+func TestHealthConsecutiveFailuresEscalate(t *testing.T) {
+	m, _, ch := healthFixture(t)
+	transient := errors.New("flaky link")
+
+	m.RecordFailure("s1", transient)
+	if h, _ := m.Health("s1"); h.State != Degraded || h.ConsecutiveFailures != 1 {
+		t.Fatalf("after 1 failure: %+v", h)
+	}
+	m.RecordFailure("s1", transient)
+	if h, _ := m.Health("s1"); h.State != Degraded {
+		t.Fatalf("after 2 failures: %+v", h)
+	}
+	// Third consecutive failure crosses DefaultDeadThreshold.
+	m.RecordFailure("s1", transient)
+	if h, _ := m.Health("s1"); h.State != Dead || h.TotalFailures != 3 {
+		t.Fatalf("after 3 failures: %+v", h)
+	}
+	want := []string{telemetry.DeviceDegraded, telemetry.DeviceDead}
+	got := drainStates(ch)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+
+	// One success fully restores the device.
+	m.RecordSuccess("s1")
+	if h, _ := m.Health("s1"); h.State != Healthy || h.ConsecutiveFailures != 0 || h.LastErr != "" {
+		t.Fatalf("after success: %+v", h)
+	}
+}
+
+func TestHealthDeadErrorIsImmediate(t *testing.T) {
+	m, _, _ := healthFixture(t)
+	m.RecordFailure("s1", driver.ErrDeviceDead)
+	if h, _ := m.Health("s1"); h.State != Dead {
+		t.Fatalf("ErrDeviceDead should kill immediately: %+v", h)
+	}
+}
+
+func TestHealthStuckElementMask(t *testing.T) {
+	m, fm, ch := healthFixture(t)
+	fm.StickElement(4, 1.0)
+	fm.StickElement(2, 0.5)
+
+	m.ProbeAll()
+	h, _ := m.Health("s1")
+	if h.State != Degraded {
+		t.Fatalf("stuck elements should degrade: %+v", h)
+	}
+	if len(h.StuckElements) != 2 || h.StuckElements[0] != 2 || h.StuckElements[1] != 4 {
+		t.Fatalf("element mask = %v, want [2 4]", h.StuckElements)
+	}
+	// Degraded (not dead) devices stay schedulable.
+	freq := m.Surfaces()[0].Drv.Spec().FreqLowHz
+	if devs := m.SurfacesForBand(freq); len(devs) != 1 {
+		t.Fatal("degraded device must remain schedulable")
+	}
+	if got := drainStates(ch); len(got) != 1 || got[0] != telemetry.DeviceDegraded {
+		t.Fatalf("events = %v", got)
+	}
+
+	fm.RepairElement(2)
+	fm.RepairElement(4)
+	m.ProbeAll()
+	if h, _ := m.Health("s1"); h.State != Healthy || len(h.StuckElements) != 0 {
+		t.Fatalf("after repair: %+v", h)
+	}
+	if got := drainStates(ch); len(got) != 1 || got[0] != telemetry.DeviceRecovered {
+		t.Fatalf("repair events = %v", got)
+	}
+}
+
+func TestHealthCustomThreshold(t *testing.T) {
+	m, _, _ := healthFixture(t)
+	m.SetDeadThreshold(1)
+	m.RecordFailure("s1", errors.New("flaky"))
+	if h, _ := m.Health("s1"); h.State != Dead {
+		t.Fatalf("threshold 1 should kill on first failure: %+v", h)
+	}
+}
+
+func TestHealthUnknownDevice(t *testing.T) {
+	m := New()
+	if _, err := m.Health("ghost"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("want ErrUnknownDevice, got %v", err)
+	}
+}

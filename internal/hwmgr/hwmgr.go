@@ -52,6 +52,10 @@ type Manager struct {
 	devices map[string]*Device
 	aps     map[string]*AccessPoint
 	sensors map[string]*Sensor
+
+	// health tracks per-device health (heartbeats, error counts, stuck
+	// masks) under its own lock; see health.go.
+	health healthTracker
 }
 
 // New creates an empty manager.
@@ -112,16 +116,26 @@ func (m *Manager) Surfaces() []*Device {
 }
 
 // SurfacesForBand returns the devices whose designs operate at freqHz,
-// sorted by ID — the orchestrator's capability query.
+// sorted by ID — the orchestrator's capability query. Dead devices are
+// excluded: the scheduler must plan around hardware whose control
+// heartbeat is lost, and re-include it once the health loop sees it back.
 func (m *Manager) SurfacesForBand(freqHz float64) []*Device {
 	all := m.Surfaces()
 	out := all[:0:0]
 	for _, d := range all {
-		if d.Drv.Spec().SupportsFreq(freqHz) {
+		if d.Drv.Spec().SupportsFreq(freqHz) && !m.isDead(d.ID) {
 			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// isDead reports whether the health tracker currently marks id dead.
+func (m *Manager) isDead(id string) bool {
+	m.health.mu.Lock()
+	defer m.health.mu.Unlock()
+	r, ok := m.health.records[id]
+	return ok && r.state == Dead
 }
 
 // AddAP registers an access point.

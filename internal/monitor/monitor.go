@@ -35,6 +35,10 @@ const (
 	DeviceDegraded
 	// Stale: no recent reports for an expectation.
 	Stale
+	// DeviceDead: the hardware manager reported the device's control
+	// heartbeat lost. All of the device's expectations resolve to this one
+	// finding instead of lingering as per-endpoint stale EWMA state.
+	DeviceDead
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +52,8 @@ func (v Verdict) String() string {
 		return "device-degraded"
 	case Stale:
 		return "stale"
+	case DeviceDead:
+		return "device-dead"
 	}
 	return fmt.Sprintf("verdict(%d)", uint8(v))
 }
@@ -85,9 +91,10 @@ type Monitor struct {
 	// minute, against report timestamps).
 	StaleAfter time.Duration
 
-	mu  sync.Mutex
-	exp map[string]map[string]float64 // device → endpoint → expected SNR
-	obs map[string]map[string]*ewma   // device → endpoint → smoothed observation
+	mu   sync.Mutex
+	exp  map[string]map[string]float64 // device → endpoint → expected SNR
+	obs  map[string]map[string]*ewma   // device → endpoint → smoothed observation
+	dead map[string]string             // device → last health error text
 }
 
 type ewma struct {
@@ -104,6 +111,7 @@ func New() *Monitor {
 		StaleAfter:  time.Minute,
 		exp:         make(map[string]map[string]float64),
 		obs:         make(map[string]map[string]*ewma),
+		dead:        make(map[string]string),
 	}
 }
 
@@ -128,6 +136,7 @@ func (m *Monitor) ClearDevice(deviceID string) {
 	defer m.mu.Unlock()
 	delete(m.exp, deviceID)
 	delete(m.obs, deviceID)
+	delete(m.dead, deviceID)
 }
 
 // Observe folds one telemetry report into the smoothed per-endpoint
@@ -192,6 +201,23 @@ func (m *Monitor) Run(ctx context.Context, bus *telemetry.Bus) (cancel func()) {
 // the endpoint's expectations so a finished task cannot be diagnosed as
 // stale forever.
 func (m *Monitor) HandleTaskEvent(ev telemetry.TaskEvent) {
+	// Device health transitions arrive on the same bus with no endpoint.
+	switch ev.State {
+	case telemetry.DeviceDead:
+		if ev.DeviceID != "" {
+			m.mu.Lock()
+			m.dead[ev.DeviceID] = ev.Err
+			m.mu.Unlock()
+		}
+		return
+	case telemetry.DeviceRecovered:
+		if ev.DeviceID != "" {
+			m.mu.Lock()
+			delete(m.dead, ev.DeviceID)
+			m.mu.Unlock()
+		}
+		return
+	}
 	if ev.Endpoint == "" {
 		return
 	}
@@ -256,7 +282,26 @@ func (m *Monitor) Diagnose(now time.Time) []Finding {
 	defer m.mu.Unlock()
 
 	var out []Finding
+	// Dead devices resolve to a single device-level finding: their
+	// endpoints stop reporting the moment the panel dies, and diagnosing
+	// that silence as per-endpoint staleness would hide the root cause.
+	for dev := range m.dead {
+		f := Finding{DeviceID: dev, Verdict: DeviceDead}
+		if per, ok := m.exp[dev]; ok {
+			var sum float64
+			for _, want := range per {
+				sum += want
+			}
+			if len(per) > 0 {
+				f.ExpectedSNRdB = sum / float64(len(per))
+			}
+		}
+		out = append(out, f)
+	}
 	for dev, endpoints := range m.exp {
+		if _, isDead := m.dead[dev]; isDead {
+			continue
+		}
 		perObs := m.obs[dev]
 		var under, measured int
 		var findings []Finding

@@ -232,3 +232,76 @@ func TestRunTaskEventsOverBus(t *testing.T) {
 		t.Errorf("subscribers after cancel = %d", n)
 	}
 }
+
+func TestDeviceDeathResolvesToFinding(t *testing.T) {
+	m := New()
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "phone", SNRdB: 20})
+	m.Expect(Expectation{DeviceID: "s0", EndpointID: "laptop", SNRdB: 18})
+	m.Expect(Expectation{DeviceID: "s1", EndpointID: "tv", SNRdB: 15})
+	feed(m, "s0", "phone", 19, 5, t0)
+	feed(m, "s1", "tv", 14, 5, t0)
+
+	// The hardware manager reports s0's heartbeat lost. Its endpoints stop
+	// reporting, but the diagnosis must name the dead device, not drown the
+	// root cause in per-endpoint stale findings.
+	m.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.DeviceDead, DeviceID: "s0", Err: "device dead"})
+
+	later := t0.Add(5 * time.Minute) // long past StaleAfter
+	probs := m.Problems(later)
+	var deadFindings, staleS0 int
+	for _, f := range probs {
+		if f.DeviceID == "s0" {
+			switch f.Verdict {
+			case DeviceDead:
+				deadFindings++
+				if f.EndpointID != "" {
+					t.Errorf("device-level finding carries endpoint %q", f.EndpointID)
+				}
+				if f.ExpectedSNRdB != 19 { // mean of 20 and 18
+					t.Errorf("dead finding expected SNR = %v", f.ExpectedSNRdB)
+				}
+			case Stale:
+				staleS0++
+			}
+		}
+	}
+	if deadFindings != 1 {
+		t.Fatalf("want exactly one device-dead finding, got %d in %+v", deadFindings, probs)
+	}
+	if staleS0 != 0 {
+		t.Fatalf("dead device still diagnosed endpoint-by-endpoint: %+v", probs)
+	}
+	// The living device is still diagnosed normally (stale by now).
+	if f, ok := findingFor(m.Diagnose(later), "s1", "tv"); !ok || f.Verdict != Stale {
+		t.Errorf("s1 finding: %+v ok=%v", f, ok)
+	}
+
+	// Recovery clears the death; expectations survive and resume normal
+	// endpoint-level diagnosis.
+	m.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.DeviceRecovered, DeviceID: "s0"})
+	feed(m, "s0", "phone", 19, 5, later)
+	fs := m.Diagnose(later.Add(time.Second))
+	for _, f := range fs {
+		if f.Verdict == DeviceDead {
+			t.Fatalf("recovered device still reported dead: %+v", f)
+		}
+	}
+	if f, ok := findingFor(fs, "s0", "phone"); !ok || f.Verdict != Healthy {
+		t.Errorf("recovered endpoint finding: %+v ok=%v", f, ok)
+	}
+	if DeviceDead.String() != "device-dead" {
+		t.Error("verdict string wrong")
+	}
+}
+
+func TestClearDeviceDropsDeathMark(t *testing.T) {
+	m := New()
+	m.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.DeviceDead, DeviceID: "s0"})
+	if len(m.Problems(t0)) != 1 {
+		t.Fatal("death without expectations should still be a problem")
+	}
+	m.ClearDevice("s0")
+	if len(m.Problems(t0)) != 0 {
+		t.Error("cleared device still diagnosed")
+	}
+}

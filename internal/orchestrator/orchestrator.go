@@ -362,7 +362,14 @@ func (o *Orchestrator) Tick(ctx context.Context, dt time.Duration) error {
 			continue
 		}
 		if dev.Drv.CodebookLen() > sl.idx {
-			_ = dev.Drv.Select(sl.idx)
+			// TDM rotation doubles as a cheap heartbeat: selection
+			// failures feed the health tracker, whose transitions drive
+			// the self-healing re-plan.
+			if err := dev.Drv.Select(sl.idx); err != nil {
+				o.HW.RecordFailure(dev.ID, err)
+			} else {
+				o.HW.RecordSuccess(dev.ID)
+			}
 		}
 	}
 	return nil

@@ -318,9 +318,22 @@ func (o *Orchestrator) applyEntries(devs []*hwmgr.Device, entries []PlanEntry) e
 		if errors.Is(err, driver.ErrFixed) {
 			continue // passive device keeps its burned-in pattern
 		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("orchestrator: device %s: %w", d.ID, err)
+		if err != nil {
+			o.HW.RecordFailure(d.ID, err)
+			if errors.Is(err, driver.ErrDeviceDead) {
+				// A device that died between planning and apply is a
+				// health event, not a plan failure: the transition just
+				// recorded triggers a re-plan around it, and failing the
+				// whole group here would take down tasks the surviving
+				// surfaces can still serve.
+				continue
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("orchestrator: device %s: %w", d.ID, err)
+			}
+			continue
 		}
+		o.HW.RecordSuccess(d.ID)
 	}
 	return firstErr
 }

@@ -1,0 +1,122 @@
+package rfsim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"surfos/internal/geom"
+	"surfos/internal/surface"
+)
+
+// pinnedCopy overwrites stuck indices of surface s in a fresh config slice.
+func pinnedCopy(cfgs []surface.Config, s int, stuck map[int]float64) []surface.Config {
+	out := make([]surface.Config, len(cfgs))
+	for i, c := range cfgs {
+		vals := append([]float64(nil), c.Values...)
+		if i == s {
+			for k, v := range stuck {
+				vals[k] = v
+			}
+		}
+		out[i] = surface.Config{Property: c.Property, Values: vals}
+	}
+	return out
+}
+
+// Pin must be exact: evaluating the pinned channel over the healthy degrees
+// of freedom equals evaluating the full channel with the stuck values
+// substituted, including through cascade blocks; and whatever value a
+// caller later supplies for a pinned element is ignored.
+func TestPinMatchesFullEvaluation(t *testing.T) {
+	sim, _, _ := twoSurfaceSim(t)
+	ch := sim.NewTx(geom.V(-1, 1, 1)).Channel(geom.V(0.5, 3, 1))
+	if len(ch.Cross) == 0 {
+		t.Fatal("fixture lost its cascade blocks")
+	}
+	r := rand.New(rand.NewSource(7))
+	cfgs := randConfigs(r, ch)
+	stuck := map[int]float64{0: math.Pi, 4: 1.0, 8: 0.25}
+
+	pinned, err := ch.Pin(0, stuck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ch.Eval(pinnedCopy(cfgs, 0, stuck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garble the stuck entries: the pinned channel must not read them.
+	garbled := pinnedCopy(cfgs, 0, map[int]float64{0: 9, 4: -3, 8: 2.5})
+	got, err := pinned.Eval(garbled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(got-want) > 1e-15 {
+		t.Fatalf("pinned eval %v != substituted full eval %v", got, want)
+	}
+
+	// Gradients of pinned elements vanish: optimizers cannot move them.
+	x, err := pinned.Phasors(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := pinned.Partials(x)
+	for k := range stuck {
+		if grads[0][k] != 0 {
+			t.Errorf("pinned element %d has gradient %v", k, grads[0][k])
+		}
+	}
+	for k := range grads[1] {
+		if grads[1][k] != 0 {
+			break
+		}
+		if k == len(grads[1])-1 {
+			t.Error("healthy surface lost all gradients")
+		}
+	}
+
+	// Pinning composes across surfaces.
+	stuckB := map[int]float64{2: 0.5}
+	both, err := pinned.Pin(1, stuckB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBoth, err := ch.Eval(pinnedCopy(pinnedCopy(cfgs, 0, stuck), 1, stuckB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBoth, err := both.Eval(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(gotBoth-wantBoth) > 1e-15 {
+		t.Fatalf("chained pin %v != substituted eval %v", gotBoth, wantBoth)
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	sim, _, _ := twoSurfaceSim(t)
+	ch := sim.NewTx(geom.V(-1, 1, 1)).Channel(geom.V(0.5, 3, 1))
+	if _, err := ch.Pin(-1, nil); err == nil {
+		t.Error("negative surface accepted")
+	}
+	if _, err := ch.Pin(5, nil); err == nil {
+		t.Error("out-of-range surface accepted")
+	}
+	if _, err := ch.Pin(0, map[int]float64{99: 0}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	// Empty mask is a no-op clone.
+	p, err := ch.Pin(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := randConfigs(rand.New(rand.NewSource(1)), ch)
+	a, _ := ch.Eval(cfgs)
+	b, _ := p.Eval(cfgs)
+	if cmplx.Abs(a-b) > 1e-15 {
+		t.Errorf("empty pin changed the channel: %v vs %v", a, b)
+	}
+}

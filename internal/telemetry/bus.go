@@ -9,6 +9,10 @@ type bus[T any] struct {
 	mu   sync.Mutex
 	subs map[int]chan T
 	next int
+	// dropped counts values discarded because a subscriber's buffer was
+	// full. Drops are by design, but invisible drops hide overload — the
+	// counter makes backpressure observable.
+	dropped uint64
 }
 
 // subscribe registers a subscriber with the given channel buffer. The
@@ -43,8 +47,16 @@ func (b *bus[T]) publish(v T) {
 		select {
 		case ch <- v:
 		default: // drop: stale telemetry is worthless
+			b.dropped++
 		}
 	}
+}
+
+// droppedCount returns how many values have been dropped on full buffers.
+func (b *bus[T]) droppedCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
 }
 
 // subscribers returns the current subscriber count.

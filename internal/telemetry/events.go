@@ -15,6 +15,16 @@ const (
 	TaskFailed    = "failed"    // unschedulable or errored
 )
 
+// Device health phases share the task-event bus (TaskID 0, DeviceID set)
+// so one `surfctl tasks --watch` stream shows tasks and the healing that
+// reshuffles them.
+const (
+	DeviceDegraded  = "device_degraded"  // stuck elements or repeated control failures
+	DeviceDead      = "device_dead"      // heartbeat lost; excluded from planning
+	DeviceRecovered = "device_recovered" // heartbeat back; re-included
+	Replanned       = "replanned"        // orchestrator re-planned around a health change
+)
+
 // TaskEvent is one task lifecycle transition. Events are advisory — the
 // orchestrator's task table remains the source of truth — so consumers
 // (monitors, CLIs, loggers) may drop or lag without affecting scheduling.
@@ -40,6 +50,10 @@ type TaskEvent struct {
 
 	// Err carries the failure reason text for failed events.
 	Err string
+
+	// DeviceID names the surface for device health events (Device* and
+	// Replanned states); empty for plain task lifecycle events.
+	DeviceID string
 }
 
 // EventBus is a fan-out publish/subscribe channel for task lifecycle
@@ -63,3 +77,7 @@ func (b *EventBus) Publish(ev TaskEvent) { b.core.publish(ev) }
 
 // Subscribers returns the current subscriber count.
 func (b *EventBus) Subscribers() int { return b.core.subscribers() }
+
+// Dropped returns how many events were discarded on full subscriber
+// buffers since the bus was created.
+func (b *EventBus) Dropped() uint64 { return b.core.droppedCount() }

@@ -88,3 +88,27 @@ func TestEventBusConcurrentPublish(t *testing.T) {
 		t.Errorf("delivered %d events, want 800", n)
 	}
 }
+
+func TestBusDropCounter(t *testing.T) {
+	b := NewEventBus()
+	if b.Dropped() != 0 {
+		t.Fatal("fresh bus should report zero drops")
+	}
+	_, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Publish(TaskEvent{State: TaskRunning})
+	b.Publish(TaskEvent{State: TaskRunning}) // buffer full: dropped
+	b.Publish(TaskEvent{State: TaskRunning}) // dropped
+	if got := b.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+
+	rb := NewBus()
+	_, rcancel := rb.Subscribe(1)
+	defer rcancel()
+	rb.Publish(Report{})
+	rb.Publish(Report{})
+	if got := rb.Dropped(); got != 1 {
+		t.Fatalf("report bus Dropped() = %d, want 1", got)
+	}
+}

@@ -42,6 +42,10 @@ func (b *Bus) Publish(r Report) { b.core.publish(r) }
 // Subscribers returns the current subscriber count.
 func (b *Bus) Subscribers() int { return b.core.subscribers() }
 
+// Dropped returns how many reports were discarded on full subscriber
+// buffers since the bus was created.
+func (b *Bus) Dropped() uint64 { return b.core.droppedCount() }
+
 // Aggregator maintains exponentially-weighted link metrics per (device,
 // codebook entry) so devices can adapt to the best stored configuration.
 type Aggregator struct {

@@ -97,6 +97,15 @@ type (
 	AccessPoint = hwmgr.AccessPoint
 	// Sensor is an external measurement device.
 	Sensor = hwmgr.Sensor
+	// FaultModel injects deterministic hardware faults into one driver:
+	// stuck elements, controller death, probabilistic or slow control
+	// writes. Attach with Driver.SetFaults.
+	FaultModel = driver.FaultModel
+	// DeviceHealth is one device's health snapshot from the hardware
+	// manager's heartbeat loop.
+	DeviceHealth = hwmgr.DeviceHealth
+	// HealthState classifies a device as healthy, degraded, or dead.
+	HealthState = hwmgr.HealthState
 )
 
 // Control plane types.
@@ -172,6 +181,14 @@ const (
 	VerdictEndpointBlocked = monitor.EndpointBlocked
 	VerdictDeviceDegraded  = monitor.DeviceDegraded
 	VerdictStale           = monitor.Stale
+	VerdictDeviceDead      = monitor.DeviceDead
+)
+
+// Device health states.
+const (
+	HealthHealthy  = hwmgr.Healthy
+	HealthDegraded = hwmgr.Degraded
+	HealthDead     = hwmgr.Dead
 )
 
 // Catalog model names (the paper's Table 1).
@@ -226,6 +243,12 @@ const (
 	TaskResumed   = telemetry.TaskResumed
 	TaskDone      = telemetry.TaskDone
 	TaskFailed    = telemetry.TaskFailed
+	// Device health transitions share the task event bus so one --watch
+	// stream shows both scheduling and self-healing activity.
+	DeviceDegraded  = telemetry.DeviceDegraded
+	DeviceDead      = telemetry.DeviceDead
+	DeviceRecovered = telemetry.DeviceRecovered
+	Replanned       = telemetry.Replanned
 )
 
 // Typed orchestrator errors: every failure path wraps one of these
@@ -240,6 +263,10 @@ var (
 	ErrNoActiveSurfaces   = orchestrator.ErrNoActiveSurfaces
 	ErrNoSchedulableTasks = orchestrator.ErrNoSchedulableTasks
 	ErrOptimizeStopped    = orchestrator.ErrOptimizeStopped
+	// ErrDeviceDead is what every control operation against an unreachable
+	// device controller returns; the health tracker maps it straight to
+	// HealthDead and the orchestrator re-plans around the device.
+	ErrDeviceDead = driver.ErrDeviceDead
 )
 
 // RegisterService installs a service module under its kind; the scheduler
@@ -253,6 +280,10 @@ func RegisteredServices() []ServiceKind { return orchestrator.RegisteredServices
 // NewTaskEventBus creates a task lifecycle event bus; attach it to an
 // orchestrator with SetEventBus.
 func NewTaskEventBus() *TaskEventBus { return telemetry.NewEventBus() }
+
+// NewFaultModel creates a deterministic fault injector; attach it to a
+// deployed driver with SetFaults. The zero configuration injects nothing.
+func NewFaultModel(seed int64) *FaultModel { return driver.NewFaultModel(seed) }
 
 // Apartment location names.
 const (
