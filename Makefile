@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke fmt ci golden test-faults
+.PHONY: all build test race vet bench bench-smoke fmt ci golden test-faults test-crash
 
 all: build vet test
 
 # ci is the full merge gate: compile, static checks, the race-detector
 # test run, the experiment-output golden check (byte-identical paper
 # figures modulo timing strings), a one-iteration benchmark smoke pass
-# so benchmark code cannot rot, and the seeded fault-injection suite.
-ci: build vet race golden bench-smoke test-faults
+# so benchmark code cannot rot, the seeded fault-injection suite, and the
+# crash-recovery boundary replay.
+ci: build vet race golden bench-smoke test-faults test-crash
 
 # test-faults replays the fault-injection and self-healing suite under
 # the race detector at three fixed seeds. SURFOS_FAULT_SEED reroutes
@@ -25,6 +26,13 @@ test-faults:
 		SURFOS_FAULT_SEED=$$seed $(GO) test -race -count=1 \
 			-run $(FAULT_RUN) $(FAULT_PKGS) || exit 1; \
 	done
+
+# test-crash replays journal recovery with the WAL truncated at every
+# record boundary — clean and torn — under the race detector. Any prefix
+# of the journal must recover to exactly the state its surviving records
+# describe.
+test-crash:
+	$(GO) test -race -count=1 -run 'Crash|TruncatedTail|Corrupt|SequenceGap|Snapshot' ./internal/store
 
 golden:
 	./scripts/golden-check.sh

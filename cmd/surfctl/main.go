@@ -232,7 +232,7 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 		if !watch {
 			return nil
 		}
-		return watchTasks(ctx, c, out)
+		return watchTasks(ctx, addr, c, out)
 
 	case "submit":
 		m, err := submitMsg(args[1:])
@@ -310,20 +310,85 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 	return fmt.Errorf("%w (unknown command %q)", errUsage, args[0])
 }
 
+// Watch reconnect backoff: the stream survives daemon restarts, retrying
+// the dial at capped exponential intervals.
+const (
+	watchBackoffBase = 200 * time.Millisecond
+	watchBackoffMax  = 5 * time.Second
+)
+
 // watchTasks streams lifecycle events until ctx is cancelled (^C is the
-// operator's clean stop, so it exits 0).
-func watchTasks(ctx context.Context, c *ctrlproto.Client, out io.Writer) error {
+// operator's clean stop, so it exits 0). When the daemon drops the
+// connection — crash, restart, drain — the watch does not die with it: it
+// redials with capped exponential backoff and resumes the stream,
+// printing a `reconnected` marker so operators can tell the epochs apart.
+func watchTasks(ctx context.Context, addr string, c *ctrlproto.Client, out io.Writer) error {
 	if err := c.WatchTasks(ctx); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "watching task events (^C to stop)")
 	for {
+		ctxDone := streamTaskEvents(ctx, c, out)
+		c.Close()
+		if ctxDone {
+			return nil
+		}
+		fmt.Fprintln(out, "connection lost; reconnecting")
+		nc, err := redialWatch(ctx, addr)
+		if err != nil {
+			// Cancellation while waiting out a dead daemon is the
+			// operator's clean stop, like ^C mid-stream.
+			if errors.Is(err, context.Canceled) {
+				return nil
+			}
+			return err
+		}
+		c = nc
+		fmt.Fprintln(out, "reconnected")
+	}
+}
+
+// redialWatch dials addr until it succeeds and the watch subscription is
+// re-established, backing off exponentially (capped) between attempts.
+// Only ctx cancellation makes it give up.
+func redialWatch(ctx context.Context, addr string) (*ctrlproto.Client, error) {
+	delay := watchBackoffBase
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := ctrlproto.Dial(addr)
+		if err == nil {
+			if werr := c.WatchTasks(ctx); werr == nil {
+				return c, nil
+			}
+			// Daemon reachable but not serving watches yet (still booting
+			// or already draining): close and keep trying.
+			c.Close()
+		}
+		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
-			return nil
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		if delay *= 2; delay > watchBackoffMax {
+			delay = watchBackoffMax
+		}
+	}
+}
+
+// streamTaskEvents renders events until ctx is cancelled (returns true)
+// or the connection is lost and the event channel closes (returns false).
+func streamTaskEvents(ctx context.Context, c *ctrlproto.Client, out io.Writer) bool {
+	for {
+		select {
+		case <-ctx.Done():
+			return true
 		case ev, ok := <-c.TaskEvents:
 			if !ok {
-				return nil
+				return false
 			}
 			ts := time.Unix(0, ev.UnixNanos).Format(time.TimeOnly)
 			if ev.DeviceID != "" {

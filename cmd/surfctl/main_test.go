@@ -118,6 +118,17 @@ func TestCLICommands(t *testing.T) {
 // health transitions.
 func startCtrlAgent(t *testing.T) (string, *hwmgr.Manager) {
 	t.Helper()
+	orch, hw, events := newCtrlStack(t)
+	a, addr := serveCtrl(t, orch, events, "127.0.0.1:0")
+	t.Cleanup(func() { a.Close() })
+	return addr, hw
+}
+
+// newCtrlStack builds the orchestrator/hardware/event-bus trio a control
+// agent fronts; split from the agent so restart tests can serve the same
+// stack through successive agents.
+func newCtrlStack(t *testing.T) (*orchestrator.Orchestrator, *hwmgr.Manager, *telemetry.EventBus) {
+	t.Helper()
 	apt := scene.NewApartment()
 	hw := hwmgr.New()
 	spec, err := driver.Lookup(driver.ModelNRSurface)
@@ -150,18 +161,24 @@ func startCtrlAgent(t *testing.T) (string, *hwmgr.Manager) {
 	events := telemetry.NewEventBus()
 	orch.SetEventBus(events)
 	hw.SetEventBus(events)
+	return orch, hw, events
+}
+
+// serveCtrl fronts the stack with a fresh control agent on listen (pass a
+// previous agent's address to simulate a daemon restart on the same port).
+func serveCtrl(t *testing.T, orch *orchestrator.Orchestrator, events *telemetry.EventBus, listen string) (*ctrlproto.CtrlAgent, string) {
+	t.Helper()
 	a, err := ctrlproto.NewCtrlAgent(orch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a.Events = events
 	a.Reconcile = orch.Reconcile
-	addr, err := a.Listen("127.0.0.1:0")
+	addr, err := a.Listen(listen)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { a.Close() })
-	return addr.String(), hw
+	return a, addr.String()
 }
 
 func TestCLITaskCommandsAndExitCodes(t *testing.T) {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"surfos/internal/driver"
+)
+
+// TestCLIWatchReconnectsAcrossRestart kills the daemon's control agent
+// mid-watch and restarts it on the same port: the watch must notice the
+// drop, redial with backoff, print the `reconnected` marker, and keep
+// streaming events from the new epoch.
+func TestCLIWatchReconnectsAcrossRestart(t *testing.T) {
+	orch, hw, events := newCtrlStack(t)
+	a1, addr := serveCtrl(t, orch, events, "127.0.0.1:0")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, addr, []string{"tasks", "--watch"}, syncWriter{mu: &mu, w: &out})
+	}()
+
+	await := func(marker string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			s := out.String()
+			mu.Unlock()
+			if strings.Contains(s, marker) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("never saw %q in: %q", marker, s)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	await("watching task events")
+
+	// Hard-stop the first epoch: every watch connection drops.
+	a1.Close()
+	await("connection lost; reconnecting")
+
+	// Restart on the same address; the watcher's backoff loop finds it.
+	a2, _ := serveCtrl(t, orch, events, addr)
+	t.Cleanup(func() { a2.Close() })
+	await("reconnected")
+
+	// The resumed stream carries the new epoch's events.
+	hw.RecordFailure("s0", driver.ErrDeviceDead)
+	await("device s0 device_dead")
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("watch exit err = %v, want nil on cancel", err)
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	surfos-bench [-exp table1|fig2|fig4|fig5|fig6|chaos|all] [-profile quick|full]
+//	surfos-bench [-exp table1|fig2|fig4|fig5|fig6|chaos|restart|all] [-profile quick|full]
 //
 // The quick profile (default) shrinks grids and surfaces so the whole
 // suite runs in seconds while preserving the shapes the paper reports;
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig2, fig4, fig5, fig6, chaos, or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig2, fig4, fig5, fig6, chaos, restart, or all")
 	profileName := flag.String("profile", "quick", "workload profile: quick or full")
 	flag.Parse()
 
@@ -74,8 +74,15 @@ func main() {
 			}
 			return r.Render(), nil
 		},
+		"restart": func() (string, error) {
+			r, err := experiments.RunRestart(ctx, profile)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
 	}
-	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "chaos"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "chaos", "restart"}
 
 	var selected []string
 	if *exp == "all" {

@@ -7,7 +7,19 @@
 // Usage:
 //
 //	surfosd [-listen 127.0.0.1:7090] [-surfaces NR-Surface@east_wall,NR-Surface@north_wall]
+//	        [-state-dir DIR] [-drain-timeout 5s]
 //	        [-health-interval 2s] [-fault-seed N] [-fault-fail P] [-fault-stuck N] [-fault-latency D]
+//
+// With -state-dir set, the daemon journals every task spec and lifecycle
+// transition to an append-only write-ahead log in DIR and, at boot,
+// recovers: every task that was submitted and not ended when the previous
+// daemon died is re-admitted under its original ID and re-planned against
+// the current surface and health state. Empty (the default) disables
+// durability entirely, preserving the in-memory-only behavior.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting,
+// drains in-flight northbound connections up to -drain-timeout, finishes
+// the current reconcile, snapshots and fsyncs the journal, and exits.
 //
 // The -fault-* flags attach a deterministic fault injector to every deployed
 // driver (seeded fault-seed+i for device i): -fault-fail sets the transient
@@ -33,6 +45,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,11 +55,25 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"surfos"
 	"surfos/internal/ctrlproto"
+	"surfos/internal/hwmgr"
+	"surfos/internal/store"
+	"surfos/internal/telemetry"
+)
+
+// Northbound connection hardening: a stuck or hostile client cannot pin
+// goroutines forever. The idle deadline re-arms before every read; the
+// connection cap rejects (with a diagnostic line) rather than queues, so
+// operators get an immediate signal instead of a hang.
+const (
+	maxNorthboundConns    = 64
+	northboundIdleTimeout = 5 * time.Minute
+	northboundLineMax     = 64 * 1024
 )
 
 // daemonOptions is the fault-injection and health-loop configuration; the
@@ -69,9 +96,10 @@ func (o daemonOptions) injecting() bool {
 }
 
 type daemon struct {
-	// ctx is the daemon's lifetime context: canceled on SIGINT/SIGTERM,
-	// it aborts in-flight reconciliation (returning the best-so-far
-	// configurations) and southbound round trips.
+	// ctx is the daemon's lifetime context: canceled at the very end of
+	// shutdown (after the drain), it aborts in-flight reconciliation
+	// (returning the best-so-far configurations) and southbound round
+	// trips.
 	ctx    context.Context
 	apt    *surfos.Apartment
 	hw     *surfos.Hardware
@@ -91,6 +119,20 @@ type daemon struct {
 	// healStop unsubscribes the self-healing consumer from the event bus
 	healStop func()
 	ctrl     *ctrlproto.CtrlAgent
+
+	// Durability (nil without -state-dir): the journal consumes the task
+	// event bus and persists specs and transitions to the state dir.
+	journal     *store.Journal
+	journalStop func()
+	journalDone chan struct{}
+
+	// Northbound connection tracking for the graceful drain: the semaphore
+	// caps concurrency, the map enables the post-deadline force-close, and
+	// the WaitGroup is the drain barrier.
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	connWG  sync.WaitGroup
+	connSem chan struct{}
 }
 
 func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*daemon, error) {
@@ -102,6 +144,8 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 		mon:     surfos.NewMonitor(),
 		bus:     surfos.NewTelemetryBus(),
 		events:  surfos.NewTaskEventBus(),
+		conns:   map[net.Conn]struct{}{},
+		connSem: make(chan struct{}, maxNorthboundConns),
 	}
 	// Health transitions (device_degraded/device_dead/device_recovered) are
 	// published on the task-event bus: the monitor folds them into diagnosis
@@ -224,7 +268,96 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 	return d, nil
 }
 
+// healthStateFor maps a journaled health transition back to the tracker's
+// state.
+func healthStateFor(transition string) hwmgr.HealthState {
+	switch transition {
+	case telemetry.DeviceDead:
+		return hwmgr.Dead
+	case telemetry.DeviceDegraded:
+		return hwmgr.Degraded
+	}
+	return hwmgr.Healthy
+}
+
+// openState recovers the journal from dir and attaches a live journal to
+// the event bus: device health is rehydrated first (so the recovery
+// re-plan sees the world as it was), then every submitted-but-not-ended
+// task is re-admitted under its original ID, re-planned from scratch
+// against the current surfaces, and the recovered state is immediately
+// snapshotted so the WAL restarts compact.
+func (d *daemon) openState(dir string) error {
+	st, recovered, err := store.Open(dir)
+	if err != nil {
+		return fmt.Errorf("state %s: %w", dir, err)
+	}
+	for _, dr := range recovered.DeviceHealth() {
+		d.hw.RehydrateHealth(dr.DeviceID, healthStateFor(dr.State), dr.Err)
+		if dr.State != telemetry.DeviceRecovered {
+			log.Printf("state: rehydrated %s as %s", dr.DeviceID, healthStateFor(dr.State))
+		}
+	}
+	restored := 0
+	for _, tr := range recovered.Live() {
+		if _, err := d.orch.RestoreTask(tr.Spec, tr.State); err != nil {
+			// A spec that no longer validates (renamed region, changed
+			// scene) must not block the rest of the recovery; drop it from
+			// the journal state so it is not retried forever.
+			log.Printf("state: task %d not restored: %v", tr.ID, err)
+			delete(recovered.Tasks, tr.ID)
+			continue
+		}
+		restored++
+	}
+	// Ended tasks are compacted away, but their IDs must stay burned.
+	d.orch.ReserveIDs(recovered.MaxTaskID)
+	// The journal's state mirror is seeded with the recovered state (the
+	// restoration events above predate the subscription), so the upcoming
+	// snapshot is exactly "live tasks at recovery".
+	d.journal = store.NewJournal(st, recovered)
+	ch, unsub := d.events.Subscribe(store.JournalBuffer)
+	d.journalStop = unsub
+	d.journalDone = make(chan struct{})
+	go func() {
+		defer close(d.journalDone)
+		d.journal.Run(d.ctx, ch)
+	}()
+	if restored > 0 {
+		if err := d.orch.Reconcile(d.ctx); err != nil {
+			log.Printf("state: recovery reconcile: %v", err)
+		}
+	}
+	if err := d.journal.Snapshot(); err != nil {
+		return fmt.Errorf("state %s: snapshot: %w", dir, err)
+	}
+	log.Printf("state: recovered %d task(s) from %s (journal seq %d)", restored, dir, st.Seq())
+	return nil
+}
+
+// closeState performs the journal's clean shutdown: stop consuming, drain
+// buffered events, compact into a final snapshot, and fsync everything.
+func (d *daemon) closeState() {
+	if d.journal == nil {
+		return
+	}
+	// Unsubscribing closes the channel; Run drains what is buffered and
+	// exits, so every event published before this point is journaled.
+	d.journalStop()
+	<-d.journalDone
+	if err := d.journal.Snapshot(); err != nil {
+		log.Printf("state: final snapshot: %v", err)
+	}
+	if err := d.journal.Close(); err != nil {
+		log.Printf("state: close: %v", err)
+	}
+	if n := d.events.Dropped(); n > 0 {
+		log.Printf("state: warning: %d task event(s) dropped on full subscriber buffers", n)
+	}
+	d.journal = nil
+}
+
 func (d *daemon) close() {
+	d.closeState()
 	if d.ctrl != nil {
 		d.ctrl.Close()
 	}
@@ -446,12 +579,40 @@ func (d *daemon) handle(line string) (string, bool) {
 	return fmt.Sprintf("unknown command %q (try help)", cmd), true
 }
 
+// serveConn handles one northbound session. Hardening: concurrency is
+// capped (excess connections get a diagnostic line and an immediate
+// close), an idle read deadline re-arms before every line, scanner errors
+// — oversized lines, resets, timeouts — are logged and answered with a
+// diagnostic when the connection can still carry one.
 func (d *daemon) serveConn(conn net.Conn) {
 	defer conn.Close()
+	select {
+	case d.connSem <- struct{}{}:
+		defer func() { <-d.connSem }()
+	default:
+		log.Printf("northbound %v: rejected: connection limit (%d) reached", conn.RemoteAddr(), maxNorthboundConns)
+		fmt.Fprintf(conn, "error: busy: %d northbound connections already open, retry later\n", maxNorthboundConns)
+		return
+	}
+	d.connMu.Lock()
+	d.conns[conn] = struct{}{}
+	d.connMu.Unlock()
+	defer func() {
+		d.connMu.Lock()
+		delete(d.conns, conn)
+		d.connMu.Unlock()
+	}()
+
 	fmt.Fprintf(conn, "surfos daemon ready; type help\n")
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
-	for sc.Scan() {
+	sc.Buffer(make([]byte, northboundLineMax), northboundLineMax)
+	for {
+		// Idle deadline: a silent peer is disconnected rather than pinning
+		// this goroutine (and a semaphore slot) forever.
+		_ = conn.SetReadDeadline(time.Now().Add(northboundIdleTimeout))
+		if !sc.Scan() {
+			break
+		}
 		reply, cont := d.handle(sc.Text())
 		if reply != "" {
 			fmt.Fprintln(conn, reply)
@@ -460,6 +621,121 @@ func (d *daemon) serveConn(conn net.Conn) {
 			return
 		}
 	}
+	if err := sc.Err(); err != nil {
+		log.Printf("northbound %v: read: %v", conn.RemoteAddr(), err)
+		// Best-effort diagnostic: the write side often still works when
+		// the failure was ours (line cap) or a timeout, not a peer reset.
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		if errors.Is(err, bufio.ErrTooLong) {
+			fmt.Fprintf(conn, "error: line exceeds %d bytes, closing\n", northboundLineMax)
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			fmt.Fprintf(conn, "error: idle for %s, closing\n", northboundIdleTimeout)
+		}
+	}
+}
+
+// acceptLoop serves northbound connections until the listener closes.
+func (d *daemon) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				log.Printf("accept: %v", err)
+			}
+			return
+		}
+		d.connWG.Add(1)
+		go func() {
+			defer d.connWG.Done()
+			d.serveConn(conn)
+		}()
+	}
+}
+
+// drainConns waits for in-flight northbound sessions to finish, up to
+// timeout; stragglers are then force-closed and awaited.
+func (d *daemon) drainConns(timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		d.connWG.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		log.Printf("northbound drained cleanly")
+	case <-timer.C:
+		d.connMu.Lock()
+		n := len(d.conns)
+		for c := range d.conns {
+			c.Close()
+		}
+		d.connMu.Unlock()
+		log.Printf("drain deadline reached: force-closed %d connection(s)", n)
+		<-done
+	}
+}
+
+// run is the daemon's whole lifecycle. Every failure after newDaemon
+// returns through normal error handling, so the deferred close releases
+// agents, listeners and the journal even on a late listen error — the
+// log.Fatalf in main fires only after cleanup has run.
+func run(listen, ctrlAddr, surfaceList, stateDir string, drainTimeout time.Duration, opts daemonOptions) error {
+	// Lifetime context: canceled last, after the drain, so an in-flight
+	// reconcile finishes rather than aborting mid-commit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := newDaemon(ctx, surfaceList, opts)
+	if err != nil {
+		return err
+	}
+	defer d.close()
+
+	if stateDir != "" {
+		if err := d.openState(stateDir); err != nil {
+			return err
+		}
+	}
+
+	if ctrlAddr != "" {
+		addr, err := d.ctrl.Listen(ctrlAddr)
+		if err != nil {
+			return fmt.Errorf("ctrl: %w", err)
+		}
+		log.Printf("task control listening on %s", addr)
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("northbound listening on %s", ln.Addr())
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		d.acceptLoop(ln)
+	}()
+
+	select {
+	case <-sigCtx.Done():
+		log.Printf("signal received: stopping accept, draining (timeout %s)", drainTimeout)
+	case <-acceptDone:
+		// Listener died without a signal — shut down the same way.
+		log.Printf("northbound listener closed: shutting down")
+	}
+	// Graceful shutdown: stop accepting, drain in-flight sessions (they
+	// may still reconcile under the live ctx), then drop task-control
+	// watchers, journal the tail, and only then cancel the lifetime ctx.
+	ln.Close()
+	<-acceptDone
+	d.drainConns(drainTimeout)
+	d.ctrl.Close()
+	d.closeState() // final snapshot + fsync while ctx is still live
+	return nil
 }
 
 func main() {
@@ -468,6 +744,8 @@ func main() {
 	surfaceList := flag.String("surfaces",
 		"NR-Surface@east_wall,NR-Surface@north_wall",
 		"comma-separated MODEL@MOUNT deployments")
+	stateDir := flag.String("state-dir", "", "journal directory for durable task state (empty disables)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline for northbound connections")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "device heartbeat probe interval (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (device i uses seed+i)")
 	faultProb := flag.Float64("fault-fail", 0, "probability each control write fails transiently")
@@ -475,48 +753,13 @@ func main() {
 	faultLatency := flag.Duration("fault-latency", 0, "added latency per control write")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	d, err := newDaemon(ctx, *surfaceList, daemonOptions{
+	if err := run(*listen, *ctrlAddr, *surfaceList, *stateDir, *drainTimeout, daemonOptions{
 		faultSeed:    *faultSeed,
 		faultProb:    *faultProb,
 		faultStuck:   *faultStuck,
 		faultLatency: *faultLatency,
 		healthEvery:  *healthEvery,
-	})
-	if err != nil {
+	}); err != nil {
 		log.Fatalf("surfosd: %v", err)
-	}
-	defer d.close()
-
-	if *ctrlAddr != "" {
-		addr, err := d.ctrl.Listen(*ctrlAddr)
-		if err != nil {
-			log.Fatalf("surfosd: ctrl: %v", err)
-		}
-		log.Printf("task control listening on %s", addr)
-	}
-
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatalf("surfosd: %v", err)
-	}
-	go func() {
-		<-ctx.Done()
-		ln.Close() // unblocks Accept for a clean shutdown
-	}()
-	log.Printf("northbound listening on %s", ln.Addr())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				log.Printf("shutting down: %v", ctx.Err())
-			} else {
-				log.Printf("accept: %v", err)
-			}
-			return
-		}
-		go d.serveConn(conn)
 	}
 }

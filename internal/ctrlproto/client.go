@@ -45,10 +45,12 @@ type Client struct {
 	readErr error
 
 	// Feedback receives unsolicited agent pushes (correlation 0). Buffered;
-	// overflow drops.
+	// overflow drops. Closed when the connection is lost, so range-style
+	// consumers observe the disconnect.
 	Feedback chan FeedbackMsg
 	// TaskEvents receives task lifecycle pushes after WatchTasks.
-	// Buffered; overflow drops.
+	// Buffered; overflow drops. Closed when the connection is lost — a
+	// `tasks --watch` consumer uses the close to trigger its reconnect.
 	TaskEvents chan TaskEventMsg
 	// Timeout bounds each request round trip (default 5s).
 	Timeout time.Duration
@@ -190,6 +192,11 @@ func (c *Client) readLoop() {
 			c.closed = true
 			c.mu.Unlock()
 			c.conn.Close()
+			// Closing the push channels is the disconnect signal for
+			// stream consumers; only this goroutine ever sends on them,
+			// so the close cannot race a send.
+			close(c.Feedback)
+			close(c.TaskEvents)
 			return
 		}
 		if f.Corr == 0 && f.Type == MsgFeedback {

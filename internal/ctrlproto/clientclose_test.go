@@ -1,0 +1,41 @@
+package ctrlproto
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestPushChannelsCloseOnDisconnect pins the disconnect contract watch
+// consumers rely on: when the peer goes away, the client's Feedback and
+// TaskEvents channels close (instead of silently going quiet forever),
+// and pending round trips fail fast.
+func TestPushChannelsCloseOnDisconnect(t *testing.T) {
+	cli, srv := net.Pipe()
+	c := NewClient(cli)
+	defer c.Close()
+
+	srv.Close() // daemon dies
+
+	deadline := time.After(5 * time.Second)
+	select {
+	case _, ok := <-c.TaskEvents:
+		if ok {
+			t.Error("TaskEvents delivered an event from a dead peer")
+		}
+	case <-deadline:
+		t.Fatal("TaskEvents not closed after disconnect")
+	}
+	select {
+	case _, ok := <-c.Feedback:
+		if ok {
+			t.Error("Feedback delivered a message from a dead peer")
+		}
+	case <-deadline:
+		t.Fatal("Feedback not closed after disconnect")
+	}
+	if _, err := c.Hello(context.Background()); err == nil {
+		t.Error("round trip on a dead client succeeded")
+	}
+}

@@ -204,3 +204,25 @@ func TestFig5MultitaskShape(t *testing.T) {
 		t.Error("coverage-opt should localize worse than localization-opt")
 	}
 }
+
+func TestRestartShape(t *testing.T) {
+	r, err := RunRestart(context.Background(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.ShapeCheck(); s != "" {
+		t.Errorf("restart shape: %s", s)
+	}
+	// The journal saw every durable record before the simulated crash.
+	if r.WALSeq == 0 || r.RecoveredLive == 0 {
+		t.Errorf("nothing journaled: seq=%d live=%d", r.WALSeq, r.RecoveredLive)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "torn half-record") {
+		t.Error("render missing the hard-kill summary")
+	}
+	// Temp state-dir paths must never leak into the golden output.
+	if strings.Contains(out, "/tmp") || strings.Contains(out, "surfos-restart-") {
+		t.Errorf("render leaks a path:\n%s", out)
+	}
+}

@@ -221,6 +221,31 @@ func (m *Manager) setStuck(id string, stuck []int) {
 	}
 }
 
+// RehydrateHealth restores a device's persisted health state after a
+// control-plane restart, without emitting transition events (the
+// transition already happened, before the crash; replaying it would
+// trigger a spurious self-heal storm). A device rehydrated as Dead is
+// seeded at the dead threshold, so a single successful probe — not a
+// counter reset — is what brings it back, exactly as for a live death.
+// Unknown device IDs are ignored: the surface inventory may have changed
+// while the daemon was down.
+func (m *Manager) RehydrateHealth(id string, state HealthState, lastErr string) {
+	if _, err := m.Surface(id); err != nil {
+		return
+	}
+	t := &m.health
+	t.mu.Lock()
+	r := t.record(id)
+	r.state = state
+	r.lastErr = lastErr
+	if state == Dead {
+		r.consecFails = t.threshold()
+	} else {
+		r.consecFails = 0
+	}
+	t.mu.Unlock()
+}
+
 // Health returns one device's health snapshot. Devices never probed or
 // recorded report Healthy.
 func (m *Manager) Health(id string) (DeviceHealth, error) {

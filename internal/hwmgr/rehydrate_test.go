@@ -1,0 +1,61 @@
+package hwmgr
+
+import (
+	"testing"
+)
+
+// TestRehydrateHealth covers the recovery path: a restarted control plane
+// restores journaled health silently (no transition events — replaying
+// them would trigger a spurious self-heal storm), and a rehydrated-dead
+// device recovers on its first successful probe, exactly like a live
+// death would.
+func TestRehydrateHealth(t *testing.T) {
+	m, _, ch := healthFixture(t)
+
+	m.RehydrateHealth("s1", Dead, "heartbeat lost")
+	if evs := drainStates(ch); len(evs) != 0 {
+		t.Errorf("rehydration emitted events: %v", evs)
+	}
+	h, err := m.Health("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != Dead || h.LastErr != "heartbeat lost" {
+		t.Errorf("health = %+v", h)
+	}
+	if h.ConsecutiveFailures != DefaultDeadThreshold {
+		t.Errorf("dead rehydration seeds %d consecutive failures, want the threshold %d",
+			h.ConsecutiveFailures, DefaultDeadThreshold)
+	}
+
+	// One successful probe brings the device back — and that recovery IS a
+	// fresh transition, so it is published.
+	m.ProbeAll()
+	h, _ = m.Health("s1")
+	if h.State != Healthy {
+		t.Errorf("state after probe = %v, want healthy", h.State)
+	}
+	found := false
+	for _, ev := range drainStates(ch) {
+		if ev == "device_recovered" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("recovery after rehydrated death not published")
+	}
+
+	// Degraded rehydration does not pin a failure count.
+	m.RehydrateHealth("s1", Degraded, "2 stuck elements")
+	h, _ = m.Health("s1")
+	if h.State != Degraded || h.ConsecutiveFailures != 0 {
+		t.Errorf("degraded rehydration = %+v", h)
+	}
+
+	// Unknown devices are ignored: the inventory may have changed while
+	// the daemon was down.
+	m.RehydrateHealth("ghost", Dead, "")
+	if _, err := m.Health("ghost"); err == nil {
+		t.Error("ghost device materialized")
+	}
+}

@@ -41,5 +41,12 @@ func (o *Orchestrator) emitLocked(t *Task, state string) {
 	if t.Err != nil {
 		ev.Err = t.Err.Error()
 	}
+	if state == telemetry.TaskSubmitted {
+		// Submission events carry the durable spec so journal subscribers
+		// can persist the task without reaching into the orchestrator.
+		if spec, ok := o.specLocked(t); ok {
+			ev.Spec = spec
+		}
+	}
 	o.events.Publish(ev)
 }

@@ -25,8 +25,9 @@ type CoverageGoal struct {
 func init() { MustRegisterService(coverageService{}) }
 
 // coverageService is the region-coverage module: a multi-channel coverage
-// objective over the region's evaluation grid.
-type coverageService struct{}
+// objective over the region's evaluation grid. The embedded codec makes
+// coverage goals journal-persistable.
+type coverageService struct{ jsonGoal[CoverageGoal] }
 
 func (coverageService) Kind() ServiceKind { return ServiceCoverage }
 func (coverageService) Name() string      { return "coverage" }

@@ -27,8 +27,9 @@ func (g LinkGoal) EndpointName() string { return g.Endpoint }
 func init() { MustRegisterService(linkService{}) }
 
 // linkService is the connectivity-enhancement module: a single-channel
-// coverage objective focused on the endpoint.
-type linkService struct{}
+// coverage objective focused on the endpoint. The embedded codec makes
+// link goals journal-persistable.
+type linkService struct{ jsonGoal[LinkGoal] }
 
 func (linkService) Kind() ServiceKind { return ServiceLink }
 func (linkService) Name() string      { return "link" }

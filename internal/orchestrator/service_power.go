@@ -25,8 +25,9 @@ func (g PowerGoal) EndpointName() string { return g.Device }
 func init() { MustRegisterService(powerService{}) }
 
 // powerService is the wireless-power module: a received-power objective
-// focused on the device position.
-type powerService struct{}
+// focused on the device position. The embedded codec makes power goals
+// journal-persistable.
+type powerService struct{ jsonGoal[PowerGoal] }
 
 func (powerService) Kind() ServiceKind { return ServicePowering }
 func (powerService) Name() string      { return "powering" }

@@ -24,8 +24,9 @@ func (g SecurityGoal) EndpointName() string { return g.Endpoint }
 func init() { MustRegisterService(securityService{}) }
 
 // securityService is the physical-layer security module: maximize the
-// user-eavesdropper SNR gap.
-type securityService struct{}
+// user-eavesdropper SNR gap. The embedded codec makes security goals
+// journal-persistable.
+type securityService struct{ jsonGoal[SecurityGoal] }
 
 func (securityService) Kind() ServiceKind { return ServiceSecurity }
 func (securityService) Name() string      { return "security" }

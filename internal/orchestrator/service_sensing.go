@@ -28,8 +28,9 @@ type SensingGoal struct {
 func init() { MustRegisterService(sensingService{}) }
 
 // sensingService is the localization module: a training-grid localization
-// objective evaluated through the band's shared simulator.
-type sensingService struct{}
+// objective evaluated through the band's shared simulator. The embedded
+// codec makes sensing goals journal-persistable.
+type sensingService struct{ jsonGoal[SensingGoal] }
 
 func (sensingService) Kind() ServiceKind { return ServiceSensing }
 func (sensingService) Name() string      { return "sensing" }

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"surfos/internal/telemetry"
+)
+
+// TestCrashRecoveryAtEveryBoundary pins the recovery invariant: for a WAL
+// truncated at *any* record boundary — simulating a crash after that many
+// records reached disk — a restart recovers exactly the tasks that were
+// submitted and not ended at that point. Each boundary is additionally
+// re-run with a torn half-record appended (crash mid-write of the next
+// record), which must recover to the same state.
+//
+// `make test-crash` runs this suite under the race detector.
+func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
+	// Scripted control-plane history: submissions, reschedules, a park, a
+	// failure, a termination, and device churn interleaved.
+	history := []telemetry.TaskEvent{
+		event(1, telemetry.TaskSubmitted, specJSON(1)),
+		event(1, telemetry.TaskScheduled, nil),
+		event(1, telemetry.TaskRunning, nil),
+		event(2, telemetry.TaskSubmitted, specJSON(2)),
+		{State: telemetry.DeviceDegraded, DeviceID: "east", Err: "3 stuck elements"},
+		event(2, telemetry.TaskRunning, nil),
+		event(3, telemetry.TaskSubmitted, specJSON(3)),
+		event(3, telemetry.TaskFailed, nil),
+		event(1, telemetry.TaskIdle, nil),
+		{State: telemetry.DeviceDead, DeviceID: "east", Err: "heartbeat lost"},
+		event(4, telemetry.TaskSubmitted, specJSON(4)),
+		event(4, telemetry.TaskRunning, nil),
+		event(2, telemetry.TaskDone, nil),
+		event(1, telemetry.TaskResumed, nil),
+		event(1, telemetry.TaskRunning, nil),
+		{State: telemetry.DeviceRecovered, DeviceID: "east"},
+		event(4, telemetry.TaskDone, nil),
+	}
+
+	// Write the full WAL once, journal-style, no snapshots (the boundary
+	// sweep needs every record on disk).
+	master := t.TempDir()
+	s, st, err := Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(s, st)
+	j.SetSnapshotEvery(0)
+	for _, ev := range history {
+		if err := j.Consume(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err := os.ReadFile(filepath.Join(master, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(walBytes, []byte("\n"))
+	if len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+
+	// Decode each line once so expectations can be folded per boundary.
+	recs := make([]Record, len(lines))
+	for i, ln := range lines {
+		if err := json.Unmarshal(bytes.TrimSuffix(ln, []byte("\n")), &recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for boundary := 0; boundary <= len(lines); boundary++ {
+		for _, torn := range []bool{false, true} {
+			name := fmt.Sprintf("boundary=%d", boundary)
+			if torn {
+				name += "+torn"
+			}
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				prefix := bytes.Join(lines[:boundary], nil)
+				if torn {
+					// Half of the next record (or garbage past the end),
+					// never newline-terminated.
+					next := []byte(`{"seq":99999,"kind":"task_state","da`)
+					if boundary < len(lines) {
+						next = lines[boundary][:len(lines[boundary])/2]
+						next = bytes.TrimSuffix(next, []byte("\n"))
+					}
+					prefix = append(append([]byte{}, prefix...), next...)
+				}
+				if err := os.WriteFile(filepath.Join(dir, walName), prefix, 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				s2, got, err := Open(dir)
+				if err != nil {
+					t.Fatalf("recovery at boundary %d (torn=%v): %v", boundary, torn, err)
+				}
+				defer s2.Close()
+				if want := uint64(boundary); s2.Seq() != want {
+					t.Errorf("seq = %d, want %d", s2.Seq(), want)
+				}
+
+				// Expected live set: fold the first `boundary` records.
+				want := NewState()
+				for _, r := range recs[:boundary] {
+					if err := want.Apply(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				wantLive := want.Live()
+				gotLive := got.Live()
+				if len(gotLive) != len(wantLive) {
+					t.Fatalf("recovered %d live task(s), want %d", len(gotLive), len(wantLive))
+				}
+				for i := range wantLive {
+					if gotLive[i].ID != wantLive[i].ID || gotLive[i].State != wantLive[i].State {
+						t.Errorf("live[%d] = %d/%s, want %d/%s",
+							i, gotLive[i].ID, gotLive[i].State, wantLive[i].ID, wantLive[i].State)
+					}
+					if !bytes.Equal(gotLive[i].Spec, wantLive[i].Spec) {
+						t.Errorf("live[%d] spec diverged", i)
+					}
+				}
+				// Device health must replay to the same last transition.
+				wantDevs, gotDevs := want.DeviceHealth(), got.DeviceHealth()
+				if len(gotDevs) != len(wantDevs) {
+					t.Fatalf("recovered %d device record(s), want %d", len(gotDevs), len(wantDevs))
+				}
+				for i := range wantDevs {
+					if *gotDevs[i] != *wantDevs[i] {
+						t.Errorf("device[%d] = %+v, want %+v", i, gotDevs[i], wantDevs[i])
+					}
+				}
+
+				// The journal must be appendable after every recovery: the
+				// next epoch writes its own records here.
+				if _, err := s2.Append(KindDevice, DeviceRecord{DeviceID: "x", State: "device_recovered"}); err != nil {
+					t.Errorf("append after recovery: %v", err)
+				}
+			})
+		}
+	}
+}

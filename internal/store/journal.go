@@ -1,0 +1,172 @@
+package store
+
+import (
+	"context"
+	"sync"
+
+	"surfos/internal/telemetry"
+)
+
+// DefaultSnapshotEvery is how many WAL records accumulate before the
+// journal takes an automatic snapshot and compacts the log.
+const DefaultSnapshotEvery = 256
+
+// Journal turns the control plane's task-event stream into durable WAL
+// records and keeps the replayed State mirror current, so a snapshot can
+// be cut at any moment. It is the single writer on its Store; all methods
+// are safe for concurrent use.
+//
+// The journal consumes the same drop-on-full telemetry bus every other
+// subscriber uses. Durability therefore depends on the subscription
+// buffer outrunning reconcile bursts — subscribe with JournalBuffer,
+// sized far beyond any burst the reconcile loop can produce. A drop is
+// detectable (telemetry.EventBus.Dropped) and surfaced in the daemon's
+// shutdown log.
+type Journal struct {
+	mu    sync.Mutex
+	st    *Store
+	state *State
+	// snapshotEvery compacts after this many records (<=0: never).
+	snapshotEvery int
+	sinceSnap     int
+	err           error // first write error; journaling stops after it
+}
+
+// JournalBuffer is the recommended bus subscription buffer for a journal
+// consumer: large enough to absorb a full reconcile burst over every task
+// without dropping, small enough to be free.
+const JournalBuffer = 4096
+
+// NewJournal wraps an open store and its recovered state.
+func NewJournal(st *Store, state *State) *Journal {
+	if state == nil {
+		state = NewState()
+	}
+	return &Journal{st: st, state: state, snapshotEvery: DefaultSnapshotEvery}
+}
+
+// SetSnapshotEvery overrides the automatic compaction cadence (<=0
+// disables automatic snapshots).
+func (j *Journal) SetSnapshotEvery(n int) {
+	j.mu.Lock()
+	j.snapshotEvery = n
+	j.mu.Unlock()
+}
+
+// Err returns the first write error, if journaling has failed.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Consume journals one task/device lifecycle event. Events that carry no
+// durable information (replanned markers, events for tasks whose specs
+// were never journaled) are skipped.
+func (j *Journal) Consume(ev telemetry.TaskEvent) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	switch ev.State {
+	case telemetry.DeviceDegraded, telemetry.DeviceDead, telemetry.DeviceRecovered:
+		rec := DeviceRecord{DeviceID: ev.DeviceID, State: ev.State, Err: ev.Err}
+		if err := j.append(KindDevice, rec); err != nil {
+			return err
+		}
+		j.state.Devices[rec.DeviceID] = &rec
+	case telemetry.Replanned:
+		// Derived: the re-plan is recomputed at recovery anyway.
+	case telemetry.TaskSubmitted:
+		if ev.TaskID <= 0 || len(ev.Spec) == 0 {
+			return nil // unpersistable service (no goal codec): skip
+		}
+		if err := j.append(KindTaskSpec, TaskSpecRecord{TaskID: ev.TaskID, Spec: ev.Spec}); err != nil {
+			return err
+		}
+		j.state.Tasks[ev.TaskID] = &TaskRecord{ID: ev.TaskID, Spec: ev.Spec, State: ev.State}
+		if ev.TaskID > j.state.MaxTaskID {
+			j.state.MaxTaskID = ev.TaskID
+		}
+	default:
+		if ev.TaskID <= 0 {
+			return nil
+		}
+		t, ok := j.state.Tasks[ev.TaskID]
+		if !ok {
+			return nil // spec never journaled; a transition alone cannot restore it
+		}
+		if err := j.append(KindTaskState, TaskStateRecord{
+			TaskID: ev.TaskID, State: ev.State, UnixNanos: ev.Time.UnixNano(),
+		}); err != nil {
+			return err
+		}
+		t.State = ev.State
+	}
+	if j.snapshotEvery > 0 && j.sinceSnap >= j.snapshotEvery {
+		return j.snapshotLocked()
+	}
+	return nil
+}
+
+// append writes one record, tracking the compaction counter and sticky
+// error. Caller holds j.mu.
+func (j *Journal) append(kind string, data any) error {
+	if _, err := j.st.Append(kind, data); err != nil {
+		j.err = err
+		return err
+	}
+	j.sinceSnap++
+	return nil
+}
+
+// Run consumes a bus subscription until ctx is cancelled or the channel
+// closes. Run it in its own goroutine; errors are sticky and visible via
+// Err.
+func (j *Journal) Run(ctx context.Context, ch <-chan telemetry.TaskEvent) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			_ = j.Consume(ev)
+		}
+	}
+}
+
+// Snapshot compacts ended tasks out of the state and atomically persists
+// it, resetting the WAL.
+func (j *Journal) Snapshot() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *Journal) snapshotLocked() error {
+	j.state.Compact()
+	if err := j.st.Snapshot(j.state); err != nil {
+		j.err = err
+		return err
+	}
+	j.sinceSnap = 0
+	return nil
+}
+
+// Sync flushes and fsyncs the underlying WAL.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Sync()
+}
+
+// Close flushes, fsyncs and closes the store. The journal is unusable
+// afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Close()
+}

@@ -1,0 +1,213 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Record kinds journaled by the control plane.
+const (
+	// KindTaskSpec carries a task's full submission spec (TaskSpecRecord).
+	KindTaskSpec = "task_spec"
+	// KindTaskState carries one lifecycle transition (TaskStateRecord).
+	KindTaskState = "task_state"
+	// KindDevice carries one device health transition (DeviceRecord).
+	KindDevice = "device_health"
+)
+
+// Terminal lifecycle phases: a task whose last journaled state is one of
+// these is "ended" and is not re-admitted at recovery. The strings match
+// telemetry's task phase constants; store avoids the import so it stays a
+// leaf package usable from any layer.
+const (
+	stateDone   = "done"
+	stateFailed = "failed"
+)
+
+// TaskSpecRecord journals a task's submission: the ID it must be restored
+// under and the orchestrator's opaque spec JSON (kind, goal, priority,
+// deadline). The store never interprets Spec — only the orchestrator's
+// service registry can decode goals.
+type TaskSpecRecord struct {
+	TaskID int             `json:"task_id"`
+	Spec   json.RawMessage `json:"spec"`
+}
+
+// TaskStateRecord journals one lifecycle transition.
+type TaskStateRecord struct {
+	TaskID int    `json:"task_id"`
+	State  string `json:"state"`
+	// UnixNanos is the orchestrator's virtual-clock time of the transition.
+	UnixNanos int64 `json:"t,omitempty"`
+}
+
+// DeviceRecord journals one device health transition, so a restarted
+// daemon starts from the last known health instead of optimistically
+// scheduling onto a device that was dead when it crashed.
+type DeviceRecord struct {
+	DeviceID string `json:"device_id"`
+	State    string `json:"state"` // telemetry.DeviceDegraded/DeviceDead/DeviceRecovered
+	Err      string `json:"err,omitempty"`
+}
+
+// TaskRecord is one task's recovered state: its spec and the last
+// lifecycle phase the journal saw.
+type TaskRecord struct {
+	ID    int
+	Spec  json.RawMessage
+	State string
+}
+
+// Ended reports whether the task reached a terminal phase and must not be
+// re-admitted.
+func (t *TaskRecord) Ended() bool {
+	return t.State == stateDone || t.State == stateFailed
+}
+
+// State is the replayed control-plane state: what a restarted daemon
+// re-admits. It is the fold of snapshot + WAL tail.
+type State struct {
+	// Tasks holds every journaled task by ID, including ended ones until
+	// the next compaction.
+	Tasks map[int]*TaskRecord
+	// Devices holds the last health transition per device ID.
+	Devices map[string]*DeviceRecord
+	// MaxTaskID is the highest task ID ever journaled. It survives
+	// compaction so a restarted daemon never reuses the ID of an ended,
+	// compacted-away task.
+	MaxTaskID int
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{Tasks: map[int]*TaskRecord{}, Devices: map[string]*DeviceRecord{}}
+}
+
+// Live returns the recoverable tasks — journaled, not ended — sorted by
+// ID, so restoration re-admits them in original submission order.
+func (s *State) Live() []*TaskRecord {
+	out := make([]*TaskRecord, 0, len(s.Tasks))
+	for _, t := range s.Tasks {
+		if !t.Ended() && len(t.Spec) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DeviceHealth returns the journaled device transitions sorted by ID.
+func (s *State) DeviceHealth() []*DeviceRecord {
+	out := make([]*DeviceRecord, 0, len(s.Devices))
+	for _, d := range s.Devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeviceID < out[j].DeviceID })
+	return out
+}
+
+// Compact drops ended tasks: called before a snapshot so the snapshot
+// (and thus the journal's steady-state size) tracks the live task set,
+// not the daemon's full history.
+func (s *State) Compact() {
+	for id, t := range s.Tasks {
+		if t.Ended() {
+			delete(s.Tasks, id)
+		}
+	}
+}
+
+// apply folds one WAL record into the state. Replay is idempotent:
+// re-applying a duplicated record leaves the state unchanged, so an
+// at-least-once journal writer is safe. Transitions for unknown task IDs
+// are skipped — they belong to tasks compacted away or to services whose
+// goals are not persistable.
+func (s *State) apply(rec Record) error {
+	switch rec.Kind {
+	case KindTaskSpec:
+		var m TaskSpecRecord
+		if err := json.Unmarshal(rec.Data, &m); err != nil {
+			return fmt.Errorf("%w: task_spec seq %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+		t, ok := s.Tasks[m.TaskID]
+		if !ok {
+			t = &TaskRecord{ID: m.TaskID, State: "submitted"}
+			s.Tasks[m.TaskID] = t
+		}
+		t.Spec = m.Spec
+		if m.TaskID > s.MaxTaskID {
+			s.MaxTaskID = m.TaskID
+		}
+	case KindTaskState:
+		var m TaskStateRecord
+		if err := json.Unmarshal(rec.Data, &m); err != nil {
+			return fmt.Errorf("%w: task_state seq %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+		if t, ok := s.Tasks[m.TaskID]; ok {
+			t.State = m.State
+		}
+		if m.TaskID > s.MaxTaskID {
+			s.MaxTaskID = m.TaskID
+		}
+	case KindDevice:
+		var m DeviceRecord
+		if err := json.Unmarshal(rec.Data, &m); err != nil {
+			return fmt.Errorf("%w: device_health seq %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+		s.Devices[m.DeviceID] = &m
+	default:
+		// Unknown kinds are tolerated (forward compatibility): a newer
+		// daemon's records must not brick an older one reading the dir.
+	}
+	return nil
+}
+
+// Apply folds one record into the state; exported for replay-equivalence
+// tests and tools that reconstruct state from raw records.
+func (s *State) Apply(rec Record) error { return s.apply(rec) }
+
+// stateFile is the snapshot's stable JSON encoding: sorted slices, not
+// maps, so snapshots are byte-deterministic for a given state.
+type stateFile struct {
+	Tasks     []taskFileRecord `json:"tasks"`
+	Devices   []DeviceRecord   `json:"devices"`
+	MaxTaskID int              `json:"max_task_id,omitempty"`
+}
+
+type taskFileRecord struct {
+	ID    int             `json:"id"`
+	State string          `json:"state"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+}
+
+func (s *State) encode() stateFile {
+	var f stateFile
+	ids := make([]int, 0, len(s.Tasks))
+	for id := range s.Tasks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := s.Tasks[id]
+		f.Tasks = append(f.Tasks, taskFileRecord{ID: t.ID, State: t.State, Spec: t.Spec})
+	}
+	for _, d := range s.DeviceHealth() {
+		f.Devices = append(f.Devices, *d)
+	}
+	f.MaxTaskID = s.MaxTaskID
+	return f
+}
+
+func decodeState(f stateFile) *State {
+	s := NewState()
+	for _, t := range f.Tasks {
+		s.Tasks[t.ID] = &TaskRecord{ID: t.ID, State: t.State, Spec: t.Spec}
+	}
+	for i := range f.Devices {
+		d := f.Devices[i]
+		s.Devices[d.DeviceID] = &d
+	}
+	s.MaxTaskID = f.MaxTaskID
+	return s
+}

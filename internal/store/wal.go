@@ -1,0 +1,365 @@
+// Package store is the control plane's durability layer: an append-only
+// JSONL write-ahead log plus a periodic snapshot, from which a restarted
+// daemon recovers every task that was submitted and not yet ended.
+//
+// Durability model (DESIGN.md §10): only *inputs* are persisted — task
+// specs, lifecycle transitions, and device health transitions. Plans,
+// optimizer state and codebooks are derived and deliberately recomputed
+// from scratch at recovery time against the *current* surface and health
+// state, which may have changed while the daemon was down.
+//
+// The WAL is one JSON record per line, each carrying a monotonically
+// increasing sequence number and a CRC32 over its payload. Recovery
+// tolerates a truncated final record (a crash mid-write leaves a partial
+// line, which is discarded) but refuses corruption anywhere before the
+// tail: a newline-terminated record that fails its CRC, fails to parse,
+// or breaks the sequence means the file was damaged after being written,
+// and silently dropping it could resurrect or lose tasks.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// ErrCorrupt marks a WAL or snapshot damaged anywhere before the final
+// (possibly half-written) record. Recovery refuses to proceed past it.
+var ErrCorrupt = errors.New("store: corrupt")
+
+// WAL and snapshot file names inside the state directory.
+const (
+	walName      = "wal.jsonl"
+	snapshotName = "snapshot.json"
+)
+
+// Record is one durable WAL entry.
+type Record struct {
+	// Seq is the record's monotonic sequence number (previous record + 1).
+	Seq uint64 `json:"seq"`
+	// Kind discriminates Data (KindTaskSpec, KindTaskState, KindDevice).
+	Kind string `json:"kind"`
+	// Data is the kind-specific payload, preserved byte-exactly.
+	Data json.RawMessage `json:"data"`
+	// CRC is crc32.ChecksumIEEE over "<seq>|<kind>|<data>". It is the last
+	// field on the line, so a partial flush cannot produce a record that
+	// both parses and checksums.
+	CRC uint32 `json:"crc"`
+}
+
+// checksum computes the record CRC over the sequence, kind and payload.
+func checksum(seq uint64, kind string, data []byte) uint32 {
+	h := crc32.NewIEEE()
+	var buf [20]byte
+	h.Write(strconv.AppendUint(buf[:0], seq, 10))
+	h.Write([]byte{'|'})
+	h.Write([]byte(kind))
+	h.Write([]byte{'|'})
+	h.Write(data)
+	return h.Sum32()
+}
+
+// SyncPolicy selects when the WAL calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncEveryRecord fsyncs after each append: a record handed to Append
+	// survives a machine crash. This is the default — the control plane
+	// journals tens of records per reconcile, not thousands per second.
+	SyncEveryRecord SyncPolicy = iota
+	// SyncOnClose only flushes to the OS per record and fsyncs at Close/
+	// Snapshot: a *process* crash loses nothing, a machine crash may lose
+	// the tail (which recovery then treats as truncation).
+	SyncOnClose
+)
+
+// Store is an open state directory: the append handle on the WAL plus the
+// recovery bookkeeping. Methods are not safe for concurrent use; the
+// Journal serializes all writers.
+type Store struct {
+	dir    string
+	f      *os.File
+	w      *bufio.Writer
+	seq    uint64 // last sequence number written or recovered
+	policy SyncPolicy
+}
+
+// Open opens (creating if needed) the state directory, recovers the
+// snapshot and WAL tail into a State, truncates any half-written final
+// record, and returns the store positioned to append after the last good
+// record. A corrupt snapshot or a corrupt non-tail WAL record returns
+// ErrCorrupt and leaves the files untouched for forensics.
+func Open(dir string) (*Store, *State, error) {
+	if dir == "" {
+		return nil, nil, errors.New("store: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	st, snapSeq, err := readSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, lastSeq, goodLen, err := readWAL(filepath.Join(dir, walName), snapSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range recs {
+		if err := st.apply(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop the truncated tail (crash mid-write) before appending: the next
+	// record must start at a line boundary.
+	if err := f.Truncate(goodLen); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(goodLen, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	seq := lastSeq
+	if snapSeq > seq {
+		seq = snapSeq
+	}
+	s := &Store{dir: dir, f: f, w: bufio.NewWriter(f), seq: seq}
+	return s, st, nil
+}
+
+// SetSyncPolicy selects the fsync cadence (default SyncEveryRecord).
+func (s *Store) SetSyncPolicy(p SyncPolicy) { s.policy = p }
+
+// Seq returns the last sequence number written or recovered.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Append marshals data and writes one WAL record, flushing to the OS and
+// (per policy) fsyncing before returning its sequence number.
+func (s *Store) Append(kind string, data any) (uint64, error) {
+	if s.f == nil {
+		return 0, errors.New("store: closed")
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return 0, err
+	}
+	rec := Record{Seq: s.seq + 1, Kind: kind, Data: raw}
+	rec.CRC = checksum(rec.Seq, rec.Kind, rec.Data)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.w.Write(line); err != nil {
+		return 0, err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return 0, err
+	}
+	if err := s.w.Flush(); err != nil {
+		return 0, err
+	}
+	if s.policy == SyncEveryRecord {
+		if err := s.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	s.seq = rec.Seq
+	return rec.Seq, nil
+}
+
+// Sync flushes buffered records and fsyncs the WAL.
+func (s *Store) Sync() error {
+	if s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close flushes, fsyncs, and releases the WAL handle.
+func (s *Store) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// Snapshot atomically persists the given state at the current sequence
+// number and compacts the WAL: the snapshot is written to a temp file,
+// fsynced, renamed over snapshot.json, and only then is the WAL reset to
+// empty. A crash between the rename and the truncate merely leaves WAL
+// records the snapshot already covers — replay skips them by sequence.
+func (s *Store) Snapshot(st *State) error {
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	snap := snapshotFile{Seq: s.seq, State: st.encode()}
+	raw, err := json.Marshal(snap.State)
+	if err != nil {
+		return err
+	}
+	snap.CRC = checksum(snap.Seq, "snapshot", raw)
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return err
+	}
+	// Compaction: every record ≤ snap.Seq is now covered by the snapshot.
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return err
+	}
+	s.w.Reset(s.f)
+	return s.f.Sync()
+}
+
+// snapshotFile is the on-disk snapshot envelope.
+type snapshotFile struct {
+	// Seq is the WAL sequence the snapshot covers through.
+	Seq uint64 `json:"seq"`
+	// State is the encoded task/device state.
+	State stateFile `json:"state"`
+	// CRC covers "<seq>|snapshot|<state-json>".
+	CRC uint32 `json:"crc"`
+}
+
+// readSnapshot loads and verifies snapshot.json; a missing file yields an
+// empty state at sequence 0. Unlike the WAL tail, a snapshot is written
+// atomically (temp + rename), so any damage is corruption, never an
+// expected crash artifact.
+func readSnapshot(path string) (*State, uint64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return NewState(), 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, 0, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
+	}
+	raw, err := json.Marshal(snap.State)
+	if err != nil {
+		return nil, 0, err
+	}
+	if got := checksum(snap.Seq, "snapshot", raw); got != snap.CRC {
+		return nil, 0, fmt.Errorf("%w: snapshot crc mismatch (stored %08x, computed %08x)", ErrCorrupt, snap.CRC, got)
+	}
+	return decodeState(snap.State), snap.Seq, nil
+}
+
+// readWAL scans the WAL, returning the records with sequence > afterSeq,
+// the last good sequence number, and the byte length of the good prefix.
+// A partial final line (no trailing newline, or one that fails to parse
+// or checksum) is treated as a crash-truncated tail and excluded; any
+// earlier damage — and any damaged *complete* line — is ErrCorrupt,
+// tagged with the offending sequence number where one could be read.
+//
+// The WAL may legitimately begin before afterSeq: a crash between the
+// snapshot rename and the WAL truncate leaves records the snapshot
+// already covers, which replay skips by sequence. A first record *after*
+// afterSeq+1, though, means records were lost — corruption.
+func readWAL(path string, afterSeq uint64) (recs []Record, lastSeq uint64, goodLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, afterSeq, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	lastSeq = afterSeq
+	var prev uint64
+	first := true
+	var off int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line := data
+		terminated := nl >= 0
+		if terminated {
+			line = data[:nl]
+		}
+		rec, verr := verifyLine(line, prev, first)
+		if verr == nil && first && rec.Seq > afterSeq+1 {
+			verr = fmt.Errorf("%w: wal starts at seq %d but snapshot covers only through %d", ErrCorrupt, rec.Seq, afterSeq)
+		}
+		if verr != nil {
+			if !terminated {
+				// Crash mid-write: the final record never finished. Recover
+				// to the last complete record and truncate the partial tail.
+				return recs, lastSeq, off, nil
+			}
+			return nil, 0, 0, verr
+		}
+		first = false
+		prev = rec.Seq
+		if rec.Seq > afterSeq {
+			recs = append(recs, rec)
+			lastSeq = rec.Seq
+		}
+		if terminated {
+			off += int64(nl) + 1
+			data = data[nl+1:]
+		} else {
+			off += int64(len(line))
+			data = nil
+		}
+	}
+	return recs, lastSeq, off, nil
+}
+
+// verifyLine parses and validates one WAL line against the previous
+// record's sequence number (the first line of a file anchors the chain).
+func verifyLine(line []byte, prevSeq uint64, first bool) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return Record{}, fmt.Errorf("%w: wal record after seq %d: %v", ErrCorrupt, prevSeq, err)
+	}
+	if got := checksum(rec.Seq, rec.Kind, rec.Data); got != rec.CRC {
+		return Record{}, fmt.Errorf("%w: wal record seq %d: crc mismatch (stored %08x, computed %08x)", ErrCorrupt, rec.Seq, rec.CRC, got)
+	}
+	if !first && rec.Seq != prevSeq+1 {
+		return Record{}, fmt.Errorf("%w: wal record seq %d breaks sequence (previous %d)", ErrCorrupt, rec.Seq, prevSeq)
+	}
+	return rec, nil
+}

@@ -51,6 +51,12 @@ type TaskEvent struct {
 	// Err carries the failure reason text for failed events.
 	Err string
 
+	// Spec is the task's durable submission spec (the orchestrator's
+	// TaskSpec JSON), attached to submitted events only. Journals persist
+	// it so a restarted control plane can re-admit the task; other
+	// consumers may ignore it.
+	Spec []byte
+
 	// DeviceID names the surface for device health events (Device* and
 	// Replanned states); empty for plain task lifecycle events.
 	DeviceID string
