@@ -315,6 +315,9 @@ func (d *daemon) openState(dir string) error {
 	// restoration events above predate the subscription), so the upcoming
 	// snapshot is exactly "live tasks at recovery".
 	d.journal = store.NewJournal(st, recovered)
+	// Announce the first journaling failure immediately — durability loss
+	// must not wait for the shutdown snapshot to surface.
+	d.journal.SetLogf(log.Printf)
 	ch, unsub := d.events.Subscribe(store.JournalBuffer)
 	d.journalStop = unsub
 	d.journalDone = make(chan struct{})
@@ -394,6 +397,13 @@ func (d *daemon) handle(line string) (string, bool) {
 
 	case "health":
 		var b strings.Builder
+		// Durability loss is a control-plane health fact: a journal that
+		// stopped writing means new tasks will not survive a restart.
+		if d.journal != nil {
+			if err := d.journal.Err(); err != nil {
+				fmt.Fprintf(&b, "journal: FAILED, new tasks are not durable: %v\n", err)
+			}
+		}
 		for _, h := range d.hw.HealthAll() {
 			fmt.Fprintf(&b, "%s state=%s", h.ID, h.State)
 			if len(h.StuckElements) > 0 {

@@ -16,7 +16,11 @@ import (
 // records reached disk — a restart recovers exactly the tasks that were
 // submitted and not ended at that point. Each boundary is additionally
 // re-run with a torn half-record appended (crash mid-write of the next
-// record), which must recover to the same state.
+// record), which must recover to the same state, and with the final
+// record's trailing newline stripped (crash after the bytes but before
+// the newline reached disk), which must drop that never-acknowledged
+// record. Every recovery is then appended to, closed, and re-opened to
+// prove the file recovery leaves behind is itself recoverable.
 //
 // `make test-crash` runs this suite under the race detector.
 func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
@@ -77,15 +81,21 @@ func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
 	}
 
 	for boundary := 0; boundary <= len(lines); boundary++ {
-		for _, torn := range []bool{false, true} {
+		for _, tear := range []string{"", "torn", "noeol"} {
+			if tear == "noeol" && boundary == 0 {
+				continue // nothing to strip the newline from
+			}
 			name := fmt.Sprintf("boundary=%d", boundary)
-			if torn {
-				name += "+torn"
+			if tear != "" {
+				name += "+" + tear
 			}
 			t.Run(name, func(t *testing.T) {
 				dir := t.TempDir()
 				prefix := bytes.Join(lines[:boundary], nil)
-				if torn {
+				// eff is how many records recovery must surface.
+				eff := boundary
+				switch tear {
+				case "torn":
 					// Half of the next record (or garbage past the end),
 					// never newline-terminated.
 					next := []byte(`{"seq":99999,"kind":"task_state","da`)
@@ -94,6 +104,15 @@ func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
 						next = bytes.TrimSuffix(next, []byte("\n"))
 					}
 					prefix = append(append([]byte{}, prefix...), next...)
+				case "noeol":
+					// The crash persisted the final record's bytes but not
+					// its newline: the line parses and checksums, yet the
+					// record was never acknowledged (Append returns only
+					// after the newline is flushed), so recovery must drop
+					// it as a truncated tail — keeping it would leave the
+					// WAL mid-line and corrupt the next epoch's appends.
+					prefix = bytes.TrimSuffix(prefix, []byte("\n"))
+					eff--
 				}
 				if err := os.WriteFile(filepath.Join(dir, walName), prefix, 0o644); err != nil {
 					t.Fatal(err)
@@ -101,16 +120,16 @@ func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
 
 				s2, got, err := Open(dir)
 				if err != nil {
-					t.Fatalf("recovery at boundary %d (torn=%v): %v", boundary, torn, err)
+					t.Fatalf("recovery at boundary %d (%s): %v", boundary, tear, err)
 				}
 				defer s2.Close()
-				if want := uint64(boundary); s2.Seq() != want {
+				if want := uint64(eff); s2.Seq() != want {
 					t.Errorf("seq = %d, want %d", s2.Seq(), want)
 				}
 
-				// Expected live set: fold the first `boundary` records.
+				// Expected live set: fold the first `eff` records.
 				want := NewState()
-				for _, r := range recs[:boundary] {
+				for _, r := range recs[:eff] {
 					if err := want.Apply(r); err != nil {
 						t.Fatal(err)
 					}
@@ -140,10 +159,27 @@ func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
 					}
 				}
 
-				// The journal must be appendable after every recovery: the
-				// next epoch writes its own records here.
+				// The journal must be appendable after every recovery, and —
+				// the real invariant — the file it leaves behind must itself
+				// recover: a truncation that merely let the append succeed
+				// but glued it onto a leftover tail would only surface one
+				// restart later.
 				if _, err := s2.Append(KindDevice, DeviceRecord{DeviceID: "x", State: "device_recovered"}); err != nil {
-					t.Errorf("append after recovery: %v", err)
+					t.Fatalf("append after recovery: %v", err)
+				}
+				if err := s2.Close(); err != nil {
+					t.Fatal(err)
+				}
+				s3, got3, err := Open(dir)
+				if err != nil {
+					t.Fatalf("re-recovery after post-crash append: %v", err)
+				}
+				defer s3.Close()
+				if want := uint64(eff) + 1; s3.Seq() != want {
+					t.Errorf("seq after append+reopen = %d, want %d", s3.Seq(), want)
+				}
+				if dr := got3.Devices["x"]; dr == nil || dr.State != "device_recovered" {
+					t.Errorf("post-crash append not recovered: %+v", dr)
 				}
 			})
 		}

@@ -30,6 +30,9 @@ type Journal struct {
 	snapshotEvery int
 	sinceSnap     int
 	err           error // first write error; journaling stops after it
+	// logf reports the first write error from Run (nil: discard). Set it
+	// before starting Run.
+	logf func(format string, args ...any)
 }
 
 // JournalBuffer is the recommended bus subscription buffer for a journal
@@ -50,6 +53,14 @@ func NewJournal(st *Store, state *State) *Journal {
 func (j *Journal) SetSnapshotEvery(n int) {
 	j.mu.Lock()
 	j.snapshotEvery = n
+	j.mu.Unlock()
+}
+
+// SetLogf installs the logger Run uses to announce the first write error
+// (default: discard). Set it before starting Run.
+func (j *Journal) SetLogf(f func(format string, args ...any)) {
+	j.mu.Lock()
+	j.logf = f
 	j.mu.Unlock()
 }
 
@@ -123,8 +134,11 @@ func (j *Journal) append(kind string, data any) error {
 
 // Run consumes a bus subscription until ctx is cancelled or the channel
 // closes. Run it in its own goroutine; errors are sticky and visible via
-// Err.
+// Err, and the first one is announced through SetLogf's logger so the
+// operator learns of durability loss while the daemon is still running,
+// not at the final shutdown snapshot.
 func (j *Journal) Run(ctx context.Context, ch <-chan telemetry.TaskEvent) {
+	reported := false
 	for {
 		select {
 		case <-ctx.Done():
@@ -133,7 +147,15 @@ func (j *Journal) Run(ctx context.Context, ch <-chan telemetry.TaskEvent) {
 			if !ok {
 				return
 			}
-			_ = j.Consume(ev)
+			if err := j.Consume(ev); err != nil && !reported {
+				reported = true
+				j.mu.Lock()
+				logf := j.logf
+				j.mu.Unlock()
+				if logf != nil {
+					logf("state: journaling failed, new tasks are NOT durable: %v", err)
+				}
+			}
 		}
 	}
 }

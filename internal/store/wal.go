@@ -10,11 +10,13 @@
 //
 // The WAL is one JSON record per line, each carrying a monotonically
 // increasing sequence number and a CRC32 over its payload. Recovery
-// tolerates a truncated final record (a crash mid-write leaves a partial
-// line, which is discarded) but refuses corruption anywhere before the
-// tail: a newline-terminated record that fails its CRC, fails to parse,
-// or breaks the sequence means the file was damaged after being written,
-// and silently dropping it could resurrect or lose tasks.
+// tolerates a truncated final record (a crash mid-write leaves an
+// unterminated line — even a fully parseable one whose newline was lost —
+// which is discarded as never-acknowledged) but refuses corruption
+// anywhere before the tail: a newline-terminated record that fails its
+// CRC, fails to parse, or breaks the sequence means the file was damaged
+// after being written, and silently dropping it could resurrect or lose
+// tasks.
 package store
 
 import (
@@ -119,6 +121,12 @@ func Open(dir string) (*Store, *State, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Make the WAL's directory entry durable: a crash right after boot must
+	// not lose the file (and with it, every record fsynced into it).
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
 	// Drop the truncated tail (crash mid-write) before appending: the next
 	// record must start at a line boundary.
 	if err := f.Truncate(goodLen); err != nil {
@@ -206,9 +214,13 @@ func (s *Store) Close() error {
 
 // Snapshot atomically persists the given state at the current sequence
 // number and compacts the WAL: the snapshot is written to a temp file,
-// fsynced, renamed over snapshot.json, and only then is the WAL reset to
-// empty. A crash between the rename and the truncate merely leaves WAL
-// records the snapshot already covers — replay skips them by sequence.
+// fsynced, renamed over snapshot.json, the rename made durable with a
+// directory fsync, and only then is the WAL reset to empty. The ordering
+// is load-bearing: truncating first (or truncating after a rename that is
+// not yet durable) could leave the old snapshot with an empty WAL, losing
+// every record since the previous snapshot. With the directory fsync in
+// between, a crash at any point merely leaves WAL records the snapshot
+// already covers — replay skips them by sequence.
 func (s *Store) Snapshot(st *State) error {
 	if s.f == nil {
 		return errors.New("store: closed")
@@ -242,6 +254,11 @@ func (s *Store) Snapshot(st *State) error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
 		return err
 	}
+	// The rename must be durable before the WAL shrinks: on power loss a
+	// truncate can reach disk while an un-fsynced rename does not.
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
 	// Compaction: every record ≤ snap.Seq is now covered by the snapshot.
 	if err := s.f.Truncate(0); err != nil {
 		return err
@@ -251,6 +268,20 @@ func (s *Store) Snapshot(st *State) error {
 	}
 	s.w.Reset(s.f)
 	return s.f.Sync()
+}
+
+// syncDir fsyncs a directory so the metadata operations inside it (file
+// creation, rename) are durable, not just the file contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // snapshotFile is the on-disk snapshot envelope.
@@ -291,10 +322,14 @@ func readSnapshot(path string) (*State, uint64, error) {
 
 // readWAL scans the WAL, returning the records with sequence > afterSeq,
 // the last good sequence number, and the byte length of the good prefix.
-// A partial final line (no trailing newline, or one that fails to parse
-// or checksum) is treated as a crash-truncated tail and excluded; any
-// earlier damage — and any damaged *complete* line — is ErrCorrupt,
-// tagged with the offending sequence number where one could be read.
+// Any unterminated final line is treated as a crash-truncated tail and
+// excluded — even one that parses and checksums. Append acknowledges a
+// record only after its trailing newline reaches the file, so a missing
+// newline means the record was never reported durable, and accepting it
+// would leave the file mid-line: the next Append would glue a second
+// record onto the same line and poison the *following* recovery. Any
+// damage on a newline-terminated line is ErrCorrupt, tagged with the
+// offending sequence number where one could be read.
 //
 // The WAL may legitimately begin before afterSeq: a crash between the
 // snapshot rename and the WAL truncate leaves records the snapshot
@@ -314,21 +349,18 @@ func readWAL(path string, afterSeq uint64) (recs []Record, lastSeq uint64, goodL
 	var off int64
 	for len(data) > 0 {
 		nl := bytes.IndexByte(data, '\n')
-		line := data
-		terminated := nl >= 0
-		if terminated {
-			line = data[:nl]
+		if nl < 0 {
+			// Crash mid-write: the final record's newline never made it to
+			// disk, so the record was never acknowledged. Recover to the
+			// last complete record and truncate the unterminated tail.
+			return recs, lastSeq, off, nil
 		}
+		line := data[:nl]
 		rec, verr := verifyLine(line, prev, first)
 		if verr == nil && first && rec.Seq > afterSeq+1 {
 			verr = fmt.Errorf("%w: wal starts at seq %d but snapshot covers only through %d", ErrCorrupt, rec.Seq, afterSeq)
 		}
 		if verr != nil {
-			if !terminated {
-				// Crash mid-write: the final record never finished. Recover
-				// to the last complete record and truncate the partial tail.
-				return recs, lastSeq, off, nil
-			}
 			return nil, 0, 0, verr
 		}
 		first = false
@@ -337,13 +369,8 @@ func readWAL(path string, afterSeq uint64) (recs []Record, lastSeq uint64, goodL
 			recs = append(recs, rec)
 			lastSeq = rec.Seq
 		}
-		if terminated {
-			off += int64(nl) + 1
-			data = data[nl+1:]
-		} else {
-			off += int64(len(line))
-			data = nil
-		}
+		off += int64(nl) + 1
+		data = data[nl+1:]
 	}
 	return recs, lastSeq, off, nil
 }
