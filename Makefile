@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke fmt ci golden test-faults test-crash
+.PHONY: all build test race vet staticcheck bench bench-smoke fmt ci golden test-faults test-crash
 
 all: build vet test
 
@@ -9,7 +9,18 @@ all: build vet test
 # figures modulo timing strings), a one-iteration benchmark smoke pass
 # so benchmark code cannot rot, the seeded fault-injection suite, and the
 # crash-recovery boundary replay.
-ci: build vet race golden bench-smoke test-faults test-crash
+ci: build vet staticcheck race golden bench-smoke test-faults test-crash
+
+# staticcheck runs honnef.co/go/tools when the binary is available (the
+# GitHub workflow installs the pinned version; offline dev containers
+# without it skip the step rather than failing the whole gate). The
+# codebase carries zero findings — new ones are merge blockers.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 # test-faults replays the fault-injection and self-healing suite under
 # the race detector at three fixed seeds. SURFOS_FAULT_SEED reroutes

@@ -721,4 +721,74 @@ func BenchmarkReconcile(b *testing.B) {
 	for _, n := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) { benchmarkReconcile(b, n) })
 	}
+	// Multi-room scale matrix: the same pass over an 8-panel 4-room strip,
+	// monolithic (pre-sharding single scene-wide group) vs sharded
+	// (per-room interference domains).
+	for _, n := range []int{64, 256} {
+		for _, mode := range []string{"monolithic", "sharded"} {
+			b.Run(fmt.Sprintf("rooms=4/tasks=%d/%s", n, mode), func(b *testing.B) {
+				benchmarkReconcileRooms(b, 4, n, mode == "monolithic")
+			})
+		}
+	}
+}
+
+// benchmarkReconcileRooms prices one scheduler pass over n link tasks
+// spread evenly across a rooms-room strip with two 16x16 panels per room.
+// The rooms are separated by doorless concrete dividers, so each is its
+// own interference domain. With sharding disabled every task optimizes
+// against all 2*rooms surfaces in one group; with sharding on, each
+// room's group sees only its own two panels, making per-task cost
+// independent of how many rooms the building has.
+func benchmarkReconcileRooms(b *testing.B, rooms, n int, monolithic bool) {
+	strip := scene.NewRoomStrip(rooms)
+	hw := surfos.NewHardware()
+	for i := 0; i < rooms; i++ {
+		for j, mnt := range []string{scene.RoomMountEast(i), scene.RoomMountNorth(i)} {
+			id := fmt.Sprintf("r%d-%d", i, j)
+			if _, err := surfos.Deploy(hw, id, surfos.ModelNRSurface, strip.Mounts[mnt], 16, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := hw.AddAP(&surfos.AccessPoint{ID: "ap0", Pos: strip.AP, FreqHz: 24e9, Budget: surfos.DefaultBudget(), Antennas: 4}); err != nil {
+		b.Fatal(err)
+	}
+	orch, err := surfos.NewOrchestrator(strip.Scene, hw, surfos.Options{
+		OptIters:        40,
+		GridStep:        1.5,
+		Engine:          surfos.NewEngine(surfos.EngineOptions{}),
+		DisableSharding: monolithic,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		room := i % rooms
+		pos := surfos.V(
+			scene.RoomW*float64(room)+1.2+0.5*float64((i/rooms)%6),
+			1.4+0.4*float64((i/(rooms*6))%6),
+			1.2)
+		if _, err := orch.EnhanceLink(ctx, surfos.LinkGoal{Endpoint: fmt.Sprintf("ep%d", i), Pos: pos}, 1+i%3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := orch.Reconcile(ctx); err != nil {
+		b.Fatal(err)
+	}
+	running := 0
+	for _, t := range orch.Tasks() {
+		if t.State == surfos.TaskStateRunning {
+			running++
+		}
+	}
+	b.ReportMetric(float64(running), "running-tasks")
+	b.ReportMetric(float64(len(orch.ShardStats())), "shards")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := orch.Reconcile(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

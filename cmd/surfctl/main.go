@@ -14,14 +14,22 @@
 // Task commands (against surfosd's -ctrl port):
 //
 //	surfctl -addr HOST:PORT tasks [--watch]
-//	surfctl -addr HOST:PORT submit -kind link -endpoint laptop -pos 2.5,5.5,1.2
+//	surfctl -addr HOST:PORT submit -kind link -endpoint laptop -pos 2.5,5.5,1.2 [-tenant NAME]
 //	surfctl -addr HOST:PORT end ID | idle ID | resume ID
 //	surfctl -addr HOST:PORT demand "text"
 //	surfctl -addr HOST:PORT health
 //
 // Exit codes map the orchestrator's error taxonomy so scripts can branch
-// without parsing text: 0 ok, 1 generic failure, 2 usage, 3 invalid goal,
-// 4 unknown task, 5 cancelled, 6 control-channel timeout.
+// without parsing text:
+//
+//	0  ok
+//	1  generic failure
+//	2  usage
+//	3  invalid goal
+//	4  unknown task
+//	5  cancelled
+//	6  control-channel timeout
+//	7  admission rejected (tenant quota or global cap)
 package main
 
 import (
@@ -53,6 +61,7 @@ const (
 	exitUnknownTask = 4
 	exitCancelled   = 5
 	exitTimeout     = 6
+	exitAdmission   = 7
 )
 
 // exitCode maps an error to the documented process exit code.
@@ -66,6 +75,8 @@ func exitCode(err error) int {
 		return exitGoalInvalid
 	case errors.Is(err, orchestrator.ErrUnknownTask):
 		return exitUnknownTask
+	case errors.Is(err, orchestrator.ErrAdmissionRejected):
+		return exitAdmission
 	case errors.Is(err, ctrlproto.ErrTimeout):
 		// Checked before the generic cancellation cases: a request that
 		// died awaiting its reply is a control-channel health signal, not
@@ -79,9 +90,17 @@ func exitCode(err error) int {
 
 var errUsage = errors.New("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero|tasks [--watch]|submit ...|end ID|idle ID|resume ID|demand TEXT|health")
 
-// printTask renders one wire task row.
+// printTask renders one wire task row. Tenant and domain print only when
+// non-default, keeping single-tenant single-domain output byte-identical
+// to older releases.
 func printTask(out io.Writer, t ctrlproto.TaskInfo) {
 	fmt.Fprintf(out, "task %d kind=%s prio=%d state=%s", t.ID, t.Kind, t.Priority, t.State)
+	if t.Tenant != "" && t.Tenant != orchestrator.DefaultTenant {
+		fmt.Fprintf(out, " tenant=%s", t.Tenant)
+	}
+	if t.Domain != 0 {
+		fmt.Fprintf(out, " domain=%d", t.Domain)
+	}
 	if t.HasResult {
 		fmt.Fprintf(out, " %s=%.2f share=%.2f strategy=%s surfaces=%v",
 			t.MetricName, t.Metric, t.Share, t.Strategy, t.Surfaces)
@@ -128,13 +147,14 @@ func submitMsg(args []string) (ctrlproto.SubmitMsg, error) {
 	grid := fs.Float64("grid", 0, "grid step m (0 = orchestrator default)")
 	dur := fs.Duration("dur", 0, "duration (sensing/powering)")
 	prio := fs.Int("prio", 1, "priority")
+	tenant := fs.String("tenant", "", "submitting tenant (default: the shared default tenant)")
 	if err := fs.Parse(args); err != nil {
 		return ctrlproto.SubmitMsg{}, fmt.Errorf("%w: %v", errUsage, err)
 	}
 	m := ctrlproto.SubmitMsg{
 		Kind: *kind, Endpoint: *endpoint, Region: *region, Type: *typ,
 		MinSNRdB: *minSNR, MediandB: *median, FreqHz: *freq, GridStep: *grid,
-		DurNanos: uint64(*dur), Priority: uint32(*prio),
+		DurNanos: uint64(*dur), Priority: uint32(*prio), Tenant: *tenant,
 	}
 	var err error
 	if m.Pos, err = parseVec(*pos); err != nil {
@@ -269,14 +289,14 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 		return nil
 
 	case "health":
-		devs, err := c.Health(ctx)
+		reply, err := c.HealthFull(ctx)
 		if err != nil {
 			return err
 		}
-		if len(devs) == 0 {
+		if len(reply.Devices) == 0 {
 			fmt.Fprintln(out, "no devices")
 		}
-		for _, d := range devs {
+		for _, d := range reply.Devices {
 			fmt.Fprintf(out, "device %s state=%s", d.DeviceID, d.State)
 			if len(d.StuckElements) > 0 {
 				fmt.Fprintf(out, " stuck=%d%v", len(d.StuckElements), d.StuckElements)
@@ -288,6 +308,9 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 				fmt.Fprintf(out, " err=%q", d.LastErr)
 			}
 			fmt.Fprintln(out)
+		}
+		if reply.HasControl {
+			printControlHealth(out, reply.Control)
 		}
 		return nil
 
@@ -308,6 +331,34 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 		return nil
 	}
 	return fmt.Errorf("%w (unknown command %q)", errUsage, args[0])
+}
+
+// printControlHealth renders the control plane's own health section:
+// per-shard load and latency, tenant admission accounting, telemetry
+// backpressure, and journal progress.
+func printControlHealth(out io.Writer, ch ctrlproto.ControlHealthInfo) {
+	for _, s := range ch.Shards {
+		fmt.Fprintf(out, "shard %d surfaces=%d tasks=%d running=%d reconciles=%d last=%s\n",
+			s.Domain, len(s.Surfaces), s.Tasks, s.Running, s.Reconciles,
+			time.Duration(s.LastReconcileNanos))
+	}
+	for _, t := range ch.Tenants {
+		fmt.Fprintf(out, "tenant %s active=%d rejected=%d", t.Tenant, t.Active, t.Rejected)
+		if t.MaxActive > 0 {
+			fmt.Fprintf(out, " max=%d", t.MaxActive)
+		}
+		fmt.Fprintln(out)
+	}
+	if ch.BusDropped > 0 {
+		fmt.Fprintf(out, "bus dropped=%d\n", ch.BusDropped)
+	}
+	if ch.JournalSeq > 0 || ch.JournalLag > 0 || ch.JournalErr != "" {
+		fmt.Fprintf(out, "journal seq=%d lag=%d", ch.JournalSeq, ch.JournalLag)
+		if ch.JournalErr != "" {
+			fmt.Fprintf(out, " err=%q", ch.JournalErr)
+		}
+		fmt.Fprintln(out)
+	}
 }
 
 // Watch reconnect backoff: the stream survives daemon restarts, retrying

@@ -8,6 +8,7 @@
 //
 //	surfosd [-listen 127.0.0.1:7090] [-surfaces NR-Surface@east_wall,NR-Surface@north_wall]
 //	        [-state-dir DIR] [-drain-timeout 5s]
+//	        [-admit-max N] [-tenant-quota NAME=MAX[:WEIGHT],...]
 //	        [-health-interval 2s] [-fault-seed N] [-fault-fail P] [-fault-stuck N] [-fault-latency D]
 //
 // With -state-dir set, the daemon journals every task spec and lifecycle
@@ -89,6 +90,10 @@ type daemonOptions struct {
 	faultLatency time.Duration
 	// healthEvery is the heartbeat probe interval (0 disables the loop).
 	healthEvery time.Duration
+	// admitMax caps live tasks across all tenants (0 disables).
+	admitMax int
+	// quotas holds per-tenant admission quotas from -tenant-quota.
+	quotas map[string]surfos.TenantQuota
 }
 
 func (o daemonOptions) injecting() bool {
@@ -123,6 +128,7 @@ type daemon struct {
 	// Durability (nil without -state-dir): the journal consumes the task
 	// event bus and persists specs and transitions to the state dir.
 	journal     *store.Journal
+	journalCh   <-chan telemetry.TaskEvent
 	journalStop func()
 	journalDone chan struct{}
 
@@ -222,6 +228,14 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 	}
 	orch.SetEventBus(d.events)
 	d.orch = orch
+	if opts.admitMax > 0 {
+		orch.SetAdmissionLimit(opts.admitMax)
+		log.Printf("admission: global live-task cap %d", opts.admitMax)
+	}
+	for name, q := range opts.quotas {
+		orch.SetTenantQuota(name, q)
+		log.Printf("admission: tenant %q max-active=%d weight=%g", name, q.MaxActive, q.Weight)
+	}
 
 	// Self-healing: device health transitions trigger a re-plan, migrating
 	// tasks off dead surfaces and back when they recover.
@@ -262,10 +276,49 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 	ctrl.Broker = br
 	ctrl.Events = d.events
 	ctrl.Reconcile = orch.Reconcile
+	// Task-scoped mutations re-plan only the task's interference domain.
+	ctrl.ReconcileTask = orch.ReconcileTask
+	ctrl.ControlHealth = d.controlHealth
 	ctrl.Ctx = ctx
 	ctrl.Logf = log.Printf
 	d.ctrl = ctrl
 	return d, nil
+}
+
+// controlHealth assembles the control plane's own health snapshot for the
+// binary health reply: telemetry bus backpressure, journal progress, and
+// the orchestrator's shard and tenant state.
+func (d *daemon) controlHealth() ctrlproto.ControlHealthInfo {
+	info := ctrlproto.ControlHealthInfo{BusDropped: d.events.Dropped()}
+	if d.journal != nil {
+		info.JournalSeq = d.journal.Seq()
+		// Lag is the journal subscription backlog: events published but
+		// not yet persisted.
+		info.JournalLag = uint32(len(d.journalCh))
+		if err := d.journal.Err(); err != nil {
+			info.JournalErr = err.Error()
+		}
+	}
+	for _, s := range d.orch.ShardStats() {
+		info.Shards = append(info.Shards, ctrlproto.ShardHealthInfo{
+			Domain:             uint32(s.Domain),
+			Surfaces:           s.Surfaces,
+			Tasks:              uint32(s.Tasks),
+			Running:            uint32(s.Running),
+			Reconciles:         s.Reconciles,
+			LastReconcileNanos: uint64(s.LastReconcile),
+		})
+	}
+	for _, t := range d.orch.TenantStats() {
+		info.Tenants = append(info.Tenants, ctrlproto.TenantHealthInfo{
+			Tenant:    t.Tenant,
+			Active:    uint32(t.Active),
+			Rejected:  t.Rejected,
+			MaxActive: uint32(t.Quota.MaxActive),
+			Weight:    t.Quota.Weight,
+		})
+	}
+	return info
 }
 
 // healthStateFor maps a journaled health transition back to the tracker's
@@ -319,6 +372,7 @@ func (d *daemon) openState(dir string) error {
 	// must not wait for the shutdown snapshot to surface.
 	d.journal.SetLogf(log.Printf)
 	ch, unsub := d.events.Subscribe(store.JournalBuffer)
+	d.journalCh = ch
 	d.journalStop = unsub
 	d.journalDone = make(chan struct{})
 	go func() {
@@ -419,6 +473,25 @@ func (d *daemon) handle(line string) (string, bool) {
 		}
 		if b.Len() == 0 {
 			return "no devices", true
+		}
+		// Control-plane section: per-shard load and reconcile latency,
+		// tenant admission accounting, telemetry backpressure, journal lag.
+		for _, s := range d.orch.ShardStats() {
+			fmt.Fprintf(&b, "shard %d surfaces=%d tasks=%d running=%d reconciles=%d last=%s\n",
+				s.Domain, len(s.Surfaces), s.Tasks, s.Running, s.Reconciles, s.LastReconcile)
+		}
+		for _, t := range d.orch.TenantStats() {
+			fmt.Fprintf(&b, "tenant %s active=%d rejected=%d", t.Tenant, t.Active, t.Rejected)
+			if t.Quota.MaxActive > 0 {
+				fmt.Fprintf(&b, " max=%d", t.Quota.MaxActive)
+			}
+			b.WriteByte('\n')
+		}
+		if n := d.events.Dropped(); n > 0 {
+			fmt.Fprintf(&b, "bus dropped=%d\n", n)
+		}
+		if d.journal != nil {
+			fmt.Fprintf(&b, "journal seq=%d lag=%d\n", d.journal.Seq(), len(d.journalCh))
 		}
 		return strings.TrimRight(b.String(), "\n"), true
 
@@ -761,15 +834,57 @@ func main() {
 	faultProb := flag.Float64("fault-fail", 0, "probability each control write fails transiently")
 	faultStuck := flag.Int("fault-stuck", 0, "freeze every Nth element at pi (0 disables)")
 	faultLatency := flag.Duration("fault-latency", 0, "added latency per control write")
+	admitMax := flag.Int("admit-max", 0, "global live-task admission cap (0 disables)")
+	tenantQuotas := flag.String("tenant-quota", "", "per-tenant admission quotas, NAME=MAX[:WEIGHT],...")
 	flag.Parse()
 
+	quotas, err := parseTenantQuotas(*tenantQuotas)
+	if err != nil {
+		log.Fatalf("surfosd: -tenant-quota: %v", err)
+	}
 	if err := run(*listen, *ctrlAddr, *surfaceList, *stateDir, *drainTimeout, daemonOptions{
 		faultSeed:    *faultSeed,
 		faultProb:    *faultProb,
 		faultStuck:   *faultStuck,
 		faultLatency: *faultLatency,
 		healthEvery:  *healthEvery,
+		admitMax:     *admitMax,
+		quotas:       quotas,
 	}); err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}
+}
+
+// parseTenantQuotas parses the -tenant-quota flag: a comma-separated list
+// of NAME=MAX or NAME=MAX:WEIGHT entries ("" yields no quotas).
+func parseTenantQuotas(spec string) (map[string]surfos.TenantQuota, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	quotas := map[string]surfos.TenantQuota{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(item, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("entry %q: want NAME=MAX[:WEIGHT]", item)
+		}
+		maxStr, weightStr, hasWeight := strings.Cut(val, ":")
+		max, err := strconv.Atoi(maxStr)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("entry %q: bad max %q", item, maxStr)
+		}
+		q := surfos.TenantQuota{MaxActive: max}
+		if hasWeight {
+			w, err := strconv.ParseFloat(weightStr, 64)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("entry %q: bad weight %q", item, weightStr)
+			}
+			q.Weight = w
+		}
+		quotas[name] = q
+	}
+	return quotas, nil
 }

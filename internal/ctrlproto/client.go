@@ -448,6 +448,19 @@ func (c *Client) Health(ctx context.Context) ([]HealthInfo, error) {
 	return m.Devices, err
 }
 
+// HealthFull fetches the complete health reply, including the control
+// plane's own section when the agent exposes it (HasControl).
+func (c *Client) HealthFull(ctx context.Context) (HealthReply, error) {
+	f, err := c.roundTrip(ctx, MsgHealth, nil)
+	if err != nil {
+		return HealthReply{}, err
+	}
+	if f.Type != MsgHealthReply {
+		return HealthReply{}, fmt.Errorf("ctrlproto: unexpected %v to health", f.Type)
+	}
+	return DecodeHealthReply(f.Payload)
+}
+
 // Demand dispatches a natural-language demand through the control plane's
 // broker.
 func (c *Client) Demand(ctx context.Context, utterance string) (DemandReply, error) {

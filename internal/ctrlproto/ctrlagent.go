@@ -31,6 +31,13 @@ type CtrlAgent struct {
 	// end, idle) so replies reflect post-scheduling task state. Errors
 	// are logged, not fatal: the mutation itself already succeeded.
 	Reconcile func(ctx context.Context) error
+	// ReconcileTask, when set, is preferred over Reconcile for mutations
+	// that touch one known task: it re-plans only the task's interference
+	// domain instead of the whole scene.
+	ReconcileTask func(ctx context.Context, taskID int) error
+	// ControlHealth, when set, contributes the control plane's own health
+	// (shards, tenants, bus drops, journal lag) to MsgHealth replies.
+	ControlHealth func() ControlHealthInfo
 	// Ctx bounds request handling (nil = background).
 	Ctx context.Context
 	// Logf receives diagnostic messages; nil silences them.
@@ -142,7 +149,10 @@ func (a *CtrlAgent) ServeConn(conn net.Conn) {
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			// A closed pipe/socket is a normal disconnect (peer hangup or
+			// our own Close racing this read), not a diagnostic. Logging
+			// it would also crash tests whose Logf died with the test.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
 				a.logf("ctrl agent: read: %v", err)
 			}
 			return
@@ -152,7 +162,9 @@ func (a *CtrlAgent) ServeConn(conn net.Conn) {
 		err = WriteFrame(conn, reply)
 		st.w.Unlock()
 		if err != nil {
-			a.logf("ctrl agent: write: %v", err)
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+				a.logf("ctrl agent: write: %v", err)
+			}
 			return
 		}
 	}
@@ -166,6 +178,18 @@ func (a *CtrlAgent) reconcile() {
 	if err := a.Reconcile(a.ctx()); err != nil {
 		a.logf("ctrl agent: reconcile: %v", err)
 	}
+}
+
+// reconcileTask runs the task-scoped post-mutation hook when wired,
+// falling back to the full reconcile.
+func (a *CtrlAgent) reconcileTask(taskID int) {
+	if a.ReconcileTask != nil {
+		if err := a.ReconcileTask(a.ctx(), taskID); err != nil {
+			a.logf("ctrl agent: reconcile task %d: %v", taskID, err)
+		}
+		return
+	}
+	a.reconcile()
 }
 
 // taskInfo converts an orchestrator task snapshot to its wire view.
@@ -189,6 +213,8 @@ func taskInfo(t *orchestrator.Task) TaskInfo {
 	if t.Err != nil {
 		m.Err = t.Err.Error()
 	}
+	m.Tenant = t.Tenant
+	m.Domain = uint32(t.Domain)
 	return m
 }
 
@@ -213,7 +239,7 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 		if err := a.Orch.EndTask(int(m.ID)); err != nil {
 			return fail(err)
 		}
-		a.reconcile()
+		a.reconcileTask(int(m.ID))
 		return ack
 
 	case MsgSetIdle:
@@ -224,7 +250,7 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 		if err := a.Orch.SetIdle(int(m.ID), m.Idle); err != nil {
 			return fail(err)
 		}
-		a.reconcile()
+		a.reconcileTask(int(m.ID))
 		return ack
 
 	case MsgSubmitTask:
@@ -236,11 +262,11 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 		if err != nil {
 			return fail(err)
 		}
-		t, err := a.Orch.Submit(a.ctx(), kind, goal, int(m.Priority))
+		t, err := a.Orch.SubmitFor(a.ctx(), m.Tenant, kind, goal, int(m.Priority))
 		if err != nil {
 			return fail(err)
 		}
-		a.reconcile()
+		a.reconcileTask(t.ID)
 		if cur, err := a.Orch.Task(t.ID); err == nil {
 			t = cur // reflect post-scheduling state
 		}
@@ -274,6 +300,10 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 				info.StuckElements = append(info.StuckElements, uint32(idx))
 			}
 			reply.Devices = append(reply.Devices, info)
+		}
+		if a.ControlHealth != nil {
+			reply.HasControl = true
+			reply.Control = a.ControlHealth()
 		}
 		return Frame{Type: MsgHealthReply, Corr: f.Corr, Payload: reply.Encode()}
 
@@ -325,6 +355,8 @@ func (a *CtrlAgent) streamEvents(conn net.Conn, st *connState, ch <-chan telemet
 			MetricName: ev.MetricName,
 			Err:        ev.Err,
 			DeviceID:   ev.DeviceID,
+			Tenant:     ev.Tenant,
+			Domain:     uint32(ev.Domain),
 		}
 		st.w.Lock()
 		err := WriteFrame(conn, Frame{Type: MsgTaskEvent, Corr: 0, Payload: m.Encode()})

@@ -43,8 +43,116 @@ func decodeHealthInfo(d *decoder) HealthInfo {
 	return m
 }
 
-// HealthReply lists every managed device's health.
-type HealthReply struct{ Devices []HealthInfo }
+// ShardHealthInfo is the wire view of one interference-domain shard of the
+// orchestrator: its surfaces, live task load, and reconcile statistics.
+type ShardHealthInfo struct {
+	Domain     uint32
+	Surfaces   []string
+	Tasks      uint32 // live (non-terminal) tasks routed to the shard
+	Running    uint32
+	Reconciles uint64
+	// LastReconcileNanos is the wall time of the shard's latest reconcile.
+	LastReconcileNanos uint64
+}
+
+func (m ShardHealthInfo) encode(e *encoder) {
+	e.u32(m.Domain)
+	e.strs(m.Surfaces)
+	e.u32(m.Tasks)
+	e.u32(m.Running)
+	e.u64(m.Reconciles)
+	e.u64(m.LastReconcileNanos)
+}
+
+func decodeShardHealthInfo(d *decoder) ShardHealthInfo {
+	m := ShardHealthInfo{Domain: d.u32(), Surfaces: d.strs()}
+	m.Tasks = d.u32()
+	m.Running = d.u32()
+	m.Reconciles = d.u64()
+	m.LastReconcileNanos = d.u64()
+	return m
+}
+
+// TenantHealthInfo is the wire view of one tenant's admission accounting.
+type TenantHealthInfo struct {
+	Tenant   string
+	Active   uint32
+	Rejected uint64
+	// MaxActive is the tenant's hard task cap (0 = none).
+	MaxActive uint32
+	Weight    float64
+}
+
+func (m TenantHealthInfo) encode(e *encoder) {
+	e.str(m.Tenant)
+	e.u32(m.Active)
+	e.u64(m.Rejected)
+	e.u32(m.MaxActive)
+	e.f64(m.Weight)
+}
+
+func decodeTenantHealthInfo(d *decoder) TenantHealthInfo {
+	m := TenantHealthInfo{Tenant: d.str(), Active: d.u32()}
+	m.Rejected = d.u64()
+	m.MaxActive = d.u32()
+	m.Weight = d.f64()
+	return m
+}
+
+// ControlHealthInfo is the control plane's own health snapshot: telemetry
+// bus backpressure, journal progress, and the orchestrator's shard and
+// tenant state.
+type ControlHealthInfo struct {
+	// BusDropped counts telemetry events dropped on bus overflow.
+	BusDropped uint64
+	// JournalSeq is the journal's last appended record sequence; JournalLag
+	// is the depth of the daemon's journal subscription backlog.
+	JournalSeq uint64
+	JournalLag uint32
+	// JournalErr is the last journal write failure ("" when healthy).
+	JournalErr string
+	Shards     []ShardHealthInfo
+	Tenants    []TenantHealthInfo
+}
+
+func (m ControlHealthInfo) encode(e *encoder) {
+	e.u64(m.BusDropped)
+	e.u64(m.JournalSeq)
+	e.u32(m.JournalLag)
+	e.str(m.JournalErr)
+	e.u32(uint32(len(m.Shards)))
+	for _, s := range m.Shards {
+		s.encode(e)
+	}
+	e.u32(uint32(len(m.Tenants)))
+	for _, t := range m.Tenants {
+		t.encode(e)
+	}
+}
+
+func decodeControlHealthInfo(d *decoder) ControlHealthInfo {
+	m := ControlHealthInfo{BusDropped: d.u64(), JournalSeq: d.u64()}
+	m.JournalLag = d.u32()
+	m.JournalErr = d.str()
+	n := int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Shards = append(m.Shards, decodeShardHealthInfo(d))
+	}
+	n = int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Tenants = append(m.Tenants, decodeTenantHealthInfo(d))
+	}
+	return m
+}
+
+// HealthReply lists every managed device's health, plus — when the agent
+// exposes it — the control plane's own health (appended section; absent
+// payloads from older peers decode with HasControl=false).
+type HealthReply struct {
+	Devices    []HealthInfo
+	HasControl bool
+	Control    ControlHealthInfo
+}
 
 // Encode serializes the message.
 func (m HealthReply) Encode() []byte {
@@ -52,6 +160,9 @@ func (m HealthReply) Encode() []byte {
 	e.u32(uint32(len(m.Devices)))
 	for _, h := range m.Devices {
 		h.encode(&e)
+	}
+	if m.HasControl {
+		m.Control.encode(&e)
 	}
 	return e.buf
 }
@@ -63,6 +174,12 @@ func DecodeHealthReply(b []byte) (HealthReply, error) {
 	m := HealthReply{}
 	for i := 0; i < n && d.err == nil; i++ {
 		m.Devices = append(m.Devices, decodeHealthInfo(&d))
+	}
+	// Trailing-optional control section: present iff bytes remain after
+	// the device list (same append-only convention as optU64).
+	if d.err == nil && d.off < len(d.buf) {
+		m.Control = decodeControlHealthInfo(&d)
+		m.HasControl = d.err == nil
 	}
 	return m, d.finish()
 }

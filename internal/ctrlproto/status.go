@@ -40,6 +40,7 @@ const (
 	StatusUnknownFunction
 	StatusBadCall
 	StatusTimeout
+	StatusAdmissionRejected
 )
 
 // statusTable pairs each code with its canonical sentinel. Mapping is by
@@ -69,6 +70,7 @@ var statusTable = []struct {
 	{StatusUnknownDevice, broker.ErrUnknownDevice},
 	{StatusBadCall, broker.ErrBadCall},
 	{StatusTimeout, ErrTimeout},
+	{StatusAdmissionRejected, orchestrator.ErrAdmissionRejected},
 }
 
 // StatusFor classifies an error into its wire code (StatusInternal when no

@@ -37,6 +37,10 @@ type TaskInfo struct {
 	Surfaces   []string
 	// Err is the failure reason text ("" unless failed).
 	Err string
+	// Tenant/Domain are the task's admission tenant and owning
+	// interference-domain shard (appended fields).
+	Tenant string
+	Domain uint32
 }
 
 func (m TaskInfo) encode(e *encoder) {
@@ -53,6 +57,8 @@ func (m TaskInfo) encode(e *encoder) {
 	e.str(m.Strategy)
 	e.strs(m.Surfaces)
 	e.str(m.Err)
+	e.str(m.Tenant)
+	e.u32(m.Domain)
 }
 
 func decodeTaskInfo(d *decoder) TaskInfo {
@@ -70,6 +76,8 @@ func decodeTaskInfo(d *decoder) TaskInfo {
 		Strategy:   d.str(),
 		Surfaces:   d.strs(),
 		Err:        d.str(),
+		Tenant:     d.str(),
+		Domain:     d.u32(),
 	}
 }
 
@@ -151,6 +159,9 @@ type SubmitMsg struct {
 	GridStep float64
 	DurNanos uint64 // sensing/powering duration
 	Priority uint32
+	// Tenant is the submitting tenant for admission accounting (appended
+	// field; "" means the default tenant).
+	Tenant string
 }
 
 // Encode serializes the message.
@@ -172,6 +183,7 @@ func (m SubmitMsg) Encode() []byte {
 	e.f64(m.GridStep)
 	e.u64(m.DurNanos)
 	e.u32(m.Priority)
+	e.str(m.Tenant)
 	return e.buf
 }
 
@@ -191,6 +203,7 @@ func DecodeSubmitMsg(b []byte) (SubmitMsg, error) {
 	m.GridStep = d.f64()
 	m.DurNanos = d.u64()
 	m.Priority = d.u32()
+	m.Tenant = d.str()
 	return m, d.finish()
 }
 
@@ -211,6 +224,10 @@ type TaskEventMsg struct {
 	// DeviceID names the surface for device health events (appended
 	// field; "" for plain task lifecycle events).
 	DeviceID string
+	// Tenant/Domain mirror the orchestrator event's admission tenant and
+	// interference-domain shard (appended fields).
+	Tenant string
+	Domain uint32
 }
 
 // Encode serializes the message.
@@ -229,6 +246,8 @@ func (m TaskEventMsg) Encode() []byte {
 	e.str(m.MetricName)
 	e.str(m.Err)
 	e.str(m.DeviceID)
+	e.str(m.Tenant)
+	e.u32(m.Domain)
 	return e.buf
 }
 
@@ -245,6 +264,8 @@ func DecodeTaskEventMsg(b []byte) (TaskEventMsg, error) {
 	m.MetricName = d.str()
 	m.Err = d.str()
 	m.DeviceID = d.str()
+	m.Tenant = d.str()
+	m.Domain = d.u32()
 	return m, d.finish()
 }
 

@@ -108,6 +108,8 @@ type Stats struct {
 	TxMisses   uint64
 	SimHits    uint64
 	SimMisses  uint64
+	PartHits   uint64 // interference-domain partition cache hits
+	PartMisses uint64
 	TxContexts int // currently cached contexts
 }
 
@@ -121,11 +123,14 @@ type Engine struct {
 	sims  map[simKey]*rfsim.Simulator
 	txs   map[txKey]*txEntry
 	txLRU []txKey // oldest first; small (≤ maxTx), linear scans are fine
+	parts map[partKey]*Partition
 
-	txHits    atomic.Uint64
-	txMisses  atomic.Uint64
-	simHits   atomic.Uint64
-	simMisses atomic.Uint64
+	txHits     atomic.Uint64
+	txMisses   atomic.Uint64
+	simHits    atomic.Uint64
+	simMisses  atomic.Uint64
+	partHits   atomic.Uint64
+	partMisses atomic.Uint64
 }
 
 // New creates an engine.
@@ -143,6 +148,7 @@ func New(opts Options) *Engine {
 		maxTx:   m,
 		sims:    make(map[simKey]*rfsim.Simulator),
 		txs:     make(map[txKey]*txEntry),
+		parts:   make(map[partKey]*Partition),
 	}
 }
 
@@ -314,6 +320,7 @@ func (e *Engine) Invalidate() {
 	e.sims = make(map[simKey]*rfsim.Simulator)
 	e.txs = make(map[txKey]*txEntry)
 	e.txLRU = nil
+	e.parts = make(map[partKey]*Partition)
 }
 
 // CacheStats returns hit/miss counters and the live context count.
@@ -326,6 +333,8 @@ func (e *Engine) CacheStats() Stats {
 		TxMisses:   e.txMisses.Load(),
 		SimHits:    e.simHits.Load(),
 		SimMisses:  e.simMisses.Load(),
+		PartHits:   e.partHits.Load(),
+		PartMisses: e.partMisses.Load(),
 		TxContexts: n,
 	}
 }

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"testing"
+
+	"surfos/internal/em"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+)
+
+// stripSurface deploys one small panel on room i's north mount of a strip.
+func stripSurface(t *testing.T, strip *scene.RoomStrip, i int) *surface.Surface {
+	t.Helper()
+	pitch := em.Wavelength(em.Band24G) / 2
+	mount := strip.Mounts[scene.RoomMountNorth(i)]
+	s, err := surface.New(scene.RoomMountNorth(i), mount.Panel(8*pitch+0.02, 8*pitch+0.02),
+		surface.Layout{Rows: 8, Cols: 8, PitchU: pitch, PitchV: pitch},
+		surface.Reflective, em.CosinePattern{Q: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPartitionApartmentSingleDomain(t *testing.T) {
+	apt := scene.NewApartment()
+	pitch := em.Wavelength(em.Band24G) / 2
+	var surfs []*surface.Surface
+	for _, m := range []string{scene.MountEastWall, scene.MountNorthWall} {
+		mount := apt.Mounts[m]
+		s, err := surface.New(m, mount.Panel(8*pitch+0.02, 8*pitch+0.02),
+			surface.Layout{Rows: 8, Cols: 8, PitchU: pitch, PitchV: pitch},
+			surface.Reflective, em.CosinePattern{Q: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		surfs = append(surfs, s)
+	}
+	eng := New(Options{Workers: 1})
+	p, err := eng.Partition(DomainSpec{Scene: apt.Scene, Surfaces: surfs, FreqsHz: []float64{em.Band24G}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both panels share the bedroom: drywall attenuation at 24 GHz is far
+	// above the coupling threshold, so the apartment is one domain.
+	if len(p.Domains) != 1 || len(p.Domains[0]) != 2 {
+		t.Fatalf("apartment domains = %v, want one domain of 2", p.Domains)
+	}
+}
+
+func TestPartitionRoomStripSplitsPerRoom(t *testing.T) {
+	strip := scene.NewRoomStrip(3)
+	surfs := []*surface.Surface{
+		stripSurface(t, strip, 0), stripSurface(t, strip, 1), stripSurface(t, strip, 2),
+	}
+	eng := New(Options{Workers: 1})
+	spec := DomainSpec{Scene: strip.Scene, Surfaces: surfs, FreqsHz: []float64{em.Band24G}}
+	p, err := eng.Partition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) != 3 {
+		t.Fatalf("strip domains = %v, want 3 singleton domains", p.Domains)
+	}
+	// Deterministic ordering: domain i holds surface i (sorted by smallest
+	// member index).
+	for i, d := range p.Domains {
+		if len(d) != 1 || d[0] != i {
+			t.Fatalf("domain %d = %v, want [%d]", i, d, i)
+		}
+	}
+	for i := range surfs {
+		if got := p.DomainOf(i); got != i {
+			t.Fatalf("DomainOf(%d) = %d, want %d", i, got, i)
+		}
+	}
+
+	// Second call with an identical spec is a cache hit, keyed on the
+	// scene revision.
+	if _, err := eng.Partition(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.PartHits != 1 || st.PartMisses != 1 {
+		t.Fatalf("partition cache hits=%d misses=%d, want 1/1", st.PartHits, st.PartMisses)
+	}
+}
+
+func TestPartitionWallRemovalMergesDomains(t *testing.T) {
+	strip := scene.NewRoomStrip(2)
+	surfs := []*surface.Surface{stripSurface(t, strip, 0), stripSurface(t, strip, 1)}
+	eng := New(Options{Workers: 1})
+	spec := DomainSpec{Scene: strip.Scene, Surfaces: surfs, FreqsHz: []float64{em.Band24G}}
+
+	p, err := eng.Partition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) != 2 {
+		t.Fatalf("pre-removal domains = %v, want 2", p.Domains)
+	}
+
+	// Removing the divider bumps the scene revision; the stale partition
+	// must not be served and the rooms must merge.
+	if err := strip.RemoveWall(scene.RoomDivider(0)); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := eng.Partition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Rev == p.Rev {
+		t.Fatal("partition revision did not advance after RemoveWall")
+	}
+	if len(p2.Domains) != 1 || len(p2.Domains[0]) != 2 {
+		t.Fatalf("post-removal domains = %v, want one merged domain", p2.Domains)
+	}
+}
+
+func TestPartitionEmptyFreqsIsConservative(t *testing.T) {
+	strip := scene.NewRoomStrip(2)
+	surfs := []*surface.Surface{stripSurface(t, strip, 0), stripSurface(t, strip, 1)}
+	eng := New(Options{Workers: 1})
+	// Without operating frequencies there is no coupling model to trust;
+	// the partition must collapse to one conservative domain.
+	p, err := eng.Partition(DomainSpec{Scene: strip.Scene, Surfaces: surfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) != 1 {
+		t.Fatalf("freq-less domains = %v, want one conservative domain", p.Domains)
+	}
+}
+
+func TestPartitionNoSurfaces(t *testing.T) {
+	apt := scene.NewApartment()
+	eng := New(Options{Workers: 1})
+	p, err := eng.Partition(DomainSpec{Scene: apt.Scene, FreqsHz: []float64{em.Band24G}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) != 0 {
+		t.Fatalf("empty inventory domains = %v, want none", p.Domains)
+	}
+	if p.DomainOf(0) != -1 {
+		t.Fatal("DomainOf of an unknown surface should be -1")
+	}
+}

@@ -1,0 +1,185 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Admission control: a front end ahead of the task table that enforces
+// per-tenant quotas and a global live-task cap. Every task belongs to a
+// tenant; legacy single-tenant callers land on DefaultTenant, whose
+// unlimited default quota keeps all existing behavior (and goldens)
+// bit-identical. Rejections are typed (ErrAdmissionRejected) so they
+// survive the ctrlproto wire hop into a distinct surfctl exit code.
+
+// DefaultTenant is the tenant legacy submissions are accounted to.
+const DefaultTenant = "default"
+
+// TenantQuota bounds one tenant's admission. Zero values are unlimited.
+type TenantQuota struct {
+	// MaxActive caps the tenant's live (pending/running/idle) tasks.
+	MaxActive int
+	// Weight is the tenant's fair-share weight when a global admission
+	// limit is set (0 behaves as 1). With limit L and total weight W, a
+	// priority-1 submission is rejected once the tenant holds at least
+	// ceil(L * weight/W) live tasks; higher-priority submissions bypass
+	// the fair-share check (but never the hard caps).
+	Weight float64
+}
+
+// TenantStat is one tenant's admission bookkeeping for health output.
+type TenantStat struct {
+	Tenant   string
+	Active   int // live tasks currently admitted
+	Rejected uint64
+	Quota    TenantQuota
+}
+
+// SetTenantQuota configures (or, with a zero quota, clears) a tenant's
+// admission quota.
+func (o *Orchestrator) SetTenantQuota(tenant string, q TenantQuota) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.quotas == nil {
+		o.quotas = make(map[string]TenantQuota)
+	}
+	if q == (TenantQuota{}) {
+		delete(o.quotas, tenant)
+		return
+	}
+	o.quotas[tenant] = q
+}
+
+// SetAdmissionLimit caps the global live task count across all tenants
+// (0 disables the cap and fair-share enforcement).
+func (o *Orchestrator) SetAdmissionLimit(max int) {
+	o.mu.Lock()
+	o.admitMax = max
+	o.mu.Unlock()
+}
+
+// TenantStats returns per-tenant admission state sorted by tenant name.
+func (o *Orchestrator) TenantStats() []TenantStat {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	stats := make(map[string]*TenantStat)
+	get := func(name string) *TenantStat {
+		s, ok := stats[name]
+		if !ok {
+			s = &TenantStat{Tenant: name, Quota: o.quotas[name]}
+			stats[name] = s
+		}
+		return s
+	}
+	for name := range o.quotas {
+		get(name)
+	}
+	for name, n := range o.rejected {
+		get(name).Rejected = n
+	}
+	for _, t := range o.tasks {
+		if t.State == TaskDone || t.State == TaskFailed {
+			continue
+		}
+		get(t.Tenant).Active++
+	}
+	out := make([]TenantStat, 0, len(stats))
+	for _, s := range stats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// liveCountsLocked tallies live tasks per tenant and in total. Caller
+// holds o.mu.
+func (o *Orchestrator) liveCountsLocked() (perTenant map[string]int, total int) {
+	perTenant = make(map[string]int)
+	for _, t := range o.tasks {
+		if t.State == TaskDone || t.State == TaskFailed {
+			continue
+		}
+		perTenant[t.Tenant]++
+		total++
+	}
+	return perTenant, total
+}
+
+// fairShareLocked is the tenant's live-task allowance under the global
+// limit: ceil(limit * weight / total weight), where the denominator sums
+// the weights of every tenant with a configured quota or a live task.
+// Caller holds o.mu.
+func (o *Orchestrator) fairShareLocked(tenant string, perTenant map[string]int) int {
+	weight := func(name string) float64 {
+		if w := o.quotas[name].Weight; w > 0 {
+			return w
+		}
+		return 1
+	}
+	seen := map[string]struct{}{tenant: {}}
+	totalW := weight(tenant)
+	for name := range o.quotas {
+		if _, ok := seen[name]; !ok {
+			seen[name] = struct{}{}
+			totalW += weight(name)
+		}
+	}
+	for name := range perTenant {
+		if _, ok := seen[name]; !ok {
+			seen[name] = struct{}{}
+			totalW += weight(name)
+		}
+	}
+	return int(math.Ceil(float64(o.admitMax) * weight(tenant) / totalW))
+}
+
+// admitLocked decides one submission. Caller holds o.mu; a non-nil
+// return wraps ErrAdmissionRejected and the task must not be inserted.
+func (o *Orchestrator) admitLocked(tenant string, priority int) error {
+	reject := func(format string, args ...any) error {
+		if o.rejected == nil {
+			o.rejected = make(map[string]uint64)
+		}
+		o.rejected[tenant]++
+		return fmt.Errorf("%w: "+format, append([]any{ErrAdmissionRejected}, args...)...)
+	}
+	perTenant, total := o.liveCountsLocked()
+	if q, ok := o.quotas[tenant]; ok && q.MaxActive > 0 && perTenant[tenant] >= q.MaxActive {
+		return reject("tenant %q at max-active %d", tenant, q.MaxActive)
+	}
+	if o.admitMax > 0 {
+		if total >= o.admitMax {
+			return reject("admission limit %d reached", o.admitMax)
+		}
+		if priority <= 1 {
+			if share := o.fairShareLocked(tenant, perTenant); perTenant[tenant] >= share {
+				return reject("tenant %q over fair share %d of limit %d", tenant, share, o.admitMax)
+			}
+		}
+	}
+	return nil
+}
+
+// SubmitFor is Submit on behalf of a tenant: the multi-tenant entry
+// point behind the ctrlproto agent. An empty tenant means DefaultTenant.
+func (o *Orchestrator) SubmitFor(ctx context.Context, tenant string, kind ServiceKind, goal any, priority int) (*Task, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	svc, err := serviceFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Validate(o, goal); err != nil {
+		return nil, err
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	return o.submit(svc, tenant, goal, priority, svc.Duration(goal))
+}

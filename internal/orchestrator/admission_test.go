@@ -1,0 +1,159 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"surfos/internal/driver"
+	"surfos/internal/geom"
+)
+
+func admitGoal(name string) LinkGoal {
+	return LinkGoal{Endpoint: name, Pos: bedroomPoint()}
+}
+
+func TestAdmissionTenantMaxActive(t *testing.T) {
+	r := newRig(t, fastOpts(), driver.ModelNRSurface)
+	r.o.SetTenantQuota("acme", TenantQuota{MaxActive: 1})
+	ctx := context.Background()
+
+	t1, err := r.o.SubmitFor(ctx, "acme", ServiceLink, admitGoal("a"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Tenant != "acme" {
+		t.Fatalf("tenant = %q, want acme", t1.Tenant)
+	}
+	if _, err := r.o.SubmitFor(ctx, "acme", ServiceLink, admitGoal("b"), 3); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("over-quota submit: err = %v, want ErrAdmissionRejected", err)
+	}
+	// A tenant quota never touches other tenants: the legacy single-tenant
+	// path keeps submitting freely.
+	if _, err := r.o.EnhanceLink(ctx, admitGoal("c"), 1); err != nil {
+		t.Fatalf("default tenant rejected: %v", err)
+	}
+
+	var acme *TenantStat
+	for _, s := range r.o.TenantStats() {
+		if s.Tenant == "acme" {
+			st := s
+			acme = &st
+		}
+	}
+	if acme == nil {
+		t.Fatal("acme missing from TenantStats")
+	}
+	if acme.Active != 1 || acme.Rejected != 1 || acme.Quota.MaxActive != 1 {
+		t.Fatalf("acme stats = %+v, want active=1 rejected=1 max=1", *acme)
+	}
+
+	// Ending the live task frees quota headroom.
+	if err := r.o.EndTask(t1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.o.SubmitFor(ctx, "acme", ServiceLink, admitGoal("d"), 1); err != nil {
+		t.Fatalf("submit after EndTask: %v", err)
+	}
+}
+
+func TestAdmissionGlobalCapAndFairShare(t *testing.T) {
+	r := newRig(t, fastOpts(), driver.ModelNRSurface)
+	r.o.SetAdmissionLimit(4)
+	r.o.SetTenantQuota("a", TenantQuota{Weight: 1})
+	r.o.SetTenantQuota("b", TenantQuota{Weight: 1})
+	ctx := context.Background()
+
+	// Fair share under limit 4 with two weight-1 tenants: 2 tasks each.
+	for i := 0; i < 2; i++ {
+		if _, err := r.o.SubmitFor(ctx, "a", ServiceLink, admitGoal("a"), 1); err != nil {
+			t.Fatalf("a within share: %v", err)
+		}
+	}
+	if _, err := r.o.SubmitFor(ctx, "a", ServiceLink, admitGoal("a"), 1); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("a over fair share at priority 1: err = %v", err)
+	}
+	// Higher priority bypasses fair share (but not the hard cap below).
+	if _, err := r.o.SubmitFor(ctx, "a", ServiceLink, admitGoal("a"), 2); err != nil {
+		t.Fatalf("a priority-2 bypass: %v", err)
+	}
+	if _, err := r.o.SubmitFor(ctx, "b", ServiceLink, admitGoal("b"), 1); err != nil {
+		t.Fatalf("b within share: %v", err)
+	}
+	// The global limit is a hard cap regardless of tenant or priority.
+	if _, err := r.o.SubmitFor(ctx, "b", ServiceLink, admitGoal("b"), 5); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("over global cap: err = %v", err)
+	}
+
+	// Clearing the limit re-opens admission.
+	r.o.SetAdmissionLimit(0)
+	if _, err := r.o.SubmitFor(ctx, "b", ServiceLink, admitGoal("b"), 1); err != nil {
+		t.Fatalf("after clearing limit: %v", err)
+	}
+}
+
+func TestTaskSpecTenantRoundTrip(t *testing.T) {
+	r := newRig(t, fastOpts(), driver.ModelNRSurface)
+	ctx := context.Background()
+
+	ta1, err := r.o.SubmitFor(ctx, "acme", ServiceLink, admitGoal("a1"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta2, err := r.o.SubmitFor(ctx, "acme", ServiceLink, LinkGoal{Endpoint: "a2", Pos: geom.V(5.5, 6.0, 1.2)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := r.o.EnhanceLink(ctx, admitGoal("d"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specOf := func(task *Task) []byte {
+		r.o.mu.Lock()
+		defer r.o.mu.Unlock()
+		spec, ok := r.o.specLocked(r.o.tasks[task.ID])
+		if !ok {
+			t.Fatalf("task %d has no durable spec", task.ID)
+		}
+		return spec
+	}
+	specA1, specA2, specD := specOf(ta1), specOf(ta2), specOf(td)
+	if !bytes.Contains(specA1, []byte(`"tenant":"acme"`)) {
+		t.Fatalf("acme spec lacks tenant field: %s", specA1)
+	}
+	// DefaultTenant is omitted so pre-multi-tenant journals stay
+	// byte-identical.
+	if bytes.Contains(specD, []byte(`"tenant"`)) {
+		t.Fatalf("default-tenant spec leaks tenant field: %s", specD)
+	}
+
+	// Restore into a fresh control plane with a 1-task quota: recovery
+	// bypasses admission (the journal is the source of truth), but new
+	// submissions see the restored tenant population.
+	r2 := newRig(t, fastOpts(), driver.ModelNRSurface)
+	r2.o.SetTenantQuota("acme", TenantQuota{MaxActive: 1})
+	for _, spec := range [][]byte{specA1, specA2, specD} {
+		if _, err := r2.o.RestoreTask(spec, "running"); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+	got, err := r2.o.Task(ta1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != "acme" {
+		t.Fatalf("restored tenant = %q, want acme", got.Tenant)
+	}
+	gotD, err := r2.o.Task(td.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotD.Tenant != DefaultTenant {
+		t.Fatalf("restored default tenant = %q", gotD.Tenant)
+	}
+	if _, err := r2.o.SubmitFor(ctx, "acme", ServiceLink, admitGoal("post"), 1); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("quota ignored after restore: err = %v", err)
+	}
+}

@@ -26,4 +26,8 @@ var (
 	// ErrOptimizeStopped reports a Reconcile cut short by context
 	// cancellation; the best-so-far configurations remain applied.
 	ErrOptimizeStopped = errors.New("orchestrator: optimization stopped")
+	// ErrAdmissionRejected reports a submission refused by admission
+	// control (tenant quota exhausted, global cap reached, or fair share
+	// exceeded). The task was never admitted to the table.
+	ErrAdmissionRejected = errors.New("orchestrator: admission rejected")
 )

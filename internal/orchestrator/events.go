@@ -28,6 +28,8 @@ func (o *Orchestrator) emitLocked(t *Task, state string) {
 		State:    state,
 		FreqHz:   t.FreqHz,
 		Endpoint: t.endpoint(),
+		Tenant:   t.Tenant,
+		Domain:   t.Domain,
 	}
 	if r := t.Result; r != nil {
 		ev.Strategy = r.Strategy

@@ -38,6 +38,17 @@ type Options struct {
 	Cascade bool
 	// ReflOrder is the environment reflection order (default 1).
 	ReflOrder int
+	// DisableSharding forces a single monolithic scheduler shard holding
+	// every surface, regardless of the scene's interference-domain
+	// structure. For benchmarks and A/B comparison; single-domain scenes
+	// behave identically either way.
+	DisableSharding bool
+	// MinCouplingDB is the interference-domain reachability threshold in
+	// power dB (0 selects engine.DefaultMinCouplingDB, -40).
+	MinCouplingDB float64
+	// DomainProbeStep is the partition's region probe spacing in meters
+	// (0 selects engine.DefaultProbeStep, 1.0).
+	DomainProbeStep float64
 	// Engine is the shared channel-evaluation engine. Nil selects the
 	// process-wide engine.Default(), maximizing ray-trace cache reuse with
 	// the deployment planner and experiment rigs.
@@ -83,9 +94,21 @@ type Orchestrator struct {
 	mu     sync.Mutex
 	tasks  map[int]*Task
 	nextID int
-	plans  []*Plan
 	now    time.Time
 	events *telemetry.EventBus
+
+	// Interference-domain sharding (shard.go). shards is rebuilt lazily
+	// whenever the scene revision or the device set changes; partRev and
+	// partSig record what the current build was computed against.
+	shards  []*shard
+	shardOf map[string]int // device ID -> domain index
+	partRev uint64
+	partSig string
+
+	// Admission control (admission.go).
+	quotas   map[string]TenantQuota
+	admitMax int
+	rejected map[string]uint64
 }
 
 // New builds an orchestrator over a scene and hardware inventory.
@@ -155,13 +178,23 @@ func (o *Orchestrator) SecureLink(ctx context.Context, g SecurityGoal, priority 
 }
 
 // submit files a validated goal into the task table and emits the
-// Submitted lifecycle event. The returned task is a snapshot.
-func (o *Orchestrator) submit(svc Service, goal any, priority int, duration time.Duration) (*Task, error) {
+// Submitted lifecycle event. The returned task is a snapshot. Admission
+// control runs first — a rejected submission never enters the table —
+// and the accepted task is routed to its interference-domain shard
+// before the event fires, so the submitted event carries the domain.
+func (o *Orchestrator) submit(svc Service, tenant string, goal any, priority int, duration time.Duration) (*Task, error) {
 	if priority <= 0 {
 		priority = 1
 	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.admitLocked(tenant, priority); err != nil {
+		return nil, err
+	}
+	o.ensureShardsLocked()
 	t := &Task{
 		ID:       o.nextID,
 		Kind:     svc.Kind(),
@@ -169,11 +202,13 @@ func (o *Orchestrator) submit(svc Service, goal any, priority int, duration time
 		State:    TaskPending,
 		Created:  o.now,
 		Goal:     goal,
+		Tenant:   tenant,
 		svc:      svc,
 	}
 	if duration > 0 {
 		t.Deadline = o.now.Add(duration)
 	}
+	t.Domain = o.routeLocked(t, o.apFreqs())
 	o.nextID++
 	o.tasks[t.ID] = t
 	o.emitLocked(t, telemetry.TaskSubmitted)
@@ -241,11 +276,21 @@ func (o *Orchestrator) EndTask(id int) error {
 // releaseTaskLocked prunes a task from the committed plans: entries
 // serving only this task are dropped (plans left empty dissolve, freeing
 // their surfaces), shared joint entries lose the task from their roster.
-// Returns the plans whose entry set shrank and need re-application; the
-// caller holds o.mu.
+// Only the owning shard's plans are touched — plan-entry release never
+// crosses shards. Returns the plans whose entry set shrank and need
+// re-application; the caller holds o.mu.
 func (o *Orchestrator) releaseTaskLocked(id int) []*Plan {
+	t, ok := o.tasks[id]
+	if !ok {
+		return nil
+	}
+	sh := o.shardByDomainLocked(t.Domain)
+	if sh == nil {
+		// No shard structure yet (task never reconciled): nothing to prune.
+		return nil
+	}
 	var keep, changed []*Plan
-	for _, p := range o.plans {
+	for _, p := range sh.plans {
 		entries := p.Entries[:0:0]
 		shrank := false
 		for _, e := range p.Entries {
@@ -276,7 +321,7 @@ func (o *Orchestrator) releaseTaskLocked(id int) []*Plan {
 		}
 		keep = append(keep, p)
 	}
-	o.plans = keep
+	sh.plans = keep
 	return changed
 }
 
@@ -300,11 +345,16 @@ func (o *Orchestrator) SetIdle(id int, idle bool) error {
 	return nil
 }
 
-// Plans returns the current scheduling plans.
+// Plans returns the current scheduling plans, concatenated across shards
+// in domain order (deterministic merge).
 func (o *Orchestrator) Plans() []*Plan {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return append([]*Plan(nil), o.plans...)
+	var out []*Plan
+	for _, sh := range o.shards {
+		out = append(out, sh.plans...)
+	}
+	return out
 }
 
 // Now returns the orchestrator's virtual clock.
@@ -323,14 +373,17 @@ func (o *Orchestrator) Tick(ctx context.Context, dt time.Duration) error {
 	}
 	o.mu.Lock()
 	o.now = o.now.Add(dt)
-	changed := false
+	// Deadline expiry is routed to the owning shards: an expired task in
+	// one room re-plans that room, not the building.
+	expired := make(map[int]struct{})
 	for _, t := range o.tasks {
 		if t.active() && !t.Deadline.IsZero() && !o.now.Before(t.Deadline) {
 			t.State = TaskDone
 			o.emitLocked(t, telemetry.TaskDone)
-			changed = true
+			expired[t.Domain] = struct{}{}
 		}
 	}
+	changed := len(expired) > 0
 	// Rotate TDM selections while still holding the lock: plan rotation
 	// state is shared, and Tick may be called from concurrent northbound
 	// sessions. Device selection uses the drivers' own locks.
@@ -340,13 +393,15 @@ func (o *Orchestrator) Tick(ctx context.Context, dt time.Duration) error {
 	}
 	var sels []sel
 	if !changed {
-		for _, p := range o.plans {
-			if len(p.Entries) < 2 {
-				continue
-			}
-			if idx := p.nextSlot(); idx >= 0 {
-				for _, id := range p.Surfaces {
-					sels = append(sels, sel{id: id, idx: idx})
+		for _, sh := range o.shards {
+			for _, p := range sh.plans {
+				if len(p.Entries) < 2 {
+					continue
+				}
+				if idx := p.nextSlot(); idx >= 0 {
+					for _, id := range p.Surfaces {
+						sels = append(sels, sel{id: id, idx: idx})
+					}
 				}
 			}
 		}
@@ -354,7 +409,12 @@ func (o *Orchestrator) Tick(ctx context.Context, dt time.Duration) error {
 	o.mu.Unlock()
 
 	if changed {
-		return o.Reconcile(ctx)
+		domains := make([]int, 0, len(expired))
+		for d := range expired {
+			domains = append(domains, d)
+		}
+		sort.Ints(domains)
+		return o.reconcileDomains(ctx, domains)
 	}
 	for _, sl := range sels {
 		dev, err := o.HW.Surface(sl.id)

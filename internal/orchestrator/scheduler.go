@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"surfos/internal/driver"
 	"surfos/internal/engine"
@@ -29,35 +30,127 @@ type group struct {
 	devs  []*hwmgr.Device
 }
 
-// Reconcile runs the scheduler: it groups active tasks by frequency,
-// chooses a multiplexing strategy per group, optimizes configurations,
-// pushes them to devices, and fills in task results. It is the
-// orchestrator's "schedule all surface hardware globally" step.
+// Reconcile runs the scheduler over every interference-domain shard:
+// each shard groups its active tasks by frequency, chooses a
+// multiplexing strategy per group, optimizes configurations, pushes them
+// to devices, and fills in task results. Shards are independent
+// scheduling problems, so they run concurrently on the engine's worker
+// pool; results commit in domain order, so the merged plan set is
+// deterministic. Single-domain scenes (and 1-worker engines) take the
+// exact serial path the monolithic scheduler did.
 //
-// Cancellation semantics: the ctx is checked between groups and inside the
-// optimizer loops. A cancel mid-optimization applies the best-so-far
-// configuration for the group being scheduled (bounded degradation, not
-// half-written state), skips remaining groups, and returns the ctx error
-// wrapped in ErrOptimizeStopped.
+// Cancellation semantics: the ctx is checked between shards and groups
+// and inside the optimizer loops. A cancel mid-optimization applies the
+// best-so-far configuration for the group being scheduled (bounded
+// degradation, not half-written state), skips remaining work, and
+// returns the ctx error wrapped in ErrOptimizeStopped.
 func (o *Orchestrator) Reconcile(ctx context.Context) error {
+	return o.reconcileDomains(ctx, nil)
+}
+
+// ReconcileDomain re-plans a single interference domain, leaving every
+// other shard's plans untouched — the locality win behind event-routed
+// self-healing and admission.
+func (o *Orchestrator) ReconcileDomain(ctx context.Context, domain int) error {
+	return o.reconcileDomains(ctx, []int{domain})
+}
+
+// ReconcileTask re-plans only the shard owning the given task (a full
+// Reconcile for unknown tasks, preserving the legacy contract).
+func (o *Orchestrator) ReconcileTask(ctx context.Context, taskID int) error {
+	o.mu.Lock()
+	t, ok := o.tasks[taskID]
+	var domain int
+	if ok {
+		domain = t.Domain
+	}
+	o.mu.Unlock()
+	if !ok {
+		return o.Reconcile(ctx)
+	}
+	return o.ReconcileDomain(ctx, domain)
+}
+
+// reconcileDomains schedules the selected shards (nil = all). Shards run
+// concurrently via the engine's worker pool, writing results by index;
+// commit happens under the lock in domain order.
+func (o *Orchestrator) reconcileDomains(ctx context.Context, domains []int) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
 	o.mu.Lock()
-	var act []*Task
-	for _, t := range o.tasks {
-		if t.State == TaskPending || t.State == TaskRunning {
-			act = append(act, t)
+	o.ensureShardsLocked()
+	var sel []*shard
+	if domains == nil {
+		sel = append(sel, o.shards...)
+	} else {
+		for _, d := range domains {
+			if sh := o.shardByDomainLocked(d); sh != nil {
+				sel = append(sel, sh)
+			}
+		}
+		if len(sel) == 0 {
+			// Stale domain IDs (topology changed underfoot): fall back to
+			// a full pass rather than silently planning nothing.
+			sel = append(sel, o.shards...)
 		}
 	}
-	sort.Slice(act, func(i, j int) bool { return act[i].ID < act[j].ID })
+	work := make([][]*Task, len(sel))
+	for i, sh := range sel {
+		var act []*Task
+		for _, t := range o.tasks {
+			if t.Domain == sh.id && (t.State == TaskPending || t.State == TaskRunning) {
+				act = append(act, t)
+			}
+		}
+		sort.Slice(act, func(a, b int) bool { return act[a].ID < act[b].ID })
+		work[i] = act
+	}
 	o.mu.Unlock()
 
-	groups, err := o.groupTasks(act)
-	if err != nil {
-		return err
-	}
+	results := make([][]*Plan, len(sel))
+	errs := make([]error, len(sel))
+	commit := make([]bool, len(sel))
+	durs := make([]time.Duration, len(sel))
+	ferr := o.eng.ForEach(ctx, len(sel), func(i int) {
+		start := time.Now()
+		results[i], commit[i], errs[i] = o.scheduleShard(ctx, sel[i], work[i])
+		durs[i] = time.Since(start)
+	})
 
+	o.mu.Lock()
+	for i, sh := range sel {
+		if !commit[i] {
+			continue
+		}
+		sh.plans = o.pruneTerminalLocked(results[i])
+		sh.lastReconcile = durs[i]
+		sh.reconciles++
+	}
+	o.mu.Unlock()
+
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil && ferr != nil {
+		firstErr = fmt.Errorf("%w: %w", ErrOptimizeStopped, ferr)
+	}
+	return firstErr
+}
+
+// scheduleShard plans one shard's active task set. The returned commit
+// flag mirrors the monolithic scheduler's contract: grouping failures
+// (no AP registered) leave the previous plans standing, while scheduling
+// failures commit whatever was planned.
+func (o *Orchestrator) scheduleShard(ctx context.Context, sh *shard, act []*Task) ([]*Plan, bool, error) {
+	groups, err := o.groupTasksIn(act, sh)
+	if err != nil {
+		return nil, false, err
+	}
 	var plans []*Plan
 	var firstErr error
 	for _, g := range groups {
@@ -76,18 +169,53 @@ func (o *Orchestrator) Reconcile(ctx context.Context) error {
 		}
 		plans = append(plans, p...)
 	}
-
-	o.mu.Lock()
-	o.plans = plans
-	o.mu.Unlock()
-	return firstErr
+	return plans, true, firstErr
 }
 
-// groupTasks resolves each task's AP and frequency and buckets tasks.
-// Task mutations (frequency resolution, failure marking) happen under the
+// pruneTerminalLocked drops plan entries referencing tasks that went
+// terminal between the reconcile snapshot and this commit (a concurrent
+// EndTask), mirroring releaseTaskLocked so committed shard plans only
+// ever reference live tasks of their own shard. Caller holds o.mu.
+func (o *Orchestrator) pruneTerminalLocked(plans []*Plan) []*Plan {
+	var keep []*Plan
+	for _, p := range plans {
+		entries := p.Entries[:0:0]
+		changed := false
+		for _, e := range p.Entries {
+			ids := e.TaskIDs[:0:0]
+			for _, tid := range e.TaskIDs {
+				if t, ok := o.tasks[tid]; ok && (t.State == TaskDone || t.State == TaskFailed) {
+					changed = true
+					continue
+				}
+				ids = append(ids, tid)
+			}
+			if len(ids) == 0 {
+				changed = true
+				continue
+			}
+			e.TaskIDs = ids
+			entries = append(entries, e)
+		}
+		if len(entries) == 0 {
+			continue // plan dissolved
+		}
+		if changed {
+			p.Entries = entries
+			p.buildFrame()
+		}
+		keep = append(keep, p)
+	}
+	return keep
+}
+
+// groupTasksIn resolves each task's AP and frequency and buckets tasks
+// within one shard: band device sets are intersected with the shard's
+// member surfaces, so a group never schedules across domains. Task
+// mutations (frequency resolution, failure marking) happen under the
 // orchestrator lock so concurrent snapshot readers never observe them
 // mid-write.
-func (o *Orchestrator) groupTasks(act []*Task) ([]*group, error) {
+func (o *Orchestrator) groupTasksIn(act []*Task, sh *shard) ([]*group, error) {
 	aps := o.HW.APs()
 	if len(aps) == 0 && len(act) > 0 {
 		return nil, fmt.Errorf("%w registered", ErrNoAccessPoint)
@@ -122,6 +250,15 @@ func (o *Orchestrator) groupTasks(act []*Task) ([]*group, error) {
 		g, ok := byFreq[f]
 		if !ok {
 			devs := o.HW.SurfacesForBand(f)
+			if sh != nil {
+				in := devs[:0:0]
+				for _, d := range devs {
+					if sh.owns(d.ID) {
+						in = append(in, d)
+					}
+				}
+				devs = in
+			}
 			g = &group{band: Band{AP: ap, FreqHz: f}, devs: devs}
 			byFreq[f] = g
 			order = append(order, f)

@@ -13,7 +13,9 @@ import (
 // surfaces on the next reconcile; a recovered device is folded back in and
 // tasks starved of hardware while it was down are resubmitted.
 
-// HandleDeviceEvent reacts to one device health transition by re-planning.
+// HandleDeviceEvent reacts to one device health transition by re-planning
+// the interference domain owning the device — a dead device re-plans its
+// room, not the building (unknown devices fall back to a full pass).
 // Non-health events are ignored, so the handler can safely consume a mixed
 // task/device event stream. After the re-plan it emits a Replanned event
 // naming the device that triggered it, so watchers see the healing step
@@ -24,10 +26,20 @@ func (o *Orchestrator) HandleDeviceEvent(ctx context.Context, ev telemetry.TaskE
 	default:
 		return nil
 	}
+	domain, known := o.DomainForDevice(ev.DeviceID)
 	if ev.State == telemetry.DeviceRecovered {
-		o.requeueStarved()
+		if known {
+			o.requeueStarved(domain)
+		} else {
+			o.requeueStarved(-1)
+		}
 	}
-	err := o.Reconcile(ctx)
+	var err error
+	if known {
+		err = o.ReconcileDomain(ctx, domain)
+	} else {
+		err = o.Reconcile(ctx)
+	}
 	o.emitReplanned(ev.DeviceID)
 	return err
 }
@@ -52,9 +64,15 @@ func (o *Orchestrator) RunDeviceEvents(ctx context.Context, ch <-chan telemetry.
 
 // requeueStarved resubmits tasks that failed only because no surface could
 // serve their band — the one task failure a recovered device can cure.
-func (o *Orchestrator) requeueStarved() {
+// domain restricts the requeue to the recovered device's shard (a device
+// coming back in one room cannot cure starvation in another); pass -1
+// for all domains.
+func (o *Orchestrator) requeueStarved(domain int) {
 	o.mu.Lock()
 	for _, t := range o.tasks {
+		if domain >= 0 && t.Domain != domain {
+			continue
+		}
 		if t.State == TaskFailed && errors.Is(t.Err, ErrNoActiveSurfaces) {
 			t.State = TaskPending
 			t.Err = nil

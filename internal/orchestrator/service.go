@@ -139,19 +139,10 @@ func KindByName(name string) (ServiceKind, error) {
 
 // Submit files a task for any registered service kind: the generic entry
 // point behind the per-service convenience APIs, and the only one a new
-// service module needs.
+// service module needs. The task is accounted to DefaultTenant; see
+// SubmitFor for the multi-tenant entry point.
 func (o *Orchestrator) Submit(ctx context.Context, kind ServiceKind, goal any, priority int) (*Task, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	svc, err := serviceFor(kind)
-	if err != nil {
-		return nil, err
-	}
-	if err := svc.Validate(o, goal); err != nil {
-		return nil, err
-	}
-	return o.submit(svc, goal, priority, svc.Duration(goal))
+	return o.SubmitFor(ctx, DefaultTenant, kind, goal, priority)
 }
 
 // service resolves a task's module, tolerating tasks created before the

@@ -1,0 +1,355 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"surfos/internal/driver"
+	"surfos/internal/em"
+	"surfos/internal/geom"
+	"surfos/internal/hwmgr"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+	"surfos/internal/telemetry"
+)
+
+// stripRig is a RoomStrip with one panel per room: the multi-domain
+// fixture for routing, migration, and cross-shard isolation tests.
+type stripRig struct {
+	strip *scene.RoomStrip
+	hw    *hwmgr.Manager
+	o     *Orchestrator
+}
+
+// addStripSurface mounts one NR-Surface panel on room i's north mount.
+func addStripSurface(t *testing.T, strip *scene.RoomStrip, hw *hwmgr.Manager, room, rows, cols int) string {
+	t.Helper()
+	id := scene.RoomMountNorth(room)
+	spec, err := driver.Lookup(driver.ModelNRSurface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pitch := em.Wavelength(spec.FreqLowHz+(spec.FreqHighHz-spec.FreqLowHz)/2) / 2
+	m := strip.Mounts[id]
+	panel := m.Panel(float64(cols)*pitch+0.02, float64(rows)*pitch+0.02)
+	s, err := surface.New(id, panel, surface.Layout{Rows: rows, Cols: cols, PitchU: pitch, PitchV: pitch}, spec.OpMode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := driver.New(spec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.AddSurface(id, id, d); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func newStripRig(t *testing.T, rooms int, opts Options) *stripRig {
+	t.Helper()
+	strip := scene.NewRoomStrip(rooms)
+	hw := hwmgr.New()
+	for i := 0; i < rooms; i++ {
+		addStripSurface(t, strip, hw, i, 8, 8)
+	}
+	if err := hw.AddAP(&hwmgr.AccessPoint{
+		ID: "ap0", Pos: strip.AP, FreqHz: 24e9,
+		Budget:   rfsim.DefaultBudget(),
+		Antennas: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(strip.Scene, hw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stripRig{strip: strip, hw: hw, o: o}
+}
+
+// roomLink is a link goal anchored in room i.
+func roomLink(i int, name string) LinkGoal {
+	return LinkGoal{Endpoint: name, Pos: scene.RoomCenter(i)}
+}
+
+func TestShardRoutingAndStats(t *testing.T) {
+	r := newStripRig(t, 3, fastOpts())
+	ctx := context.Background()
+
+	tasks := make([]*Task, 3)
+	for i := range tasks {
+		task, err := r.o.EnhanceLink(ctx, roomLink(i, fmt.Sprintf("ue%d", i)), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Domain != i {
+			t.Fatalf("task in room %d routed to domain %d", i, task.Domain)
+		}
+		tasks[i] = task
+	}
+	for i := 0; i < 3; i++ {
+		d, ok := r.o.DomainForDevice(scene.RoomMountNorth(i))
+		if !ok || d != i {
+			t.Fatalf("DomainForDevice(room %d) = %d,%v, want %d", i, d, ok, i)
+		}
+	}
+
+	if err := r.o.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats := r.o.ShardStats()
+	if len(stats) != 3 {
+		t.Fatalf("got %d shards, want 3", len(stats))
+	}
+	for i, st := range stats {
+		if st.Domain != i {
+			t.Fatalf("stats[%d].Domain = %d", i, st.Domain)
+		}
+		if len(st.Surfaces) != 1 || st.Surfaces[0] != scene.RoomMountNorth(i) {
+			t.Fatalf("shard %d surfaces = %v", i, st.Surfaces)
+		}
+		if st.Tasks != 1 || st.Running != 1 {
+			t.Fatalf("shard %d tasks=%d running=%d, want 1/1", i, st.Tasks, st.Running)
+		}
+		if st.Reconciles == 0 || st.LastReconcile <= 0 {
+			t.Fatalf("shard %d reconciles=%d last=%v, want progress", i, st.Reconciles, st.LastReconcile)
+		}
+	}
+
+	// Every committed plan stays inside one interference domain.
+	for _, p := range r.o.Plans() {
+		assertPlanSingleDomain(t, r.o, p)
+	}
+}
+
+// assertPlanSingleDomain pins the shard isolation invariant: a plan's
+// surfaces all belong to one domain, and every live task it serves is
+// routed to that same domain.
+func assertPlanSingleDomain(t *testing.T, o *Orchestrator, p *Plan) {
+	t.Helper()
+	if len(p.Surfaces) == 0 {
+		t.Fatalf("plan %s/%s has no surfaces", p.APID, p.Surfaces)
+	}
+	dom, ok := o.DomainForDevice(p.Surfaces[0])
+	if !ok {
+		t.Fatalf("plan surface %s has no domain", p.Surfaces[0])
+	}
+	for _, s := range p.Surfaces {
+		if d, ok := o.DomainForDevice(s); !ok || d != dom {
+			t.Fatalf("plan mixes domains: surface %s in %d, expected %d", s, d, dom)
+		}
+	}
+	for _, e := range p.Entries {
+		for _, id := range e.TaskIDs {
+			task, err := o.Task(id)
+			if err != nil {
+				continue // ended mid-race; its entries are pruned next pass
+			}
+			if task.State == TaskDone || task.State == TaskFailed {
+				continue
+			}
+			if task.Domain != dom {
+				t.Fatalf("plan in domain %d serves task %d routed to domain %d", dom, id, task.Domain)
+			}
+		}
+	}
+}
+
+// TestShardMergeSplitMigratesTasks is the crossing-domain golden: walls
+// merge and re-split the partition, and every live task follows its room's
+// shard without dropping a lifecycle event. The per-task event trails are
+// golden-checked end to end.
+func TestShardMergeSplitMigratesTasks(t *testing.T) {
+	r := newStripRig(t, 2, fastOpts())
+	ctx := context.Background()
+
+	bus := telemetry.NewEventBus()
+	events, cancel := bus.Subscribe(256)
+	defer cancel()
+	r.o.SetEventBus(bus)
+
+	t0, err := r.o.EnhanceLink(ctx, roomLink(0, "a"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := r.o.EnhanceLink(ctx, roomLink(1, "b"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Task accessors return snapshots, so re-fetch the routed domain
+	// after every topology change.
+	dom := func(id int) int {
+		task, err := r.o.Task(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return task.Domain
+	}
+	if dom(t0.ID) != 0 || dom(t1.ID) != 1 {
+		t.Fatalf("initial routing: t0=%d t1=%d, want 0/1", dom(t0.ID), dom(t1.ID))
+	}
+
+	// Knock down the divider: the rooms couple, the two shards merge, and
+	// both tasks migrate into the merged domain.
+	if err := r.strip.RemoveWall(scene.RoomDivider(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if dom(t0.ID) != 0 || dom(t1.ID) != 0 {
+		t.Fatalf("post-merge routing: t0=%d t1=%d, want 0/0", dom(t0.ID), dom(t1.ID))
+	}
+	if n := len(r.o.ShardStats()); n != 1 {
+		t.Fatalf("post-merge shard count = %d, want 1", n)
+	}
+
+	// Rebuild the divider: the partition splits again and the room-1 task
+	// migrates back out of the merged shard.
+	up := geom.V(0, 0, 1)
+	r.strip.AddWall(scene.RoomDivider(0),
+		geom.RectXY(geom.V(scene.RoomW, 0, 0), geom.V(0, 1, 0), up, scene.RoomD, scene.RoomH),
+		em.Concrete)
+	if err := r.o.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if dom(t0.ID) != 0 || dom(t1.ID) != 1 {
+		t.Fatalf("post-split routing: t0=%d t1=%d, want 0/1", dom(t0.ID), dom(t1.ID))
+	}
+	if n := len(r.o.ShardStats()); n != 2 {
+		t.Fatalf("post-split shard count = %d, want 2", n)
+	}
+
+	if err := r.o.EndTask(t0.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.EndTask(t1.ID); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	// Golden event trails. Both tasks migrate on the merge (their shard's
+	// device set grew) and again on the split; each migration is followed
+	// by a full re-schedule, and no lifecycle event is lost in between.
+	trail := map[int][]string{}
+	domains := map[int][]int{}
+	for ev := range events {
+		if ev.TaskID == 0 {
+			continue // device health events
+		}
+		trail[ev.TaskID] = append(trail[ev.TaskID], ev.State)
+		if ev.State == telemetry.TaskMigrated {
+			domains[ev.TaskID] = append(domains[ev.TaskID], ev.Domain)
+		}
+	}
+	want := []string{
+		telemetry.TaskSubmitted,
+		telemetry.TaskScheduled, telemetry.TaskRunning, // initial reconcile
+		telemetry.TaskMigrated,                         // divider removed: shards merge
+		telemetry.TaskScheduled, telemetry.TaskRunning, // re-plan in merged domain
+		telemetry.TaskMigrated,                         // divider rebuilt: shards split
+		telemetry.TaskScheduled, telemetry.TaskRunning, // re-plan in own room
+		telemetry.TaskDone,
+	}
+	for _, task := range []*Task{t0, t1} {
+		got := trail[task.ID]
+		if len(got) != len(want) {
+			t.Fatalf("task %d trail = %v, want %v", task.ID, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("task %d trail = %v, want %v", task.ID, got, want)
+			}
+		}
+	}
+	if d := domains[t0.ID]; len(d) != 2 || d[0] != 0 || d[1] != 0 {
+		t.Fatalf("t0 migration domains = %v, want [0 0]", d)
+	}
+	if d := domains[t1.ID]; len(d) != 2 || d[0] != 0 || d[1] != 1 {
+		t.Fatalf("t1 migration domains = %v, want [0 1]", d)
+	}
+}
+
+// TestShardReconcileRacePinsReleaseToOwnShard races task churn against
+// concurrent per-shard reconciles under the race detector and pins the
+// invariant that plan-entry release never crosses shards: a task ending
+// in one domain must never perturb another domain's committed plans.
+// (The "Pin" in the name keeps it in the seeded fault suite.)
+func TestShardReconcileRacePinsReleaseToOwnShard(t *testing.T) {
+	opts := Options{OptIters: 6, GridStep: 2.0, SensingGridStep: 2.5, SensingBins: 9, SensingSubcarriers: 2}
+	r := newStripRig(t, 2, opts)
+	ctx := context.Background()
+
+	// One long-lived anchor task per room; their plans must survive the
+	// churn in the other room untouched.
+	anchors := make([]*Task, 2)
+	for i := range anchors {
+		task, err := r.o.EnhanceLink(ctx, roomLink(i, fmt.Sprintf("anchor%d", i)), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors[i] = task
+	}
+	if err := r.o.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const churns = 30
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churns; i++ {
+			room := i % 2
+			task, err := r.o.EnhanceLink(ctx, roomLink(room, fmt.Sprintf("churn%d", i)), 1)
+			if err != nil {
+				t.Errorf("churn submit: %v", err)
+				return
+			}
+			if i%3 == 0 {
+				_ = r.o.ReconcileTask(ctx, task.ID)
+			}
+			if err := r.o.EndTask(task.ID); err != nil {
+				t.Errorf("churn end: %v", err)
+				return
+			}
+		}
+	}()
+	for d := 0; d < 2; d++ {
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < churns; i++ {
+				if err := r.o.ReconcileDomain(ctx, d); err != nil {
+					t.Errorf("reconcile domain %d: %v", d, err)
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	if err := r.o.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.o.Plans() {
+		assertPlanSingleDomain(t, r.o, p)
+	}
+	for i, a := range anchors {
+		task, err := r.o.Task(a.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.State != TaskRunning {
+			t.Fatalf("anchor %d state = %v after churn, want running", i, task.State)
+		}
+		if task.Domain != i {
+			t.Fatalf("anchor %d drifted to domain %d", i, task.Domain)
+		}
+	}
+}

@@ -26,6 +26,9 @@ type TaskSpec struct {
 	// Goal is the service-specific goal, encoded by the service's
 	// GoalCodec.
 	Goal json.RawMessage `json:"goal"`
+	// Tenant is the submitting tenant; omitted for DefaultTenant so
+	// single-tenant journals keep their pre-multi-tenant byte layout.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // GoalCodec is optionally implemented by services whose goals can be
@@ -84,6 +87,9 @@ func (o *Orchestrator) specLocked(t *Task) ([]byte, bool) {
 	if !t.Deadline.IsZero() {
 		spec.DeadlineUnixNanos = t.Deadline.UnixNano()
 	}
+	if t.Tenant != "" && t.Tenant != DefaultTenant {
+		spec.Tenant = t.Tenant
+	}
 	data, err := json.Marshal(spec)
 	if err != nil {
 		return nil, false
@@ -130,11 +136,20 @@ func (o *Orchestrator) RestoreTask(specJSON []byte, lastState string) (*Task, er
 		priority = 1
 	}
 
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if _, exists := o.tasks[spec.ID]; exists {
 		return nil, fmt.Errorf("%w: task %d already exists", ErrGoalInvalid, spec.ID)
 	}
+	// Restoration bypasses admission control — the task was admitted
+	// before the crash; shrinking quotas must not drop journaled work —
+	// but is still routed to its owning interference-domain shard.
+	o.ensureShardsLocked()
 	t := &Task{
 		ID:       spec.ID,
 		Kind:     kind,
@@ -142,11 +157,13 @@ func (o *Orchestrator) RestoreTask(specJSON []byte, lastState string) (*Task, er
 		State:    TaskPending,
 		Created:  time.Unix(0, spec.CreatedUnixNanos),
 		Goal:     goal,
+		Tenant:   tenant,
 		svc:      svc,
 	}
 	if spec.DeadlineUnixNanos != 0 {
 		t.Deadline = time.Unix(0, spec.DeadlineUnixNanos)
 	}
+	t.Domain = o.routeLocked(t, o.apFreqs())
 	if spec.ID >= o.nextID {
 		o.nextID = spec.ID + 1
 	}

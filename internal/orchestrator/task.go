@@ -120,6 +120,14 @@ type Task struct {
 	Result *Result
 	// Err records the failure reason for TaskFailed.
 	Err error
+	// Tenant is the submitting tenant (DefaultTenant unless multi-tenant
+	// admission control is in use).
+	Tenant string
+	// Domain is the interference-domain shard owning the task. Routing is
+	// derived from the goal's spatial target against the current scene
+	// partition, so it may change when walls move (a TaskMigrated event
+	// marks the hand-off).
+	Domain int
 
 	// svc is the task's resolved service module (immutable after submit).
 	svc Service

@@ -1,0 +1,107 @@
+package scene
+
+import (
+	"fmt"
+
+	"surfos/internal/em"
+	"surfos/internal/geom"
+)
+
+// RoomStrip is a synthetic multi-room building for scale studies: N equal
+// rooms in a row, fully separated by doorless concrete dividers. mmWave
+// signals cannot cross a divider, so each room is its own interference
+// domain — the fixture the sharded orchestrator's scaling benchmarks and
+// merge/split tests run against.
+type RoomStrip struct {
+	*Scene
+	// N is the room count.
+	N int
+	// AP is the access point position (room 0, near the south-west corner).
+	AP geom.Vec3
+	// Mounts are the pre-determined surface deployment locations, two per
+	// room ("room<i>_east", "room<i>_north").
+	Mounts map[string]MountSpot
+}
+
+// Room strip layout constants (meters).
+const (
+	RoomW = 5.0 // per-room x extent
+	RoomD = 5.0 // y extent
+	RoomH = 3.0 // ceiling height
+)
+
+// RoomRegion returns the region name of room i ("room_0", "room_1", ...).
+func RoomRegion(i int) string { return fmt.Sprintf("room_%d", i) }
+
+// RoomDivider returns the name of the concrete divider between rooms i
+// and i+1 ("divider_0", ...) — removable via Scene.RemoveWall to merge
+// two interference domains.
+func RoomDivider(i int) string { return fmt.Sprintf("divider_%d", i) }
+
+// RoomMountEast and RoomMountNorth name room i's two mount spots.
+func RoomMountEast(i int) string  { return fmt.Sprintf("room%d_east", i) }
+func RoomMountNorth(i int) string { return fmt.Sprintf("room%d_north", i) }
+
+// RoomCenter returns room i's center at the standard evaluation height.
+func RoomCenter(i int) geom.Vec3 {
+	return geom.V(float64(i)*RoomW+RoomW/2, RoomD/2, EvalHeight)
+}
+
+// NewRoomStrip builds an n-room strip (n >= 1).
+func NewRoomStrip(n int) *RoomStrip {
+	if n < 1 {
+		n = 1
+	}
+	s := New(fmt.Sprintf("%d-room strip", n))
+	up := geom.V(0, 0, 1)
+	w := float64(n) * RoomW
+
+	// Outer concrete shell plus floor and ceiling.
+	s.AddWall("south", geom.RectXY(geom.V(0, 0, 0), geom.V(1, 0, 0), up, w, RoomH), em.Concrete)
+	s.AddWall("north", geom.RectXY(geom.V(0, RoomD, 0), geom.V(1, 0, 0), up, w, RoomH), em.Concrete)
+	s.AddWall("west", geom.RectXY(geom.V(0, 0, 0), geom.V(0, 1, 0), up, RoomD, RoomH), em.Concrete)
+	s.AddWall("east", geom.RectXY(geom.V(w, 0, 0), geom.V(0, 1, 0), up, RoomD, RoomH), em.Concrete)
+	s.AddWall("floor", geom.MustQuad(
+		geom.V(0, 0, 0), geom.V(w, 0, 0), geom.V(w, RoomD, 0), geom.V(0, RoomD, 0)), em.Concrete)
+	s.AddWall("ceiling", geom.MustQuad(
+		geom.V(0, 0, RoomH), geom.V(w, 0, RoomH), geom.V(w, RoomD, RoomH), geom.V(0, RoomD, RoomH)), em.Concrete)
+
+	// Full-height doorless concrete dividers between adjacent rooms.
+	for i := 0; i < n-1; i++ {
+		x := float64(i+1) * RoomW
+		s.AddWall(RoomDivider(i), geom.RectXY(geom.V(x, 0, 0), geom.V(0, 1, 0), up, RoomD, RoomH), em.Concrete)
+	}
+
+	mounts := make(map[string]MountSpot, 2*n)
+	for i := 0; i < n; i++ {
+		x0 := float64(i) * RoomW
+		s.AddRegion(RoomRegion(i), geom.AABB{
+			Min: geom.V(x0+0.3, 0.3, 0),
+			Max: geom.V(x0+RoomW-0.3, RoomD-0.3, RoomH),
+		})
+		// East mount: on the room's east bounding wall (a divider for all
+		// but the last room), facing back into the room.
+		mounts[RoomMountEast(i)] = MountSpot{
+			Name:   RoomMountEast(i),
+			Center: geom.V(x0+RoomW, RoomD/2+1.0, 1.8),
+			U:      geom.V(0, -1, 0),
+			V:      up,
+			Normal: geom.V(-1, 0, 0),
+		}
+		// North mount: on the shared north wall, facing south into the room.
+		mounts[RoomMountNorth(i)] = MountSpot{
+			Name:   RoomMountNorth(i),
+			Center: geom.V(x0+RoomW/2, RoomD, 1.8),
+			U:      geom.V(1, 0, 0),
+			V:      up,
+			Normal: geom.V(0, -1, 0),
+		}
+	}
+
+	return &RoomStrip{
+		Scene:  s,
+		N:      n,
+		AP:     geom.V(0.6, 0.4, 2.0),
+		Mounts: mounts,
+	}
+}

@@ -71,6 +71,22 @@ func (j *Journal) Err() error {
 	return j.err
 }
 
+// Seq reports the store's last appended record sequence. The journal is
+// the store's single writer, so reading under its lock is exact.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Seq()
+}
+
+// SinceSnapshot reports how many records have been appended since the
+// last snapshot — the compaction backlog.
+func (j *Journal) SinceSnapshot() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sinceSnap
+}
+
 // Consume journals one task/device lifecycle event. Events that carry no
 // durable information (replanned markers, events for tasks whose specs
 // were never journaled) are skipped.

@@ -13,6 +13,7 @@ const (
 	TaskResumed   = "resumed"   // un-parked, awaiting reschedule
 	TaskDone      = "done"      // completed or explicitly ended
 	TaskFailed    = "failed"    // unschedulable or errored
+	TaskMigrated  = "migrated"  // moved to a different interference-domain shard
 )
 
 // Device health phases share the task-event bus (TaskID 0, DeviceID set)
@@ -60,6 +61,13 @@ type TaskEvent struct {
 	// DeviceID names the surface for device health events (Device* and
 	// Replanned states); empty for plain task lifecycle events.
 	DeviceID string
+
+	// Tenant is the submitting tenant ("default" unless multi-tenant
+	// admission control is in use).
+	Tenant string
+	// Domain is the interference-domain shard owning the task when the
+	// event was emitted (0 in single-domain scenes).
+	Domain int
 }
 
 // EventBus is a fan-out publish/subscribe channel for task lifecycle

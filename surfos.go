@@ -73,6 +73,9 @@ type (
 	Apartment = scene.Apartment
 	// Office is the open-plan office reference environment.
 	Office = scene.Office
+	// RoomStrip is the multi-room reference environment: N isolated rooms
+	// in a row, one interference domain each.
+	RoomStrip = scene.RoomStrip
 	// MountSpot is a pre-determined surface deployment location.
 	MountSpot = scene.MountSpot
 	// Region is a named volume services can target.
@@ -168,6 +171,13 @@ type (
 	ServiceKind = orchestrator.ServiceKind
 	// Plan is one access point's deployed scheduling decision.
 	Plan = orchestrator.Plan
+	// TenantQuota bounds one tenant's admission (hard cap + fair-share
+	// weight).
+	TenantQuota = orchestrator.TenantQuota
+	// TenantStat is one tenant's admission bookkeeping.
+	TenantStat = orchestrator.TenantStat
+	// ShardStat is one interference-domain shard's load snapshot.
+	ShardStat = orchestrator.ShardStat
 	// Engine is the shared channel-evaluation engine: a memoized ray-trace
 	// cache plus a worker pool for grid-shaped evaluation.
 	Engine = engine.Engine
@@ -263,6 +273,7 @@ var (
 	ErrNoActiveSurfaces   = orchestrator.ErrNoActiveSurfaces
 	ErrNoSchedulableTasks = orchestrator.ErrNoSchedulableTasks
 	ErrOptimizeStopped    = orchestrator.ErrOptimizeStopped
+	ErrAdmissionRejected  = orchestrator.ErrAdmissionRejected
 	// ErrDeviceDead is what every control operation against an unreachable
 	// device controller returns; the health tracker maps it straight to
 	// HealthDead and the orchestrator re-plans around the device.
@@ -309,6 +320,19 @@ func NewApartment() *Apartment { return scene.NewApartment() }
 
 // NewOffice builds the open-plan office reference environment.
 func NewOffice() *Office { return scene.NewOffice() }
+
+// NewRoomStrip builds an n-room multi-domain reference environment.
+func NewRoomStrip(n int) *RoomStrip { return scene.NewRoomStrip(n) }
+
+// RoomMountEast and RoomMountNorth name room i's wall mounts in a
+// RoomStrip; RoomCenter is room i's evaluation point.
+func RoomMountEast(i int) string  { return scene.RoomMountEast(i) }
+func RoomMountNorth(i int) string { return scene.RoomMountNorth(i) }
+func RoomCenter(i int) Vec3       { return scene.RoomCenter(i) }
+
+// DefaultTenant is the tenant legacy (single-tenant) submissions are
+// accounted to.
+const DefaultTenant = orchestrator.DefaultTenant
 
 // NewHardware creates an empty hardware manager.
 func NewHardware() *Hardware { return hwmgr.New() }
