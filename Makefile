@@ -1,15 +1,28 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench bench-smoke fmt ci golden test-faults test-crash
+.PHONY: all build test race vet staticcheck bench bench-smoke fmt ci golden test-faults test-crash fuzz-smoke watchers-smoke
 
 all: build vet test
 
 # ci is the full merge gate: compile, static checks, the race-detector
 # test run, the experiment-output golden check (byte-identical paper
 # figures modulo timing strings), a one-iteration benchmark smoke pass
-# so benchmark code cannot rot, the seeded fault-injection suite, and the
-# crash-recovery boundary replay.
-ci: build vet staticcheck race golden bench-smoke test-faults test-crash
+# so benchmark code cannot rot, the seeded fault-injection suite, the
+# crash-recovery boundary replay, a short fuzz pass over the shared wire
+# codec, and one quick run of the northbound watchers fan-out.
+ci: build vet staticcheck race golden bench-smoke test-faults test-crash fuzz-smoke watchers-smoke
+
+# fuzz-smoke runs the wire-frame fuzzer briefly on top of its checked-in
+# seed corpus: enough to catch codec regressions without a fuzz farm.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=10s ./internal/wire/
+
+# watchers-smoke runs the northbound stream fan-out experiment once at
+# the quick profile; its shape check (exact delivery, zero drops,
+# bounded p99) is the pass criterion. BENCH_northbound.json is made by
+# the full profile: surfos-bench -exp watchers -profile full -json ...
+watchers-smoke:
+	$(GO) run ./cmd/surfos-bench -exp watchers -profile quick
 
 # staticcheck runs honnef.co/go/tools when the binary is available (the
 # GitHub workflow installs the pinned version; offline dev containers

@@ -296,21 +296,9 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 		if len(reply.Devices) == 0 {
 			fmt.Fprintln(out, "no devices")
 		}
-		for _, d := range reply.Devices {
-			fmt.Fprintf(out, "device %s state=%s", d.DeviceID, d.State)
-			if len(d.StuckElements) > 0 {
-				fmt.Fprintf(out, " stuck=%d%v", len(d.StuckElements), d.StuckElements)
-			}
-			if d.ConsecutiveFailures > 0 || d.TotalFailures > 0 {
-				fmt.Fprintf(out, " failures=%d/%d", d.ConsecutiveFailures, d.TotalFailures)
-			}
-			if d.LastErr != "" {
-				fmt.Fprintf(out, " err=%q", d.LastErr)
-			}
-			fmt.Fprintln(out)
-		}
+		ctrlproto.RenderDeviceHealth(out, reply.Devices, healthStyle)
 		if reply.HasControl {
-			printControlHealth(out, reply.Control)
+			ctrlproto.RenderControlHealth(out, reply.Control, healthStyle)
 		}
 		return nil
 
@@ -333,32 +321,13 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 	return fmt.Errorf("%w (unknown command %q)", errUsage, args[0])
 }
 
-// printControlHealth renders the control plane's own health section:
-// per-shard load and latency, tenant admission accounting, telemetry
-// backpressure, and journal progress.
-func printControlHealth(out io.Writer, ch ctrlproto.ControlHealthInfo) {
-	for _, s := range ch.Shards {
-		fmt.Fprintf(out, "shard %d surfaces=%d tasks=%d running=%d reconciles=%d last=%s\n",
-			s.Domain, len(s.Surfaces), s.Tasks, s.Running, s.Reconciles,
-			time.Duration(s.LastReconcileNanos))
-	}
-	for _, t := range ch.Tenants {
-		fmt.Fprintf(out, "tenant %s active=%d rejected=%d", t.Tenant, t.Active, t.Rejected)
-		if t.MaxActive > 0 {
-			fmt.Fprintf(out, " max=%d", t.MaxActive)
-		}
-		fmt.Fprintln(out)
-	}
-	if ch.BusDropped > 0 {
-		fmt.Fprintf(out, "bus dropped=%d\n", ch.BusDropped)
-	}
-	if ch.JournalSeq > 0 || ch.JournalLag > 0 || ch.JournalErr != "" {
-		fmt.Fprintf(out, "journal seq=%d lag=%d", ch.JournalSeq, ch.JournalLag)
-		if ch.JournalErr != "" {
-			fmt.Fprintf(out, " err=%q", ch.JournalErr)
-		}
-		fmt.Fprintln(out)
-	}
+// healthStyle is surfctl's rendering of the shared health formatter:
+// device lines carry the "device " prefix and stuck-element indices, and
+// the journal line (shown only when it has content) includes the error.
+var healthStyle = ctrlproto.HealthRenderOptions{
+	DevicePrefix: "device ",
+	StuckIndices: true,
+	JournalErr:   true,
 }
 
 // Watch reconnect backoff: the stream survives daemon restarts, retrying
@@ -369,23 +338,27 @@ const (
 )
 
 // watchTasks streams lifecycle events until ctx is cancelled (^C is the
-// operator's clean stop, so it exits 0). When the daemon drops the
-// connection — crash, restart, drain — the watch does not die with it: it
-// redials with capped exponential backoff and resumes the stream,
-// printing a `reconnected` marker so operators can tell the epochs apart.
+// operator's clean stop, so it exits 0). Events arrive on a multiplexed
+// stream (a drop-oldest ring on the daemon side, so a slow terminal sees
+// the freshest window instead of stalling the daemon). When the daemon
+// drops the connection — crash, restart, drain — the watch does not die
+// with it: it redials with capped exponential backoff and resumes the
+// stream, printing a `reconnected` marker so operators can tell the
+// epochs apart.
 func watchTasks(ctx context.Context, addr string, c *ctrlproto.Client, out io.Writer) error {
-	if err := c.WatchTasks(ctx); err != nil {
+	s, err := c.OpenStream(ctx, ctrlproto.StreamTasks, "")
+	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "watching task events (^C to stop)")
 	for {
-		ctxDone := streamTaskEvents(ctx, c, out)
+		ctxDone := streamTaskEvents(ctx, s, out)
 		c.Close()
 		if ctxDone {
 			return nil
 		}
 		fmt.Fprintln(out, "connection lost; reconnecting")
-		nc, err := redialWatch(ctx, addr)
+		nc, ns, err := redialWatch(ctx, addr)
 		if err != nil {
 			// Cancellation while waiting out a dead daemon is the
 			// operator's clean stop, like ^C mid-stream.
@@ -394,24 +367,24 @@ func watchTasks(ctx context.Context, addr string, c *ctrlproto.Client, out io.Wr
 			}
 			return err
 		}
-		c = nc
+		c, s = nc, ns
 		fmt.Fprintln(out, "reconnected")
 	}
 }
 
-// redialWatch dials addr until it succeeds and the watch subscription is
+// redialWatch dials addr until it succeeds and the event stream is
 // re-established, backing off exponentially (capped) between attempts.
 // Only ctx cancellation makes it give up.
-func redialWatch(ctx context.Context, addr string) (*ctrlproto.Client, error) {
+func redialWatch(ctx context.Context, addr string) (*ctrlproto.Client, *ctrlproto.Stream, error) {
 	delay := watchBackoffBase
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		c, err := ctrlproto.Dial(addr)
 		if err == nil {
-			if werr := c.WatchTasks(ctx); werr == nil {
-				return c, nil
+			if s, serr := c.OpenStream(ctx, ctrlproto.StreamTasks, ""); serr == nil {
+				return c, s, nil
 			}
 			// Daemon reachable but not serving watches yet (still booting
 			// or already draining): close and keep trying.
@@ -421,7 +394,7 @@ func redialWatch(ctx context.Context, addr string) (*ctrlproto.Client, error) {
 		select {
 		case <-ctx.Done():
 			timer.Stop()
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		case <-timer.C:
 		}
 		if delay *= 2; delay > watchBackoffMax {
@@ -431,13 +404,14 @@ func redialWatch(ctx context.Context, addr string) (*ctrlproto.Client, error) {
 }
 
 // streamTaskEvents renders events until ctx is cancelled (returns true)
-// or the connection is lost and the event channel closes (returns false).
-func streamTaskEvents(ctx context.Context, c *ctrlproto.Client, out io.Writer) bool {
+// or the connection is lost and the stream channel closes (returns
+// false).
+func streamTaskEvents(ctx context.Context, s *ctrlproto.Stream, out io.Writer) bool {
 	for {
 		select {
 		case <-ctx.Done():
 			return true
-		case ev, ok := <-c.TaskEvents:
+		case ev, ok := <-s.C:
 			if !ok {
 				return false
 			}

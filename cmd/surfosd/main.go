@@ -7,9 +7,18 @@
 // Usage:
 //
 //	surfosd [-listen 127.0.0.1:7090] [-surfaces NR-Surface@east_wall,NR-Surface@north_wall]
-//	        [-state-dir DIR] [-drain-timeout 5s]
+//	        [-state-dir DIR] [-drain-timeout 5s] [-metrics ADDR]
+//	        [-max-conns N] [-idle-timeout 5m]
 //	        [-admit-max N] [-tenant-quota NAME=MAX[:WEIGHT],...]
 //	        [-health-interval 2s] [-fault-seed N] [-fault-fail P] [-fault-stuck N] [-fault-latency D]
+//
+// The -listen port is dual-protocol: a first byte equal to the wire magic
+// selects a framed task-control session (what surfctl speaks); anything
+// else — including silence — gets the interactive text protocol below.
+// The dedicated -ctrl port keeps serving framed clients unchanged.
+// With -metrics set, Prometheus text metrics (reconcile latency, journal
+// progress and lag, device health, admission rejections, event-bus
+// backpressure) are served at http://ADDR/metrics.
 //
 // With -state-dir set, the daemon journals every task spec and lifecycle
 // transition to an append-only write-ahead log in DIR and, at boot,
@@ -45,13 +54,16 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -63,18 +75,25 @@ import (
 	"surfos"
 	"surfos/internal/ctrlproto"
 	"surfos/internal/hwmgr"
+	"surfos/internal/metrics"
 	"surfos/internal/store"
 	"surfos/internal/telemetry"
+	"surfos/internal/wire"
 )
 
 // Northbound connection hardening: a stuck or hostile client cannot pin
 // goroutines forever. The idle deadline re-arms before every read; the
 // connection cap rejects (with a diagnostic line) rather than queues, so
-// operators get an immediate signal instead of a hang.
+// operators get an immediate signal instead of a hang. The cap and idle
+// timeout are tunable (-max-conns, -idle-timeout); these are the defaults.
 const (
-	maxNorthboundConns    = 64
-	northboundIdleTimeout = 5 * time.Minute
-	northboundLineMax     = 64 * 1024
+	defaultMaxNorthboundConns    = 64
+	defaultNorthboundIdleTimeout = 5 * time.Minute
+	northboundLineMax            = 64 * 1024
+	// northboundSniffTimeout bounds the framed-vs-text protocol detection:
+	// framed clients lead with the wire magic byte immediately, text
+	// operators stay silent until they see the banner.
+	northboundSniffTimeout = 250 * time.Millisecond
 )
 
 // daemonOptions is the fault-injection and health-loop configuration; the
@@ -94,6 +113,10 @@ type daemonOptions struct {
 	admitMax int
 	// quotas holds per-tenant admission quotas from -tenant-quota.
 	quotas map[string]surfos.TenantQuota
+	// maxConns caps concurrent northbound connections (0 = default).
+	maxConns int
+	// idleTimeout disconnects silent text-mode peers (0 = default).
+	idleTimeout time.Duration
 }
 
 func (o daemonOptions) injecting() bool {
@@ -135,23 +158,35 @@ type daemon struct {
 	// Northbound connection tracking for the graceful drain: the semaphore
 	// caps concurrency, the map enables the post-deadline force-close, and
 	// the WaitGroup is the drain barrier.
-	connMu  sync.Mutex
-	conns   map[net.Conn]struct{}
-	connWG  sync.WaitGroup
-	connSem chan struct{}
+	connMu      sync.Mutex
+	conns       map[net.Conn]struct{}
+	connWG      sync.WaitGroup
+	connSem     chan struct{}
+	maxConns    int
+	idleTimeout time.Duration
 }
 
 func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*daemon, error) {
+	maxConns := opts.maxConns
+	if maxConns <= 0 {
+		maxConns = defaultMaxNorthboundConns
+	}
+	idleTimeout := opts.idleTimeout
+	if idleTimeout <= 0 {
+		idleTimeout = defaultNorthboundIdleTimeout
+	}
 	d := &daemon{
-		ctx:     ctx,
-		apt:     surfos.NewApartment(),
-		hw:      surfos.NewHardware(),
-		clients: map[string]*ctrlproto.Client{},
-		mon:     surfos.NewMonitor(),
-		bus:     surfos.NewTelemetryBus(),
-		events:  surfos.NewTaskEventBus(),
-		conns:   map[net.Conn]struct{}{},
-		connSem: make(chan struct{}, maxNorthboundConns),
+		ctx:         ctx,
+		apt:         surfos.NewApartment(),
+		hw:          surfos.NewHardware(),
+		clients:     map[string]*ctrlproto.Client{},
+		mon:         surfos.NewMonitor(),
+		bus:         surfos.NewTelemetryBus(),
+		events:      surfos.NewTaskEventBus(),
+		conns:       map[net.Conn]struct{}{},
+		connSem:     make(chan struct{}, maxConns),
+		maxConns:    maxConns,
+		idleTimeout: idleTimeout,
 	}
 	// Health transitions (device_degraded/device_dead/device_recovered) are
 	// published on the task-event bus: the monitor folds them into diagnosis
@@ -238,8 +273,11 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 	}
 
 	// Self-healing: device health transitions trigger a re-plan, migrating
-	// tasks off dead surfaces and back when they recover.
-	healCh, healUnsub := d.events.Subscribe(256)
+	// tasks off dead surfaces and back when they recover. Named so bus
+	// drop attribution (health output, metrics) can point at the consumer.
+	healCh, healUnsub := d.events.SubscribeOpts(telemetry.SubOptions[telemetry.TaskEvent]{
+		Name: "selfheal", Buffer: 256,
+	})
 	d.healStop = healUnsub
 	go orch.RunDeviceEvents(ctx, healCh)
 	if opts.healthEvery > 0 {
@@ -321,6 +359,32 @@ func (d *daemon) controlHealth() ctrlproto.ControlHealthInfo {
 	return info
 }
 
+// registerMetrics wires every subsystem's exporter into one registry:
+// reconcile latency and shard/tenant admission state from the
+// orchestrator, device health from the hardware manager, per-subscriber
+// fan-out accounting from the event bus, journal progress from the store,
+// plus the two daemon-local gauges (journal subscription lag and open
+// northbound connections). Call after openState so the journal exporters
+// attach.
+func (d *daemon) registerMetrics(reg *metrics.Registry) {
+	d.orch.RegisterMetrics(reg)
+	d.hw.RegisterMetrics(reg)
+	d.events.RegisterMetrics(reg)
+	if d.journal != nil {
+		d.journal.RegisterMetrics(reg)
+		reg.GaugeFunc("surfos_journal_lag",
+			"Journal subscription backlog: events published but not yet persisted.",
+			func() float64 { return float64(len(d.journalCh)) })
+	}
+	reg.GaugeFunc("surfos_northbound_connections",
+		"Open northbound connections, text and framed.",
+		func() float64 {
+			d.connMu.Lock()
+			defer d.connMu.Unlock()
+			return float64(len(d.conns))
+		})
+}
+
 // healthStateFor maps a journaled health transition back to the tracker's
 // state.
 func healthStateFor(transition string) hwmgr.HealthState {
@@ -371,7 +435,12 @@ func (d *daemon) openState(dir string) error {
 	// Announce the first journaling failure immediately — durability loss
 	// must not wait for the shutdown snapshot to surface.
 	d.journal.SetLogf(log.Printf)
-	ch, unsub := d.events.Subscribe(store.JournalBuffer)
+	// The journal must keep the synchronous drop-newest policy: a published
+	// event is either in the channel (and will be persisted) or counted
+	// dropped at publish time — a ring would defer that decision.
+	ch, unsub := d.events.SubscribeOpts(telemetry.SubOptions[telemetry.TaskEvent]{
+		Name: "journal", Buffer: store.JournalBuffer,
+	})
 	d.journalCh = ch
 	d.journalStop = unsub
 	d.journalDone = make(chan struct{})
@@ -458,41 +527,14 @@ func (d *daemon) handle(line string) (string, bool) {
 				fmt.Fprintf(&b, "journal: FAILED, new tasks are not durable: %v\n", err)
 			}
 		}
-		for _, h := range d.hw.HealthAll() {
-			fmt.Fprintf(&b, "%s state=%s", h.ID, h.State)
-			if len(h.StuckElements) > 0 {
-				fmt.Fprintf(&b, " stuck=%d", len(h.StuckElements))
-			}
-			if h.TotalFailures > 0 {
-				fmt.Fprintf(&b, " failures=%d/%d", h.ConsecutiveFailures, h.TotalFailures)
-			}
-			if h.LastErr != "" {
-				fmt.Fprintf(&b, " err=%q", h.LastErr)
-			}
-			b.WriteByte('\n')
-		}
+		// Device and control-plane sections share their renderer with
+		// surfctl (healthrender.go); the zero options are this text style.
+		ctrlproto.RenderDeviceHealth(&b, ctrlproto.HealthInfos(d.hw.HealthAll()), ctrlproto.HealthRenderOptions{})
 		if b.Len() == 0 {
 			return "no devices", true
 		}
-		// Control-plane section: per-shard load and reconcile latency,
-		// tenant admission accounting, telemetry backpressure, journal lag.
-		for _, s := range d.orch.ShardStats() {
-			fmt.Fprintf(&b, "shard %d surfaces=%d tasks=%d running=%d reconciles=%d last=%s\n",
-				s.Domain, len(s.Surfaces), s.Tasks, s.Running, s.Reconciles, s.LastReconcile)
-		}
-		for _, t := range d.orch.TenantStats() {
-			fmt.Fprintf(&b, "tenant %s active=%d rejected=%d", t.Tenant, t.Active, t.Rejected)
-			if t.Quota.MaxActive > 0 {
-				fmt.Fprintf(&b, " max=%d", t.Quota.MaxActive)
-			}
-			b.WriteByte('\n')
-		}
-		if n := d.events.Dropped(); n > 0 {
-			fmt.Fprintf(&b, "bus dropped=%d\n", n)
-		}
-		if d.journal != nil {
-			fmt.Fprintf(&b, "journal seq=%d lag=%d\n", d.journal.Seq(), len(d.journalCh))
-		}
+		ctrlproto.RenderControlHealth(&b, d.controlHealth(),
+			ctrlproto.HealthRenderOptions{JournalAlways: d.journal != nil})
 		return strings.TrimRight(b.String(), "\n"), true
 
 	case "hazards":
@@ -662,19 +704,50 @@ func (d *daemon) handle(line string) (string, bool) {
 	return fmt.Sprintf("unknown command %q (try help)", cmd), true
 }
 
-// serveConn handles one northbound session. Hardening: concurrency is
-// capped (excess connections get a diagnostic line and an immediate
-// close), an idle read deadline re-arms before every line, scanner errors
-// — oversized lines, resets, timeouts — are logged and answered with a
-// diagnostic when the connection can still carry one.
+// prefixedConn replays the protocol-sniff bytes ahead of the live
+// connection so the chosen handler sees an untouched byte stream.
+type prefixedConn struct {
+	net.Conn
+	r io.Reader
+}
+
+func (c prefixedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// sniffNorthbound reads at most one byte under a short deadline to pick
+// the session protocol: the wire magic byte means a framed task-control
+// client, anything else (or silence) means a text operator. It returns
+// the consumed bytes for replay.
+func sniffNorthbound(conn net.Conn) (prefix []byte, framed bool, err error) {
+	_ = conn.SetReadDeadline(time.Now().Add(northboundSniffTimeout))
+	var b [1]byte
+	n, err := conn.Read(b[:])
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			// A silent peer is a text operator waiting for the banner.
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return b[:n], n == 1 && b[0] == wire.MagicByte, nil
+}
+
+// serveConn handles one northbound session. The first byte selects the
+// protocol: framed task-control sessions (the surfctl client) are handed
+// to the control agent, everything else speaks the text line protocol.
+// Hardening: concurrency is capped (excess connections get a diagnostic
+// line and an immediate close), an idle read deadline re-arms before
+// every text line, scanner errors — oversized lines, resets, timeouts —
+// are logged and answered with a diagnostic when the connection can
+// still carry one.
 func (d *daemon) serveConn(conn net.Conn) {
 	defer conn.Close()
 	select {
 	case d.connSem <- struct{}{}:
 		defer func() { <-d.connSem }()
 	default:
-		log.Printf("northbound %v: rejected: connection limit (%d) reached", conn.RemoteAddr(), maxNorthboundConns)
-		fmt.Fprintf(conn, "error: busy: %d northbound connections already open, retry later\n", maxNorthboundConns)
+		log.Printf("northbound %v: rejected: connection limit (%d) reached", conn.RemoteAddr(), d.maxConns)
+		fmt.Fprintf(conn, "error: busy: %d northbound connections already open, retry later\n", d.maxConns)
 		return
 	}
 	d.connMu.Lock()
@@ -686,13 +759,25 @@ func (d *daemon) serveConn(conn net.Conn) {
 		d.connMu.Unlock()
 	}()
 
+	prefix, framed, err := sniffNorthbound(conn)
+	if err != nil {
+		log.Printf("northbound %v: sniff: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if framed {
+		// Framed sessions carry their own liveness (watch streams are
+		// long-lived and legitimately silent), so no idle deadline.
+		d.ctrl.ServeConn(prefixedConn{Conn: conn, r: io.MultiReader(bytes.NewReader(prefix), conn)})
+		return
+	}
+
 	fmt.Fprintf(conn, "surfos daemon ready; type help\n")
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(io.MultiReader(bytes.NewReader(prefix), conn))
 	sc.Buffer(make([]byte, northboundLineMax), northboundLineMax)
 	for {
 		// Idle deadline: a silent peer is disconnected rather than pinning
 		// this goroutine (and a semaphore slot) forever.
-		_ = conn.SetReadDeadline(time.Now().Add(northboundIdleTimeout))
+		_ = conn.SetReadDeadline(time.Now().Add(d.idleTimeout))
 		if !sc.Scan() {
 			break
 		}
@@ -712,7 +797,7 @@ func (d *daemon) serveConn(conn net.Conn) {
 		if errors.Is(err, bufio.ErrTooLong) {
 			fmt.Fprintf(conn, "error: line exceeds %d bytes, closing\n", northboundLineMax)
 		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
-			fmt.Fprintf(conn, "error: idle for %s, closing\n", northboundIdleTimeout)
+			fmt.Fprintf(conn, "error: idle for %s, closing\n", d.idleTimeout)
 		}
 	}
 }
@@ -764,7 +849,7 @@ func (d *daemon) drainConns(timeout time.Duration) {
 // returns through normal error handling, so the deferred close releases
 // agents, listeners and the journal even on a late listen error — the
 // log.Fatalf in main fires only after cleanup has run.
-func run(listen, ctrlAddr, surfaceList, stateDir string, drainTimeout time.Duration, opts daemonOptions) error {
+func run(listen, ctrlAddr, metricsAddr, surfaceList, stateDir string, drainTimeout time.Duration, opts daemonOptions) error {
 	// Lifetime context: canceled last, after the drain, so an in-flight
 	// reconcile finishes rather than aborting mid-commit.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -790,6 +875,21 @@ func run(listen, ctrlAddr, surfaceList, stateDir string, drainTimeout time.Durat
 			return fmt.Errorf("ctrl: %w", err)
 		}
 		log.Printf("task control listening on %s", addr)
+	}
+
+	if metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		d.registerMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(mln) }()
+		defer srv.Close()
+		log.Printf("metrics listening on http://%s/metrics", mln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", listen)
@@ -824,6 +924,7 @@ func run(listen, ctrlAddr, surfaceList, stateDir string, drainTimeout time.Durat
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7090", "northbound listen address")
 	ctrlAddr := flag.String("ctrl", "127.0.0.1:7091", "binary task-control listen address (surfctl; empty disables)")
+	metricsAddr := flag.String("metrics", "", "Prometheus metrics listen address (serves /metrics; empty disables)")
 	surfaceList := flag.String("surfaces",
 		"NR-Surface@east_wall,NR-Surface@north_wall",
 		"comma-separated MODEL@MOUNT deployments")
@@ -836,13 +937,15 @@ func main() {
 	faultLatency := flag.Duration("fault-latency", 0, "added latency per control write")
 	admitMax := flag.Int("admit-max", 0, "global live-task admission cap (0 disables)")
 	tenantQuotas := flag.String("tenant-quota", "", "per-tenant admission quotas, NAME=MAX[:WEIGHT],...")
+	maxConns := flag.Int("max-conns", defaultMaxNorthboundConns, "northbound concurrent-connection cap")
+	idleTimeout := flag.Duration("idle-timeout", defaultNorthboundIdleTimeout, "northbound text-session idle disconnect timeout")
 	flag.Parse()
 
 	quotas, err := parseTenantQuotas(*tenantQuotas)
 	if err != nil {
 		log.Fatalf("surfosd: -tenant-quota: %v", err)
 	}
-	if err := run(*listen, *ctrlAddr, *surfaceList, *stateDir, *drainTimeout, daemonOptions{
+	if err := run(*listen, *ctrlAddr, *metricsAddr, *surfaceList, *stateDir, *drainTimeout, daemonOptions{
 		faultSeed:    *faultSeed,
 		faultProb:    *faultProb,
 		faultStuck:   *faultStuck,
@@ -850,6 +953,8 @@ func main() {
 		healthEvery:  *healthEvery,
 		admitMax:     *admitMax,
 		quotas:       quotas,
+		maxConns:     *maxConns,
+		idleTimeout:  *idleTimeout,
 	}); err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"surfos"
+	"surfos/internal/ctrlproto"
+	"surfos/internal/metrics"
 )
 
 func testDaemon(t *testing.T) *daemon {
@@ -152,6 +154,61 @@ func TestDaemonNorthboundOverTCP(t *testing.T) {
 	}
 }
 
+// TestDaemonNorthboundFramedClient drives a framed task-control session
+// over the same port the text protocol uses: the first byte (the wire
+// magic) routes the connection to the control agent instead of the line
+// scanner.
+func TestDaemonNorthboundFramedClient(t *testing.T) {
+	d := testDaemon(t)
+	client, server := net.Pipe()
+	go d.serveConn(server)
+
+	c := ctrlproto.NewClient(client)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tasks, err := c.ListTasks(ctx)
+	if err != nil {
+		t.Fatalf("framed ListTasks over northbound port: %v", err)
+	}
+	if len(tasks) != 0 {
+		t.Fatalf("fresh daemon has tasks: %v", tasks)
+	}
+	// Multiplexed streams work on the shared port too.
+	s, err := c.OpenStream(ctx, ctrlproto.StreamTasks, "")
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("close stream: %v", err)
+	}
+}
+
+// TestDaemonNorthboundSniffKeepsTextFirstByte checks that a text client
+// whose first command arrives before the banner (so its first byte is
+// consumed by the protocol sniff) still gets that byte replayed into the
+// line scanner.
+func TestDaemonNorthboundSniffKeepsTextFirstByte(t *testing.T) {
+	d := testDaemon(t)
+	client, server := net.Pipe()
+	go d.serveConn(server)
+	defer client.Close()
+
+	// net.Pipe writes are synchronous: the server sniffs one byte, then
+	// writes the banner before draining the rest of the line, so the write
+	// must not block this goroutine (TCP buffering hides this in practice).
+	go func() { _, _ = client.Write([]byte("help\n")) }()
+	rd := bufio.NewReader(client)
+	banner, err := rd.ReadString('\n')
+	if err != nil || !strings.Contains(banner, "surfos daemon ready") {
+		t.Fatalf("banner: %q %v", banner, err)
+	}
+	line, err := rd.ReadString('\n')
+	if err != nil || !strings.Contains(line, "commands:") {
+		t.Fatalf("help reply with sniffed first byte: %q %v", line, err)
+	}
+}
+
 func TestDaemonHazardsAndDiagnosis(t *testing.T) {
 	d := testDaemon(t)
 
@@ -250,6 +307,41 @@ func TestDaemonSelfHealsDeadDevice(t *testing.T) {
 	reply, _ := d.handle("health")
 	if !strings.Contains(reply, devs[0].ID+" state=dead") {
 		t.Errorf("health after death: %q", reply)
+	}
+}
+
+// TestDaemonMetricsExposition wires the full registry and checks the
+// Prometheus text output carries every subsystem's families: reconcile
+// latency, device health, bus fan-out accounting, and the daemon gauges.
+func TestDaemonMetricsExposition(t *testing.T) {
+	d := testDaemon(t)
+	reg := metrics.NewRegistry()
+	d.registerMetrics(reg)
+
+	if reply, _ := d.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "running") {
+		t.Fatalf("demand: %q", reply)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"surfos_reconcile_duration_seconds_bucket",
+		"surfos_shard_tasks{domain=",
+		"surfos_admission_rejected_total{tenant=",
+		"surfos_device_health_state{device=",
+		"surfos_bus_subscribers",
+		"surfos_bus_subscriber_delivered_total{subscriber=\"selfheal\"",
+		"surfos_northbound_connections 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if strings.Contains(text, "surfos_reconcile_duration_seconds_count 0") {
+		t.Error("reconcile histogram saw no observations after a demand")
 	}
 }
 

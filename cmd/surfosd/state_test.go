@@ -209,7 +209,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 	dir := t.TempDir()
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", "", "NR-Surface@east_wall", dir, 500*time.Millisecond, daemonOptions{})
+		done <- run("127.0.0.1:0", "", "", "NR-Surface@east_wall", dir, 500*time.Millisecond, daemonOptions{})
 	}()
 	// Give the daemon a moment to boot; the signal is handled either way —
 	// before the accept loop it short-circuits straight into shutdown.
@@ -234,10 +234,10 @@ func TestRunGracefulShutdown(t *testing.T) {
 // run's normal error path (so deferred cleanup executes), not kill the
 // process before the daemon is released.
 func TestRunReportsListenErrors(t *testing.T) {
-	if err := run("500.0.0.1:0", "", "NR-Surface@east_wall", "", time.Second, daemonOptions{}); err == nil {
+	if err := run("500.0.0.1:0", "", "", "NR-Surface@east_wall", "", time.Second, daemonOptions{}); err == nil {
 		t.Error("bad northbound listen address accepted")
 	}
-	if err := run("127.0.0.1:0", "500.0.0.1:0", "NR-Surface@east_wall", "", time.Second, daemonOptions{}); err == nil {
+	if err := run("127.0.0.1:0", "500.0.0.1:0", "", "NR-Surface@east_wall", "", time.Second, daemonOptions{}); err == nil {
 		t.Error("bad ctrl listen address accepted")
 	}
 	_ = context.Background()

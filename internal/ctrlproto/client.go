@@ -41,6 +41,7 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]chan Frame
+	streams map[uint32]*Stream
 	closed  bool
 	readErr error
 
@@ -190,11 +191,16 @@ func (c *Client) readLoop() {
 				delete(c.pending, id)
 			}
 			c.closed = true
+			streams := c.streams
+			c.streams = nil
+			// Closing the push channels is the disconnect signal for
+			// stream consumers; sends happen under c.mu or only from this
+			// goroutine, so the closes cannot race a send.
+			for _, s := range streams {
+				close(s.c)
+			}
 			c.mu.Unlock()
 			c.conn.Close()
-			// Closing the push channels is the disconnect signal for
-			// stream consumers; only this goroutine ever sends on them,
-			// so the close cannot race a send.
 			close(c.Feedback)
 			close(c.TaskEvents)
 			return
@@ -214,6 +220,22 @@ func (c *Client) readLoop() {
 				case c.TaskEvents <- m:
 				default: // drop: the task table remains authoritative
 				}
+			}
+			continue
+		}
+		if f.Type == MsgTaskEvent {
+			// Multiplexed stream push: Corr carries the stream ID. The send
+			// happens under c.mu so Stream.Close can safely close the
+			// channel once it is out of the map.
+			if m, err := DecodeTaskEventMsg(f.Payload); err == nil {
+				c.mu.Lock()
+				if s, ok := c.streams[f.Corr]; ok {
+					select {
+					case s.c <- m:
+					default: // drop: the server-side ring already sheds per policy
+					}
+				}
+				c.mu.Unlock()
 			}
 			continue
 		}
@@ -432,6 +454,76 @@ func (c *Client) SubmitTask(ctx context.Context, m SubmitMsg) (TaskInfo, error) 
 // events arrive on c.TaskEvents.
 func (c *Client) WatchTasks(ctx context.Context) error {
 	_, err := c.roundTrip(ctx, MsgWatchTasks, nil)
+	return err
+}
+
+// Stream is one multiplexed event stream over a shared connection. Events
+// arrive on C, which closes when the stream is closed or the connection
+// is lost.
+type Stream struct {
+	// ID is the stream's wire identifier, unique on its connection.
+	ID uint32
+	// C delivers the stream's events. Buffered; overflow drops (the
+	// server-side ring is the real backpressure boundary).
+	C <-chan TaskEventMsg
+
+	c  chan TaskEventMsg
+	cl *Client
+}
+
+// OpenStream opens a logical event stream multiplexed over this
+// connection. Kind is StreamTasks or StreamHealth; filter scopes delivery
+// (tenant for tasks, device ID for health; "" = all). Any number of
+// streams share the connection with RPCs and each other.
+func (c *Client) OpenStream(ctx context.Context, kind, filter string) (*Stream, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("ctrlproto: client closed")
+		}
+		return nil, err
+	}
+	// Stream IDs draw from the correlation counter, so they never collide
+	// with in-flight RPCs on the same connection. Registered before the
+	// open round-trip: the first events can arrive ahead of the ack.
+	id := c.nextID
+	c.nextID++
+	if c.nextID == 0 {
+		c.nextID = 1
+	}
+	s := &Stream{ID: id, cl: c, c: make(chan TaskEventMsg, 256)}
+	s.C = s.c
+	if c.streams == nil {
+		c.streams = make(map[uint32]*Stream)
+	}
+	c.streams[id] = s
+	c.mu.Unlock()
+
+	_, err := c.roundTrip(ctx, MsgOpenStream, OpenStreamMsg{Stream: id, Kind: kind, Filter: filter}.Encode())
+	if err != nil {
+		c.mu.Lock()
+		if cur, ok := c.streams[id]; ok && cur == s {
+			delete(c.streams, id)
+			close(s.c)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close tears down the stream on the server and closes C. The connection
+// and its other streams stay up.
+func (s *Stream) Close(ctx context.Context) error {
+	_, err := s.cl.roundTrip(ctx, MsgCloseStream, CloseStreamMsg{Stream: s.ID}.Encode())
+	s.cl.mu.Lock()
+	if cur, ok := s.cl.streams[s.ID]; ok && cur == s {
+		delete(s.cl.streams, s.ID)
+		close(s.c)
+	}
+	s.cl.mu.Unlock()
 	return err
 }
 

@@ -12,25 +12,29 @@
 // correlation ID echoed by the matching reply, so a client can pipeline
 // concurrent requests over one connection; agents may also push unsolicited
 // Feedback frames (correlation 0).
+//
+// The framing layer itself (magic, version, length prefix) lives in the
+// shared internal/wire package — the framed northbound and any future
+// control-plane transport speak the same frames. This package layers the
+// message-type vocabulary and payload codecs on top.
 package ctrlproto
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"math"
 
 	"surfos/internal/surface"
+	"surfos/internal/wire"
 )
 
-// Protocol constants.
+// Protocol constants, re-exported from the shared framing layer so
+// existing callers keep compiling against ctrlproto alone.
 const (
-	Magic   uint16 = 0x5F05 // "SurfOS"
-	Version byte   = 1
-	// MaxPayload bounds a frame's payload; a 512×512-element codebook of 16
-	// entries is ~33 MB, so allow 64 MB.
-	MaxPayload = 64 << 20
+	Magic      = wire.Magic
+	Version    = wire.Version
+	MaxPayload = wire.MaxPayload
 )
 
 // MsgType identifies a frame's meaning.
@@ -68,6 +72,7 @@ func (t MsgType) String() string {
 		MsgWatchTasks: "watch-tasks", MsgTaskEvent: "task-event",
 		MsgDemand: "demand", MsgDemandReply: "demand-reply",
 		MsgHealth: "health", MsgHealthReply: "health-reply",
+		MsgOpenStream: "open-stream", MsgCloseStream: "close-stream",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -75,68 +80,39 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("msg(%d)", byte(t))
 }
 
-// Protocol errors.
+// Protocol errors. The framing errors are the shared wire sentinels, so
+// errors.Is works the same whether a caller checked against ctrlproto or
+// wire; ErrTruncated is this package's payload-decode error.
 var (
-	ErrBadMagic   = errors.New("ctrlproto: bad magic")
-	ErrBadVersion = errors.New("ctrlproto: unsupported version")
-	ErrTooLarge   = errors.New("ctrlproto: payload exceeds MaxPayload")
-	ErrTruncated  = errors.New("ctrlproto: truncated payload")
+	ErrBadMagic   = wire.ErrBadMagic
+	ErrBadVersion = wire.ErrBadVersion
+	ErrTooLarge   = wire.ErrTooLarge
+	ErrTruncated  = fmt.Errorf("ctrlproto: truncated payload")
 )
 
-// Frame is one protocol unit.
+// Frame is one protocol unit: a wire frame whose stream field carries this
+// protocol's request correlation ID (or stream ID for multiplexed event
+// streams) and whose type is a ctrlproto MsgType.
 type Frame struct {
 	Type    MsgType
 	Corr    uint32
 	Payload []byte
 }
 
-const headerLen = 2 + 1 + 1 + 4 + 4
+const headerLen = wire.HeaderLen
 
 // WriteFrame serializes a frame to w.
 func WriteFrame(w io.Writer, f Frame) error {
-	if len(f.Payload) > MaxPayload {
-		return ErrTooLarge
-	}
-	hdr := make([]byte, headerLen)
-	binary.BigEndian.PutUint16(hdr[0:2], Magic)
-	hdr[2] = Version
-	hdr[3] = byte(f.Type)
-	binary.BigEndian.PutUint32(hdr[4:8], f.Corr)
-	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(f.Payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	_, err := w.Write(f.Payload)
-	return err
+	return wire.WriteFrame(w, wire.Frame{Type: byte(f.Type), Stream: f.Corr, Payload: f.Payload})
 }
 
 // ReadFrame reads one frame from r.
 func ReadFrame(r io.Reader) (Frame, error) {
-	hdr := make([]byte, headerLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	wf, err := wire.ReadFrame(r)
+	if err != nil {
 		return Frame{}, err
 	}
-	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
-		return Frame{}, ErrBadMagic
-	}
-	if hdr[2] != Version {
-		return Frame{}, ErrBadVersion
-	}
-	n := binary.BigEndian.Uint32(hdr[8:12])
-	if n > MaxPayload {
-		return Frame{}, ErrTooLarge
-	}
-	f := Frame{
-		Type: MsgType(hdr[3]),
-		Corr: binary.BigEndian.Uint32(hdr[4:8]),
-	}
-	if n > 0 {
-		f.Payload = make([]byte, n)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			return Frame{}, err
-		}
-	}
-	return f, nil
+	return Frame{Type: MsgType(wf.Type), Corr: wf.Stream, Payload: wf.Payload}, nil
 }
 
 // --- payload primitives ---

@@ -49,11 +49,15 @@ type CtrlAgent struct {
 	closed   bool
 }
 
-// connState tracks one controller connection's write lock and event
-// watch subscription.
+// connState tracks one controller connection's write lock, its legacy
+// correlation-0 watch subscription, and its multiplexed streams. The
+// write lock doubles as the guard for the subscription fields: handle()
+// runs on the single read goroutine, so contention is only with teardown
+// and in-flight event writes.
 type connState struct {
 	w       sync.Mutex
 	unwatch func()
+	streams map[uint32]func() // stream ID -> subscription cancel
 }
 
 // NewCtrlAgent wraps an orchestrator for serving.
@@ -115,12 +119,27 @@ func (a *CtrlAgent) Close() error {
 		a.listener.Close()
 	}
 	for c, st := range a.conns {
-		if st.unwatch != nil {
-			st.unwatch()
-		}
+		st.cancelSubscriptions()
 		c.Close()
 	}
 	return nil
+}
+
+// cancelSubscriptions tears down the connection's watch and every open
+// stream. Safe to call more than once.
+func (st *connState) cancelSubscriptions() {
+	st.w.Lock()
+	unwatch := st.unwatch
+	st.unwatch = nil
+	streams := st.streams
+	st.streams = nil
+	st.w.Unlock()
+	if unwatch != nil {
+		unwatch()
+	}
+	for _, cancel := range streams {
+		cancel()
+	}
 }
 
 // ServeConn handles one established connection until it fails or the peer
@@ -141,10 +160,8 @@ func (a *CtrlAgent) ServeConn(conn net.Conn) {
 		delete(a.conns, conn)
 		a.mu.Unlock()
 		st.w.Lock() // wait for any in-flight event write
-		if st.unwatch != nil {
-			st.unwatch()
-		}
 		st.w.Unlock()
+		st.cancelSubscriptions()
 	}()
 	for {
 		f, err := ReadFrame(conn)
@@ -279,28 +296,61 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 		st.w.Lock()
 		already := st.unwatch != nil
 		if !already {
-			ch, cancel := a.Events.Subscribe(256)
+			ch, cancel := a.Events.SubscribeOpts(telemetry.SubOptions[telemetry.TaskEvent]{
+				Name: "watch-legacy", Buffer: 256, Policy: telemetry.DropOldest,
+			})
 			st.unwatch = cancel
-			go a.streamEvents(conn, st, ch)
+			go a.streamEvents(conn, st, 0, ch)
 		}
 		st.w.Unlock()
 		return ack
 
-	case MsgHealth:
-		var reply HealthReply
-		for _, h := range a.Orch.HW.HealthAll() {
-			info := HealthInfo{
-				DeviceID:            h.ID,
-				State:               h.State.String(),
-				ConsecutiveFailures: uint32(h.ConsecutiveFailures),
-				TotalFailures:       uint32(h.TotalFailures),
-				LastErr:             h.LastErr,
-			}
-			for _, idx := range h.StuckElements {
-				info.StuckElements = append(info.StuckElements, uint32(idx))
-			}
-			reply.Devices = append(reply.Devices, info)
+	case MsgOpenStream:
+		if a.Events == nil {
+			return fail(errors.New("ctrlproto: no event bus attached"))
 		}
+		m, err := DecodeOpenStreamMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if m.Stream == 0 {
+			return fail(errors.New("ctrlproto: stream ID 0 is reserved"))
+		}
+		opts, err := streamSubOptions(m)
+		if err != nil {
+			return fail(err)
+		}
+		st.w.Lock()
+		if _, dup := st.streams[m.Stream]; dup {
+			st.w.Unlock()
+			return fail(fmt.Errorf("ctrlproto: stream %d already open", m.Stream))
+		}
+		ch, cancel := a.Events.SubscribeOpts(opts)
+		if st.streams == nil {
+			st.streams = make(map[uint32]func())
+		}
+		st.streams[m.Stream] = cancel
+		st.w.Unlock()
+		go a.streamEvents(conn, st, m.Stream, ch)
+		return ack
+
+	case MsgCloseStream:
+		m, err := DecodeCloseStreamMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		st.w.Lock()
+		cancel, ok := st.streams[m.Stream]
+		delete(st.streams, m.Stream)
+		st.w.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("ctrlproto: stream %d not open", m.Stream))
+		}
+		cancel()
+		return ack
+
+	case MsgHealth:
+		reply := HealthReply{Devices: HealthInfos(a.Orch.HW.HealthAll())}
 		if a.ControlHealth != nil {
 			reply.HasControl = true
 			reply.Control = a.ControlHealth()
@@ -337,29 +387,62 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 	}
 }
 
-// streamEvents forwards bus events to one watcher as correlation-0 pushes
-// until the subscription is cancelled (connection teardown).
-func (a *CtrlAgent) streamEvents(conn net.Conn, st *connState, ch <-chan telemetry.TaskEvent) {
-	for ev := range ch {
-		m := TaskEventMsg{
-			UnixNanos:  ev.Time.UnixNano(),
-			TaskID:     uint32(ev.TaskID),
-			Kind:       ev.Kind,
-			State:      ev.State,
-			FreqHz:     ev.FreqHz,
-			Endpoint:   ev.Endpoint,
-			Strategy:   ev.Strategy,
-			Surfaces:   ev.Surfaces,
-			Share:      ev.Share,
-			Metric:     ev.Metric,
-			MetricName: ev.MetricName,
-			Err:        ev.Err,
-			DeviceID:   ev.DeviceID,
-			Tenant:     ev.Tenant,
-			Domain:     uint32(ev.Domain),
+// streamSubOptions maps a stream-open request to its bus subscription:
+// the kind picks the backpressure policy, the filter scopes delivery.
+func streamSubOptions(m OpenStreamMsg) (telemetry.SubOptions[telemetry.TaskEvent], error) {
+	switch m.Kind {
+	case StreamTasks:
+		o := telemetry.SubOptions[telemetry.TaskEvent]{
+			Name: "watch-tasks", Buffer: 256, Policy: telemetry.DropOldest,
 		}
+		if tenant := m.Filter; tenant != "" {
+			o.Filter = func(ev telemetry.TaskEvent) bool { return ev.Tenant == tenant }
+		}
+		return o, nil
+	case StreamHealth:
+		o := telemetry.SubOptions[telemetry.TaskEvent]{
+			Name: "watch-health", Buffer: 64, Policy: telemetry.Coalesce,
+			Key: func(ev telemetry.TaskEvent) string { return ev.DeviceID },
+		}
+		device := m.Filter
+		o.Filter = func(ev telemetry.TaskEvent) bool {
+			return ev.DeviceID != "" && (device == "" || ev.DeviceID == device)
+		}
+		return o, nil
+	}
+	return telemetry.SubOptions[telemetry.TaskEvent]{}, fmt.Errorf("ctrlproto: unknown stream kind %q", m.Kind)
+}
+
+// eventMsg converts a bus event to its wire form.
+func eventMsg(ev telemetry.TaskEvent) TaskEventMsg {
+	return TaskEventMsg{
+		UnixNanos:  ev.Time.UnixNano(),
+		TaskID:     uint32(ev.TaskID),
+		Kind:       ev.Kind,
+		State:      ev.State,
+		FreqHz:     ev.FreqHz,
+		Endpoint:   ev.Endpoint,
+		Strategy:   ev.Strategy,
+		Surfaces:   ev.Surfaces,
+		Share:      ev.Share,
+		Metric:     ev.Metric,
+		MetricName: ev.MetricName,
+		Err:        ev.Err,
+		DeviceID:   ev.DeviceID,
+		Tenant:     ev.Tenant,
+		Domain:     uint32(ev.Domain),
+	}
+}
+
+// streamEvents forwards bus events to one watcher — as correlation-0
+// pushes for the legacy whole-table watch (stream 0), or tagged with the
+// stream ID for a multiplexed stream — until the subscription is
+// cancelled (stream close or connection teardown).
+func (a *CtrlAgent) streamEvents(conn net.Conn, st *connState, stream uint32, ch <-chan telemetry.TaskEvent) {
+	for ev := range ch {
+		m := eventMsg(ev)
 		st.w.Lock()
-		err := WriteFrame(conn, Frame{Type: MsgTaskEvent, Corr: 0, Payload: m.Encode()})
+		err := WriteFrame(conn, Frame{Type: MsgTaskEvent, Corr: stream, Payload: m.Encode()})
 		st.w.Unlock()
 		if err != nil {
 			return // reader side tears the connection down

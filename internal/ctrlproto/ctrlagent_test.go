@@ -28,6 +28,13 @@ type ctrlRig struct {
 
 func newCtrlRig(t *testing.T) *ctrlRig {
 	t.Helper()
+	return newCtrlRigFaults(t, nil, nil)
+}
+
+// newCtrlRigFaults is newCtrlRig with a wire-fault script attached to the
+// client and/or agent side of the northbound connection (nil = clean).
+func newCtrlRigFaults(t *testing.T, clientFaults, agentFaults *WireFaults) *ctrlRig {
+	t.Helper()
 	apt := scene.NewApartment()
 	hw := hwmgr.New()
 	spec, err := driver.Lookup(driver.ModelNRSurface)
@@ -69,8 +76,16 @@ func newCtrlRig(t *testing.T) *ctrlRig {
 	agent.Logf = t.Logf
 
 	server, clientConn := net.Pipe()
-	go agent.ServeConn(server)
-	client := NewClient(clientConn)
+	var agentConn net.Conn = server
+	if agentFaults != nil {
+		agentConn = NewFaultyConn(server, agentFaults)
+	}
+	go agent.ServeConn(agentConn)
+	var cc net.Conn = clientConn
+	if clientFaults != nil {
+		cc = NewFaultyConn(clientConn, clientFaults)
+	}
+	client := NewClient(cc)
 	t.Cleanup(func() {
 		client.Close()
 		agent.Close()

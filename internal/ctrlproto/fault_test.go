@@ -12,6 +12,7 @@ import (
 
 	"surfos/internal/driver"
 	"surfos/internal/surface"
+	"surfos/internal/telemetry"
 )
 
 // faultSeed returns the suite's wire-fault/jitter seed: SURFOS_FAULT_SEED
@@ -247,5 +248,78 @@ func TestWireFaultsDeterministic(t *testing.T) {
 	}
 	if d1 == 0 || u1 == 0 {
 		t.Fatalf("expected both fault kinds to fire: drops=%d dups=%d", d1, u1)
+	}
+}
+
+// The seeded wire-fault suite extends to framed northbound connections:
+// multiplexed stream events ride the same codec as southbound RPCs, so
+// faults operate on whole frames — a dropped or duplicated event never
+// corrupts the byte stream, and the connection's RPCs and sibling streams
+// survive the script.
+func TestWireFaultsOnNorthboundStream(t *testing.T) {
+	clientWF := NewWireFaults(faultSeed(11))
+	agentWF := NewWireFaults(faultSeed(12))
+	r := newCtrlRigFaults(t, clientWF, agentWF)
+	ctx := context.Background()
+
+	s, err := r.client.OpenStream(ctx, StreamTasks, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A dropped event frame vanishes whole; the next one decodes cleanly.
+	agentWF.DropNext(1)
+	r.events.Publish(telemetry.TaskEvent{TaskID: 1, Kind: "link", State: telemetry.TaskRunning, Tenant: "default"})
+	r.events.Publish(telemetry.TaskEvent{TaskID: 2, Kind: "link", State: telemetry.TaskRunning, Tenant: "default"})
+	if ev := recvStream(t, s); ev.TaskID != 2 {
+		t.Fatalf("after dropped frame got task %d, want 2", ev.TaskID)
+	}
+	if agentWF.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", agentWF.Dropped())
+	}
+
+	// A duplicated event frame delivers twice — streams are at-least-once
+	// under wire faults, and each copy is a complete frame.
+	agentWF.SetDupProb(1)
+	r.events.Publish(telemetry.TaskEvent{TaskID: 3, Kind: "link", State: telemetry.TaskRunning, Tenant: "default"})
+	if ev := recvStream(t, s); ev.TaskID != 3 {
+		t.Fatalf("dup first copy = task %d", ev.TaskID)
+	}
+	if ev := recvStream(t, s); ev.TaskID != 3 {
+		t.Fatalf("dup second copy = task %d", ev.TaskID)
+	}
+	agentWF.SetDupProb(0)
+
+	// A lost open request surfaces as the timeout sentinel without leaking
+	// a client-side stream registration, and the connection stays usable.
+	r.client.Timeout = 100 * time.Millisecond
+	clientWF.DropNext(1)
+	if _, err := r.client.OpenStream(ctx, StreamTasks, ""); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped open err = %v, want ErrTimeout", err)
+	}
+	r.client.mu.Lock()
+	n := len(r.client.streams)
+	r.client.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("client streams after failed open = %d, want 1", n)
+	}
+	r.client.Timeout = 5 * time.Second
+	s2, err := r.client.OpenStream(ctx, StreamTasks, "")
+	if err != nil {
+		t.Fatalf("open after wire fault: %v", err)
+	}
+
+	// Delay is latency, not loss: both streams still see the next event,
+	// and an RPC shares the faulted connection unharmed.
+	agentWF.SetDelay(2 * time.Millisecond)
+	r.events.Publish(telemetry.TaskEvent{TaskID: 4, Kind: "link", State: telemetry.TaskRunning, Tenant: "default"})
+	if ev := recvStream(t, s); ev.TaskID != 4 {
+		t.Fatalf("delayed event on s = task %d", ev.TaskID)
+	}
+	if ev := recvStream(t, s2); ev.TaskID != 4 {
+		t.Fatalf("delayed event on s2 = task %d", ev.TaskID)
+	}
+	if _, err := r.client.ListTasks(ctx); err != nil {
+		t.Fatalf("RPC alongside faulted streams: %v", err)
 	}
 }

@@ -1,0 +1,101 @@
+package ctrlproto
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"surfos/internal/hwmgr"
+)
+
+// Health rendering shared by every operator-facing surface: the daemon's
+// text-mode `health` command and surfctl's `health` subcommand emit the
+// same facts with small cosmetic differences (line prefix, stuck-element
+// detail, journal verbosity). One renderer plus an options struct keeps
+// the two from drifting apart.
+
+// HealthRenderOptions selects between the operator-facing health formats.
+// The zero value is the daemon text-mode style.
+type HealthRenderOptions struct {
+	// DevicePrefix is prepended to every device line ("device " in
+	// surfctl; empty in the daemon's text mode).
+	DevicePrefix string
+	// StuckIndices appends the frozen-element indices after the count.
+	StuckIndices bool
+	// JournalAlways prints the journal line even when all fields are zero
+	// (the daemon prints it whenever a journal is attached).
+	JournalAlways bool
+	// JournalErr appends err=... to the journal line when non-empty.
+	JournalErr bool
+}
+
+// HealthInfos converts hardware-manager health snapshots to their wire
+// form, shared by the control agent's MsgHealth reply and the daemon's
+// text health command.
+func HealthInfos(hs []hwmgr.DeviceHealth) []HealthInfo {
+	var out []HealthInfo
+	for _, h := range hs {
+		info := HealthInfo{
+			DeviceID:            h.ID,
+			State:               h.State.String(),
+			ConsecutiveFailures: uint32(h.ConsecutiveFailures),
+			TotalFailures:       uint32(h.TotalFailures),
+			LastErr:             h.LastErr,
+		}
+		for _, idx := range h.StuckElements {
+			info.StuckElements = append(info.StuckElements, uint32(idx))
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// RenderDeviceHealth writes one line per device. Callers handle the
+// empty-set message themselves (the two surfaces disagree on what follows
+// it).
+func RenderDeviceHealth(w io.Writer, devs []HealthInfo, o HealthRenderOptions) {
+	for _, d := range devs {
+		fmt.Fprintf(w, "%s%s state=%s", o.DevicePrefix, d.DeviceID, d.State)
+		if len(d.StuckElements) > 0 {
+			fmt.Fprintf(w, " stuck=%d", len(d.StuckElements))
+			if o.StuckIndices {
+				fmt.Fprintf(w, "%v", d.StuckElements)
+			}
+		}
+		if d.ConsecutiveFailures > 0 || d.TotalFailures > 0 {
+			fmt.Fprintf(w, " failures=%d/%d", d.ConsecutiveFailures, d.TotalFailures)
+		}
+		if d.LastErr != "" {
+			fmt.Fprintf(w, " err=%q", d.LastErr)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderControlHealth writes the control plane's own health section:
+// per-shard load and latency, tenant admission accounting, telemetry
+// backpressure, and journal progress.
+func RenderControlHealth(w io.Writer, ch ControlHealthInfo, o HealthRenderOptions) {
+	for _, s := range ch.Shards {
+		fmt.Fprintf(w, "shard %d surfaces=%d tasks=%d running=%d reconciles=%d last=%s\n",
+			s.Domain, len(s.Surfaces), s.Tasks, s.Running, s.Reconciles,
+			time.Duration(s.LastReconcileNanos))
+	}
+	for _, t := range ch.Tenants {
+		fmt.Fprintf(w, "tenant %s active=%d rejected=%d", t.Tenant, t.Active, t.Rejected)
+		if t.MaxActive > 0 {
+			fmt.Fprintf(w, " max=%d", t.MaxActive)
+		}
+		fmt.Fprintln(w)
+	}
+	if ch.BusDropped > 0 {
+		fmt.Fprintf(w, "bus dropped=%d\n", ch.BusDropped)
+	}
+	if o.JournalAlways || ch.JournalSeq > 0 || ch.JournalLag > 0 || ch.JournalErr != "" {
+		fmt.Fprintf(w, "journal seq=%d lag=%d", ch.JournalSeq, ch.JournalLag)
+		if o.JournalErr && ch.JournalErr != "" {
+			fmt.Fprintf(w, " err=%q", ch.JournalErr)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,144 @@
+package ctrlproto
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"surfos/internal/telemetry"
+)
+
+func recvStream(t *testing.T, s *Stream) TaskEventMsg {
+	t.Helper()
+	select {
+	case m, ok := <-s.C:
+		if !ok {
+			t.Fatalf("stream %d closed unexpectedly", s.ID)
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatalf("stream %d: timed out waiting for event", s.ID)
+	}
+	panic("unreachable")
+}
+
+func TestMultiplexedStreamsShareOneConnection(t *testing.T) {
+	r := newCtrlRig(t)
+	ctx := context.Background()
+
+	a, err := r.client.OpenStream(ctx, StreamTasks, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.client.OpenStream(ctx, StreamTasks, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.client.OpenStream(ctx, StreamHealth, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID || a.ID == h.ID {
+		t.Fatalf("stream IDs collide: %d %d %d", a.ID, b.ID, h.ID)
+	}
+
+	// A task event fans out to both task streams; the health stream stays
+	// silent. An RPC on the same connection works concurrently.
+	r.events.Publish(telemetry.TaskEvent{TaskID: 7, Kind: "link", State: telemetry.TaskRunning, Tenant: "default"})
+	if ev := recvStream(t, a); ev.TaskID != 7 || ev.State != telemetry.TaskRunning {
+		t.Fatalf("stream a event = %+v", ev)
+	}
+	if ev := recvStream(t, b); ev.TaskID != 7 {
+		t.Fatalf("stream b event = %+v", ev)
+	}
+	if _, err := r.client.ListTasks(ctx); err != nil {
+		t.Fatalf("RPC alongside streams: %v", err)
+	}
+
+	// A device event reaches the health stream but not as a task event
+	// duplicate on it.
+	r.events.Publish(telemetry.TaskEvent{DeviceID: "s0", State: telemetry.DeviceDegraded})
+	if ev := recvStream(t, h); ev.DeviceID != "s0" || ev.State != telemetry.DeviceDegraded {
+		t.Fatalf("health event = %+v", ev)
+	}
+
+	// Closing one stream leaves the others (and the connection) live.
+	if err := b.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Drain anything buffered (task streams also carry device events, like
+	// the legacy watch); the channel must then be closed.
+	for {
+		_, ok := <-b.C
+		if !ok {
+			break
+		}
+	}
+	r.events.Publish(telemetry.TaskEvent{TaskID: 8, Kind: "link", State: telemetry.TaskDone})
+	for {
+		// Task streams also carry device events; skip the degraded push.
+		if ev := recvStream(t, a); ev.TaskID == 8 {
+			break
+		}
+	}
+	if _, err := r.client.ListTasks(ctx); err != nil {
+		t.Fatalf("RPC after stream close: %v", err)
+	}
+}
+
+func TestStreamFiltersScopeDelivery(t *testing.T) {
+	r := newCtrlRig(t)
+	ctx := context.Background()
+
+	alice, err := r.client.OpenStream(ctx, StreamTasks, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := r.client.OpenStream(ctx, StreamHealth, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.events.Publish(telemetry.TaskEvent{TaskID: 1, State: telemetry.TaskRunning, Tenant: "bob"})
+	r.events.Publish(telemetry.TaskEvent{TaskID: 2, State: telemetry.TaskRunning, Tenant: "alice"})
+	if ev := recvStream(t, alice); ev.TaskID != 2 || ev.Tenant != "alice" {
+		t.Fatalf("tenant filter leaked: %+v", ev)
+	}
+
+	r.events.Publish(telemetry.TaskEvent{DeviceID: "s0", State: telemetry.DeviceDead})
+	r.events.Publish(telemetry.TaskEvent{DeviceID: "s1", State: telemetry.DeviceDegraded})
+	if ev := recvStream(t, dev); ev.DeviceID != "s1" {
+		t.Fatalf("device filter leaked: %+v", ev)
+	}
+}
+
+func TestOpenStreamRejectsUnknownKind(t *testing.T) {
+	r := newCtrlRig(t)
+	if _, err := r.client.OpenStream(context.Background(), "weather", ""); err == nil {
+		t.Fatal("unknown stream kind accepted")
+	}
+	// The failed open must not leak a client-side stream registration.
+	r.client.mu.Lock()
+	n := len(r.client.streams)
+	r.client.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("leaked %d client streams after failed open", n)
+	}
+}
+
+func TestStreamsCloseOnDisconnect(t *testing.T) {
+	r := newCtrlRig(t)
+	s, err := r.client.OpenStream(context.Background(), StreamTasks, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.client.Close()
+	select {
+	case _, ok := <-s.C:
+		if ok {
+			return // drain until close
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream channel not closed on disconnect")
+	}
+}

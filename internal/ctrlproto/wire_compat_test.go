@@ -209,3 +209,25 @@ func TestHealthFullControlSection(t *testing.T) {
 		t.Fatalf("tenants = %+v, want acme active=1", reply.Control.Tenants)
 	}
 }
+
+// TestStreamMsgRoundTrip pins the multiplexed-stream control payloads
+// introduced with the framed northbound: open carries (stream, kind,
+// filter), close carries the stream ID alone.
+func TestStreamMsgRoundTrip(t *testing.T) {
+	in := OpenStreamMsg{Stream: 9, Kind: StreamTasks, Filter: "acme"}
+	out, err := DecodeOpenStreamMsg(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("open round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	cin := CloseStreamMsg{Stream: 9}
+	cout, err := DecodeCloseStreamMsg(cin.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cin, cout) {
+		t.Fatalf("close round trip mismatch:\n in: %+v\nout: %+v", cin, cout)
+	}
+}

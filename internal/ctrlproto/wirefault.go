@@ -1,11 +1,12 @@
 package ctrlproto
 
 import (
-	"encoding/binary"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"surfos/internal/wire"
 )
 
 // WireFaults scripts frame-level control-channel faults — drop, delay,
@@ -127,7 +128,7 @@ func (c *FaultyConn) Write(p []byte) (int, error) {
 	defer c.wmu.Unlock()
 	c.wbuf = append(c.wbuf, p...)
 	for {
-		frame, rest, ok := splitWireFrame(c.wbuf)
+		frame, rest, ok := wire.SplitFrame(c.wbuf)
 		if !ok {
 			return len(p), nil
 		}
@@ -149,17 +150,4 @@ func (c *FaultyConn) Write(p []byte) (int, error) {
 			}
 		}
 	}
-}
-
-// splitWireFrame extracts one complete frame from the head of buf.
-func splitWireFrame(buf []byte) (frame, rest []byte, ok bool) {
-	if len(buf) < headerLen {
-		return nil, buf, false
-	}
-	n := int(binary.BigEndian.Uint32(buf[8:12]))
-	total := headerLen + n
-	if n > MaxPayload || len(buf) < total {
-		return nil, buf, false
-	}
-	return buf[:total:total], buf[total:], true
 }

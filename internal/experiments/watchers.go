@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"surfos/internal/ctrlproto"
+	"surfos/internal/hwmgr"
+	"surfos/internal/metrics"
+	"surfos/internal/orchestrator"
+	"surfos/internal/rfsim"
+	"surfos/internal/scene"
+	"surfos/internal/telemetry"
+)
+
+// The watchers experiment stress-tests the framed northbound fan-out
+// path: many clients each multiplex many task-event streams over one
+// connection, a burst of events is published before and after a hard
+// control-agent restart, and the run asserts that (a) every event
+// reaches every stream — the per-stream drop-oldest rings are sized
+// above the burst, so nothing may legitimately shed — and (b) the
+// publish-to-receive latency tail stays bounded.
+
+// watchersParams scales the watcher fleet per profile.
+type watchersParams struct {
+	conns          int
+	streamsPerConn int
+	// events per publish phase; must stay below the agent-side ring
+	// buffer (256) so a zero-drop run is structurally guaranteed.
+	events int
+	// p99Bound is the latency ceiling the shape check enforces.
+	p99Bound time.Duration
+	// drainTimeout bounds the wait for full delivery of one phase.
+	drainTimeout time.Duration
+}
+
+func watchersFor(p Profile) watchersParams {
+	if p == Full {
+		// 100 connections x 100 streams = 10k concurrent watchers.
+		return watchersParams{conns: 100, streamsPerConn: 100, events: 50,
+			p99Bound: 60 * time.Second, drainTimeout: 10 * time.Minute}
+	}
+	return watchersParams{conns: 20, streamsPerConn: 10, events: 20,
+		p99Bound: 10 * time.Second, drainTimeout: 2 * time.Minute}
+}
+
+// WatchersResult is the northbound fan-out benchmark record; the field
+// names are stable because BENCH_northbound.json archives a marshalled
+// run.
+type WatchersResult struct {
+	Profile        string  `json:"profile"`
+	Conns          int     `json:"conns"`
+	StreamsPerConn int     `json:"streams_per_conn"`
+	Streams        int     `json:"streams"`
+	EventsPerPhase int     `json:"events_per_phase"`
+	OpenMillis     float64 `json:"open_all_streams_ms"`
+	// ReconnectMillis spans the hard agent restart: old epoch closed, new
+	// agent listening on the same address, every stream reopened.
+	ReconnectMillis float64 `json:"restart_reconnect_ms"`
+	Phase1Expected  uint64  `json:"phase1_expected"`
+	Phase1Received  uint64  `json:"phase1_received"`
+	Phase2Expected  uint64  `json:"phase2_expected"`
+	Phase2Received  uint64  `json:"phase2_received"`
+	// BusDropped is the bus's aggregate shed count over the whole run
+	// (must be zero: the rings are sized above the burst).
+	BusDropped     uint64  `json:"bus_dropped"`
+	P50Millis      float64 `json:"event_latency_p50_ms"`
+	P99Millis      float64 `json:"event_latency_p99_ms"`
+	P99BoundMillis float64 `json:"event_latency_p99_bound_ms"`
+}
+
+// listenWatchCtrl starts a control agent wired to the bus on addr.
+func listenWatchCtrl(orch *orchestrator.Orchestrator, bus *telemetry.EventBus, addr string) (*ctrlproto.CtrlAgent, string, error) {
+	a, err := ctrlproto.NewCtrlAgent(orch)
+	if err != nil {
+		return nil, "", err
+	}
+	a.Events = bus
+	got, err := a.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return a, got.String(), nil
+}
+
+// openWatchers dials the client fleet and opens every stream, attaching
+// a drain goroutine per stream that stamps receive latency and bumps the
+// shared delivery counter. Stream channels (client 256) and agent rings
+// (256) both exceed the phase burst, so a drained stream loses nothing.
+func openWatchers(ctx context.Context, addr string, par watchersParams, hist *metrics.Histogram, received *atomic.Uint64) ([]*ctrlproto.Client, error) {
+	clients := make([]*ctrlproto.Client, 0, par.conns)
+	for i := 0; i < par.conns; i++ {
+		c, err := ctrlproto.Dial(addr)
+		if err != nil {
+			closeClients(clients)
+			return nil, fmt.Errorf("dial conn %d: %w", i, err)
+		}
+		clients = append(clients, c)
+		for j := 0; j < par.streamsPerConn; j++ {
+			s, err := c.OpenStream(ctx, ctrlproto.StreamTasks, "")
+			if err != nil {
+				closeClients(clients)
+				return nil, fmt.Errorf("conn %d stream %d: %w", i, j, err)
+			}
+			go func(s *ctrlproto.Stream) {
+				for m := range s.C {
+					hist.Observe(time.Since(time.Unix(0, m.UnixNanos)).Seconds())
+					received.Add(1)
+				}
+			}(s)
+		}
+	}
+	return clients, nil
+}
+
+func closeClients(cs []*ctrlproto.Client) {
+	for _, c := range cs {
+		c.Close()
+	}
+}
+
+// publishBurst stamps and publishes one phase of task events.
+func publishBurst(bus *telemetry.EventBus, phase, n int) {
+	for i := 0; i < n; i++ {
+		bus.Publish(telemetry.TaskEvent{
+			Time:   time.Now(),
+			TaskID: phase*1000 + i,
+			Kind:   "watchers",
+			State:  telemetry.TaskRunning,
+			Tenant: "default",
+		})
+	}
+}
+
+// awaitDelivery waits until the fleet has received want events in total.
+func awaitDelivery(ctx context.Context, received *atomic.Uint64, want uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for received.Load() < want {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("delivery stalled: %d/%d events received", received.Load(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// relistenWatchCtrl brings a new agent epoch up on the old address,
+// retrying briefly while the kernel releases the port.
+func relistenWatchCtrl(orch *orchestrator.Orchestrator, bus *telemetry.EventBus, addr string) (*ctrlproto.CtrlAgent, error) {
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		a, _, err := listenWatchCtrl(orch, bus, addr)
+		if err == nil {
+			return a, nil
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("relisten %s: %w", addr, lastErr)
+}
+
+// RunWatchers executes the fan-out benchmark: open the fleet, burst,
+// verify complete delivery, hard-restart the agent, reopen every stream,
+// burst again, verify again.
+func RunWatchers(ctx context.Context, p Profile) (*WatchersResult, error) {
+	par := watchersFor(p)
+	apt := scene.NewApartment()
+	hw := hwmgr.New()
+	if _, err := chaosDeploy(apt, hw, "east", scene.MountEastWall, 8, 8); err != nil {
+		return nil, err
+	}
+	if err := hw.AddAP(&hwmgr.AccessPoint{
+		ID: "ap0", Pos: apt.AP, FreqHz: 24e9,
+		Budget: rfsim.DefaultBudget(), Antennas: 4,
+	}); err != nil {
+		return nil, err
+	}
+	orch, err := orchestrator.New(apt.Scene, hw, orchestrator.Options{OptIters: 30, GridStep: 1.5})
+	if err != nil {
+		return nil, err
+	}
+	bus := telemetry.NewEventBus()
+	orch.SetEventBus(bus)
+
+	// Latency histogram: the shared DurationBuckets ladder extended so a
+	// loaded tail is still measured rather than saturating at +Inf.
+	reg := metrics.NewRegistry()
+	bounds := append(append([]float64{}, metrics.DurationBuckets...), 30, 60, 120)
+	hist := reg.Histogram("surfos_watch_event_latency_seconds",
+		"Publish-to-receive latency across every watch stream.", bounds)
+
+	out := &WatchersResult{
+		Profile: p.String(), Conns: par.conns, StreamsPerConn: par.streamsPerConn,
+		Streams: par.conns * par.streamsPerConn, EventsPerPhase: par.events,
+		P99BoundMillis: float64(par.p99Bound) / float64(time.Millisecond),
+	}
+	perPhase := uint64(out.Streams) * uint64(par.events)
+	out.Phase1Expected, out.Phase2Expected = perPhase, perPhase
+
+	// --- epoch 1: open the fleet and burst ---
+	agent, addr, err := listenWatchCtrl(orch, bus, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	var received atomic.Uint64
+	t0 := time.Now()
+	clients, err := openWatchers(ctx, addr, par, hist, &received)
+	if err != nil {
+		agent.Close()
+		return nil, err
+	}
+	out.OpenMillis = float64(time.Since(t0)) / float64(time.Millisecond)
+
+	publishBurst(bus, 1, par.events)
+	if err := awaitDelivery(ctx, &received, perPhase, par.drainTimeout); err != nil {
+		closeClients(clients)
+		agent.Close()
+		return nil, fmt.Errorf("phase 1: %w", err)
+	}
+	out.Phase1Received = received.Load()
+
+	// --- hard restart: kill the agent, every connection drops ---
+	t1 := time.Now()
+	agent.Close()
+	closeClients(clients)
+	agent2, err := relistenWatchCtrl(orch, bus, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer agent2.Close()
+	clients2, err := openWatchers(ctx, addr, par, hist, &received)
+	if err != nil {
+		return nil, err
+	}
+	defer closeClients(clients2)
+	out.ReconnectMillis = float64(time.Since(t1)) / float64(time.Millisecond)
+
+	// --- epoch 2: the reopened fleet must again lose nothing ---
+	publishBurst(bus, 2, par.events)
+	if err := awaitDelivery(ctx, &received, 2*perPhase, par.drainTimeout); err != nil {
+		return nil, fmt.Errorf("phase 2: %w", err)
+	}
+	out.Phase2Received = received.Load() - out.Phase1Received
+	out.BusDropped = bus.Dropped()
+	out.P50Millis = hist.Quantile(0.50) * 1000
+	out.P99Millis = hist.Quantile(0.99) * 1000
+	return out, nil
+}
+
+// ShapeCheck verifies the fan-out claims: complete delivery in both
+// epochs, zero shed events, and a bounded latency tail. Returns "" when
+// all hold.
+func (r *WatchersResult) ShapeCheck() string {
+	var probs []string
+	if r.Phase1Received != r.Phase1Expected {
+		probs = append(probs, fmt.Sprintf("lost %d event(s) before restart", r.Phase1Expected-r.Phase1Received))
+	}
+	if r.Phase2Received != r.Phase2Expected {
+		probs = append(probs, fmt.Sprintf("lost %d event(s) after restart", r.Phase2Expected-r.Phase2Received))
+	}
+	if r.BusDropped != 0 {
+		probs = append(probs, fmt.Sprintf("bus shed %d event(s) though rings exceed the burst", r.BusDropped))
+	}
+	if r.P99Millis > r.P99BoundMillis {
+		probs = append(probs, fmt.Sprintf("p99 latency %.0fms exceeds the %.0fms bound", r.P99Millis, r.P99BoundMillis))
+	}
+	return strings.Join(probs, "; ")
+}
+
+// Render prints the fan-out benchmark.
+func (r *WatchersResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Watchers: %d multiplexed streams over %d connections (%s profile)\n\n",
+		r.Streams, r.Conns, r.Profile)
+	t := &Table{Header: []string{"phase", "expected", "received", "lost"}}
+	t.Add("before restart", fmt.Sprintf("%d", r.Phase1Expected), fmt.Sprintf("%d", r.Phase1Received),
+		fmt.Sprintf("%d", r.Phase1Expected-r.Phase1Received))
+	t.Add("after restart", fmt.Sprintf("%d", r.Phase2Expected), fmt.Sprintf("%d", r.Phase2Received),
+		fmt.Sprintf("%d", r.Phase2Expected-r.Phase2Received))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nopen all streams: %.0fms; restart-to-reopened: %.0fms\n", r.OpenMillis, r.ReconnectMillis)
+	fmt.Fprintf(&b, "event latency: p50=%.1fms p99=%.1fms (bound %.0fms); bus dropped=%d\n",
+		r.P50Millis, r.P99Millis, r.P99BoundMillis, r.BusDropped)
+	if s := r.ShapeCheck(); s != "" {
+		fmt.Fprintf(&b, "SHAPE CHECK FAILED: %s\n", s)
+	} else {
+		b.WriteString("shape check: zero lost non-dropped events across restart, p99 within bound\n")
+	}
+	return b.String()
+}

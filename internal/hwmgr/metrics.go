@@ -1,0 +1,32 @@
+package hwmgr
+
+import "surfos/internal/metrics"
+
+// RegisterMetrics exposes per-device health on a metrics registry. Each
+// device emits its current state as a one-hot gauge (the Prometheus idiom
+// for enums) plus failure and stuck-element counts, all read from the
+// health tracker at scrape time so the label set follows the inventory.
+func (m *Manager) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterCollector(func() []metrics.Family {
+		stateF := metrics.Family{Name: "surfos_device_health_state", Help: "Device health state (1 on the current state's series).", Type: "gauge"}
+		stuckF := metrics.Family{Name: "surfos_device_stuck_elements", Help: "Elements frozen by actuator faults.", Type: "gauge"}
+		failsF := metrics.Family{Name: "surfos_device_failures_total", Help: "Control/probe failures over the device's life.", Type: "counter"}
+		states := []HealthState{Healthy, Degraded, Dead}
+		for _, h := range m.HealthAll() {
+			for _, s := range states {
+				v := 0.0
+				if h.State == s {
+					v = 1
+				}
+				stateF.Samples = append(stateF.Samples, metrics.Sample{
+					Labels: []metrics.Label{{Name: "device", Value: h.ID}, {Name: "state", Value: s.String()}},
+					Value:  v,
+				})
+			}
+			lbl := []metrics.Label{{Name: "device", Value: h.ID}}
+			stuckF.Samples = append(stuckF.Samples, metrics.Sample{Labels: lbl, Value: float64(len(h.StuckElements))})
+			failsF.Samples = append(failsF.Samples, metrics.Sample{Labels: lbl, Value: float64(h.TotalFailures)})
+		}
+		return []metrics.Family{stateF, stuckF, failsF}
+	})
+}

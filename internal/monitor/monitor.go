@@ -170,7 +170,7 @@ func (m *Monitor) Observe(r telemetry.Report) {
 // cancel function is idempotent, safe to call after ctx cancellation, and
 // blocks until the observer goroutine has drained out (no leaks).
 func (m *Monitor) Run(ctx context.Context, bus *telemetry.Bus) (cancel func()) {
-	ch, unsub := bus.Subscribe(256)
+	ch, unsub := bus.SubscribeOpts(telemetry.SubOptions[telemetry.Report]{Name: "monitor-reports", Buffer: 256})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -251,7 +251,7 @@ func (m *Monitor) HandleTaskEvent(ev telemetry.TaskEvent) {
 // lifecycle bus, mirroring Run for telemetry reports. The returned cancel
 // function is idempotent and blocks until the consumer goroutine drains.
 func (m *Monitor) RunTaskEvents(ctx context.Context, bus *telemetry.EventBus) (cancel func()) {
-	ch, unsub := bus.Subscribe(256)
+	ch, unsub := bus.SubscribeOpts(telemetry.SubOptions[telemetry.TaskEvent]{Name: "monitor-events", Buffer: 256})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -10,6 +10,7 @@ import (
 
 	"surfos/internal/engine"
 	"surfos/internal/hwmgr"
+	"surfos/internal/metrics"
 	"surfos/internal/scene"
 	"surfos/internal/telemetry"
 )
@@ -109,6 +110,10 @@ type Orchestrator struct {
 	quotas   map[string]TenantQuota
 	admitMax int
 	rejected map[string]uint64
+
+	// latHist, when set via RegisterMetrics, observes every per-shard
+	// reconcile duration (metrics.go).
+	latHist *metrics.Histogram
 }
 
 // New builds an orchestrator over a scene and hardware inventory.

@@ -126,6 +126,9 @@ func (o *Orchestrator) reconcileDomains(ctx context.Context, domains []int) erro
 		sh.plans = o.pruneTerminalLocked(results[i])
 		sh.lastReconcile = durs[i]
 		sh.reconciles++
+		if o.latHist != nil {
+			o.latHist.Observe(durs[i].Seconds())
+		}
 	}
 	o.mu.Unlock()
 

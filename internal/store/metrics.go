@@ -1,0 +1,23 @@
+package store
+
+import "surfos/internal/metrics"
+
+// RegisterMetrics exposes the journal's durability state on a metrics
+// registry: the last appended WAL sequence, the compaction backlog since
+// the previous snapshot, and whether journaling has failed. Journal lag —
+// events published but not yet consumed — is the journal subscriber's bus
+// backlog and is exported by the bus metrics, labelled with the journal's
+// subscription name.
+func (j *Journal) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("surfos_journal_seq", "Last appended WAL record sequence.",
+		func() float64 { return float64(j.Seq()) })
+	r.GaugeFunc("surfos_journal_since_snapshot", "WAL records appended since the last snapshot.",
+		func() float64 { return float64(j.SinceSnapshot()) })
+	r.GaugeFunc("surfos_journal_failed", "1 when journaling has stopped on a write error.",
+		func() float64 {
+			if j.Err() != nil {
+				return 1
+			}
+			return 0
+		})
+}

@@ -1,62 +1,272 @@
 package telemetry
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
+
+// Policy names a subscriber's backpressure behavior — what happens when
+// events arrive faster than the subscriber drains them. The publisher
+// never blocks under any policy; the policies differ in *which* value is
+// sacrificed.
+type Policy string
+
+const (
+	// DropNewest discards the incoming value when the subscriber's channel
+	// buffer is full — the classic "stale telemetry is worthless" behavior
+	// and the default for plain Subscribe. Delivery is synchronous: the
+	// value is in the channel before Publish returns, which journal writers
+	// and deterministic experiments rely on.
+	DropNewest Policy = "drop-newest"
+	// DropOldest queues values in a per-subscriber ring and, when the ring
+	// is full, evicts the oldest undelivered value to admit the new one.
+	// A lagging watcher sees the freshest window of history rather than a
+	// frozen prefix. Delivery is asynchronous via a pump goroutine.
+	DropOldest Policy = "drop-oldest"
+	// Coalesce keeps at most one queued value per key (see SubOptions.Key),
+	// replacing the stale value in place when a newer one for the same key
+	// arrives. Built for health watchers: only a device's latest state
+	// matters, never the intermediate flaps. Asynchronous like DropOldest.
+	Coalesce Policy = "coalesce"
+)
+
+// SubOptions configures a named subscription.
+type SubOptions[T any] struct {
+	// Name attributes drops and deliveries to this subscriber in Stats()
+	// and the metrics surface. Empty names render as "anonymous".
+	Name string
+	// Buffer is the channel buffer (DropNewest) or ring capacity
+	// (DropOldest/Coalesce). Defaults to 16 when <= 0.
+	Buffer int
+	// Policy picks the backpressure behavior; empty means DropNewest.
+	Policy Policy
+	// Key derives the coalescing key (Coalesce only). Nil coalesces all
+	// values into a single latest-wins slot.
+	Key func(T) string
+	// Filter, when non-nil, admits only values it returns true for —
+	// evaluated on the publisher's goroutine, so keep it cheap.
+	Filter func(T) bool
+}
+
+// SubStats is one subscriber's delivery accounting.
+type SubStats struct {
+	Name      string
+	Policy    Policy
+	Delivered uint64
+	Dropped   uint64
+	// Queued is the instantaneous undelivered backlog (ring policies only;
+	// DropNewest backlog lives in the channel buffer and is not visible).
+	Queued int
+}
+
+// subscriber is one registered consumer. Ring-policy subscribers own a
+// pump goroutine moving queue head → channel; DropNewest subscribers are
+// plain buffered channels written synchronously from publish.
+type subscriber[T any] struct {
+	id     int
+	name   string
+	policy Policy
+	buffer int
+	key    func(T) string
+	filter func(T) bool
+
+	ch   chan T
+	done chan struct{} // closed by cancel; stops the pump
+	wake chan struct{} // cap-1 doorbell from publish to pump
+
+	// Guarded by the owning bus's mutex.
+	queue     []T // undelivered backlog (ring policies)
+	delivered uint64
+	dropped   uint64
+	closed    bool
+}
 
 // bus is the generic fan-out publish/subscribe core shared by the report
-// bus and the task-event bus. Slow subscribers drop (never block the
-// publisher): telemetry is advisory, freshest-wins.
+// bus and the task-event bus. Slow subscribers shed load per their policy
+// (never block the publisher): telemetry is advisory, freshest-wins.
 type bus[T any] struct {
 	mu   sync.Mutex
-	subs map[int]chan T
+	subs map[int]*subscriber[T]
 	next int
-	// dropped counts values discarded because a subscriber's buffer was
-	// full. Drops are by design, but invisible drops hide overload — the
-	// counter makes backpressure observable.
-	dropped uint64
+	// detachedDrops accumulates the drop counts of cancelled subscribers
+	// so the aggregate Dropped() stays monotonic across subscriber churn.
+	detachedDrops uint64
 }
 
-// subscribe registers a subscriber with the given channel buffer. The
-// returned cancel function unsubscribes and closes the channel.
+// subscribe registers a legacy synchronous drop-newest subscriber.
 func (b *bus[T]) subscribe(buffer int) (<-chan T, func()) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.subs == nil {
-		b.subs = make(map[int]chan T)
+	return b.subscribeOpts(SubOptions[T]{Buffer: buffer, Policy: DropNewest})
+}
+
+// subscribeOpts registers a subscriber with explicit options. The returned
+// cancel function unsubscribes and (eventually, for ring policies) closes
+// the channel.
+func (b *bus[T]) subscribeOpts(o SubOptions[T]) (<-chan T, func()) {
+	if o.Buffer <= 0 {
+		o.Buffer = 16
 	}
-	id := b.next
+	if o.Policy == "" {
+		o.Policy = DropNewest
+	}
+	s := &subscriber[T]{
+		name:   o.Name,
+		policy: o.Policy,
+		buffer: o.Buffer,
+		key:    o.Key,
+		filter: o.Filter,
+		done:   make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+	}
+	if o.Policy == DropNewest {
+		s.ch = make(chan T, o.Buffer)
+	} else {
+		// The ring absorbs bursts; the channel is a cap-1 handoff so the
+		// ring's eviction choice, not channel buffering, decides what a
+		// lagging subscriber sees.
+		s.ch = make(chan T, 1)
+	}
+
+	b.mu.Lock()
+	if b.subs == nil {
+		b.subs = make(map[int]*subscriber[T])
+	}
+	s.id = b.next
 	b.next++
-	ch := make(chan T, buffer)
-	b.subs[id] = ch
+	b.subs[s.id] = s
+	b.mu.Unlock()
+
+	if s.policy != DropNewest {
+		go b.pump(s)
+	}
+
 	cancel := func() {
 		b.mu.Lock()
-		defer b.mu.Unlock()
-		if c, ok := b.subs[id]; ok {
-			delete(b.subs, id)
-			close(c)
+		if s.closed {
+			b.mu.Unlock()
+			return
+		}
+		s.closed = true
+		delete(b.subs, s.id)
+		b.detachedDrops += s.dropped
+		b.mu.Unlock()
+		close(s.done)
+		if s.policy == DropNewest {
+			close(s.ch)
 		}
 	}
-	return ch, cancel
+	return s.ch, cancel
 }
 
-// publish delivers a value to every subscriber, dropping for any whose
-// buffer is full.
+// publish delivers a value to every subscriber per its policy. Never
+// blocks.
 func (b *bus[T]) publish(v T) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for _, ch := range b.subs {
-		select {
-		case ch <- v:
-		default: // drop: stale telemetry is worthless
-			b.dropped++
+	for _, s := range b.subs {
+		if s.filter != nil && !s.filter(v) {
+			continue
+		}
+		switch s.policy {
+		case DropNewest:
+			select {
+			case s.ch <- v:
+				s.delivered++
+			default: // drop: stale telemetry is worthless
+				s.dropped++
+			}
+		case Coalesce:
+			k := ""
+			if s.key != nil {
+				k = s.key(v)
+			}
+			replaced := false
+			for i := range s.queue {
+				qk := ""
+				if s.key != nil {
+					qk = s.key(s.queue[i])
+				}
+				if qk == k {
+					s.queue[i] = v
+					s.dropped++ // the superseded value was shed
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				if len(s.queue) >= s.buffer {
+					copy(s.queue, s.queue[1:])
+					s.queue = s.queue[:len(s.queue)-1]
+					s.dropped++
+				}
+				s.queue = append(s.queue, v)
+			}
+			ring(s)
+		case DropOldest:
+			if len(s.queue) >= s.buffer {
+				copy(s.queue, s.queue[1:])
+				s.queue = s.queue[:len(s.queue)-1]
+				s.dropped++
+			}
+			s.queue = append(s.queue, v)
+			ring(s)
 		}
 	}
 }
 
-// droppedCount returns how many values have been dropped on full buffers.
+// ring taps the subscriber's doorbell without blocking.
+func ring[T any](s *subscriber[T]) {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves a ring subscriber's backlog into its channel, one value at a
+// time. Blocking on the channel send is safe: the publisher only appends
+// to the queue (shedding per policy), never waits for the pump.
+func (b *bus[T]) pump(s *subscriber[T]) {
+	defer close(s.ch)
+	for {
+		select {
+		case <-s.wake:
+		case <-s.done:
+			return
+		}
+		for {
+			b.mu.Lock()
+			if len(s.queue) == 0 {
+				b.mu.Unlock()
+				break
+			}
+			v := s.queue[0]
+			s.queue[0] = *new(T) // drop the reference for GC
+			s.queue = s.queue[1:]
+			if len(s.queue) == 0 {
+				s.queue = nil // let a drained backlog free its array
+			}
+			// Counted at dequeue so Queued==0 implies the accounting is
+			// settled; the handoff below only fails on cancel.
+			s.delivered++
+			b.mu.Unlock()
+			select {
+			case s.ch <- v:
+			case <-s.done:
+				return
+			}
+		}
+	}
+}
+
+// droppedCount returns the monotonic total of values shed across all
+// subscribers, including ones that have since cancelled.
 func (b *bus[T]) droppedCount() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.dropped
+	total := b.detachedDrops
+	for _, s := range b.subs {
+		total += s.dropped
+	}
+	return total
 }
 
 // subscribers returns the current subscriber count.
@@ -64,4 +274,33 @@ func (b *bus[T]) subscribers() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.subs)
+}
+
+// stats snapshots per-subscriber accounting, ordered by name then
+// registration for deterministic rendering.
+func (b *bus[T]) stats() []SubStats {
+	b.mu.Lock()
+	out := make([]SubStats, 0, len(b.subs))
+	ids := make([]int, 0, len(b.subs))
+	for id := range b.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := b.subs[id]
+		name := s.name
+		if name == "" {
+			name = "anonymous"
+		}
+		out = append(out, SubStats{
+			Name:      name,
+			Policy:    s.policy,
+			Delivered: s.delivered,
+			Dropped:   s.dropped,
+			Queued:    len(s.queue),
+		})
+	}
+	b.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

@@ -79,11 +79,22 @@ type EventBus struct {
 // NewEventBus creates an empty task-event bus.
 func NewEventBus() *EventBus { return &EventBus{} }
 
-// Subscribe registers a subscriber with the given channel buffer. The
-// returned cancel function unsubscribes and closes the channel.
+// Subscribe registers a synchronous drop-newest subscriber with the given
+// channel buffer. The returned cancel function unsubscribes and closes the
+// channel.
 func (b *EventBus) Subscribe(buffer int) (<-chan TaskEvent, func()) {
 	return b.core.subscribe(buffer)
 }
+
+// SubscribeOpts registers a named subscriber with an explicit backpressure
+// policy. The returned cancel function unsubscribes; the channel closes
+// once the subscription has fully shut down.
+func (b *EventBus) SubscribeOpts(o SubOptions[TaskEvent]) (<-chan TaskEvent, func()) {
+	return b.core.subscribeOpts(o)
+}
+
+// Stats snapshots per-subscriber delivery and drop accounting.
+func (b *EventBus) Stats() []SubStats { return b.core.stats() }
 
 // Publish delivers an event to every subscriber, dropping for any whose
 // buffer is full.

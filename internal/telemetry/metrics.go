@@ -1,0 +1,44 @@
+package telemetry
+
+import "surfos/internal/metrics"
+
+// RegisterMetrics exposes the event bus's fan-out accounting on a metrics
+// registry: per-subscriber delivered/dropped counters and backlog depth
+// (labelled by subscriber name and policy), plus the aggregate subscriber
+// count and monotonic drop total.
+func (b *EventBus) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("surfos_bus_subscribers", "Current event-bus subscriber count.",
+		func() float64 { return float64(b.Subscribers()) })
+	r.CounterFunc("surfos_bus_dropped_total", "Events shed across all subscribers, including cancelled ones.",
+		func() float64 { return float64(b.Dropped()) })
+	r.RegisterCollector(func() []metrics.Family {
+		deliveredF := metrics.Family{Name: "surfos_bus_subscriber_delivered_total", Help: "Events delivered to subscribers with this name.", Type: "counter"}
+		droppedF := metrics.Family{Name: "surfos_bus_subscriber_dropped_total", Help: "Events shed for subscribers with this name per their backpressure policy.", Type: "counter"}
+		queuedF := metrics.Family{Name: "surfos_bus_subscriber_backlog", Help: "Undelivered events queued for subscribers with this name.", Type: "gauge"}
+		// Many subscribers can share a name (every watch stream of one kind
+		// does); aggregate per (name, policy) so each label set appears once.
+		type agg struct{ delivered, dropped, queued uint64 }
+		sums := map[[2]string]*agg{}
+		var order [][2]string
+		for _, st := range b.Stats() {
+			k := [2]string{st.Name, string(st.Policy)}
+			a, ok := sums[k]
+			if !ok {
+				a = &agg{}
+				sums[k] = a
+				order = append(order, k)
+			}
+			a.delivered += st.Delivered
+			a.dropped += st.Dropped
+			a.queued += uint64(st.Queued)
+		}
+		for _, k := range order {
+			lbl := []metrics.Label{{Name: "subscriber", Value: k[0]}, {Name: "policy", Value: k[1]}}
+			a := sums[k]
+			deliveredF.Samples = append(deliveredF.Samples, metrics.Sample{Labels: lbl, Value: float64(a.delivered)})
+			droppedF.Samples = append(droppedF.Samples, metrics.Sample{Labels: lbl, Value: float64(a.dropped)})
+			queuedF.Samples = append(queuedF.Samples, metrics.Sample{Labels: lbl, Value: float64(a.queued)})
+		}
+		return []metrics.Family{deliveredF, droppedF, queuedF}
+	})
+}

@@ -29,11 +29,22 @@ type Bus struct {
 // NewBus creates an empty bus.
 func NewBus() *Bus { return &Bus{} }
 
-// Subscribe registers a subscriber with the given channel buffer. The
-// returned cancel function unsubscribes and closes the channel.
+// Subscribe registers a synchronous drop-newest subscriber with the given
+// channel buffer. The returned cancel function unsubscribes and closes the
+// channel.
 func (b *Bus) Subscribe(buffer int) (<-chan Report, func()) {
 	return b.core.subscribe(buffer)
 }
+
+// SubscribeOpts registers a named subscriber with an explicit backpressure
+// policy. The returned cancel function unsubscribes; the channel closes
+// once the subscription has fully shut down.
+func (b *Bus) SubscribeOpts(o SubOptions[Report]) (<-chan Report, func()) {
+	return b.core.subscribeOpts(o)
+}
+
+// Stats snapshots per-subscriber delivery and drop accounting.
+func (b *Bus) Stats() []SubStats { return b.core.stats() }
 
 // Publish delivers a report to every subscriber, dropping for any whose
 // buffer is full.
