@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench bench-smoke fmt ci golden test-faults test-crash fuzz-smoke watchers-smoke
+.PHONY: all build test race vet staticcheck bench bench-smoke bench-parallel fmt ci golden test-faults test-crash fuzz-smoke watchers-smoke test-parallel
 
 all: build vet test
 
@@ -9,8 +9,9 @@ all: build vet test
 # figures modulo timing strings), a one-iteration benchmark smoke pass
 # so benchmark code cannot rot, the seeded fault-injection suite, the
 # crash-recovery boundary replay, a short fuzz pass over the shared wire
-# codec, and one quick run of the northbound watchers fan-out.
-ci: build vet staticcheck race golden bench-smoke test-faults test-crash fuzz-smoke watchers-smoke
+# codec, one quick run of the northbound watchers fan-out, and the
+# parallel-optimizer parity suite repeated at GOMAXPROCS=1,2,4.
+ci: build vet staticcheck race golden bench-smoke test-faults test-crash fuzz-smoke watchers-smoke test-parallel
 
 # fuzz-smoke runs the wire-frame fuzzer briefly on top of its checked-in
 # seed corpus: enough to catch codec regressions without a fuzz farm.
@@ -82,6 +83,19 @@ bench:
 # it catches benchmarks broken by API changes without paying timing runs.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-parallel records the sweep-scaling curve (one delta CD sweep at
+# pool widths 1/2/4/8) with host CPU metadata into BENCH_parallel.json.
+# Scaling is only visible on multi-core hosts; the record carries
+# num_cpu/gomaxprocs so a 1-CPU capture is not misread as a regression.
+bench-parallel:
+	./scripts/record-bench.sh 'BenchmarkParallelSweep' ./internal/optimize/ BENCH_parallel.json
+
+# test-parallel reruns the optimizer and sensing suites at several
+# GOMAXPROCS values (-cpu multiplies each test): the parallel sweeps must
+# stay bit-identical to serial whether the runtime has 1, 2, or 4 procs.
+test-parallel:
+	$(GO) test -count=1 -cpu=1,2,4 ./internal/optimize/ ./internal/sensing/ ./internal/engine/
 
 fmt:
 	gofmt -l -w .

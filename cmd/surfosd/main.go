@@ -117,6 +117,9 @@ type daemonOptions struct {
 	maxConns int
 	// idleTimeout disconnects silent text-mode peers (0 = default).
 	idleTimeout time.Duration
+	// optWorkers caps engine workers per optimizer run (0 = engine
+	// width, 1 = serial); results are identical either way.
+	optWorkers int
 }
 
 func (o daemonOptions) injecting() bool {
@@ -257,7 +260,7 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 		return nil, err
 	}
 
-	orch, err := surfos.NewOrchestrator(d.apt.Scene, d.hw, surfos.Options{})
+	orch, err := surfos.NewOrchestrator(d.apt.Scene, d.hw, surfos.Options{OptWorkers: opts.optWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -939,6 +942,7 @@ func main() {
 	tenantQuotas := flag.String("tenant-quota", "", "per-tenant admission quotas, NAME=MAX[:WEIGHT],...")
 	maxConns := flag.Int("max-conns", defaultMaxNorthboundConns, "northbound concurrent-connection cap")
 	idleTimeout := flag.Duration("idle-timeout", defaultNorthboundIdleTimeout, "northbound text-session idle disconnect timeout")
+	optWorkers := flag.Int("opt-workers", 0, "engine workers per optimizer run (0 = all, 1 = serial; results identical)")
 	flag.Parse()
 
 	quotas, err := parseTenantQuotas(*tenantQuotas)
@@ -955,6 +959,7 @@ func main() {
 		quotas:       quotas,
 		maxConns:     *maxConns,
 		idleTimeout:  *idleTimeout,
+		optWorkers:   *optWorkers,
 	}); err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}

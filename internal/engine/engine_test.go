@@ -1,4 +1,4 @@
-package engine
+package engine_test
 
 import (
 	"context"
@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/geom"
 	"surfos/internal/optimize"
 	"surfos/internal/rfsim"
@@ -33,13 +34,13 @@ func rig(t *testing.T) (*scene.Apartment, *surface.Surface) {
 	return apt, s
 }
 
-func spec(apt *scene.Apartment, s *surface.Surface) Spec {
-	return Spec{Scene: apt.Scene, FreqHz: em.Band24G, Surfaces: []*surface.Surface{s}}
+func spec(apt *scene.Apartment, s *surface.Surface) engine.Spec {
+	return engine.Spec{Scene: apt.Scene, FreqHz: em.Band24G, Surfaces: []*surface.Surface{s}}
 }
 
 func TestTxCacheHitsAndConfigMutationDoesNotInvalidate(t *testing.T) {
 	apt, s := rig(t)
-	eng := New(Options{})
+	eng := engine.New(engine.Options{})
 	ctx := context.Background()
 	sp := spec(apt, s)
 
@@ -88,7 +89,7 @@ func TestTxCacheHitsAndConfigMutationDoesNotInvalidate(t *testing.T) {
 
 func TestMovingWallInvalidatesTrace(t *testing.T) {
 	apt, s := rig(t)
-	eng := New(Options{})
+	eng := engine.New(engine.Options{})
 	ctx := context.Background()
 	sp := spec(apt, s)
 
@@ -137,7 +138,7 @@ func TestMovingWallInvalidatesTrace(t *testing.T) {
 
 func TestUncacheablePatternBypassesCache(t *testing.T) {
 	apt, s := rig(t)
-	eng := New(Options{})
+	eng := engine.New(engine.Options{})
 	ctx := context.Background()
 	sp := spec(apt, s)
 	sp.TxPattern = rfsim.ConeBeam(s.Panel.Center().Sub(apt.AP), 12*math.Pi/180, 20, -5)
@@ -176,7 +177,7 @@ func TestUncacheablePatternBypassesCache(t *testing.T) {
 
 func TestTxLRUEviction(t *testing.T) {
 	apt, s := rig(t)
-	eng := New(Options{MaxTxContexts: 2})
+	eng := engine.New(engine.Options{MaxTxContexts: 2})
 	ctx := context.Background()
 	sp := spec(apt, s)
 	for i := 0; i < 4; i++ {
@@ -204,7 +205,7 @@ func TestParallelHeatmapMatchesSerial(t *testing.T) {
 		cfg.Values[i] = float64(i%7) * math.Pi / 3
 	}
 
-	heatmap := func(eng *Engine) []float64 {
+	heatmap := func(eng *engine.Engine) []float64 {
 		t.Helper()
 		chans, err := eng.Channels(ctx, spec(apt, s), apt.AP, pts)
 		if err != nil {
@@ -222,8 +223,8 @@ func TestParallelHeatmapMatchesSerial(t *testing.T) {
 		return out
 	}
 
-	serial := heatmap(New(Options{Workers: 1}))
-	parallel := heatmap(New(Options{Workers: 8}))
+	serial := heatmap(engine.New(engine.Options{Workers: 1}))
+	parallel := heatmap(engine.New(engine.Options{Workers: 8}))
 	for i := range serial {
 		if d := math.Abs(serial[i] - parallel[i]); d > 1e-12 {
 			t.Fatalf("point %d: serial %.17g vs parallel %.17g (Δ %g)", i, serial[i], parallel[i], d)
@@ -232,7 +233,7 @@ func TestParallelHeatmapMatchesSerial(t *testing.T) {
 }
 
 func TestForEachDeterministicOrderAndCancel(t *testing.T) {
-	eng := New(Options{Workers: 4})
+	eng := engine.New(engine.Options{Workers: 4})
 	out := make([]int, 100)
 	if err := eng.ForEach(context.Background(), len(out), func(i int) { out[i] = i * i }); err != nil {
 		t.Fatal(err)
@@ -255,7 +256,7 @@ func TestForEachDeterministicOrderAndCancel(t *testing.T) {
 }
 
 func TestForEachDoesNotLeakGoroutines(t *testing.T) {
-	eng := New(Options{Workers: 8})
+	eng := engine.New(engine.Options{Workers: 8})
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int32
 	_ = eng.ForEach(ctx, 1000, func(i int) {
@@ -303,7 +304,7 @@ func (c *cancelAfter) Eval(phases [][]float64, wantGrad bool) (float64, [][]floa
 
 func TestAdamCancellationReturnsBestSoFar(t *testing.T) {
 	apt, s := rig(t)
-	eng := New(Options{})
+	eng := engine.New(engine.Options{})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	budget := rfsim.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6}
@@ -360,7 +361,7 @@ func TestAdamCancellationReturnsBestSoFar(t *testing.T) {
 
 func TestSingleflightTrace(t *testing.T) {
 	apt, s := rig(t)
-	eng := New(Options{})
+	eng := engine.New(engine.Options{})
 	ctx := context.Background()
 	sp := spec(apt, s)
 
@@ -399,11 +400,76 @@ func TestSortedSurfaces(t *testing.T) {
 	}
 	b, a := mk("b"), mk("a")
 	in := []*surface.Surface{b, a}
-	got := SortedSurfaces(in)
+	got := engine.SortedSurfaces(in)
 	if got[0].Name != "a" || got[1].Name != "b" {
 		t.Errorf("order: %s, %s", got[0].Name, got[1].Name)
 	}
 	if in[0].Name != "b" {
 		t.Error("SortedSurfaces mutated its input")
 	}
+}
+
+// TestParallelSweepWithHeatmapOnSharedPool hammers an optimizer sweep and
+// heatmap evaluation jobs on the same engine pool concurrently: no data
+// race, no deadlock from pool re-entrancy (the sweep borrows workers
+// through a scope and degrades gracefully when heatmaps hold them), and
+// the sweep result stays bit-identical to a serial run.
+func TestParallelSweepWithHeatmapOnSharedPool(t *testing.T) {
+	apt, s := rig(t)
+	ctx := context.Background()
+	budget := rfsim.LinkBudget{TxPowerDBm: 10, AntennaGainDB: 5, NoiseFigureDB: 7, BandwidthHz: 400e6}
+	reg := apt.Regions[scene.RegionTargetRoom]
+	pts := reg.GridPoints(0.7, scene.EvalHeight)
+
+	eng := engine.New(engine.Options{Workers: 8})
+	chans, err := eng.Channels(ctx, spec(apt, s), apt.AP, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := optimize.NewCoverageObjective(chans, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := optimize.ZeroPhases(obj.Shape())
+	serial := optimize.CoordinateDescent(ctx, obj, init, []float64{0, math.Pi}, optimize.Options{MaxIters: 2})
+
+	n := s.Layout.Rows * s.Layout.Cols
+	cfg := surface.Config{Property: surface.Phase, Values: make([]float64, n)}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out := make([]float64, len(chans))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = eng.ForEach(ctx, len(chans), func(i int) {
+				h, err := chans[i].Eval([]surface.Config{cfg})
+				if err == nil {
+					out[i] = budget.SNRdB(h)
+				}
+			})
+		}
+	}()
+
+	for i := 0; i < 6; i++ {
+		par := optimize.CoordinateDescent(ctx, obj, init, []float64{0, math.Pi},
+			optimize.Options{MaxIters: 2, Engine: eng, Workers: 0})
+		if par.Loss != serial.Loss || par.Evals != serial.Evals {
+			t.Fatalf("run %d: parallel (loss %.17g, evals %d) != serial (loss %.17g, evals %d)",
+				i, par.Loss, par.Evals, serial.Loss, serial.Evals)
+		}
+		for sf := range serial.Phases {
+			for k := range serial.Phases[sf] {
+				if par.Phases[sf][k] != serial.Phases[sf][k] {
+					t.Fatalf("run %d: phases diverge at s=%d k=%d", i, sf, k)
+				}
+			}
+		}
+	}
+	close(stop)
+	<-done
 }

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScopeWidthAndRelease: a scope takes the engine's spare tokens and
+// returns them on Release; while held, sibling scopes see only what's left.
+func TestScopeWidthAndRelease(t *testing.T) {
+	eng := New(Options{Workers: 4})
+	a := eng.Acquire(0)
+	if a.Workers() != 4 {
+		t.Fatalf("first scope width %d, want 4", a.Workers())
+	}
+	b := eng.Acquire(0)
+	if b.Workers() != 1 {
+		t.Errorf("second scope width %d, want 1 (tokens all loaned)", b.Workers())
+	}
+	a.Release()
+	a.Release() // idempotent: must not double-return tokens
+	c := eng.Acquire(2)
+	if c.Workers() != 2 {
+		t.Errorf("capped scope width %d, want 2", c.Workers())
+	}
+	d := eng.Acquire(0)
+	if d.Workers() != 3 {
+		t.Errorf("remainder scope width %d, want 3", d.Workers())
+	}
+	b.Release()
+	c.Release()
+	d.Release()
+	if e := eng.Acquire(0); e.Workers() != 4 {
+		t.Errorf("post-release scope width %d, want 4", e.Workers())
+	} else {
+		e.Release()
+	}
+}
+
+// TestScopeForEachSlotExclusive: invocations sharing a slot must never
+// overlap, slot 0 runs on the calling goroutine, and every index runs
+// exactly once.
+func TestScopeForEachSlotExclusive(t *testing.T) {
+	eng := New(Options{Workers: 8})
+	sc := eng.Acquire(0)
+	defer sc.Release()
+
+	busy := make([]atomic.Int32, sc.Workers())
+	var ran [512]atomic.Int32
+	err := sc.ForEach(context.Background(), len(ran), func(slot, i int) {
+		if slot < 0 || slot >= sc.Workers() {
+			t.Errorf("slot %d out of range [0,%d)", slot, sc.Workers())
+		}
+		if busy[slot].Add(1) != 1 {
+			t.Errorf("slot %d entered concurrently", slot)
+		}
+		ran[i].Add(1)
+		busy[slot].Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestNestedForEachSharesBudget: an inner fan-out launched from inside an
+// outer fan-out must not oversubscribe — total concurrently running
+// workers stays within the engine width — and must complete (no deadlock
+// from pool re-entrancy).
+func TestNestedForEachSharesBudget(t *testing.T) {
+	const width = 4
+	eng := New(Options{Workers: width})
+	var cur, peak atomic.Int32
+	note := func() {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+	}
+	err := eng.ForEach(context.Background(), 8, func(i int) {
+		inner := make([]int, 16)
+		_ = eng.ForEach(context.Background(), len(inner), func(j int) {
+			note()
+			for k := 0; k < 1000; k++ { // widen the overlap window
+				_ = k * k
+			}
+			inner[j] = j
+			cur.Add(-1)
+		})
+		for j, v := range inner {
+			if v != j {
+				t.Errorf("outer %d inner %d: got %d", i, j, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > width {
+		t.Errorf("peak concurrent workers %d exceeds engine width %d", p, width)
+	}
+}
+
+// TestScopeSerialWhenTokensHeld: with every token loaned out, a sibling
+// scope's ForEach degrades to serial inline execution and still completes.
+func TestScopeSerialWhenTokensHeld(t *testing.T) {
+	eng := New(Options{Workers: 4})
+	hold := eng.Acquire(0)
+	defer hold.Release()
+
+	sc := eng.Acquire(0)
+	defer sc.Release()
+	if sc.Workers() != 1 {
+		t.Fatalf("scope width %d, want 1", sc.Workers())
+	}
+	var mu sync.Mutex
+	order := make([]int, 0, 10)
+	if err := sc.ForEach(context.Background(), 10, func(slot, i int) {
+		if slot != 0 {
+			t.Errorf("serial scope used slot %d", slot)
+		}
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial scope ran out of order: %v", order)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package optimize
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
+	"surfos/internal/engine"
 	"surfos/internal/rfsim"
 )
 
@@ -66,6 +68,29 @@ func BenchmarkCoordinateDescentDelta(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CoordinateDescent(ctx, obj, init, benchCandidates, Options{MaxIters: 1})
+	}
+}
+
+// BenchmarkParallelSweep measures one delta coordinate-descent sweep fanned
+// across engine pools of increasing width. Workers=1 is the serial baseline
+// (no scope is ever acquired); wider pools speculate candidate blocks on
+// per-worker evaluator clones. Every width produces bit-identical results,
+// so the curve is purely a throughput measurement. Recorded by
+// `make bench-parallel` into BENCH_parallel.json.
+func BenchmarkParallelSweep(b *testing.B) {
+	obj, init := benchFixture(4)
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: w})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				CoordinateDescent(ctx, obj, init, benchCandidates, Options{
+					MaxIters: 1, Engine: eng, Workers: w,
+				})
+			}
+		})
 	}
 }
 

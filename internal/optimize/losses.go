@@ -146,6 +146,33 @@ func (e *coverageEvaluator) Revert() {
 	}
 }
 
+// Clone implements ParallelDeltaEvaluator: each location session is cloned
+// with its own phasor cache, so the clone prices moves with no shared state.
+func (e *coverageEvaluator) Clone() DeltaEvaluator {
+	evals := make([]*rfsim.Evaluator, len(e.evals))
+	for i, ev := range e.evals {
+		evals[i] = ev.Clone()
+	}
+	return &coverageEvaluator{o: e.o, evals: evals, loss: e.loss}
+}
+
+// IndependentElements implements ParallelDeltaEvaluator: true when every
+// location channel is single-bounce only.
+func (e *coverageEvaluator) IndependentElements() bool {
+	for _, ev := range e.evals {
+		if !ev.Independent() {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneForWorker implements ParallelObjective: the clone shares the channel
+// decompositions and link budget (immutable) but owns fresh Eval scratch.
+func (o *CoverageObjective) CloneForWorker() Objective {
+	return &CoverageObjective{Channels: o.Channels, Budget: o.Budget, shape: o.shape, snrScale: o.snrScale}
+}
+
 // MeanSpectralEfficiency reports the average bits/s/Hz across the
 // objective's locations at the given phases (positive form of the loss).
 func (o *CoverageObjective) MeanSpectralEfficiency(phases [][]float64) float64 {
@@ -284,6 +311,30 @@ func (e *powerEvaluator) Revert() {
 	}
 }
 
+// Clone implements ParallelDeltaEvaluator.
+func (e *powerEvaluator) Clone() DeltaEvaluator {
+	evals := make([]*rfsim.Evaluator, len(e.evals))
+	for i, ev := range e.evals {
+		evals[i] = ev.Clone()
+	}
+	return &powerEvaluator{o: e.o, evals: evals, loss: e.loss}
+}
+
+// IndependentElements implements ParallelDeltaEvaluator.
+func (e *powerEvaluator) IndependentElements() bool {
+	for _, ev := range e.evals {
+		if !ev.Independent() {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneForWorker implements ParallelObjective.
+func (o *PowerObjective) CloneForWorker() Objective {
+	return &PowerObjective{Channels: o.Channels, shape: o.shape, scale: o.scale}
+}
+
 // SecurityObjective protects a link by steering energy away from an
 // eavesdropper location while preserving the legitimate user's signal
 // (the security service): loss = |h_eve|²/bound² − w·SE_user.
@@ -411,4 +462,22 @@ func (e *securityEvaluator) Commit() {
 func (e *securityEvaluator) Revert() {
 	e.user.Revert()
 	e.ev.Revert()
+}
+
+// Clone implements ParallelDeltaEvaluator.
+func (e *securityEvaluator) Clone() DeltaEvaluator {
+	return &securityEvaluator{o: e.o, user: e.user.Clone(), ev: e.ev.Clone(), loss: e.loss}
+}
+
+// IndependentElements implements ParallelDeltaEvaluator.
+func (e *securityEvaluator) IndependentElements() bool {
+	return e.user.Independent() && e.ev.Independent()
+}
+
+// CloneForWorker implements ParallelObjective.
+func (o *SecurityObjective) CloneForWorker() Objective {
+	return &SecurityObjective{
+		User: o.User, Eve: o.Eve, UserWeight: o.UserWeight, Budget: o.Budget,
+		shape: o.shape, snrScale: o.snrScale, eveScale: o.eveScale,
+	}
 }

@@ -11,9 +11,11 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/surface"
 )
 
@@ -61,6 +63,42 @@ type DeltaEvaluator interface {
 type DeltaObjective interface {
 	Objective
 	NewDeltaEvaluator(phases [][]float64) DeltaEvaluator
+}
+
+// ParallelDeltaEvaluator is the optional extension of DeltaEvaluator for
+// sessions that can be cloned once per worker so a sweep prices candidate
+// batches concurrently.
+//
+// Clone semantics: the clone is positioned at the receiver's committed
+// state and owns every piece of cached state (phasors, measurement
+// vectors, scratch arenas) — no sharing, no locks on the pricing path. A
+// pending trial is never carried into a clone. Replaying an identical
+// TryDelta/Commit sequence on a clone reproduces the committed state of
+// the original bit-for-bit; the parallel optimizers rely on this to keep
+// per-worker sessions synchronized through a shared move log instead of
+// re-cloning. Clone may return nil when a session cannot be cloned (a
+// composed session with a non-cloneable child); callers then fall back to
+// the serial path.
+type ParallelDeltaEvaluator interface {
+	DeltaEvaluator
+	Clone() DeltaEvaluator
+	// IndependentElements reports whether single-element moves perturb
+	// disjoint cached state (single-bounce channel terms: h is affine with
+	// constant per-element coefficients). It is a speculation-batching
+	// hint, never a correctness requirement — parallel sweeps stay exact
+	// either way, coupled sessions just speculate in smaller blocks.
+	IndependentElements() bool
+}
+
+// ParallelObjective is the optional extension of Objective for losses
+// whose full Eval can run on per-worker clones. CloneForWorker returns an
+// independent Objective sharing the immutable problem inputs (channel
+// decompositions, budgets) but owning its own evaluation scratch, so
+// distinct clones may Eval concurrently. It may return nil when the
+// objective cannot provide one; callers then fall back to serial Eval.
+type ParallelObjective interface {
+	Objective
+	CloneForWorker() Objective
 }
 
 // Phasors converts phase values to unit phasors e^{jφ}, shaped like the
@@ -159,6 +197,28 @@ type WeightedSum struct {
 	Weights []float64
 
 	grad [][]float64 // gradient scratch, reused across Eval calls
+
+	// Pool configuration from UsePool: when set, Eval fans the terms
+	// across the engine's workers (each term instance owns its scratch, so
+	// distinct terms evaluate concurrently) and reduces in term order.
+	pool        *engine.Engine
+	poolWorkers int
+	termLoss    []float64     // per-term losses, reduced in term order
+	termGrad    [][][]float64 // per-term gradients (term-owned buffers)
+}
+
+// UsePool makes Eval fan its terms across the engine's worker pool:
+// each term evaluates on its own goroutine (every term instance already
+// owns its scratch), and the per-term losses and gradients are reduced
+// serially in term order afterwards. The reduction performs exactly one
+// addition per term per element — the same operation sequence as the
+// serial loop — so pooled evaluation is bit-identical to serial and safe
+// under golden-output checks. workers follows the engine convention: 0
+// means the engine's width, 1 forces the serial path. A nil engine
+// disables pooling.
+func (w *WeightedSum) UsePool(eng *engine.Engine, workers int) {
+	w.pool = eng
+	w.poolWorkers = workers
 }
 
 // NewWeightedSum validates shapes and builds the combination.
@@ -189,13 +249,21 @@ func (w *WeightedSum) Shape() []int { return w.Terms[0].Shape() }
 
 // Eval implements Objective. Each term's gradient is accumulated into the
 // sum's reusable scratch immediately after the term evaluates, so terms may
-// themselves return reused buffers.
+// themselves return reused buffers. With a pool configured (UsePool) and
+// more than one term, the terms evaluate concurrently and the accumulation
+// happens afterwards in term order — the identical operation sequence, so
+// the result is bit-for-bit the same either way.
 func (w *WeightedSum) Eval(phases [][]float64, wantGrad bool) (float64, [][]float64) {
 	var loss float64
 	var grad [][]float64
 	if wantGrad {
 		w.grad = gradScratch(w.grad, w.Shape())
 		grad = w.grad
+	}
+	if w.pool != nil && w.poolWorkers != 1 && len(w.Terms) > 1 {
+		if l, ok := w.evalPooled(phases, wantGrad, grad); ok {
+			return l, grad
+		}
 	}
 	for i, t := range w.Terms {
 		l, g := t.Eval(phases, wantGrad)
@@ -209,6 +277,57 @@ func (w *WeightedSum) Eval(phases [][]float64, wantGrad bool) (float64, [][]floa
 		}
 	}
 	return loss, grad
+}
+
+// evalPooled fans the terms across the engine pool and reduces in term
+// order. It reports false (leaving grad untouched) when the pool has no
+// spare workers right now, in which case the caller runs the serial loop.
+func (w *WeightedSum) evalPooled(phases [][]float64, wantGrad bool, grad [][]float64) (float64, bool) {
+	sc := w.pool.Acquire(w.poolWorkers)
+	defer sc.Release()
+	if sc.Workers() <= 1 {
+		return 0, false
+	}
+	if len(w.termLoss) != len(w.Terms) {
+		w.termLoss = make([]float64, len(w.Terms))
+		w.termGrad = make([][][]float64, len(w.Terms))
+	}
+	_ = sc.ForEach(context.Background(), len(w.Terms), func(_, i int) {
+		w.termLoss[i], w.termGrad[i] = w.Terms[i].Eval(phases, wantGrad)
+	})
+	var loss float64
+	for i := range w.Terms {
+		loss += w.Weights[i] * w.termLoss[i]
+		if wantGrad {
+			g := w.termGrad[i]
+			for s := range g {
+				for k := range g[s] {
+					grad[s][k] += w.Weights[i] * g[s][k]
+				}
+			}
+		}
+		w.termGrad[i] = nil
+	}
+	return loss, true
+}
+
+// CloneForWorker implements ParallelObjective: the clone carries per-worker
+// clones of every term (and no pool — clones evaluate on the worker that
+// owns them). Returns nil when any term is not cloneable.
+func (w *WeightedSum) CloneForWorker() Objective {
+	terms := make([]Objective, len(w.Terms))
+	for i, t := range w.Terms {
+		p, ok := t.(ParallelObjective)
+		if !ok {
+			return nil
+		}
+		c := p.CloneForWorker()
+		if c == nil {
+			return nil
+		}
+		terms[i] = c
+	}
+	return &WeightedSum{Terms: terms, Weights: w.Weights}
 }
 
 // weightedSumEvaluator composes the child sessions of a WeightedSum: every
@@ -262,4 +381,35 @@ func (e *weightedSumEvaluator) Revert() {
 	for _, c := range e.children {
 		c.Revert()
 	}
+}
+
+// Clone implements ParallelDeltaEvaluator by cloning every child session.
+// Returns nil when any child is not cloneable, so composed sweeps fall
+// back to the serial path as a unit.
+func (e *weightedSumEvaluator) Clone() DeltaEvaluator {
+	children := make([]DeltaEvaluator, len(e.children))
+	for i, c := range e.children {
+		p, ok := c.(ParallelDeltaEvaluator)
+		if !ok {
+			return nil
+		}
+		cc := p.Clone()
+		if cc == nil {
+			return nil
+		}
+		children[i] = cc
+	}
+	return &weightedSumEvaluator{children: children, weights: e.weights, loss: e.loss}
+}
+
+// IndependentElements reports independence only when every child declares
+// it — one coupled term makes the whole sum coupled.
+func (e *weightedSumEvaluator) IndependentElements() bool {
+	for _, c := range e.children {
+		p, ok := c.(ParallelDeltaEvaluator)
+		if !ok || !p.IndependentElements() {
+			return false
+		}
+	}
+	return true
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"math/rand"
+
+	"surfos/internal/engine"
 )
 
 // Projector maps a phase set onto the feasible set of the hardware
@@ -24,6 +26,21 @@ type Options struct {
 	Tolerance float64 // stop when |Δloss| < Tolerance for 10 iters, default 1e-9; ≤ 0 uses the default
 	Seed      int64   // RNG seed for stochastic methods; 0 is deterministic, not time-seeded
 	Project   Projector
+
+	// Engine provides the worker pool for parallel sweeps
+	// (CoordinateDescent and Anneal). Nil keeps every method serial. The
+	// pool is shared: sweeps borrow workers through a scope, so optimizer
+	// fan-outs and concurrent engine jobs (heatmaps, shard reconciles)
+	// never oversubscribe the machine. Parallel sweeps are bit-identical
+	// to serial ones — same trajectory, same Result.Evals — because
+	// candidates are priced speculatively on per-worker evaluator clones
+	// and reduced serially in candidate order (see DESIGN.md §13).
+	Engine *engine.Engine
+	// Workers caps how many pool workers one sweep may borrow: 0 means
+	// the engine's full width, 1 forces serial — the engine.Engine
+	// convention. When Workers > 1, Project (if set) must be safe for
+	// concurrent calls; the driver-backed projectors are.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -50,7 +67,16 @@ type Result struct {
 	// Evals counts objective evaluations performed during the run — full
 	// Eval calls and single-element delta evaluations alike — so the cost
 	// of methods with different per-iteration eval counts stays comparable.
+	// Parallel sweeps count each candidate exactly once, exactly as the
+	// serial path would: speculative evaluations that are discarded when an
+	// earlier element commits are excluded here and reported in
+	// WastedEvals instead.
 	Evals int
+	// WastedEvals counts speculative evaluations discarded by parallel
+	// sweeps (candidates priced against a state that a preceding commit
+	// invalidated). Always zero on serial runs. Evals+WastedEvals is the
+	// total work performed; Evals alone matches the serial run bit-for-bit.
+	WastedEvals int
 	// Stopped is true when the run ended early because its context was
 	// canceled or its deadline expired. Phases/Loss still hold the best
 	// feasible candidate found up to that point.
@@ -212,6 +238,39 @@ func nonEmptySurfaces(phases [][]float64) []int {
 	return out
 }
 
+// annealDraw is one iteration's pre-drawn randomness: target element,
+// phase offset, and acceptance variate.
+type annealDraw struct {
+	s, k int
+	off  float64
+	u    float64
+}
+
+// annealDraws pre-draws the full proposal stream — four values per
+// iteration (surface, element, offset, acceptance) regardless of outcome —
+// so the RNG stream never depends on acceptance decisions. This is what
+// lets parallel batches speculate on future proposals and discard them
+// without perturbing the sequence: a discarded proposal is re-priced
+// against the new state with the *same* draw.
+func annealDraws(rng *rand.Rand, surfs []int, cur [][]float64, n int) []annealDraw {
+	draws := make([]annealDraw, n)
+	for i := range draws {
+		s := surfs[rng.Intn(len(surfs))]
+		draws[i] = annealDraw{
+			s:   s,
+			k:   rng.Intn(len(cur[s])),
+			off: (rng.Float64() - 0.5) * math.Pi,
+			u:   rng.Float64(),
+		}
+	}
+	return draws
+}
+
+// annealTemp is the cooling schedule at global iteration it.
+func annealTemp(t0 float64, it, maxIters int) float64 {
+	return t0 * math.Exp(-4*float64(it)/float64(maxIters))
+}
+
 // Anneal runs simulated annealing with single-element perturbations —
 // effective for coarse quantized hardware (1-bit surfaces) where gradients
 // mislead. Cancellation via ctx returns the best state reached so far.
@@ -222,6 +281,12 @@ func nonEmptySurfaces(phases [][]float64) []int {
 // move every element. Surfaces with zero elements are never sampled; if
 // every surface is empty there is nothing to perturb and the run returns
 // immediately with the evaluated initial state and zero iterations.
+//
+// Proposal randomness is drawn up front, four variates per iteration
+// whether or not the proposal is accepted, so the stream is independent of
+// acceptance outcomes; with Options.Engine set, proposals are priced
+// speculatively on per-worker session clones and reduced in iteration
+// order, which reproduces the serial trajectory bit-for-bit.
 func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -250,25 +315,32 @@ func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) R
 	stopped := false
 
 	t0 := math.Abs(curLoss)*0.1 + 1e-3
+	draws := annealDraws(rng, surfs, cur, opt.MaxIters)
+
+	if sc := acquireScope(opt); sc != nil {
+		res, ok := annealParallel(ctx, obj, cur, ev, draws, curLoss, t0, opt, sc)
+		sc.Release()
+		if ok {
+			return res
+		}
+	}
+
 	it := 0
 	for ; it < opt.MaxIters; it++ {
 		if canceled(ctx) {
 			stopped = true
 			break
 		}
-		temp := t0 * math.Exp(-4*float64(it)/float64(opt.MaxIters))
-		// Perturb a random element of a random non-empty surface by a
-		// random phase offset.
-		s := surfs[rng.Intn(len(surfs))]
-		k := rng.Intn(len(cur[s]))
-		newPhase := cur[s][k] + (rng.Float64()-0.5)*math.Pi
+		temp := annealTemp(t0, it, opt.MaxIters)
+		d := draws[it]
+		newPhase := cur[d.s][d.k] + d.off
 
 		if ev != nil {
-			l := ev.TryDelta(s, k, newPhase)
+			l := ev.TryDelta(d.s, d.k, newPhase)
 			evals++
-			if l < curLoss || rng.Float64() < math.Exp((curLoss-l)/temp) {
+			if l < curLoss || d.u < math.Exp((curLoss-l)/temp) {
 				ev.Commit()
-				cur[s][k] = newPhase
+				cur[d.s][d.k] = newPhase
 				curLoss = l
 				if l < bestLoss {
 					copyPhases(best, cur)
@@ -282,11 +354,11 @@ func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) R
 		}
 
 		cand := ClonePhases(cur)
-		cand[s][k] = newPhase
+		cand[d.s][d.k] = newPhase
 		cand = project(opt.Project, cand)
 		l, _ := obj.Eval(cand, false)
 		evals++
-		if l < curLoss || rng.Float64() < math.Exp((curLoss-l)/temp) {
+		if l < curLoss || d.u < math.Exp((curLoss-l)/temp) {
 			cur, curLoss = cand, l
 			if l < bestLoss {
 				best, bestLoss = ClonePhases(cand), l
@@ -310,6 +382,13 @@ func Anneal(ctx context.Context, obj Objective, init [][]float64, opt Options) R
 // inside a sweep — candidate grids are feasible by construction) does not
 // affect path selection.
 //
+// With Options.Engine set, candidate batches are priced concurrently on
+// per-worker evaluator clones (or per-worker objective clones on the
+// full-Eval path) and reduced serially in element and candidate order:
+// lowest loss wins, ties broken by lowest candidate index — exactly the
+// serial comparison sequence, so the parallel trajectory, Result.Evals,
+// and the returned phases are bit-identical to a serial run.
+//
 // Result.Iterations reports completed sweeps; Result.Evals reports
 // objective evaluations.
 func CoordinateDescent(ctx context.Context, obj Objective, init [][]float64, candidates []float64, opt Options) Result {
@@ -320,6 +399,13 @@ func CoordinateDescent(ctx context.Context, obj Objective, init [][]float64, can
 	cur := project(opt.Project, ClonePhases(init))
 
 	ev := deltaSession(obj, cur)
+	if sc := acquireScope(opt); sc != nil {
+		res, ok := cdParallel(ctx, obj, cur, candidates, opt, sc, ev)
+		sc.Release()
+		if ok {
+			return res
+		}
+	}
 	var curLoss float64
 	if ev != nil {
 		curLoss = ev.Loss()

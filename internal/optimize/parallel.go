@@ -1,0 +1,468 @@
+// Parallel sweep scheduling for the derivative-free optimizers.
+//
+// The design goal is bit-for-bit equivalence with the serial loops, not
+// merely numerical closeness. Three mechanisms make that possible:
+//
+//   - Per-worker session clones (ParallelDeltaEvaluator.Clone /
+//     ParallelObjective.CloneForWorker): every worker owns all of its
+//     cached state, so pricing never shares memory and never locks.
+//   - Speculative blocks: candidates for a run of upcoming elements are
+//     priced concurrently against the committed state at block start. The
+//     serial reduction walks the block in element order; the first commit
+//     invalidates the rest of the block, which is discarded (counted in
+//     Result.WastedEvals) and re-priced against the new state. Work that
+//     survives is exactly the work the serial loop would have done, with
+//     identical inputs — and identical floating-point outputs, because no
+//     sum is reassociated anywhere.
+//   - A shared move log: instead of re-cloning after every commit, each
+//     clone lazily replays the committed moves it has not yet seen before
+//     pricing its next batch. Replaying a move costs the same as one delta
+//     evaluation, and the clone invariant (identical TryDelta/Commit
+//     sequence ⇒ identical state) keeps clones bit-equal to the primary.
+package optimize
+
+import (
+	"context"
+	"math"
+
+	"surfos/internal/engine"
+)
+
+// acquireScope borrows workers from the configured pool, or returns nil
+// when the run must be serial (no pool, Workers==1, or no spare workers
+// right now). The caller releases the scope.
+func acquireScope(opt Options) *engine.Scope {
+	if opt.Engine == nil || opt.Workers == 1 {
+		return nil
+	}
+	sc := opt.Engine.Acquire(opt.Workers)
+	if sc.Workers() <= 1 {
+		sc.Release()
+		return nil
+	}
+	return sc
+}
+
+// move is one committed single-element change, the unit of the shared
+// move log that keeps worker clones synchronized with the primary session.
+type move struct {
+	s, k  int
+	phase float64
+}
+
+// workerClones holds one delta-session clone per worker slot plus the
+// shared move log. The log is appended only between fan-outs (during the
+// serial reduction) and each slot's cursor is touched only by the
+// goroutine occupying that slot, so no locking is needed.
+type workerClones struct {
+	clones []DeltaEvaluator
+	cursor []int
+	log    []move
+}
+
+// newWorkerClones clones the primary once per slot; nil when the session
+// is not cloneable all the way down.
+func newWorkerClones(primary ParallelDeltaEvaluator, n int) *workerClones {
+	w := &workerClones{clones: make([]DeltaEvaluator, n), cursor: make([]int, n)}
+	for i := range w.clones {
+		c := primary.Clone()
+		if c == nil {
+			return nil
+		}
+		w.clones[i] = c
+	}
+	return w
+}
+
+// committed records a move applied to the primary session.
+func (w *workerClones) committed(m move) { w.log = append(w.log, m) }
+
+// at returns slot's clone, first replaying any committed moves the clone
+// has not seen yet.
+func (w *workerClones) at(slot int) DeltaEvaluator {
+	c := w.clones[slot]
+	for w.cursor[slot] < len(w.log) {
+		m := w.log[w.cursor[slot]]
+		c.TryDelta(m.s, m.k, m.phase)
+		c.Commit()
+		w.cursor[slot]++
+	}
+	return c
+}
+
+// elemRef is one element in sweep order.
+type elemRef struct{ s, k int }
+
+// flattenElems lists every element of every surface in sweep order.
+func flattenElems(shape [][]float64) []elemRef {
+	var out []elemRef
+	for s := range shape {
+		for k := range shape[s] {
+			out = append(out, elemRef{s, k})
+		}
+	}
+	return out
+}
+
+// cdItem is one speculative (element, candidate) pricing within a block.
+type cdItem struct {
+	e    int     // element index within the block
+	cand float64 // candidate phase value
+	loss float64 // filled by the worker
+}
+
+// cdParallel runs the parallel coordinate-descent loop. It reports ok=false
+// — before touching cur or the session — when the objective does not
+// support cloning, in which case the caller falls back to the serial loop.
+func cdParallel(ctx context.Context, obj Objective, cur [][]float64, candidates []float64, opt Options, sc *engine.Scope, ev DeltaEvaluator) (Result, bool) {
+	if ev != nil {
+		pev, ok := ev.(ParallelDeltaEvaluator)
+		if !ok {
+			return Result{}, false
+		}
+		wc := newWorkerClones(pev, sc.Workers())
+		if wc == nil {
+			return Result{}, false
+		}
+		return cdParallelDelta(ctx, obj, cur, candidates, opt, sc, ev, pev, wc), true
+	}
+	objs := cloneObjectives(obj, sc.Workers())
+	if objs == nil {
+		return Result{}, false
+	}
+	return cdParallelFull(ctx, obj, objs, cur, candidates, opt, sc), true
+}
+
+// cdParallelDelta is the delta-session variant: candidates are priced on
+// clones, the winning move is re-priced and committed on the primary
+// session (one counted eval, exactly like the serial loop's re-price).
+func cdParallelDelta(ctx context.Context, obj Objective, cur [][]float64, candidates []float64, opt Options, sc *engine.Scope, ev DeltaEvaluator, pev ParallelDeltaEvaluator, wc *workerClones) Result {
+	curLoss := ev.Loss()
+	evals, wasted := 1, 0
+	history := []float64{curLoss}
+	stopped := false
+
+	elems := flattenElems(cur)
+	// Independent elements commit rarely relative to block size early on
+	// and their replay cost is minimal, so speculate deeper; coupled
+	// sessions keep blocks at pool width.
+	blockElems := sc.Workers()
+	if pev.IndependentElements() {
+		blockElems *= 4
+	}
+	var items []cdItem
+	var starts []int
+
+	sweeps := 0
+sweeps:
+	for sweep := 0; sweep < opt.MaxIters; sweep++ {
+		improved := false
+		pos := 0
+		for pos < len(elems) {
+			if canceled(ctx) {
+				stopped = true
+				break sweeps
+			}
+			n := min(blockElems, len(elems)-pos)
+			block := elems[pos : pos+n]
+			items, starts = buildBlock(block, cur, candidates, items, starts)
+			if err := sc.ForEach(ctx, len(items), func(slot, i int) {
+				cl := wc.at(slot)
+				it := &items[i]
+				ref := block[it.e]
+				it.loss = cl.TryDelta(ref.s, ref.k, it.cand)
+				cl.Revert()
+			}); err != nil {
+				stopped = true
+				break sweeps
+			}
+			consumed := n
+			for e := 0; e < n; e++ {
+				ref := block[e]
+				orig := cur[ref.s][ref.k]
+				bestV, bestL := orig, curLoss
+				for i := starts[e]; i < starts[e+1]; i++ {
+					if items[i].loss < bestL {
+						bestV, bestL = items[i].cand, items[i].loss
+					}
+				}
+				evals += starts[e+1] - starts[e]
+				if bestV != orig {
+					// Re-price the winner so it becomes the primary's
+					// pending trial, then commit. The re-price is a counted
+					// eval exactly as in the serial loop; everything priced
+					// beyond this element is now stale and discarded.
+					ev.TryDelta(ref.s, ref.k, bestV)
+					evals++
+					ev.Commit()
+					wc.committed(move{ref.s, ref.k, bestV})
+					cur[ref.s][ref.k] = bestV
+					curLoss = bestL
+					improved = true
+					consumed = e + 1
+					wasted += starts[n] - starts[e+1]
+					break
+				}
+			}
+			pos += consumed
+		}
+		sweeps++
+		history = append(history, curLoss)
+		if !improved {
+			break
+		}
+	}
+	cur = project(opt.Project, cur)
+	finalLoss, _ := obj.Eval(cur, false)
+	evals++
+	return Result{Phases: cur, Loss: finalLoss, Iterations: sweeps, Evals: evals, WastedEvals: wasted, Stopped: stopped, History: history}
+}
+
+// buildBlock lays out the speculative items for a block: per element, one
+// item per candidate that differs from the element's current value, in
+// candidate order. starts[e]..starts[e+1] index element e's items.
+func buildBlock(block []elemRef, cur [][]float64, candidates []float64, items []cdItem, starts []int) ([]cdItem, []int) {
+	items, starts = items[:0], starts[:0]
+	for e, ref := range block {
+		starts = append(starts, len(items))
+		orig := cur[ref.s][ref.k]
+		for _, c := range candidates {
+			if c == orig {
+				continue
+			}
+			items = append(items, cdItem{e: e, cand: c})
+		}
+	}
+	starts = append(starts, len(items))
+	return items, starts
+}
+
+// cloneObjectives builds one objective clone per worker slot, or nil when
+// the objective is not cloneable.
+func cloneObjectives(obj Objective, n int) []Objective {
+	po, ok := obj.(ParallelObjective)
+	if !ok {
+		return nil
+	}
+	objs := make([]Objective, n)
+	for i := range objs {
+		if objs[i] = po.CloneForWorker(); objs[i] == nil {
+			return nil
+		}
+	}
+	return objs
+}
+
+// workerPhases lends each worker slot a private phase buffer kept in sync
+// with the committed phases by an epoch counter: the owner bumps the epoch
+// after every commit, and a stale buffer re-copies before its next use.
+type workerPhases struct {
+	cur   [][]float64
+	bufs  [][][]float64
+	epoch []int
+	cur1  int
+}
+
+func newWorkerPhases(cur [][]float64, n int) *workerPhases {
+	return &workerPhases{cur: cur, bufs: make([][][]float64, n), epoch: make([]int, n), cur1: 1}
+}
+
+// invalidate marks every worker buffer stale after a commit to cur.
+func (w *workerPhases) invalidate() { w.cur1++ }
+
+// at returns slot's buffer synced to the committed phases.
+func (w *workerPhases) at(slot int) [][]float64 {
+	if w.bufs[slot] == nil {
+		w.bufs[slot] = ClonePhases(w.cur)
+		w.epoch[slot] = w.cur1
+	} else if w.epoch[slot] != w.cur1 {
+		copyPhases(w.bufs[slot], w.cur)
+		w.epoch[slot] = w.cur1
+	}
+	return w.bufs[slot]
+}
+
+// cdParallelFull is the full-Eval variant for objectives without delta
+// support: each worker owns an objective clone (its own scratch — the
+// per-worker replacement for the old single-scratch contract) and a phase
+// buffer. The serial fallback performs no re-price on commit, so neither
+// does this path.
+func cdParallelFull(ctx context.Context, obj Objective, objs []Objective, cur [][]float64, candidates []float64, opt Options, sc *engine.Scope) Result {
+	curLoss, _ := obj.Eval(cur, false)
+	evals, wasted := 1, 0
+	history := []float64{curLoss}
+	stopped := false
+
+	elems := flattenElems(cur)
+	wp := newWorkerPhases(cur, sc.Workers())
+	blockElems := sc.Workers()
+	var items []cdItem
+	var starts []int
+
+	sweeps := 0
+sweeps:
+	for sweep := 0; sweep < opt.MaxIters; sweep++ {
+		improved := false
+		pos := 0
+		for pos < len(elems) {
+			if canceled(ctx) {
+				stopped = true
+				break sweeps
+			}
+			n := min(blockElems, len(elems)-pos)
+			block := elems[pos : pos+n]
+			items, starts = buildBlock(block, cur, candidates, items, starts)
+			if err := sc.ForEach(ctx, len(items), func(slot, i int) {
+				buf := wp.at(slot)
+				it := &items[i]
+				ref := block[it.e]
+				orig := buf[ref.s][ref.k]
+				buf[ref.s][ref.k] = it.cand
+				it.loss, _ = objs[slot].Eval(buf, false)
+				buf[ref.s][ref.k] = orig
+			}); err != nil {
+				stopped = true
+				break sweeps
+			}
+			consumed := n
+			for e := 0; e < n; e++ {
+				ref := block[e]
+				orig := cur[ref.s][ref.k]
+				bestV, bestL := orig, curLoss
+				for i := starts[e]; i < starts[e+1]; i++ {
+					if items[i].loss < bestL {
+						bestV, bestL = items[i].cand, items[i].loss
+					}
+				}
+				evals += starts[e+1] - starts[e]
+				if bestV != orig {
+					cur[ref.s][ref.k] = bestV
+					wp.invalidate()
+					curLoss = bestL
+					improved = true
+					consumed = e + 1
+					wasted += starts[n] - starts[e+1]
+					break
+				}
+			}
+			pos += consumed
+		}
+		sweeps++
+		history = append(history, curLoss)
+		if !improved {
+			break
+		}
+	}
+	cur = project(opt.Project, cur)
+	finalLoss, _ := obj.Eval(cur, false)
+	evals++
+	return Result{Phases: cur, Loss: finalLoss, Iterations: sweeps, Evals: evals, WastedEvals: wasted, Stopped: stopped, History: history}
+}
+
+// annealProp is one speculative proposal within an annealing batch.
+type annealProp struct {
+	newPhase float64
+	loss     float64
+	cand     [][]float64 // full-Eval path only: the projected candidate
+}
+
+// annealParallel prices proposal batches speculatively: the batch assumes
+// every earlier proposal in it is rejected, and the serial reduction —
+// which replays the pre-drawn acceptance variates in iteration order —
+// discards everything after the first acceptance. Discarded proposals are
+// re-priced in the next batch against the new state with their original
+// draws, so the trajectory is exactly the serial one. Reports ok=false
+// before touching any state when the session/objective is not cloneable.
+func annealParallel(ctx context.Context, obj Objective, cur [][]float64, ev DeltaEvaluator, draws []annealDraw, curLoss, t0 float64, opt Options, sc *engine.Scope) (Result, bool) {
+	var wc *workerClones
+	var objs []Objective
+	if ev != nil {
+		pev, ok := ev.(ParallelDeltaEvaluator)
+		if !ok {
+			return Result{}, false
+		}
+		if wc = newWorkerClones(pev, sc.Workers()); wc == nil {
+			return Result{}, false
+		}
+	} else if objs = cloneObjectives(obj, sc.Workers()); objs == nil {
+		return Result{}, false
+	}
+
+	evals, wasted := 1, 0
+	best := ClonePhases(cur)
+	bestLoss := curLoss
+	history := []float64{curLoss}
+	stopped := false
+
+	batchN := sc.Workers()
+	props := make([]annealProp, batchN)
+
+	it := 0
+	for it < opt.MaxIters {
+		if canceled(ctx) {
+			stopped = true
+			break
+		}
+		n := min(batchN, opt.MaxIters-it)
+		for j := 0; j < n; j++ {
+			d := draws[it+j]
+			props[j] = annealProp{newPhase: cur[d.s][d.k] + d.off}
+		}
+		var err error
+		if wc != nil {
+			err = sc.ForEach(ctx, n, func(slot, j int) {
+				cl := wc.at(slot)
+				d := draws[it+j]
+				props[j].loss = cl.TryDelta(d.s, d.k, props[j].newPhase)
+				cl.Revert()
+			})
+		} else {
+			// cur is only written between fan-outs, so workers may read it
+			// directly; each proposal builds its own candidate exactly as
+			// the serial loop does (clone, perturb, project, evaluate).
+			err = sc.ForEach(ctx, n, func(slot, j int) {
+				d := draws[it+j]
+				cand := ClonePhases(cur)
+				cand[d.s][d.k] = props[j].newPhase
+				cand = project(opt.Project, cand)
+				props[j].loss, _ = objs[slot].Eval(cand, false)
+				props[j].cand = cand
+			})
+		}
+		if err != nil {
+			stopped = true
+			break
+		}
+		consumed := n
+		for j := 0; j < n; j++ {
+			d := draws[it+j]
+			temp := annealTemp(t0, it+j, opt.MaxIters)
+			l := props[j].loss
+			evals++
+			if l < curLoss || d.u < math.Exp((curLoss-l)/temp) {
+				if wc != nil {
+					// Apply the accepted move to the primary session. This
+					// re-prices the same candidate the clone already priced,
+					// so it is not a counted eval.
+					ev.TryDelta(d.s, d.k, props[j].newPhase)
+					ev.Commit()
+					wc.committed(move{d.s, d.k, props[j].newPhase})
+					cur[d.s][d.k] = props[j].newPhase
+				} else {
+					cur = props[j].cand
+				}
+				curLoss = l
+				if l < bestLoss {
+					copyPhases(best, cur)
+					bestLoss = l
+					history = append(history, l)
+				}
+				consumed = j + 1
+				wasted += n - consumed
+				break
+			}
+		}
+		it += consumed
+	}
+	return Result{Phases: best, Loss: bestLoss, Iterations: it, Evals: evals, WastedEvals: wasted, Stopped: stopped, History: history}, true
+}

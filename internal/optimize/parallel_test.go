@@ -1,0 +1,303 @@
+package optimize
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"surfos/internal/engine"
+	"surfos/internal/rfsim"
+)
+
+// opaqueCloneable hides delta support (forcing the full-Eval path) while
+// keeping per-worker cloneability, so the parallel fallback is reachable.
+type opaqueCloneable struct{ inner ParallelObjective }
+
+func (o opaqueCloneable) Shape() []int { return o.inner.Shape() }
+func (o opaqueCloneable) Eval(p [][]float64, g bool) (float64, [][]float64) {
+	return o.inner.Eval(p, g)
+}
+func (o opaqueCloneable) CloneForWorker() Objective { return o.inner.CloneForWorker() }
+
+// parityObjectives builds one instance of every delta-capable objective
+// kind over the same element shape, mixing cross-coupled and single-bounce
+// channels so both speculation block sizes are exercised.
+func parityObjectives(t *testing.T, r *rand.Rand, shape []int) map[string]DeltaObjective {
+	t.Helper()
+	cover, err := NewCoverageObjective([]*rfsim.Channel{
+		randChannel(r, shape, true),
+		randChannel(r, shape, false),
+	}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverInd, err := NewCoverageObjective([]*rfsim.Channel{
+		randChannel(r, shape, false),
+		randChannel(r, shape, false),
+	}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := NewPowerObjective([]*rfsim.Channel{
+		randChannel(r, shape, false),
+		randChannel(r, shape, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := NewSecurityObjective(randChannel(r, shape, true), randChannel(r, shape, true), 0.5, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWeightedSum([]Objective{cover, power, sec}, []float64{1, 0.7, 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]DeltaObjective{
+		"coverage":             cover,
+		"coverage-independent": coverInd,
+		"power":                power,
+		"security":             sec,
+		"weighted-sum":         ws,
+	}
+}
+
+// requireIdentical asserts two results are bit-for-bit equal — not merely
+// within tolerance. Parallel sweeps never reassociate a floating-point sum,
+// so anything short of exact equality is a scheduling bug.
+func requireIdentical(t *testing.T, serial, par Result) {
+	t.Helper()
+	if par.Loss != serial.Loss {
+		t.Errorf("Loss: serial %.17g, parallel %.17g", serial.Loss, par.Loss)
+	}
+	if par.Iterations != serial.Iterations {
+		t.Errorf("Iterations: serial %d, parallel %d", serial.Iterations, par.Iterations)
+	}
+	if par.Evals != serial.Evals {
+		t.Errorf("Evals: serial %d, parallel %d (speculative work must not be counted)", serial.Evals, par.Evals)
+	}
+	if serial.WastedEvals != 0 {
+		t.Errorf("serial run reported %d wasted evals", serial.WastedEvals)
+	}
+	for s := range serial.Phases {
+		for k := range serial.Phases[s] {
+			if par.Phases[s][k] != serial.Phases[s][k] {
+				t.Fatalf("phases diverge at s=%d k=%d: serial %.17g, parallel %.17g",
+					s, k, serial.Phases[s][k], par.Phases[s][k])
+			}
+		}
+	}
+	if len(par.History) != len(serial.History) {
+		t.Fatalf("history length: serial %d, parallel %d", len(serial.History), len(par.History))
+	}
+	for i := range serial.History {
+		if par.History[i] != serial.History[i] {
+			t.Errorf("history[%d]: serial %.17g, parallel %.17g", i, serial.History[i], par.History[i])
+		}
+	}
+}
+
+// TestParallelCoordinateDescentParity: the parallel delta sweep reproduces
+// the serial trajectory bit-for-bit on every objective kind, at several
+// pool widths.
+func TestParallelCoordinateDescentParity(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	shape := []int{6, 5}
+	objs := parityObjectives(t, r, shape)
+	init := randPhases(r, shape)
+	ctx := context.Background()
+
+	for name, obj := range objs {
+		t.Run(name, func(t *testing.T) {
+			serial := CoordinateDescent(ctx, obj, init, nil, Options{MaxIters: 6})
+			for _, w := range []int{2, 4, 8} {
+				eng := engine.New(engine.Options{Workers: w})
+				par := CoordinateDescent(ctx, obj, init, nil, Options{MaxIters: 6, Engine: eng, Workers: w})
+				requireIdentical(t, serial, par)
+			}
+		})
+	}
+}
+
+// TestParallelAnnealParity: same guarantee for annealing — the pre-drawn
+// proposal stream plus discard-on-accept speculation reproduces the serial
+// chain exactly.
+func TestParallelAnnealParity(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	shape := []int{6, 5}
+	objs := parityObjectives(t, r, shape)
+	init := randPhases(r, shape)
+	ctx := context.Background()
+
+	for name, obj := range objs {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{1, 9} {
+				serial := Anneal(ctx, obj, init, Options{MaxIters: 150, Seed: seed})
+				for _, w := range []int{2, 4, 8} {
+					eng := engine.New(engine.Options{Workers: w})
+					par := Anneal(ctx, obj, init, Options{MaxIters: 150, Seed: seed, Engine: eng, Workers: w})
+					requireIdentical(t, serial, par)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFullEvalFallbackParity drives the per-worker-objective path
+// (delta support hidden, cloneability kept) for both optimizers, plus
+// projected annealing where the projector forces the full path.
+func TestParallelFullEvalFallbackParity(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	shape := []int{5, 4}
+	obj, err := NewCoverageObjective([]*rfsim.Channel{
+		randChannel(r, shape, true),
+		randChannel(r, shape, false),
+	}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opaque := opaqueCloneable{inner: obj}
+	init := randPhases(r, shape)
+	ctx := context.Background()
+
+	quantize := func(p [][]float64) [][]float64 {
+		out := make([][]float64, len(p))
+		for i, v := range p {
+			q := make([]float64, len(v))
+			for k, x := range v {
+				q[k] = math.Round(x/(math.Pi/2)) * (math.Pi / 2)
+			}
+			out[i] = q
+		}
+		return out
+	}
+
+	serialCD := CoordinateDescent(ctx, opaque, init, nil, Options{MaxIters: 4})
+	serialAn := Anneal(ctx, opaque, init, Options{MaxIters: 100, Seed: 3})
+	serialProj := Anneal(ctx, obj, init, Options{MaxIters: 60, Seed: 3, Project: quantize})
+	for _, w := range []int{2, 4} {
+		eng := engine.New(engine.Options{Workers: w})
+		parCD := CoordinateDescent(ctx, opaque, init, nil, Options{MaxIters: 4, Engine: eng, Workers: w})
+		requireIdentical(t, serialCD, parCD)
+		parAn := Anneal(ctx, opaque, init, Options{MaxIters: 100, Seed: 3, Engine: eng, Workers: w})
+		requireIdentical(t, serialAn, parAn)
+		parProj := Anneal(ctx, obj, init, Options{MaxIters: 60, Seed: 3, Engine: eng, Workers: w, Project: quantize})
+		requireIdentical(t, serialProj, parProj)
+	}
+}
+
+// TestParallelEvalsCountedOncePerCandidate pins the accounting fix: a
+// parallel run reports exactly the serial Evals — every candidate counted
+// once — with discarded speculative work segregated into WastedEvals.
+func TestParallelEvalsCountedOncePerCandidate(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	shape := []int{8, 7}
+	obj, err := NewCoverageObjective([]*rfsim.Channel{randChannel(r, shape, false)}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := randPhases(r, shape)
+	ctx := context.Background()
+	eng := engine.New(engine.Options{Workers: 4})
+
+	serial := CoordinateDescent(ctx, obj, init, nil, Options{MaxIters: 5})
+	par := CoordinateDescent(ctx, obj, init, nil, Options{MaxIters: 5, Engine: eng, Workers: 4})
+	if par.Evals != serial.Evals {
+		t.Errorf("CD Evals: serial %d, parallel %d", serial.Evals, par.Evals)
+	}
+	// A descent from a random start improves on early elements, so blocks
+	// are discarded and speculative work must show up as waste — proving
+	// the counters are actually separated rather than both zero.
+	if par.WastedEvals == 0 {
+		t.Error("CD: no wasted evals recorded; speculation accounting suspect")
+	}
+
+	serialAn := Anneal(ctx, obj, init, Options{MaxIters: 120, Seed: 7})
+	parAn := Anneal(ctx, obj, init, Options{MaxIters: 120, Seed: 7, Engine: eng, Workers: 4})
+	if parAn.Evals != serialAn.Evals {
+		t.Errorf("Anneal Evals: serial %d, parallel %d", serialAn.Evals, parAn.Evals)
+	}
+	if parAn.Evals != parAn.Iterations+1 {
+		t.Errorf("Anneal: Evals=%d, want Iterations+1=%d", parAn.Evals, parAn.Iterations+1)
+	}
+	if parAn.WastedEvals == 0 {
+		t.Error("Anneal: no wasted evals recorded; speculation accounting suspect")
+	}
+}
+
+// TestWeightedSumPooledEvalBitIdentical: fanning the sum's terms across a
+// pool must not change the loss or the gradient by a single bit, because
+// the reduction replays the serial accumulation order.
+func TestWeightedSumPooledEvalBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	shape := []int{6, 5}
+	objs := parityObjectives(t, r, shape)
+	ws := objs["weighted-sum"].(*WeightedSum)
+	phases := randPhases(r, shape)
+
+	serialLoss, serialGradRef := ws.Eval(phases, true)
+	serialGrad := ClonePhases(serialGradRef)
+
+	eng := engine.New(engine.Options{Workers: 4})
+	ws.UsePool(eng, 0)
+	defer ws.UsePool(nil, 0)
+	pooledLoss, pooledGrad := ws.Eval(phases, true)
+
+	if pooledLoss != serialLoss {
+		t.Errorf("loss: serial %.17g, pooled %.17g", serialLoss, pooledLoss)
+	}
+	for s := range serialGrad {
+		for k := range serialGrad[s] {
+			if pooledGrad[s][k] != serialGrad[s][k] {
+				t.Fatalf("grad[%d][%d]: serial %.17g, pooled %.17g", s, k, serialGrad[s][k], pooledGrad[s][k])
+			}
+		}
+	}
+}
+
+// TestParallelSweepSharesPoolUnderLoad hammers a parallel sweep while the
+// same engine pool runs unrelated fan-out jobs: no data race (-race), no
+// re-entrancy deadlock, and the sweep result still matches serial exactly
+// even when the pool is contended (contention only narrows scopes).
+func TestParallelSweepSharesPoolUnderLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	shape := []int{6, 5}
+	obj, err := NewCoverageObjective([]*rfsim.Channel{
+		randChannel(r, shape, true),
+		randChannel(r, shape, false),
+	}, testBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := randPhases(r, shape)
+	ctx := context.Background()
+	serial := CoordinateDescent(ctx, obj, init, nil, Options{MaxIters: 5})
+
+	eng := engine.New(engine.Options{Workers: 8})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink := make([]float64, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = eng.ForEach(ctx, len(sink), func(i int) {
+				sink[i] = math.Sqrt(float64(i + 1))
+			})
+		}
+	}()
+
+	for i := 0; i < 10; i++ {
+		par := CoordinateDescent(ctx, obj, init, nil, Options{MaxIters: 5, Engine: eng, Workers: 0})
+		requireIdentical(t, serial, par)
+	}
+	close(stop)
+	wg.Wait()
+}

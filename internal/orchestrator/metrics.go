@@ -14,9 +14,23 @@ func (o *Orchestrator) RegisterMetrics(r *metrics.Registry) {
 	h := r.Histogram("surfos_reconcile_duration_seconds",
 		"Wall-clock duration of one interference-domain shard reconcile.",
 		metrics.DurationBuckets)
+	sw := r.Histogram("surfos_optimize_sweep_duration_seconds",
+		"Wall-clock duration of one configuration-optimizer run.",
+		metrics.DurationBuckets)
 	o.mu.Lock()
 	o.latHist = h
+	o.sweepHist = sw
 	o.mu.Unlock()
+
+	r.CounterFunc("surfos_optimize_runs_total",
+		"Configuration-optimizer runs completed across all reconciles.",
+		func() float64 { return float64(o.optRuns.Load()) })
+	r.CounterFunc("surfos_optimize_evals_total",
+		"Objective evaluations counted by the optimizer (each candidate once, as in a serial run).",
+		func() float64 { return float64(o.optEvals.Load()) })
+	r.CounterFunc("surfos_optimize_wasted_evals_total",
+		"Speculative parallel evaluations discarded by commit invalidation.",
+		func() float64 { return float64(o.optWasted.Load()) })
 
 	r.RegisterCollector(func() []metrics.Family {
 		shards := o.ShardStats()

@@ -430,10 +430,39 @@ func (o *Orchestrator) taskWeight(t *Task, obj optimize.Objective) float64 {
 // quantization loss.
 func (o *Orchestrator) optimizeConfigs(ctx context.Context, obj optimize.Objective, devs []*hwmgr.Device) optimize.Result {
 	init := optimize.ZeroPhases(obj.Shape())
-	res := optimize.Adam(ctx, obj, init, optimize.Options{MaxIters: o.Opts.OptIters})
+	if ws, ok := obj.(*optimize.WeightedSum); ok {
+		// Fan the joint sum's terms across the engine pool for the
+		// duration of this run; the ordered reduction keeps pooled
+		// evaluation bit-identical to serial, so plans do not depend on
+		// the worker count.
+		ws.UsePool(o.eng, o.Opts.OptWorkers)
+		defer ws.UsePool(nil, 0)
+	}
+	start := time.Now()
+	res := optimize.Adam(ctx, obj, init, optimize.Options{
+		MaxIters: o.Opts.OptIters,
+		Engine:   o.eng,
+		Workers:  o.Opts.OptWorkers,
+	})
+	o.observeOptimize(time.Since(start), res)
 	res.Phases = projectorFor(devs)(res.Phases)
 	res.Loss, _ = obj.Eval(res.Phases, false)
 	return res
+}
+
+// observeOptimize feeds one optimizer run into the observability surface:
+// the sweep-latency histogram and the per-run eval counters exported by
+// RegisterMetrics. Safe from concurrent shard reconciles.
+func (o *Orchestrator) observeOptimize(d time.Duration, res optimize.Result) {
+	o.mu.Lock()
+	h := o.sweepHist
+	o.mu.Unlock()
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+	o.optRuns.Add(1)
+	o.optEvals.Add(uint64(res.Evals))
+	o.optWasted.Add(uint64(res.WastedEvals))
 }
 
 // applyEntries pushes each entry's configs to the devices as a codebook

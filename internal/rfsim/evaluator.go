@@ -55,6 +55,30 @@ func (ch *Channel) NewEvaluator(phases [][]float64) (*Evaluator, error) {
 // H returns the committed channel value.
 func (e *Evaluator) H() complex128 { return e.h }
 
+// Clone returns an independent session positioned at this session's
+// committed state. The clone owns its own phasor cache, so the two
+// sessions may be driven concurrently by different goroutines; a pending
+// (uncommitted) trial on the receiver is not carried over. Replaying the
+// same TryDelta/Commit sequence on a clone reproduces the original's
+// state bit-for-bit — the worker-synchronization invariant behind
+// parallel optimizer sweeps.
+func (e *Evaluator) Clone() *Evaluator {
+	x := make([][]complex128, len(e.x))
+	for s, xs := range e.x {
+		c := make([]complex128, len(xs))
+		copy(c, xs)
+		x[s] = c
+	}
+	return &Evaluator{ch: e.ch, x: x, h: e.h}
+}
+
+// Independent reports whether single-element moves touch disjoint state:
+// true when the channel has no cross blocks, so h is affine in each
+// phasor with a constant coefficient. Parallel sweep schedulers use this
+// as a batching hint (speculation stays cheap when commits don't ripple
+// through cascade rows).
+func (e *Evaluator) Independent() bool { return len(e.ch.Cross) == 0 }
+
 // TryDelta returns h with element k of surface s moved to newPhase, without
 // committing. The move becomes the pending trial.
 func (e *Evaluator) TryDelta(s, k int, newPhase float64) complex128 {

@@ -153,3 +153,60 @@ func TestNewEvaluatorShapeValidation(t *testing.T) {
 		t.Error("wrong element count accepted")
 	}
 }
+
+// TestEvaluatorCloneReplayBitIdentical drives the same random move sequence
+// through an original session and a clone taken mid-stream: the clone must
+// start bit-identical to the original's committed state, stay bit-identical
+// under replay, and share nothing (a pending trial on one side must not
+// leak into the other).
+func TestEvaluatorCloneReplayBitIdentical(t *testing.T) {
+	for _, cross := range []bool{false, true} {
+		r := rand.New(rand.NewSource(23))
+		shape := []int{5, 4, 3}
+		ch := synthChannel(r, shape, cross)
+		ev, err := ch.NewEvaluator(synthPhases(r, shape))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ev.Independent(), !cross; got != want {
+			t.Fatalf("cross=%v: Independent() = %v", cross, got)
+		}
+
+		// A pending trial must not be carried into a clone.
+		ev.TryDelta(0, 0, 1.0)
+		cl := ev.Clone()
+		if cl.H() != ev.H() {
+			t.Fatalf("cross=%v: clone H %v != committed H %v", cross, cl.H(), ev.H())
+		}
+		ev.Revert()
+
+		for i := 0; i < 200; i++ {
+			s := r.Intn(len(shape))
+			k := r.Intn(shape[s])
+			phi := r.Float64() * 2 * math.Pi
+			a := ev.TryDelta(s, k, phi)
+			b := cl.TryDelta(s, k, phi)
+			if a != b {
+				t.Fatalf("cross=%v step %d: trial diverged: %v vs %v", cross, i, a, b)
+			}
+			if r.Intn(2) == 0 {
+				ev.Commit()
+				cl.Commit()
+			} else {
+				ev.Revert()
+				cl.Revert()
+			}
+			if ev.H() != cl.H() {
+				t.Fatalf("cross=%v step %d: committed state diverged", cross, i)
+			}
+		}
+
+		// Committing on the original must not disturb the clone.
+		before := cl.H()
+		ev.TryDelta(0, 1, 2.5)
+		ev.Commit()
+		if cl.H() != before {
+			t.Fatalf("cross=%v: original commit leaked into clone", cross)
+		}
+	}
+}

@@ -202,3 +202,48 @@ func (e *deltaEvaluator) Commit() {
 
 // Revert implements optimize.DeltaEvaluator.
 func (e *deltaEvaluator) Revert() { e.pending = false }
+
+// Clone implements optimize.ParallelDeltaEvaluator: the clone deep-copies
+// the committed phasors and every location's cached measurement, signature
+// matrix, and signature powers, and owns fresh trial scratch. Commit applies
+// exact delta arithmetic (y and mm are affine in the moved phasor with
+// constant coefficients), so replaying a move sequence on a clone stays
+// bit-identical to the original.
+func (e *deltaEvaluator) Clone() optimize.DeltaEvaluator {
+	x := make([][]complex128, len(e.x))
+	for s, xs := range e.x {
+		cs := make([]complex128, len(xs))
+		copy(cs, xs)
+		x[s] = cs
+	}
+	locs := make([]*locState, len(e.locs))
+	for li, ls := range e.locs {
+		c := &locState{
+			m:     ls.m,
+			y:     make([]complex128, len(ls.y)),
+			mm:    make([][]complex128, len(ls.mm)),
+			mPow:  make([]float64, len(ls.mPow)),
+			tMPow: make([]float64, len(ls.tMPow)),
+		}
+		copy(c.y, ls.y)
+		copy(c.mPow, ls.mPow)
+		for b, row := range ls.mm {
+			cr := make([]complex128, len(row))
+			copy(cr, row)
+			c.mm[b] = cr
+		}
+		locs[li] = c
+	}
+	return &deltaEvaluator{
+		o: e.o, x: x, locs: locs, loss: e.loss,
+		ty:   make([]complex128, len(e.ty)),
+		spec: make([]float64, len(e.spec)),
+		soft: make([]float64, len(e.soft)),
+	}
+}
+
+// IndependentElements implements optimize.ParallelDeltaEvaluator: true —
+// the cached measurement y and signatures mm are affine in each element's
+// phasor with constant coefficients (Coef, SteerGeo·apLeg), with no
+// cross-element terms.
+func (e *deltaEvaluator) IndependentElements() bool { return true }

@@ -1,12 +1,15 @@
 package sensing
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
 	"surfos/internal/em"
+	"surfos/internal/engine"
 	"surfos/internal/geom"
+	"surfos/internal/optimize"
 	"surfos/internal/rfsim"
 	"surfos/internal/scene"
 	"surfos/internal/surface"
@@ -106,5 +109,52 @@ func TestLocalizationDeltaParity(t *testing.T) {
 	}
 	if !sawOther {
 		t.Error("random walk never touched the non-sensing surface")
+	}
+}
+
+// TestLocalizationParallelSweepParity: parallel CoordinateDescent and
+// Anneal over the sensing loss reproduce the serial run bit-for-bit — the
+// clone carries the full cached measurement/signature state and commits
+// replay exactly.
+func TestLocalizationParallelSweepParity(t *testing.T) {
+	rig := newTwoSurfaceRig(t)
+	rig.est.NoisePower = 1e-12
+	locs := []*Measurement{
+		rig.est.Measure(rig.s.Panel.Center().Add(geom.V(0.4, 2.0, 0))),
+		rig.est.Measure(rig.s.Panel.Center().Add(geom.V(-0.8, 1.6, 0))),
+	}
+	obj, err := NewLocalizationObjective(rig.est, locs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(33))
+	init := randomPhases(r, obj.Shape())
+	ctx := context.Background()
+
+	check := func(name string, serial, par optimize.Result) {
+		t.Helper()
+		if par.Loss != serial.Loss {
+			t.Errorf("%s loss: serial %.17g, parallel %.17g", name, serial.Loss, par.Loss)
+		}
+		if par.Evals != serial.Evals {
+			t.Errorf("%s evals: serial %d, parallel %d", name, serial.Evals, par.Evals)
+		}
+		for s := range serial.Phases {
+			for k := range serial.Phases[s] {
+				if par.Phases[s][k] != serial.Phases[s][k] {
+					t.Fatalf("%s phases diverge at s=%d k=%d", name, s, k)
+				}
+			}
+		}
+	}
+
+	serialCD := optimize.CoordinateDescent(ctx, obj, init, nil, optimize.Options{MaxIters: 2})
+	serialAn := optimize.Anneal(ctx, obj, init, optimize.Options{MaxIters: 60, Seed: 5})
+	for _, w := range []int{2, 4} {
+		eng := engine.New(engine.Options{Workers: w})
+		parCD := optimize.CoordinateDescent(ctx, obj, init, nil, optimize.Options{MaxIters: 2, Engine: eng, Workers: w})
+		check("cd", serialCD, parCD)
+		parAn := optimize.Anneal(ctx, obj, init, optimize.Options{MaxIters: 60, Seed: 5, Engine: eng, Workers: w})
+		check("anneal", serialAn, parAn)
 	}
 }

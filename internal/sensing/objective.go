@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"surfos/internal/em"
+	"surfos/internal/optimize"
 )
 
 // LocalizationObjective is the sensing task loss from the paper's §4: "the
@@ -68,6 +69,12 @@ func NewLocalizationObjective(est *Estimator, locs []*Measurement, beta float64)
 
 // Shape implements optimize.Objective.
 func (o *LocalizationObjective) Shape() []int { return o.shape }
+
+// CloneForWorker implements optimize.ParallelObjective. Eval allocates its
+// buffers per call and Observe/signatureRow write only into fresh storage,
+// so the objective holds no cross-call scratch and the receiver itself is
+// safe for concurrent Eval from multiple workers.
+func (o *LocalizationObjective) CloneForWorker() optimize.Objective { return o }
 
 // Eval implements optimize.Objective: mean cross-entropy across locations
 // and its gradient.

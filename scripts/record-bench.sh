@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# record-bench.sh — run a benchmark selection and emit a JSON record
+# stamped with the host metadata the BENCH_*.json files carry (goos,
+# goarch, CPU model, num_cpu, gomaxprocs), so recorded curves are always
+# interpretable against the machine that produced them.
+#
+# Usage: scripts/record-bench.sh <bench-regexp> <package> [out.json]
+#
+#   scripts/record-bench.sh 'BenchmarkParallelSweep' ./internal/optimize/ BENCH_parallel.raw.json
+#
+# The output is a raw capture: host block, the exact command, and one
+# entry per benchmark line (name, iterations, ns/op, B/op, allocs/op).
+# Curated BENCH_*.json files add fixture descriptions and analysis notes
+# on top of a capture by hand.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[ $# -ge 2 ] || { echo "usage: $0 <bench-regexp> <package> [out.json]" >&2; exit 2; }
+bench="$1"
+pkg="$2"
+out="${3:-}"
+
+command="go test -run=NONE -bench='$bench' -benchmem $pkg"
+
+raw="$(go test -run=NONE -bench="$bench" -benchmem "$pkg")"
+
+host_json="$(go run ./scripts/benchhost 2>/dev/null || true)"
+if [ -z "$host_json" ]; then
+    # Fallback: assemble the host block without the helper binary.
+    cpu_model="$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"
+    host_json=$(printf '{"goos": "%s", "goarch": "%s", "cpu": "%s", "num_cpu": %s, "gomaxprocs": %s}' \
+        "$(go env GOOS)" "$(go env GOARCH)" "$cpu_model" \
+        "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" \
+        "${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}")
+fi
+
+results="$(printf '%s\n' "$raw" | awk '
+    /^Benchmark/ {
+        name=$1; iters=$2; ns=$3
+        bytes="null"; allocs="null"
+        for (i=4; i<=NF; i++) {
+            if ($(i)=="B/op")      bytes=$(i-1)
+            if ($(i)=="allocs/op") allocs=$(i-1)
+        }
+        printf "%s{\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, iters, ns, bytes, allocs
+        sep=",\n    "
+    }
+')"
+
+json=$(cat <<EOF
+{
+  "date": "$(date -u +%F)",
+  "host": $host_json,
+  "command": "$command",
+  "results": [
+    $results
+  ]
+}
+EOF
+)
+
+if [ -n "$out" ]; then
+    printf '%s\n' "$json" > "$out"
+    echo "record-bench: wrote $out" >&2
+else
+    printf '%s\n' "$json"
+fi
