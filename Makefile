@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench bench-smoke bench-parallel fmt ci golden test-faults test-crash fuzz-smoke watchers-smoke test-parallel
+.PHONY: all build test race vet staticcheck bench bench-smoke bench-parallel fmt ci golden test-faults test-crash test-failover fuzz-smoke watchers-smoke test-parallel
 
 all: build vet test
 
@@ -8,10 +8,11 @@ all: build vet test
 # test run, the experiment-output golden check (byte-identical paper
 # figures modulo timing strings), a one-iteration benchmark smoke pass
 # so benchmark code cannot rot, the seeded fault-injection suite, the
-# crash-recovery boundary replay, a short fuzz pass over the shared wire
-# codec, one quick run of the northbound watchers fan-out, and the
-# parallel-optimizer parity suite repeated at GOMAXPROCS=1,2,4.
-ci: build vet staticcheck race golden bench-smoke test-faults test-crash fuzz-smoke watchers-smoke test-parallel
+# crash-recovery boundary replay, the replication/failover suite, a
+# short fuzz pass over the shared wire codec, one quick run of the
+# northbound watchers fan-out, and the parallel-optimizer parity suite
+# repeated at GOMAXPROCS=1,2,4.
+ci: build vet staticcheck race golden bench-smoke test-faults test-crash test-failover fuzz-smoke watchers-smoke test-parallel
 
 # fuzz-smoke runs the wire-frame fuzzer briefly on top of its checked-in
 # seed corpus: enough to catch codec regressions without a fuzz farm.
@@ -58,6 +59,19 @@ test-faults:
 # describe.
 test-crash:
 	$(GO) test -race -count=1 -run 'Crash|TruncatedTail|Corrupt|SequenceGap|Snapshot' ./internal/store
+
+# test-failover exercises the replicated control plane under the race
+# detector at the fault seeds: the follower crash-replay boundary matrix,
+# epoch fencing, lease promotion, the surfctl failover rotation, and the
+# end-to-end failover chaos experiment (promotion within the lease, zero
+# live tasks lost, plans byte-identical to a primary reboot).
+test-failover:
+	@for seed in $(FAULT_SEEDS); do \
+		echo "== failover suite, seed $$seed =="; \
+		SURFOS_FAULT_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Follower|Repl|StaleEpoch|Failover|FailsOver|Lease|Promot|Rotates|Standby' \
+			./internal/store ./internal/ctrlproto ./internal/experiments ./cmd/... || exit 1; \
+	done
 
 golden:
 	./scripts/golden-check.sh

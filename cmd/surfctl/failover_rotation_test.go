@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"surfos/internal/ctrlproto"
+	"surfos/internal/driver"
+)
+
+// TestCLIServerListRotatesPastDeadServer points the client at a failover
+// list whose first address refuses connections: the command must rotate
+// to the live second server and succeed.
+func TestCLIServerListRotatesPastDeadServer(t *testing.T) {
+	addr, _ := startCtrlAgent(t)
+	var out strings.Builder
+	if err := run(context.Background(), "127.0.0.1:1,"+addr, []string{"tasks"}, &out); err != nil {
+		t.Fatalf("rotation past dead server failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "no tasks") {
+		t.Errorf("tasks output = %q, want 'no tasks' from the live server", out.String())
+	}
+}
+
+// TestCLIServerListRotatesPastStandby lists a standby daemon first: its
+// clean "not the leader" rejection must rotate the mutation to the
+// leader. A list of only standbys maps to exit code 8.
+func TestCLIServerListRotatesPastStandby(t *testing.T) {
+	orch, _, events := newCtrlStack(t)
+	standby, standbyAddr := serveCtrl(t, orch, events, "127.0.0.1:0")
+	standby.Standby = func() bool { return true }
+	t.Cleanup(func() { standby.Close() })
+	leaderAddr, _ := startCtrlAgent(t)
+
+	ctx := context.Background()
+	submit := []string{"submit", "-kind", "link", "-endpoint", "laptop", "-pos", "2.5,5.5,1.2"}
+	var out strings.Builder
+	if err := run(ctx, standbyAddr+","+leaderAddr, submit, &out); err != nil {
+		t.Fatalf("rotation past standby failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "task 1") {
+		t.Errorf("submit output = %q, want a task row from the leader", out.String())
+	}
+
+	err := run(ctx, standbyAddr, submit, &out)
+	if !errors.Is(err, ctrlproto.ErrNotLeader) {
+		t.Fatalf("standby-only submit err = %v, want ErrNotLeader", err)
+	}
+	if got := exitCode(err); got != exitNotLeader {
+		t.Errorf("exit code = %d, want %d", got, exitNotLeader)
+	}
+}
+
+// TestCLIWatchFailsOverToSecondServer kills the watched daemon while a
+// second one serves the same stack on another address: the watch redial
+// must rotate to the survivor and keep streaming its events — the client
+// half of a control-plane failover.
+func TestCLIWatchFailsOverToSecondServer(t *testing.T) {
+	orch, hw, events := newCtrlStack(t)
+	a1, addr1 := serveCtrl(t, orch, events, "127.0.0.1:0")
+	a2, addr2 := serveCtrl(t, orch, events, "127.0.0.1:0")
+	t.Cleanup(func() { a2.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, addr1+","+addr2, []string{"tasks", "--watch"}, syncWriter{mu: &mu, w: &out})
+	}()
+
+	await := func(marker string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			s := out.String()
+			mu.Unlock()
+			if strings.Contains(s, marker) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("never saw %q in: %q", marker, s)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	await("watching task events")
+
+	a1.Close()
+	await("connection lost; reconnecting")
+	await("reconnected to " + addr2)
+
+	hw.RecordFailure("s0", driver.ErrDeviceDead)
+	await("device s0 device_dead")
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("watch exit err = %v, want nil on cancel", err)
+	}
+}

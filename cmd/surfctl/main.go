@@ -19,6 +19,13 @@
 //	surfctl -addr HOST:PORT demand "text"
 //	surfctl -addr HOST:PORT health
 //
+// Against a replicated daemon pair, -server takes a comma-separated
+// failover list tried in order; refused/timed-out dials and standby
+// "not the leader" rejections rotate to the next address, and a --watch
+// redial rotates through the whole list each backoff round:
+//
+//	surfctl -server 127.0.0.1:7101,127.0.0.1:7201 tasks --watch
+//
 // Exit codes map the orchestrator's error taxonomy so scripts can branch
 // without parsing text:
 //
@@ -30,6 +37,7 @@
 //	5  cancelled
 //	6  control-channel timeout
 //	7  admission rejected (tenant quota or global cap)
+//	8  not the leader (every listed server is a standby)
 package main
 
 import (
@@ -62,6 +70,7 @@ const (
 	exitCancelled   = 5
 	exitTimeout     = 6
 	exitAdmission   = 7
+	exitNotLeader   = 8
 )
 
 // exitCode maps an error to the documented process exit code.
@@ -77,6 +86,10 @@ func exitCode(err error) int {
 		return exitUnknownTask
 	case errors.Is(err, orchestrator.ErrAdmissionRejected):
 		return exitAdmission
+	case errors.Is(err, ctrlproto.ErrNotLeader):
+		// Every server in the -server list is a standby (or the lone
+		// -addr target is): the mutation was cleanly rejected everywhere.
+		return exitNotLeader
 	case errors.Is(err, ctrlproto.ErrTimeout):
 		// Checked before the generic cancellation cases: a request that
 		// died awaiting its reply is a control-channel health signal, not
@@ -166,19 +179,65 @@ func submitMsg(args []string) (ctrlproto.SubmitMsg, error) {
 	return m, nil
 }
 
-// run executes one surfctl command against the agent at addr, writing
-// human-readable output to out. ctx bounds every protocol round trip
-// (^C during a hung agent aborts cleanly).
-func run(ctx context.Context, addr string, args []string, out io.Writer) error {
+// run executes one surfctl command, writing human-readable output to
+// out. addrList is one address or a comma-separated failover list (the
+// -server flag): addresses are tried in order, rotating past servers
+// that refuse the connection, time out at dial, or answer "not the
+// leader" — which is how a replicated control-plane pair looks to a
+// client during failover. ctx bounds every protocol round trip (^C
+// during a hung agent aborts cleanly).
+func run(ctx context.Context, addrList string, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return errUsage
 	}
+	addrs := splitAddrs(addrList)
+	if len(addrs) == 0 {
+		return fmt.Errorf("%w (no server address)", errUsage)
+	}
+	var lastErr error
+	for i, addr := range addrs {
+		rotate, err := runOn(ctx, addr, addrs, args, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !rotate || i == len(addrs)-1 {
+			return err
+		}
+		log.Printf("surfctl: %s: %v; trying next server", addr, err)
+	}
+	return lastErr
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runOn executes the command against one server. rotate reports whether
+// the failure is one the next server in the list might not share: the
+// dial failed (refused, unreachable, timed out — nothing was executed)
+// or a standby cleanly rejected the mutation with "not the leader".
+// Errors from a command that reached a live leader never rotate — the
+// request may have been applied, and a retry could double-submit.
+func runOn(ctx context.Context, addr string, addrs []string, args []string, out io.Writer) (rotate bool, err error) {
 	c, err := ctrlproto.Dial(addr)
 	if err != nil {
-		return err
+		return true, err
 	}
 	defer c.Close()
+	err = runCmd(ctx, c, addrs, args, out)
+	return errors.Is(err, ctrlproto.ErrNotLeader), err
+}
 
+// runCmd dispatches one command on an established connection.
+func runCmd(ctx context.Context, c *ctrlproto.Client, addrs []string, args []string, out io.Writer) error {
 	switch args[0] {
 	case "hello":
 		h, err := c.Hello(ctx)
@@ -252,7 +311,7 @@ func run(ctx context.Context, addr string, args []string, out io.Writer) error {
 		if !watch {
 			return nil
 		}
-		return watchTasks(ctx, addr, c, out)
+		return watchTasks(ctx, addrs, c, out)
 
 	case "submit":
 		m, err := submitMsg(args[1:])
@@ -344,8 +403,10 @@ const (
 // drops the connection — crash, restart, drain — the watch does not die
 // with it: it redials with capped exponential backoff and resumes the
 // stream, printing a `reconnected` marker so operators can tell the
-// epochs apart.
-func watchTasks(ctx context.Context, addr string, c *ctrlproto.Client, out io.Writer) error {
+// epochs apart. With a multi-address -server list the redial rotates
+// through every address per backoff round, so a watch pointed at a
+// replicated pair follows the surviving daemon through a failover.
+func watchTasks(ctx context.Context, addrs []string, c *ctrlproto.Client, out io.Writer) error {
 	s, err := c.OpenStream(ctx, ctrlproto.StreamTasks, "")
 	if err != nil {
 		return err
@@ -358,7 +419,7 @@ func watchTasks(ctx context.Context, addr string, c *ctrlproto.Client, out io.Wr
 			return nil
 		}
 		fmt.Fprintln(out, "connection lost; reconnecting")
-		nc, ns, err := redialWatch(ctx, addr)
+		nc, ns, to, err := redialWatch(ctx, addrs)
 		if err != nil {
 			// Cancellation while waiting out a dead daemon is the
 			// operator's clean stop, like ^C mid-stream.
@@ -368,23 +429,32 @@ func watchTasks(ctx context.Context, addr string, c *ctrlproto.Client, out io.Wr
 			return err
 		}
 		c, s = nc, ns
-		fmt.Fprintln(out, "reconnected")
+		if len(addrs) > 1 {
+			fmt.Fprintf(out, "reconnected to %s\n", to)
+		} else {
+			fmt.Fprintln(out, "reconnected")
+		}
 	}
 }
 
-// redialWatch dials addr until it succeeds and the event stream is
-// re-established, backing off exponentially (capped) between attempts.
-// Only ctx cancellation makes it give up.
-func redialWatch(ctx context.Context, addr string) (*ctrlproto.Client, *ctrlproto.Stream, error) {
+// redialWatch dials the address list until some server accepts and the
+// event stream is re-established, backing off exponentially (capped)
+// between rounds. Every address is tried each round — refused and
+// timed-out dials rotate to the next server immediately. Only ctx
+// cancellation makes it give up.
+func redialWatch(ctx context.Context, addrs []string) (*ctrlproto.Client, *ctrlproto.Stream, string, error) {
 	delay := watchBackoffBase
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
-		c, err := ctrlproto.Dial(addr)
-		if err == nil {
+		for _, addr := range addrs {
+			c, err := ctrlproto.Dial(addr)
+			if err != nil {
+				continue
+			}
 			if s, serr := c.OpenStream(ctx, ctrlproto.StreamTasks, ""); serr == nil {
-				return c, s, nil
+				return c, s, addr, nil
 			}
 			// Daemon reachable but not serving watches yet (still booting
 			// or already draining): close and keep trying.
@@ -394,7 +464,7 @@ func redialWatch(ctx context.Context, addr string) (*ctrlproto.Client, *ctrlprot
 		select {
 		case <-ctx.Done():
 			timer.Stop()
-			return nil, nil, ctx.Err()
+			return nil, nil, "", ctx.Err()
 		case <-timer.C:
 		}
 		if delay *= 2; delay > watchBackoffMax {
@@ -445,10 +515,15 @@ func streamTaskEvents(ctx context.Context, s *ctrlproto.Stream, out io.Writer) b
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7100", "agent address (device or surfosd -ctrl port)")
+	server := flag.String("server", "", "comma-separated failover list of control addresses, tried in order (overrides -addr)")
 	flag.Parse()
+	target := *addr
+	if *server != "" {
+		target = *server
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *addr, flag.Args(), os.Stdout); err != nil {
+	if err := run(ctx, target, flag.Args(), os.Stdout); err != nil {
 		log.Printf("surfctl: %v", err)
 		os.Exit(exitCode(err))
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	surfos-bench [-exp table1|fig2|fig4|fig5|fig6|chaos|restart|watchers|all] [-profile quick|full]
+//	surfos-bench [-exp table1|fig2|fig4|fig5|fig6|chaos|restart|failover|watchers|all] [-profile quick|full]
 //	             [-json FILE]
 //
 // The quick profile (default) shrinks grids and surfaces so the whole
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig2, fig4, fig5, fig6, chaos, restart, watchers, or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig2, fig4, fig5, fig6, chaos, restart, failover, watchers, or all")
 	profileName := flag.String("profile", "quick", "workload profile: quick or full")
 	jsonPath := flag.String("json", "", "also write the experiment's result record as JSON to FILE (watchers only)")
 	flag.Parse()
@@ -89,6 +89,13 @@ func main() {
 			}
 			return r.Render(), nil
 		},
+		"failover": func() (string, error) {
+			r, err := experiments.RunFailover(ctx, profile)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
 		"watchers": func() (string, error) {
 			r, err := experiments.RunWatchers(ctx, profile)
 			if err != nil {
@@ -111,7 +118,7 @@ func main() {
 	}
 	// watchers is deliberately absent: `all` feeds the golden check, and
 	// the fan-out benchmark's numbers vary run to run.
-	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "chaos", "restart"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "chaos", "restart", "failover"}
 
 	var selected []string
 	if *exp == "all" {

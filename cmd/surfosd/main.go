@@ -69,6 +69,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -76,6 +77,7 @@ import (
 	"surfos/internal/ctrlproto"
 	"surfos/internal/hwmgr"
 	"surfos/internal/metrics"
+	"surfos/internal/orchestrator"
 	"surfos/internal/store"
 	"surfos/internal/telemetry"
 	"surfos/internal/wire"
@@ -120,6 +122,14 @@ type daemonOptions struct {
 	// optWorkers caps engine workers per optimizer run (0 = engine
 	// width, 1 = serial); results are identical either way.
 	optWorkers int
+	// replicateTo lists follower control addresses to ship the WAL to
+	// (comma-separated; empty disables replication).
+	replicateTo string
+	// follow runs the daemon as a warm standby: it receives replication
+	// on its -ctrl port, rejects mutations, and promotes on lease expiry.
+	follow bool
+	// leaseTTL is the leadership lease duration (0 = default 3s).
+	leaseTTL time.Duration
 }
 
 func (o daemonOptions) injecting() bool {
@@ -153,10 +163,28 @@ type daemon struct {
 
 	// Durability (nil without -state-dir): the journal consumes the task
 	// event bus and persists specs and transitions to the state dir.
+	// stateMu guards these fields: promotion installs a journal at
+	// runtime, racing health/metrics readers.
+	stateMu     sync.Mutex
 	journal     *store.Journal
 	journalCh   <-chan telemetry.TaskEvent
 	journalStop func()
 	journalDone chan struct{}
+
+	// Replication: standby gates mutations (true on a follower until it
+	// promotes, and on a fenced ex-primary); follower is the warm replica
+	// in -follow mode; replAcked tracks each follower's acked sequence on
+	// the primary.
+	standby     atomic.Bool
+	follower    *store.Follower
+	followDir   string
+	holder      string
+	replicating bool
+	promotions  atomic.Uint64
+	fenced      atomic.Bool
+	lastBeat    atomic.Int64 // unix nanos of the last heartbeat sent
+	replMu      sync.Mutex
+	replAcked   map[string]uint64
 
 	// Northbound connection tracking for the graceful drain: the semaphore
 	// caps concurrency, the map enables the post-deadline force-close, and
@@ -187,6 +215,7 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 		bus:         surfos.NewTelemetryBus(),
 		events:      surfos.NewTaskEventBus(),
 		conns:       map[net.Conn]struct{}{},
+		replAcked:   map[string]uint64{},
 		connSem:     make(chan struct{}, maxConns),
 		maxConns:    maxConns,
 		idleTimeout: idleTimeout,
@@ -320,6 +349,9 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 	// Task-scoped mutations re-plan only the task's interference domain.
 	ctrl.ReconcileTask = orch.ReconcileTask
 	ctrl.ControlHealth = d.controlHealth
+	// Standby daemons (followers, fenced ex-primaries) reject mutations
+	// with StatusNotLeader so clients rotate to the promoted primary.
+	ctrl.Standby = d.standby.Load
 	ctrl.Ctx = ctx
 	ctrl.Logf = log.Printf
 	d.ctrl = ctrl
@@ -331,12 +363,12 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 // the orchestrator's shard and tenant state.
 func (d *daemon) controlHealth() ctrlproto.ControlHealthInfo {
 	info := ctrlproto.ControlHealthInfo{BusDropped: d.events.Dropped()}
-	if d.journal != nil {
-		info.JournalSeq = d.journal.Seq()
+	if j := d.getJournal(); j != nil {
+		info.JournalSeq = j.Seq()
 		// Lag is the journal subscription backlog: events published but
 		// not yet persisted.
-		info.JournalLag = uint32(len(d.journalCh))
-		if err := d.journal.Err(); err != nil {
+		info.JournalLag = uint32(d.journalBacklog())
+		if err := j.Err(); err != nil {
 			info.JournalErr = err.Error()
 		}
 	}
@@ -373,12 +405,17 @@ func (d *daemon) registerMetrics(reg *metrics.Registry) {
 	d.orch.RegisterMetrics(reg)
 	d.hw.RegisterMetrics(reg)
 	d.events.RegisterMetrics(reg)
-	if d.journal != nil {
-		d.journal.RegisterMetrics(reg)
+	if d.getJournal() != nil || d.follower != nil {
+		// A follower has no journal yet, but will the moment it promotes;
+		// register through the accessor so the exporters follow the swap.
+		if j := d.getJournal(); j != nil {
+			j.RegisterMetrics(reg)
+		}
 		reg.GaugeFunc("surfos_journal_lag",
 			"Journal subscription backlog: events published but not yet persisted.",
-			func() float64 { return float64(len(d.journalCh)) })
+			func() float64 { return float64(d.journalBacklog()) })
 	}
+	d.registerReplMetrics(reg)
 	reg.GaugeFunc("surfos_northbound_connections",
 		"Open northbound connections, text and framed.",
 		func() float64 {
@@ -411,78 +448,117 @@ func (d *daemon) openState(dir string) error {
 	if err != nil {
 		return fmt.Errorf("state %s: %w", dir, err)
 	}
+	return d.attachState(st, recovered, dir)
+}
+
+// attachState turns a recovered (or promoted) store into the daemon's
+// live journal: re-admit via the shared orchestrator hook, attach the
+// journal to the event bus, reconcile, snapshot. Boot recovery and
+// standby promotion both land here, which is what makes failover
+// reproduce exactly the plans a rebooted primary would compute.
+func (d *daemon) attachState(st *store.Store, recovered *store.State, dir string) error {
 	for _, dr := range recovered.DeviceHealth() {
 		d.hw.RehydrateHealth(dr.DeviceID, healthStateFor(dr.State), dr.Err)
 		if dr.State != telemetry.DeviceRecovered {
 			log.Printf("state: rehydrated %s as %s", dr.DeviceID, healthStateFor(dr.State))
 		}
 	}
-	restored := 0
+	var specs []orchestrator.RestoreSpec
 	for _, tr := range recovered.Live() {
-		if _, err := d.orch.RestoreTask(tr.Spec, tr.State); err != nil {
-			// A spec that no longer validates (renamed region, changed
-			// scene) must not block the rest of the recovery; drop it from
-			// the journal state so it is not retried forever.
-			log.Printf("state: task %d not restored: %v", tr.ID, err)
-			delete(recovered.Tasks, tr.ID)
-			continue
-		}
-		restored++
+		specs = append(specs, orchestrator.RestoreSpec{ID: tr.ID, Spec: tr.Spec, LastState: tr.State})
 	}
-	// Ended tasks are compacted away, but their IDs must stay burned.
-	d.orch.ReserveIDs(recovered.MaxTaskID)
+	res := d.orch.Readmit(specs, recovered.MaxTaskID, log.Printf)
+	// A spec that no longer validates (renamed region, changed scene)
+	// must not block the rest of the recovery; drop it from the journal
+	// state so it is not retried forever.
+	for _, id := range res.Dropped {
+		delete(recovered.Tasks, id)
+	}
 	// The journal's state mirror is seeded with the recovered state (the
 	// restoration events above predate the subscription), so the upcoming
 	// snapshot is exactly "live tasks at recovery".
-	d.journal = store.NewJournal(st, recovered)
+	journal := store.NewJournal(st, recovered)
 	// Announce the first journaling failure immediately — durability loss
-	// must not wait for the shutdown snapshot to surface.
-	d.journal.SetLogf(log.Printf)
+	// must not wait for the shutdown snapshot to surface — and mirror it
+	// as a journal_failed bus event so it reaches /metrics and watchers.
+	journal.SetLogf(log.Printf)
+	journal.SetEventBus(d.events)
 	// The journal must keep the synchronous drop-newest policy: a published
 	// event is either in the channel (and will be persisted) or counted
 	// dropped at publish time — a ring would defer that decision.
 	ch, unsub := d.events.SubscribeOpts(telemetry.SubOptions[telemetry.TaskEvent]{
 		Name: "journal", Buffer: store.JournalBuffer,
 	})
+	done := make(chan struct{})
+	d.stateMu.Lock()
+	d.journal = journal
 	d.journalCh = ch
 	d.journalStop = unsub
-	d.journalDone = make(chan struct{})
+	d.journalDone = done
+	d.stateMu.Unlock()
 	go func() {
-		defer close(d.journalDone)
-		d.journal.Run(d.ctx, ch)
+		defer close(done)
+		journal.Run(d.ctx, ch)
 	}()
-	if restored > 0 {
+	if res.Restored > 0 {
 		if err := d.orch.Reconcile(d.ctx); err != nil {
 			log.Printf("state: recovery reconcile: %v", err)
 		}
 	}
-	if err := d.journal.Snapshot(); err != nil {
+	if err := journal.Snapshot(); err != nil {
 		return fmt.Errorf("state %s: snapshot: %w", dir, err)
 	}
-	log.Printf("state: recovered %d task(s) from %s (journal seq %d)", restored, dir, st.Seq())
+	// Read the sequence through the journal's lock: the pump goroutine
+	// above may already be appending events that raced in during recovery.
+	log.Printf("state: recovered %d task(s) from %s (journal seq %d)", res.Restored, dir, journal.Seq())
 	return nil
+}
+
+// getJournal returns the live journal (nil before state attaches).
+func (d *daemon) getJournal() *store.Journal {
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
+	return d.journal
+}
+
+// journalBacklog reports the journal subscription's buffered event count.
+func (d *daemon) journalBacklog() int {
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
+	if d.journalCh == nil {
+		return 0
+	}
+	return len(d.journalCh)
 }
 
 // closeState performs the journal's clean shutdown: stop consuming, drain
 // buffered events, compact into a final snapshot, and fsync everything.
 func (d *daemon) closeState() {
-	if d.journal == nil {
+	d.stateMu.Lock()
+	journal, stop, done := d.journal, d.journalStop, d.journalDone
+	d.journal, d.journalStop, d.journalDone = nil, nil, nil
+	d.stateMu.Unlock()
+	if journal == nil {
+		if d.follower != nil {
+			if err := d.follower.Close(); err != nil {
+				log.Printf("state: follower close: %v", err)
+			}
+		}
 		return
 	}
 	// Unsubscribing closes the channel; Run drains what is buffered and
 	// exits, so every event published before this point is journaled.
-	d.journalStop()
-	<-d.journalDone
-	if err := d.journal.Snapshot(); err != nil {
+	stop()
+	<-done
+	if err := journal.Snapshot(); err != nil {
 		log.Printf("state: final snapshot: %v", err)
 	}
-	if err := d.journal.Close(); err != nil {
+	if err := journal.Close(); err != nil {
 		log.Printf("state: close: %v", err)
 	}
 	if n := d.events.Dropped(); n > 0 {
 		log.Printf("state: warning: %d task event(s) dropped on full subscriber buffers", n)
 	}
-	d.journal = nil
 }
 
 func (d *daemon) close() {
@@ -525,8 +601,9 @@ func (d *daemon) handle(line string) (string, bool) {
 		var b strings.Builder
 		// Durability loss is a control-plane health fact: a journal that
 		// stopped writing means new tasks will not survive a restart.
-		if d.journal != nil {
-			if err := d.journal.Err(); err != nil {
+		journal := d.getJournal()
+		if journal != nil {
+			if err := journal.Err(); err != nil {
 				fmt.Fprintf(&b, "journal: FAILED, new tasks are not durable: %v\n", err)
 			}
 		}
@@ -537,7 +614,7 @@ func (d *daemon) handle(line string) (string, bool) {
 			return "no devices", true
 		}
 		ctrlproto.RenderControlHealth(&b, d.controlHealth(),
-			ctrlproto.HealthRenderOptions{JournalAlways: d.journal != nil})
+			ctrlproto.HealthRenderOptions{JournalAlways: journal != nil})
 		return strings.TrimRight(b.String(), "\n"), true
 
 	case "hazards":
@@ -866,8 +943,27 @@ func run(listen, ctrlAddr, metricsAddr, surfaceList, stateDir string, drainTimeo
 	}
 	defer d.close()
 
+	leaseTTL := opts.leaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = defaultLeaseTTL
+	}
+	if (opts.follow || opts.replicateTo != "") && stateDir == "" {
+		return errors.New("-follow and -replicate-to require -state-dir")
+	}
+	if opts.follow && opts.replicateTo != "" {
+		return errors.New("-follow and -replicate-to are mutually exclusive")
+	}
+	// The lease holder identity travels in heartbeats and the journaled
+	// epoch record; the control address is the most useful name for it.
+	d.holder = ctrlAddr
+	d.replicating = opts.replicateTo != ""
+
 	if stateDir != "" {
-		if err := d.openState(stateDir); err != nil {
+		if opts.follow {
+			if err := d.openFollower(stateDir, leaseTTL); err != nil {
+				return err
+			}
+		} else if err := d.openState(stateDir); err != nil {
 			return err
 		}
 	}
@@ -878,6 +974,12 @@ func run(listen, ctrlAddr, metricsAddr, surfaceList, stateDir string, drainTimeo
 			return fmt.Errorf("ctrl: %w", err)
 		}
 		log.Printf("task control listening on %s", addr)
+	}
+
+	if opts.replicateTo != "" {
+		if err := d.startReplication(splitList(opts.replicateTo), leaseTTL); err != nil {
+			return err
+		}
 	}
 
 	if metricsAddr != "" {
@@ -943,6 +1045,9 @@ func main() {
 	maxConns := flag.Int("max-conns", defaultMaxNorthboundConns, "northbound concurrent-connection cap")
 	idleTimeout := flag.Duration("idle-timeout", defaultNorthboundIdleTimeout, "northbound text-session idle disconnect timeout")
 	optWorkers := flag.Int("opt-workers", 0, "engine workers per optimizer run (0 = all, 1 = serial; results identical)")
+	replicateTo := flag.String("replicate-to", "", "comma-separated follower ctrl addresses to ship the journal to (empty disables)")
+	follow := flag.Bool("follow", false, "run as a warm standby: replay replication on -ctrl, promote on lease expiry")
+	leaseTTL := flag.Duration("lease-ttl", defaultLeaseTTL, "leadership lease duration (standby promotes this long after the last heartbeat)")
 	flag.Parse()
 
 	quotas, err := parseTenantQuotas(*tenantQuotas)
@@ -960,6 +1065,9 @@ func main() {
 		maxConns:     *maxConns,
 		idleTimeout:  *idleTimeout,
 		optWorkers:   *optWorkers,
+		replicateTo:  *replicateTo,
+		follow:       *follow,
+		leaseTTL:     *leaseTTL,
 	}); err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}

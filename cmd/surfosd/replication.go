@@ -1,0 +1,325 @@
+// Control-plane replication (DESIGN.md §14): a primary daemon ships its
+// durability journal to standby followers over the ctrlproto replication
+// channel, heartbeats a lease, and a follower promotes itself — re-using
+// boot recovery's exact re-admission path — when the lease expires.
+//
+//	primary:  surfosd -state-dir p/ -replicate-to 127.0.0.1:7201 -lease-ttl 3s
+//	standby:  surfosd -state-dir s/ -follow -ctrl 127.0.0.1:7201 -lease-ttl 3s
+//
+// Epoch fencing: the primary takes leadership by journaling a KindEpoch
+// record; every shipped batch and heartbeat carries that epoch. A
+// promoted follower bumps it, so an old primary that pauses and resumes
+// gets StatusStaleEpoch on its next send, steps down to standby, and can
+// never split the brain.
+package main
+
+import (
+	"errors"
+	"log"
+	"strings"
+	"time"
+
+	"surfos/internal/ctrlproto"
+	"surfos/internal/metrics"
+	"surfos/internal/store"
+	"surfos/internal/telemetry"
+)
+
+// defaultLeaseTTL is the leadership lease: a standby promotes itself this
+// long after the primary's last heartbeat (or boot, whichever is later).
+const defaultLeaseTTL = 3 * time.Second
+
+// shipBatchMax bounds records per MsgReplAppend frame.
+const shipBatchMax = 256
+
+// splitList parses a comma-separated address list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// heartbeatEvery derives the renewal cadence from the TTL: three beats
+// per lease, so two may be lost before a false promotion.
+func heartbeatEvery(ttl time.Duration) time.Duration {
+	every := ttl / 3
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	return every
+}
+
+// --- primary side: WAL shipping ---
+
+// startReplication takes leadership (journaling the epoch record) and
+// starts one shipping loop per follower address. Call after openState.
+func (d *daemon) startReplication(addrs []string, ttl time.Duration) error {
+	j := d.getJournal()
+	if j == nil {
+		return errors.New("-replicate-to requires -state-dir")
+	}
+	epoch, err := j.BecomeLeader(d.holder, ttl)
+	if err != nil {
+		return err
+	}
+	log.Printf("replication: leading as %q at epoch %d (lease ttl %s, %d follower(s))",
+		d.holder, epoch, ttl, len(addrs))
+	for _, addr := range addrs {
+		go d.shipTo(addr, ttl)
+	}
+	return nil
+}
+
+// shipTo maintains one follower's replication session, reconnecting with
+// a short pause on any failure. A stale-epoch rejection is terminal: this
+// daemon has been deposed, so it fences itself into standby instead of
+// fighting the new primary.
+func (d *daemon) shipTo(addr string, ttl time.Duration) {
+	for d.ctx.Err() == nil {
+		err := d.shipSession(addr, ttl)
+		if err == nil {
+			return // daemon shutting down
+		}
+		if errors.Is(err, store.ErrStaleEpoch) {
+			d.fence(addr, err)
+			return
+		}
+		log.Printf("replication: %s: %v (reconnecting)", addr, err)
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-time.After(heartbeatEvery(ttl)):
+		}
+	}
+}
+
+// shipSession runs one connected session: attach to the journal (a
+// consistent snapshot plus an observer for every later record, captured
+// atomically under the journal lock), transfer the snapshot, then stream
+// append batches and heartbeats until something breaks.
+func (d *daemon) shipSession(addr string, ttl time.Duration) error {
+	sender, err := ctrlproto.DialRepl(addr)
+	if err != nil {
+		return err
+	}
+	defer sender.Close()
+	j := d.getJournal()
+	// The observer runs under the journal lock: hand off to a buffered
+	// channel and never block. An overflow shows up as a sequence gap,
+	// which tears the session down and resyncs via a fresh snapshot.
+	recCh := make(chan store.Record, store.JournalBuffer)
+	epoch, seq, snap, detach, err := j.AttachReplica(func(rec store.Record) {
+		select {
+		case recCh <- rec:
+		default:
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer detach()
+	ack, err := sender.Snapshot(epoch, seq, snap)
+	if err != nil {
+		return err
+	}
+	d.setAcked(addr, ack.Applied)
+	log.Printf("replication: %s attached at seq %d (epoch %d)", addr, seq, epoch)
+	last := seq
+	hb := time.NewTicker(heartbeatEvery(ttl))
+	defer hb.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return nil
+		case rec := <-recCh:
+			batch := append(make([]store.Record, 0, shipBatchMax), rec)
+		fill:
+			for len(batch) < shipBatchMax {
+				select {
+				case r := <-recCh:
+					batch = append(batch, r)
+				default:
+					break fill
+				}
+			}
+			if batch[0].Seq > last+1 {
+				return errors.New("shipper buffer overflowed; resyncing from snapshot")
+			}
+			ack, err := sender.Append(epoch, batch)
+			if err != nil {
+				return err
+			}
+			last = batch[len(batch)-1].Seq
+			d.setAcked(addr, ack.Applied)
+		case <-hb.C:
+			ack, err := sender.Heartbeat(epoch, d.holder, ttl, j.Seq())
+			if err != nil {
+				return err
+			}
+			d.setAcked(addr, ack.Applied)
+			d.lastBeat.Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// fence steps a deposed primary down: mutations are rejected with
+// StatusNotLeader from here on, so clients rotate to the new primary.
+// Journaling continues locally (reads stay warm) but nothing ships.
+func (d *daemon) fence(addr string, err error) {
+	if d.fenced.Swap(true) {
+		return
+	}
+	d.standby.Store(true)
+	log.Printf("replication: FENCED by %s (%v): a standby promoted past this epoch; entering standby, mutations rejected", addr, err)
+}
+
+func (d *daemon) setAcked(addr string, applied uint64) {
+	d.replMu.Lock()
+	d.replAcked[addr] = applied
+	d.replMu.Unlock()
+}
+
+// minAcked returns the slowest follower's acked sequence (0 if none).
+func (d *daemon) minAcked() uint64 {
+	d.replMu.Lock()
+	defer d.replMu.Unlock()
+	var min uint64
+	first := true
+	for _, v := range d.replAcked {
+		if first || v < min {
+			min, first = v, false
+		}
+	}
+	return min
+}
+
+// --- follower side: warm replay and promotion ---
+
+// openFollower opens the standby's warm store, arms the lease, and routes
+// incoming MsgRepl* frames to it. The daemon serves reads from the
+// replica but rejects mutations until promotion.
+func (d *daemon) openFollower(dir string, ttl time.Duration) error {
+	fol, err := store.OpenFollower(dir)
+	if err != nil {
+		return err
+	}
+	d.follower = fol
+	d.followDir = dir
+	d.standby.Store(true)
+	d.ctrl.Repl = &ctrlproto.ReplReceiver{F: fol, Logf: log.Printf}
+	// Arm the lease from boot: a primary that never connects is as dead
+	// as one that stops heartbeating.
+	fol.StartLease(ttl)
+	go d.followLoop(ttl)
+	log.Printf("replication: following at epoch %d, applied seq %d (lease ttl %s)",
+		fol.Epoch(), fol.Applied(), ttl)
+	return nil
+}
+
+// followLoop watches the lease and promotes when it expires.
+func (d *daemon) followLoop(ttl time.Duration) {
+	tick := time.NewTicker(heartbeatEvery(ttl))
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-tick.C:
+			if d.follower.LeaseExpired() {
+				d.promote()
+				return
+			}
+		}
+	}
+}
+
+// promote is the takeover: durably bump the epoch (fencing the old
+// primary), then run the exact boot-recovery sequence — rehydrate health,
+// re-admit live tasks, reconcile, snapshot — against the replica store,
+// and start accepting mutations. Recovery is deterministic, so the plans
+// this daemon computes are byte-identical to what the dead primary's own
+// reboot would have produced.
+func (d *daemon) promote() {
+	holder := d.holder
+	if holder == "" {
+		holder = "standby"
+	}
+	deadHolder := d.follower.Holder() // before Promote overwrites it
+	_, epoch, err := d.follower.Promote(holder)
+	if err != nil {
+		log.Printf("replication: promote: %v", err)
+		return
+	}
+	lag := d.follower.Lag()
+	st, state := d.follower.Handoff()
+	log.Printf("replication: lease expired (last holder %q); promoting to epoch %d (applied seq %d, lag %d)",
+		deadHolder, epoch, st.Seq(), lag)
+	if err := d.attachState(st, state, d.followDir); err != nil {
+		log.Printf("replication: promote: attach state: %v", err)
+		return
+	}
+	d.standby.Store(false)
+	d.promotions.Add(1)
+	d.events.Publish(telemetry.TaskEvent{
+		Time: time.Now(), State: telemetry.Promoted, Metric: float64(epoch), MetricName: "epoch",
+	})
+	log.Printf("replication: promoted; serving as primary at epoch %d", epoch)
+}
+
+// --- metrics: one role-aware family set, valid before and after the
+// daemon's role flips (fencing, promotion) ---
+
+func (d *daemon) registerReplMetrics(reg *metrics.Registry) {
+	if d.follower == nil && !d.replicating {
+		return
+	}
+	reg.GaugeFunc("surfos_repl_epoch", "Current leadership term seen by this daemon.",
+		func() float64 {
+			if j := d.getJournal(); j != nil {
+				return float64(j.Epoch())
+			}
+			if d.follower != nil {
+				return float64(d.follower.Epoch())
+			}
+			return 0
+		})
+	reg.GaugeFunc("surfos_repl_lag_records", "Replication lag in records: behind the primary (follower) or the slowest follower's deficit (primary).",
+		func() float64 {
+			if d.follower != nil && !d.follower.Promoted() {
+				return float64(d.follower.Lag())
+			}
+			if j := d.getJournal(); j != nil {
+				if acked := d.minAcked(); acked > 0 && j.Seq() > acked {
+					return float64(j.Seq() - acked)
+				}
+			}
+			return 0
+		})
+	reg.GaugeFunc("surfos_repl_lease_age_seconds", "Seconds since the last lease heartbeat (received or sent; -1: none yet).",
+		func() float64 {
+			if d.follower != nil && !d.follower.Promoted() {
+				age := d.follower.LeaseAge()
+				if age < 0 {
+					return -1
+				}
+				return age.Seconds()
+			}
+			if ns := d.lastBeat.Load(); ns > 0 {
+				return time.Since(time.Unix(0, ns)).Seconds()
+			}
+			return -1
+		})
+	reg.CounterFunc("surfos_repl_promotions_total", "Standby-to-primary promotions performed by this daemon.",
+		func() float64 { return float64(d.promotions.Load()) })
+	reg.GaugeFunc("surfos_repl_standby", "1 while this daemon rejects mutations (follower before promotion, fenced ex-primary).",
+		func() float64 {
+			if d.standby.Load() {
+				return 1
+			}
+			return 0
+		})
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// replTestDaemon is testDaemon with a caller-owned context, so a test can
+// hard-kill one daemon of a replicated pair (stopping its shippers and
+// heartbeats mid-lease) while the other keeps running.
+func replTestDaemon(t *testing.T, ctx context.Context) *daemon {
+	t.Helper()
+	d, err := newDaemon(ctx, "NR-Surface@east_wall,NR-Surface@north_wall", daemonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.orch.Opts.OptIters = 30
+	d.orch.Opts.GridStep = 1.5
+	d.orch.Opts.SensingGridStep = 2.5
+	d.orch.Opts.SensingBins = 11
+	d.orch.Opts.SensingSubcarriers = 3
+	t.Cleanup(d.close)
+	return d
+}
+
+// TestDaemonFailoverPromotesStandby is the failover invariant at daemon
+// level, over a real TCP replication session: a primary ships its journal
+// to a warm standby; when the primary dies mid-lease the standby promotes
+// itself, re-admits every live task, and starts accepting mutations.
+func TestDaemonFailoverPromotesStandby(t *testing.T) {
+	ttl := time.Second
+	// Dirs before daemons: cleanups run LIFO, so each daemon's close (and
+	// its final snapshot) happens before its state directory is removed.
+	pdir, sdir := t.TempDir(), t.TempDir()
+
+	// Primary: journaled state dir.
+	ctx1, kill := context.WithCancel(context.Background())
+	defer kill()
+	d1 := replTestDaemon(t, ctx1)
+	if err := d1.openState(pdir); err != nil {
+		t.Fatal(err)
+	}
+	d1.holder = "primary"
+	d1.replicating = true
+
+	// Standby: warm replica receiving on its own ctrl port. Start shipping
+	// right away so the armed boot lease sees heartbeats before it lapses.
+	d2 := replTestDaemon(t, context.Background())
+	if err := d2.openFollower(sdir, ttl); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d2.ctrl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.startReplication([]string{addr.String()}, ttl); err != nil {
+		t.Fatal(err)
+	}
+
+	if reply, _ := d1.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "running") {
+		t.Fatalf("demand: %q", reply)
+	}
+	if reply, _ := d1.handle("demand charge my phone please"); !strings.Contains(reply, "task 2") {
+		t.Fatalf("second demand: %q", reply)
+	}
+
+	// The journal drains the bus asynchronously; wait for it to settle and
+	// for the follower's ack to reach the primary's sequence.
+	j := d1.getJournal()
+	waitFor(t, func() bool {
+		seq := j.Seq()
+		return d1.journalBacklog() == 0 && seq > 0 && d2.follower.Applied() == seq
+	})
+	if !d2.standby.Load() {
+		t.Fatal("follower serving mutations before promotion")
+	}
+
+	// Hard-kill the primary: shippers and heartbeats stop mid-lease. The
+	// standby's followLoop notices the lapsed lease and promotes.
+	kill()
+	waitFor(t, func() bool { return !d2.standby.Load() })
+	if got := d2.promotions.Load(); got != 1 {
+		t.Errorf("promotions = %d, want 1", got)
+	}
+
+	// Zero live tasks lost: both survive the failover, re-planned.
+	reply, _ := d2.handle("tasks")
+	if !strings.Contains(reply, "task 1 kind=link") || !strings.Contains(reply, "state=running") {
+		t.Errorf("task 1 not re-admitted on promotion: %q", reply)
+	}
+	if !strings.Contains(reply, "task 2 kind=power") {
+		t.Errorf("task 2 lost in failover: %q", reply)
+	}
+	// The promoted daemon is the leader now: mutations are accepted and
+	// the ID allocator continues past the primary's high-water mark.
+	if reply, _ := d2.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "task 3") {
+		t.Errorf("post-promotion demand: %q", reply)
+	}
+}

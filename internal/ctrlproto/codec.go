@@ -73,6 +73,8 @@ func (t MsgType) String() string {
 		MsgDemand: "demand", MsgDemandReply: "demand-reply",
 		MsgHealth: "health", MsgHealthReply: "health-reply",
 		MsgOpenStream: "open-stream", MsgCloseStream: "close-stream",
+		MsgReplSnapshot: "repl-snapshot", MsgReplAppend: "repl-append",
+		MsgReplHeartbeat: "repl-heartbeat", MsgReplAck: "repl-ack",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -131,6 +133,13 @@ func (e *encoder) str(s string) {
 	}
 	e.u16(uint16(len(s)))
 	e.buf = append(e.buf, s...)
+}
+
+// bytes writes a u32-length-prefixed byte blob (snapshot payloads and WAL
+// record data can exceed the u16 str limit).
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
 }
 
 func (e *encoder) bool(v bool) {
@@ -221,6 +230,17 @@ func (d *decoder) str() string {
 	s := string(d.buf[d.off : d.off+n])
 	d.off += n
 	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || !d.need(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += n
+	return out
 }
 
 func (d *decoder) bool() bool { return d.u8() == 1 }

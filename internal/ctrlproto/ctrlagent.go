@@ -38,6 +38,13 @@ type CtrlAgent struct {
 	// ControlHealth, when set, contributes the control plane's own health
 	// (shards, tenants, bus drops, journal lag) to MsgHealth replies.
 	ControlHealth func() ControlHealthInfo
+	// Repl, when set, receives MsgRepl* frames: this daemon is (or was) a
+	// replication follower and the primary ships its WAL here.
+	Repl *ReplReceiver
+	// Standby, when set and true, rejects mutating requests (submit, end,
+	// idle, demand) with ErrNotLeader so clients fail over to the
+	// primary. Reads and watches are still served from the warm replica.
+	Standby func() bool
 	// Ctx bounds request handling (nil = background).
 	Ctx context.Context
 	// Logf receives diagnostic messages; nil silences them.
@@ -239,6 +246,20 @@ func taskInfo(t *orchestrator.Task) TaskInfo {
 func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 	fail := func(err error) Frame { return errorFrame(f.Corr, err) }
 	ack := Frame{Type: MsgAck, Corr: f.Corr}
+
+	switch f.Type {
+	case MsgReplSnapshot, MsgReplAppend, MsgReplHeartbeat:
+		if a.Repl == nil {
+			return fail(errors.New("ctrlproto: replication not enabled"))
+		}
+		return a.Repl.Handle(f)
+	}
+	if a.Standby != nil && a.Standby() {
+		switch f.Type {
+		case MsgEndTask, MsgSetIdle, MsgSubmitTask, MsgDemand:
+			return fail(ErrNotLeader)
+		}
+	}
 
 	switch f.Type {
 	case MsgListTasks:

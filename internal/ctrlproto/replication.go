@@ -1,0 +1,166 @@
+package ctrlproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"surfos/internal/store"
+)
+
+// ReplReceiver is the follower-side endpoint of the replication channel:
+// the CtrlAgent routes MsgRepl* frames here, and the receiver applies
+// them to the warm Follower store. Every accepted message is answered
+// with MsgReplAck carrying the follower's applied sequence; fenced or
+// failed messages get a typed MsgError (StatusStaleEpoch survives the
+// hop as store.ErrStaleEpoch).
+type ReplReceiver struct {
+	F *store.Follower
+	// Logf receives diagnostic messages; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (r *ReplReceiver) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Handle applies one replication frame and builds the reply.
+func (r *ReplReceiver) Handle(f Frame) Frame {
+	if r.F == nil {
+		return errorFrame(f.Corr, errors.New("ctrlproto: no follower store attached"))
+	}
+	ackFrame := func() Frame {
+		return Frame{Type: MsgReplAck, Corr: f.Corr, Payload: ReplAckMsg{
+			Epoch: r.F.Epoch(), Applied: r.F.Applied(),
+		}.Encode()}
+	}
+	switch f.Type {
+	case MsgReplSnapshot:
+		m, err := DecodeReplSnapshotMsg(f.Payload)
+		if err != nil {
+			return errorFrame(f.Corr, err)
+		}
+		if err := r.F.InstallSnapshot(m.Epoch, m.Data); err != nil {
+			r.logf("repl: snapshot install (epoch %d, seq %d): %v", m.Epoch, m.Seq, err)
+			return errorFrame(f.Corr, err)
+		}
+		r.logf("repl: installed snapshot at seq %d (epoch %d)", m.Seq, m.Epoch)
+		return ackFrame()
+	case MsgReplAppend:
+		m, err := DecodeReplAppendMsg(f.Payload)
+		if err != nil {
+			return errorFrame(f.Corr, err)
+		}
+		if _, err := r.F.AppendBatch(m.Epoch, m.Recs); err != nil {
+			r.logf("repl: append batch (epoch %d, %d recs): %v", m.Epoch, len(m.Recs), err)
+			return errorFrame(f.Corr, err)
+		}
+		return ackFrame()
+	case MsgReplHeartbeat:
+		m, err := DecodeReplHeartbeatMsg(f.Payload)
+		if err != nil {
+			return errorFrame(f.Corr, err)
+		}
+		if err := r.F.Heartbeat(m.Epoch, m.Holder, time.Duration(m.TTLNanos), m.Seq); err != nil {
+			return errorFrame(f.Corr, err)
+		}
+		return ackFrame()
+	default:
+		return errorFrame(f.Corr, fmt.Errorf("ctrlproto: repl receiver cannot handle %v", f.Type))
+	}
+}
+
+// ReplSender is the primary-side endpoint: one long-lived connection to a
+// follower's control port, driven synchronously — the replication channel
+// carries only this traffic, so a write-then-read round trip per message
+// is simpler and sufficient (no pipelining, no correlation map). Safe for
+// concurrent use; round trips serialize on an internal lock.
+type ReplSender struct {
+	mu   sync.Mutex
+	conn net.Conn
+	corr uint32
+	// Timeout bounds each round trip (default 5s).
+	Timeout time.Duration
+}
+
+// DialRepl connects a replication session to a follower's control port.
+func DialRepl(addr string) (*ReplSender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplSender(conn), nil
+}
+
+// NewReplSender wraps an established connection (tests use net.Pipe).
+func NewReplSender(conn net.Conn) *ReplSender {
+	return &ReplSender{conn: conn, Timeout: 5 * time.Second}
+}
+
+// Close tears down the session.
+func (s *ReplSender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.conn = nil
+	return err
+}
+
+// Snapshot transfers a full snapshot (attach bootstrap or gap resync).
+func (s *ReplSender) Snapshot(epoch, seq uint64, data []byte) (ReplAckMsg, error) {
+	return s.roundTrip(MsgReplSnapshot, ReplSnapshotMsg{Epoch: epoch, Seq: seq, Data: data}.Encode())
+}
+
+// Append ships one batch of WAL records.
+func (s *ReplSender) Append(epoch uint64, recs []store.Record) (ReplAckMsg, error) {
+	return s.roundTrip(MsgReplAppend, ReplAppendMsg{Epoch: epoch, Recs: recs}.Encode())
+}
+
+// Heartbeat renews the lease and reports the primary's WAL sequence.
+func (s *ReplSender) Heartbeat(epoch uint64, holder string, ttl time.Duration, seq uint64) (ReplAckMsg, error) {
+	return s.roundTrip(MsgReplHeartbeat, ReplHeartbeatMsg{
+		Epoch: epoch, Holder: holder, TTLNanos: uint64(ttl.Nanoseconds()), Seq: seq,
+	}.Encode())
+}
+
+func (s *ReplSender) roundTrip(t MsgType, payload []byte) (ReplAckMsg, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return ReplAckMsg{}, errors.New("ctrlproto: repl sender closed")
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	s.conn.SetDeadline(time.Now().Add(timeout))
+	defer s.conn.SetDeadline(time.Time{})
+	s.corr++
+	corr := s.corr
+	if err := WriteFrame(s.conn, Frame{Type: t, Corr: corr, Payload: payload}); err != nil {
+		return ReplAckMsg{}, err
+	}
+	reply, err := ReadFrame(s.conn)
+	if err != nil {
+		return ReplAckMsg{}, err
+	}
+	switch reply.Type {
+	case MsgReplAck:
+		return DecodeReplAckMsg(reply.Payload)
+	case MsgError:
+		m, derr := DecodeErrorMsg(reply.Payload)
+		if derr != nil {
+			return ReplAckMsg{}, derr
+		}
+		return ReplAckMsg{}, &WireError{Status: m.Code, Text: m.Text}
+	default:
+		return ReplAckMsg{}, fmt.Errorf("ctrlproto: unexpected repl reply %v", reply.Type)
+	}
+}

@@ -1,0 +1,134 @@
+package ctrlproto
+
+import "surfos/internal/store"
+
+// Replication channel: the primary daemon ships its durability journal to
+// standby followers over the same wire framing as the rest of ctrlproto.
+// A replication session is one long-lived connection the primary dials to
+// each follower's control port: a MsgReplSnapshot bootstrap (or resync),
+// then MsgReplAppend batches as records are journaled, with
+// MsgReplHeartbeat lease renewals in between. Every message carries the
+// sender's leadership epoch; a follower rejects epochs below its own with
+// StatusStaleEpoch — the fence that keeps a paused-and-resumed old
+// primary from splitting the brain.
+//
+// The follower replies to every message with MsgReplAck carrying its last
+// durably applied sequence, which is both the primary's lag measurement
+// and the resume point after a follower restart (the primary re-sends
+// from the ack; duplicates below it are skipped idempotently).
+
+// Replication message types, continuing the northbound block
+// (streammsg.go ends at 27).
+const (
+	MsgReplSnapshot  MsgType = iota + 28 // snapshot transfer (bootstrap/resync)
+	MsgReplAppend                        // WAL append batch
+	MsgReplHeartbeat                     // lease renewal + primary seq
+	MsgReplAck                           // follower's applied seq
+)
+
+// ReplSnapshotMsg transfers a complete encoded snapshot. Seq is the WAL
+// sequence the snapshot covers through — the follower's resume point.
+type ReplSnapshotMsg struct {
+	Epoch uint64
+	Seq   uint64
+	Data  []byte // store snapshot file bytes (CRC-verified on install)
+}
+
+// Encode serializes the message.
+func (m ReplSnapshotMsg) Encode() []byte {
+	var e encoder
+	e.u64(m.Epoch)
+	e.u64(m.Seq)
+	e.bytes(m.Data)
+	return e.buf
+}
+
+// DecodeReplSnapshotMsg parses a ReplSnapshotMsg payload.
+func DecodeReplSnapshotMsg(b []byte) (ReplSnapshotMsg, error) {
+	d := decoder{buf: b}
+	m := ReplSnapshotMsg{Epoch: d.u64(), Seq: d.u64(), Data: d.bytes()}
+	return m, d.finish()
+}
+
+// ReplAppendMsg ships a batch of WAL records in sequence order. Records
+// carry their original seq, kind, payload and CRC; the follower verifies
+// and writes them verbatim, keeping its WAL byte-identical.
+type ReplAppendMsg struct {
+	Epoch uint64
+	Recs  []store.Record
+}
+
+// Encode serializes the message.
+func (m ReplAppendMsg) Encode() []byte {
+	var e encoder
+	e.u64(m.Epoch)
+	e.u32(uint32(len(m.Recs)))
+	for _, r := range m.Recs {
+		e.u64(r.Seq)
+		e.str(r.Kind)
+		e.bytes(r.Data)
+		e.u32(r.CRC)
+	}
+	return e.buf
+}
+
+// DecodeReplAppendMsg parses a ReplAppendMsg payload.
+func DecodeReplAppendMsg(b []byte) (ReplAppendMsg, error) {
+	d := decoder{buf: b}
+	m := ReplAppendMsg{Epoch: d.u64()}
+	n := int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Recs = append(m.Recs, store.Record{
+			Seq: d.u64(), Kind: d.str(), Data: d.bytes(), CRC: d.u32(),
+		})
+	}
+	return m, d.finish()
+}
+
+// ReplHeartbeatMsg renews the primary's lease: holder identity, lease
+// TTL, and the primary's current WAL sequence for lag accounting.
+type ReplHeartbeatMsg struct {
+	Epoch    uint64
+	Holder   string
+	TTLNanos uint64
+	Seq      uint64
+}
+
+// Encode serializes the message.
+func (m ReplHeartbeatMsg) Encode() []byte {
+	var e encoder
+	e.u64(m.Epoch)
+	e.str(m.Holder)
+	e.u64(m.TTLNanos)
+	e.u64(m.Seq)
+	return e.buf
+}
+
+// DecodeReplHeartbeatMsg parses a ReplHeartbeatMsg payload.
+func DecodeReplHeartbeatMsg(b []byte) (ReplHeartbeatMsg, error) {
+	d := decoder{buf: b}
+	m := ReplHeartbeatMsg{Epoch: d.u64(), Holder: d.str(), TTLNanos: d.u64(), Seq: d.u64()}
+	return m, d.finish()
+}
+
+// ReplAckMsg is the follower's reply to every replication message: its
+// epoch and the last sequence it has durably applied.
+type ReplAckMsg struct {
+	Epoch   uint64
+	Applied uint64
+}
+
+// Encode serializes the message.
+func (m ReplAckMsg) Encode() []byte {
+	var e encoder
+	e.u64(m.Epoch)
+	e.u64(m.Applied)
+	return e.buf
+}
+
+// DecodeReplAckMsg parses a ReplAckMsg payload.
+func DecodeReplAckMsg(b []byte) (ReplAckMsg, error) {
+	d := decoder{buf: b}
+	m := ReplAckMsg{Epoch: d.u64(), Applied: d.u64()}
+	return m, d.finish()
+}

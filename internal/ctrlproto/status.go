@@ -9,7 +9,14 @@ import (
 	"surfos/internal/driver"
 	"surfos/internal/hwmgr"
 	"surfos/internal/orchestrator"
+	"surfos/internal/store"
 )
+
+// ErrNotLeader rejects a mutating request sent to a standby daemon: the
+// caller should retry against another server in its list — the promoted
+// primary accepts it. Reads (list, watch, health) are still served from
+// the standby's warm replica.
+var ErrNotLeader = errors.New("ctrlproto: not the leader (standby)")
 
 // Status is a wire error category. The agent maps sentinel errors from the
 // orchestrator/hwmgr/broker/driver layers onto these codes; the client
@@ -41,6 +48,8 @@ const (
 	StatusBadCall
 	StatusTimeout
 	StatusAdmissionRejected
+	StatusStaleEpoch
+	StatusNotLeader
 )
 
 // statusTable pairs each code with its canonical sentinel. Mapping is by
@@ -71,6 +80,8 @@ var statusTable = []struct {
 	{StatusBadCall, broker.ErrBadCall},
 	{StatusTimeout, ErrTimeout},
 	{StatusAdmissionRejected, orchestrator.ErrAdmissionRejected},
+	{StatusStaleEpoch, store.ErrStaleEpoch},
+	{StatusNotLeader, ErrNotLeader},
 }
 
 // StatusFor classifies an error into its wire code (StatusInternal when no

@@ -227,6 +227,33 @@ func TestRestartShape(t *testing.T) {
 	}
 }
 
+func TestFailoverShape(t *testing.T) {
+	r, err := RunFailover(context.Background(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.ShapeCheck(); s != "" {
+		t.Errorf("failover shape: %s", s)
+	}
+	if r.WALSeq == 0 || r.FollowerApplied != r.WALSeq {
+		t.Errorf("replication did not keep up: primary seq=%d follower=%d", r.WALSeq, r.FollowerApplied)
+	}
+	if !r.StaleRejected {
+		t.Error("resumed stale primary was not fenced")
+	}
+	if !r.PlansIdentical {
+		t.Error("promoted plans differ from the dead primary's reboot")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "promoted") || !strings.Contains(out, "fenced") {
+		t.Error("render missing the promotion/fencing summary")
+	}
+	// Temp state-dir paths must never leak into the golden output.
+	if strings.Contains(out, "/tmp") || strings.Contains(out, "surfos-failover-") {
+		t.Errorf("render leaks a path:\n%s", out)
+	}
+}
+
 func TestWatchersShape(t *testing.T) {
 	r, err := RunWatchers(context.Background(), Quick)
 	if err != nil {

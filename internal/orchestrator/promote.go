@@ -1,0 +1,49 @@
+package orchestrator
+
+// Readmission: the one sequence that turns journaled state back into a
+// running task table. Boot recovery, standby promotion after a failover,
+// and the failover experiment all call the same hook, so a promoted
+// standby re-admits live tasks *exactly* as a rebooted primary would —
+// and because planning is deterministic, computes the identical plans.
+
+// RestoreSpec is one journaled live task to re-admit: its original ID,
+// the opaque spec JSON the journal preserved, and the last lifecycle
+// state it was seen in (so a parked task is restored parked).
+type RestoreSpec struct {
+	ID        int
+	Spec      []byte
+	LastState string
+}
+
+// ReadmitResult reports what a Readmit pass did.
+type ReadmitResult struct {
+	// Restored counts tasks re-admitted under their original IDs.
+	Restored int
+	// Dropped lists task IDs whose specs no longer validate (renamed
+	// region, changed scene); the caller should purge them from its
+	// journal state so they are not retried forever.
+	Dropped []int
+}
+
+// Readmit re-admits every spec under its original ID and burns IDs
+// through maxID so compacted-away tasks' IDs are never reused. Per-spec
+// failures are logged through logf and collected in Dropped rather than
+// aborting the pass: one stale spec must not block the rest of a recovery
+// or promotion. The caller reconciles afterwards (when Restored > 0) —
+// after attaching its journal, so the recovery re-plan's transitions are
+// journaled like any other.
+func (o *Orchestrator) Readmit(specs []RestoreSpec, maxID int, logf func(format string, args ...any)) ReadmitResult {
+	var res ReadmitResult
+	for _, sp := range specs {
+		if _, err := o.RestoreTask(sp.Spec, sp.LastState); err != nil {
+			if logf != nil {
+				logf("state: task %d not restored: %v", sp.ID, err)
+			}
+			res.Dropped = append(res.Dropped, sp.ID)
+			continue
+		}
+		res.Restored++
+	}
+	o.ReserveIDs(maxID)
+	return res
+}

@@ -1,0 +1,305 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrReleased marks a replication message arriving after the follower
+// promoted and handed its store to a journal: the follower is no longer a
+// valid writer and must not race the new single writer.
+var ErrReleased = errors.New("store: follower released")
+
+// Follower is the standby side of the replicated pair: it continuously
+// replays the primary's snapshot and WAL tail into its own warm store,
+// tracks the primary's lease, and promotes itself — bumping the epoch and
+// fencing the old primary — when the lease expires.
+//
+// All methods are safe for concurrent use. Time is read through an
+// injectable clock so lease expiry is testable and the failover
+// experiment stays deterministic.
+type Follower struct {
+	mu    sync.Mutex
+	st    *Store
+	state *State
+	// epoch is the highest leadership term seen; messages below it are
+	// rejected with ErrStaleEpoch.
+	epoch uint64
+	// applied is the last record sequence durably applied — the ack the
+	// primary uses to measure lag and resume after a follower restart.
+	applied uint64
+	// primarySeq is the primary's last reported WAL sequence.
+	primarySeq uint64
+	holder     string
+	leaseTTL   time.Duration
+	lastBeat   time.Time // zero: no heartbeat seen yet
+	leaseEnd   time.Time // zero: lease tracking not started
+	promoted   bool
+	released   bool
+	// local compaction cadence, independent of the primary's.
+	snapshotEvery int
+	sinceSnap     int
+	now           func() time.Time
+}
+
+// OpenFollower opens (or creates) a follower state directory, recovering
+// whatever snapshot and WAL tail a previous run left, positioned to
+// resume from its last applied sequence.
+func OpenFollower(dir string) (*Follower, error) {
+	st, state, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{
+		st:            st,
+		state:         state,
+		epoch:         state.Epoch,
+		applied:       st.Seq(),
+		snapshotEvery: DefaultSnapshotEvery,
+		now:           time.Now,
+	}, nil
+}
+
+// SetClock overrides the follower's time source (tests, deterministic
+// experiments).
+func (f *Follower) SetClock(now func() time.Time) {
+	f.mu.Lock()
+	f.now = now
+	f.mu.Unlock()
+}
+
+// SetSnapshotEvery overrides the local compaction cadence (<=0 disables).
+func (f *Follower) SetSnapshotEvery(n int) {
+	f.mu.Lock()
+	f.snapshotEvery = n
+	f.mu.Unlock()
+}
+
+// StartLease arms lease tracking before the first heartbeat: if no
+// primary checks in within ttl of now, the lease counts as expired. A
+// follower that never armed the lease never promotes — it would otherwise
+// take over the moment it booted, before the primary ever connected.
+func (f *Follower) StartLease(ttl time.Duration) {
+	f.mu.Lock()
+	f.leaseTTL = ttl
+	f.leaseEnd = f.now().Add(ttl)
+	f.mu.Unlock()
+}
+
+// checkEpochLocked fences stale senders and adopts newer terms. The
+// stale check runs first: a deposed primary reconnecting to the promoted
+// (and by then released) follower must still hear "stale epoch" — the
+// signal that makes it fence itself — not a generic released error.
+func (f *Follower) checkEpochLocked(epoch uint64) error {
+	if epoch < f.epoch {
+		return ErrStaleEpoch
+	}
+	if f.released {
+		return ErrReleased
+	}
+	f.epoch = epoch
+	return nil
+}
+
+// renewLocked treats any accepted leader traffic as proof of life.
+func (f *Follower) renewLocked() {
+	if f.leaseTTL > 0 {
+		f.leaseEnd = f.now().Add(f.leaseTTL)
+	}
+}
+
+// InstallSnapshot verifies and persists a snapshot from the primary,
+// replacing the follower's state wholesale — the attach-time bootstrap
+// and the resync path after a shipping gap.
+func (f *Follower) InstallSnapshot(epoch uint64, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkEpochLocked(epoch); err != nil {
+		return err
+	}
+	st, err := f.st.InstallSnapshot(data)
+	if err != nil {
+		return err
+	}
+	f.state = st
+	f.applied = f.st.Seq()
+	if st.Epoch > f.epoch {
+		f.epoch = st.Epoch
+	}
+	f.sinceSnap = 0
+	f.renewLocked()
+	return nil
+}
+
+// AppendBatch applies one shipped record batch: each record is CRC
+// verified, written verbatim to the follower's WAL, and folded into the
+// warm state. Records at or below the applied sequence are duplicates
+// from a re-send and are skipped; a gap returns ErrSeqGap so the primary
+// falls back to a snapshot. Returns the new applied sequence — the ack.
+func (f *Follower) AppendBatch(epoch uint64, recs []Record) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkEpochLocked(epoch); err != nil {
+		return f.applied, err
+	}
+	for _, rec := range recs {
+		if rec.Seq <= f.applied {
+			continue
+		}
+		if err := f.st.AppendRecord(rec); err != nil {
+			return f.applied, err
+		}
+		if err := f.state.apply(rec); err != nil {
+			return f.applied, err
+		}
+		f.applied = rec.Seq
+		f.sinceSnap++
+	}
+	f.renewLocked()
+	if f.snapshotEvery > 0 && f.sinceSnap >= f.snapshotEvery {
+		f.state.Compact()
+		if err := f.st.Snapshot(f.state); err != nil {
+			return f.applied, err
+		}
+		f.sinceSnap = 0
+	}
+	return f.applied, nil
+}
+
+// Heartbeat records a lease renewal from the primary: holder, ttl, and
+// the primary's WAL sequence (for lag accounting).
+func (f *Follower) Heartbeat(epoch uint64, holder string, ttl time.Duration, primarySeq uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkEpochLocked(epoch); err != nil {
+		return err
+	}
+	f.holder = holder
+	if ttl > 0 {
+		f.leaseTTL = ttl
+	}
+	if primarySeq > f.primarySeq {
+		f.primarySeq = primarySeq
+	}
+	f.lastBeat = f.now()
+	f.renewLocked()
+	return nil
+}
+
+// LeaseExpired reports whether the primary's lease has lapsed. Always
+// false until StartLease or a first heartbeat arms the lease.
+func (f *Follower) LeaseExpired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.released && !f.promoted && !f.leaseEnd.IsZero() && f.now().After(f.leaseEnd)
+}
+
+// Promote durably takes over leadership: the follower appends a KindEpoch
+// record at epoch+1 to its own WAL, fencing every message the old primary
+// may still send (they carry the old epoch and are now stale). The caller
+// re-admits the returned state's live tasks exactly as boot recovery does
+// and then calls Handoff to obtain the store for a journal.
+func (f *Follower) Promote(holder string) (*State, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return nil, 0, ErrReleased
+	}
+	if f.promoted {
+		return f.state, f.epoch, nil
+	}
+	epoch := f.epoch + 1
+	rec, err := f.st.AppendFull(KindEpoch, EpochRecord{Epoch: epoch, Holder: holder, TTLNanos: f.leaseTTL.Nanoseconds()})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := f.state.apply(rec); err != nil {
+		return nil, 0, err
+	}
+	f.applied = rec.Seq
+	f.epoch = epoch
+	f.holder = holder
+	f.promoted = true
+	return f.state, epoch, nil
+}
+
+// Handoff releases the store and state to the promoted daemon: the
+// follower stops accepting replication traffic (ErrReleased) so it can
+// never race the journal that takes over as single writer.
+func (f *Follower) Handoff() (*Store, *State) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.released = true
+	return f.st, f.state
+}
+
+// Close closes the underlying store (no-op after Handoff released it to
+// a journal).
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return nil
+	}
+	f.released = true
+	return f.st.Close()
+}
+
+// Epoch reports the highest leadership term seen.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Applied reports the last durably applied record sequence — the ack.
+func (f *Follower) Applied() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
+}
+
+// Lag reports how many records the follower trails the primary by, per
+// the last heartbeat's sequence.
+func (f *Follower) Lag() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.primarySeq <= f.applied {
+		return 0
+	}
+	return f.primarySeq - f.applied
+}
+
+// LeaseAge reports the time since the last heartbeat, or -1 if none has
+// arrived yet.
+func (f *Follower) LeaseAge() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.lastBeat.IsZero() {
+		return -1
+	}
+	return f.now().Sub(f.lastBeat)
+}
+
+// Holder reports the leader name from the last heartbeat.
+func (f *Follower) Holder() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.holder
+}
+
+// Promoted reports whether this follower has taken over leadership.
+func (f *Follower) Promoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// State returns the follower's warm replayed state. Callers must treat it
+// as read-only while replication is live.
+func (f *Follower) State() *State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"context"
 	"sync"
+	"time"
 
 	"surfos/internal/telemetry"
 )
@@ -33,6 +34,15 @@ type Journal struct {
 	// logf reports the first write error from Run (nil: discard). Set it
 	// before starting Run.
 	logf func(format string, args ...any)
+	// bus, when set, receives a one-shot JournalFailed event on the first
+	// write error so a dying disk is visible on /metrics and watch
+	// streams, not only in the health command.
+	bus      *telemetry.EventBus
+	busFired bool
+	// obs are replication observers: each appended record is handed to
+	// every observer under j.mu, in append order, before Consume returns.
+	obs     map[int]func(Record)
+	obsNext int
 }
 
 // JournalBuffer is the recommended bus subscription buffer for a journal
@@ -61,6 +71,16 @@ func (j *Journal) SetSnapshotEvery(n int) {
 func (j *Journal) SetLogf(f func(format string, args ...any)) {
 	j.mu.Lock()
 	j.logf = f
+	j.mu.Unlock()
+}
+
+// SetEventBus installs the telemetry bus on which the journal announces
+// its first write error as a JournalFailed event. Set it before starting
+// Run. Publishing is non-blocking (drop-on-full), so firing from the
+// journal's own consume path cannot deadlock its subscription.
+func (j *Journal) SetEventBus(b *telemetry.EventBus) {
+	j.mu.Lock()
+	j.bus = b
 	j.mu.Unlock()
 }
 
@@ -138,14 +158,35 @@ func (j *Journal) Consume(ev telemetry.TaskEvent) error {
 }
 
 // append writes one record, tracking the compaction counter and sticky
-// error. Caller holds j.mu.
+// error, and hands the complete record to every replication observer.
+// Caller holds j.mu.
 func (j *Journal) append(kind string, data any) error {
-	if _, err := j.st.Append(kind, data); err != nil {
-		j.err = err
+	rec, err := j.st.AppendFull(kind, data)
+	if err != nil {
+		j.failLocked(err)
 		return err
 	}
 	j.sinceSnap++
+	for _, obs := range j.obs {
+		obs(rec)
+	}
 	return nil
+}
+
+// failLocked records the sticky error and fires the one-shot
+// JournalFailed bus event. Caller holds j.mu.
+func (j *Journal) failLocked(err error) {
+	if j.err == nil {
+		j.err = err
+	}
+	if j.bus != nil && !j.busFired {
+		j.busFired = true
+		j.bus.Publish(telemetry.TaskEvent{
+			Time:  time.Now(),
+			State: telemetry.JournalFailed,
+			Err:   err.Error(),
+		})
+	}
 }
 
 // Run consumes a bus subscription until ctx is cancelled or the channel
@@ -187,11 +228,85 @@ func (j *Journal) Snapshot() error {
 func (j *Journal) snapshotLocked() error {
 	j.state.Compact()
 	if err := j.st.Snapshot(j.state); err != nil {
-		j.err = err
+		j.failLocked(err)
 		return err
 	}
 	j.sinceSnap = 0
 	return nil
+}
+
+// BecomeLeader durably starts a new leadership term: it journals a
+// KindEpoch record at the recovered epoch + 1 and returns the new epoch.
+// Every replicated append carries this epoch; a standby that later
+// promotes bumps it again, fencing this journal's writes.
+func (j *Journal) BecomeLeader(holder string, ttl time.Duration) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return 0, j.err
+	}
+	epoch := j.state.Epoch + 1
+	rec := EpochRecord{Epoch: epoch, Holder: holder, TTLNanos: ttl.Nanoseconds()}
+	if err := j.append(KindEpoch, rec); err != nil {
+		return 0, err
+	}
+	j.state.Epoch = epoch
+	j.state.Leader = holder
+	return epoch, nil
+}
+
+// Epoch reports the journal's current leadership term (0: never led).
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Epoch
+}
+
+// AttachReplica atomically captures a replication starting point and
+// registers an observer for every subsequent record: because the
+// journal's State mirror is always current, the snapshot taken under the
+// lock covers exactly the records before the first one the observer sees
+// — no tail transfer, no gap, no duplicate. The observer runs under the
+// journal lock on the consume path, so it must not block (hand off to a
+// buffered channel). The returned detach func unregisters it.
+func (j *Journal) AttachReplica(obs func(Record)) (epoch, seq uint64, snapshot []byte, detach func(), err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap, err := EncodeSnapshot(j.st.Seq(), j.state)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	if j.obs == nil {
+		j.obs = map[int]func(Record){}
+	}
+	id := j.obsNext
+	j.obsNext++
+	j.obs[id] = obs
+	detach = func() {
+		j.mu.Lock()
+		delete(j.obs, id)
+		j.mu.Unlock()
+	}
+	return j.state.Epoch, j.st.Seq(), snap, detach, nil
+}
+
+// WALSize reports the bytes of acknowledged WAL records on disk.
+func (j *Journal) WALSize() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.WALSize()
+}
+
+// SnapshotAge reports the time since the last snapshot was persisted, or
+// -1 if no snapshot exists yet.
+func (j *Journal) SnapshotAge() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.st.SnapshotTime()
+	if t.IsZero() {
+		return -1
+	}
+	return time.Since(t)
 }
 
 // Sync flushes and fsyncs the underlying WAL.

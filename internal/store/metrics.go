@@ -20,4 +20,16 @@ func (j *Journal) RegisterMetrics(r *metrics.Registry) {
 			}
 			return 0
 		})
+	r.GaugeFunc("surfos_wal_size_bytes", "Bytes of acknowledged WAL records on disk since the last compaction.",
+		func() float64 { return float64(j.WALSize()) })
+	r.GaugeFunc("surfos_snapshot_age_seconds", "Seconds since the last snapshot was persisted (-1: none yet).",
+		func() float64 {
+			age := j.SnapshotAge()
+			if age < 0 {
+				return -1
+			}
+			return age.Seconds()
+		})
+	r.GaugeFunc("surfos_journal_epoch", "Leadership term recorded in the journal (0: never replicated).",
+		func() float64 { return float64(j.Epoch()) })
 }

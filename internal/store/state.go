@@ -14,6 +14,11 @@ const (
 	KindTaskState = "task_state"
 	// KindDevice carries one device health transition (DeviceRecord).
 	KindDevice = "device_health"
+	// KindEpoch carries one leadership change (EpochRecord): the lease, as
+	// persisted in the WAL stream. Written once per term, not per
+	// heartbeat — heartbeats are protocol frames, renewals of the same
+	// lease, and journaling them would bloat the WAL with derived data.
+	KindEpoch = "epoch"
 )
 
 // Terminal lifecycle phases: a task whose last journaled state is one of
@@ -51,6 +56,17 @@ type DeviceRecord struct {
 	Err      string `json:"err,omitempty"`
 }
 
+// EpochRecord journals one leadership change. The epoch is a fencing
+// token: every replicated append carries the sender's epoch, and a
+// receiver rejects epochs below its own, so a paused-and-resumed old
+// primary cannot write past a promoted standby.
+type EpochRecord struct {
+	Epoch  uint64 `json:"epoch"`
+	Holder string `json:"holder,omitempty"`
+	// TTLNanos is the lease duration the holder announced for this term.
+	TTLNanos int64 `json:"ttl,omitempty"`
+}
+
 // TaskRecord is one task's recovered state: its spec and the last
 // lifecycle phase the journal saw.
 type TaskRecord struct {
@@ -77,6 +93,12 @@ type State struct {
 	// compaction so a restarted daemon never reuses the ID of an ended,
 	// compacted-away task.
 	MaxTaskID int
+	// Epoch is the last journaled leadership term (0: never replicated).
+	// It survives snapshots so a rebooted primary resumes fencing from
+	// where it left off instead of from 0.
+	Epoch uint64
+	// Leader is the holder recorded with the last epoch record.
+	Leader string
 }
 
 // NewState returns an empty state.
@@ -156,6 +178,15 @@ func (s *State) apply(rec Record) error {
 			return fmt.Errorf("%w: device_health seq %d: %v", ErrCorrupt, rec.Seq, err)
 		}
 		s.Devices[m.DeviceID] = &m
+	case KindEpoch:
+		var m EpochRecord
+		if err := json.Unmarshal(rec.Data, &m); err != nil {
+			return fmt.Errorf("%w: epoch seq %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+		if m.Epoch > s.Epoch {
+			s.Epoch = m.Epoch
+			s.Leader = m.Holder
+		}
 	default:
 		// Unknown kinds are tolerated (forward compatibility): a newer
 		// daemon's records must not brick an older one reading the dir.
@@ -173,6 +204,10 @@ type stateFile struct {
 	Tasks     []taskFileRecord `json:"tasks"`
 	Devices   []DeviceRecord   `json:"devices"`
 	MaxTaskID int              `json:"max_task_id,omitempty"`
+	// Epoch/Leader are omitted when zero so snapshots from daemons that
+	// never replicated stay byte-identical to the pre-replication format.
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Leader string `json:"leader,omitempty"`
 }
 
 type taskFileRecord struct {
@@ -196,6 +231,8 @@ func (s *State) encode() stateFile {
 		f.Devices = append(f.Devices, *d)
 	}
 	f.MaxTaskID = s.MaxTaskID
+	f.Epoch = s.Epoch
+	f.Leader = s.Leader
 	return f
 }
 
@@ -209,5 +246,7 @@ func decodeState(f stateFile) *State {
 		s.Devices[d.DeviceID] = &d
 	}
 	s.MaxTaskID = f.MaxTaskID
+	s.Epoch = f.Epoch
+	s.Leader = f.Leader
 	return s
 }

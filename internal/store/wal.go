@@ -29,11 +29,22 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 )
 
 // ErrCorrupt marks a WAL or snapshot damaged anywhere before the final
 // (possibly half-written) record. Recovery refuses to proceed past it.
 var ErrCorrupt = errors.New("store: corrupt")
+
+// ErrSeqGap marks a replicated record that skips past the receiver's next
+// expected sequence number: records were lost in flight (e.g. the shipper
+// overran its buffer) and the follower needs a fresh snapshot to resync.
+var ErrSeqGap = errors.New("store: replication sequence gap")
+
+// ErrStaleEpoch marks a replicated append or heartbeat carrying an epoch
+// below the receiver's: the sender is a deposed primary (paused, resumed,
+// and still writing at its old term) and must be fenced, not obeyed.
+var ErrStaleEpoch = errors.New("store: stale epoch")
 
 // WAL and snapshot file names inside the state directory.
 const (
@@ -85,11 +96,13 @@ const (
 // recovery bookkeeping. Methods are not safe for concurrent use; the
 // Journal serializes all writers.
 type Store struct {
-	dir    string
-	f      *os.File
-	w      *bufio.Writer
-	seq    uint64 // last sequence number written or recovered
-	policy SyncPolicy
+	dir      string
+	f        *os.File
+	w        *bufio.Writer
+	seq      uint64 // last sequence number written or recovered
+	policy   SyncPolicy
+	walBytes int64     // bytes of good WAL records on disk
+	snapTime time.Time // when the current snapshot was written (zero: none)
 }
 
 // Open opens (creating if needed) the state directory, recovers the
@@ -141,7 +154,10 @@ func Open(dir string) (*Store, *State, error) {
 	if snapSeq > seq {
 		seq = snapSeq
 	}
-	s := &Store{dir: dir, f: f, w: bufio.NewWriter(f), seq: seq}
+	s := &Store{dir: dir, f: f, w: bufio.NewWriter(f), seq: seq, walBytes: goodLen}
+	if fi, err := os.Stat(filepath.Join(dir, snapshotName)); err == nil {
+		s.snapTime = fi.ModTime()
+	}
 	return s, st, nil
 }
 
@@ -157,36 +173,85 @@ func (s *Store) Dir() string { return s.dir }
 // Append marshals data and writes one WAL record, flushing to the OS and
 // (per policy) fsyncing before returning its sequence number.
 func (s *Store) Append(kind string, data any) (uint64, error) {
+	rec, err := s.AppendFull(kind, data)
+	return rec.Seq, err
+}
+
+// AppendFull is Append returning the complete record — sequence, CRC and
+// marshaled payload — for callers that forward it verbatim, such as the
+// replication shipper.
+func (s *Store) AppendFull(kind string, data any) (Record, error) {
 	if s.f == nil {
-		return 0, errors.New("store: closed")
+		return Record{}, errors.New("store: closed")
 	}
 	raw, err := json.Marshal(data)
 	if err != nil {
-		return 0, err
+		return Record{}, err
 	}
 	rec := Record{Seq: s.seq + 1, Kind: kind, Data: raw}
 	rec.CRC = checksum(rec.Seq, rec.Kind, rec.Data)
+	if err := s.writeLine(rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// AppendRecord writes one already-sequenced record verbatim — the
+// follower side of WAL shipping. The record's CRC is re-verified and its
+// sequence must extend the local chain: a duplicate (seq ≤ current, a
+// re-send after reconnect) is skipped without error, a gap is ErrSeqGap.
+// Writing verbatim keeps the follower's WAL byte-identical to the
+// primary's, so recovery and promotion replay the exact same records.
+func (s *Store) AppendRecord(rec Record) error {
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	if got := checksum(rec.Seq, rec.Kind, rec.Data); got != rec.CRC {
+		return fmt.Errorf("%w: replicated record seq %d: crc mismatch (stored %08x, computed %08x)", ErrCorrupt, rec.Seq, rec.CRC, got)
+	}
+	if rec.Seq <= s.seq {
+		return nil // idempotent re-send
+	}
+	if rec.Seq != s.seq+1 {
+		return fmt.Errorf("%w: got seq %d, want %d", ErrSeqGap, rec.Seq, s.seq+1)
+	}
+	return s.writeLine(rec)
+}
+
+// writeLine marshals and appends one record line, advancing seq and the
+// size accounting. The record must already carry seq s.seq+1 and its CRC.
+func (s *Store) writeLine(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	if _, err := s.w.Write(line); err != nil {
-		return 0, err
+		return err
 	}
 	if err := s.w.WriteByte('\n'); err != nil {
-		return 0, err
+		return err
 	}
 	if err := s.w.Flush(); err != nil {
-		return 0, err
+		return err
 	}
 	if s.policy == SyncEveryRecord {
 		if err := s.f.Sync(); err != nil {
-			return 0, err
+			return err
 		}
 	}
 	s.seq = rec.Seq
-	return rec.Seq, nil
+	s.walBytes += int64(len(line)) + 1
+	return nil
 }
+
+// WALSize reports the bytes of acknowledged WAL records on disk — the
+// growth since the last compaction, one input to snapshot cadence and
+// promotion-readiness decisions.
+func (s *Store) WALSize() int64 { return s.walBytes }
+
+// SnapshotTime reports when the current snapshot was written (recovered
+// from the file's mtime after a restart); zero means no snapshot exists.
+func (s *Store) SnapshotTime() time.Time { return s.snapTime }
 
 // Sync flushes buffered records and fsyncs the WAL.
 func (s *Store) Sync() error {
@@ -225,16 +290,36 @@ func (s *Store) Snapshot(st *State) error {
 	if s.f == nil {
 		return errors.New("store: closed")
 	}
-	snap := snapshotFile{Seq: s.seq, State: st.encode()}
-	raw, err := json.Marshal(snap.State)
+	data, err := EncodeSnapshot(s.seq, st)
 	if err != nil {
 		return err
 	}
-	snap.CRC = checksum(snap.Seq, "snapshot", raw)
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return err
+	return s.writeSnapshot(data, s.seq)
+}
+
+// InstallSnapshot verifies and atomically persists a snapshot received
+// from a replication peer, resets the WAL, and returns the decoded state
+// positioned at the snapshot's sequence. It is the follower's resync
+// path: after it, AppendRecord continues the chain from the returned
+// sequence.
+func (s *Store) InstallSnapshot(data []byte) (*State, error) {
+	if s.f == nil {
+		return nil, errors.New("store: closed")
 	}
+	st, seq, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeSnapshot(data, seq); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// writeSnapshot persists pre-encoded snapshot bytes with the atomic
+// temp+fsync+rename+dir-fsync dance, then compacts the WAL and moves the
+// store's sequence to the snapshot's.
+func (s *Store) writeSnapshot(data []byte, seq uint64) error {
 	tmp := filepath.Join(s.dir, snapshotName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -259,7 +344,7 @@ func (s *Store) Snapshot(st *State) error {
 	if err := syncDir(s.dir); err != nil {
 		return err
 	}
-	// Compaction: every record ≤ snap.Seq is now covered by the snapshot.
+	// Compaction: every record ≤ the snapshot seq is now covered by it.
 	if err := s.f.Truncate(0); err != nil {
 		return err
 	}
@@ -267,7 +352,46 @@ func (s *Store) Snapshot(st *State) error {
 		return err
 	}
 	s.w.Reset(s.f)
-	return s.f.Sync()
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	// The snapshot is now authoritative: the WAL is empty and the chain
+	// continues from its sequence (a no-op for local Snapshot, the resync
+	// point for InstallSnapshot).
+	s.seq = seq
+	s.walBytes = 0
+	s.snapTime = time.Now()
+	return nil
+}
+
+// EncodeSnapshot renders a state at a sequence number into the snapshot
+// file format — the bytes Snapshot persists and the replication channel
+// ships. The encoding is byte-deterministic for a given state.
+func EncodeSnapshot(seq uint64, st *State) ([]byte, error) {
+	snap := snapshotFile{Seq: seq, State: st.encode()}
+	raw, err := json.Marshal(snap.State)
+	if err != nil {
+		return nil, err
+	}
+	snap.CRC = checksum(seq, "snapshot", raw)
+	return json.Marshal(snap)
+}
+
+// DecodeSnapshot parses and CRC-verifies snapshot bytes, returning the
+// state and the WAL sequence it covers through.
+func DecodeSnapshot(data []byte) (*State, uint64, error) {
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, 0, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
+	}
+	raw, err := json.Marshal(snap.State)
+	if err != nil {
+		return nil, 0, err
+	}
+	if got := checksum(snap.Seq, "snapshot", raw); got != snap.CRC {
+		return nil, 0, fmt.Errorf("%w: snapshot crc mismatch (stored %08x, computed %08x)", ErrCorrupt, snap.CRC, got)
+	}
+	return decodeState(snap.State), snap.Seq, nil
 }
 
 // syncDir fsyncs a directory so the metadata operations inside it (file
@@ -306,18 +430,7 @@ func readSnapshot(path string) (*State, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	var snap snapshotFile
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, 0, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
-	}
-	raw, err := json.Marshal(snap.State)
-	if err != nil {
-		return nil, 0, err
-	}
-	if got := checksum(snap.Seq, "snapshot", raw); got != snap.CRC {
-		return nil, 0, fmt.Errorf("%w: snapshot crc mismatch (stored %08x, computed %08x)", ErrCorrupt, snap.CRC, got)
-	}
-	return decodeState(snap.State), snap.Seq, nil
+	return DecodeSnapshot(data)
 }
 
 // readWAL scans the WAL, returning the records with sequence > afterSeq,

@@ -26,6 +26,17 @@ const (
 	Replanned       = "replanned"        // orchestrator re-planned around a health change
 )
 
+// Control-plane infrastructure events (TaskID 0, DeviceID empty).
+const (
+	// JournalFailed is published once when the durability journal hits its
+	// first (sticky) write error: new tasks are no longer durable. Err
+	// carries the write error text.
+	JournalFailed = "journal_failed"
+	// Promoted is published once when a standby takes over leadership
+	// after the primary's lease expired. Metric carries the new epoch.
+	Promoted = "promoted"
+)
+
 // TaskEvent is one task lifecycle transition. Events are advisory — the
 // orchestrator's task table remains the source of truth — so consumers
 // (monitors, CLIs, loggers) may drop or lag without affecting scheduling.
