@@ -182,7 +182,7 @@ type daemon struct {
 	replicating bool
 	promotions  atomic.Uint64
 	fenced      atomic.Bool
-	lastBeat    atomic.Int64 // unix nanos of the last heartbeat sent
+	lastRenew   atomic.Int64 // unix nanos of the last acked renewal's send (primary lease)
 	replMu      sync.Mutex
 	replAcked   map[string]uint64
 
@@ -408,9 +408,7 @@ func (d *daemon) registerMetrics(reg *metrics.Registry) {
 	if d.getJournal() != nil || d.follower != nil {
 		// A follower has no journal yet, but will the moment it promotes;
 		// register through the accessor so the exporters follow the swap.
-		if j := d.getJournal(); j != nil {
-			j.RegisterMetrics(reg)
-		}
+		store.RegisterJournalMetrics(reg, d.getJournal)
 		reg.GaugeFunc("surfos_journal_lag",
 			"Journal subscription backlog: events published but not yet persisted.",
 			func() float64 { return float64(d.journalBacklog()) })
@@ -662,6 +660,11 @@ func (d *daemon) handle(line string) (string, bool) {
 		return strings.TrimRight(b.String(), "\n"), true
 
 	case "demand":
+		// Same standby gate the framed plane applies: a follower or fenced
+		// ex-primary must not mutate state the real primary owns.
+		if d.standby.Load() {
+			return "error: not the leader (standby); retry against the primary", true
+		}
 		calls, tasks, err := d.broker.HandleDemand(d.ctx, rest)
 		if err != nil {
 			return "error: " + err.Error(), true
@@ -751,6 +754,9 @@ func (d *daemon) handle(line string) (string, bool) {
 		return strings.TrimRight(b.String(), "\n"), true
 
 	case "end", "idle", "resume":
+		if d.standby.Load() {
+			return "error: not the leader (standby); retry against the primary", true
+		}
 		id, err := strconv.Atoi(rest)
 		if err != nil {
 			return "error: want a task id", true

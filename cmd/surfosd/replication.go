@@ -9,12 +9,21 @@
 // Epoch fencing: the primary takes leadership by journaling a KindEpoch
 // record; every shipped batch and heartbeat carries that epoch. A
 // promoted follower bumps it, so an old primary that pauses and resumes
-// gets StatusStaleEpoch on its next send, steps down to standby, and can
-// never split the brain.
+// gets StatusStaleEpoch on its next send and steps down to standby.
+//
+// The lease cuts both ways. A follower promotes after ttl of silence,
+// so a primary that has not gotten a single follower ack within the
+// same ttl can no longer know it is alone: leaseWatch steps it into
+// standby (mutations rejected) before the follower's takeover, not
+// after — renewal is timed from the request send, so the primary's
+// deadline always lapses first. The step-down reverses only if a
+// follower acks again without having promoted; a promoted follower's
+// next contact fences this daemon permanently instead.
 package main
 
 import (
 	"errors"
+	"fmt"
 	"log"
 	"strings"
 	"time"
@@ -55,8 +64,9 @@ func heartbeatEvery(ttl time.Duration) time.Duration {
 
 // --- primary side: WAL shipping ---
 
-// startReplication takes leadership (journaling the epoch record) and
-// starts one shipping loop per follower address. Call after openState.
+// startReplication takes leadership (journaling the epoch record),
+// starts one shipping loop per follower address, and arms the primary's
+// own lease watch. Call after openState.
 func (d *daemon) startReplication(addrs []string, ttl time.Duration) error {
 	j := d.getJournal()
 	if j == nil {
@@ -68,9 +78,14 @@ func (d *daemon) startReplication(addrs []string, ttl time.Duration) error {
 	}
 	log.Printf("replication: leading as %q at epoch %d (lease ttl %s, %d follower(s))",
 		d.holder, epoch, ttl, len(addrs))
+	// Arm the lease from boot, mirroring the follower's StartLease: a
+	// follower that never acks is as gone as one that stops acking, and
+	// this grace period is all the time the shippers get to reach one.
+	d.lastRenew.Store(time.Now().UnixNano())
 	for _, addr := range addrs {
 		go d.shipTo(addr, ttl)
 	}
+	go d.leaseWatch(ttl)
 	return nil
 }
 
@@ -122,11 +137,14 @@ func (d *daemon) shipSession(addr string, ttl time.Duration) error {
 		return err
 	}
 	defer detach()
+	sent := time.Now()
 	ack, err := sender.Snapshot(epoch, seq, snap)
 	if err != nil {
 		return err
 	}
-	d.setAcked(addr, ack.Applied)
+	if err := d.ackRenew(addr, ack, epoch, sent); err != nil {
+		return err
+	}
 	log.Printf("replication: %s attached at seq %d (epoch %d)", addr, seq, epoch)
 	last := seq
 	hb := time.NewTicker(heartbeatEvery(ttl))
@@ -149,19 +167,90 @@ func (d *daemon) shipSession(addr string, ttl time.Duration) error {
 			if batch[0].Seq > last+1 {
 				return errors.New("shipper buffer overflowed; resyncing from snapshot")
 			}
+			sent := time.Now()
 			ack, err := sender.Append(epoch, batch)
 			if err != nil {
 				return err
 			}
 			last = batch[len(batch)-1].Seq
-			d.setAcked(addr, ack.Applied)
+			if err := d.ackRenew(addr, ack, epoch, sent); err != nil {
+				return err
+			}
 		case <-hb.C:
+			sent := time.Now()
 			ack, err := sender.Heartbeat(epoch, d.holder, ttl, j.Seq())
 			if err != nil {
 				return err
 			}
-			d.setAcked(addr, ack.Applied)
-			d.lastBeat.Store(time.Now().UnixNano())
+			if err := d.ackRenew(addr, ack, epoch, sent); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ackRenew folds one follower ack into the primary's books: the acked
+// sequence (lag accounting) and the lease renewal, timed from the
+// request's send so the primary's view of its lease is strictly more
+// conservative than the follower's. An ack reporting a higher epoch is
+// the fencing signal the status code alone cannot carry — a standby
+// promoted past this daemon — so it surfaces as ErrStaleEpoch.
+func (d *daemon) ackRenew(addr string, ack ctrlproto.ReplAckMsg, epoch uint64, sent time.Time) error {
+	if ack.Epoch > epoch {
+		return fmt.Errorf("follower acked at epoch %d, ours is %d: %w", ack.Epoch, epoch, store.ErrStaleEpoch)
+	}
+	d.setAcked(addr, ack.Applied)
+	d.renewedAt(sent)
+	return nil
+}
+
+// renewedAt advances the last-successful-renewal clock to the given
+// send time. Monotonic: concurrent sessions only ever move it forward.
+func (d *daemon) renewedAt(sent time.Time) {
+	ns := sent.UnixNano()
+	for {
+		cur := d.lastRenew.Load()
+		if cur >= ns || d.lastRenew.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// leaseWatch enforces the lease on the primary itself: once no follower
+// has acked within the ttl, some follower's lease may already have
+// lapsed — and promotion needs no permission from a primary it cannot
+// reach — so this daemon must stop accepting mutations rather than run
+// split-brained through a partition. The step-down is provisional: a
+// follower that acks again without having promoted (it renewed in time)
+// restores leadership; contact with a promoted follower instead fences
+// this daemon for good (shipTo calls fence, which is sticky).
+func (d *daemon) leaseWatch(ttl time.Duration) {
+	tick := time.NewTicker(heartbeatEvery(ttl))
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-tick.C:
+			if d.fenced.Load() {
+				return // fence() already holds the daemon in standby
+			}
+			if time.Since(time.Unix(0, d.lastRenew.Load())) > ttl {
+				if !d.standby.Swap(true) {
+					log.Printf("replication: lease LOST: no follower ack within %s; suspending mutations (a standby may be promoting)", ttl)
+				}
+				continue
+			}
+			if d.standby.Load() && !d.fenced.Load() {
+				d.standby.Store(false)
+				if d.fenced.Load() {
+					// fence() raced the resume between the two checks:
+					// it has precedence, so re-assert standby and stop.
+					d.standby.Store(true)
+					return
+				}
+				log.Printf("replication: lease renewed by a follower that never promoted; resuming leadership")
+			}
 		}
 	}
 }
@@ -200,8 +289,9 @@ func (d *daemon) minAcked() uint64 {
 // --- follower side: warm replay and promotion ---
 
 // openFollower opens the standby's warm store, arms the lease, and routes
-// incoming MsgRepl* frames to it. The daemon serves reads from the
-// replica but rejects mutations until promotion.
+// incoming MsgRepl* frames to it. The daemon rejects mutations until
+// promotion; reads answer from its own (empty) task table, since the
+// replica only feeds the orchestrator when a promotion re-admits it.
 func (d *daemon) openFollower(dir string, ttl time.Duration) error {
 	fol, err := store.OpenFollower(dir)
 	if err != nil {
@@ -220,7 +310,12 @@ func (d *daemon) openFollower(dir string, ttl time.Duration) error {
 	return nil
 }
 
-// followLoop watches the lease and promotes when it expires.
+// followLoop watches the lease and promotes when it expires. A failed
+// promotion attempt is retried on later ticks rather than abandoning the
+// loop — otherwise one transient journal error would leave the pair with
+// a permanent standby and no primary. ErrLeaseLive is not a failure: the
+// primary renewed between the expiry observation and the epoch bump, so
+// the daemon simply keeps following.
 func (d *daemon) followLoop(ttl time.Duration) {
 	tick := time.NewTicker(heartbeatEvery(ttl))
 	defer tick.Stop()
@@ -229,9 +324,16 @@ func (d *daemon) followLoop(ttl time.Duration) {
 		case <-d.ctx.Done():
 			return
 		case <-tick.C:
-			if d.follower.LeaseExpired() {
-				d.promote()
+			if !d.follower.LeaseExpired() {
+				continue
+			}
+			switch err := d.promote(); {
+			case err == nil:
 				return
+			case errors.Is(err, store.ErrLeaseLive):
+				// Lost the race to a heartbeat; still a follower.
+			default:
+				log.Printf("replication: promote: %v (retrying)", err)
 			}
 		}
 	}
@@ -243,31 +345,37 @@ func (d *daemon) followLoop(ttl time.Duration) {
 // and start accepting mutations. Recovery is deterministic, so the plans
 // this daemon computes are byte-identical to what the dead primary's own
 // reboot would have produced.
-func (d *daemon) promote() {
+//
+// Handoff is deliberately last: once the epoch record is durable every
+// replication message is fenced, so the store is quiescent while
+// attachState rebuilds on top of it, and a failure there cannot strand a
+// released-but-unattached store. attachState's only failure mode is the
+// initial snapshot not persisting; that leaves the daemon exactly as
+// durable as a primary whose disk died mid-flight — journal_failed is
+// raised and it serves anyway — so it does not block the takeover.
+func (d *daemon) promote() error {
 	holder := d.holder
 	if holder == "" {
 		holder = "standby"
 	}
 	deadHolder := d.follower.Holder() // before Promote overwrites it
-	_, epoch, err := d.follower.Promote(holder)
+	state, epoch, err := d.follower.Promote(holder)
 	if err != nil {
-		log.Printf("replication: promote: %v", err)
-		return
+		return err
 	}
-	lag := d.follower.Lag()
-	st, state := d.follower.Handoff()
 	log.Printf("replication: lease expired (last holder %q); promoting to epoch %d (applied seq %d, lag %d)",
-		deadHolder, epoch, st.Seq(), lag)
-	if err := d.attachState(st, state, d.followDir); err != nil {
-		log.Printf("replication: promote: attach state: %v", err)
-		return
+		deadHolder, epoch, d.follower.Applied(), d.follower.Lag())
+	if err := d.attachState(d.follower.Store(), state, d.followDir); err != nil {
+		log.Printf("replication: promote: attach state: %v (serving anyway; durability degraded)", err)
 	}
+	d.follower.Handoff()
 	d.standby.Store(false)
 	d.promotions.Add(1)
 	d.events.Publish(telemetry.TaskEvent{
 		Time: time.Now(), State: telemetry.Promoted, Metric: float64(epoch), MetricName: "epoch",
 	})
 	log.Printf("replication: promoted; serving as primary at epoch %d", epoch)
+	return nil
 }
 
 // --- metrics: one role-aware family set, valid before and after the
@@ -299,7 +407,7 @@ func (d *daemon) registerReplMetrics(reg *metrics.Registry) {
 			}
 			return 0
 		})
-	reg.GaugeFunc("surfos_repl_lease_age_seconds", "Seconds since the last lease heartbeat (received or sent; -1: none yet).",
+	reg.GaugeFunc("surfos_repl_lease_age_seconds", "Seconds since the last lease renewal (follower: received; primary: acked by a follower; -1: none yet).",
 		func() float64 {
 			if d.follower != nil && !d.follower.Promoted() {
 				age := d.follower.LeaseAge()
@@ -308,7 +416,7 @@ func (d *daemon) registerReplMetrics(reg *metrics.Registry) {
 				}
 				return age.Seconds()
 			}
-			if ns := d.lastBeat.Load(); ns > 0 {
+			if ns := d.lastRenew.Load(); ns > 0 {
 				return time.Since(time.Unix(0, ns)).Seconds()
 			}
 			return -1

@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"io"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -97,5 +100,142 @@ func TestDaemonFailoverPromotesStandby(t *testing.T) {
 	// the ID allocator continues past the primary's high-water mark.
 	if reply, _ := d2.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "task 3") {
 		t.Errorf("post-promotion demand: %q", reply)
+	}
+}
+
+// replProxy sits between a primary and its follower so a test can cut the
+// replication path without killing either daemon: with drop set, live
+// connections are severed and new ones closed on accept — a network
+// partition, as the shippers see it.
+type replProxy struct {
+	ln      net.Listener
+	backend string
+	mu      sync.Mutex
+	drop    bool
+	conns   map[net.Conn]struct{}
+}
+
+func newReplProxy(t *testing.T, backend string) *replProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &replProxy{ln: ln, backend: backend, conns: map[net.Conn]struct{}{}}
+	t.Cleanup(func() { ln.Close() })
+	go p.run()
+	return p
+}
+
+func (p *replProxy) run() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.drop {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		back, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.conns[back] = struct{}{}
+		p.mu.Unlock()
+		pipe := func(dst, src net.Conn) {
+			io.Copy(dst, src)
+			dst.Close()
+			src.Close()
+			p.mu.Lock()
+			delete(p.conns, dst)
+			delete(p.conns, src)
+			p.mu.Unlock()
+		}
+		go pipe(back, conn)
+		go pipe(conn, back)
+	}
+}
+
+// setDrop flips the partition: dropping also severs live connections.
+func (p *replProxy) setDrop(drop bool) {
+	p.mu.Lock()
+	p.drop = drop
+	if drop {
+		for c := range p.conns {
+			c.Close()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// TestPrimaryLeaseLossStepsDownAndResumes pins the primary's own half of
+// the lease: partitioned from every follower, it must stop accepting
+// mutations within its TTL — before a standby could promote — and, when
+// the partition heals against a follower that never promoted, resume
+// leadership without fencing itself.
+func TestPrimaryLeaseLossStepsDownAndResumes(t *testing.T) {
+	ttl := 500 * time.Millisecond
+	pdir, sdir := t.TempDir(), t.TempDir()
+
+	d1 := replTestDaemon(t, context.Background())
+	if err := d1.openState(pdir); err != nil {
+		t.Fatal(err)
+	}
+	d1.holder = "primary"
+	d1.replicating = true
+
+	// Follower with an effectively infinite lease: it will never promote,
+	// so any step-down observed on the primary is the primary's own doing.
+	d2 := replTestDaemon(t, context.Background())
+	if err := d2.openFollower(sdir, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d2.ctrl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := newReplProxy(t, addr.String())
+	if err := d1.startReplication([]string{proxy.ln.Addr().String()}, ttl); err != nil {
+		t.Fatal(err)
+	}
+
+	if reply, _ := d1.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "running") {
+		t.Fatalf("demand: %q", reply)
+	}
+	j := d1.getJournal()
+	waitFor(t, func() bool {
+		seq := j.Seq()
+		return d1.journalBacklog() == 0 && seq > 0 && d2.follower.Applied() == seq
+	})
+
+	// Partition. With no acks for a ttl the primary steps into standby.
+	proxy.setDrop(true)
+	waitFor(t, func() bool { return d1.standby.Load() })
+	if reply, _ := d1.handle("demand charge my phone please"); !strings.Contains(reply, "not the leader") {
+		t.Errorf("partitioned-primary demand = %q, want a standby rejection", reply)
+	}
+	if d2.follower.Promoted() {
+		t.Fatal("follower promoted despite its armed hour-long lease")
+	}
+
+	// Heal. The follower never promoted, so its next ack restores the
+	// lease and the primary resumes — no fencing, no epoch change.
+	proxy.setDrop(false)
+	waitFor(t, func() bool { return !d1.standby.Load() })
+	if d1.fenced.Load() {
+		t.Error("resumed primary reports fenced")
+	}
+	if reply, _ := d1.handle("demand charge my phone please"); !strings.Contains(reply, "task 2") {
+		t.Errorf("post-heal demand = %q, want task 2 accepted", reply)
+	}
+	waitFor(t, func() bool { return d2.follower.Applied() == j.Seq() })
+	if d2.follower.Promoted() || !d2.standby.Load() {
+		t.Error("follower role changed across the partition")
 	}
 }

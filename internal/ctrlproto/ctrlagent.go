@@ -43,7 +43,10 @@ type CtrlAgent struct {
 	Repl *ReplReceiver
 	// Standby, when set and true, rejects mutating requests (submit, end,
 	// idle, demand) with ErrNotLeader so clients fail over to the
-	// primary. Reads and watches are still served from the warm replica.
+	// primary. Reads and watches stay connected but answer from this
+	// daemon's local orchestrator and event bus — empty on a
+	// never-promoted follower (the warm replica is folded in only when
+	// promotion re-admits it), current again on a fenced ex-primary.
 	Standby func() bool
 	// Ctx bounds request handling (nil = background).
 	Ctx context.Context

@@ -14,8 +14,9 @@ import (
 // the CtrlAgent routes MsgRepl* frames here, and the receiver applies
 // them to the warm Follower store. Every accepted message is answered
 // with MsgReplAck carrying the follower's applied sequence; fenced or
-// failed messages get a typed MsgError (StatusStaleEpoch survives the
-// hop as store.ErrStaleEpoch).
+// failed messages get a typed MsgError (StatusStaleEpoch and
+// StatusReleased survive the hop as store.ErrStaleEpoch and
+// store.ErrReleased).
 type ReplReceiver struct {
 	F *store.Follower
 	// Logf receives diagnostic messages; nil silences them.

@@ -101,6 +101,11 @@ func TestReplSessionShipsAndFencesOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fol.Close()
+	// Virtual clock: the heartbeat below arms the lease, and Promote
+	// refuses to depose a live leader, so the test must age the lease
+	// past its TTL before the takeover.
+	now := time.Unix(1_700_000_000, 0)
+	fol.SetClock(func() time.Time { return now })
 	sender := pipeReplSession(t, fol)
 
 	var recs []store.Record
@@ -150,8 +155,10 @@ func TestReplSessionShipsAndFencesOverWire(t *testing.T) {
 		t.Errorf("follower holder = %q, want primary", got)
 	}
 
-	// The follower promotes; the old primary's next messages are fenced
-	// with the typed sentinel across the wire.
+	// The primary goes silent past the TTL; the follower promotes; the
+	// stale sender's next messages are fenced with the typed sentinel
+	// across the wire.
+	now = now.Add(4 * time.Second)
 	if _, _, err := fol.Promote("standby"); err != nil {
 		t.Fatal(err)
 	}
@@ -160,6 +167,19 @@ func TestReplSessionShipsAndFencesOverWire(t *testing.T) {
 	}
 	if _, err := sender.Heartbeat(epoch, "primary", 3*time.Second, j.Seq()); !errors.Is(err, store.ErrStaleEpoch) {
 		t.Errorf("stale heartbeat err = %v, want store.ErrStaleEpoch", err)
+	}
+
+	// After handoff the fence must still hold over the wire for the tied
+	// term (a rebooted primary minting the same epoch), and a genuinely
+	// newer term must come back as the released sentinel — not a generic
+	// internal error a sender would treat as retryable.
+	promotedEpoch := fol.Epoch()
+	fol.Handoff()
+	if _, err := sender.Append(promotedEpoch, recs); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Errorf("post-handoff tied-epoch append err = %v, want store.ErrStaleEpoch", err)
+	}
+	if _, err := sender.Append(promotedEpoch+1, recs); !errors.Is(err, store.ErrReleased) {
+		t.Errorf("post-handoff newer-epoch append err = %v, want store.ErrReleased", err)
 	}
 }
 

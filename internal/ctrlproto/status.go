@@ -14,8 +14,10 @@ import (
 
 // ErrNotLeader rejects a mutating request sent to a standby daemon: the
 // caller should retry against another server in its list — the promoted
-// primary accepts it. Reads (list, watch, health) are still served from
-// the standby's warm replica.
+// primary accepts it. Reads (list, watch, health) stay connected but
+// answer from the standby's own task table, which is empty until a
+// promotion re-admits the replicated state; rotate to the leader for an
+// authoritative view.
 var ErrNotLeader = errors.New("ctrlproto: not the leader (standby)")
 
 // Status is a wire error category. The agent maps sentinel errors from the
@@ -50,6 +52,7 @@ const (
 	StatusAdmissionRejected
 	StatusStaleEpoch
 	StatusNotLeader
+	StatusReleased
 )
 
 // statusTable pairs each code with its canonical sentinel. Mapping is by
@@ -82,6 +85,7 @@ var statusTable = []struct {
 	{StatusAdmissionRejected, orchestrator.ErrAdmissionRejected},
 	{StatusStaleEpoch, store.ErrStaleEpoch},
 	{StatusNotLeader, ErrNotLeader},
+	{StatusReleased, store.ErrReleased},
 }
 
 // StatusFor classifies an error into its wire code (StatusInternal when no

@@ -11,6 +11,12 @@ import (
 // valid writer and must not race the new single writer.
 var ErrReleased = errors.New("store: follower released")
 
+// ErrLeaseLive aborts a promotion because the lease was renewed between
+// the expiry observation and the durable epoch bump: the primary checked
+// in at the last instant, and taking over anyway would run two leaders
+// until the next fencing round trip. The caller keeps following.
+var ErrLeaseLive = errors.New("store: lease renewed, promotion aborted")
+
 // Follower is the standby side of the replicated pair: it continuously
 // replays the primary's snapshot and WAL tail into its own warm store,
 // tracks the primary's lease, and promotes itself — bumping the epoch and
@@ -87,16 +93,25 @@ func (f *Follower) StartLease(ttl time.Duration) {
 	f.mu.Unlock()
 }
 
-// checkEpochLocked fences stale senders and adopts newer terms. The
-// stale check runs first: a deposed primary reconnecting to the promoted
-// (and by then released) follower must still hear "stale epoch" — the
-// signal that makes it fence itself — not a generic released error.
+// checkEpochLocked fences stale senders and adopts newer terms. Once
+// this follower has promoted (or handed its store off), it IS the leader
+// at f.epoch, so any sender at or below that term is a deposed primary
+// and must hear "stale epoch" — the signal that makes it fence itself.
+// The <= matters: a dead primary that reboots recovers its old term N
+// from its own journal and mints N+1 with BecomeLeader, colliding
+// exactly with the term the promoted follower took over at; fencing
+// only < would let that doppelgänger lead forever. Traffic from a
+// genuinely newer term reaches a promoted follower as ErrReleased: it
+// cannot apply it, but the sender is not stale.
 func (f *Follower) checkEpochLocked(epoch uint64) error {
+	if f.promoted || f.released {
+		if epoch <= f.epoch {
+			return ErrStaleEpoch
+		}
+		return ErrReleased
+	}
 	if epoch < f.epoch {
 		return ErrStaleEpoch
-	}
-	if f.released {
-		return ErrReleased
 	}
 	f.epoch = epoch
 	return nil
@@ -197,9 +212,14 @@ func (f *Follower) LeaseExpired() bool {
 
 // Promote durably takes over leadership: the follower appends a KindEpoch
 // record at epoch+1 to its own WAL, fencing every message the old primary
-// may still send (they carry the old epoch and are now stale). The caller
-// re-admits the returned state's live tasks exactly as boot recovery does
-// and then calls Handoff to obtain the store for a journal.
+// may still send (they carry an epoch at or below it and are now stale).
+// The caller re-admits the returned state's live tasks exactly as boot
+// recovery does and then calls Handoff to confirm the transfer. A lease
+// renewed since the caller observed expiry aborts with ErrLeaseLive —
+// the epoch bump and the renewal serialize on f.mu, so either the
+// primary's heartbeat lands first and promotion backs off, or promotion
+// commits first and the heartbeat is fenced; two live leaders can't
+// both come out of this window.
 func (f *Follower) Promote(holder string) (*State, uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -208,6 +228,9 @@ func (f *Follower) Promote(holder string) (*State, uint64, error) {
 	}
 	if f.promoted {
 		return f.state, f.epoch, nil
+	}
+	if f.leaseTTL > 0 && !f.leaseEnd.IsZero() && !f.now().After(f.leaseEnd) {
+		return nil, 0, ErrLeaseLive
 	}
 	epoch := f.epoch + 1
 	rec, err := f.st.AppendFull(KindEpoch, EpochRecord{Epoch: epoch, Holder: holder, TTLNanos: f.leaseTTL.Nanoseconds()})
@@ -224,9 +247,21 @@ func (f *Follower) Promote(holder string) (*State, uint64, error) {
 	return f.state, epoch, nil
 }
 
+// Store exposes the follower's underlying store so a promoted daemon
+// can attach its journal before confirming the transfer with Handoff:
+// Promote has already fenced all replication traffic, so the store is
+// quiescent, and deferring Handoff keeps a failed promotion attempt
+// from stranding the store in released limbo.
+func (f *Follower) Store() *Store {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
 // Handoff releases the store and state to the promoted daemon: the
-// follower stops accepting replication traffic (ErrReleased) so it can
-// never race the journal that takes over as single writer.
+// follower stops accepting replication traffic (fenced as stale at or
+// below its term, ErrReleased above it) so it can never race the
+// journal that takes over as single writer.
 func (f *Follower) Handoff() (*Store, *State) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -211,15 +211,20 @@ func TestStaleEpochFencingRejectsResumedPrimary(t *testing.T) {
 		t.Errorf("stale snapshot err = %v, want ErrStaleEpoch", err)
 	}
 
-	// Handoff releases the follower: even current-epoch traffic is refused
-	// so nothing can race the promoted journal's single writer.
+	// Handoff releases the follower: traffic at or below its own term is
+	// still a deposed primary and must hear the fencing signal; only a
+	// genuinely newer term gets ErrReleased (the follower cannot apply it,
+	// but the sender is not stale).
 	st, state := fol.Handoff()
 	defer st.Close()
 	if state.Epoch != 2 {
 		t.Errorf("handed-off state epoch = %d, want 2", state.Epoch)
 	}
-	if _, err := fol.AppendBatch(epoch, []Record{next}); !errors.Is(err, ErrReleased) {
-		t.Errorf("post-handoff append err = %v, want ErrReleased", err)
+	if _, err := fol.AppendBatch(epoch, []Record{next}); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("post-handoff equal-epoch append err = %v, want ErrStaleEpoch", err)
+	}
+	if _, err := fol.AppendBatch(epoch+1, []Record{next}); !errors.Is(err, ErrReleased) {
+		t.Errorf("post-handoff newer-epoch append err = %v, want ErrReleased", err)
 	}
 
 	// The promotion epoch record is durable: a reopen of the directory
@@ -234,6 +239,140 @@ func TestStaleEpochFencingRejectsResumedPrimary(t *testing.T) {
 	}
 	if reopened.Epoch != 2 {
 		t.Errorf("reopened epoch = %d, want 2", reopened.Epoch)
+	}
+}
+
+// TestStaleEpochTieFencesRebootedPrimary pins the epoch-tie corner of the
+// fence: a primary that dies at epoch N and reboots recovers N from its
+// own journal and mints N+1 with BecomeLeader — the very term the
+// promoted follower took over at. Both daemons now claim epoch N+1, and
+// the epoch alone cannot arbitrate; the promoted side must still fence
+// the doppelgänger (epoch <= its own term is stale once it leads), both
+// before and after Handoff, or the pair runs two leaders forever.
+func TestStaleEpochTieFencesRebootedPrimary(t *testing.T) {
+	// Primary at epoch 1 journals the scripted history in its own dir.
+	pdir := t.TempDir()
+	s, st0, err := Open(pdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(s, st0)
+	j.SetSnapshotEvery(0)
+	if _, err := j.BecomeLeader("primary", 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range replHistory() {
+		if err := j.Consume(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err := os.ReadFile(filepath.Join(pdir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower has replicated everything; the primary dies; the
+	// follower promotes to epoch 2.
+	fdir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(fdir, walName), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fol, err := OpenFollower(fdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	fol.SetSnapshotEvery(0)
+	_, epoch, err := fol.Promote("standby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", epoch)
+	}
+
+	// The dead primary reboots: recovery reads epoch 1 from its journal,
+	// BecomeLeader mints 2 — a tie with the promoted follower's term.
+	s2, st2, err := Open(pdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := NewJournal(s2, st2)
+	j2.SetSnapshotEvery(0)
+	rebootEpoch, err := j2.BecomeLeader("primary", 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rebootEpoch != epoch {
+		t.Fatalf("reboot epoch = %d, want the tie at %d", rebootEpoch, epoch)
+	}
+
+	// Everything the rebooted primary ships at the tied epoch is fenced.
+	next := Record{Seq: fol.Applied() + 1, Kind: KindDevice, Data: []byte(`{"device_id":"x","state":"device_recovered"}`)}
+	next.CRC = checksum(next.Seq, next.Kind, next.Data)
+	if _, err := fol.AppendBatch(rebootEpoch, []Record{next}); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("tied-epoch append err = %v, want ErrStaleEpoch", err)
+	}
+	if err := fol.Heartbeat(rebootEpoch, "primary", time.Second, 99); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("tied-epoch heartbeat err = %v, want ErrStaleEpoch", err)
+	}
+	if err := fol.InstallSnapshot(rebootEpoch, nil); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("tied-epoch snapshot err = %v, want ErrStaleEpoch", err)
+	}
+
+	// The fence survives the handoff to the promoted journal.
+	hst, _ := fol.Handoff()
+	defer hst.Close()
+	if _, err := fol.AppendBatch(rebootEpoch, []Record{next}); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("post-handoff tied-epoch append err = %v, want ErrStaleEpoch", err)
+	}
+}
+
+// TestPromoteAbortsWhenLeaseRenewed pins the promotion race: a heartbeat
+// that lands between the lease-expiry observation and the epoch bump
+// aborts the takeover with ErrLeaseLive — the epoch bump and the renewal
+// serialize on the follower's lock, so two live leaders cannot both come
+// out of that window.
+func TestPromoteAbortsWhenLeaseRenewed(t *testing.T) {
+	fol, err := OpenFollower(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	now := time.Unix(1_700_000_000, 0)
+	fol.SetClock(func() time.Time { return now })
+
+	ttl := 3 * time.Second
+	fol.StartLease(ttl)
+	now = now.Add(ttl + time.Second)
+	if !fol.LeaseExpired() {
+		t.Fatal("lease did not expire")
+	}
+
+	// The primary's heartbeat races in just before the epoch bump.
+	if err := fol.Heartbeat(1, "primary", ttl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fol.Promote("standby"); !errors.Is(err, ErrLeaseLive) {
+		t.Fatalf("promote after renewal err = %v, want ErrLeaseLive", err)
+	}
+	if fol.Promoted() {
+		t.Fatal("aborted promotion still marked the follower promoted")
+	}
+
+	// Silence past the TTL re-expires the lease; promotion then commits.
+	now = now.Add(ttl + time.Second)
+	if !fol.LeaseExpired() {
+		t.Fatal("lease did not re-expire")
+	}
+	if _, epoch, err := fol.Promote("standby"); err != nil {
+		t.Fatal(err)
+	} else if epoch != 2 {
+		t.Errorf("promoted epoch = %d, want 2", epoch)
 	}
 }
 
