@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench bench-smoke bench-parallel fmt ci golden test-faults test-crash test-failover fuzz-smoke watchers-smoke test-parallel
+.PHONY: all build test race vet staticcheck bench bench-smoke bench-parallel fmt ci golden test-faults test-crash test-failover fuzz-smoke watchers-smoke test-parallel test-mobility bench-mobility
 
 all: build vet test
 
@@ -12,7 +12,7 @@ all: build vet test
 # short fuzz pass over the shared wire codec, one quick run of the
 # northbound watchers fan-out, and the parallel-optimizer parity suite
 # repeated at GOMAXPROCS=1,2,4.
-ci: build vet staticcheck race golden bench-smoke test-faults test-crash test-failover fuzz-smoke watchers-smoke test-parallel
+ci: build vet staticcheck race golden bench-smoke test-faults test-crash test-failover test-mobility fuzz-smoke watchers-smoke test-parallel
 
 # fuzz-smoke runs the wire-frame fuzzer briefly on top of its checked-in
 # seed corpus: enough to catch codec regressions without a fuzz farm.
@@ -72,6 +72,28 @@ test-failover:
 			-run 'Follower|Repl|StaleEpoch|Failover|FailsOver|Lease|Promot|Rotates|Standby' \
 			./internal/store ./internal/ctrlproto ./internal/experiments ./cmd/... || exit 1; \
 	done
+
+# test-mobility replays the churn-hardening suite under the race detector
+# at the fault seeds: the discrete-event scenario engine, per-region
+# TxContext invalidation (wall thrash in one room leaves other rooms'
+# traces hot), governed re-plan coalescing with bounded staleness, and
+# cross-domain handoff with zero task loss. The mobility experiment's
+# per-seed golden (byte-identical replay) runs inside the same pass.
+test-mobility:
+	@for seed in $(FAULT_SEEDS); do \
+		echo "== mobility suite, seed $$seed =="; \
+		SURFOS_FAULT_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Mobility|Governor|MoveTask|Carry|Thrash|Edit|Handoff|Warm|Poisson|Orders|Clamps|StopsOnFirstError' \
+			./internal/scenario ./internal/scene ./internal/engine \
+			./internal/orchestrator ./internal/ctrlproto ./internal/monitor \
+			./internal/experiments ./cmd/... || exit 1; \
+	done
+
+# bench-mobility records the churn benchmark (full profile, seed 1) into
+# BENCH_mobility.json: re-plan counts, suppression/forcing, staleness
+# bound, cache carry rates, and wall-clock replan cost.
+bench-mobility:
+	$(GO) run ./cmd/surfos-bench -exp mobility -profile full -json BENCH_mobility.json
 
 golden:
 	./scripts/golden-check.sh

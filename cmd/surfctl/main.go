@@ -16,6 +16,7 @@
 //	surfctl -addr HOST:PORT tasks [--watch]
 //	surfctl -addr HOST:PORT submit -kind link -endpoint laptop -pos 2.5,5.5,1.2 [-tenant NAME]
 //	surfctl -addr HOST:PORT end ID | idle ID | resume ID
+//	surfctl -addr HOST:PORT move ID X,Y,Z   (re-target a walking user's task)
 //	surfctl -addr HOST:PORT demand "text"
 //	surfctl -addr HOST:PORT health
 //
@@ -101,7 +102,7 @@ func exitCode(err error) int {
 	return exitFailure
 }
 
-var errUsage = errors.New("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero|tasks [--watch]|submit ...|end ID|idle ID|resume ID|demand TEXT|health")
+var errUsage = errors.New("usage: surfctl -addr HOST:PORT hello|spec|active|select N|zero|tasks [--watch]|submit ...|end ID|idle ID|resume ID|move ID X,Y,Z|demand TEXT|health")
 
 // printTask renders one wire task row. Tenant and domain print only when
 // non-default, keeping single-tenant single-domain output byte-identical
@@ -342,6 +343,24 @@ func runCmd(ctx context.Context, c *ctrlproto.Client, addrs []string, args []str
 			err = c.SetTaskIdle(ctx, id, false)
 		}
 		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
+
+	case "move":
+		if len(args) < 3 {
+			return fmt.Errorf("%w (move needs a task id and x,y,z)", errUsage)
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("%w (move needs a numeric task id)", errUsage)
+		}
+		pos, err := parseVec(args[2])
+		if err != nil {
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+		if err := c.MoveTask(ctx, id, pos[0], pos[1], pos[2]); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "ok")

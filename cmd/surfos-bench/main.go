@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	surfos-bench [-exp table1|fig2|fig4|fig5|fig6|chaos|restart|failover|watchers|all] [-profile quick|full]
+//	surfos-bench [-exp table1|fig2|fig4|fig5|fig6|chaos|restart|failover|mobility|watchers|all] [-profile quick|full]
 //	             [-json FILE]
 //
 // The quick profile (default) shrinks grids and surfaces so the whole
@@ -14,6 +14,11 @@
 // timing-sensitive, so `all` — the golden-checked suite — excludes it;
 // run it explicitly with -exp watchers. With -json FILE its result
 // record is also written as JSON (how BENCH_northbound.json is made).
+//
+// The mobility experiment (churn scenario: walking users, Poisson task
+// arrivals, wall toggles, governed re-plans) renders a deterministic
+// per-seed timeline, so `all` includes it; -json FILE additionally
+// records its churn benchmark (how BENCH_mobility.json is made).
 package main
 
 import (
@@ -30,9 +35,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig2, fig4, fig5, fig6, chaos, restart, failover, watchers, or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig2, fig4, fig5, fig6, chaos, restart, failover, mobility, watchers, or all")
 	profileName := flag.String("profile", "quick", "workload profile: quick or full")
-	jsonPath := flag.String("json", "", "also write the experiment's result record as JSON to FILE (watchers only)")
+	jsonPath := flag.String("json", "", "also write the experiment's result record as JSON to FILE (mobility, watchers)")
 	flag.Parse()
 
 	var profile experiments.Profile
@@ -96,6 +101,25 @@ func main() {
 			}
 			return r.Render(), nil
 		},
+		"mobility": func() (string, error) {
+			r, err := experiments.RunMobility(ctx, profile, 1)
+			if err != nil {
+				return "", err
+			}
+			if *jsonPath != "" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+					return "", err
+				}
+			}
+			if s := r.ShapeCheck(); s != "" {
+				return "", fmt.Errorf("shape check failed: %s", s)
+			}
+			return r.Render(), nil
+		},
 		"watchers": func() (string, error) {
 			r, err := experiments.RunWatchers(ctx, profile)
 			if err != nil {
@@ -118,7 +142,7 @@ func main() {
 	}
 	// watchers is deliberately absent: `all` feeds the golden check, and
 	// the fan-out benchmark's numbers vary run to run.
-	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "chaos", "restart", "failover"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "chaos", "restart", "failover", "mobility"}
 
 	var selected []string
 	if *exp == "all" {

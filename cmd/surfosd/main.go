@@ -48,8 +48,18 @@
 //	catalog              print the hardware design catalog
 //	end <id>             terminate a task
 //	idle <id> | resume <id>
+//	move <id> <x> <y> <z>  re-target a walking user's task (handoff across domains)
 //	tick <duration>      advance the virtual clock (e.g. tick 500ms)
 //	quit
+//
+// The -replan-* flags enable the churn governor: task-scoped mutations
+// mark their interference domain dirty instead of re-planning inline, a
+// per-domain token bucket (-replan-burst, -replan-refill) coalesces
+// bursts, and -replan-staleness bounds how stale a dirty domain's plan
+// may get before a re-plan is forced. -warm-replan seeds each re-plan
+// from the previous committed plan. Governor counters are exported on
+// -metrics (surfos_replans_total, surfos_replans_suppressed_total,
+// surfos_replan_duration_seconds).
 package main
 
 import (
@@ -122,6 +132,17 @@ type daemonOptions struct {
 	// optWorkers caps engine workers per optimizer run (0 = engine
 	// width, 1 = serial); results are identical either way.
 	optWorkers int
+	// replanBurst enables the replan governor when > 0: each interference
+	// domain may re-plan this many times back-to-back before churn is
+	// coalesced (0 keeps the legacy immediate re-plan path).
+	replanBurst int
+	// replanRefill is the governor's token refill interval (0 = default).
+	replanRefill time.Duration
+	// replanStaleness bounds how long a dirty domain may serve a stale
+	// plan before a re-plan is forced (0 = default).
+	replanStaleness time.Duration
+	// warmReplan seeds each re-plan from the previous committed plan.
+	warmReplan bool
 	// replicateTo lists follower control addresses to ship the WAL to
 	// (comma-separated; empty disables replication).
 	replicateTo string
@@ -160,6 +181,9 @@ type daemon struct {
 	// healStop unsubscribes the self-healing consumer from the event bus
 	healStop func()
 	ctrl     *ctrlproto.CtrlAgent
+	// gov coalesces churn-driven re-plans per interference domain (nil
+	// unless -replan-burst enabled it).
+	gov *surfos.Governor
 
 	// Durability (nil without -state-dir): the journal consumes the task
 	// event bus and persists specs and transitions to the state dir.
@@ -289,12 +313,46 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 		return nil, err
 	}
 
-	orch, err := surfos.NewOrchestrator(d.apt.Scene, d.hw, surfos.Options{OptWorkers: opts.optWorkers})
+	orch, err := surfos.NewOrchestrator(d.apt.Scene, d.hw, surfos.Options{
+		OptWorkers: opts.optWorkers,
+		WarmStart:  opts.warmReplan,
+	})
 	if err != nil {
 		return nil, err
 	}
 	orch.SetEventBus(d.events)
 	d.orch = orch
+	if opts.replanBurst > 0 {
+		d.gov = surfos.NewGovernor(orch, surfos.GovernorOptions{
+			Burst:        opts.replanBurst,
+			Refill:       opts.replanRefill,
+			MaxStaleness: opts.replanStaleness,
+		})
+		g := d.gov.Options()
+		log.Printf("replan governor: burst=%d refill=%s max-staleness=%s warm=%v",
+			g.Burst, g.Refill, g.MaxStaleness, opts.warmReplan)
+		// Deadline enforcement: a dirty domain whose tokens never refill in
+		// time still re-plans within MaxStaleness. Polling at a quarter of
+		// the bound keeps the observed staleness close to it.
+		every := g.MaxStaleness / 4
+		if every < 50*time.Millisecond {
+			every = 50 * time.Millisecond
+		}
+		go func() {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-t.C:
+					if _, err := d.gov.Poll(ctx, now); err != nil && ctx.Err() == nil {
+						log.Printf("replan governor: %v", err)
+					}
+				}
+			}
+		}()
+	}
 	if opts.admitMax > 0 {
 		orch.SetAdmissionLimit(opts.admitMax)
 		log.Printf("admission: global live-task cap %d", opts.admitMax)
@@ -346,8 +404,9 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 	ctrl.Broker = br
 	ctrl.Events = d.events
 	ctrl.Reconcile = orch.Reconcile
-	// Task-scoped mutations re-plan only the task's interference domain.
-	ctrl.ReconcileTask = orch.ReconcileTask
+	// Task-scoped mutations re-plan only the task's interference domain —
+	// through the governor when enabled, so northbound churn coalesces.
+	ctrl.ReconcileTask = d.replanTask
 	ctrl.ControlHealth = d.controlHealth
 	// Standby daemons (followers, fenced ex-primaries) reject mutations
 	// with StatusNotLeader so clients rotate to the promoted primary.
@@ -356,6 +415,19 @@ func newDaemon(ctx context.Context, surfaceList string, opts daemonOptions) (*da
 	ctrl.Logf = log.Printf
 	d.ctrl = ctrl
 	return d, nil
+}
+
+// replanTask re-plans after a task-scoped mutation: through the governor
+// when -replan-burst enabled it (marking the task's domain dirty and
+// letting the token bucket decide), directly otherwise.
+func (d *daemon) replanTask(ctx context.Context, taskID int) error {
+	if d.gov == nil {
+		return d.orch.ReconcileTask(ctx, taskID)
+	}
+	now := time.Now()
+	d.gov.MarkTask(taskID, now)
+	_, err := d.gov.Poll(ctx, now)
+	return err
 }
 
 // controlHealth assembles the control plane's own health snapshot for the
@@ -403,6 +475,9 @@ func (d *daemon) controlHealth() ctrlproto.ControlHealthInfo {
 // attach.
 func (d *daemon) registerMetrics(reg *metrics.Registry) {
 	d.orch.RegisterMetrics(reg)
+	if d.gov != nil {
+		d.gov.RegisterMetrics(reg)
+	}
 	d.hw.RegisterMetrics(reg)
 	d.events.RegisterMetrics(reg)
 	if d.getJournal() != nil || d.follower != nil {
@@ -593,7 +668,7 @@ func (d *daemon) handle(line string) (string, bool) {
 		return "bye", false
 
 	case "help":
-		return "commands: demand <text> | tasks | plans | devices | health | catalog | hazards <GHz> | report <dev> <endpoint> <snr> | diagnose | end <id> | idle <id> | resume <id> | tick <dur> | quit", true
+		return "commands: demand <text> | tasks | plans | devices | health | catalog | hazards <GHz> | report <dev> <endpoint> <snr> | diagnose | end <id> | idle <id> | resume <id> | move <id> <x> <y> <z> | tick <dur> | quit", true
 
 	case "health":
 		var b strings.Builder
@@ -774,6 +849,36 @@ func (d *daemon) handle(line string) (string, bool) {
 		}
 		if err := d.orch.Reconcile(d.ctx); err != nil {
 			return "reconcile warning: " + err.Error(), true
+		}
+		return "ok", true
+
+	case "move":
+		if d.standby.Load() {
+			return "error: not the leader (standby); retry against the primary", true
+		}
+		f := strings.Fields(rest)
+		if len(f) != 4 {
+			return "error: want move <id> <x> <y> <z>", true
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			return "error: want a task id", true
+		}
+		var pos [3]float64
+		for i, s := range f[1:] {
+			if pos[i], err = strconv.ParseFloat(s, 64); err != nil {
+				return "error: " + err.Error(), true
+			}
+		}
+		res, err := d.orch.MoveTask(id, surfos.V(pos[0], pos[1], pos[2]))
+		if err != nil {
+			return "error: " + err.Error(), true
+		}
+		if err := d.replanTask(d.ctx, id); err != nil {
+			return "reconcile warning: " + err.Error(), true
+		}
+		if res.HandedOff {
+			return fmt.Sprintf("ok (handoff domain %d -> %d)", res.From, res.To), true
 		}
 		return "ok", true
 
@@ -1051,6 +1156,10 @@ func main() {
 	maxConns := flag.Int("max-conns", defaultMaxNorthboundConns, "northbound concurrent-connection cap")
 	idleTimeout := flag.Duration("idle-timeout", defaultNorthboundIdleTimeout, "northbound text-session idle disconnect timeout")
 	optWorkers := flag.Int("opt-workers", 0, "engine workers per optimizer run (0 = all, 1 = serial; results identical)")
+	replanBurst := flag.Int("replan-burst", 0, "replan governor token-bucket burst per domain (0 disables the governor)")
+	replanRefill := flag.Duration("replan-refill", 0, "replan governor token refill interval (0 = default 500ms)")
+	replanStaleness := flag.Duration("replan-staleness", 0, "bound on how long a dirty domain may serve a stale plan (0 = default 2s)")
+	warmReplan := flag.Bool("warm-replan", false, "seed re-plans from the previous committed plan (faster convergence under churn)")
 	replicateTo := flag.String("replicate-to", "", "comma-separated follower ctrl addresses to ship the journal to (empty disables)")
 	follow := flag.Bool("follow", false, "run as a warm standby: replay replication on -ctrl, promote on lease expiry")
 	leaseTTL := flag.Duration("lease-ttl", defaultLeaseTTL, "leadership lease duration (standby promotes this long after the last heartbeat)")
@@ -1061,19 +1170,23 @@ func main() {
 		log.Fatalf("surfosd: -tenant-quota: %v", err)
 	}
 	if err := run(*listen, *ctrlAddr, *metricsAddr, *surfaceList, *stateDir, *drainTimeout, daemonOptions{
-		faultSeed:    *faultSeed,
-		faultProb:    *faultProb,
-		faultStuck:   *faultStuck,
-		faultLatency: *faultLatency,
-		healthEvery:  *healthEvery,
-		admitMax:     *admitMax,
-		quotas:       quotas,
-		maxConns:     *maxConns,
-		idleTimeout:  *idleTimeout,
-		optWorkers:   *optWorkers,
-		replicateTo:  *replicateTo,
-		follow:       *follow,
-		leaseTTL:     *leaseTTL,
+		faultSeed:       *faultSeed,
+		faultProb:       *faultProb,
+		faultStuck:      *faultStuck,
+		faultLatency:    *faultLatency,
+		healthEvery:     *healthEvery,
+		admitMax:        *admitMax,
+		quotas:          quotas,
+		maxConns:        *maxConns,
+		idleTimeout:     *idleTimeout,
+		optWorkers:      *optWorkers,
+		replanBurst:     *replanBurst,
+		replanRefill:    *replanRefill,
+		replanStaleness: *replanStaleness,
+		warmReplan:      *warmReplan,
+		replicateTo:     *replicateTo,
+		follow:          *follow,
+		leaseTTL:        *leaseTTL,
 	}); err != nil {
 		log.Fatalf("surfosd: %v", err)
 	}

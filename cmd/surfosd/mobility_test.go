@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"surfos/internal/metrics"
+)
+
+// governedDaemon is testDaemon with the replan governor and warm starts
+// enabled, the way an operator would run -replan-burst 2 -warm-replan.
+func governedDaemon(t *testing.T) *daemon {
+	t.Helper()
+	d, err := newDaemon(context.Background(), "NR-Surface@east_wall,NR-Surface@north_wall", daemonOptions{
+		replanBurst: 2,
+		warmReplan:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.orch.Opts.OptIters = 30
+	d.orch.Opts.GridStep = 1.5
+	d.orch.Opts.SensingGridStep = 2.5
+	d.orch.Opts.SensingBins = 11
+	d.orch.Opts.SensingSubcarriers = 3
+	t.Cleanup(d.close)
+	return d
+}
+
+// TestDaemonMoveCommand drives the text-protocol move command: a walking
+// user's task is re-targeted and re-planned through the governor.
+func TestDaemonMoveCommand(t *testing.T) {
+	d := governedDaemon(t)
+
+	if reply, _ := d.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "running") {
+		t.Fatalf("demand: %q", reply)
+	}
+
+	reply, cont := d.handle("move 1 1.8 6.2 1.5")
+	if !cont || reply != "ok" {
+		t.Fatalf("move: %q", reply)
+	}
+	if reply, _ := d.handle("tasks"); !strings.Contains(reply, "running") {
+		t.Errorf("tasks after move: %q", reply)
+	}
+
+	// The governor observed the re-plan.
+	if s := d.gov.Stats(); s.Replans == 0 {
+		t.Errorf("governor stats after move: %+v, want Replans > 0", s)
+	}
+
+	for _, bad := range []string{"move", "move 1 2 3", "move x 1 2 3", "move 1 a b c", "move 99 1 2 3"} {
+		if reply, _ := d.handle(bad); !strings.Contains(reply, "error") {
+			t.Errorf("%q accepted: %q", bad, reply)
+		}
+	}
+}
+
+// TestDaemonGovernorMetrics checks the -replan-* counters reach the
+// metrics registry alongside the rest of the control plane.
+func TestDaemonGovernorMetrics(t *testing.T) {
+	d := governedDaemon(t)
+	reg := metrics.NewRegistry()
+	d.registerMetrics(reg)
+
+	if reply, _ := d.handle("demand please stream a movie on the tv tonight"); !strings.Contains(reply, "running") {
+		t.Fatalf("demand: %q", reply)
+	}
+	if reply, _ := d.handle("move 1 1.8 6.2 1.5"); reply != "ok" {
+		t.Fatalf("move: %q", reply)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"surfos_replans_total",
+		"surfos_replans_suppressed_total",
+		"surfos_replans_forced_total",
+		"surfos_replan_duration_seconds_bucket",
+		"surfos_replan_dirty_domains",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if strings.Contains(text, "surfos_replans_total 0") {
+		t.Error("governed move left surfos_replans_total at 0")
+	}
+}

@@ -437,6 +437,13 @@ func (c *Client) SetTaskIdle(ctx context.Context, id int, idle bool) error {
 	return err
 }
 
+// MoveTask re-targets a live task at a new position (the task's user
+// walked); the daemon hands it off between shards as needed.
+func (c *Client) MoveTask(ctx context.Context, id int, x, y, z float64) error {
+	_, err := c.roundTrip(ctx, MsgMoveTask, MoveTaskMsg{ID: uint32(id), Pos: [3]float64{x, y, z}}.Encode())
+	return err
+}
+
 // SubmitTask files a service goal and returns the scheduled task.
 func (c *Client) SubmitTask(ctx context.Context, m SubmitMsg) (TaskInfo, error) {
 	f, err := c.roundTrip(ctx, MsgSubmitTask, m.Encode())

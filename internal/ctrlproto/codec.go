@@ -75,6 +75,7 @@ func (t MsgType) String() string {
 		MsgOpenStream: "open-stream", MsgCloseStream: "close-stream",
 		MsgReplSnapshot: "repl-snapshot", MsgReplAppend: "repl-append",
 		MsgReplHeartbeat: "repl-heartbeat", MsgReplAck: "repl-ack",
+		MsgMoveTask: "move-task",
 	}
 	if s, ok := names[t]; ok {
 		return s

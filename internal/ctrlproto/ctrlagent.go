@@ -259,7 +259,7 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 	}
 	if a.Standby != nil && a.Standby() {
 		switch f.Type {
-		case MsgEndTask, MsgSetIdle, MsgSubmitTask, MsgDemand:
+		case MsgEndTask, MsgSetIdle, MsgSubmitTask, MsgDemand, MsgMoveTask:
 			return fail(ErrNotLeader)
 		}
 	}
@@ -289,6 +289,17 @@ func (a *CtrlAgent) handle(conn net.Conn, st *connState, f Frame) Frame {
 			return fail(err)
 		}
 		if err := a.Orch.SetIdle(int(m.ID), m.Idle); err != nil {
+			return fail(err)
+		}
+		a.reconcileTask(int(m.ID))
+		return ack
+
+	case MsgMoveTask:
+		m, err := DecodeMoveTaskMsg(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := a.Orch.MoveTask(int(m.ID), geom.V(m.Pos[0], m.Pos[1], m.Pos[2])); err != nil {
 			return fail(err)
 		}
 		a.reconcileTask(int(m.ID))

@@ -1,0 +1,80 @@
+package ctrlproto
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"surfos/internal/orchestrator"
+)
+
+func TestMoveTaskMsgRoundTrip(t *testing.T) {
+	m := MoveTaskMsg{ID: 42, Pos: [3]float64{2.5, -1.25, 1.2}}
+	m2, err := DecodeMoveTaskMsg(m.Encode())
+	if err != nil || m2 != m {
+		t.Fatalf("round trip: %+v %v", m2, err)
+	}
+	if _, err := DecodeMoveTaskMsg(m.Encode()[:10]); err == nil {
+		t.Error("truncated payload decoded without error")
+	}
+	if _, err := DecodeMoveTaskMsg(append(m.Encode(), 0)); err == nil {
+		t.Error("trailing garbage decoded without error")
+	}
+}
+
+// TestMoveTaskOverWire drives a live task to a new position through the
+// northbound protocol and checks the re-targeted goal is re-scheduled.
+func TestMoveTaskOverWire(t *testing.T) {
+	r := newCtrlRig(t)
+	ctx := context.Background()
+	r.client.Timeout = 30 * time.Second // reconcile runs inside the request
+
+	task, err := r.client.SubmitTask(ctx, SubmitMsg{
+		Kind: "link", Endpoint: "laptop", Pos: [3]float64{2.5, 5.5, 1.2}, Priority: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.State != "running" {
+		t.Fatalf("post-submit task = %+v", task)
+	}
+
+	if err := r.client.MoveTask(ctx, int(task.ID), 3.0, 5.0, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := r.client.ListTasks(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].State != "running" {
+		t.Fatalf("tasks after move = %+v", tasks)
+	}
+	if got := r.orch.Tasks()[0]; got.Goal.(orchestrator.LinkGoal).Pos.X != 3.0 {
+		t.Errorf("goal after move = %+v, want Pos.X = 3.0", got.Goal)
+	}
+
+	// Sentinels must survive the hop with their own status codes.
+	err = r.client.MoveTask(ctx, 999, 0, 0, 0)
+	if !errors.Is(err, orchestrator.ErrUnknownTask) {
+		t.Errorf("MoveTask(999) err = %v, want ErrUnknownTask", err)
+	}
+	if err := r.client.EndTask(ctx, int(task.ID)); err != nil {
+		t.Fatal(err)
+	}
+	err = r.client.MoveTask(ctx, int(task.ID), 0, 0, 0)
+	if !errors.Is(err, orchestrator.ErrNotMovable) {
+		t.Errorf("MoveTask(ended) err = %v, want ErrNotMovable", err)
+	}
+	var we *WireError
+	if !errors.As(err, &we) || we.Status != StatusNotMovable {
+		t.Errorf("MoveTask(ended) wire error = %+v, want StatusNotMovable", err)
+	}
+
+	// Standby daemons fence moves like every other mutation.
+	standby := true
+	r.agent.Standby = func() bool { return standby }
+	if err := r.client.MoveTask(ctx, int(task.ID), 0, 0, 0); !errors.Is(err, ErrNotLeader) {
+		t.Errorf("standby move err = %v, want ErrNotLeader", err)
+	}
+}

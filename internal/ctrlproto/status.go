@@ -53,6 +53,7 @@ const (
 	StatusStaleEpoch
 	StatusNotLeader
 	StatusReleased
+	StatusNotMovable
 )
 
 // statusTable pairs each code with its canonical sentinel. Mapping is by
@@ -86,6 +87,7 @@ var statusTable = []struct {
 	{StatusStaleEpoch, store.ErrStaleEpoch},
 	{StatusNotLeader, ErrNotLeader},
 	{StatusReleased, store.ErrReleased},
+	{StatusNotMovable, orchestrator.ErrNotMovable},
 }
 
 // StatusFor classifies an error into its wire code (StatusInternal when no

@@ -1,0 +1,169 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"surfos/internal/em"
+	"surfos/internal/engine"
+	"surfos/internal/geom"
+	"surfos/internal/scene"
+	"surfos/internal/surface"
+)
+
+// stripRig builds a 3-room concrete strip with one 8x8 panel per room
+// (north mounts) — one interference domain per room, AP in room 0.
+func stripRig(t *testing.T) (*scene.RoomStrip, []*surface.Surface) {
+	t.Helper()
+	strip := scene.NewRoomStrip(3)
+	pitch := em.Wavelength(em.Band24G) / 2
+	surfs := make([]*surface.Surface, 3)
+	for i := 0; i < 3; i++ {
+		mount := strip.Mounts[scene.RoomMountNorth(i)]
+		panel := mount.Panel(8*pitch+0.02, 8*pitch+0.02)
+		s, err := surface.New(scene.RoomMountNorth(i), panel, surface.Layout{
+			Rows: 8, Cols: 8, PitchU: pitch, PitchV: pitch,
+		}, surface.Reflective, em.CosinePattern{Q: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		surfs[i] = s
+	}
+	return strip, surfs
+}
+
+// screenQuad is a drywall screen standing in the middle of room i.
+func screenQuad(room int, off float64) *geom.Quad {
+	x := float64(room)*scene.RoomW + 1.5 + off
+	return geom.RectXY(geom.V(x, 1.5, 0), geom.V(0, 1, 0), geom.V(0, 0, 1), 2, 2.2)
+}
+
+func roomSpec(strip *scene.RoomStrip, s *surface.Surface) engine.Spec {
+	return engine.Spec{Scene: strip.Scene, FreqHz: em.Band24G, Surfaces: []*surface.Surface{s}}
+}
+
+// TestCarryAcrossDecoupledEdit pins per-region invalidation: a wall edit
+// in room 1 must leave the cached traces of rooms 0 and 2 hot (carried to
+// the new revision without re-tracing), while room 1's own trace misses.
+func TestCarryAcrossDecoupledEdit(t *testing.T) {
+	strip, surfs := stripRig(t)
+	eng := engine.New(engine.Options{})
+	ctx := context.Background()
+
+	for _, s := range surfs {
+		if _, err := eng.Tx(ctx, roomSpec(strip, s), strip.AP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := eng.CacheStats()
+	if base.TxMisses != 3 || base.TxCarried != 0 {
+		t.Fatalf("baseline: %+v", base)
+	}
+
+	// Toggle a drywall screen in room 1: concrete dividers decouple it
+	// from the AP (room 0) and from rooms 0/2's panels.
+	strip.AddWall("screen_1", screenQuad(1, 0), em.Drywall)
+
+	for _, s := range surfs {
+		if _, err := eng.Tx(ctx, roomSpec(strip, s), strip.AP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.CacheStats()
+	// Room 1's trace must re-trace (the screen shadows its panel); rooms
+	// 0 and 2 must carry.
+	if st.TxMisses != base.TxMisses+1 {
+		t.Fatalf("want exactly one new miss (room 1), got %+v (base %+v)", st, base)
+	}
+	if st.TxCarried != 2 {
+		t.Fatalf("want rooms 0 and 2 carried, got %+v", st)
+	}
+
+	// Carried entries are real cache entries: the next access is a plain
+	// hit at the new revision.
+	for _, s := range surfs {
+		if _, err := eng.Tx(ctx, roomSpec(strip, s), strip.AP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := eng.CacheStats()
+	if st2.TxHits != st.TxHits+3 || st2.TxMisses != st.TxMisses || st2.TxCarried != st.TxCarried {
+		t.Fatalf("re-access after carry: %+v (prev %+v)", st2, st)
+	}
+}
+
+// TestCarryRefusesCoupledEdit: an edit radio-coupled to the transmitter
+// invalidates every trace whose tx it can reach — no stale carries.
+func TestCarryRefusesCoupledEdit(t *testing.T) {
+	strip, surfs := stripRig(t)
+	eng := engine.New(engine.Options{})
+	ctx := context.Background()
+
+	sp0 := roomSpec(strip, surfs[0])
+	if _, err := eng.Tx(ctx, sp0, strip.AP); err != nil {
+		t.Fatal(err)
+	}
+	// A screen in room 0 sits in the same domain as the AP and panel.
+	strip.AddWall("screen_0", screenQuad(0, 0), em.Drywall)
+	if _, err := eng.Tx(ctx, sp0, strip.AP); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.TxCarried != 0 || st.TxMisses != 2 {
+		t.Fatalf("coupled edit must force a re-trace: %+v", st)
+	}
+}
+
+// TestCarryRespectsInvalidateAndWindow: Invalidate (unknown blast radius)
+// and histories deeper than the journal window fall back to full misses.
+func TestCarryRespectsInvalidateAndWindow(t *testing.T) {
+	strip, surfs := stripRig(t)
+	eng := engine.New(engine.Options{})
+	ctx := context.Background()
+
+	sp2 := roomSpec(strip, surfs[2])
+	if _, err := eng.Tx(ctx, sp2, strip.AP); err != nil {
+		t.Fatal(err)
+	}
+	strip.Invalidate()
+	if _, err := eng.Tx(ctx, sp2, strip.AP); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.TxCarried != 0 || st.TxMisses != 2 {
+		t.Fatalf("Invalidate must defeat the carry: %+v", st)
+	}
+}
+
+// TestCarryBatchedEditSingleRevision: N wall toggles inside Scene.Edit
+// cost one revision bump and at most one carry per cached trace.
+func TestCarryBatchedEditSingleRevision(t *testing.T) {
+	strip, surfs := stripRig(t)
+	eng := engine.New(engine.Options{})
+	ctx := context.Background()
+
+	sp2 := roomSpec(strip, surfs[2])
+	if _, err := eng.Tx(ctx, sp2, strip.AP); err != nil {
+		t.Fatal(err)
+	}
+	rev := strip.Revision()
+	err := strip.Edit(func(s *scene.Scene) error {
+		s.AddWall("screen_1", screenQuad(1, 0), em.Drywall)
+		if err := s.MoveWall("screen_1", screenQuad(1, 0.5)); err != nil {
+			return err
+		}
+		s.AddWall("screen_1b", screenQuad(1, 1), em.Drywall)
+		return s.RemoveWall("screen_1b")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strip.Revision() != rev+1 {
+		t.Fatalf("batch bumped revision %d times, want 1", strip.Revision()-rev)
+	}
+	if _, err := eng.Tx(ctx, sp2, strip.AP); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.TxCarried != 1 || st.TxMisses != 1 {
+		t.Fatalf("batch of room-0/1 edits must carry room 2 once: %+v", st)
+	}
+}

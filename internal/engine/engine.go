@@ -21,6 +21,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -93,6 +94,13 @@ type txKey struct {
 	freq float64
 }
 
+// slot is the revision-less cache line of a key: every revision of the
+// same (scene, freq, tx, surface set, flags) trace shares one slot, and
+// the carry index maps each slot to its latest cached revision so a
+// scene edit that cannot reach this trace re-keys it instead of
+// re-tracing (per-region invalidation).
+func (k txKey) slot() txKey { k.sim.rev = 0; return k }
+
 // txEntry is a singleflight cache slot: the first goroutine to claim it
 // runs the trace inside once; latecomers block on the same build instead
 // of duplicating it.
@@ -106,6 +114,7 @@ type txEntry struct {
 type Stats struct {
 	TxHits     uint64
 	TxMisses   uint64
+	TxCarried  uint64 // traces carried across scene revisions without re-tracing
 	SimHits    uint64
 	SimMisses  uint64
 	PartHits   uint64 // interference-domain partition cache hits
@@ -134,11 +143,13 @@ type Engine struct {
 	mu    sync.Mutex
 	sims  map[simKey]*rfsim.Simulator
 	txs   map[txKey]*txEntry
-	txLRU []txKey // oldest first; small (≤ maxTx), linear scans are fine
+	txLRU []txKey         // oldest first; small (≤ maxTx), linear scans are fine
+	carry map[txKey]txKey // slot (rev-less key) → latest cached revision's key
 	parts map[partKey]*Partition
 
 	txHits     atomic.Uint64
 	txMisses   atomic.Uint64
+	txCarried  atomic.Uint64
 	simHits    atomic.Uint64
 	simMisses  atomic.Uint64
 	partHits   atomic.Uint64
@@ -165,6 +176,7 @@ func New(opts Options) *Engine {
 		spare:   spare,
 		sims:    make(map[simKey]*rfsim.Simulator),
 		txs:     make(map[txKey]*txEntry),
+		carry:   make(map[txKey]txKey),
 		parts:   make(map[partKey]*Partition),
 	}
 }
@@ -289,10 +301,41 @@ func (e *Engine) TxAt(ctx context.Context, spec Spec, tx geom.Vec3, freqHz float
 	ent, ok := e.txs[k]
 	if ok {
 		e.touchLocked(k)
+		e.mu.Unlock()
+		e.txHits.Add(1)
+		ent.once.Do(func() { ent.tc = sim.NewTxAt(tx, freqHz) })
+		return ent.tc, ent.err
+	}
+	prev, hasPrev := e.carry[k.slot()]
+	e.mu.Unlock()
+
+	// Per-region invalidation: a cached trace from an older scene
+	// revision stays valid when every edit since then is radio-decoupled
+	// from this trace's transmitter and surfaces — carry it to the new
+	// revision instead of re-tracing. (The receiver side is computed live
+	// by TxContext.Channel against the shared scene, so only the tx-side
+	// legs and coupling matrices are frozen in the context.)
+	if hasPrev && prev != k {
+		if cent, carried := e.tryCarry(spec, tx, freqHz, k, prev); cent != nil {
+			if carried {
+				e.txCarried.Add(1)
+			} else {
+				e.txHits.Add(1)
+			}
+			cent.once.Do(func() { cent.tc = sim.NewTxAt(tx, freqHz) })
+			return cent.tc, cent.err
+		}
+	}
+
+	e.mu.Lock()
+	ent, ok = e.txs[k]
+	if ok {
+		e.touchLocked(k)
 	} else {
 		ent = &txEntry{}
 		e.txs[k] = ent
 		e.txLRU = append(e.txLRU, k)
+		e.carry[k.slot()] = k
 		e.evictLocked()
 	}
 	e.mu.Unlock()
@@ -304,6 +347,89 @@ func (e *Engine) TxAt(ctx context.Context, spec Spec, tx geom.Vec3, freqHz float
 	}
 	ent.once.Do(func() { ent.tc = sim.NewTxAt(tx, freqHz) })
 	return ent.tc, ent.err
+}
+
+// tryCarry attempts to re-key the cached entry at prev (an older scene
+// revision of k's slot) under k. It returns the entry and whether it was
+// carried (false means a racing goroutine already filled k — a plain
+// hit). nil means the carry is not possible: the edit history is
+// unknowable, an edit could affect the trace, or the entry was evicted.
+func (e *Engine) tryCarry(spec Spec, tx geom.Vec3, freqHz float64, k, prev txKey) (*txEntry, bool) {
+	edits, known := spec.Scene.EditsSince(prev.sim.rev)
+	if !known {
+		return nil, false
+	}
+	for _, b := range edits {
+		if editAffects(spec, tx, freqHz, b) {
+			return nil, false
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.txs[k]; ok { // a racer built or carried it first
+		e.touchLocked(k)
+		return ent, false
+	}
+	ent, ok := e.txs[prev]
+	if !ok { // evicted since the index lookup
+		return nil, false
+	}
+	delete(e.txs, prev)
+	e.removeLRULocked(prev)
+	e.txs[k] = ent
+	e.txLRU = append(e.txLRU, k)
+	e.carry[k.slot()] = k
+	return ent, true
+}
+
+// editAffects reports whether an edit with dirty bounds box could change
+// the tx-side trace of spec at tx: true when the edited geometry is
+// radio-coupled — above the interference-domain threshold, evaluated
+// against the current walls — to the transmitter or any participating
+// surface. An edit that only sub-threshold coupling connects to the
+// trace (e.g. a partition toggled behind concrete) is definitionally
+// unable to change it more than the domain model already ignores.
+func editAffects(spec Spec, tx geom.Vec3, freqHz float64, box geom.AABB) bool {
+	targets := make([]geom.Vec3, 0, len(spec.Surfaces)+1)
+	targets = append(targets, tx)
+	for _, s := range spec.Surfaces {
+		targets = append(targets, s.Panel.Center())
+	}
+	for _, p := range probeAABB(box) {
+		for _, t := range targets {
+			g := spec.Scene.SegmentGain(p, t, freqHz)
+			if g > 0 && 20*math.Log10(g) >= DefaultMinCouplingDB {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// probeAABB returns the coupling probe points of a dirty box: its center
+// and eight corners.
+func probeAABB(b geom.AABB) []geom.Vec3 {
+	return []geom.Vec3{
+		b.Center(),
+		b.Min,
+		geom.V(b.Max.X, b.Min.Y, b.Min.Z),
+		geom.V(b.Min.X, b.Max.Y, b.Min.Z),
+		geom.V(b.Max.X, b.Max.Y, b.Min.Z),
+		geom.V(b.Min.X, b.Min.Y, b.Max.Z),
+		geom.V(b.Max.X, b.Min.Y, b.Max.Z),
+		geom.V(b.Min.X, b.Max.Y, b.Max.Z),
+		b.Max,
+	}
+}
+
+// removeLRULocked deletes k from the LRU order. Caller holds e.mu.
+func (e *Engine) removeLRULocked(k txKey) {
+	for i := range e.txLRU {
+		if e.txLRU[i] == k {
+			e.txLRU = append(e.txLRU[:i], e.txLRU[i+1:]...)
+			return
+		}
+	}
 }
 
 // touchLocked moves k to the most-recently-used end. Caller holds e.mu.
@@ -324,6 +450,9 @@ func (e *Engine) evictLocked() {
 		old := e.txLRU[0]
 		e.txLRU = e.txLRU[1:]
 		delete(e.txs, old)
+		if e.carry[old.slot()] == old {
+			delete(e.carry, old.slot())
+		}
 	}
 }
 
@@ -337,6 +466,7 @@ func (e *Engine) Invalidate() {
 	e.sims = make(map[simKey]*rfsim.Simulator)
 	e.txs = make(map[txKey]*txEntry)
 	e.txLRU = nil
+	e.carry = make(map[txKey]txKey)
 	e.parts = make(map[partKey]*Partition)
 }
 
@@ -348,6 +478,7 @@ func (e *Engine) CacheStats() Stats {
 	return Stats{
 		TxHits:     e.txHits.Load(),
 		TxMisses:   e.txMisses.Load(),
+		TxCarried:  e.txCarried.Load(),
 		SimHits:    e.simHits.Load(),
 		SimMisses:  e.simMisses.Load(),
 		PartHits:   e.partHits.Load(),

@@ -229,7 +229,11 @@ func (m *Monitor) HandleTaskEvent(ev telemetry.TaskEvent) {
 		for _, dev := range ev.Surfaces {
 			m.Expect(Expectation{DeviceID: dev, EndpointID: ev.Endpoint, SNRdB: ev.Metric})
 		}
-	case telemetry.TaskDone, telemetry.TaskFailed:
+	case telemetry.TaskDone, telemetry.TaskFailed, telemetry.TaskHandoff:
+		// A handoff retires the endpoint's expectations like a terminal
+		// state: the stale predictions belong to the old shard's surfaces,
+		// and the re-plan at the new shard re-installs fresh ones via its
+		// running event.
 		m.mu.Lock()
 		for dev, per := range m.exp {
 			delete(per, ev.Endpoint)

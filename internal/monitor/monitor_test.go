@@ -208,6 +208,29 @@ func TestHandleTaskEventRetiresOnTerminal(t *testing.T) {
 	}
 }
 
+// TestHandleTaskEventRetiresOnHandoff: a cross-domain handoff retires the
+// endpoint's expectations like a terminal event — the old shard's SNR
+// predictions are stale — and the new shard's running event re-installs.
+func TestHandleTaskEventRetiresOnHandoff(t *testing.T) {
+	m := New()
+	m.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.TaskRunning, Endpoint: "walker", Surfaces: []string{"s0"}, Metric: 20, MetricName: "snr_db"})
+	feed(m, "s0", "walker", 20, 3, t0)
+	if _, ok := findingFor(m.Diagnose(t0), "s0", "walker"); !ok {
+		t.Fatal("expectation missing before handoff")
+	}
+	m.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.TaskHandoff, Endpoint: "walker"})
+	if got := m.Diagnose(t0); len(got) != 0 {
+		t.Errorf("expectations survive handoff: %+v", got)
+	}
+	// The new domain's scheduler re-installs at the new surface.
+	m.HandleTaskEvent(telemetry.TaskEvent{State: telemetry.TaskRunning, Endpoint: "walker", Surfaces: []string{"s1"}, Metric: 18, MetricName: "snr_db"})
+	feed(m, "s1", "walker", 18, 3, t0)
+	f, ok := findingFor(m.Diagnose(t0), "s1", "walker")
+	if !ok || f.ExpectedSNRdB != 18 {
+		t.Errorf("post-handoff finding = %+v ok=%v", f, ok)
+	}
+}
+
 func TestRunTaskEventsOverBus(t *testing.T) {
 	m := New()
 	bus := telemetry.NewEventBus()

@@ -1,0 +1,278 @@
+package orchestrator
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"surfos/internal/metrics"
+)
+
+// Replan governor: churn events (wall toggles, moving endpoints, task
+// arrivals) request re-plans far faster than the optimizer can serve
+// them. The governor coalesces requests per interference domain behind a
+// token bucket — bursts within the budget re-plan immediately, overload
+// degrades to serving the stale plan while the requests coalesce into
+// one pending re-plan per domain — and a max-staleness deadline forces
+// the pending re-plan even with an empty bucket, so staleness is bounded
+// by configuration, not by churn rate.
+//
+// The governor is clock-agnostic: every entry point takes an explicit
+// now, so the scenario engine drives it on virtual time and the daemon
+// on wall time, with identical semantics.
+
+// GovernorOptions tunes a replan governor. Zero values select defaults.
+type GovernorOptions struct {
+	// Burst is the token bucket capacity per domain: how many re-plans a
+	// domain may run back-to-back before rate limiting (default 2).
+	Burst int
+	// Refill is the time to earn one token back (default 500ms).
+	Refill time.Duration
+	// MaxStaleness bounds how long a dirty domain may serve its stale
+	// plan before a re-plan is forced regardless of tokens (default 2s).
+	MaxStaleness time.Duration
+}
+
+func (g GovernorOptions) withDefaults() GovernorOptions {
+	if g.Burst <= 0 {
+		g.Burst = 2
+	}
+	if g.Refill <= 0 {
+		g.Refill = 500 * time.Millisecond
+	}
+	if g.MaxStaleness <= 0 {
+		g.MaxStaleness = 2 * time.Second
+	}
+	return g
+}
+
+// GovernorStats is a governor's observable state.
+type GovernorStats struct {
+	// Replans counts governor-driven incremental re-plans (including
+	// forced ones).
+	Replans uint64
+	// Suppressed counts churn events that were absorbed into an already
+	// pending re-plan instead of getting their own.
+	Suppressed uint64
+	// Forced counts re-plans triggered by the max-staleness deadline
+	// with an empty token bucket.
+	Forced uint64
+	// Dirty is the number of domains currently awaiting a re-plan.
+	Dirty int
+	// MaxStaleness is the largest observed dirty-to-replan latency.
+	MaxStaleness time.Duration
+}
+
+// domainGov is one domain's bucket and dirty state.
+type domainGov struct {
+	tokens     float64
+	lastRefill time.Time
+	dirty      bool
+	dirtySince time.Time
+}
+
+// Governor rate-limits incremental re-plans per interference domain. It
+// is safe for concurrent use; re-plans themselves run outside its lock.
+type Governor struct {
+	orch *Orchestrator
+	opts GovernorOptions
+
+	mu   sync.Mutex
+	doms map[int]*domainGov
+
+	replans    atomic.Uint64
+	suppressed atomic.Uint64
+	forced     atomic.Uint64
+	maxStale   atomic.Int64 // nanoseconds
+
+	hist *metrics.Histogram // replan duration, set via RegisterMetrics
+}
+
+// NewGovernor wraps an orchestrator with a replan governor.
+func NewGovernor(o *Orchestrator, opts GovernorOptions) *Governor {
+	return &Governor{orch: o, opts: opts.withDefaults(), doms: make(map[int]*domainGov)}
+}
+
+// Options returns the governor's effective (defaulted) options.
+func (g *Governor) Options() GovernorOptions { return g.opts }
+
+func (g *Governor) domLocked(domain int, now time.Time) *domainGov {
+	dg, ok := g.doms[domain]
+	if !ok {
+		dg = &domainGov{tokens: float64(g.opts.Burst), lastRefill: now}
+		g.doms[domain] = dg
+	}
+	return dg
+}
+
+func (g *Governor) refillLocked(dg *domainGov, now time.Time) {
+	if now.After(dg.lastRefill) {
+		dg.tokens += now.Sub(dg.lastRefill).Seconds() / g.opts.Refill.Seconds()
+		if max := float64(g.opts.Burst); dg.tokens > max {
+			dg.tokens = max
+		}
+		dg.lastRefill = now
+	}
+}
+
+// Mark records one churn event against a domain. The first mark on a
+// clean domain starts its staleness clock; further marks before the
+// re-plan coalesce into it and count as suppressed.
+func (g *Governor) Mark(domain int, now time.Time) {
+	g.mu.Lock()
+	dg := g.domLocked(domain, now)
+	g.refillLocked(dg, now)
+	if dg.dirty {
+		g.suppressed.Add(1)
+	} else {
+		dg.dirty = true
+		dg.dirtySince = now
+	}
+	g.mu.Unlock()
+}
+
+// MarkTask marks the domain owning a task (the whole plant for unknown
+// tasks, mirroring ReconcileTask's fallback contract).
+func (g *Governor) MarkTask(taskID int, now time.Time) {
+	g.orch.mu.Lock()
+	t, ok := g.orch.tasks[taskID]
+	var domain int
+	if ok {
+		domain = t.Domain
+	}
+	g.orch.mu.Unlock()
+	if !ok {
+		g.MarkAll(now)
+		return
+	}
+	g.Mark(domain, now)
+}
+
+// MarkAll marks every current interference domain dirty.
+func (g *Governor) MarkAll(now time.Time) {
+	for _, sh := range g.orch.ShardStats() {
+		g.Mark(sh.Domain, now)
+	}
+}
+
+// Poll releases every eligible pending re-plan: dirty domains with a
+// token available, or past their staleness deadline (forced). Domains
+// re-plan in ascending order; marks landing during a re-plan re-dirty
+// the domain for the next poll. Returns the domains re-planned and the
+// first re-plan error.
+func (g *Governor) Poll(ctx context.Context, now time.Time) ([]int, error) {
+	g.mu.Lock()
+	var due []int
+	stale := make(map[int]time.Duration)
+	for d, dg := range g.doms {
+		if !dg.dirty {
+			continue
+		}
+		g.refillLocked(dg, now)
+		staleness := now.Sub(dg.dirtySince)
+		switch {
+		case dg.tokens >= 1:
+			dg.tokens--
+		case staleness >= g.opts.MaxStaleness:
+			g.forced.Add(1)
+		default:
+			continue // keep serving the stale plan
+		}
+		dg.dirty = false
+		due = append(due, d)
+		stale[d] = staleness
+	}
+	g.mu.Unlock()
+	if len(due) == 0 {
+		return nil, nil
+	}
+	sort.Ints(due)
+
+	var firstErr error
+	for _, d := range due {
+		if s := stale[d]; s.Nanoseconds() > g.maxStale.Load() {
+			g.maxStale.Store(s.Nanoseconds())
+		}
+		start := time.Now()
+		err := g.orch.ReconcileDomain(ctx, d)
+		g.observeReplan(time.Since(start))
+		g.replans.Add(1)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return due, firstErr
+}
+
+// Flush force-replans every dirty domain regardless of tokens or
+// deadlines — the shutdown/epilogue path that leaves no churn pending.
+func (g *Governor) Flush(ctx context.Context, now time.Time) error {
+	g.mu.Lock()
+	for _, dg := range g.doms {
+		if dg.dirty {
+			dg.dirtySince = now.Add(-g.opts.MaxStaleness)
+		}
+	}
+	g.mu.Unlock()
+	_, err := g.Poll(ctx, now)
+	return err
+}
+
+func (g *Governor) observeReplan(d time.Duration) {
+	g.mu.Lock()
+	h := g.hist
+	g.mu.Unlock()
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// Stats snapshots the governor's counters.
+func (g *Governor) Stats() GovernorStats {
+	g.mu.Lock()
+	dirty := 0
+	for _, dg := range g.doms {
+		if dg.dirty {
+			dirty++
+		}
+	}
+	g.mu.Unlock()
+	return GovernorStats{
+		Replans:      g.replans.Load(),
+		Suppressed:   g.suppressed.Load(),
+		Forced:       g.forced.Load(),
+		Dirty:        dirty,
+		MaxStaleness: time.Duration(g.maxStale.Load()),
+	}
+}
+
+// RegisterMetrics exposes the governor on a metrics registry: the replan
+// duration histogram plus total/suppressed/forced counters and a dirty-
+// domain gauge.
+func (g *Governor) RegisterMetrics(r *metrics.Registry) {
+	h := r.Histogram("surfos_replan_duration_seconds",
+		"Wall-clock duration of one governor-driven incremental re-plan.",
+		metrics.DurationBuckets)
+	g.mu.Lock()
+	g.hist = h
+	g.mu.Unlock()
+
+	r.CounterFunc("surfos_replans_total",
+		"Governor-driven incremental re-plans completed.",
+		func() float64 { return float64(g.replans.Load()) })
+	r.CounterFunc("surfos_replans_suppressed_total",
+		"Churn events coalesced into an already pending re-plan.",
+		func() float64 { return float64(g.suppressed.Load()) })
+	r.CounterFunc("surfos_replans_forced_total",
+		"Re-plans forced by the max-staleness deadline with an empty token bucket.",
+		func() float64 { return float64(g.forced.Load()) })
+	r.RegisterCollector(func() []metrics.Family {
+		st := g.Stats()
+		return []metrics.Family{{
+			Name: "surfos_replan_dirty_domains", Help: "Domains currently awaiting a governed re-plan.", Type: "gauge",
+			Samples: []metrics.Sample{{Value: float64(st.Dirty)}},
+		}}
+	})
+}

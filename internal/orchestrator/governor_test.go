@@ -1,0 +1,168 @@
+package orchestrator
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// govRig is a two-room strip with one running task per room and a
+// governor with fully explicit options, driven on a virtual clock.
+func govRig(t *testing.T, opts GovernorOptions) (*stripRig, *Governor) {
+	t.Helper()
+	r := newStripRig(t, 2, fastOpts())
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.o.EnhanceLink(ctx, roomLink(i, "ue"+string(rune('0'+i))), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.o.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return r, NewGovernor(r.o, opts)
+}
+
+func TestGovernorBurstThenRateLimit(t *testing.T) {
+	_, gov := govRig(t, GovernorOptions{Burst: 2, Refill: time.Second, MaxStaleness: time.Hour})
+	ctx := context.Background()
+	t0 := time.Unix(0, 0)
+
+	// Two back-to-back marks spend the burst.
+	for i := 0; i < 2; i++ {
+		gov.Mark(0, t0)
+		due, err := gov.Poll(ctx, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(due) != 1 || due[0] != 0 {
+			t.Fatalf("poll %d: due = %v, want [0]", i, due)
+		}
+	}
+
+	// Bucket empty: the next mark stays pending through early polls.
+	gov.Mark(0, t0)
+	for _, at := range []time.Duration{0, 500 * time.Millisecond, 999 * time.Millisecond} {
+		due, err := gov.Poll(ctx, t0.Add(at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(due) != 0 {
+			t.Fatalf("poll at +%v released %v before a token refilled", at, due)
+		}
+	}
+	if st := gov.Stats(); st.Dirty != 1 || st.Replans != 2 {
+		t.Fatalf("mid-limit stats = %+v, want dirty=1 replans=2", st)
+	}
+
+	// One refill period later the token is back and the re-plan runs.
+	due, err := gov.Poll(ctx, t0.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(due) != 1 || due[0] != 0 {
+		t.Fatalf("post-refill due = %v, want [0]", due)
+	}
+	st := gov.Stats()
+	if st.Replans != 3 || st.Forced != 0 || st.Dirty != 0 {
+		t.Fatalf("final stats = %+v, want replans=3 forced=0 dirty=0", st)
+	}
+}
+
+func TestGovernorCoalescesBurstIntoOneReplan(t *testing.T) {
+	_, gov := govRig(t, GovernorOptions{Burst: 1, Refill: time.Hour, MaxStaleness: time.Hour})
+	ctx := context.Background()
+	t0 := time.Unix(0, 0)
+
+	gov.Mark(1, t0) // consumes the sole token at the next poll
+	if _, err := gov.Poll(ctx, t0); err != nil {
+		t.Fatal(err)
+	}
+	// A churn burst lands while the bucket is empty: one pending re-plan,
+	// the rest suppressed.
+	const burst = 7
+	for i := 0; i < burst; i++ {
+		gov.Mark(1, t0.Add(time.Duration(i)*time.Millisecond))
+	}
+	st := gov.Stats()
+	if st.Suppressed != burst-1 || st.Dirty != 1 {
+		t.Fatalf("stats after burst = %+v, want suppressed=%d dirty=1", st, burst-1)
+	}
+	if due, _ := gov.Poll(ctx, t0.Add(time.Millisecond*10)); len(due) != 0 {
+		t.Fatalf("rate-limited poll released %v", due)
+	}
+}
+
+func TestGovernorForcesReplanAtMaxStaleness(t *testing.T) {
+	_, gov := govRig(t, GovernorOptions{Burst: 1, Refill: time.Hour, MaxStaleness: 2 * time.Second})
+	ctx := context.Background()
+	t0 := time.Unix(0, 0)
+
+	gov.Mark(0, t0)
+	if _, err := gov.Poll(ctx, t0); err != nil { // spends the only token
+		t.Fatal(err)
+	}
+	gov.Mark(0, t0)
+	if due, _ := gov.Poll(ctx, t0.Add(time.Second)); len(due) != 0 {
+		t.Fatalf("poll inside staleness bound released %v", due)
+	}
+	due, err := gov.Poll(ctx, t0.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(due) != 1 || due[0] != 0 {
+		t.Fatalf("deadline poll due = %v, want [0]", due)
+	}
+	st := gov.Stats()
+	if st.Forced != 1 || st.Replans != 2 {
+		t.Fatalf("stats = %+v, want forced=1 replans=2", st)
+	}
+	if st.MaxStaleness < 2*time.Second {
+		t.Fatalf("observed max staleness %v < forced deadline 2s", st.MaxStaleness)
+	}
+}
+
+func TestGovernorFlushDrainsAllDirtyDomains(t *testing.T) {
+	_, gov := govRig(t, GovernorOptions{Burst: 1, Refill: time.Hour, MaxStaleness: time.Hour})
+	ctx := context.Background()
+	t0 := time.Unix(0, 0)
+
+	// Drain both buckets, then dirty both domains with no tokens left.
+	gov.Mark(0, t0)
+	gov.Mark(1, t0)
+	if _, err := gov.Poll(ctx, t0); err != nil {
+		t.Fatal(err)
+	}
+	gov.Mark(0, t0)
+	gov.Mark(1, t0)
+	if due, _ := gov.Poll(ctx, t0); len(due) != 0 {
+		t.Fatalf("tokenless poll released %v", due)
+	}
+	if err := gov.Flush(ctx, t0); err != nil {
+		t.Fatal(err)
+	}
+	st := gov.Stats()
+	if st.Dirty != 0 || st.Replans != 4 {
+		t.Fatalf("post-flush stats = %+v, want dirty=0 replans=4", st)
+	}
+}
+
+func TestGovernorMarkTask(t *testing.T) {
+	r, gov := govRig(t, GovernorOptions{Burst: 4, Refill: time.Hour, MaxStaleness: time.Hour})
+	t0 := time.Unix(0, 0)
+
+	// A known task dirties exactly its owning domain.
+	task, err := r.o.EnhanceLink(context.Background(), roomLink(1, "walker"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov.MarkTask(task.ID, t0)
+	if st := gov.Stats(); st.Dirty != 1 {
+		t.Fatalf("known-task mark dirty = %d, want 1", st.Dirty)
+	}
+	// An unknown task falls back to marking the whole plant.
+	gov.MarkTask(99999, t0)
+	if st := gov.Stats(); st.Dirty != 2 {
+		t.Fatalf("unknown-task mark dirty = %d, want 2 (all domains)", st.Dirty)
+	}
+}

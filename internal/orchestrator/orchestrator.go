@@ -45,6 +45,13 @@ type Options struct {
 	Cascade bool
 	// ReflOrder is the environment reflection order (default 1).
 	ReflOrder int
+	// WarmStart seeds each optimizer run from the previous committed
+	// plan's configurations (same frequency, device set, and plan-entry
+	// label) instead of from scratch — the incremental re-plan path for
+	// churn workloads. Off by default: warm-started runs converge to
+	// (slightly) different optima than cold ones, so enabling it changes
+	// plan bytes.
+	WarmStart bool
 	// DisableSharding forces a single monolithic scheduler shard holding
 	// every surface, regardless of the scene's interference-domain
 	// structure. For benchmarks and A/B comparison; single-domain scenes
@@ -97,6 +104,12 @@ type Orchestrator struct {
 	Opts  Options
 
 	eng *engine.Engine
+
+	// geoMu serializes scene geometry edits (EditScene, write lock)
+	// against the orchestrator's scene readers (reconciles, routing,
+	// partition rebuilds — read lock). It is always acquired before mu
+	// and never while holding it.
+	geoMu sync.RWMutex
 
 	mu     sync.Mutex
 	tasks  map[int]*Task
@@ -207,6 +220,8 @@ func (o *Orchestrator) submit(svc Service, tenant string, goal any, priority int
 	if tenant == "" {
 		tenant = DefaultTenant
 	}
+	o.geoMu.RLock()
+	defer o.geoMu.RUnlock()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if err := o.admitLocked(tenant, priority); err != nil {

@@ -78,6 +78,11 @@ func (o *Orchestrator) reconcileDomains(ctx context.Context, domains []int) erro
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
+	// Exclude geometry edits for the whole pass: the ray traces and
+	// partition below read the scene, and EditScene writers wait until
+	// the plan commits.
+	o.geoMu.RLock()
+	defer o.geoMu.RUnlock()
 	o.mu.Lock()
 	o.ensureShardsLocked()
 	var sel []*shard
@@ -96,6 +101,7 @@ func (o *Orchestrator) reconcileDomains(ctx context.Context, domains []int) erro
 		}
 	}
 	work := make([][]*Task, len(sel))
+	warms := make([]map[string][][]float64, len(sel))
 	for i, sh := range sel {
 		var act []*Task
 		for _, t := range o.tasks {
@@ -105,6 +111,9 @@ func (o *Orchestrator) reconcileDomains(ctx context.Context, domains []int) erro
 		}
 		sort.Slice(act, func(a, b int) bool { return act[a].ID < act[b].ID })
 		work[i] = act
+		if o.Opts.WarmStart {
+			warms[i] = warmFromPlansLocked(sh.plans)
+		}
 	}
 	o.mu.Unlock()
 
@@ -114,7 +123,7 @@ func (o *Orchestrator) reconcileDomains(ctx context.Context, domains []int) erro
 	durs := make([]time.Duration, len(sel))
 	ferr := o.eng.ForEach(ctx, len(sel), func(i int) {
 		start := time.Now()
-		results[i], commit[i], errs[i] = o.scheduleShard(ctx, sel[i], work[i])
+		results[i], commit[i], errs[i] = o.scheduleShard(ctx, sel[i], work[i], warms[i])
 		durs[i] = time.Since(start)
 	})
 
@@ -149,7 +158,7 @@ func (o *Orchestrator) reconcileDomains(ctx context.Context, domains []int) erro
 // flag mirrors the monolithic scheduler's contract: grouping failures
 // (no AP registered) leave the previous plans standing, while scheduling
 // failures commit whatever was planned.
-func (o *Orchestrator) scheduleShard(ctx context.Context, sh *shard, act []*Task) ([]*Plan, bool, error) {
+func (o *Orchestrator) scheduleShard(ctx context.Context, sh *shard, act []*Task, warm map[string][][]float64) ([]*Plan, bool, error) {
 	groups, err := o.groupTasksIn(act, sh)
 	if err != nil {
 		return nil, false, err
@@ -163,7 +172,7 @@ func (o *Orchestrator) scheduleShard(ctx context.Context, sh *shard, act []*Task
 			}
 			break
 		}
-		p, err := o.scheduleGroup(ctx, g)
+		p, err := o.scheduleGroup(ctx, g, warm)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -341,15 +350,15 @@ func (o *Orchestrator) pickStrategy(g *group) string {
 }
 
 // scheduleGroup plans one frequency group.
-func (o *Orchestrator) scheduleGroup(ctx context.Context, g *group) ([]*Plan, error) {
+func (o *Orchestrator) scheduleGroup(ctx context.Context, g *group, warm map[string][][]float64) ([]*Plan, error) {
 	strategy := o.pickStrategy(g)
 	switch strategy {
 	case StrategySDM:
-		return o.scheduleSDM(ctx, g)
+		return o.scheduleSDM(ctx, g, warm)
 	case StrategyTDM:
-		return o.scheduleTDM(ctx, g)
+		return o.scheduleTDM(ctx, g, warm)
 	default: // solo, joint
-		return o.scheduleJoint(ctx, g, strategy)
+		return o.scheduleJoint(ctx, g, strategy, warm)
 	}
 }
 
@@ -428,8 +437,12 @@ func (o *Orchestrator) taskWeight(t *Task, obj optimize.Objective) float64 {
 // small steps back to the quantization grid and stall (the constraint set
 // is discrete), while a single final projection costs only the usual
 // quantization loss.
-func (o *Orchestrator) optimizeConfigs(ctx context.Context, obj optimize.Objective, devs []*hwmgr.Device) optimize.Result {
-	init := optimize.ZeroPhases(obj.Shape())
+// init seeds the run: nil means zero phases (cold start); a warm seed
+// from the previous plan makes churn re-plans incremental.
+func (o *Orchestrator) optimizeConfigs(ctx context.Context, obj optimize.Objective, devs []*hwmgr.Device, init [][]float64) optimize.Result {
+	if init == nil {
+		init = optimize.ZeroPhases(obj.Shape())
+	}
 	if ws, ok := obj.(*optimize.WeightedSum); ok {
 		// Fan the joint sum's terms across the engine pool for the
 		// duration of this run; the ordered reduction keeps pooled
@@ -521,7 +534,7 @@ func (o *Orchestrator) markRunning(t *Task, res *Result) {
 // scheduleJoint handles solo and joint configuration multiplexing: one
 // shared configuration optimized for the (weighted) sum of task losses —
 // the paper's §4 "surface multitasking".
-func (o *Orchestrator) scheduleJoint(ctx context.Context, g *group, strategy string) ([]*Plan, error) {
+func (o *Orchestrator) scheduleJoint(ctx context.Context, g *group, strategy string, warm map[string][][]float64) ([]*Plan, error) {
 	spec := o.specFor(g.band.FreqHz, g.devs)
 	var terms []optimize.Objective
 	var weights []float64
@@ -551,7 +564,8 @@ func (o *Orchestrator) scheduleJoint(ctx context.Context, g *group, strategy str
 		}
 		obj = ws
 	}
-	res := o.optimizeConfigs(ctx, obj, g.devs)
+	init := warmLookup(warm, g.band.FreqHz, deviceIDs(g.devs), strategy, obj.Shape())
+	res := o.optimizeConfigs(ctx, obj, g.devs, init)
 	cfgs := optimize.PhasesToConfigs(res.Phases)
 
 	entry := PlanEntry{Label: strategy, Share: 1, Configs: map[string]surface.Config{}}
@@ -584,7 +598,7 @@ func (o *Orchestrator) scheduleJoint(ctx context.Context, g *group, strategy str
 
 // scheduleTDM gives each task its own optimized configuration and rotates
 // them as time slices weighted by priority.
-func (o *Orchestrator) scheduleTDM(ctx context.Context, g *group) ([]*Plan, error) {
+func (o *Orchestrator) scheduleTDM(ctx context.Context, g *group, warm map[string][][]float64) ([]*Plan, error) {
 	spec := o.specFor(g.band.FreqHz, g.devs)
 	p := &Plan{
 		FreqHz:   g.band.FreqHz,
@@ -601,7 +615,8 @@ func (o *Orchestrator) scheduleTDM(ctx context.Context, g *group) ([]*Plan, erro
 			o.failTask(t, err)
 			continue
 		}
-		res := o.optimizeConfigs(ctx, obj, g.devs)
+		init := warmLookup(warm, g.band.FreqHz, p.Surfaces, fmt.Sprintf("task-%d", t.ID), obj.Shape())
+		res := o.optimizeConfigs(ctx, obj, g.devs, init)
 		cfgs := optimize.PhasesToConfigs(res.Phases)
 		entry := PlanEntry{
 			Label:   fmt.Sprintf("task-%d", t.ID),
@@ -636,7 +651,7 @@ func (o *Orchestrator) scheduleTDM(ctx context.Context, g *group) ([]*Plan, erro
 
 // scheduleSDM partitions surfaces among tasks by proximity to the task's
 // spatial target and optimizes each partition independently.
-func (o *Orchestrator) scheduleSDM(ctx context.Context, g *group) ([]*Plan, error) {
+func (o *Orchestrator) scheduleSDM(ctx context.Context, g *group, warm map[string][][]float64) ([]*Plan, error) {
 	assign := o.assignSurfaces(g)
 	var plans []*Plan
 	var firstErr error
@@ -647,7 +662,7 @@ func (o *Orchestrator) scheduleSDM(ctx context.Context, g *group) ([]*Plan, erro
 			continue
 		}
 		sub := &group{band: g.band, tasks: []*Task{t}, devs: devs}
-		ps, err := o.scheduleJoint(ctx, sub, StrategySDM)
+		ps, err := o.scheduleJoint(ctx, sub, StrategySDM, warm)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -71,6 +71,8 @@ type ShardStat struct {
 // ShardStats returns per-shard task counts and reconcile latency, sorted
 // by domain — the operator's view behind `surfctl health`.
 func (o *Orchestrator) ShardStats() []ShardStat {
+	o.geoMu.RLock()
+	defer o.geoMu.RUnlock()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.ensureShardsLocked()
@@ -100,6 +102,8 @@ func (o *Orchestrator) ShardStats() []ShardStat {
 // DomainForDevice returns the interference domain owning a device ID
 // (ok=false for unknown devices).
 func (o *Orchestrator) DomainForDevice(deviceID string) (int, bool) {
+	o.geoMu.RLock()
+	defer o.geoMu.RUnlock()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.ensureShardsLocked()

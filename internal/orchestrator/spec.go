@@ -141,6 +141,8 @@ func (o *Orchestrator) RestoreTask(specJSON []byte, lastState string) (*Task, er
 		tenant = DefaultTenant
 	}
 
+	o.geoMu.RLock()
+	defer o.geoMu.RUnlock()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if _, exists := o.tasks[spec.ID]; exists {

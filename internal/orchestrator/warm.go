@@ -1,0 +1,65 @@
+package orchestrator
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Warm starting: under churn, consecutive re-plans of a domain solve
+// nearly identical problems. When Options.WarmStart is set, each
+// reconcile snapshots the shard's committed plans (under the lock, with
+// phase values deep-copied — plan entries mutate under the lock while
+// shards schedule outside it) into a warm map, and the joint/TDM/SDM
+// paths seed the optimizer from the matching previous entry instead of
+// zero phases. A match requires the same frequency, the same surface
+// set in the same order, and the same entry label (strategy name, or
+// "task-N" for TDM slots), so a topology or membership change falls
+// back to a cold start naturally.
+
+// warmKey identifies one plan entry's optimization problem.
+func warmKey(freqHz float64, surfaces []string, label string) string {
+	return fmt.Sprintf("%g|%s|%s", freqHz, strings.Join(surfaces, ","), label)
+}
+
+// warmFromPlansLocked extracts the seedable phase sets from a shard's
+// committed plans. Caller holds o.mu; values are copied so the snapshot
+// survives concurrent entry release.
+func warmFromPlansLocked(plans []*Plan) map[string][][]float64 {
+	w := make(map[string][][]float64)
+	for _, p := range plans {
+		for _, e := range p.Entries {
+			ph := make([][]float64, len(p.Surfaces))
+			complete := true
+			for i, id := range p.Surfaces {
+				cfg, ok := e.Configs[id]
+				if !ok {
+					complete = false
+					break
+				}
+				ph[i] = append([]float64(nil), cfg.Values...)
+			}
+			if complete {
+				w[warmKey(p.FreqHz, p.Surfaces, e.Label)] = ph
+			}
+		}
+	}
+	return w
+}
+
+// warmLookup returns the previous phases for an optimization problem, or
+// nil when there is no shape-compatible match (cold start).
+func warmLookup(warm map[string][][]float64, freqHz float64, surfaces []string, label string, shape []int) [][]float64 {
+	if warm == nil {
+		return nil
+	}
+	ph, ok := warm[warmKey(freqHz, surfaces, label)]
+	if !ok || len(ph) != len(shape) {
+		return nil
+	}
+	for i, want := range shape {
+		if len(ph[i]) != want {
+			return nil
+		}
+	}
+	return ph
+}

@@ -1,0 +1,126 @@
+package scene
+
+import (
+	"errors"
+	"testing"
+
+	"surfos/internal/em"
+	"surfos/internal/geom"
+)
+
+func screenPanel(x float64) *geom.Quad {
+	return geom.RectXY(geom.V(x, 1, 0), geom.V(0, 1, 0), geom.V(0, 0, 1), 2, 2.2)
+}
+
+func TestEditBatchBumpsRevisionOnce(t *testing.T) {
+	s := New("edit")
+	s.AddWall("a", screenPanel(1), em.Drywall)
+	rev := s.Revision()
+
+	err := s.Edit(func(s *Scene) error {
+		s.AddWall("b", screenPanel(2), em.Drywall)
+		if err := s.MoveWall("a", screenPanel(1.5)); err != nil {
+			return err
+		}
+		return s.RemoveWall("b")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Revision(); got != rev+1 {
+		t.Fatalf("batched edit bumped revision %d times, want 1", got-rev)
+	}
+	bounds, ok := s.EditsSince(rev)
+	if !ok {
+		t.Fatal("EditsSince unknown after a journaled batch")
+	}
+	// AddWall(b) + MoveWall(a: old+new) + RemoveWall(b) = 4 dirty boxes.
+	if len(bounds) != 4 {
+		t.Fatalf("got %d dirty boxes, want 4", len(bounds))
+	}
+}
+
+func TestEditCommitsEvenOnError(t *testing.T) {
+	s := New("edit")
+	rev := s.Revision()
+	sentinel := errors.New("boom")
+	err := s.Edit(func(s *Scene) error {
+		s.AddWall("a", screenPanel(1), em.Drywall)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Edit error = %v, want sentinel", err)
+	}
+	if s.Revision() != rev+1 {
+		t.Fatal("mutations made before the error must still bump the revision")
+	}
+}
+
+func TestEditNestedFoldsIntoOneBump(t *testing.T) {
+	s := New("edit")
+	rev := s.Revision()
+	err := s.Edit(func(s *Scene) error {
+		s.AddWall("a", screenPanel(1), em.Drywall)
+		return s.Edit(func(s *Scene) error {
+			s.AddWall("b", screenPanel(2), em.Drywall)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Revision() != rev+1 {
+		t.Fatalf("nested edits bumped revision %d times, want 1", s.Revision()-rev)
+	}
+}
+
+func TestEditsSinceSemantics(t *testing.T) {
+	s := New("edit")
+	s.AddWall("a", screenPanel(1), em.Drywall)
+	rev := s.Revision()
+
+	if b, ok := s.EditsSince(rev); !ok || len(b) != 0 {
+		t.Fatalf("no edits: got (%v, %v), want (nil, true)", b, ok)
+	}
+	if _, ok := s.EditsSince(rev + 5); ok {
+		t.Fatal("a future revision must be unknown")
+	}
+
+	if err := s.MoveWall("a", screenPanel(2)); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.EditsSince(rev); !ok || len(b) != 2 {
+		t.Fatalf("after one move: got (%d boxes, %v), want (2, true)", len(b), ok)
+	}
+
+	// Invalidate's blast radius is unknowable: everything after it is
+	// global.
+	s.Invalidate()
+	if _, ok := s.EditsSince(rev); ok {
+		t.Fatal("history crossing an Invalidate must be unknown")
+	}
+	rev2 := s.Revision()
+	if err := s.MoveWall("a", screenPanel(3)); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.EditsSince(rev2); !ok || len(b) != 2 {
+		t.Fatalf("post-Invalidate window: got (%d boxes, %v), want (2, true)", len(b), ok)
+	}
+}
+
+func TestEditsSinceWindowOverflow(t *testing.T) {
+	s := New("edit")
+	s.AddWall("a", screenPanel(1), em.Drywall)
+	rev := s.Revision()
+	for i := 0; i < maxEditJournal+10; i++ {
+		if err := s.MoveWall("a", screenPanel(1+float64(i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.EditsSince(rev); ok {
+		t.Fatal("history deeper than the journal window must be unknown")
+	}
+	if b, ok := s.EditsSince(s.Revision() - 1); !ok || len(b) != 2 {
+		t.Fatalf("recent history must stay known: got (%d boxes, %v)", len(b), ok)
+	}
+}

@@ -53,7 +53,33 @@ type Scene struct {
 	Regions map[string]Region
 
 	rev uint64 // geometry revision, bumped by wall mutations
+
+	// Edit-bounds journal: one record per revision bump, holding the
+	// AABBs of the geometry that changed in that bump (or a global flag
+	// for Invalidate, whose blast radius is unknowable). Downstream
+	// caches use EditsSince to decide whether a cached trace could have
+	// been affected by the edits between two revisions — the basis of
+	// the engine's per-region invalidation.
+	journal []editRecord
+
+	// Batched-edit state: while editDepth > 0, mutations accumulate
+	// their dirty bounds into pending instead of bumping rev per call.
+	editDepth     int
+	pending       []geom.AABB
+	pendingGlobal bool
 }
+
+// editRecord is one revision bump's dirty geometry.
+type editRecord struct {
+	rev    uint64
+	bounds []geom.AABB
+	global bool // Invalidate: everything may have changed
+}
+
+// maxEditJournal bounds the edit-bounds journal; histories deeper than
+// this fall off the window and EditsSince reports "unknown" (callers
+// fall back to full invalidation, exactly the pre-journal behavior).
+const maxEditJournal = 128
 
 // New creates an empty scene.
 func New(name string) *Scene {
@@ -66,15 +92,83 @@ func New(name string) *Scene {
 // that mutate concurrently with readers must synchronize externally.
 func (s *Scene) Revision() uint64 { return s.rev }
 
+// bump records one geometry mutation: inside an Edit batch the bounds
+// accumulate; outside, the revision advances immediately and the journal
+// gains one record. No bounds means the blast radius is unknown (global).
+func (s *Scene) bump(global bool, bounds ...geom.AABB) {
+	if s.editDepth > 0 {
+		if global {
+			s.pendingGlobal = true
+		}
+		s.pending = append(s.pending, bounds...)
+		return
+	}
+	s.rev++
+	s.journal = append(s.journal, editRecord{rev: s.rev, bounds: bounds, global: global})
+	if len(s.journal) > maxEditJournal {
+		s.journal = s.journal[len(s.journal)-maxEditJournal:]
+	}
+}
+
+// Edit runs fn with revision bumping suspended: every wall mutation made
+// inside fn — however many — commits as a single revision bump when the
+// outermost Edit returns, so a scripted step that toggles several walls
+// invalidates downstream caches once instead of per call. Nested Edits
+// fold into the outermost batch. The batch commits even when fn returns
+// an error: the mutations made before the failure have still happened,
+// and caches must observe them.
+func (s *Scene) Edit(fn func(*Scene) error) error {
+	s.editDepth++
+	err := fn(s)
+	s.editDepth--
+	if s.editDepth == 0 && (len(s.pending) > 0 || s.pendingGlobal) {
+		bounds, global := s.pending, s.pendingGlobal
+		s.pending, s.pendingGlobal = nil, false
+		s.bump(global, bounds...)
+	}
+	return err
+}
+
+// EditsSince returns the union of dirty bounds of every edit after
+// revision rev, up to the current revision. ok is false when the answer
+// is unknowable — rev predates the journal window, an Invalidate (global
+// edit) happened, or rev is from a different history — in which case
+// callers must assume everything changed.
+func (s *Scene) EditsSince(rev uint64) (bounds []geom.AABB, ok bool) {
+	if rev == s.rev {
+		return nil, true
+	}
+	if rev > s.rev {
+		return nil, false
+	}
+	// The journal holds one record per bump with consecutive revisions;
+	// coverage of (rev, s.rev] requires its oldest record to be ≤ rev+1.
+	if len(s.journal) == 0 || s.journal[0].rev > rev+1 {
+		return nil, false
+	}
+	for _, rec := range s.journal {
+		if rec.rev <= rev {
+			continue
+		}
+		if rec.global {
+			return nil, false
+		}
+		bounds = append(bounds, rec.bounds...)
+	}
+	return bounds, true
+}
+
 // Invalidate bumps the geometry revision without structural change — the
 // escape hatch for callers that mutate wall fields in place (e.g. swapping
-// a Material pointer) and need caches keyed on Revision to miss.
-func (s *Scene) Invalidate() { s.rev++ }
+// a Material pointer) and need caches keyed on Revision to miss. Because
+// the engine cannot see what changed, the edit is journaled as global and
+// every cached trace misses.
+func (s *Scene) Invalidate() { s.bump(true) }
 
 // AddWall appends a wall panel.
 func (s *Scene) AddWall(name string, panel *geom.Quad, mat *em.Material) {
 	s.Walls = append(s.Walls, Wall{Name: name, Panel: panel, Material: mat})
-	s.rev++
+	s.bump(false, panel.Bounds())
 }
 
 // MoveWall replaces the panel of the named wall — a door opening, furniture
@@ -86,8 +180,9 @@ func (s *Scene) MoveWall(name string, panel *geom.Quad) error {
 	}
 	for i := range s.Walls {
 		if s.Walls[i].Name == name {
+			old := s.Walls[i].Panel.Bounds()
 			s.Walls[i].Panel = panel
-			s.rev++
+			s.bump(false, old, panel.Bounds())
 			return nil
 		}
 	}
@@ -98,8 +193,9 @@ func (s *Scene) MoveWall(name string, panel *geom.Quad) error {
 func (s *Scene) RemoveWall(name string) error {
 	for i := range s.Walls {
 		if s.Walls[i].Name == name {
+			old := s.Walls[i].Panel.Bounds()
 			s.Walls = append(s.Walls[:i], s.Walls[i+1:]...)
-			s.rev++
+			s.bump(false, old)
 			return nil
 		}
 	}

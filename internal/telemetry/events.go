@@ -14,6 +14,7 @@ const (
 	TaskDone      = "done"      // completed or explicitly ended
 	TaskFailed    = "failed"    // unschedulable or errored
 	TaskMigrated  = "migrated"  // moved to a different interference-domain shard
+	TaskHandoff   = "handoff"   // a moving endpoint crossed a domain boundary; re-homed live
 )
 
 // Device health phases share the task-event bus (TaskID 0, DeviceID set)
